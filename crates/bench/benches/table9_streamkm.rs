@@ -1,0 +1,33 @@
+//! **Table 9**: StreamKM++ distortion on the artificial datasets.
+//!
+//! Paper setup: `m = 40k`. Shape to reproduce: the coreset tree lands in the
+//! 1.4–2.5 range — noticeably worse than sensitivity-based methods at equal
+//! size, because its theoretical size requirement is exponential in `d`.
+
+use fc_bench::experiments::{distortions, measure_static, DEFAULT_KIND};
+use fc_bench::scenarios::params_for;
+use fc_bench::{fmt_mean_var, BenchConfig, Table};
+use fc_streaming::streamkm::CoresetTreeCompressor;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut rng = cfg.rng(0x7AB9);
+    let suite = fc_bench::artificial_suite(&mut rng, &cfg);
+
+    let mut table = Table::new(
+        "Table 9: StreamKM++ distortion on artificial datasets  [m = 40k]",
+        &["dataset", "distortion"],
+    );
+    for (di, named) in suite.iter().enumerate() {
+        let params = params_for(named, 40, DEFAULT_KIND);
+        let ds = distortions(&measure_static(
+            &cfg,
+            named,
+            &CoresetTreeCompressor,
+            &params,
+            0x9000 + di as u64,
+        ));
+        table.row(vec![named.name.clone(), fmt_mean_var(&ds)]);
+    }
+    table.print();
+}

@@ -1,0 +1,107 @@
+//! Run configuration and timing for the experiment benches.
+
+use std::time::Instant;
+
+/// Global configuration for the experiment benches, read from the
+/// environment so the full paper-scale run is one variable away:
+///
+/// | variable | default | meaning |
+/// |---|---|---|
+/// | `REPRO_SCALE` | `0.1` | fraction of each dataset's paper row count |
+/// | `REPRO_RUNS` | `3` | repetitions per cell (the paper uses 5) |
+/// | `REPRO_K_SMALL` | `50` | `k` for the small datasets (paper: 100) |
+/// | `REPRO_K_BIG` | `150` | `k` for Song/CoverType/Taxi/Census (paper: 500) |
+/// | `REPRO_SEED` | `20240402` | base RNG seed |
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Fraction of the paper's row counts to generate.
+    pub scale: f64,
+    /// Repetitions per cell.
+    pub runs: usize,
+    /// `k` for the small datasets.
+    pub k_small: usize,
+    /// `k` for the large datasets.
+    pub k_big: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self { scale: 0.1, runs: 3, k_small: 50, k_big: 150, seed: 20_240_402 }
+    }
+}
+
+impl BenchConfig {
+    /// Reads the configuration from the environment (see type docs).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(v) = read_env_f64("REPRO_SCALE") {
+            cfg.scale = v.clamp(1e-4, 1.0);
+        }
+        if let Some(v) = read_env_usize("REPRO_RUNS") {
+            cfg.runs = v.max(1);
+        }
+        if let Some(v) = read_env_usize("REPRO_K_SMALL") {
+            cfg.k_small = v.max(2);
+        }
+        if let Some(v) = read_env_usize("REPRO_K_BIG") {
+            cfg.k_big = v.max(2);
+        }
+        if let Some(v) = read_env_usize("REPRO_SEED") {
+            cfg.seed = v as u64;
+        }
+        cfg
+    }
+
+    /// A fresh deterministic RNG for experiment `salt`.
+    pub fn rng(&self, salt: u64) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+fn read_env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn read_env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Times a closure, returning its result and the elapsed seconds.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = BenchConfig::default();
+        assert!(cfg.scale > 0.0 && cfg.scale <= 1.0);
+        assert!(cfg.runs >= 1);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_salt() {
+        use rand::RngCore;
+        let cfg = BenchConfig::default();
+        let a = cfg.rng(1).next_u64();
+        let b = cfg.rng(1).next_u64();
+        let c = cfg.rng(2).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn timing_measures_something() {
+        let (value, secs) = time(|| (0..10_000).sum::<u64>());
+        assert_eq!(value, 49_995_000);
+        assert!(secs >= 0.0);
+    }
+}

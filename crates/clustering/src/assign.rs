@@ -1,0 +1,190 @@
+//! Nearest-center assignment.
+//!
+//! The brute-force `O(nkd)` assignment with partial-distance pruning. The
+//! paper's point is that this primitive is the bottleneck of standard
+//! sensitivity sampling (`Ω(nk)`); it remains the reference implementation
+//! for baselines, cost evaluation, and Lloyd refinement.
+
+use fc_geom::distance::{sq_dist_bounded, CostKind};
+use fc_geom::points::Points;
+
+/// The result of assigning every point to its nearest center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `labels[i]` is the index (into the center store) of point `i`'s
+    /// nearest center.
+    pub labels: Vec<usize>,
+    /// `cost_z[i]` is `dist(p_i, C)^z` — *unweighted*; multiply by `w_i` to
+    /// get the point's cost contribution.
+    pub cost_z: Vec<f64>,
+}
+
+impl Assignment {
+    /// Number of assigned points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no points were assigned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Total weighted cost under this assignment.
+    pub fn total_cost(&self, weights: &[f64]) -> f64 {
+        debug_assert_eq!(weights.len(), self.cost_z.len());
+        self.cost_z.iter().zip(weights).map(|(&c, &w)| c * w).sum()
+    }
+
+    /// Per-cluster index lists (cluster `j` → indices of its points).
+    pub fn clusters(&self, k: usize) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); k];
+        for (i, &label) in self.labels.iter().enumerate() {
+            out[label].push(i);
+        }
+        out
+    }
+
+    /// Per-cluster total weights.
+    pub fn cluster_weights(&self, k: usize, weights: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; k];
+        for (i, &label) in self.labels.iter().enumerate() {
+            out[label] += weights[i];
+        }
+        out
+    }
+
+    /// Per-cluster total weighted costs `cost_z(C_j, c_j)`.
+    pub fn cluster_costs(&self, k: usize, weights: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; k];
+        for (i, &label) in self.labels.iter().enumerate() {
+            out[label] += self.cost_z[i] * weights[i];
+        }
+        out
+    }
+}
+
+/// Assigns every point to its nearest center. Panics if `centers` is empty
+/// or dimensions disagree; `O(nkd)` with partial-distance pruning.
+pub fn assign(points: &Points, centers: &Points, kind: CostKind) -> Assignment {
+    assert!(!centers.is_empty(), "assignment needs at least one center");
+    assert_eq!(points.dim(), centers.dim(), "points and centers must share dimension");
+    let n = points.len();
+    let mut labels = vec![0usize; n];
+    let mut cost_z = vec![0.0f64; n];
+    let center_flat = centers.as_flat();
+    let dim = centers.dim();
+    for (i, p) in points.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        let mut best_idx = 0usize;
+        for (j, c) in center_flat.chunks_exact(dim).enumerate() {
+            if let Some(d) = sq_dist_bounded(p, c, best) {
+                if d < best {
+                    best = d;
+                    best_idx = j;
+                }
+            }
+        }
+        labels[i] = best_idx;
+        cost_z[i] = kind.from_sq(best);
+    }
+    Assignment { labels, cost_z }
+}
+
+/// Incrementally updates per-point nearest-center squared distances after a
+/// new center is appended. Used by k-means++ seeding to stay `O(nd)` per
+/// round instead of recomputing all `k` candidates.
+///
+/// `min_sq[i]` holds the squared distance from point `i` to the previously
+/// nearest center (or `f64::INFINITY` before the first center); `labels[i]`
+/// is updated to `new_label` when the new center is closer.
+pub fn update_nearest(
+    points: &Points,
+    new_center: &[f64],
+    new_label: usize,
+    min_sq: &mut [f64],
+    labels: &mut [usize],
+) {
+    debug_assert_eq!(points.len(), min_sq.len());
+    for (i, p) in points.iter().enumerate() {
+        if let Some(d) = sq_dist_bounded(p, new_center, min_sq[i]) {
+            if d < min_sq[i] {
+                min_sq[i] = d;
+                labels[i] = new_label;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Points {
+        Points::from_flat(vec![0.0, 0.0, 0.1, 0.0, 10.0, 10.0, 10.1, 10.0], 2).unwrap()
+    }
+
+    fn centers() -> Points {
+        Points::from_flat(vec![0.0, 0.0, 10.0, 10.0], 2).unwrap()
+    }
+
+    #[test]
+    fn assign_splits_two_blobs() {
+        let a = assign(&points(), &centers(), CostKind::KMeans);
+        assert_eq!(a.labels, vec![0, 0, 1, 1]);
+        assert_eq!(a.cost_z[0], 0.0);
+        assert!((a.cost_z[1] - 0.01).abs() < 1e-12);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn kmedian_costs_are_square_roots() {
+        let a2 = assign(&points(), &centers(), CostKind::KMeans);
+        let a1 = assign(&points(), &centers(), CostKind::KMedian);
+        for (c1, c2) in a1.cost_z.iter().zip(&a2.cost_z) {
+            assert!((c1 * c1 - c2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn total_cost_weights_points() {
+        let a = assign(&points(), &centers(), CostKind::KMeans);
+        let unit = a.total_cost(&[1.0; 4]);
+        let double = a.total_cost(&[2.0; 4]);
+        assert!((double - 2.0 * unit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clusters_and_weights() {
+        let a = assign(&points(), &centers(), CostKind::KMeans);
+        let clusters = a.clusters(2);
+        assert_eq!(clusters[0], vec![0, 1]);
+        assert_eq!(clusters[1], vec![2, 3]);
+        let ws = a.cluster_weights(2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ws, vec![3.0, 7.0]);
+        let costs = a.cluster_costs(2, &[1.0, 1.0, 1.0, 1.0]);
+        assert!((costs[0] - 0.01).abs() < 1e-12);
+        assert!((costs[1] - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_nearest_incremental_matches_batch() {
+        let p = points();
+        let c = centers();
+        let mut min_sq = vec![f64::INFINITY; p.len()];
+        let mut labels = vec![usize::MAX; p.len()];
+        update_nearest(&p, c.row(0), 0, &mut min_sq, &mut labels);
+        update_nearest(&p, c.row(1), 1, &mut min_sq, &mut labels);
+        let batch = assign(&p, &c, CostKind::KMeans);
+        assert_eq!(labels, batch.labels);
+        for (a, b) in min_sq.iter().zip(&batch.cost_z) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one center")]
+    fn assign_empty_centers_panics() {
+        assign(&points(), &Points::empty(2), CostKind::KMeans);
+    }
+}

@@ -1,0 +1,115 @@
+//! Weighted clustering cost evaluation.
+//!
+//! `cost_z(P, C) = Σ_{p ∈ P} w_p · dist(p, C)^z` — the quantity every
+//! compression method tries to preserve (Definition 2.1 of the paper).
+
+use fc_geom::dataset::Dataset;
+use fc_geom::distance::{sq_dist_bounded, CostKind};
+use fc_geom::points::Points;
+
+/// Weighted `cost_z(P, C)`. Panics on empty centers or dimension mismatch.
+pub fn cost(data: &Dataset, centers: &Points, kind: CostKind) -> f64 {
+    assert!(!centers.is_empty(), "cost needs at least one center");
+    assert_eq!(data.dim(), centers.dim(), "data and centers must share dimension");
+    let dim = centers.dim();
+    let flat = centers.as_flat();
+    let mut total = 0.0;
+    for (p, &w) in data.points().iter().zip(data.weights()) {
+        let mut best = f64::INFINITY;
+        for c in flat.chunks_exact(dim) {
+            if let Some(d) = sq_dist_bounded(p, c, best) {
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        total += w * kind.from_sq(best);
+    }
+    total
+}
+
+/// Per-point *weighted* cost contributions `w_p · dist(p, C)^z`.
+pub fn per_point_cost(data: &Dataset, centers: &Points, kind: CostKind) -> Vec<f64> {
+    assert!(!centers.is_empty(), "cost needs at least one center");
+    let dim = centers.dim();
+    let flat = centers.as_flat();
+    data.points()
+        .iter()
+        .zip(data.weights())
+        .map(|(p, &w)| {
+            let mut best = f64::INFINITY;
+            for c in flat.chunks_exact(dim) {
+                if let Some(d) = sq_dist_bounded(p, c, best) {
+                    if d < best {
+                        best = d;
+                    }
+                }
+            }
+            w * kind.from_sq(best)
+        })
+        .collect()
+}
+
+/// Cost of the 1-center solution `{c}` — `Σ w_p dist(p, c)^z` — used by
+/// lightweight coresets (sensitivities w.r.t. the dataset mean).
+pub fn one_center_cost(data: &Dataset, center: &[f64], kind: CostKind) -> f64 {
+    data.points()
+        .iter()
+        .zip(data.weights())
+        .map(|(p, &w)| w * kind.from_sq(fc_geom::distance::sq_dist(p, center)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::from_flat(vec![0.0, 0.0, 2.0, 0.0, 0.0, 2.0], 2).unwrap()
+    }
+
+    #[test]
+    fn cost_single_center_kmeans() {
+        let c = Points::from_flat(vec![0.0, 0.0], 2).unwrap();
+        // 0 + 4 + 4 = 8
+        assert!((cost(&data(), &c, CostKind::KMeans) - 8.0).abs() < 1e-12);
+        // k-median: 0 + 2 + 2 = 4
+        assert!((cost(&data(), &c, CostKind::KMedian) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_uses_nearest_center() {
+        let c = Points::from_flat(vec![0.0, 0.0, 2.0, 0.0], 2).unwrap();
+        // point 0 -> c0 (0), point 1 -> c1 (0), point 2 -> c0 (4)
+        assert!((cost(&data(), &c, CostKind::KMeans) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_respects_weights() {
+        let d = Dataset::weighted(
+            Points::from_flat(vec![0.0, 0.0, 2.0, 0.0], 2).unwrap(),
+            vec![1.0, 5.0],
+        )
+        .unwrap();
+        let c = Points::from_flat(vec![0.0, 0.0], 2).unwrap();
+        assert!((cost(&d, &c, CostKind::KMeans) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_point_cost_sums_to_cost() {
+        let c = Points::from_flat(vec![1.0, 1.0], 2).unwrap();
+        let d = data();
+        let per = per_point_cost(&d, &c, CostKind::KMeans);
+        let total: f64 = per.iter().sum();
+        assert!((total - cost(&d, &c, CostKind::KMeans)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_center_cost_matches_cost() {
+        let d = data();
+        let c = Points::from_flat(vec![0.5, 0.5], 2).unwrap();
+        let a = one_center_cost(&d, c.row(0), CostKind::KMeans);
+        let b = cost(&d, &c, CostKind::KMeans);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,323 @@
+//! Hamerly's accelerated exact k-means.
+//!
+//! Lloyd's bottleneck is the `O(nk)` assignment; Hamerly's algorithm keeps,
+//! per point, an upper bound on the distance to its assigned center and a
+//! lower bound on the distance to every *other* center, updated by center
+//! movement. Points whose bounds prove their assignment unchanged skip the
+//! scan entirely — typically the vast majority after the first iterations.
+//! Produces exactly Lloyd's results (same fixed points, same costs).
+//!
+//! Used for the downstream-task experiments when the cluster count is large;
+//! the compression pipeline itself never calls this (its whole point is to
+//! avoid `O(nk)` work on the full data).
+
+use fc_geom::dataset::Dataset;
+use fc_geom::distance::{dist, sq_dist};
+use fc_geom::points::Points;
+
+use crate::kmedian::weighted_mean_of;
+use crate::lloyd::LloydConfig;
+use crate::solution::Solution;
+
+/// Runs Hamerly-accelerated k-means from the given initial centers.
+///
+/// Equivalent to [`crate::lloyd::refine`] with `CostKind::KMeans`, usually
+/// several times faster for moderate `k`. Empty clusters are re-seeded at
+/// the point with the largest current cost contribution (same policy as
+/// Lloyd's implementation).
+pub fn hamerly_kmeans(data: &Dataset, initial: Points, cfg: LloydConfig) -> Solution {
+    assert!(!initial.is_empty(), "refinement needs at least one initial center");
+    assert!(!data.is_empty(), "cannot refine on an empty dataset");
+    assert_eq!(data.dim(), initial.dim());
+    let n = data.len();
+    let k = initial.len();
+    let points = data.points();
+    let weights = data.weights();
+    let mut centers = initial;
+
+    // Initial exact assignment with both nearest and second-nearest.
+    let mut labels = vec![0usize; n];
+    let mut upper = vec![0.0f64; n]; // dist(p, c_label)
+    let mut lower = vec![0.0f64; n]; // dist(p, second-closest center)
+    for i in 0..n {
+        let (l, u, lo) = two_nearest(points.row(i), &centers);
+        labels[i] = l;
+        upper[i] = u;
+        lower[i] = lo;
+    }
+
+    for _ in 0..cfg.max_iters {
+        // Centroid step.
+        let new_centers = recompute(data, &labels, &upper, k, &centers);
+        // Center movement distances.
+        let moves: Vec<f64> =
+            (0..k).map(|j| dist(centers.row(j), new_centers.row(j))).collect();
+        let max_move = moves.iter().cloned().fold(0.0, f64::max);
+        centers = new_centers;
+
+        // Half-distance to the nearest other center, per center.
+        let s = half_nearest_center_dist(&centers);
+
+        // Bound maintenance + lazy reassignment. Note: `upper` is only a
+        // *bound* for points that skip the scan, so the objective is never
+        // derived from it — convergence is detected by assignment stability
+        // (Lloyd's fixpoint) instead.
+        let mut changes = 0usize;
+        for i in 0..n {
+            upper[i] += moves[labels[i]];
+            lower[i] -= max_move;
+            let threshold = s[labels[i]].max(lower[i]);
+            if upper[i] <= threshold {
+                continue; // assignment provably unchanged
+            }
+            // Tighten the upper bound and re-test.
+            upper[i] = dist(points.row(i), centers.row(labels[i]));
+            if upper[i] <= threshold {
+                continue;
+            }
+            // Full scan for this point.
+            let (l, u, lo) = two_nearest(points.row(i), &centers);
+            if l != labels[i] {
+                changes += 1;
+            }
+            labels[i] = l;
+            upper[i] = u;
+            lower[i] = lo;
+        }
+        if changes == 0 && max_move <= f64::EPSILON {
+            break;
+        }
+    }
+
+    // One exact pass for the final tight assignment and objective value.
+    let assignment = crate::assign::assign(points, &centers, fc_geom::distance::CostKind::KMeans);
+    let cost = assignment.total_cost(weights);
+    Solution { centers, labels: assignment.labels, cost }
+}
+
+/// Fraction of assignment scans Hamerly skips on one refinement run —
+/// exposed for benchmarking/diagnostics (re-runs the algorithm counting).
+pub fn pruning_rate(data: &Dataset, initial: Points, cfg: LloydConfig) -> f64 {
+    // A measurement wrapper: run the same loop but tally the skips.
+    let n = data.len();
+    if n == 0 || initial.is_empty() {
+        return 0.0;
+    }
+    let points = data.points();
+    let k = initial.len();
+    let mut centers = initial;
+    let mut labels = vec![0usize; n];
+    let mut upper = vec![0.0f64; n];
+    let mut lower = vec![0.0f64; n];
+    for i in 0..n {
+        let (l, u, lo) = two_nearest(points.row(i), &centers);
+        labels[i] = l;
+        upper[i] = u;
+        lower[i] = lo;
+    }
+    let mut skipped = 0usize;
+    let mut considered = 0usize;
+    for _ in 0..cfg.max_iters {
+        let new_centers = recompute(data, &labels, &upper, k, &centers);
+        let moves: Vec<f64> =
+            (0..k).map(|j| dist(centers.row(j), new_centers.row(j))).collect();
+        let max_move = moves.iter().cloned().fold(0.0, f64::max);
+        centers = new_centers;
+        let s = half_nearest_center_dist(&centers);
+        for i in 0..n {
+            upper[i] += moves[labels[i]];
+            lower[i] -= max_move;
+            considered += 1;
+            let threshold = s[labels[i]].max(lower[i]);
+            if upper[i] <= threshold {
+                skipped += 1;
+                continue;
+            }
+            upper[i] = dist(points.row(i), centers.row(labels[i]));
+            if upper[i] <= threshold {
+                skipped += 1;
+                continue;
+            }
+            let (l, u, lo) = two_nearest(points.row(i), &centers);
+            labels[i] = l;
+            upper[i] = u;
+            lower[i] = lo;
+        }
+    }
+    if considered == 0 {
+        0.0
+    } else {
+        skipped as f64 / considered as f64
+    }
+}
+
+/// Nearest and second-nearest center distances for a point.
+fn two_nearest(p: &[f64], centers: &Points) -> (usize, f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut second = f64::INFINITY;
+    let mut best_idx = 0usize;
+    for (j, c) in centers.iter().enumerate() {
+        let d = sq_dist(p, c);
+        if d < best {
+            second = best;
+            best = d;
+            best_idx = j;
+        } else if d < second {
+            second = d;
+        }
+    }
+    (best_idx, best.sqrt(), if second.is_finite() { second.sqrt() } else { best.sqrt() })
+}
+
+/// Half the distance from each center to its nearest other center.
+fn half_nearest_center_dist(centers: &Points) -> Vec<f64> {
+    let k = centers.len();
+    let mut out = vec![f64::INFINITY; k];
+    for j in 0..k {
+        for l in (j + 1)..k {
+            let d = dist(centers.row(j), centers.row(l));
+            if d < out[j] {
+                out[j] = d;
+            }
+            if d < out[l] {
+                out[l] = d;
+            }
+        }
+    }
+    for v in &mut out {
+        if v.is_finite() {
+            *v *= 0.5;
+        } else {
+            *v = 0.0; // single center: no pruning from this term
+        }
+    }
+    out
+}
+
+/// Weighted centroid step with empty-cluster re-seeding (matches Lloyd's).
+fn recompute(
+    data: &Dataset,
+    labels: &[usize],
+    upper: &[f64],
+    k: usize,
+    previous: &Points,
+) -> Points {
+    let points = data.points();
+    let weights = data.weights();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &l) in labels.iter().enumerate() {
+        members[l].push(i);
+    }
+    let mut worst: Vec<usize> = (0..points.len()).collect();
+    worst.sort_by(|&a, &b| {
+        let ca = upper[a] * upper[a] * weights[a];
+        let cb = upper[b] * upper[b] * weights[b];
+        cb.partial_cmp(&ca).expect("bounds are finite")
+    });
+    let mut reseed = worst.into_iter();
+    let mut centers = Points::empty(points.dim());
+    centers.reserve(k);
+    for (j, m) in members.iter().enumerate() {
+        let has_weight = m.iter().any(|&i| weights[i] > 0.0);
+        let c = if m.is_empty() || !has_weight {
+            match reseed.next() {
+                Some(i) => points.row(i).to_vec(),
+                None => previous.row(j).to_vec(),
+            }
+        } else {
+            weighted_mean_of(points, weights, m)
+        };
+        centers.push(&c).expect("center has data dimension");
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::cost;
+    use crate::kmeanspp::kmeanspp;
+    use crate::lloyd::refine;
+    use fc_geom::distance::CostKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mixture(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut flat = Vec::new();
+        for b in 0..6 {
+            for _ in 0..300 {
+                flat.push(b as f64 * 40.0 + rng.gen::<f64>());
+                flat.push((b % 3) as f64 * 40.0 + rng.gen::<f64>());
+                flat.push(rng.gen::<f64>());
+            }
+        }
+        Dataset::from_flat(flat, 3).unwrap()
+    }
+
+    #[test]
+    fn hamerly_matches_lloyd_cost() {
+        let d = mixture(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let seeding = kmeanspp(&mut rng, &d, 6, CostKind::KMeans);
+        let cfg = LloydConfig::fixed(15);
+        let lloyd = refine(&d, seeding.centers.clone(), CostKind::KMeans, cfg);
+        let hamerly = hamerly_kmeans(&d, seeding.centers, cfg);
+        let rel = (lloyd.cost - hamerly.cost).abs() / lloyd.cost.max(1e-12);
+        assert!(rel < 1e-6, "lloyd {} vs hamerly {}", lloyd.cost, hamerly.cost);
+    }
+
+    #[test]
+    fn hamerly_reported_cost_is_exact() {
+        let d = mixture(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let seeding = kmeanspp(&mut rng, &d, 5, CostKind::KMeans);
+        let sol = hamerly_kmeans(&d, seeding.centers, LloydConfig::default());
+        let direct = cost(&d, &sol.centers, CostKind::KMeans);
+        let rel = (sol.cost - direct).abs() / direct.max(1e-12);
+        assert!(rel < 1e-6, "reported {} vs direct {}", sol.cost, direct);
+    }
+
+    #[test]
+    fn hamerly_labels_are_argmin_at_fixpoint() {
+        let d = mixture(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let seeding = kmeanspp(&mut rng, &d, 6, CostKind::KMeans);
+        let sol = hamerly_kmeans(&d, seeding.centers, LloydConfig::default());
+        for (i, &l) in sol.labels.iter().enumerate() {
+            let p = d.point(i);
+            let assigned = sq_dist(p, sol.centers.row(l));
+            for c in sol.centers.iter() {
+                assert!(assigned <= sq_dist(p, c) + 1e-7, "point {i} misassigned");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_most_scans_on_separated_data() {
+        let d = mixture(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let seeding = kmeanspp(&mut rng, &d, 6, CostKind::KMeans);
+        let rate = pruning_rate(&d, seeding.centers, LloydConfig::fixed(10));
+        assert!(rate > 0.5, "pruning rate {rate} too low for well-separated clusters");
+    }
+
+    #[test]
+    fn single_center_works() {
+        let d = mixture(9);
+        let init = Points::from_flat(vec![0.0, 0.0, 0.0], 3).unwrap();
+        let sol = hamerly_kmeans(&d, init, LloydConfig::default());
+        let mean = d.weighted_mean().unwrap();
+        assert!(dist(sol.centers.row(0), &mean) < 1e-6);
+    }
+
+    #[test]
+    fn weighted_data_is_respected() {
+        let p = Points::from_flat(vec![0.0, 10.0], 1).unwrap();
+        let d = Dataset::weighted(p, vec![999.0, 1.0]).unwrap();
+        let init = Points::from_flat(vec![5.0], 1).unwrap();
+        let sol = hamerly_kmeans(&d, init, LloydConfig::default());
+        assert!((sol.centers.row(0)[0] - 10.0 / 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,214 @@
+//! Alternative seeding strategies.
+//!
+//! Beyond plain D^z sampling ([`crate::kmeanspp`]), two classical variants:
+//!
+//! - [`random_seeding`]: weight-proportional draws without any distance
+//!   bias — the "no guarantee" baseline whose failure on imbalanced data
+//!   mirrors uniform sampling's.
+//! - [`greedy_kmeanspp`]: the greedy variant of [4] (also used by
+//!   scikit-learn): each round draws `t` candidates by D^z and keeps the one
+//!   that reduces the cost most. Slower by the factor `t`, noticeably better
+//!   seeds in practice.
+
+use fc_geom::dataset::Dataset;
+use fc_geom::distance::CostKind;
+use fc_geom::points::Points;
+use fc_geom::sampling::AliasTable;
+use rand::Rng;
+
+use crate::assign::update_nearest;
+use crate::kmeanspp::Seeding;
+
+/// `k` distinct centers drawn proportional to point weight (no distance
+/// term). The assignment by-products match [`crate::kmeanspp`]'s contract.
+pub fn random_seeding<R: Rng + ?Sized>(rng: &mut R, data: &Dataset, k: usize) -> Seeding {
+    assert!(k > 0, "k must be positive");
+    assert!(!data.is_empty(), "cannot seed an empty dataset");
+    let n = data.len();
+    let points = data.points();
+    let table = AliasTable::new(data.weights());
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut seen = vec![false; n];
+    let mut attempts = 0usize;
+    while chosen.len() < k && attempts < 20 * k + 100 {
+        attempts += 1;
+        let i = match &table {
+            Some(t) => t.sample(rng),
+            None => attempts % n,
+        };
+        if !seen[i] {
+            seen[i] = true;
+            chosen.push(i);
+        }
+    }
+    let mut centers = Points::empty(points.dim());
+    centers.reserve(chosen.len());
+    let mut min_sq = vec![f64::INFINITY; n];
+    let mut labels = vec![0usize; n];
+    for (ord, &i) in chosen.iter().enumerate() {
+        centers.push(points.row(i)).expect("dimensions match");
+        update_nearest(points, points.row(i), ord, &mut min_sq, &mut labels);
+    }
+    Seeding { centers, chosen, labels, min_sq }
+}
+
+/// Greedy k-means++: per round, draw `candidates` points by D^z and keep
+/// the one minimizing the resulting cost. `candidates = 1` degenerates to
+/// plain k-means++; the common default is `2 + ⌊ln k⌋`.
+pub fn greedy_kmeanspp<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &Dataset,
+    k: usize,
+    kind: CostKind,
+    candidates: usize,
+) -> Seeding {
+    assert!(k > 0, "k must be positive");
+    assert!(candidates > 0, "need at least one candidate per round");
+    assert!(!data.is_empty(), "cannot seed an empty dataset");
+    let n = data.len();
+    let points = data.points();
+    let weights = data.weights();
+
+    let first = AliasTable::new(weights).map(|t| t.sample(rng)).unwrap_or(0);
+    let mut centers = Points::empty(points.dim());
+    centers.reserve(k);
+    centers.push(points.row(first)).expect("dimensions match");
+    let mut chosen = vec![first];
+    let mut min_sq = vec![f64::INFINITY; n];
+    let mut labels = vec![0usize; n];
+    update_nearest(points, points.row(first), 0, &mut min_sq, &mut labels);
+
+    let mut scores = vec![0.0f64; n];
+    for round in 1..k {
+        for i in 0..n {
+            scores[i] = weights[i] * kind.from_sq(min_sq[i]);
+        }
+        let Some(table) = AliasTable::new(&scores) else {
+            break; // no residual mass: fewer than k distinct locations
+        };
+        // Evaluate each candidate's resulting cost without committing.
+        let mut best_candidate = usize::MAX;
+        let mut best_cost = f64::INFINITY;
+        for _ in 0..candidates {
+            let cand = table.sample(rng);
+            let c = points.row(cand);
+            let mut cost = 0.0;
+            for i in 0..n {
+                let d = fc_geom::distance::sq_dist(points.row(i), c).min(min_sq[i]);
+                cost += weights[i] * kind.from_sq(d);
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best_candidate = cand;
+            }
+        }
+        if best_candidate == usize::MAX {
+            break;
+        }
+        centers.push(points.row(best_candidate)).expect("dimensions match");
+        chosen.push(best_candidate);
+        update_nearest(points, points.row(best_candidate), round, &mut min_sq, &mut labels);
+    }
+    Seeding { centers, chosen, labels, min_sq }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeanspp::kmeanspp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(13)
+    }
+
+    fn blobs() -> Dataset {
+        let mut flat = Vec::new();
+        for b in 0..5 {
+            for i in 0..60 {
+                flat.push(b as f64 * 100.0 + (i % 8) as f64 * 0.01);
+                flat.push((i / 8) as f64 * 0.01);
+            }
+        }
+        Dataset::from_flat(flat, 2).unwrap()
+    }
+
+    #[test]
+    fn random_seeding_returns_distinct_centers() {
+        let d = blobs();
+        let s = random_seeding(&mut rng(), &d, 10);
+        assert_eq!(s.chosen.len(), 10);
+        let mut c = s.chosen.clone();
+        c.sort_unstable();
+        c.dedup();
+        assert_eq!(c.len(), 10);
+        assert_eq!(s.labels.len(), d.len());
+    }
+
+    #[test]
+    fn random_seeding_handles_k_near_n() {
+        let d = Dataset::from_flat(vec![0.0, 1.0, 2.0], 1).unwrap();
+        let s = random_seeding(&mut rng(), &d, 3);
+        assert_eq!(s.chosen.len(), 3);
+        assert!(s.total_cost(d.weights(), CostKind::KMeans) < 1e-12);
+    }
+
+    #[test]
+    fn greedy_beats_or_matches_plain_seeding_on_average() {
+        let d = blobs();
+        let k = 5;
+        let mut r = rng();
+        let trials = 12;
+        let mut greedy_total = 0.0;
+        let mut plain_total = 0.0;
+        for _ in 0..trials {
+            let g = greedy_kmeanspp(&mut r, &d, k, CostKind::KMeans, 4);
+            let p = kmeanspp(&mut r, &d, k, CostKind::KMeans);
+            greedy_total += g.total_cost(d.weights(), CostKind::KMeans);
+            plain_total += p.total_cost(d.weights(), CostKind::KMeans);
+        }
+        assert!(
+            greedy_total <= plain_total * 1.05,
+            "greedy {greedy_total} should not lose to plain {plain_total}"
+        );
+    }
+
+    #[test]
+    fn greedy_with_one_candidate_is_valid_seeding() {
+        let d = blobs();
+        let s = greedy_kmeanspp(&mut rng(), &d, 5, CostKind::KMeans, 1);
+        assert_eq!(s.centers.len(), 5);
+        // Every label points to the nearest chosen center.
+        for (i, &l) in s.labels.iter().enumerate() {
+            let p = d.point(i);
+            let assigned = fc_geom::distance::sq_dist(p, s.centers.row(l));
+            assert!((assigned - s.min_sq[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_covers_separated_blobs() {
+        let d = blobs();
+        let mut r = rng();
+        for _ in 0..5 {
+            let s = greedy_kmeanspp(&mut r, &d, 5, CostKind::KMeans, 3);
+            let mut hit = [false; 5];
+            for &c in &s.chosen {
+                hit[c / 60] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "blob coverage {hit:?}");
+        }
+    }
+
+    #[test]
+    fn kmedian_greedy_uses_linear_scores() {
+        let d = blobs();
+        let s = greedy_kmeanspp(&mut rng(), &d, 3, CostKind::KMedian, 2);
+        assert_eq!(s.centers.len(), 3);
+        let cz = s.cost_z(CostKind::KMedian);
+        for (c, sq) in cz.iter().zip(&s.min_sq) {
+            assert!((c * c - sq).abs() < 1e-9);
+        }
+    }
+}

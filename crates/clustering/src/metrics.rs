@@ -1,0 +1,238 @@
+//! Clustering-quality metrics beyond the raw objective.
+//!
+//! The paper's downstream-task experiments compare solutions purely by
+//! `cost_z`; a production library also needs the standard internal quality
+//! indices, implemented here for *weighted* data (so they apply to coresets
+//! directly):
+//!
+//! - [`davies_bouldin`]: ratio of within-cluster scatter to between-center
+//!   separation (lower is better).
+//! - [`silhouette_sampled`]: mean silhouette coefficient over a weighted
+//!   point sample (the exact statistic is `O(n²)`; sampling keeps it usable
+//!   on compressed data).
+//! - [`cluster_profile`]: per-cluster weights/costs/radii in one pass.
+
+use fc_geom::dataset::Dataset;
+use fc_geom::distance::{dist, CostKind};
+use fc_geom::points::Points;
+use fc_geom::sampling::reservoir_indices;
+use rand::Rng;
+
+use crate::assign::Assignment;
+
+/// Per-cluster summary.
+#[derive(Debug, Clone)]
+pub struct ClusterProfile {
+    /// Total weight per cluster.
+    pub weights: Vec<f64>,
+    /// Weighted cost per cluster (`Σ w·dist^z` to the cluster center).
+    pub costs: Vec<f64>,
+    /// Maximum member distance per cluster ("radius").
+    pub radii: Vec<f64>,
+    /// Number of stored points per cluster.
+    pub counts: Vec<usize>,
+}
+
+/// Computes the per-cluster profile for an assignment.
+pub fn cluster_profile(
+    data: &Dataset,
+    assignment: &Assignment,
+    centers: &Points,
+    _kind: CostKind,
+) -> ClusterProfile {
+    let k = centers.len();
+    let mut weights = vec![0.0; k];
+    let mut costs = vec![0.0; k];
+    let mut radii = vec![0.0; k];
+    let mut counts = vec![0usize; k];
+    for (i, &l) in assignment.labels.iter().enumerate() {
+        let w = data.weight(i);
+        weights[l] += w;
+        costs[l] += w * assignment.cost_z[i];
+        counts[l] += 1;
+        let d = dist(data.point(i), centers.row(l));
+        if d > radii[l] {
+            radii[l] = d;
+        }
+    }
+    ClusterProfile { weights, costs, radii, counts }
+}
+
+/// Davies–Bouldin index: `1/k Σ_i max_{j≠i} (s_i + s_j)/d(c_i, c_j)` where
+/// `s_i` is cluster `i`'s mean (weighted) distance to its center. Lower is
+/// better; 0 only for degenerate singleton clusters. Empty clusters are
+/// skipped.
+pub fn davies_bouldin(data: &Dataset, assignment: &Assignment, centers: &Points) -> f64 {
+    let k = centers.len();
+    let mut weight = vec![0.0; k];
+    let mut scatter = vec![0.0; k];
+    for (i, &l) in assignment.labels.iter().enumerate() {
+        let w = data.weight(i);
+        weight[l] += w;
+        scatter[l] += w * dist(data.point(i), centers.row(l));
+    }
+    let live: Vec<usize> = (0..k).filter(|&j| weight[j] > 0.0).collect();
+    if live.len() < 2 {
+        return 0.0;
+    }
+    for &j in &live {
+        scatter[j] /= weight[j];
+    }
+    let mut total = 0.0;
+    for &i in &live {
+        let mut worst: f64 = 0.0;
+        for &j in &live {
+            if i == j {
+                continue;
+            }
+            let sep = dist(centers.row(i), centers.row(j));
+            if sep > 0.0 {
+                worst = worst.max((scatter[i] + scatter[j]) / sep);
+            }
+        }
+        total += worst;
+    }
+    total / live.len() as f64
+}
+
+/// Mean silhouette coefficient estimated on a uniform sample of at most
+/// `sample` stored points. For each sampled point: `a` = mean weighted
+/// distance to its own cluster, `b` = smallest mean weighted distance to
+/// another cluster, silhouette `= (b − a)/max(a, b)`. Returns 0 when fewer
+/// than two clusters are populated.
+pub fn silhouette_sampled<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &Dataset,
+    assignment: &Assignment,
+    k: usize,
+    sample: usize,
+) -> f64 {
+    let n = data.len();
+    if n == 0 || k < 2 {
+        return 0.0;
+    }
+    let mut cluster_weight = vec![0.0; k];
+    for (i, &l) in assignment.labels.iter().enumerate() {
+        cluster_weight[l] += data.weight(i);
+    }
+    if cluster_weight.iter().filter(|&&w| w > 0.0).count() < 2 {
+        return 0.0;
+    }
+    let chosen = reservoir_indices(rng, n, sample.max(1));
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    let mut sums = vec![0.0f64; k];
+    for &i in &chosen {
+        let own = assignment.labels[i];
+        if cluster_weight[own] <= data.weight(i) {
+            continue; // singleton by weight: silhouette undefined
+        }
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            sums[assignment.labels[j]] += data.weight(j) * dist(data.point(i), data.point(j));
+        }
+        let a = sums[own] / (cluster_weight[own] - data.weight(i));
+        let mut b = f64::INFINITY;
+        for c in 0..k {
+            if c != own && cluster_weight[c] > 0.0 {
+                b = b.min(sums[c] / cluster_weight[c]);
+            }
+        }
+        if !b.is_finite() {
+            continue;
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::assign;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs(sep: f64) -> (Dataset, Points, Assignment) {
+        let mut flat = Vec::new();
+        for i in 0..40 {
+            flat.push((i % 5) as f64 * 0.1);
+            flat.push((i / 5) as f64 * 0.1);
+        }
+        for i in 0..40 {
+            flat.push(sep + (i % 5) as f64 * 0.1);
+            flat.push((i / 5) as f64 * 0.1);
+        }
+        let d = Dataset::from_flat(flat, 2).unwrap();
+        let centers = Points::from_flat(vec![0.2, 0.35, sep + 0.2, 0.35], 2).unwrap();
+        let a = assign(d.points(), &centers, CostKind::KMeans);
+        (d, centers, a)
+    }
+
+    #[test]
+    fn profile_accounts_for_everything() {
+        let (d, centers, a) = two_blobs(100.0);
+        let p = cluster_profile(&d, &a, &centers, CostKind::KMeans);
+        assert_eq!(p.counts, vec![40, 40]);
+        assert!((p.weights.iter().sum::<f64>() - 80.0).abs() < 1e-12);
+        let direct = a.total_cost(d.weights());
+        assert!((p.costs.iter().sum::<f64>() - direct).abs() < 1e-9);
+        assert!(p.radii.iter().all(|&r| r < 1.0));
+    }
+
+    #[test]
+    fn davies_bouldin_improves_with_separation() {
+        let (d1, c1, a1) = two_blobs(2.0);
+        let (d2, c2, a2) = two_blobs(200.0);
+        let near = davies_bouldin(&d1, &a1, &c1);
+        let far = davies_bouldin(&d2, &a2, &c2);
+        assert!(far < near, "DB far {far} should beat near {near}");
+        assert!(far < 0.05, "far-separated blobs: DB {far}");
+    }
+
+    #[test]
+    fn davies_bouldin_degenerate_cases() {
+        let (d, _, a) = two_blobs(10.0);
+        let single = Points::from_flat(vec![0.0, 0.0], 2).unwrap();
+        let a_single = assign(d.points(), &single, CostKind::KMeans);
+        assert_eq!(davies_bouldin(&d, &a_single, &single), 0.0);
+        let _ = a;
+    }
+
+    #[test]
+    fn silhouette_near_one_for_separated_blobs() {
+        let (d, _, a) = two_blobs(500.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = silhouette_sampled(&mut rng, &d, &a, 2, 30);
+        assert!(s > 0.9, "silhouette {s} for far blobs");
+    }
+
+    #[test]
+    fn silhouette_low_for_overlapping_blobs() {
+        let (d, _, a) = two_blobs(0.05);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = silhouette_sampled(&mut rng, &d, &a, 2, 30);
+        assert!(s < 0.5, "silhouette {s} for overlapping blobs");
+    }
+
+    #[test]
+    fn silhouette_handles_single_cluster() {
+        let (d, _, a) = two_blobs(10.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Pretend k = 1: no second cluster to compare against.
+        let labels = vec![0usize; d.len()];
+        let a1 = Assignment { labels, cost_z: a.cost_z.clone() };
+        assert_eq!(silhouette_sampled(&mut rng, &d, &a1, 1, 10), 0.0);
+    }
+}

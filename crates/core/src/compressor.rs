@@ -1,0 +1,59 @@
+//! The uniform API over every compression method in the evaluation.
+
+use fc_clustering::CostKind;
+use fc_geom::Dataset;
+use rand::RngCore;
+
+use crate::coreset::Coreset;
+
+/// Parameters shared by all compressors.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressionParams {
+    /// Number of clusters the compression should support.
+    pub k: usize,
+    /// Target coreset size (the paper uses `m = m_scalar · k`).
+    pub m: usize,
+    /// Objective: k-means (`z = 2`) or k-median (`z = 1`).
+    pub kind: CostKind,
+}
+
+impl CompressionParams {
+    /// Standard parameterization `m = m_scalar · k` (Section 5.2 defaults to
+    /// `m_scalar = 40`).
+    pub fn with_scalar(k: usize, m_scalar: usize, kind: CostKind) -> Self {
+        Self { k, m: m_scalar * k, kind }
+    }
+}
+
+/// A point-set compressor: uniform sampling, the coreset family, or any
+/// future strategy. Object-safe so suites of methods can be iterated and the
+/// streaming layer can compose them as black boxes (Section 5.4).
+pub trait Compressor: Send + Sync {
+    /// Short display name used by the experiment tables.
+    fn name(&self) -> &str;
+
+    /// Compresses `data` to (about) `params.m` weighted points.
+    fn compress(
+        &self,
+        rng: &mut dyn RngCore,
+        data: &Dataset,
+        params: &CompressionParams,
+    ) -> Coreset;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_scalar_multiplies() {
+        let p = CompressionParams::with_scalar(100, 40, CostKind::KMeans);
+        assert_eq!(p.m, 4000);
+        assert_eq!(p.k, 100);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_boxed(_: Box<dyn Compressor>) {}
+    }
+}

@@ -1,0 +1,96 @@
+//! The coreset type: a weighted point set standing in for the full data.
+
+use fc_clustering::CostKind;
+use fc_geom::{Dataset, Points};
+
+/// A compression `(Ω, w)` of some dataset (Definition 2.1 when produced by a
+/// strong-coreset method; merely a weighted sample otherwise).
+#[derive(Debug, Clone)]
+pub struct Coreset {
+    data: Dataset,
+}
+
+impl Coreset {
+    /// Wraps a weighted dataset as a coreset.
+    pub fn new(data: Dataset) -> Self {
+        Self { data }
+    }
+
+    /// Number of stored (distinct) points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the coreset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying weighted dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Consumes the coreset, returning the weighted dataset.
+    pub fn into_dataset(self) -> Dataset {
+        self.data
+    }
+
+    /// Total weight — for an unbiased compression this estimates `|P|`
+    /// (or the total input weight).
+    pub fn total_weight(&self) -> f64 {
+        self.data.total_weight()
+    }
+
+    /// Prices a candidate solution on the coreset: `Σ_{p∈Ω} w_p dist(p,C)^z`.
+    pub fn cost(&self, centers: &Points, kind: CostKind) -> f64 {
+        fc_clustering::cost::cost(&self.data, centers, kind)
+    }
+
+    /// Coreset union: the defining composability property (Section 2.3) —
+    /// if `Ω₁` is a coreset for `P₁` and `Ω₂` for `P₂`, then `Ω₁ ∪ Ω₂` is a
+    /// coreset for `P₁ ∪ P₂`. The workhorse of merge-&-reduce and MapReduce
+    /// aggregation.
+    pub fn union(&self, other: &Coreset) -> Result<Coreset, fc_geom::GeomError> {
+        Ok(Coreset { data: self.data.concat(&other.data)? })
+    }
+}
+
+impl From<Dataset> for Coreset {
+    fn from(data: Dataset) -> Self {
+        Coreset::new(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coreset(flat: Vec<f64>, weights: Vec<f64>) -> Coreset {
+        let p = Points::from_flat(flat, 2).unwrap();
+        Coreset::new(Dataset::weighted(p, weights).unwrap())
+    }
+
+    #[test]
+    fn cost_uses_weights() {
+        let c = coreset(vec![0.0, 0.0, 1.0, 0.0], vec![10.0, 1.0]);
+        let centers = Points::from_flat(vec![0.0, 0.0], 2).unwrap();
+        assert!((c.cost(&centers, CostKind::KMeans) - 1.0).abs() < 1e-12);
+        assert!((c.total_weight() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let a = coreset(vec![0.0, 0.0], vec![2.0]);
+        let b = coreset(vec![1.0, 1.0], vec![3.0]);
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 2);
+        assert!((u.total_weight() - 5.0).abs() < 1e-12);
+        // Union cost = sum of part costs for any solution.
+        let centers = Points::from_flat(vec![0.5, 0.5], 2).unwrap();
+        let direct = u.cost(&centers, CostKind::KMedian);
+        let parts =
+            a.cost(&centers, CostKind::KMedian) + b.cost(&centers, CostKind::KMedian);
+        assert!((direct - parts).abs() < 1e-12);
+    }
+}

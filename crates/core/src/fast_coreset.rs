@@ -1,0 +1,299 @@
+//! **Fast-Coresets** — Algorithm 1 of the paper, end to end.
+//!
+//! ```text
+//! 1. Johnson–Lindenstrauss embed P into d̃ = O(log k) dimensions.
+//! 2. (optional, Section 4) Crude-Approx + Reduce-Spread so the quadtree
+//!    depth is O(log(poly(n, d, log Δ))) instead of O(log Δ).
+//! 3. Fast-kmeans++ on the quadtree: centers AND assignments in Õ(nd).
+//! 4. Per cluster C_i, the 1-mean (k-means) or 1-median (k-median) c_i,
+//!    computed in the ORIGINAL space R^d.
+//! 5. Sensitivity scores s(p) = dist^z(p, c_i)/cost(C_i, c_i) + 1/|C_i|.
+//! 6. Sample m points ∝ s with inverse-probability weights (optionally the
+//!    rebalanced weights of lines 7–8).
+//! ```
+//!
+//! The projection, tree and spread reduction only determine the *partition*;
+//! every quantity feeding the scores is computed on the original points, so
+//! geometric fidelity is never lost to the embedding (Corollary 3.2's
+//! argument: the partition is an `O(polylog k)`-approximation, and the
+//! coreset size compensates for the approximation factor).
+
+use fc_clustering::kmedian::{geometric_median, weighted_mean_of, WeiszfeldConfig};
+use fc_clustering::CostKind;
+use fc_geom::jl::{project_if_beneficial, target_dim_for_clustering, JlKind};
+use fc_geom::{Dataset, Points};
+use fc_quadtree::fast_kmeanspp::{fast_kmeanspp, FastSeedConfig};
+use fc_quadtree::spread::SpreadParams;
+use fc_quadtree::tree::{Quadtree, QuadtreeConfig};
+use rand::RngCore;
+
+use crate::compressor::{CompressionParams, Compressor};
+use crate::coreset::Coreset;
+use crate::sampling::{importance_sample, importance_sample_rebalanced, WeightMode};
+use crate::sensitivity::sensitivity_scores;
+
+/// Configuration of the Fast-Coreset pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct FastCoresetConfig {
+    /// Apply Johnson–Lindenstrauss when the input dimension exceeds the
+    /// `O(log k)` target (the paper enables this only for high-dimensional
+    /// data such as MNIST).
+    pub use_jl: bool,
+    /// Distortion parameter of the JL target dimension.
+    pub jl_eps: f64,
+    /// Run Crude-Approx + Reduce-Spread before building the tree
+    /// (Section 4; removes the `log Δ` runtime dependence).
+    pub reduce_spread: bool,
+    /// Weight finalization (plain inverse-probability vs. the rebalanced
+    /// weights of Algorithm 1 lines 7–8).
+    pub weight_mode: WeightMode,
+    /// Quadtree depth cap.
+    pub tree: QuadtreeConfig,
+    /// Tree-sampler retry budget.
+    pub seeding: FastSeedConfig,
+}
+
+impl Default for FastCoresetConfig {
+    fn default() -> Self {
+        Self {
+            use_jl: true,
+            jl_eps: 0.5,
+            reduce_spread: true,
+            weight_mode: WeightMode::Unbiased,
+            tree: QuadtreeConfig::default(),
+            seeding: FastSeedConfig::default(),
+        }
+    }
+}
+
+/// The Fast-Coreset compressor (Algorithm 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastCoreset {
+    /// Pipeline configuration.
+    pub config: FastCoresetConfig,
+}
+
+impl FastCoreset {
+    /// Creates a Fast-Coreset compressor with an explicit configuration.
+    pub fn with_config(config: FastCoresetConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs steps 1–4 only: the partition (labels), the per-cluster centers
+    /// in the original space, and the per-point `dist^z` to those centers.
+    /// Exposed so benches can time the seeding separately from the sampling.
+    pub fn partition(
+        &self,
+        rng: &mut dyn RngCore,
+        data: &Dataset,
+        params: &CompressionParams,
+    ) -> (Vec<usize>, Points, Vec<f64>) {
+        let cfg = &self.config;
+        // Step 1: dimension reduction for the embedding only.
+        let working = if cfg.use_jl {
+            let target = target_dim_for_clustering(params.k, cfg.jl_eps);
+            project_if_beneficial(rng, data.points(), target, JlKind::SparseAchlioptas)
+        } else {
+            data.points().clone()
+        };
+        // Step 2: spread reduction — affects only the tree's geometry.
+        let working = if cfg.reduce_spread {
+            let bound = fc_quadtree::crude::crude_approx(
+                rng,
+                &working,
+                params.k,
+                params.kind,
+                data.total_weight(),
+            );
+            let sp = SpreadParams::practical(data.len(), working.dim());
+            let (reduced, _map) = fc_quadtree::spread::reduce_spread(rng, &working, bound.upper, sp);
+            reduced
+        } else {
+            working
+        };
+        // Step 3: tree-metric seeding → partition.
+        let tree = Quadtree::build(rng, &working, cfg.tree);
+        let seeding = fast_kmeanspp(rng, data, &tree, params.k, params.kind, cfg.seeding);
+        let k_eff = seeding.k();
+
+        // Step 4: per-cluster 1-mean / 1-median in the ORIGINAL space.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k_eff];
+        for (i, &l) in seeding.labels.iter().enumerate() {
+            members[l].push(i);
+        }
+        let mut centers = Points::empty(data.dim());
+        centers.reserve(k_eff);
+        for cluster in &members {
+            let c = match params.kind {
+                CostKind::KMeans => weighted_mean_of(data.points(), data.weights(), cluster),
+                CostKind::KMedian => geometric_median(
+                    data.points(),
+                    data.weights(),
+                    cluster,
+                    WeiszfeldConfig::default(),
+                ),
+            };
+            centers.push(&c).expect("center has data dimension");
+        }
+        // Step 5 input: dist^z from each point to its cluster center.
+        let cost_z: Vec<f64> = data
+            .points()
+            .iter()
+            .zip(&seeding.labels)
+            .map(|(p, &l)| params.kind.from_sq(fc_geom::distance::sq_dist(p, centers.row(l))))
+            .collect();
+        (seeding.labels, centers, cost_z)
+    }
+}
+
+impl Compressor for FastCoreset {
+    fn name(&self) -> &str {
+        "fast-coreset"
+    }
+
+    fn compress(
+        &self,
+        rng: &mut dyn RngCore,
+        data: &Dataset,
+        params: &CompressionParams,
+    ) -> Coreset {
+        assert!(!data.is_empty(), "cannot compress an empty dataset");
+        if params.m >= data.len() {
+            return Coreset::new(data.clone());
+        }
+        let (labels, centers, cost_z) = self.partition(rng, data, params);
+        let scores = sensitivity_scores(&labels, &cost_z, data.weights(), centers.len());
+        match self.config.weight_mode {
+            WeightMode::Unbiased => importance_sample(rng, data, &scores, params.m),
+            WeightMode::Rebalanced { epsilon } => importance_sample_rebalanced(
+                rng, data, &scores, &labels, &centers, params.m, epsilon,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    fn blobs(sizes: &[usize], gap: f64) -> Dataset {
+        let mut flat = Vec::new();
+        for (b, &s) in sizes.iter().enumerate() {
+            for i in 0..s {
+                flat.push(b as f64 * gap + (i % 10) as f64 * 0.001);
+                flat.push((i / 10 % 10) as f64 * 0.001);
+            }
+        }
+        Dataset::from_flat(flat, 2).unwrap()
+    }
+
+    #[test]
+    fn produces_at_most_m_points_with_near_input_weight() {
+        let d = blobs(&[2000, 2000, 2000], 100.0);
+        let params = CompressionParams { k: 3, m: 300, kind: CostKind::KMeans };
+        let mut r = rng();
+        let c = FastCoreset::default().compress(&mut r, &d, &params);
+        assert!(c.len() <= 300);
+        let rel = (c.total_weight() - d.total_weight()).abs() / d.total_weight();
+        assert!(rel < 0.2, "total weight off by {rel}");
+    }
+
+    #[test]
+    fn captures_tiny_far_cluster_unlike_uniform() {
+        let d = blobs(&[9_000, 30], 5_000.0);
+        let params = CompressionParams { k: 2, m: 150, kind: CostKind::KMeans };
+        let mut r = rng();
+        let mut hits = 0;
+        for _ in 0..10 {
+            let c = FastCoreset::default().compress(&mut r, &d, &params);
+            if c.dataset().points().iter().any(|p| p[0] > 1_000.0) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 9, "tiny cluster captured only {hits}/10 times");
+    }
+
+    #[test]
+    fn coreset_prices_candidate_solutions_well() {
+        let d = blobs(&[3_000, 3_000], 1_000.0);
+        let params = CompressionParams { k: 2, m: 500, kind: CostKind::KMeans };
+        let mut r = rng();
+        let c = FastCoreset::default().compress(&mut r, &d, &params);
+        for centers in [
+            Points::from_flat(vec![0.0, 0.0, 1_000.0, 0.0], 2).unwrap(),
+            Points::from_flat(vec![500.0, 0.0, -500.0, 0.0], 2).unwrap(),
+            Points::from_flat(vec![0.0, 50.0, 900.0, -50.0], 2).unwrap(),
+        ] {
+            let full = fc_clustering::cost::cost(&d, &centers, CostKind::KMeans);
+            let comp = c.cost(&centers, CostKind::KMeans);
+            let ratio = (full / comp).max(comp / full);
+            assert!(ratio < 1.6, "ratio {ratio} for centers {:?}", centers.row(0));
+        }
+    }
+
+    #[test]
+    fn kmedian_variant_works() {
+        let d = blobs(&[2_000, 2_000], 500.0);
+        let params = CompressionParams { k: 2, m: 300, kind: CostKind::KMedian };
+        let mut r = rng();
+        let c = FastCoreset::default().compress(&mut r, &d, &params);
+        let centers = Points::from_flat(vec![0.0, 0.0, 500.0, 0.0], 2).unwrap();
+        let full = fc_clustering::cost::cost(&d, &centers, CostKind::KMedian);
+        let comp = c.cost(&centers, CostKind::KMedian);
+        let ratio = (full / comp).max(comp / full);
+        assert!(ratio < 1.6, "k-median ratio {ratio}");
+    }
+
+    #[test]
+    fn all_pipeline_variants_run() {
+        let d = blobs(&[500, 500], 100.0);
+        let params = CompressionParams { k: 2, m: 100, kind: CostKind::KMeans };
+        let mut r = rng();
+        for use_jl in [false, true] {
+            for reduce_spread in [false, true] {
+                for weight_mode in
+                    [WeightMode::Unbiased, WeightMode::Rebalanced { epsilon: 0.1 }]
+                {
+                    let cfg = FastCoresetConfig { use_jl, reduce_spread, weight_mode, ..Default::default() };
+                    let c = FastCoreset::with_config(cfg).compress(&mut r, &d, &params);
+                    assert!(!c.is_empty());
+                    assert!(c.total_weight() > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn m_geq_n_returns_input() {
+        let d = blobs(&[50], 1.0);
+        let params = CompressionParams { k: 2, m: 100, kind: CostKind::KMeans };
+        let mut r = rng();
+        let c = FastCoreset::default().compress(&mut r, &d, &params);
+        assert_eq!(c.dataset(), &d);
+    }
+
+    #[test]
+    fn partition_centers_live_in_original_space() {
+        // Even with JL enabled, step 4's centers must be d-dimensional.
+        let mut flat = Vec::new();
+        for i in 0..200 {
+            for j in 0..64 {
+                flat.push(((i * 64 + j) % 17) as f64);
+            }
+        }
+        let d = Dataset::from_flat(flat, 64).unwrap();
+        let params = CompressionParams { k: 4, m: 50, kind: CostKind::KMeans };
+        let mut r = rng();
+        let (labels, centers, cost_z) = FastCoreset::default().partition(&mut r, &d, &params);
+        assert_eq!(centers.dim(), 64);
+        assert_eq!(labels.len(), 200);
+        assert_eq!(cost_z.len(), 200);
+        assert!(labels.iter().all(|&l| l < centers.len()));
+    }
+}

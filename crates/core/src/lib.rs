@@ -1,0 +1,39 @@
+//! The paper's primary contribution: near-linear-time strong coresets for
+//! k-means and k-median, plus the entire speed/accuracy spectrum of sampling
+//! compressors the evaluation section compares.
+//!
+//! - [`coreset::Coreset`]: a weighted subset `(Ω, w)` approximating
+//!   `cost_z(P, C)` for *every* candidate solution `C` (Definition 2.1).
+//! - [`sensitivity`]: the importance scores of Eq. (1) — the upper bound on
+//!   true sensitivities from an `α`-approximate solution [37].
+//! - [`sampling`]: importance sampling with inverse-probability weights, with
+//!   the optional per-cluster rebalancing of Algorithm 1 lines 7–8.
+//! - [`methods`]: the benchmark suite of §5.2 — uniform sampling, lightweight
+//!   coresets (`j = 1`) [6], welterweight coresets (`1 < j < k`), and
+//!   standard sensitivity sampling (`j = k`, `O(nk)` seeding) [47].
+//! - [`fast_coreset`]: **Algorithm 1** — JL projection → (optional)
+//!   spread reduction (Algorithms 2–3) → quadtree `Fast-kmeans++` →
+//!   sensitivity sampling, in `Õ(nd)` total.
+//! - [`distortion`]: the coreset distortion metric of [57] used throughout
+//!   the evaluation: solve on the coreset, price on both sets, report the
+//!   worst ratio.
+//! - [`compressor`]: the object-safe [`compressor::Compressor`] trait tying
+//!   all of the above into one API (also consumed by the streaming crate).
+
+pub mod compressor;
+pub mod coreset;
+pub mod distortion;
+pub mod evaluation;
+pub mod fast_coreset;
+pub mod methods;
+pub mod pipeline;
+pub mod sampling;
+pub mod sensitivity;
+
+pub use compressor::{CompressionParams, Compressor};
+pub use coreset::Coreset;
+pub use distortion::{distortion, solve_on_coreset, DistortionReport};
+pub use evaluation::{battery_distortion, BatteryReport};
+pub use fast_coreset::{FastCoreset, FastCoresetConfig};
+pub use methods::{Lightweight, StandardSensitivity, Uniform, Welterweight};
+pub use sampling::WeightMode;

@@ -1,0 +1,226 @@
+//! High-level compression pipeline: the "one obvious way" to use this
+//! library for the compress-then-cluster workflow the paper advocates.
+//!
+//! ```
+//! use fc_core::pipeline::{Method, Pipeline};
+//! use fc_clustering::CostKind;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let data = fc_geom::Dataset::from_flat((0..4000).map(f64::from).collect(), 2).unwrap();
+//! let outcome = Pipeline::new(5)
+//!     .kind(CostKind::KMeans)
+//!     .m_scalar(20)
+//!     .method(Method::FastCoreset)
+//!     .run(&mut rng, &data);
+//! assert!(outcome.coreset.len() <= 100);
+//! assert_eq!(outcome.solution.k(), 5);
+//! ```
+
+use fc_clustering::lloyd::LloydConfig;
+use fc_clustering::{CostKind, Solution};
+use fc_geom::Dataset;
+use rand::Rng;
+
+use crate::compressor::{CompressionParams, Compressor};
+use crate::coreset::Coreset;
+use crate::methods::{JCount, Lightweight, StandardSensitivity, Uniform, Welterweight};
+use crate::FastCoreset;
+
+/// The compression strategies selectable by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Uniform sampling (fastest, no guarantee).
+    Uniform,
+    /// Lightweight coresets (`j = 1`).
+    Lightweight,
+    /// Welterweight coresets with the given seeding-size policy.
+    Welterweight(JCount),
+    /// Standard sensitivity sampling (`Ω(nk)` seeding).
+    Sensitivity,
+    /// Fast-Coresets (Algorithm 1, `Õ(nd)`).
+    FastCoreset,
+}
+
+impl Method {
+    /// Materializes the compressor.
+    pub fn build(self) -> Box<dyn Compressor> {
+        match self {
+            Method::Uniform => Box::new(Uniform),
+            Method::Lightweight => Box::new(Lightweight),
+            Method::Welterweight(j) => Box::new(Welterweight::new(j)),
+            Method::Sensitivity => Box::new(StandardSensitivity::default()),
+            Method::FastCoreset => Box::new(FastCoreset::default()),
+        }
+    }
+}
+
+/// Builder for the compress-then-cluster pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    k: usize,
+    m_scalar: usize,
+    kind: CostKind,
+    method: Method,
+    lloyd: LloydConfig,
+    evaluate: bool,
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// The compression.
+    pub coreset: Coreset,
+    /// The solution computed on the compression.
+    pub solution: Solution,
+    /// `cost_z(P, solution)` — only priced when evaluation is enabled
+    /// (it costs a full pass over the data).
+    pub cost_on_data: Option<f64>,
+    /// The distortion metric, when evaluation is enabled.
+    pub distortion: Option<f64>,
+    /// Seconds spent compressing.
+    pub compress_secs: f64,
+    /// Seconds spent clustering the compression.
+    pub solve_secs: f64,
+}
+
+impl Pipeline {
+    /// A pipeline targeting `k` clusters with the paper's defaults
+    /// (`m = 40k`, k-means, Fast-Coresets, full evaluation).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            m_scalar: 40,
+            kind: CostKind::KMeans,
+            method: Method::FastCoreset,
+            lloyd: LloydConfig::default(),
+            evaluate: true,
+        }
+    }
+
+    /// Sets the objective (k-means / k-median).
+    pub fn kind(mut self, kind: CostKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the coreset size as a multiple of `k`.
+    pub fn m_scalar(mut self, m_scalar: usize) -> Self {
+        self.m_scalar = m_scalar.max(1);
+        self
+    }
+
+    /// Selects the compression method.
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Adjusts the refinement budget for the solve step.
+    pub fn lloyd(mut self, lloyd: LloydConfig) -> Self {
+        self.lloyd = lloyd;
+        self
+    }
+
+    /// Disables the full-data evaluation pass (for when the data is too
+    /// large to re-read, which is the whole point of compressing).
+    pub fn without_evaluation(mut self) -> Self {
+        self.evaluate = false;
+        self
+    }
+
+    /// Runs compress → solve (→ evaluate).
+    pub fn run<R: Rng>(&self, rng: &mut R, data: &Dataset) -> PipelineOutcome {
+        let params = CompressionParams::with_scalar(self.k, self.m_scalar, self.kind);
+        let compressor = self.method.build();
+
+        let t0 = std::time::Instant::now();
+        let coreset = compressor.compress(rng, data, &params);
+        let compress_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = std::time::Instant::now();
+        let solution =
+            fc_clustering::lloyd::solve(rng, coreset.dataset(), self.k, self.kind, self.lloyd);
+        let solve_secs = t1.elapsed().as_secs_f64();
+
+        let (cost_on_data, distortion) = if self.evaluate {
+            let cost_full = solution.cost_on(data, self.kind);
+            let cost_core = coreset.cost(&solution.centers, self.kind);
+            let distortion = if cost_full > 0.0 && cost_core > 0.0 {
+                (cost_full / cost_core).max(cost_core / cost_full)
+            } else if cost_full <= 0.0 && cost_core <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
+            (Some(cost_full), Some(distortion))
+        } else {
+            (None, None)
+        };
+
+        PipelineOutcome { coreset, solution, cost_on_data, distortion, compress_secs, solve_secs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs() -> Dataset {
+        let mut flat = Vec::new();
+        for b in 0..3 {
+            for i in 0..800 {
+                flat.push(b as f64 * 50.0 + (i % 20) as f64 * 0.01);
+                flat.push((i / 20) as f64 * 0.01);
+            }
+        }
+        Dataset::from_flat(flat, 2).unwrap()
+    }
+
+    #[test]
+    fn default_pipeline_produces_good_solution() {
+        let d = blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = Pipeline::new(3).run(&mut rng, &d);
+        assert!(out.coreset.len() <= 120);
+        assert_eq!(out.solution.k(), 3);
+        assert!(out.distortion.expect("evaluation on") < 1.5);
+        assert!(out.cost_on_data.expect("evaluation on") < 100.0);
+        assert!(out.compress_secs >= 0.0 && out.solve_secs >= 0.0);
+    }
+
+    #[test]
+    fn without_evaluation_skips_the_data_pass() {
+        let d = blobs();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = Pipeline::new(3).without_evaluation().run(&mut rng, &d);
+        assert!(out.cost_on_data.is_none());
+        assert!(out.distortion.is_none());
+    }
+
+    #[test]
+    fn every_method_variant_runs() {
+        let d = blobs();
+        for method in [
+            Method::Uniform,
+            Method::Lightweight,
+            Method::Welterweight(JCount::LogK),
+            Method::Sensitivity,
+            Method::FastCoreset,
+        ] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let out = Pipeline::new(3).method(method).m_scalar(20).run(&mut rng, &d);
+            assert!(out.distortion.expect("evaluation on").is_finite(), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn kmedian_pipeline_works() {
+        let d = blobs();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = Pipeline::new(3).kind(CostKind::KMedian).run(&mut rng, &d);
+        assert!(out.distortion.expect("evaluation on") < 1.5);
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's uniqueness noise: "In all real and artificial datasets, we
+//! add random uniform noise η with 0 ≤ η_i ≤ 0.001 in each dimension in
+//! order to make all points unique."
+
+use fc_geom::Points;
+use rand::Rng;
+
+/// Default noise amplitude used throughout the evaluation.
+pub const DEFAULT_NOISE: f64 = 0.001;
+
+/// Adds i.i.d. uniform noise in `[0, amplitude]` to every coordinate.
+pub fn add_uniform_noise<R: Rng + ?Sized>(rng: &mut R, points: &mut Points, amplitude: f64) {
+    assert!(amplitude >= 0.0, "noise amplitude must be non-negative");
+    for x in points.as_flat_mut() {
+        *x += rng.gen::<f64>() * amplitude;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_stays_in_band_and_makes_points_unique() {
+        let mut p = Points::zeros(100, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        add_uniform_noise(&mut rng, &mut p, DEFAULT_NOISE);
+        for x in p.as_flat() {
+            assert!((0.0..=DEFAULT_NOISE).contains(x));
+        }
+        // All previously identical points are now distinct.
+        let min = fc_geom::bbox::min_nonzero_distance(&p);
+        assert!(min.is_some());
+        for i in 0..p.len() {
+            for j in (i + 1)..p.len() {
+                assert_ne!(p.row(i), p.row(j), "rows {i},{j} still identical");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_is_identity() {
+        let mut p = Points::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        let orig = p.clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        add_uniform_noise(&mut rng, &mut p, 0.0);
+        assert_eq!(p, orig);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the dataset generators.
+
+use fc_data::registry::{available, generate, RegistryParams};
+use fc_data::synthetic::{c_outlier, gaussian_mixture, geometric, GaussianMixtureConfig};
+use fc_data::spread_stress::spread_stress;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gaussian_mixture_size_is_exact(
+        seed in any::<u64>(),
+        n in 100usize..3000,
+        kappa in 1usize..20,
+        gamma in 0.0f64..6.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = gaussian_mixture(
+            &mut rng,
+            GaussianMixtureConfig { n, d: 4, kappa, gamma, ..Default::default() },
+        );
+        prop_assert_eq!(d.len(), n);
+        prop_assert!(d.points().as_flat().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn c_outlier_outlier_count_is_exact(
+        seed in any::<u64>(),
+        n in 50usize..2000,
+        c in 1usize..20,
+    ) {
+        prop_assume!(c < n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = c_outlier(&mut rng, n, 6, c, 1e7);
+        prop_assert_eq!(d.len(), n);
+        let far = d
+            .points()
+            .iter()
+            .filter(|p| p.iter().map(|x| x * x).sum::<f64>().sqrt() > 1e6)
+            .count();
+        prop_assert_eq!(far, c);
+    }
+
+    #[test]
+    fn geometric_masses_halve(seed in any::<u64>(), c in 2usize..30, k in 2usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = geometric(&mut rng, c, k, 2.0, 8);
+        // Total is Σ ck/2^i ≈ 2ck.
+        let ck = c * k;
+        prop_assert!(d.len() >= ck, "fewer points than the first vertex");
+        prop_assert!(d.len() <= 2 * ck + 64, "len {} for ck {}", d.len(), ck);
+    }
+
+    #[test]
+    fn spread_stress_is_always_n_points(
+        seed in any::<u64>(),
+        n in 100usize..2000,
+        r in 1usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_prime = n / 4;
+        let d = spread_stress(&mut rng, n, n_prime, r);
+        prop_assert_eq!(d.len(), n);
+        prop_assert_eq!(d.dim(), 2);
+        prop_assert!(d.points().as_flat().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn registry_generators_are_deterministic(seed in any::<u64>()) {
+        let params = RegistryParams { n: 500, k: 8, scale: 0.002, gamma: 1.0 };
+        for name in available() {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let a = generate(&mut r1, name, &params).unwrap();
+            let b = generate(&mut r2, name, &params).unwrap();
+            prop_assert_eq!(a, b, "{} not deterministic", name);
+        }
+    }
+}

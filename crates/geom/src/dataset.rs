@@ -1,0 +1,242 @@
+//! Weighted datasets.
+//!
+//! Every compressor in this workspace consumes and produces a [`Dataset`]:
+//! points plus a non-negative weight per point. Raw input data has unit
+//! weights; coresets carry the importance-sampling weights; merge-&-reduce
+//! feeds coresets back through compressors, which is why weights are a
+//! first-class part of the data model rather than an afterthought.
+
+use crate::error::GeomError;
+use crate::points::Points;
+
+/// A weighted point set: the universal input/output of compression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    points: Points,
+    weights: Vec<f64>,
+}
+
+impl Dataset {
+    /// Wraps points with unit weights.
+    pub fn unweighted(points: Points) -> Self {
+        let weights = vec![1.0; points.len()];
+        Self { points, weights }
+    }
+
+    /// Wraps points with explicit weights, validating length and values.
+    pub fn weighted(points: Points, weights: Vec<f64>) -> Result<Self, GeomError> {
+        if weights.len() != points.len() {
+            return Err(GeomError::WeightLengthMismatch {
+                points: points.len(),
+                weights: weights.len(),
+            });
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(GeomError::InvalidWeight { index: i, value: w });
+            }
+        }
+        Ok(Self { points, weights })
+    }
+
+    /// Builds a dataset from a flat buffer with unit weights.
+    pub fn from_flat(data: Vec<f64>, dim: usize) -> Result<Self, GeomError> {
+        Ok(Self::unweighted(Points::from_flat(data, dim)?))
+    }
+
+    /// Number of (distinct stored) points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Point dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    /// Borrow the point store.
+    #[inline]
+    pub fn points(&self) -> &Points {
+        &self.points
+    }
+
+    /// Borrow point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        self.points.row(i)
+    }
+
+    /// Borrow the weight vector.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Weight of point `i`.
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Total weight (`n` for raw unweighted data).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Decomposes into `(points, weights)`.
+    pub fn into_parts(self) -> (Points, Vec<f64>) {
+        (self.points, self.weights)
+    }
+
+    /// Gathers rows at `indices` (duplicates allowed) with the given weights.
+    pub fn gather(&self, indices: &[usize], weights: Vec<f64>) -> Result<Dataset, GeomError> {
+        Dataset::weighted(self.points.gather(indices), weights)
+    }
+
+    /// Concatenates two datasets (used by merge-&-reduce and coreset union).
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, GeomError> {
+        let mut points = self.points.clone();
+        points.extend(&other.points)?;
+        let mut weights = self.weights.clone();
+        weights.extend_from_slice(&other.weights);
+        Ok(Dataset { points, weights })
+    }
+
+    /// Splits into contiguous batches of at most `batch` points, preserving
+    /// order — the stream abstraction used by the streaming experiments.
+    pub fn chunks(&self, batch: usize) -> Vec<Dataset> {
+        assert!(batch > 0, "batch size must be positive");
+        let n = self.len();
+        let dim = self.dim();
+        let mut out = Vec::with_capacity(n.div_ceil(batch));
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch).min(n);
+            let data = self.points.as_flat()[start * dim..end * dim].to_vec();
+            let weights = self.weights[start..end].to_vec();
+            out.push(Dataset {
+                points: Points::from_flat(data, dim).expect("chunk buffer is rectangular"),
+                weights,
+            });
+            start = end;
+        }
+        out
+    }
+
+    /// The weighted mean of the dataset (the 1-mean solution).
+    ///
+    /// Returns `None` for an empty dataset or zero total weight.
+    pub fn weighted_mean(&self) -> Option<Vec<f64>> {
+        let total = self.total_weight();
+        if self.is_empty() || total <= 0.0 {
+            return None;
+        }
+        let dim = self.dim();
+        let mut mean = vec![0.0; dim];
+        for (row, &w) in self.points.iter().zip(&self.weights) {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += w * x;
+            }
+        }
+        for m in &mut mean {
+            *m /= total;
+        }
+        Some(mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_flat(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0], 2).unwrap()
+    }
+
+    #[test]
+    fn unweighted_has_unit_weights() {
+        let d = sample();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.weights(), &[1.0; 4]);
+        assert!((d.total_weight() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_validates() {
+        let p = Points::from_flat(vec![0.0, 1.0], 1).unwrap();
+        assert!(Dataset::weighted(p.clone(), vec![1.0]).is_err());
+        assert!(matches!(
+            Dataset::weighted(p.clone(), vec![1.0, -2.0]),
+            Err(GeomError::InvalidWeight { index: 1, .. })
+        ));
+        assert!(matches!(
+            Dataset::weighted(p.clone(), vec![1.0, f64::NAN]),
+            Err(GeomError::InvalidWeight { index: 1, .. })
+        ));
+        assert!(Dataset::weighted(p, vec![1.0, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn concat_joins_points_and_weights() {
+        let a = sample();
+        let b = Dataset::weighted(
+            Points::from_flat(vec![5.0, 5.0], 2).unwrap(),
+            vec![3.0],
+        )
+        .unwrap();
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.point(4), &[5.0, 5.0]);
+        assert_eq!(c.weight(4), 3.0);
+        let wrong_dim = Dataset::from_flat(vec![1.0], 1).unwrap();
+        assert!(a.concat(&wrong_dim).is_err());
+    }
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let d = sample();
+        let chunks = d.chunks(3);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len(), 3);
+        assert_eq!(chunks[1].len(), 1);
+        assert_eq!(chunks[1].point(0), &[1.0, 1.0]);
+        let whole = chunks[0].concat(&chunks[1]).unwrap();
+        assert_eq!(whole, d);
+    }
+
+    #[test]
+    fn weighted_mean_matches_hand_computation() {
+        let p = Points::from_flat(vec![0.0, 0.0, 2.0, 0.0], 2).unwrap();
+        let d = Dataset::weighted(p, vec![1.0, 3.0]).unwrap();
+        let mean = d.weighted_mean().unwrap();
+        assert!((mean[0] - 1.5).abs() < 1e-12);
+        assert!((mean[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_empty_or_zero_weight_is_none() {
+        let empty = Dataset::unweighted(Points::empty(2));
+        assert!(empty.weighted_mean().is_none());
+        let p = Points::from_flat(vec![1.0, 2.0], 2).unwrap();
+        let zero = Dataset::weighted(p, vec![0.0]).unwrap();
+        assert!(zero.weighted_mean().is_none());
+    }
+
+    #[test]
+    fn gather_with_weights() {
+        let d = sample();
+        let g = d.gather(&[3, 3], vec![2.0, 0.5]).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.point(0), &[1.0, 1.0]);
+        assert_eq!(g.weight(1), 0.5);
+        assert!(d.gather(&[0], vec![1.0, 1.0]).is_err());
+    }
+}

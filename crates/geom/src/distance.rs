@@ -1,0 +1,170 @@
+//! Euclidean distance kernels for `(k, z)`-clustering.
+//!
+//! The paper studies `cost_z(P, C) = Σ_p w_p · dist(p, C)^z` with `z = 1`
+//! (k-median) and `z = 2` (k-means). Everything hot in this workspace reduces
+//! to squared-Euclidean evaluations over contiguous `f64` slices, so the
+//! kernels here are written to auto-vectorize (no bounds checks in the inner
+//! loop thanks to `zip`).
+
+/// The power `z` applied to distances in the clustering objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostKind {
+    /// `z = 1`: sum of distances (k-median).
+    KMedian,
+    /// `z = 2`: sum of squared distances (k-means).
+    KMeans,
+}
+
+impl CostKind {
+    /// The exponent `z` as a float.
+    #[inline]
+    pub fn z(self) -> f64 {
+        match self {
+            CostKind::KMedian => 1.0,
+            CostKind::KMeans => 2.0,
+        }
+    }
+
+    /// Converts a squared distance to `dist^z`.
+    #[inline]
+    pub fn from_sq(self, sq: f64) -> f64 {
+        match self {
+            CostKind::KMedian => sq.sqrt(),
+            CostKind::KMeans => sq,
+        }
+    }
+
+    /// Raises a plain distance to the `z`-th power.
+    #[inline]
+    pub fn from_dist(self, d: f64) -> f64 {
+        match self {
+            CostKind::KMedian => d,
+            CostKind::KMeans => d * d,
+        }
+    }
+}
+
+/// Squared Euclidean distance between two points of equal dimension.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Squared distance with an early-exit bound: returns `None` as soon as the
+/// running sum exceeds `bound`. Used by nearest-center assignment to prune
+/// candidates that cannot beat the incumbent (the classic "partial distance"
+/// trick; on high-dimensional data this saves most of the work).
+#[inline]
+pub fn sq_dist_bounded(a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    // Process in blocks of 8 so the bound check does not defeat vectorization.
+    let mut chunks_a = a.chunks_exact(8);
+    let mut chunks_b = b.chunks_exact(8);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for (&x, &y) in ca.iter().zip(cb) {
+            let d = x - y;
+            acc += d * d;
+        }
+        if acc > bound {
+            return None;
+        }
+    }
+    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    if acc > bound {
+        None
+    } else {
+        Some(acc)
+    }
+}
+
+/// Squared distance from `p` to its nearest point in `centers` (a flat
+/// row-major buffer of `k` rows), together with the index of that point.
+///
+/// `centers` must be non-empty.
+#[inline]
+pub fn nearest_sq(p: &[f64], centers: &[f64], dim: usize) -> (usize, f64) {
+    debug_assert!(!centers.is_empty());
+    let mut best = f64::INFINITY;
+    let mut best_idx = 0;
+    for (j, c) in centers.chunks_exact(dim).enumerate() {
+        if let Some(d) = sq_dist_bounded(p, c, best) {
+            if d < best {
+                best = d;
+                best_idx = j;
+            }
+        }
+    }
+    (best_idx, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sq_dist_basic() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_when_within() {
+        let a: Vec<f64> = (0..37).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..37).map(|i| (i as f64).sin()).collect();
+        let exact = sq_dist(&a, &b);
+        assert_eq!(sq_dist_bounded(&a, &b, exact + 1.0), Some(exact));
+        assert_eq!(sq_dist_bounded(&a, &b, exact), Some(exact));
+    }
+
+    #[test]
+    fn bounded_prunes_when_exceeding() {
+        let a = vec![0.0; 64];
+        let b = vec![1.0; 64];
+        // True squared distance is 64; any bound below that must prune.
+        assert_eq!(sq_dist_bounded(&a, &b, 10.0), None);
+        assert_eq!(sq_dist_bounded(&a, &b, 63.999), None);
+    }
+
+    #[test]
+    fn nearest_sq_finds_argmin() {
+        let centers = vec![0.0, 0.0, 10.0, 10.0, 1.0, 1.0];
+        let (idx, d) = nearest_sq(&[1.2, 1.2], &centers, 2);
+        assert_eq!(idx, 2);
+        assert!((d - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_sq_single_center() {
+        let centers = vec![5.0, 5.0];
+        let (idx, d) = nearest_sq(&[5.0, 5.0], &centers, 2);
+        assert_eq!(idx, 0);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn cost_kind_conversions() {
+        assert_eq!(CostKind::KMeans.from_sq(9.0), 9.0);
+        assert_eq!(CostKind::KMedian.from_sq(9.0), 3.0);
+        assert_eq!(CostKind::KMeans.from_dist(3.0), 9.0);
+        assert_eq!(CostKind::KMedian.from_dist(3.0), 3.0);
+        assert_eq!(CostKind::KMeans.z(), 2.0);
+        assert_eq!(CostKind::KMedian.z(), 1.0);
+    }
+}

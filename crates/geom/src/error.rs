@@ -1,0 +1,67 @@
+//! Error type shared by the geometric substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or transforming geometric data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeomError {
+    /// A point with a dimensionality different from the store's was supplied.
+    DimensionMismatch { expected: usize, got: usize },
+    /// The flat buffer length is not a multiple of the dimension.
+    RaggedBuffer { len: usize, dim: usize },
+    /// An operation that needs at least one point received none.
+    EmptyInput,
+    /// A weight vector length differs from the number of points.
+    WeightLengthMismatch { points: usize, weights: usize },
+    /// A weight was negative or non-finite.
+    InvalidWeight { index: usize, value: f64 },
+    /// The requested projection dimension is invalid (zero, or larger than
+    /// the source dimension for methods that only reduce).
+    InvalidTargetDim { source: usize, target: usize },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            GeomError::RaggedBuffer { len, dim } => {
+                write!(f, "buffer of length {len} is not a multiple of dimension {dim}")
+            }
+            GeomError::EmptyInput => write!(f, "operation requires at least one point"),
+            GeomError::WeightLengthMismatch { points, weights } => {
+                write!(f, "{weights} weights supplied for {points} points")
+            }
+            GeomError::InvalidWeight { index, value } => {
+                write!(f, "weight at index {index} is invalid: {value}")
+            }
+            GeomError::InvalidTargetDim { source, target } => {
+                write!(f, "cannot project from dimension {source} to {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GeomError::DimensionMismatch { expected: 3, got: 5 };
+        assert!(e.to_string().contains("expected 3"));
+        let e = GeomError::WeightLengthMismatch { points: 10, weights: 9 };
+        assert!(e.to_string().contains("9 weights"));
+        let e = GeomError::InvalidWeight { index: 2, value: -1.0 };
+        assert!(e.to_string().contains("index 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

@@ -1,0 +1,284 @@
+//! Dataset (de)serialization: CSV for interoperability with the paper's
+//! published datasets and plotting scripts, and a compact little-endian
+//! binary format for fast round-trips of large generated datasets.
+//!
+//! CSV layout: one point per row, coordinates comma-separated; an optional
+//! final `weight` column (declared by the caller). No header handling —
+//! pass `skip_header` when the file carries one.
+//!
+//! Binary layout: magic `FCDS`, version u32, `n` u64, `dim` u32, weights
+//! flag u8, then `n·dim` coordinates and (optionally) `n` weights, all
+//! little-endian f64.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::points::Points;
+
+const MAGIC: &[u8; 4] = b"FCDS";
+const VERSION: u32 = 1;
+
+/// Errors arising from dataset I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Structural problem with the file contents.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a dataset as CSV. When `with_weights` is set, a trailing weight
+/// column is appended to every row.
+pub fn write_csv(path: &Path, data: &Dataset, with_weights: bool) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for (row, &wt) in data.points().iter().zip(data.weights()) {
+        let mut first = true;
+        for x in row {
+            if !first {
+                w.write_all(b",")?;
+            }
+            write!(w, "{x}")?;
+            first = false;
+        }
+        if with_weights {
+            write!(w, ",{wt}")?;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV dataset. `with_weights` declares a trailing weight column;
+/// `skip_header` drops the first line.
+pub fn read_csv(path: &Path, with_weights: bool, skip_header: bool) -> Result<Dataset, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut flat: Vec<f64> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut dim: Option<usize> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if skip_header && lineno == 0 {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut values = Vec::with_capacity(dim.unwrap_or(8) + 1);
+        for field in trimmed.split(',') {
+            let v: f64 = field.trim().parse().map_err(|e| {
+                IoError::Format(format!("line {}: cannot parse {field:?}: {e}", lineno + 1))
+            })?;
+            values.push(v);
+        }
+        let coord_count = if with_weights {
+            let Some(w) = values.pop() else {
+                return Err(IoError::Format(format!("line {}: empty row", lineno + 1)));
+            };
+            weights.push(w);
+            values.len()
+        } else {
+            values.len()
+        };
+        match dim {
+            None => dim = Some(coord_count),
+            Some(d) if d != coord_count => {
+                return Err(IoError::Format(format!(
+                    "line {}: expected {d} coordinates, found {coord_count}",
+                    lineno + 1
+                )));
+            }
+            _ => {}
+        }
+        flat.extend_from_slice(&values);
+    }
+    let dim = dim.ok_or_else(|| IoError::Format("empty file".into()))?;
+    let points =
+        Points::from_flat(flat, dim).map_err(|e| IoError::Format(e.to_string()))?;
+    if with_weights {
+        Dataset::weighted(points, weights).map_err(|e| IoError::Format(e.to_string()))
+    } else {
+        Ok(Dataset::unweighted(points))
+    }
+}
+
+/// Writes the compact binary format.
+pub fn write_binary(path: &Path, data: &Dataset, with_weights: bool) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(data.len() as u64).to_le_bytes())?;
+    w.write_all(&(data.dim() as u32).to_le_bytes())?;
+    w.write_all(&[u8::from(with_weights)])?;
+    for &x in data.points().as_flat() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    if with_weights {
+        for &wt in data.weights() {
+            w.write_all(&wt.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the compact binary format.
+pub fn read_binary(path: &Path) -> Result<Dataset, IoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::Format("bad magic (not an FCDS file)".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(IoError::Format(format!("unsupported version {version}")));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let dim = read_u32(&mut r)? as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let with_weights = flag[0] != 0;
+    if dim == 0 {
+        return Err(IoError::Format("zero dimension".into()));
+    }
+    let mut flat = vec![0.0f64; n * dim];
+    read_f64s(&mut r, &mut flat)?;
+    let points =
+        Points::from_flat(flat, dim).map_err(|e| IoError::Format(e.to_string()))?;
+    if with_weights {
+        let mut weights = vec![0.0f64; n];
+        read_f64s(&mut r, &mut weights)?;
+        Dataset::weighted(points, weights).map_err(|e| IoError::Format(e.to_string()))
+    } else {
+        Ok(Dataset::unweighted(points))
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_f64s<R: Read>(r: &mut R, out: &mut [f64]) -> Result<(), IoError> {
+    let mut buf = [0u8; 8];
+    for x in out.iter_mut() {
+        r.read_exact(&mut buf)?;
+        *x = f64::from_le_bytes(buf);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fc-geom-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample() -> Dataset {
+        Dataset::weighted(
+            Points::from_flat(vec![1.5, -2.25, 0.0, 1e-9, 3.0, 4.0], 2).unwrap(),
+            vec![1.0, 2.5, 0.25],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_round_trip_with_weights() {
+        let d = sample();
+        let path = tmp("w.csv");
+        write_csv(&path, &d, true).unwrap();
+        let back = read_csv(&path, true, false).unwrap();
+        assert_eq!(back, d);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn csv_round_trip_without_weights() {
+        let d = Dataset::unweighted(sample().points().clone());
+        let path = tmp("nw.csv");
+        write_csv(&path, &d, false).unwrap();
+        let back = read_csv(&path, false, false).unwrap();
+        assert_eq!(back, d);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn csv_skips_header_and_blank_lines() {
+        let path = tmp("h.csv");
+        std::fs::write(&path, "x,y\n1.0,2.0\n\n3.0,4.0\n").unwrap();
+        let d = read_csv(&path, false, true).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.point(1), &[3.0, 4.0]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows_and_junk() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "1.0,2.0\n3.0\n").unwrap();
+        assert!(matches!(read_csv(&path, false, false), Err(IoError::Format(_))));
+        std::fs::write(&path, "1.0,zebra\n").unwrap();
+        assert!(matches!(read_csv(&path, false, false), Err(IoError::Format(_))));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn binary_round_trip_with_weights() {
+        let d = sample();
+        let path = tmp("w.fcds");
+        write_binary(&path, &d, true).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(back, d);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn binary_round_trip_without_weights() {
+        let d = Dataset::unweighted(sample().points().clone());
+        let path = tmp("nw.fcds");
+        write_binary(&path, &d, false).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(back, d);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn binary_rejects_foreign_files() {
+        let path = tmp("foreign.bin");
+        std::fs::write(&path, b"not a dataset at all").unwrap();
+        assert!(matches!(read_binary(&path), Err(IoError::Format(_))));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,116 @@
+//! Structural diagnostics for quadtrees — the quantities behind the
+//! paper's runtime claims (`depth ~ log Δ`, `O(n)` nodes after compression)
+//! made observable for tests, benches and the spread-reduction ablation.
+
+use crate::tree::Quadtree;
+
+/// Summary statistics of a built quadtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Total node count (≤ 2n − 1 by compression).
+    pub nodes: usize,
+    /// Leaf count.
+    pub leaves: usize,
+    /// Deepest (uncompressed) level present — the `log Δ`-driven quantity.
+    pub max_level: u32,
+    /// Mean points per leaf.
+    pub mean_leaf_size: f64,
+    /// Largest leaf (duplicates / depth-cap leaves).
+    pub max_leaf_size: usize,
+    /// Mean branching factor over internal nodes.
+    pub mean_branching: f64,
+}
+
+impl TreeStats {
+    /// Computes the statistics in one sweep.
+    pub fn of(tree: &Quadtree) -> Self {
+        let mut leaves = 0usize;
+        let mut max_level = 0u32;
+        let mut leaf_points = 0usize;
+        let mut max_leaf_size = 0usize;
+        let mut internal = 0usize;
+        let mut children = 0usize;
+        for node in tree.nodes() {
+            max_level = max_level.max(node.level);
+            if node.is_leaf() {
+                leaves += 1;
+                leaf_points += node.size();
+                max_leaf_size = max_leaf_size.max(node.size());
+            } else {
+                internal += 1;
+                children += node.n_children as usize;
+            }
+        }
+        TreeStats {
+            nodes: tree.node_count(),
+            leaves,
+            max_level,
+            mean_leaf_size: if leaves > 0 { leaf_points as f64 / leaves as f64 } else { 0.0 },
+            max_leaf_size,
+            mean_branching: if internal > 0 { children as f64 / internal as f64 } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::QuadtreeConfig;
+    use fc_geom::Points;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn stats_of_grid_points() {
+        let mut flat = Vec::new();
+        for i in 0..16 {
+            for j in 0..16 {
+                flat.push(i as f64);
+                flat.push(j as f64);
+            }
+        }
+        let p = Points::from_flat(flat, 2).unwrap();
+        let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
+        let s = TreeStats::of(&t);
+        assert_eq!(s.leaves, 256, "grid points are all distinct");
+        assert_eq!(s.mean_leaf_size, 1.0);
+        assert_eq!(s.max_leaf_size, 1);
+        assert!(s.nodes <= 2 * 256);
+        assert!(s.mean_branching >= 2.0, "compression forbids unary nodes");
+        assert!(s.max_level < 20, "16x16 grid cannot need 20 levels");
+    }
+
+    #[test]
+    fn deep_chains_show_up_in_max_level() {
+        // A geometric sequence forces depth ~ r; compare against a compact set.
+        let shallow = Points::from_flat((0..64).map(|i| i as f64).collect(), 1).unwrap();
+        let mut deep_flat: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let mut y = 1.0;
+        for _ in 0..32 {
+            deep_flat.push(100.0 + y);
+            y *= 0.5;
+        }
+        let deep = Points::from_flat(deep_flat, 1).unwrap();
+        let ts = TreeStats::of(&Quadtree::build(&mut rng(), &shallow, QuadtreeConfig::default()));
+        let td = TreeStats::of(&Quadtree::build(&mut rng(), &deep, QuadtreeConfig::default()));
+        assert!(
+            td.max_level > ts.max_level + 10,
+            "geometric chain depth {} vs uniform {}",
+            td.max_level,
+            ts.max_level
+        );
+    }
+
+    #[test]
+    fn duplicates_inflate_leaf_size_not_depth_unboundedly() {
+        let p = Points::from_flat(vec![5.0; 40], 2).unwrap();
+        let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig { max_depth: 30 });
+        let s = TreeStats::of(&t);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.max_leaf_size, 20, "40 coords over dim 2 = 20 identical points");
+    }
+}

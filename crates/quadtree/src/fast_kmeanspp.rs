@@ -1,0 +1,423 @@
+//! `Fast-kmeans++`: D^z sampling in the quadtree metric.
+//!
+//! Exact k-means++ needs `O(nd)` work per center to refresh the D² scores.
+//! Here scores live in the *tree metric* of a randomly-shifted quadtree
+//! (Section 2.4): a point's distance to the chosen centers is determined by
+//! the deepest marked ancestor of its leaf (marked = an ancestor of some
+//! center), and all points sharing that ancestor-region share the same
+//! distance scale. The sampler therefore maintains, per marked node `v`, the
+//! mass `scale(v)^z · w(exclusive region of v)` — updated in `O(log Δ)` when
+//! a center is inserted — and draws points with prefix sums in
+//! `O(log n + #marked)`. The final point→center assignment is one sweep over
+//! the marked regions, independent of `k`.
+//!
+//! Lemma 2.2 bounds the tree metric's expected distortion by `O(d log Δ)`,
+//! so (after Johnson–Lindenstrauss reduces `d` to `O(log k)`) the produced
+//! assignment is the `O(polylog)`-approximation that Fact 3.1 requires of
+//! the solution feeding sensitivity sampling.
+
+use fc_geom::dataset::Dataset;
+use fc_geom::distance::CostKind;
+use fc_geom::sampling::PrefixSums;
+use rand::Rng;
+use rustc_hash::FxHashMap;
+
+use crate::tree::Quadtree;
+
+/// Parameters for the tree sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct FastSeedConfig {
+    /// Redraw attempts when a draw lands on an already-chosen point
+    /// (possible in multi-point leaves) before giving up on that round.
+    pub max_attempts_per_center: usize,
+}
+
+impl Default for FastSeedConfig {
+    fn default() -> Self {
+        Self { max_attempts_per_center: 8 }
+    }
+}
+
+/// Result of tree-metric seeding.
+#[derive(Debug, Clone)]
+pub struct TreeSeeding {
+    /// Original point indices of the chosen centers (≤ k when the tree ran
+    /// out of separable mass, e.g. fewer distinct points than `k`).
+    pub chosen: Vec<usize>,
+    /// For every input point, the ordinal (index into `chosen`) of the
+    /// center serving it in the tree metric.
+    pub labels: Vec<usize>,
+}
+
+impl TreeSeeding {
+    /// Number of centers actually chosen.
+    pub fn k(&self) -> usize {
+        self.chosen.len()
+    }
+
+    /// Gathers the chosen centers out of `data` as a point store.
+    pub fn centers(&self, data: &Dataset) -> fc_geom::Points {
+        data.points().gather(&self.chosen)
+    }
+}
+
+/// Bookkeeping for a marked node (an ancestor of at least one center).
+#[derive(Debug)]
+struct Marked {
+    /// Ordinal of the representative center (the first whose insertion path
+    /// marked this node) — points exclusive to this node are assigned to it.
+    rep: u32,
+    /// Current sampling mass: `scale^z × weight(exclusive region)`.
+    contrib: f64,
+    /// Marked children (node ids), kept sorted by range start; their subtree
+    /// ranges are carved out of this node's region.
+    marked_children: Vec<u32>,
+}
+
+/// Runs `Fast-kmeans++` over a pre-built quadtree. The tree must have been
+/// built on (a projection of) `data.points()` with identical point order.
+///
+/// Returns centers *as input-point indices* plus the tree-metric assignment.
+pub fn fast_kmeanspp<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &Dataset,
+    tree: &Quadtree,
+    k: usize,
+    kind: CostKind,
+    config: FastSeedConfig,
+) -> TreeSeeding {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(tree.len(), data.len(), "tree and dataset must hold the same points");
+    let n = data.len();
+
+    // Weights in tree order, wrapped in prefix sums for range draws.
+    let w_perm: Vec<f64> = (0..n).map(|pos| data.weight(tree.point_at(pos))).collect();
+    let prefix = PrefixSums::new(&w_perm);
+    if prefix.total() <= 0.0 {
+        // Degenerate: no sampleable mass; fall back to the first point.
+        return TreeSeeding { chosen: vec![0], labels: vec![0; n] };
+    }
+
+    let mut marked: FxHashMap<u32, Marked> = FxHashMap::default();
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut chosen_mask = vec![false; n];
+    let z = kind.z();
+    let node_mass = |id: u32, weight: f64| -> f64 { tree.tree_scale(id).powf(z) * weight };
+
+    // First center: weight-proportional draw over everything.
+    let first_pos = prefix
+        .sample_in_range(rng, 0, n)
+        .expect("total weight checked positive above");
+    insert_center(tree, &prefix, &mut marked, 0, first_pos, node_mass, data, &mut chosen_mask);
+    chosen.push(tree.point_at(first_pos));
+
+    'outer: while chosen.len() < k {
+        let mut accepted = None;
+        for _ in 0..config.max_attempts_per_center.max(1) {
+            // Total current mass (linear scan: #marked = O(k log Δ)).
+            let total: f64 = marked.values().map(|m| m.contrib.max(0.0)).sum();
+            if total <= 0.0 {
+                break 'outer; // nothing left to separate
+            }
+            let mut target = rng.gen::<f64>() * total;
+            let mut node_pick = None;
+            for (&id, m) in marked.iter() {
+                let c = m.contrib.max(0.0);
+                if target < c {
+                    node_pick = Some(id);
+                    break;
+                }
+                target -= c;
+            }
+            let Some(v) = node_pick.or_else(|| {
+                marked.iter().find(|(_, m)| m.contrib > 0.0).map(|(&id, _)| id)
+            }) else {
+                break 'outer;
+            };
+            let node = tree.node(v);
+            let exc = exclusion_ranges(tree, &marked[&v]);
+            let Some(pos) =
+                prefix.sample_excluding(rng, node.start as usize, node.end as usize, &exc)
+            else {
+                // Region's weight is all zeros; neutralize it and retry.
+                marked.get_mut(&v).expect("v came from the map").contrib = 0.0;
+                continue;
+            };
+            let idx = tree.point_at(pos);
+            if chosen_mask[idx] {
+                continue; // duplicate draw inside a multi-point leaf
+            }
+            accepted = Some((pos, idx));
+            break;
+        }
+        let Some((pos, idx)) = accepted else {
+            break; // attempts exhausted: remaining mass is all duplicates
+        };
+        let ordinal = chosen.len() as u32;
+        insert_center(tree, &prefix, &mut marked, ordinal, pos, node_mass, data, &mut chosen_mask);
+        chosen.push(idx);
+    }
+
+    // Assignment sweep: every point belongs to the exclusive region of its
+    // deepest marked ancestor and is served by that node's representative.
+    let mut labels = vec![0usize; n];
+    for (&id, m) in marked.iter() {
+        let node = tree.node(id);
+        let mut cursor = node.start as usize;
+        for &(elo, ehi) in &exclusion_ranges(tree, m) {
+            for pos in cursor..elo {
+                labels[tree.point_at(pos)] = m.rep as usize;
+            }
+            cursor = ehi;
+        }
+        for pos in cursor..node.end as usize {
+            labels[tree.point_at(pos)] = m.rep as usize;
+        }
+    }
+
+    TreeSeeding { chosen, labels }
+}
+
+/// Sorted subtree ranges of a marked node's marked children.
+fn exclusion_ranges(tree: &Quadtree, m: &Marked) -> Vec<(usize, usize)> {
+    let mut exc: Vec<(usize, usize)> = m
+        .marked_children
+        .iter()
+        .map(|&c| {
+            let n = tree.node(c);
+            (n.start as usize, n.end as usize)
+        })
+        .collect();
+    exc.sort_unstable();
+    exc
+}
+
+/// Marks the root→leaf path of a new center and updates the affected masses.
+#[allow(clippy::too_many_arguments)]
+fn insert_center(
+    tree: &Quadtree,
+    prefix: &PrefixSums,
+    marked: &mut FxHashMap<u32, Marked>,
+    ordinal: u32,
+    pos: usize,
+    node_mass: impl Fn(u32, f64) -> f64,
+    data: &Dataset,
+    chosen_mask: &mut [bool],
+) {
+    let idx = tree.point_at(pos);
+    chosen_mask[idx] = true;
+    let path = tree.path_to_position(pos);
+
+    // The marked prefix of the path is contiguous (marked nodes form a
+    // connected subtree rooted at the root once any center exists).
+    let mut first_unmarked = path.len();
+    for (i, id) in path.iter().enumerate() {
+        if !marked.contains_key(id) {
+            first_unmarked = i;
+            break;
+        }
+    }
+
+    if first_unmarked == path.len() {
+        // The center's entire path — including its leaf — is already marked:
+        // the tree metric cannot separate this point from an existing center.
+        // Zero the leaf's mass so sampling moves elsewhere.
+        if let Some(leaf) = path.last() {
+            marked.get_mut(leaf).expect("leaf is marked").contrib = 0.0;
+        }
+        return;
+    }
+
+    // Attach the newly marked chain to its deepest marked ancestor: the
+    // ancestor's exclusive region loses the chain's whole subtree.
+    if first_unmarked > 0 {
+        let anchor = path[first_unmarked - 1];
+        let child = path[first_unmarked];
+        let child_node = tree.node(child);
+        let child_w = prefix.range_sum(child_node.start as usize, child_node.end as usize);
+        let entry = marked.get_mut(&anchor).expect("anchor is marked");
+        entry.contrib -= node_mass(anchor, child_w);
+        if entry.contrib < 0.0 {
+            entry.contrib = 0.0;
+        }
+        entry.marked_children.push(child);
+    }
+
+    // Mark the chain. Each new node's exclusive region is its subtree minus
+    // the next node on the path.
+    for i in first_unmarked..path.len() {
+        let v = path[i];
+        let node = tree.node(v);
+        let sub_w = prefix.range_sum(node.start as usize, node.end as usize);
+        let (next_w, marked_children) = if i + 1 < path.len() {
+            let nxt = tree.node(path[i + 1]);
+            (prefix.range_sum(nxt.start as usize, nxt.end as usize), vec![path[i + 1]])
+        } else {
+            // Leaf: the center itself stops contributing mass.
+            (data.weight(idx), Vec::new())
+        };
+        let contrib = node_mass(v, (sub_w - next_w).max(0.0));
+        marked.insert(v, Marked { rep: ordinal, contrib, marked_children });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::QuadtreeConfig;
+    use fc_geom::Points;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    fn seed(data: &Dataset, k: usize, r: &mut StdRng) -> TreeSeeding {
+        let tree = Quadtree::build(r, data.points(), QuadtreeConfig::default());
+        fast_kmeanspp(r, data, &tree, k, CostKind::KMeans, FastSeedConfig::default())
+    }
+
+    fn blobs(centers: &[(f64, f64)], per_blob: usize, spacing: f64) -> Dataset {
+        let mut flat = Vec::new();
+        for &(cx, cy) in centers {
+            for i in 0..per_blob {
+                flat.push(cx + (i % 7) as f64 * spacing);
+                flat.push(cy + (i / 7) as f64 * spacing);
+            }
+        }
+        Dataset::from_flat(flat, 2).unwrap()
+    }
+
+    #[test]
+    fn chooses_k_centers_with_valid_labels() {
+        let d = blobs(&[(0.0, 0.0), (100.0, 0.0), (0.0, 100.0)], 30, 0.01);
+        let mut r = rng();
+        let s = seed(&d, 5, &mut r);
+        assert_eq!(s.k(), 5);
+        assert_eq!(s.labels.len(), d.len());
+        for &l in &s.labels {
+            assert!(l < s.k());
+        }
+        for &c in &s.chosen {
+            assert!(c < d.len());
+        }
+        // Chosen centers are distinct.
+        let mut sorted = s.chosen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), s.k());
+    }
+
+    #[test]
+    fn separated_blobs_each_get_a_center() {
+        // Three far-apart blobs, k = 3: tree D² sampling must hit all three
+        // (mass of an uncovered blob dwarfs everything else).
+        let d = blobs(&[(0.0, 0.0), (1e4, 0.0), (0.0, 1e4)], 40, 0.01);
+        let mut r = rng();
+        for _ in 0..5 {
+            let s = seed(&d, 3, &mut r);
+            let mut blob_hit = [false; 3];
+            for &c in &s.chosen {
+                let p = d.point(c);
+                let which = if p[0] > 5e3 {
+                    1
+                } else if p[1] > 5e3 {
+                    2
+                } else {
+                    0
+                };
+                blob_hit[which] = true;
+            }
+            assert!(blob_hit.iter().all(|&b| b), "hit pattern {blob_hit:?}");
+        }
+    }
+
+    #[test]
+    fn labels_agree_with_blob_membership() {
+        let d = blobs(&[(0.0, 0.0), (1e5, 0.0)], 50, 0.01);
+        let mut r = rng();
+        let s = seed(&d, 2, &mut r);
+        assert_eq!(s.k(), 2);
+        // Points of the same blob share a label; blobs get different labels.
+        let first_blob_label = s.labels[0];
+        for i in 0..50 {
+            assert_eq!(s.labels[i], first_blob_label);
+        }
+        for i in 50..100 {
+            assert_ne!(s.labels[i], first_blob_label);
+        }
+    }
+
+    #[test]
+    fn assignment_cost_is_a_bounded_approximation() {
+        // Tree-metric assignment must be within the theoretical distortion
+        // of the exact k-means++ cost: sanity-check a generous factor.
+        let d = blobs(&[(0.0, 0.0), (50.0, 0.0), (0.0, 50.0), (50.0, 50.0)], 25, 0.05);
+        let mut r = rng();
+        let s = seed(&d, 4, &mut r);
+        let centers = s.centers(&d);
+        // Cost under the tree assignment:
+        let mut tree_cost = 0.0;
+        for (i, &l) in s.labels.iter().enumerate() {
+            tree_cost += fc_geom::distance::sq_dist(d.point(i), centers.row(l));
+        }
+        let exact = fc_clustering::cost::cost(&d, &centers, CostKind::KMeans);
+        assert!(tree_cost >= exact - 1e-9, "tree assignment cannot beat the optimal assignment");
+        assert!(
+            tree_cost <= 500.0 * exact.max(1e-9),
+            "tree cost {tree_cost} wildly exceeds exact assignment cost {exact}"
+        );
+    }
+
+    #[test]
+    fn fewer_distinct_points_than_k_stops_early() {
+        let p = Points::from_flat(vec![1.0, 1.0, 1.0, 1.0, 7.0, 7.0], 2).unwrap();
+        let d = Dataset::unweighted(p);
+        let mut r = rng();
+        let s = seed(&d, 5, &mut r);
+        assert!(s.k() >= 2, "both distinct locations should be found");
+        assert!(s.k() <= 3, "cannot meaningfully exceed distinct points, got {}", s.k());
+    }
+
+    #[test]
+    fn k_equals_one_labels_everything_zero() {
+        let d = blobs(&[(0.0, 0.0), (10.0, 0.0)], 10, 0.1);
+        let mut r = rng();
+        let s = seed(&d, 1, &mut r);
+        assert_eq!(s.k(), 1);
+        assert!(s.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn zero_weight_points_are_never_centers() {
+        let p = Points::from_flat(vec![0.0, 0.0, 1000.0, 1000.0, 0.5, 0.5], 2).unwrap();
+        let d = Dataset::weighted(p, vec![1.0, 0.0, 1.0]).unwrap();
+        let mut r = rng();
+        for _ in 0..10 {
+            let s = seed(&d, 2, &mut r);
+            assert!(
+                !s.chosen.contains(&1),
+                "zero-weight outlier was chosen as a center: {:?}",
+                s.chosen
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_mass_drives_selection() {
+        // Two locations; one carries enormous weight. First center lands
+        // there almost surely.
+        let p = Points::from_flat(vec![0.0, 100.0], 1).unwrap();
+        let d = Dataset::weighted(p, vec![1e12, 1.0]).unwrap();
+        let mut r = rng();
+        let mut first_hits = 0;
+        for _ in 0..20 {
+            let s = seed(&d, 1, &mut r);
+            if s.chosen[0] == 0 {
+                first_hits += 1;
+            }
+        }
+        assert!(first_hits >= 19, "heavy point picked first only {first_hits}/20 times");
+    }
+}

@@ -1,0 +1,173 @@
+//! Shifted-grid cell identification.
+//!
+//! All three quadtree algorithms reduce to the same primitive: quantize a
+//! point against a randomly shifted grid of a given cell side and identify
+//! the occupied cells with a dictionary (Algorithm 2 line 4). Cell
+//! coordinates are integer vectors; for dictionary keys we use a pair of
+//! independently-seeded 64-bit mixes of the coordinate vector — a 128-bit
+//! fingerprint whose collision probability over `n ≤ 2^32` cells is
+//! negligible (< 2^-60), which keeps the hot path allocation-free.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// 128-bit fingerprint of an integer cell-coordinate vector.
+pub type CellKey = (u64, u64);
+
+const MIX_SEED_A: u64 = 0x9E37_79B9_7F4A_7C15;
+const MIX_SEED_B: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+#[inline]
+fn mix(mut h: u64, v: u64) -> u64 {
+    // splitmix64 finalizer applied to a running combination.
+    h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Integer grid coordinate of `x` in a grid of pitch `side` shifted by
+/// `shift`: `⌊(x − shift) / side⌋`.
+#[inline]
+pub fn grid_coord(x: f64, shift: f64, side: f64) -> i64 {
+    ((x - shift) / side).floor() as i64
+}
+
+/// Fingerprint of the cell containing `point` on a grid with per-dimension
+/// `shift` and pitch `side`.
+#[inline]
+pub fn cell_key(point: &[f64], shift: &[f64], side: f64) -> CellKey {
+    debug_assert_eq!(point.len(), shift.len());
+    let mut a = MIX_SEED_A;
+    let mut b = MIX_SEED_B;
+    for (&x, &s) in point.iter().zip(shift) {
+        let c = grid_coord(x, s, side) as u64;
+        a = mix(a, c);
+        b = mix(b ^ 0x5851_F42D_4C95_7F2D, c);
+    }
+    (a, b)
+}
+
+/// Integer coordinates of the cell containing `point` (for callers that need
+/// the actual coordinates, e.g. to order boxes along a dimension).
+pub fn cell_coords(point: &[f64], shift: &[f64], side: f64) -> Vec<i64> {
+    point.iter().zip(shift).map(|(&x, &s)| grid_coord(x, s, side)).collect()
+}
+
+/// Counts distinct occupied cells, stopping early once `limit` is exceeded —
+/// the `Count-Distinct-Cells` procedure of Algorithm 2. Returns
+/// `min(count, limit + 1)`, so a return of `limit + 1` means "more than
+/// `limit`".
+pub fn count_distinct_cells(
+    points: &fc_geom::Points,
+    shift: &[f64],
+    side: f64,
+    limit: usize,
+) -> usize {
+    let mut seen: FxHashSet<CellKey> = FxHashSet::default();
+    for p in points.iter() {
+        seen.insert(cell_key(p, shift, side));
+        if seen.len() > limit {
+            return limit + 1;
+        }
+    }
+    seen.len()
+}
+
+/// Groups point indices by their occupied cell.
+pub fn group_by_cell(
+    points: &fc_geom::Points,
+    shift: &[f64],
+    side: f64,
+) -> FxHashMap<CellKey, Vec<usize>> {
+    let mut groups: FxHashMap<CellKey, Vec<usize>> = FxHashMap::default();
+    for (i, p) in points.iter().enumerate() {
+        groups.entry(cell_key(p, shift, side)).or_default().push(i);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_geom::Points;
+
+    #[test]
+    fn grid_coord_quantizes() {
+        assert_eq!(grid_coord(0.5, 0.0, 1.0), 0);
+        assert_eq!(grid_coord(1.5, 0.0, 1.0), 1);
+        assert_eq!(grid_coord(-0.5, 0.0, 1.0), -1);
+        // Shift moves the boundaries.
+        assert_eq!(grid_coord(0.5, 0.6, 1.0), -1);
+    }
+
+    #[test]
+    fn same_cell_same_key() {
+        let shift = [0.3, 0.7];
+        let a = cell_key(&[1.0, 2.0], &shift, 1.0);
+        let b = cell_key(&[1.2, 2.2], &shift, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_cells_different_keys() {
+        let shift = [0.0, 0.0];
+        let a = cell_key(&[0.5, 0.5], &shift, 1.0);
+        let b = cell_key(&[1.5, 0.5], &shift, 1.0);
+        let c = cell_key(&[0.5, 1.5], &shift, 1.0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn coords_match_key_grouping() {
+        let shift = [0.1, 0.1];
+        let p = [3.7, -2.2];
+        let q = [3.9, -2.4];
+        assert_eq!(cell_coords(&p, &shift, 1.0), vec![3, -3]);
+        assert_eq!(
+            cell_coords(&p, &shift, 1.0) == cell_coords(&q, &shift, 1.0),
+            cell_key(&p, &shift, 1.0) == cell_key(&q, &shift, 1.0)
+        );
+    }
+
+    #[test]
+    fn count_distinct_with_early_exit() {
+        let pts = Points::from_flat(vec![0.5, 1.5, 2.5, 3.5, 0.6], 1).unwrap();
+        let shift = [0.0];
+        assert_eq!(count_distinct_cells(&pts, &shift, 1.0, 10), 4);
+        assert_eq!(count_distinct_cells(&pts, &shift, 1.0, 2), 3); // limit+1 => "more than 2"
+        assert_eq!(count_distinct_cells(&pts, &shift, 10.0, 10), 1);
+    }
+
+    #[test]
+    fn group_by_cell_partitions_indices() {
+        let pts = Points::from_flat(vec![0.5, 0.6, 5.5, 5.6], 1).unwrap();
+        let groups = group_by_cell(&pts, &[0.0], 1.0);
+        assert_eq!(groups.len(), 2);
+        let total: usize = groups.values().map(|v| v.len()).sum();
+        assert_eq!(total, 4);
+        for members in groups.values() {
+            // Members of a group must share the integer coordinate.
+            let c0 = grid_coord(pts.row(members[0])[0], 0.0, 1.0);
+            for &m in members {
+                assert_eq!(grid_coord(pts.row(m)[0], 0.0, 1.0), c0);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_grids_nest() {
+        // A point pair sharing a cell at side s also shares it at side 2s
+        // when the shift is identical (dyadic nesting as used by the tree).
+        let shift = [0.0, 0.0];
+        for pair in [([0.2, 0.8], [0.9, 0.1]), ([3.1, 3.9], [3.8, 3.2])] {
+            let (p, q) = pair;
+            if cell_key(&p, &shift, 1.0) == cell_key(&q, &shift, 1.0) {
+                assert_eq!(cell_key(&p, &shift, 2.0), cell_key(&q, &shift, 2.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Compressed quadtree over a randomly shifted dyadic grid.
+//!
+//! The embedding of Section 2.4: enclose the input in a hypercube of side
+//! `2Δ`, shift the grid origin uniformly at random in `[0, Δ)^d`, and split
+//! cells dyadically. The tree is *compressed*: chains of levels where a
+//! cell's points do not separate produce no nodes, so the tree has at most
+//! `2n − 1` nodes regardless of depth. Construction reorders an index
+//! permutation so each node owns a contiguous range, which lets the
+//! Fast-kmeans++ sampler answer subtree-mass queries with prefix sums.
+
+use fc_geom::points::Points;
+use rand::Rng;
+use rustc_hash::FxHashMap;
+
+use crate::grid::{cell_key, CellKey};
+
+/// Construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct QuadtreeConfig {
+    /// Hard cap on the (uncompressed) depth; cells at this level become
+    /// leaves even if they hold several distinct points. The default (50)
+    /// resolves relative scales down to `2^-50` — below f64 noise for
+    /// data that has been spread-reduced.
+    pub max_depth: u32,
+}
+
+impl Default for QuadtreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 50 }
+    }
+}
+
+/// A node of the compressed quadtree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The (uncompressed) level at which this node's points stop sharing a
+    /// cell: its children are cells at `level + 1`. The node's distance
+    /// scale (cell side) is `root_side / 2^level`.
+    pub level: u32,
+    /// Start of the node's range in the tree's index permutation.
+    pub start: u32,
+    /// One past the end of the node's range.
+    pub end: u32,
+    /// Parent node id (`u32::MAX` for the root).
+    pub parent: u32,
+    /// First child node id (children are contiguous); meaningless if
+    /// `n_children == 0`.
+    pub first_child: u32,
+    /// Number of children (0 for leaves).
+    pub n_children: u32,
+}
+
+impl Node {
+    /// Whether this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.n_children == 0
+    }
+
+    /// Number of points in the subtree.
+    #[inline]
+    pub fn size(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Child node ids.
+    #[inline]
+    pub fn children(&self) -> std::ops::Range<u32> {
+        self.first_child..self.first_child + self.n_children
+    }
+}
+
+/// Compressed quadtree. Node 0 is the root; every node's subtree owns the
+/// permutation range `[start, end)`.
+#[derive(Debug, Clone)]
+pub struct Quadtree {
+    nodes: Vec<Node>,
+    /// `perm[pos]` = original point index stored at tree position `pos`.
+    perm: Vec<u32>,
+    /// `pos[original]` = tree position of the original point index.
+    pos: Vec<u32>,
+    dim: usize,
+    root_side: f64,
+    /// Grid origin (bounding-box min corner minus the random shift).
+    origin: Vec<f64>,
+    max_depth: u32,
+}
+
+impl Quadtree {
+    /// Builds a compressed quadtree over `points` with a uniformly random
+    /// grid shift. `O(n · d · depth)` time, `O(n)` nodes.
+    ///
+    /// Panics on an empty point set.
+    pub fn build<R: Rng + ?Sized>(rng: &mut R, points: &Points, config: QuadtreeConfig) -> Self {
+        assert!(!points.is_empty(), "cannot build a quadtree over no points");
+        let dim = points.dim();
+        let bbox = fc_geom::BoundingBox::of(points).expect("non-empty checked above");
+        // Enclose in a cube of side 2Δ where Δ is the longest bbox side; a
+        // shift in [0, Δ) keeps all points inside the root cell.
+        let delta = bbox.longest_side().max(f64::MIN_POSITIVE);
+        let root_side = 2.0 * delta;
+        let origin: Vec<f64> = bbox
+            .min()
+            .iter()
+            .map(|&lo| lo - rng.gen::<f64>() * delta)
+            .collect();
+
+        let n = points.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = vec![Node {
+            level: 0,
+            start: 0,
+            end: n as u32,
+            parent: u32::MAX,
+            first_child: 0,
+            n_children: 0,
+        }];
+
+        // Iterative construction; scratch buffers are reused across nodes.
+        let mut stack: Vec<u32> = vec![0];
+        let mut buckets: FxHashMap<CellKey, Vec<u32>> = FxHashMap::default();
+        while let Some(node_id) = stack.pop() {
+            let (start, end, mut level) = {
+                let node = &nodes[node_id as usize];
+                (node.start as usize, node.end as usize, node.level)
+            };
+            if end - start <= 1 || level >= config.max_depth {
+                nodes[node_id as usize].level = level;
+                continue;
+            }
+            // Descend through levels until the points separate (compression).
+            let children_at = loop {
+                if level >= config.max_depth {
+                    break None;
+                }
+                let side = root_side / f64::powi(2.0, (level + 1) as i32);
+                if side <= 0.0 || !side.is_normal() {
+                    break None; // numerically exhausted: points coincide
+                }
+                buckets.clear();
+                for &idx in &perm[start..end] {
+                    let key = cell_key(points.row(idx as usize), &origin, side);
+                    buckets.entry(key).or_default().push(idx);
+                }
+                if buckets.len() > 1 {
+                    break Some(level);
+                }
+                level += 1;
+            };
+            nodes[node_id as usize].level = level;
+            let Some(_) = children_at else {
+                continue; // became a leaf (duplicates or depth cap)
+            };
+
+            // Create children contiguously, rewriting the permutation range.
+            let first_child = nodes.len() as u32;
+            let mut cursor = start;
+            // Deterministic child order: sort buckets by their first member's
+            // position to make construction independent of hash iteration.
+            let mut groups: Vec<Vec<u32>> = buckets.drain().map(|(_, v)| v).collect();
+            groups.sort_by_key(|g| g[0]);
+            let n_children = groups.len() as u32;
+            for group in groups {
+                let c_start = cursor;
+                for idx in group {
+                    perm[cursor] = idx;
+                    cursor += 1;
+                }
+                nodes.push(Node {
+                    level: level + 1,
+                    start: c_start as u32,
+                    end: cursor as u32,
+                    parent: node_id,
+                    first_child: 0,
+                    n_children: 0,
+                });
+            }
+            debug_assert_eq!(cursor, end);
+            let node = &mut nodes[node_id as usize];
+            node.first_child = first_child;
+            node.n_children = n_children;
+            for c in first_child..first_child + n_children {
+                stack.push(c);
+            }
+        }
+
+        let mut pos = vec![0u32; n];
+        for (p, &orig) in perm.iter().enumerate() {
+            pos[orig as usize] = p as u32;
+        }
+        Self { nodes, perm, pos, dim, root_side, origin, max_depth: config.max_depth }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Whether the tree is empty (never true: construction requires points).
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Side length of the root cell (`2Δ`).
+    pub fn root_side(&self) -> f64 {
+        self.root_side
+    }
+
+    /// The depth cap the tree was built with.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// The grid origin (bounding-box corner minus the random shift) —
+    /// cell boundaries sit at `origin + k·side` per dimension.
+    pub fn origin(&self) -> &[f64] {
+        &self.origin
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, id: u32) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// All nodes (root first).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Original point index stored at tree position `pos`.
+    #[inline]
+    pub fn point_at(&self, pos: usize) -> usize {
+        self.perm[pos] as usize
+    }
+
+    /// Tree position of an original point index.
+    #[inline]
+    pub fn position_of(&self, original: usize) -> usize {
+        self.pos[original] as usize
+    }
+
+    /// The permutation (tree position → original index).
+    pub fn permutation(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Cell side at a node: `root_side / 2^level`.
+    #[inline]
+    pub fn side_of(&self, id: u32) -> f64 {
+        self.root_side / f64::powi(2.0, self.node(id).level as i32)
+    }
+
+    /// Tree-metric distance scale of a node: the diameter bound
+    /// `2·√d·side(v)` for two points whose lowest common ancestor is `v`
+    /// (geometric sum of edge weights below `v`, both sides).
+    #[inline]
+    pub fn tree_scale(&self, id: u32) -> f64 {
+        2.0 * (self.dim as f64).sqrt() * self.side_of(id)
+    }
+
+    /// Root-to-leaf path of node ids whose ranges contain the tree position
+    /// `pos`. `O(depth · log(max_degree))`.
+    pub fn path_to_position(&self, pos: usize) -> Vec<u32> {
+        let pos = pos as u32;
+        let mut path = vec![0u32];
+        let mut current = 0u32;
+        loop {
+            let node = self.node(current);
+            if node.is_leaf() {
+                return path;
+            }
+            // Children are contiguous and their ranges are sorted: binary
+            // search for the child whose [start, end) contains pos.
+            let lo = node.first_child as usize;
+            let hi = lo + node.n_children as usize;
+            let children = &self.nodes[lo..hi];
+            let idx = children.partition_point(|c| c.end <= pos);
+            debug_assert!(idx < children.len(), "position must fall in some child");
+            current = (lo + idx) as u32;
+            path.push(current);
+        }
+    }
+
+    /// Leaf node containing the tree position.
+    pub fn leaf_of_position(&self, pos: usize) -> u32 {
+        *self.path_to_position(pos).last().expect("path always contains the root")
+    }
+
+    /// Checks structural invariants (test helper): ranges partition parents,
+    /// levels strictly increase, permutation is a bijection.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.perm.len() as u32;
+        if self.nodes[0].start != 0 || self.nodes[0].end != n {
+            return Err("root range must cover all points".into());
+        }
+        let mut seen = vec![false; n as usize];
+        for &p in &self.perm {
+            if seen[p as usize] {
+                return Err(format!("duplicate perm entry {p}"));
+            }
+            seen[p as usize] = true;
+        }
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.n_children == 1 {
+                return Err(format!("node {id} has a single child (not compressed)"));
+            }
+            if node.n_children > 0 {
+                let mut cursor = node.start;
+                for c in node.children() {
+                    let child = self.node(c);
+                    if child.parent != id as u32 {
+                        return Err(format!("child {c} has wrong parent"));
+                    }
+                    if child.start != cursor {
+                        return Err(format!("child {c} range not contiguous"));
+                    }
+                    if child.level <= node.level {
+                        return Err(format!("child {c} level must exceed parent"));
+                    }
+                    cursor = child.end;
+                }
+                if cursor != node.end {
+                    return Err(format!("children of node {id} do not cover its range"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn grid_points(n_side: usize) -> Points {
+        let mut flat = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                flat.push(i as f64);
+                flat.push(j as f64);
+            }
+        }
+        Points::from_flat(flat, 2).unwrap()
+    }
+
+    #[test]
+    fn build_covers_all_points_and_validates() {
+        let p = grid_points(8);
+        let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
+        assert_eq!(t.len(), 64);
+        t.validate().unwrap();
+        // Compressed tree: node count is O(n).
+        assert!(t.node_count() <= 2 * 64);
+    }
+
+    #[test]
+    fn single_point_is_root_leaf() {
+        let p = Points::from_flat(vec![3.0, 4.0], 2).unwrap();
+        let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
+        assert_eq!(t.node_count(), 1);
+        assert!(t.node(0).is_leaf());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_points_stay_in_one_leaf() {
+        let p = Points::from_flat(vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 5.0, 5.0], 2).unwrap();
+        let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
+        t.validate().unwrap();
+        // The three duplicates can never separate; they share a leaf.
+        let leaf_a = t.leaf_of_position(t.position_of(0));
+        let leaf_b = t.leaf_of_position(t.position_of(1));
+        let leaf_c = t.leaf_of_position(t.position_of(2));
+        assert_eq!(leaf_a, leaf_b);
+        assert_eq!(leaf_b, leaf_c);
+        assert_eq!(t.node(leaf_a).size(), 3);
+    }
+
+    #[test]
+    fn path_levels_are_increasing_and_ranges_nest() {
+        let p = grid_points(6);
+        let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
+        for orig in 0..p.len() {
+            let pos = t.position_of(orig);
+            let path = t.path_to_position(pos);
+            assert_eq!(path[0], 0);
+            for w in path.windows(2) {
+                let (a, b) = (t.node(w[0]), t.node(w[1]));
+                assert!(b.level > a.level);
+                assert!(b.start >= a.start && b.end <= a.end);
+                assert!((b.start as usize..b.end as usize).contains(&pos));
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_round_trips() {
+        let p = grid_points(5);
+        let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
+        for orig in 0..p.len() {
+            assert_eq!(t.point_at(t.position_of(orig)), orig);
+        }
+    }
+
+    #[test]
+    fn sides_halve_with_levels() {
+        let p = grid_points(8);
+        let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
+        assert!((t.side_of(0) - t.root_side() / f64::powi(2.0, t.node(0).level as i32)).abs() < 1e-12);
+        for id in 0..t.node_count() as u32 {
+            let node = t.node(id);
+            if node.parent != u32::MAX {
+                assert!(t.side_of(id) < t.side_of(node.parent));
+            }
+            let expected = t.root_side() / f64::powi(2.0, node.level as i32);
+            assert!((t.side_of(id) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tree_scale_bounds_pairwise_distance() {
+        // For any two points, their Euclidean distance is at most the tree
+        // scale of their LCA (the defining property of the quadtree metric).
+        let p = grid_points(5);
+        let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
+        for a in 0..p.len() {
+            for b in (a + 1)..p.len() {
+                let pa = t.position_of(a);
+                let pb = t.position_of(b);
+                let path_a = t.path_to_position(pa);
+                let path_b = t.path_to_position(pb);
+                let mut lca = 0u32;
+                for (x, y) in path_a.iter().zip(&path_b) {
+                    if x == y {
+                        lca = *x;
+                    } else {
+                        break;
+                    }
+                }
+                let eu = fc_geom::distance::dist(p.row(a), p.row(b));
+                assert!(
+                    eu <= t.tree_scale(lca) + 1e-9,
+                    "points {a},{b}: euclidean {eu} exceeds LCA scale {}",
+                    t.tree_scale(lca)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_depth_caps_construction() {
+        // Two points separated by a tiny distance relative to the diameter
+        // would need a very deep split; the cap turns them into a multi-point
+        // leaf instead of spinning.
+        let p = Points::from_flat(vec![0.0, 1e-30, 1.0], 1).unwrap();
+        let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig { max_depth: 20 });
+        t.validate().unwrap();
+        for node in t.nodes() {
+            assert!(node.level <= 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let p = grid_points(6);
+        let t1 = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
+        let t2 = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
+        assert_eq!(t1.node_count(), t2.node_count());
+        assert_eq!(t1.permutation(), t2.permutation());
+    }
+}

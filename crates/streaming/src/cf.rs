@@ -1,0 +1,185 @@
+//! BIRCH clustering features [58]: additive sufficient statistics for the
+//! k-means objective.
+//!
+//! A CF holds `(W, Σ w·p, Σ w·|p|²)`. CFs merge by component-wise addition,
+//! and the weighted 1-means cost about any point `c` is available in closed
+//! form: `cost₂(CF, c) = Σw|p|² − 2·c·Σwp + W|c|²`. BICO's entire insertion
+//! logic reduces to these identities.
+
+/// A weighted clustering feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringFeature {
+    /// Total weight `W`.
+    pub weight: f64,
+    /// Weighted linear sum `Σ w·p`.
+    pub linear_sum: Vec<f64>,
+    /// Weighted squared-norm sum `Σ w·|p|²`.
+    pub square_sum: f64,
+}
+
+impl ClusteringFeature {
+    /// An empty feature of the given dimension.
+    pub fn empty(dim: usize) -> Self {
+        Self { weight: 0.0, linear_sum: vec![0.0; dim], square_sum: 0.0 }
+    }
+
+    /// A feature holding one weighted point.
+    pub fn from_point(p: &[f64], w: f64) -> Self {
+        let mut cf = Self::empty(p.len());
+        cf.insert(p, w);
+        cf
+    }
+
+    /// Dimension of the underlying points.
+    pub fn dim(&self) -> usize {
+        self.linear_sum.len()
+    }
+
+    /// Adds a weighted point.
+    pub fn insert(&mut self, p: &[f64], w: f64) {
+        debug_assert_eq!(p.len(), self.dim());
+        self.weight += w;
+        let mut sq = 0.0;
+        for (ls, &x) in self.linear_sum.iter_mut().zip(p) {
+            *ls += w * x;
+            sq += x * x;
+        }
+        self.square_sum += w * sq;
+    }
+
+    /// Merges another feature into this one (CF additivity).
+    pub fn merge(&mut self, other: &ClusteringFeature) {
+        debug_assert_eq!(other.dim(), self.dim());
+        self.weight += other.weight;
+        for (a, &b) in self.linear_sum.iter_mut().zip(&other.linear_sum) {
+            *a += b;
+        }
+        self.square_sum += other.square_sum;
+    }
+
+    /// The centroid `Σwp / W` (the weighted 1-means solution of the points
+    /// the feature absorbed). Zero vector for an empty feature.
+    pub fn centroid(&self) -> Vec<f64> {
+        if self.weight <= 0.0 {
+            return vec![0.0; self.dim()];
+        }
+        self.linear_sum.iter().map(|&x| x / self.weight).collect()
+    }
+
+    /// Weighted k-means cost of the absorbed points about an arbitrary
+    /// center: `Σ w·|p − c|²`.
+    pub fn cost_about(&self, c: &[f64]) -> f64 {
+        debug_assert_eq!(c.len(), self.dim());
+        let mut dot = 0.0;
+        let mut c_sq = 0.0;
+        for (&ls, &x) in self.linear_sum.iter().zip(c) {
+            dot += ls * x;
+            c_sq += x * x;
+        }
+        (self.square_sum - 2.0 * dot + self.weight * c_sq).max(0.0)
+    }
+
+    /// Internal variance cost: the k-means cost about the centroid — the
+    /// quantization error BICO keeps below its threshold `T`.
+    pub fn internal_cost(&self) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        self.cost_about(&self.centroid())
+    }
+
+    /// Cost the feature would have (about the given reference point) after
+    /// absorbing `(p, w)` — the O(d) admission test of BICO.
+    pub fn cost_about_after_insert(&self, reference: &[f64], p: &[f64], w: f64) -> f64 {
+        let added: f64 = p
+            .iter()
+            .zip(reference)
+            .map(|(&x, &r)| {
+                let d = x - r;
+                d * d
+            })
+            .sum::<f64>()
+            * w;
+        self.cost_about(reference) + added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_accumulates_statistics() {
+        let mut cf = ClusteringFeature::empty(2);
+        cf.insert(&[1.0, 2.0], 1.0);
+        cf.insert(&[3.0, 4.0], 2.0);
+        assert_eq!(cf.weight, 3.0);
+        assert_eq!(cf.linear_sum, vec![7.0, 10.0]);
+        assert!((cf.square_sum - (5.0 + 2.0 * 25.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_bulk_insert() {
+        let mut a = ClusteringFeature::from_point(&[1.0, 0.0], 1.0);
+        let b = ClusteringFeature::from_point(&[0.0, 2.0], 3.0);
+        a.merge(&b);
+        let mut direct = ClusteringFeature::empty(2);
+        direct.insert(&[1.0, 0.0], 1.0);
+        direct.insert(&[0.0, 2.0], 3.0);
+        assert_eq!(a, direct);
+    }
+
+    #[test]
+    fn centroid_is_weighted_mean() {
+        let mut cf = ClusteringFeature::empty(1);
+        cf.insert(&[0.0], 1.0);
+        cf.insert(&[4.0], 3.0);
+        assert!((cf.centroid()[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_about_matches_direct_computation() {
+        let pts = [[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]];
+        let ws = [1.0, 2.0, 0.5];
+        let mut cf = ClusteringFeature::empty(2);
+        for (p, &w) in pts.iter().zip(&ws) {
+            cf.insert(p, w);
+        }
+        let c = [0.5, 0.5];
+        let direct: f64 = pts
+            .iter()
+            .zip(&ws)
+            .map(|(p, &w)| w * ((p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2)))
+            .sum();
+        assert!((cf.cost_about(&c) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn internal_cost_is_minimal_over_centers() {
+        let mut cf = ClusteringFeature::empty(1);
+        cf.insert(&[0.0], 1.0);
+        cf.insert(&[2.0], 1.0);
+        let at_centroid = cf.internal_cost();
+        for c in [-1.0, 0.0, 0.5, 1.5, 3.0] {
+            assert!(at_centroid <= cf.cost_about(&[c]) + 1e-12);
+        }
+        assert!((at_centroid - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_feature_is_harmless() {
+        let cf = ClusteringFeature::empty(3);
+        assert_eq!(cf.centroid(), vec![0.0; 3]);
+        assert_eq!(cf.internal_cost(), 0.0);
+        assert_eq!(cf.cost_about(&[1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn after_insert_cost_matches_real_insert() {
+        let mut cf = ClusteringFeature::from_point(&[1.0, 1.0], 2.0);
+        let reference = [1.0, 1.0];
+        let predicted = cf.cost_about_after_insert(&reference, &[3.0, 1.0], 1.5);
+        cf.insert(&[3.0, 1.0], 1.5);
+        assert!((cf.cost_about(&reference) - predicted).abs() < 1e-9);
+    }
+}

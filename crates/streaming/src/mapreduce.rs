@@ -1,0 +1,171 @@
+//! Single-round MapReduce aggregation (Section 2.3).
+//!
+//! The data is partitioned randomly among `workers` computation entities;
+//! each computes a coreset of its shard (here: real OS threads via
+//! crossbeam's scoped spawn); the host unions the shard coresets — a valid
+//! coreset for the full data by composability — and optionally re-compresses
+//! to the target size. Communication is `O(m)` points per worker,
+//! independent of `n`, which is the whole appeal of the scheme.
+
+use fc_core::{CompressionParams, Compressor, Coreset};
+use fc_geom::Dataset;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of the simulated MapReduce round.
+#[derive(Debug)]
+pub struct MapReduceReport {
+    /// The aggregated coreset held by the host.
+    pub coreset: Coreset,
+    /// Points communicated to the host (Σ per-worker coreset sizes).
+    pub communicated_points: usize,
+    /// Shard sizes, for balance diagnostics.
+    pub shard_sizes: Vec<usize>,
+}
+
+/// Runs one MapReduce round: random partition into `workers` shards,
+/// per-worker compression on real threads, union at the host, and a final
+/// reduction when the union exceeds `params.m`.
+pub fn mapreduce_coreset<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &Dataset,
+    compressor: &dyn Compressor,
+    params: &CompressionParams,
+    workers: usize,
+) -> MapReduceReport {
+    assert!(workers > 0, "need at least one worker");
+    assert!(!data.is_empty(), "cannot aggregate an empty dataset");
+
+    // Random partition (the paper: "partitioned randomly among the m
+    // entities").
+    let mut shard_indices: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for i in 0..data.len() {
+        shard_indices[rng.gen_range(0..workers)].push(i);
+    }
+    // Guard against empty shards on tiny inputs.
+    shard_indices.retain(|s| !s.is_empty());
+    let shards: Vec<Dataset> = shard_indices
+        .iter()
+        .map(|idx| {
+            let ws = idx.iter().map(|&i| data.weight(i)).collect();
+            data.gather(idx, ws).expect("indices are in range")
+        })
+        .collect();
+    let shard_sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+
+    // Per-worker compression on real threads; each worker gets its own
+    // deterministic RNG stream.
+    let seeds: Vec<u64> = (0..shards.len()).map(|_| rng.gen()).collect();
+    let results: Mutex<Vec<Option<Coreset>>> = Mutex::new(vec![None; shards.len()]);
+    crossbeam::scope(|scope| {
+        for (w, (shard, seed)) in shards.iter().zip(&seeds).enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let mut worker_rng = StdRng::seed_from_u64(*seed);
+                let c = compressor.compress(&mut worker_rng, shard, params);
+                results.lock()[w] = Some(c);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    let parts: Vec<Coreset> = results
+        .into_inner()
+        .into_iter()
+        .map(|c| c.expect("every worker produced a coreset"))
+        .collect();
+    let communicated_points: usize = parts.iter().map(|c| c.len()).sum();
+    let mut union = parts
+        .into_iter()
+        .reduce(|a, b| a.union(&b).expect("shards share the data dimension"))
+        .expect("at least one shard exists");
+    if union.len() > params.m {
+        let mut host_rng = StdRng::seed_from_u64(rng.gen());
+        union = compressor.compress(&mut host_rng, union.dataset(), params);
+    }
+    MapReduceReport { coreset: union, communicated_points, shard_sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_clustering::CostKind;
+    use fc_core::methods::Uniform;
+    use fc_core::FastCoreset;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(81)
+    }
+
+    fn blobs() -> Dataset {
+        let mut flat = Vec::new();
+        for b in 0..3 {
+            for i in 0..1500 {
+                flat.push(b as f64 * 200.0 + (i % 40) as f64 * 0.01);
+                flat.push((i / 40) as f64 * 0.01);
+            }
+        }
+        Dataset::from_flat(flat, 2).unwrap()
+    }
+
+    #[test]
+    fn aggregation_covers_all_clusters() {
+        let d = blobs();
+        let params = CompressionParams { k: 3, m: 200, kind: CostKind::KMeans };
+        let comp = FastCoreset::default();
+        let mut r = rng();
+        let report = mapreduce_coreset(&mut r, &d, &comp, &params, 4);
+        assert!(report.coreset.len() <= 200);
+        let centers =
+            fc_geom::Points::from_flat(vec![0.2, 0.2, 200.2, 0.2, 400.2, 0.2], 2).unwrap();
+        let full = fc_clustering::cost::cost(&d, &centers, CostKind::KMeans);
+        let agg = report.coreset.cost(&centers, CostKind::KMeans);
+        let ratio = (full / agg).max(agg / full);
+        assert!(ratio < 1.8, "aggregated cost ratio {ratio}");
+    }
+
+    #[test]
+    fn communication_is_bounded_by_workers_times_m() {
+        let d = blobs();
+        let params = CompressionParams { k: 3, m: 100, kind: CostKind::KMeans };
+        let comp = Uniform;
+        let mut r = rng();
+        let report = mapreduce_coreset(&mut r, &d, &comp, &params, 5);
+        assert!(report.communicated_points <= 5 * 100);
+        assert_eq!(report.shard_sizes.iter().sum::<usize>(), d.len());
+    }
+
+    #[test]
+    fn shards_are_roughly_balanced() {
+        let d = blobs();
+        let params = CompressionParams { k: 3, m: 50, kind: CostKind::KMeans };
+        let mut r = rng();
+        let report = mapreduce_coreset(&mut r, &d, &Uniform, &params, 3);
+        let expected = d.len() as f64 / 3.0;
+        for &s in &report.shard_sizes {
+            assert!((s as f64 - expected).abs() < expected * 0.2, "shard size {s}");
+        }
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_plain_compression() {
+        let d = blobs();
+        let params = CompressionParams { k: 3, m: 150, kind: CostKind::KMeans };
+        let mut r = rng();
+        let report = mapreduce_coreset(&mut r, &d, &Uniform, &params, 1);
+        assert!(report.coreset.len() <= 150);
+        let rel = (report.coreset.total_weight() - d.total_weight()).abs() / d.total_weight();
+        assert!(rel < 1e-9, "uniform preserves total weight exactly, drift {rel}");
+    }
+
+    #[test]
+    fn total_weight_survives_aggregation() {
+        let d = blobs();
+        let params = CompressionParams { k: 3, m: 400, kind: CostKind::KMeans };
+        let mut r = rng();
+        let report = mapreduce_coreset(&mut r, &d, &Uniform, &params, 4);
+        let rel = (report.coreset.total_weight() - d.total_weight()).abs() / d.total_weight();
+        assert!(rel < 1e-9, "weight drift {rel}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Merge-&-reduce composition [11, 40] over a black-box compressor.
+//!
+//! The coreset property composes: a coreset of a union is the union of
+//! coresets, and a coreset of a coreset is a (slightly worse) coreset. The
+//! classic Bentley–Saxe schedule keeps at most one summary per level of a
+//! complete binary tree: each block's coreset enters at level 0, and
+//! whenever two summaries share a level they are unioned and re-compressed
+//! one level up. With `b = 8` blocks the surviving summaries cover blocks
+//! `[[8],[7],[5,6],[1,2,3,4]]` — exactly the paper's footnote 10. `finalize`
+//! concatenates the per-level summaries and compresses once more.
+//!
+//! The paper's empirical surprise (Table 5): the accelerated samplers are
+//! *no worse* under this composition, because the tree imposes non-uniform
+//! inclusion probabilities that sometimes help outliers survive.
+
+use fc_core::{CompressionParams, Compressor, Coreset};
+use fc_geom::Dataset;
+use rand::RngCore;
+
+use crate::stream::StreamingCompressor;
+
+/// Merge-&-reduce state over a black-box compressor.
+pub struct MergeReduce<'a> {
+    compressor: &'a dyn Compressor,
+    params: CompressionParams,
+    /// `(level, summary)` pairs; at most one summary per level.
+    stack: Vec<(u32, Coreset)>,
+}
+
+impl<'a> MergeReduce<'a> {
+    /// Creates an empty composition.
+    pub fn new(compressor: &'a dyn Compressor, params: CompressionParams) -> Self {
+        Self { compressor, params, stack: Vec::new() }
+    }
+
+    /// Number of summaries currently held (≤ log₂ #blocks + 1).
+    pub fn summary_count(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The levels currently occupied (diagnostics; strictly decreasing from
+    /// the bottom of the stack).
+    pub fn levels(&self) -> Vec<u32> {
+        self.stack.iter().map(|(l, _)| *l).collect()
+    }
+
+    fn push(&mut self, rng: &mut dyn RngCore, mut level: u32, mut coreset: Coreset) {
+        // Carry propagation: merge equal-level summaries upward.
+        while let Some(&(top_level, _)) = self.stack.last() {
+            if top_level != level {
+                break;
+            }
+            let (_, top) = self.stack.pop().expect("peeked entry exists");
+            let merged = top.union(&coreset).expect("summaries share the data dimension");
+            coreset = Coreset::new(
+                self.compressor
+                    .compress(rng, merged.dataset(), &self.params)
+                    .into_dataset(),
+            );
+            level += 1;
+        }
+        self.stack.push((level, coreset));
+    }
+}
+
+impl StreamingCompressor for MergeReduce<'_> {
+    fn name(&self) -> String {
+        format!("merge-reduce[{}]", self.compressor.name())
+    }
+
+    fn insert_block(&mut self, rng: &mut dyn RngCore, block: &Dataset) {
+        let coreset = self.compressor.compress(rng, block, &self.params);
+        self.push(rng, 0, coreset);
+    }
+
+    fn finalize(&mut self, rng: &mut dyn RngCore) -> Coreset {
+        let mut stack = std::mem::take(&mut self.stack);
+        let Some((_, mut acc)) = stack.pop() else {
+            panic!("finalize called on an empty stream");
+        };
+        for (_, summary) in stack.into_iter().rev() {
+            acc = acc.union(&summary).expect("summaries share the data dimension");
+        }
+        if acc.len() > self.params.m {
+            acc = self.compressor.compress(rng, acc.dataset(), &self.params);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::run_stream;
+    use fc_clustering::CostKind;
+    use fc_core::methods::Uniform;
+    use fc_core::FastCoreset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(61)
+    }
+
+    fn blobs() -> Dataset {
+        let mut flat = Vec::new();
+        for b in 0..4 {
+            for i in 0..1000 {
+                flat.push(b as f64 * 100.0 + (i % 30) as f64 * 0.01);
+                flat.push((i / 30) as f64 * 0.01);
+            }
+        }
+        Dataset::from_flat(flat, 2).unwrap()
+    }
+
+    #[test]
+    fn level_structure_matches_bentley_saxe() {
+        let d = blobs();
+        let params = CompressionParams { k: 4, m: 50, kind: CostKind::KMeans };
+        let comp = Uniform;
+        let mut mr = MergeReduce::new(&comp, params);
+        let mut r = rng();
+        let batch = d.len() / 8;
+        for block in d.chunks(batch).into_iter().take(8) {
+            mr.insert_block(&mut r, &block);
+        }
+        // After 8 blocks: one summary at level 3 (covering 8 blocks).
+        assert_eq!(mr.levels(), vec![3]);
+        // After 3 more: levels 3,1,0 — the footnote-10 shape.
+        for block in blobs().chunks(batch).into_iter().take(3) {
+            mr.insert_block(&mut r, &block);
+        }
+        assert_eq!(mr.levels(), vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn final_coreset_obeys_size_budget() {
+        let d = blobs();
+        let params = CompressionParams { k: 4, m: 80, kind: CostKind::KMeans };
+        let comp = Uniform;
+        let mut mr = MergeReduce::new(&comp, params);
+        let mut r = rng();
+        let c = run_stream(&mut mr, &mut r, &d, 10);
+        assert!(c.len() <= 80, "final size {}", c.len());
+        // Total weight ≈ n.
+        let rel = (c.total_weight() - d.total_weight()).abs() / d.total_weight();
+        assert!(rel < 0.25, "total weight off by {rel}");
+    }
+
+    #[test]
+    fn streaming_coreset_preserves_costs() {
+        let d = blobs();
+        let params = CompressionParams { k: 4, m: 300, kind: CostKind::KMeans };
+        let comp = FastCoreset::default();
+        let mut mr = MergeReduce::new(&comp, params);
+        let mut r = rng();
+        let c = run_stream(&mut mr, &mut r, &d, 8);
+        let centers = fc_geom::Points::from_flat(
+            vec![0.15, 0.15, 100.15, 0.15, 200.15, 0.15, 300.15, 0.15],
+            2,
+        )
+        .unwrap();
+        let full = fc_clustering::cost::cost(&d, &centers, CostKind::KMeans);
+        let comp_cost = c.cost(&centers, CostKind::KMeans);
+        let ratio = (full / comp_cost).max(comp_cost / full);
+        assert!(ratio < 1.8, "streaming cost ratio {ratio}");
+    }
+
+    #[test]
+    fn single_block_stream_equals_static_compression() {
+        let d = blobs();
+        let params = CompressionParams { k: 4, m: 100, kind: CostKind::KMeans };
+        let comp = Uniform;
+        let mut mr = MergeReduce::new(&comp, params);
+        let mut r1 = rng();
+        let streamed = run_stream(&mut mr, &mut r1, &d, 1);
+        let mut r2 = rng();
+        let static_c = comp.compress(&mut r2, &d, &params);
+        // Identical RNG consumption: one block = one plain compression.
+        assert_eq!(streamed.dataset(), static_c.dataset());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn finalize_without_blocks_panics() {
+        let params = CompressionParams { k: 2, m: 10, kind: CostKind::KMeans };
+        let comp = Uniform;
+        let mut mr = MergeReduce::new(&comp, params);
+        let mut r = rng();
+        let _ = mr.finalize(&mut r);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the streaming machinery.
+
+use fc_clustering::CostKind;
+use fc_core::methods::Uniform;
+use fc_core::CompressionParams;
+use fc_geom::Dataset;
+use fc_streaming::cf::ClusteringFeature;
+use fc_streaming::stream::{run_stream, StreamingCompressor};
+use fc_streaming::MergeReduce;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (16usize..120, 1usize..4).prop_flat_map(|(n, dim)| {
+        prop::collection::vec(-200.0f64..200.0, n * dim)
+            .prop_map(move |flat| Dataset::from_flat(flat, dim).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cf_merge_is_order_independent(
+        pts in prop::collection::vec((prop::collection::vec(-10.0f64..10.0, 3), 0.1f64..5.0), 2..20)
+    ) {
+        let mut forward = ClusteringFeature::empty(3);
+        for (p, w) in &pts {
+            forward.insert(p, *w);
+        }
+        let mut backward = ClusteringFeature::empty(3);
+        for (p, w) in pts.iter().rev() {
+            backward.insert(p, *w);
+        }
+        prop_assert!((forward.weight - backward.weight).abs() < 1e-9);
+        prop_assert!((forward.square_sum - backward.square_sum).abs() < 1e-6);
+        for (a, b) in forward.linear_sum.iter().zip(&backward.linear_sum) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cf_internal_cost_is_nonnegative_and_additive_lower_bound(
+        pts in prop::collection::vec((prop::collection::vec(-10.0f64..10.0, 2), 0.1f64..5.0), 2..16)
+    ) {
+        // Internal cost of a merged feature >= sum of parts (merging cannot
+        // reduce quantization error).
+        let mid = pts.len() / 2;
+        let mut a = ClusteringFeature::empty(2);
+        for (p, w) in &pts[..mid] {
+            a.insert(p, *w);
+        }
+        let mut b = ClusteringFeature::empty(2);
+        for (p, w) in &pts[mid..] {
+            b.insert(p, *w);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert!(merged.internal_cost() >= -1e-9);
+        prop_assert!(
+            merged.internal_cost() + 1e-6 >= a.internal_cost() + b.internal_cost(),
+            "merged {} < parts {} + {}",
+            merged.internal_cost(), a.internal_cost(), b.internal_cost()
+        );
+    }
+
+    #[test]
+    fn merge_reduce_preserves_total_weight_with_uniform(
+        d in dataset_strategy(),
+        seed in any::<u64>(),
+        blocks in 1usize..8,
+    ) {
+        let m = (d.len() / 3).max(4);
+        let params = CompressionParams { k: 2, m, kind: CostKind::KMeans };
+        let comp = Uniform;
+        let mut mr = MergeReduce::new(&comp, params);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = run_stream(&mut mr, &mut rng, &d, blocks);
+        // Uniform re-weighting preserves mass exactly at every level.
+        let drift = (c.total_weight() - d.total_weight()).abs();
+        prop_assert!(drift < 1e-6 * d.total_weight().max(1.0), "drift {drift}");
+        prop_assert!(c.len() <= m.max(d.len()));
+    }
+
+    #[test]
+    fn merge_reduce_summary_count_is_logarithmic(
+        d in dataset_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let params = CompressionParams { k: 2, m: 8, kind: CostKind::KMeans };
+        let comp = Uniform;
+        let mut mr = MergeReduce::new(&comp, params);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blocks: Vec<Dataset> = d.chunks((d.len() / 9).max(1));
+        let b = blocks.len();
+        for block in &blocks {
+            mr.insert_block(&mut rng, block);
+        }
+        let bound = (b as f64).log2().floor() as usize + 1;
+        prop_assert!(
+            mr.summary_count() <= bound,
+            "{} summaries for {} blocks (bound {})",
+            mr.summary_count(), b, bound
+        );
+    }
+
+    #[test]
+    fn streamkm_tree_reduce_weight_exact(d in dataset_strategy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = (d.len() / 4).max(2);
+        let c = fc_streaming::streamkm::coreset_tree_reduce(&mut rng, &d, m);
+        let drift = (c.total_weight() - d.total_weight()).abs();
+        prop_assert!(drift < 1e-6 * d.total_weight().max(1.0));
+        prop_assert!(c.len() <= m.max(d.len()));
+        prop_assert!(c.dataset().weights().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn bico_weight_exact_under_any_budget(
+        d in dataset_strategy(),
+        budget in 2usize..40,
+    ) {
+        let mut bico = fc_streaming::Bico::new(d.dim(), fc_streaming::BicoConfig::with_target(budget));
+        for (p, &w) in d.points().iter().zip(d.weights()) {
+            bico.insert(p, w);
+        }
+        let c = bico.coreset();
+        let drift = (c.total_weight() - d.total_weight()).abs();
+        prop_assert!(drift < 1e-6 * d.total_weight().max(1.0), "drift {drift}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Quality-focused workflow: compress, cluster with both Lloyd and the
+//! Hamerly-accelerated solver, and report the internal quality indices —
+//! everything a practitioner wants beyond the raw objective.
+//!
+//! ```sh
+//! cargo run --release --example cluster_quality
+//! ```
+
+use fast_coresets::prelude::*;
+use fc_clustering::hamerly::{hamerly_kmeans, pruning_rate};
+use fc_clustering::lloyd::LloydConfig;
+use fc_clustering::metrics::{cluster_profile, davies_bouldin, silhouette_sampled};
+use fc_core::pipeline::{Method, Pipeline};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let k = 24;
+    let data = fc_data::gaussian_mixture(
+        &mut rng,
+        fc_data::GaussianMixtureConfig { n: 150_000, d: 16, kappa: k, gamma: 1.2, ..Default::default() },
+    );
+    println!("dataset: {} x {}", data.len(), data.dim());
+
+    // One-liner pipeline: compress with Fast-Coresets, solve, evaluate.
+    let outcome = Pipeline::new(k).method(Method::FastCoreset).run(&mut rng, &data);
+    println!(
+        "pipeline: coreset {} pts in {:.2}s, solve {:.2}s, distortion {:.3}",
+        outcome.coreset.len(),
+        outcome.compress_secs,
+        outcome.solve_secs,
+        outcome.distortion.expect("evaluation on"),
+    );
+
+    // Compare Lloyd vs Hamerly on the coreset (identical objectives, the
+    // accelerated solver skips most assignment scans).
+    let seeding =
+        fc_clustering::kmeanspp::kmeanspp(&mut rng, outcome.coreset.dataset(), k, CostKind::KMeans);
+    let cfg = LloydConfig::fixed(12);
+    let t0 = std::time::Instant::now();
+    let lloyd = fc_clustering::lloyd::refine(
+        outcome.coreset.dataset(),
+        seeding.centers.clone(),
+        CostKind::KMeans,
+        cfg,
+    );
+    let lloyd_time = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let fast = hamerly_kmeans(outcome.coreset.dataset(), seeding.centers.clone(), cfg);
+    let fast_time = t1.elapsed();
+    let rate = pruning_rate(outcome.coreset.dataset(), seeding.centers, cfg);
+    println!(
+        "refinement: lloyd {:.2?} (cost {:.4e}) vs hamerly {:.2?} (cost {:.4e}, {:.0}% scans skipped)",
+        lloyd_time, lloyd.cost, fast_time, fast.cost, rate * 100.0,
+    );
+
+    // Quality indices of the final solution, measured on the coreset.
+    let assignment = fc_clustering::assign::assign(
+        outcome.coreset.dataset().points(),
+        &fast.centers,
+        CostKind::KMeans,
+    );
+    let db = davies_bouldin(outcome.coreset.dataset(), &assignment, &fast.centers);
+    let sil = silhouette_sampled(&mut rng, outcome.coreset.dataset(), &assignment, k, 200);
+    let profile = cluster_profile(outcome.coreset.dataset(), &assignment, &fast.centers, CostKind::KMeans);
+    let (min_w, max_w) = profile
+        .weights
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &w| (lo.min(w), hi.max(w)));
+    println!("quality: davies-bouldin {db:.3}, silhouette {sil:.3}");
+    println!(
+        "clusters: weights from {:.0} to {:.0} (imbalance {:.1}x), largest radius {:.2}",
+        min_w,
+        max_w,
+        max_w / min_w.max(1.0),
+        profile.radii.iter().cloned().fold(0.0, f64::max),
+    );
+}

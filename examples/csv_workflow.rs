@@ -1,0 +1,71 @@
+//! A file-based workflow: generate (or bring your own) CSV data, compress
+//! it, persist the weighted coreset, and cluster from the saved artifact —
+//! the shape of a real compression pipeline where the coreset, not the raw
+//! data, is what gets shipped around.
+//!
+//! ```sh
+//! cargo run --release --example csv_workflow
+//! ```
+
+use fast_coresets::prelude::*;
+use fc_geom::io;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = PathBuf::from("target/csv_workflow");
+    std::fs::create_dir_all(&dir)?;
+    let raw_path = dir.join("raw.csv");
+    let coreset_path = dir.join("coreset.csv");
+    let binary_path = dir.join("raw.fcds");
+
+    // 1. Produce the "incoming" data file (stand-in for an export from a
+    //    warehouse): 50k points, 8 features.
+    let mut rng = StdRng::seed_from_u64(12);
+    let data = fc_data::gaussian_mixture(
+        &mut rng,
+        fc_data::GaussianMixtureConfig { n: 50_000, d: 8, kappa: 12, gamma: 1.0, ..Default::default() },
+    );
+    io::write_csv(&raw_path, &data, false)?;
+    io::write_binary(&binary_path, &data, false)?;
+    let csv_size = std::fs::metadata(&raw_path)?.len();
+    let bin_size = std::fs::metadata(&binary_path)?.len();
+    println!("wrote {} ({csv_size} bytes csv, {bin_size} bytes binary)", raw_path.display());
+
+    // 2. Load, compress, persist the coreset WITH its weights.
+    let loaded = io::read_csv(&raw_path, false, false)?;
+    assert_eq!(loaded.len(), data.len());
+    let k = 12;
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let coreset = FastCoreset::default().compress(&mut rng, &loaded, &params);
+    io::write_csv(&coreset_path, coreset.dataset(), true)?;
+    let coreset_size = std::fs::metadata(&coreset_path)?.len();
+    println!(
+        "coreset: {} -> {} points persisted to {} ({coreset_size} bytes, {:.1}x smaller)",
+        loaded.len(),
+        coreset.len(),
+        coreset_path.display(),
+        csv_size as f64 / coreset_size as f64,
+    );
+
+    // 3. A downstream consumer loads ONLY the coreset file and clusters it.
+    let shipped = io::read_csv(&coreset_path, true, false)?;
+    let solution = fc_clustering::lloyd::solve(
+        &mut rng,
+        &shipped,
+        k,
+        CostKind::KMeans,
+        fc_clustering::lloyd::LloydConfig::default(),
+    );
+
+    // 4. Verify against the original data (the consumer normally can't).
+    let full_cost = solution.cost_on(&data, CostKind::KMeans);
+    let shipped_cost = solution.cost_on(&shipped, CostKind::KMeans);
+    println!(
+        "solution priced on coreset: {shipped_cost:.4e}; on original data: {full_cost:.4e} \
+         (ratio {:.3})",
+        (full_cost / shipped_cost).max(shipped_cost / full_cost)
+    );
+    Ok(())
+}

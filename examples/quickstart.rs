@@ -1,0 +1,66 @@
+//! Quickstart: compress a dataset with a Fast-Coreset, cluster the
+//! compression, and verify it prices solutions like the full data.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fast_coresets::prelude::*;
+use fc_clustering::lloyd::LloydConfig;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // 100 000 points in 20 dimensions from an imbalanced Gaussian mixture —
+    // the kind of instance where naive sampling starts missing clusters.
+    let data = fc_data::gaussian_mixture(
+        &mut rng,
+        fc_data::GaussianMixtureConfig {
+            n: 100_000,
+            d: 20,
+            kappa: 30,
+            gamma: 2.0,
+            ..Default::default()
+        },
+    );
+    println!("dataset: {} points x {} dims", data.len(), data.dim());
+
+    // Compress to m = 40k points with the strong-coreset guarantee.
+    let k = 30;
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let start = std::time::Instant::now();
+    let coreset = FastCoreset::default().compress(&mut rng, &data, &params);
+    println!(
+        "fast-coreset: {} -> {} weighted points in {:.2?} (total weight {:.0})",
+        data.len(),
+        coreset.len(),
+        start.elapsed(),
+        coreset.total_weight(),
+    );
+
+    // Cluster the coreset (not the data!) and price the result on both.
+    let report = fc_core::distortion(
+        &mut rng,
+        &data,
+        &coreset,
+        k,
+        CostKind::KMeans,
+        LloydConfig::default(),
+    );
+    println!("cost of the coreset-derived solution on the full data: {:.4e}", report.cost_full);
+    println!("cost of the same solution on the coreset:              {:.4e}", report.cost_coreset);
+    println!("coreset distortion: {:.4}  (1.0 = perfect, >5 = failure)", report.distortion);
+
+    // Contrast with uniform sampling at the same size.
+    let uniform = Uniform.compress(&mut rng, &data, &params);
+    let u_report = fc_core::distortion(
+        &mut rng,
+        &data,
+        &uniform,
+        k,
+        CostKind::KMeans,
+        LloydConfig::default(),
+    );
+    println!("uniform-sampling distortion at the same size: {:.4}", u_report.distortion);
+}

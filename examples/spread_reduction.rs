@@ -1,0 +1,81 @@
+//! The Section-4 machinery, step by step: a dataset with astronomically
+//! large spread makes the quadtree (and hence `Fast-kmeans++`) deep and
+//! slow; `Crude-Approx` (Algorithm 2) bounds OPT in `Õ(nd log log Δ)`, and
+//! `Reduce-Spread` (Algorithm 3) collapses empty space so the spread — and
+//! the runtime — become independent of the original `Δ`.
+//!
+//! ```sh
+//! cargo run --release --example spread_reduction
+//! ```
+
+use fast_coresets::prelude::*;
+use fc_core::fast_coreset::FastCoresetConfig;
+use fc_quadtree::spread::SpreadParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let k = 20;
+
+    // The Table-1 stress set: geometric sequences drive log Δ up with r.
+    let n = 60_000;
+    let r = 45;
+    let data = fc_data::spread_stress::spread_stress(&mut rng, n, n / 5, r);
+    println!("spread-stress dataset: n = {n}, r = {r} (log2 spread ~ r)");
+
+    // Algorithm 2: crude upper bound on OPT.
+    let start = std::time::Instant::now();
+    let bound = fc_quadtree::crude_approx(
+        &mut rng,
+        data.points(),
+        k,
+        CostKind::KMedian,
+        data.total_weight(),
+    );
+    println!(
+        "\nCrude-Approx: U = {:.3e} at cell side {:.3e} using {} counting passes \
+         (O(log log spread))",
+        bound.upper, bound.side, bound.probes
+    );
+
+    // Algorithm 3: diameter + minimum-distance reduction.
+    let params = SpreadParams::practical(data.len(), data.dim());
+    let (reduced, map) = fc_quadtree::reduce_spread(&mut rng, data.points(), bound.upper, params);
+    let before = fc_geom::bbox::diameter_upper_bound(data.points());
+    let after = fc_geom::bbox::diameter_upper_bound(&reduced);
+    println!(
+        "Reduce-Spread: diameter {before:.3e} -> {after:.3e} across {} boxes; \
+         rounding pitch g = {:.3e} ({:.2?} total)",
+        map.box_count(),
+        map.g,
+        start.elapsed()
+    );
+
+    // End to end: Fast-Coreset with and without the reduction.
+    let cparams = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    for (label, reduce) in [("without reduce-spread", false), ("with reduce-spread", true)] {
+        let fc = FastCoreset::with_config(FastCoresetConfig {
+            use_jl: false,
+            reduce_spread: reduce,
+            ..Default::default()
+        });
+        let start = std::time::Instant::now();
+        let coreset = fc.compress(&mut rng, &data, &cparams);
+        let elapsed = start.elapsed();
+        let rep = fc_core::distortion(
+            &mut rng,
+            &data,
+            &coreset,
+            k,
+            CostKind::KMeans,
+            fc_clustering::lloyd::LloydConfig::default(),
+        );
+        println!("fast-coreset {label:<24} build {elapsed:>8.2?}  distortion {:.3}", rep.distortion);
+    }
+
+    println!(
+        "\nThe reduction trades an O(nd log log spread) preprocessing pass for a \
+         tree of depth poly-log(n, d) — Corollary 3.2 + Theorem 4.6."
+    );
+}

@@ -1,0 +1,77 @@
+//! Streaming compression with merge-&-reduce (paper §5.4): consume a stream
+//! of blocks while holding only O(m log n) points, then compare against the
+//! one-shot static compression and the specialized streaming baselines
+//! (BICO, StreamKM++).
+//!
+//! ```sh
+//! cargo run --release --example streaming_pipeline
+//! ```
+
+use fast_coresets::prelude::*;
+use fc_clustering::lloyd::LloydConfig;
+use fc_streaming::bico::{BicoConfig, BicoStream};
+use fc_streaming::stream::run_stream;
+use fc_streaming::StreamKm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let k = 25;
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+
+    // The "stream": an imbalanced mixture arriving in 20 blocks.
+    let data = fc_data::gaussian_mixture(
+        &mut rng,
+        fc_data::GaussianMixtureConfig { n: 120_000, d: 15, kappa: 25, gamma: 1.5, ..Default::default() },
+    );
+    let blocks = 20;
+    println!("stream: {} points in {blocks} blocks, target size m = {}", data.len(), params.m);
+
+    // 1. Merge-&-reduce over the Fast-Coreset compressor.
+    let fast = FastCoreset::default();
+    let mut mr = MergeReduce::new(&fast, params);
+    let start = std::time::Instant::now();
+    let streamed = run_stream(&mut mr, &mut rng, &data, blocks);
+    let stream_time = start.elapsed();
+
+    // 2. The same compressor, one shot over the whole data (the "cheating"
+    //    baseline that holds everything in memory).
+    let start = std::time::Instant::now();
+    let static_c = fast.compress(&mut rng, &data, &params);
+    let static_time = start.elapsed();
+
+    // 3. The streaming baselines.
+    let start = std::time::Instant::now();
+    let mut bico = BicoStream::new(BicoConfig::with_target(params.m));
+    let bico_c = run_stream(&mut bico, &mut rng, &data, blocks);
+    let bico_time = start.elapsed();
+
+    let start = std::time::Instant::now();
+    let mut skm = StreamKm::new(data.dim(), params.m);
+    let skm_c = run_stream(&mut skm, &mut rng, &data, blocks);
+    let skm_time = start.elapsed();
+
+    println!("\n{:<28} {:>8} {:>12} {:>10}", "pipeline", "size", "build time", "distortion");
+    for (name, coreset, t) in [
+        ("merge-reduce[fast-coreset]", &streamed, stream_time),
+        ("static fast-coreset", &static_c, static_time),
+        ("BICO", &bico_c, bico_time),
+        ("StreamKM++", &skm_c, skm_time),
+    ] {
+        let rep = fc_core::distortion(
+            &mut rng,
+            &data,
+            coreset,
+            k,
+            CostKind::KMeans,
+            LloydConfig::default(),
+        );
+        println!("{name:<28} {:>8} {t:>12.2?} {:>10.3}", coreset.len(), rep.distortion);
+    }
+
+    println!(
+        "\nPaper Table 5's finding: composition does not degrade the sampling \
+         methods — streaming distortions track the static ones."
+    );
+}

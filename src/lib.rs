@@ -1,0 +1,70 @@
+//! # fast-coresets
+//!
+//! A Rust implementation of *"Settling Time vs. Accuracy Tradeoffs for
+//! Clustering Big Data"* (Draganov, Saulpic, Schwiegelshohn — SIGMOD 2024):
+//! near-linear-time strong coresets for k-means and k-median, the full
+//! speed/accuracy spectrum of sampling compressors, and the streaming /
+//! MapReduce composition machinery around them.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fast_coresets::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! // A Gaussian-mixture dataset (one of the paper's §5.2 instances).
+//! let data = fc_data::gaussian_mixture(
+//!     &mut rng,
+//!     fc_data::GaussianMixtureConfig { n: 2_000, d: 10, kappa: 8, ..Default::default() },
+//! );
+//!
+//! // Compress 2 000 points down to 200 with a strong-coreset guarantee.
+//! let params = CompressionParams { k: 8, m: 200, kind: CostKind::KMeans };
+//! let coreset = FastCoreset::default().compress(&mut rng, &data, &params);
+//!
+//! // Cluster the coreset and measure how faithfully it priced the data.
+//! let report = fc_core::distortion(
+//!     &mut rng, &data, &coreset, params.k, params.kind, LloydConfig::default(),
+//! );
+//! assert!(report.distortion < 2.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`fc_geom`] | point stores, weighted datasets, distances, JL projections, weighted sampling |
+//! | [`fc_clustering`] | k-means++ seeding, Lloyd/Weiszfeld refinement, cost evaluation |
+//! | [`fc_quadtree`] | compressed quadtrees, Fast-kmeans++, Crude-Approx, Reduce-Spread, HST k-median |
+//! | [`fc_core`] | Fast-Coresets (Algorithm 1), uniform/lightweight/welterweight/sensitivity samplers, distortion metric |
+//! | [`fc_streaming`] | merge-&-reduce, BICO, StreamKM++, MapReduce aggregation |
+//! | [`fc_data`] | the paper's artificial datasets and real-world proxies |
+
+pub use fc_clustering;
+pub use fc_core;
+pub use fc_data;
+pub use fc_geom;
+pub use fc_quadtree;
+pub use fc_streaming;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use fc_clustering::lloyd::LloydConfig;
+    pub use fc_clustering::CostKind;
+    pub use fc_core::{
+        CompressionParams, Compressor, Coreset, FastCoreset, FastCoresetConfig, Lightweight,
+        StandardSensitivity, Uniform, Welterweight,
+    };
+    pub use fc_geom::{Dataset, Points};
+    pub use fc_streaming::{MergeReduce, StreamingCompressor};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let _ = CompressionParams { k: 2, m: 10, kind: CostKind::KMeans };
+    }
+}

@@ -1,0 +1,100 @@
+//! Persistence round-trips at the workflow level: a coreset written to disk
+//! and read back must price solutions identically, and the scaling
+//! transforms must compose with compression.
+
+use fast_coresets::prelude::*;
+use fc_geom::io;
+use fc_geom::scaling::AxisScaler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fast-coresets-it-{}-{name}", std::process::id()));
+    p
+}
+
+fn mixture(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    fc_data::gaussian_mixture(
+        &mut rng,
+        fc_data::GaussianMixtureConfig { n: 6_000, d: 8, kappa: 6, ..Default::default() },
+    )
+}
+
+#[test]
+fn persisted_coreset_prices_identically() {
+    let data = mixture(71);
+    let k = 6;
+    let params = CompressionParams::with_scalar(k, 30, CostKind::KMeans);
+    let mut rng = StdRng::seed_from_u64(72);
+    let coreset = FastCoreset::default().compress(&mut rng, &data, &params);
+
+    let csv = tmp("coreset.csv");
+    let bin = tmp("coreset.fcds");
+    io::write_csv(&csv, coreset.dataset(), true).unwrap();
+    io::write_binary(&bin, coreset.dataset(), true).unwrap();
+    let from_csv = Coreset::new(io::read_csv(&csv, true, false).unwrap());
+    let from_bin = Coreset::new(io::read_binary(&bin).unwrap());
+
+    let seeding = fc_clustering::kmeanspp::kmeanspp(&mut rng, &data, k, CostKind::KMeans);
+    let direct = coreset.cost(&seeding.centers, CostKind::KMeans);
+    // Binary is bit-exact; CSV via decimal round-trips f64 exactly with
+    // Rust's shortest-representation formatting.
+    assert_eq!(from_bin.cost(&seeding.centers, CostKind::KMeans), direct);
+    let csv_cost = from_csv.cost(&seeding.centers, CostKind::KMeans);
+    assert!((csv_cost - direct).abs() < 1e-9 * direct.max(1.0));
+
+    let _ = std::fs::remove_file(csv);
+    let _ = std::fs::remove_file(bin);
+}
+
+#[test]
+fn compression_composes_with_standardization() {
+    // Standardize -> compress -> cluster -> map centers back: the restored
+    // solution must price sanely in original units.
+    let data = mixture(73);
+    let k = 6;
+    let scaler = AxisScaler::standardize(&data).unwrap();
+    let scaled = scaler.transform_dataset(&data).unwrap();
+
+    let params = CompressionParams::with_scalar(k, 30, CostKind::KMeans);
+    let mut rng = StdRng::seed_from_u64(74);
+    let coreset = FastCoreset::default().compress(&mut rng, &scaled, &params);
+    let sol = fc_core::solve_on_coreset(
+        &mut rng,
+        &coreset,
+        k,
+        CostKind::KMeans,
+        fc_clustering::lloyd::LloydConfig::default(),
+    );
+    let restored = scaler.inverse_transform(&sol.centers).unwrap();
+
+    // Compare against clustering the original data directly.
+    let direct = fc_clustering::lloyd::solve(
+        &mut rng,
+        &data,
+        k,
+        CostKind::KMeans,
+        fc_clustering::lloyd::LloydConfig::default(),
+    );
+    let restored_cost = fc_clustering::cost::cost(&data, &restored, CostKind::KMeans);
+    assert!(
+        restored_cost < direct.cost * 3.0,
+        "restored cost {restored_cost} vs direct {}",
+        direct.cost
+    );
+}
+
+#[test]
+fn binary_format_survives_large_weighted_data() {
+    let data = mixture(75);
+    let mut rng = StdRng::seed_from_u64(76);
+    let params = CompressionParams::with_scalar(4, 100, CostKind::KMeans);
+    let coreset = Lightweight.compress(&mut rng, &data, &params);
+    let path = tmp("large.fcds");
+    io::write_binary(&path, coreset.dataset(), true).unwrap();
+    let back = io::read_binary(&path).unwrap();
+    assert_eq!(&back, coreset.dataset());
+    let _ = std::fs::remove_file(path);
+}
