@@ -25,7 +25,10 @@ fn main() {
 
     // --- 1. Weight mode -----------------------------------------------
     let suite = fc_bench::artificial_suite(&mut rng, &cfg);
-    let gaussian = suite.iter().find(|d| d.name == "gaussian").expect("suite has gaussian");
+    let gaussian = suite
+        .iter()
+        .find(|d| d.name == "gaussian")
+        .expect("suite has gaussian");
     let taxi = fc_bench::real_suite(&mut rng, &cfg)
         .into_iter()
         .find(|d| d.name == "taxi")
@@ -35,7 +38,11 @@ fn main() {
         &["dataset", "unbiased", "rebalanced (eps=0.1)"],
     );
     for named in [gaussian, &taxi] {
-        let params = CompressionParams { k: named.k, m: 40 * named.k, kind: DEFAULT_KIND };
+        let params = CompressionParams {
+            k: named.k,
+            m: 40 * named.k,
+            kind: DEFAULT_KIND,
+        };
         let unbiased = FastCoreset::with_config(FastCoresetConfig {
             weight_mode: WeightMode::Unbiased,
             ..Default::default()
@@ -46,7 +53,11 @@ fn main() {
         });
         let du = distortions(&measure_static(&cfg, named, &unbiased, &params, 0xD100));
         let dr = distortions(&measure_static(&cfg, named, &rebalanced, &params, 0xD200));
-        t1.row(vec![named.name.clone(), fmt_mean_var(&du), fmt_mean_var(&dr)]);
+        t1.row(vec![
+            named.name.clone(),
+            fmt_mean_var(&du),
+            fmt_mean_var(&dr),
+        ]);
     }
     t1.print();
 
@@ -55,9 +66,19 @@ fn main() {
         .into_iter()
         .find(|d| d.name == "mnist")
         .expect("suite has mnist");
-    let params = CompressionParams { k: mnist.k, m: 40 * mnist.k, kind: DEFAULT_KIND };
-    let with_jl = FastCoreset::with_config(FastCoresetConfig { use_jl: true, ..Default::default() });
-    let no_jl = FastCoreset::with_config(FastCoresetConfig { use_jl: false, ..Default::default() });
+    let params = CompressionParams {
+        k: mnist.k,
+        m: 40 * mnist.k,
+        kind: DEFAULT_KIND,
+    };
+    let with_jl = FastCoreset::with_config(FastCoresetConfig {
+        use_jl: true,
+        ..Default::default()
+    });
+    let no_jl = FastCoreset::with_config(FastCoresetConfig {
+        use_jl: false,
+        ..Default::default()
+    });
     let m_jl = measure_static(&cfg, &mnist, &with_jl, &params, 0xD300);
     let m_raw = measure_static(&cfg, &mnist, &no_jl, &params, 0xD400);
     let mut t2 = Table::new(
@@ -89,7 +110,11 @@ fn main() {
             data: fc_data::spread_stress::spread_stress(&mut gen_rng, n, n / 5, r),
             k: cfg.k_small,
         };
-        let params = CompressionParams { k: named.k, m: 40 * named.k, kind: DEFAULT_KIND };
+        let params = CompressionParams {
+            k: named.k,
+            m: 40 * named.k,
+            kind: DEFAULT_KIND,
+        };
         let without = FastCoreset::with_config(FastCoresetConfig {
             use_jl: false,
             reduce_spread: false,
@@ -127,7 +152,11 @@ fn main() {
         ),
         k: cfg.k_small,
     };
-    let params = CompressionParams { k: gm.k, m: 40 * gm.k, kind: DEFAULT_KIND };
+    let params = CompressionParams {
+        k: gm.k,
+        m: 40 * gm.k,
+        kind: DEFAULT_KIND,
+    };
     let mut t4 = Table::new(
         "Ablation 4: welterweight j sweep on an imbalanced mixture (distortion)",
         &["j", "distortion"],
@@ -146,7 +175,11 @@ fn main() {
         "Ablation 5: battery (worst-of-many-solutions) distortion on the taxi proxy",
         &["method", "single-solution", "battery max", "battery mean"],
     );
-    let params = CompressionParams { k: taxi.k, m: 40 * taxi.k, kind: DEFAULT_KIND };
+    let params = CompressionParams {
+        k: taxi.k,
+        m: 40 * taxi.k,
+        kind: DEFAULT_KIND,
+    };
     let battery_methods: Vec<(&str, Box<dyn fc_core::Compressor>)> = vec![
         ("uniform", Box::new(fc_core::methods::Uniform)),
         ("fast-coreset", Box::new(FastCoreset::default())),

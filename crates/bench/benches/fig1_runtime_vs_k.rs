@@ -17,7 +17,9 @@ fn main() {
     let mut datasets = fc_bench::artificial_suite(&mut rng, &cfg);
     // Figure 1 also includes Adult.
     datasets.extend(
-        fc_bench::real_suite(&mut rng, &cfg).into_iter().filter(|d| d.name == "adult"),
+        fc_bench::real_suite(&mut rng, &cfg)
+            .into_iter()
+            .filter(|d| d.name == "adult"),
     );
     let ks = [50usize, 100, 200, 400];
     let sensitivity = fc_bench::scenarios::sensitivity_baseline();
@@ -32,7 +34,11 @@ fn main() {
         let mut sens_at: Vec<f64> = Vec::new();
         let mut fast_at: Vec<f64> = Vec::new();
         for &k in &ks {
-            let params = CompressionParams { k, m: 40 * k, kind: DEFAULT_KIND };
+            let params = CompressionParams {
+                k,
+                m: 40 * k,
+                kind: DEFAULT_KIND,
+            };
             let st = measure_build_only(&cfg, named, &sensitivity, &params, 0x100 + k as u64);
             let ft = measure_build_only(&cfg, named, &fast, &params, 0x200 + k as u64);
             table.row(vec![
@@ -59,7 +65,11 @@ fn main() {
         &["dataset", "sensitivity growth", "fast-coreset growth"],
     );
     for (named, (sg, fg)) in datasets.iter().zip(&shape_check) {
-        shape.row(vec![named.name.clone(), format!("{sg:.2}x"), format!("{fg:.2}x")]);
+        shape.row(vec![
+            named.name.clone(),
+            format!("{sg:.2}x"),
+            format!("{fg:.2}x"),
+        ]);
     }
     shape.print();
 }

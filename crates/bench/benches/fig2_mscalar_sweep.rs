@@ -24,11 +24,23 @@ fn main() {
     for &m_scalar in &[40usize, 80] {
         let mut dist_table = Table::new(
             format!("Figure 2 (top): distortion at m = {m_scalar}k"),
-            &["dataset", "uniform", "lightweight", "welterweight", "fast-coreset"],
+            &[
+                "dataset",
+                "uniform",
+                "lightweight",
+                "welterweight",
+                "fast-coreset",
+            ],
         );
         let mut time_table = Table::new(
             format!("Figure 2 (bottom): build runtime (seconds) at m = {m_scalar}k"),
-            &["dataset", "uniform", "lightweight", "welterweight", "fast-coreset"],
+            &[
+                "dataset",
+                "uniform",
+                "lightweight",
+                "welterweight",
+                "fast-coreset",
+            ],
         );
         for (di, named) in suite.iter().enumerate() {
             let params = params_for(named, m_scalar, DEFAULT_KIND);
@@ -38,7 +50,11 @@ fn main() {
                 let salt = 0xA000 + (di * 16 + mi) as u64 + m_scalar as u64 * 977;
                 let ms = measure_static(&cfg, named, method.as_ref(), &params, salt);
                 let ds = distortions(&ms);
-                dist_cells.push(format!("{}{}", fmt_mean_var(&ds), failure_marker(mean(&ds))));
+                dist_cells.push(format!(
+                    "{}{}",
+                    fmt_mean_var(&ds),
+                    failure_marker(mean(&ds))
+                ));
                 time_cells.push(fmt_mean_var(&build_times(&ms)));
             }
             dist_table.row(dist_cells);

@@ -37,9 +37,8 @@ fn figure3_dataset<R: Rng + ?Sized>(rng: &mut R, n: usize) -> (Dataset, [f64; 2]
     use rand_distr::{Distribution, StandardNormal};
     let small_center = [0.0f64, 0.0];
     let small_n = (n / 250).max(50); // ~0.4% of points, ~400 at n = 100k
-    // Large clusters placed symmetrically so the global mean ≈ the origin.
-    let big_centers: [[f64; 2]; 4] =
-        [[-60.0, 0.0], [60.0, 0.0], [0.0, -60.0], [0.0, 60.0]];
+                                     // Large clusters placed symmetrically so the global mean ≈ the origin.
+    let big_centers: [[f64; 2]; 4] = [[-60.0, 0.0], [60.0, 0.0], [0.0, -60.0], [0.0, 60.0]];
     let per_big = (n - small_n) / 4;
     let mut flat = Vec::with_capacity(n * 2);
     for c in big_centers {
@@ -79,7 +78,11 @@ fn main() {
     let n = ((100_000.0 * cfg.scale) as usize).max(5_000);
     let m = 200usize;
     let k = 5usize;
-    let params = CompressionParams { k, m, kind: fc_clustering::CostKind::KMeans };
+    let params = CompressionParams {
+        k,
+        m,
+        kind: fc_clustering::CostKind::KMeans,
+    };
 
     let out_dir = std::path::Path::new("target/fig3");
     let _ = std::fs::create_dir_all(out_dir);
@@ -108,7 +111,10 @@ fn main() {
     }
 
     let mut table = Table::new(
-        format!("Figure 3: capture of the small central cluster (~{} pts of {n}; coreset m = {m})", (n / 250).max(50)),
+        format!(
+            "Figure 3: capture of the small central cluster (~{} pts of {n}; coreset m = {m})",
+            (n / 250).max(50)
+        ),
         &["method", "runs capturing the circled cluster", "rate"],
     );
     table.row(vec![

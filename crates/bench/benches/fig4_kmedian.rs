@@ -22,15 +22,26 @@ fn main() {
     for &m_scalar in &[40usize, 60, 80] {
         let mut table = Table::new(
             format!("Figure 4: k-median distortion (single run), m = {m_scalar}k"),
-            &["dataset", "uniform", "lightweight", "welterweight", "fast-coreset"],
+            &[
+                "dataset",
+                "uniform",
+                "lightweight",
+                "welterweight",
+                "fast-coreset",
+            ],
         );
         for (di, named) in suite.iter().enumerate() {
             let params = params_for(named, m_scalar, CostKind::KMedian);
             let mut cells = vec![named.name.clone()];
             for (mi, method) in methods.iter().enumerate() {
                 let salt = 0xB000 + (di * 16 + mi) as u64 + m_scalar as u64 * 709;
-                let ds =
-                    distortions(&measure_static(&single_run, named, method.as_ref(), &params, salt));
+                let ds = distortions(&measure_static(
+                    &single_run,
+                    named,
+                    method.as_ref(),
+                    &params,
+                    salt,
+                ));
                 cells.push(format!("{:.2}{}", ds[0], failure_marker(ds[0])));
             }
             table.row(cells);

@@ -25,7 +25,13 @@ fn main() {
         let params = params_for(named, 40, DEFAULT_KIND);
         for (mi, method) in methods.iter().enumerate() {
             let salt = 0xC000 + (di * 16 + mi) as u64;
-            let strm = build_times(&measure_streaming(&cfg, named, method.as_ref(), &params, salt));
+            let strm = build_times(&measure_streaming(
+                &cfg,
+                named,
+                method.as_ref(),
+                &params,
+                salt,
+            ));
             let stat = build_times(&measure_static(&cfg, named, method.as_ref(), &params, salt));
             table.row(vec![
                 named.name.clone(),

@@ -60,7 +60,11 @@ fn bench_quadtree(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("build_8d", n), &n, |bench, _| {
             bench.iter(|| {
                 let mut rng = StdRng::seed_from_u64(4);
-                Quadtree::build(&mut rng, black_box(data.points()), QuadtreeConfig::default())
+                Quadtree::build(
+                    &mut rng,
+                    black_box(data.points()),
+                    QuadtreeConfig::default(),
+                )
             })
         });
     }
@@ -78,20 +82,24 @@ fn bench_seeding(c: &mut Criterion) {
                 fc_clustering::kmeanspp::kmeanspp(&mut rng, black_box(&data), k, CostKind::KMeans)
             })
         });
-        g.bench_with_input(BenchmarkId::new("fast_kmeanspp_tree", k), &k, |bench, &k| {
-            bench.iter(|| {
-                let mut rng = StdRng::seed_from_u64(6);
-                let tree = Quadtree::build(&mut rng, data.points(), QuadtreeConfig::default());
-                fast_kmeanspp(
-                    &mut rng,
-                    black_box(&data),
-                    &tree,
-                    k,
-                    CostKind::KMeans,
-                    FastSeedConfig::default(),
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("fast_kmeanspp_tree", k),
+            &k,
+            |bench, &k| {
+                bench.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(6);
+                    let tree = Quadtree::build(&mut rng, data.points(), QuadtreeConfig::default());
+                    fast_kmeanspp(
+                        &mut rng,
+                        black_box(&data),
+                        &tree,
+                        k,
+                        CostKind::KMeans,
+                        FastSeedConfig::default(),
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

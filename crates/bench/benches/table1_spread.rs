@@ -25,7 +25,11 @@ fn main() {
     let cfg = BenchConfig::from_env();
     let n = ((200_000.0 * cfg.scale) as usize).max(20_000);
     let k = cfg.k_small;
-    let params = CompressionParams { k, m: 40 * k, kind: DEFAULT_KIND };
+    let params = CompressionParams {
+        k,
+        m: 40 * k,
+        kind: DEFAULT_KIND,
+    };
     let deep_tree = QuadtreeConfig { max_depth: 90 };
 
     // Fast-kmeans++ without spread reduction (the Table 1 configuration)…
@@ -58,7 +62,11 @@ fn main() {
         let t_raw = measure_build_only(&cfg, &named, &raw, &params, 0x300 + r as u64);
         let t_red = measure_build_only(&cfg, &named, &reduced, &params, 0x400 + r as u64);
         raw_means.push(mean(&t_raw));
-        table.row(vec![r.to_string(), fmt_mean_var(&t_raw), fmt_mean_var(&t_red)]);
+        table.row(vec![
+            r.to_string(),
+            fmt_mean_var(&t_raw),
+            fmt_mean_var(&t_red),
+        ]);
     }
     table.print();
 

@@ -20,9 +20,23 @@ fn main() {
 
     let mut inventory = Table::new(
         "Table 3: real-world proxy datasets",
-        &["dataset", "points (bench)", "points (paper)", "dim", "k (bench)"],
+        &[
+            "dataset",
+            "points (bench)",
+            "points (paper)",
+            "dim",
+            "k (bench)",
+        ],
     );
-    let paper_n = [48_842usize, 60_000, 138_500, 515_345, 581_012, 754_539, 2_458_285];
+    let paper_n = [
+        48_842usize,
+        60_000,
+        138_500,
+        515_345,
+        581_012,
+        754_539,
+        2_458_285,
+    ];
     for (named, &pn) in suite.iter().zip(&paper_n) {
         inventory.row(vec![
             named.name.clone(),
@@ -40,14 +54,42 @@ fn main() {
 
     let mut table = Table::new(
         "Table 2: distortion ratio vs sensitivity sampling  [m = 40k]",
-        &["dataset", "uniform / sensitivity", "fast-coreset / sensitivity"],
+        &[
+            "dataset",
+            "uniform / sensitivity",
+            "fast-coreset / sensitivity",
+        ],
     );
     for (i, named) in suite.iter().enumerate() {
         let params = params_for(named, 40, DEFAULT_KIND);
-        let base = mean(&distortions(&measure_static(&cfg, named, &sensitivity, &params, 0x500 + i as u64)));
-        let uni = mean(&distortions(&measure_static(&cfg, named, &uniform, &params, 0x600 + i as u64)));
-        let fc = mean(&distortions(&measure_static(&cfg, named, &fast, &params, 0x700 + i as u64)));
-        let mark = |r: f64| if r > 5.0 { format!("{r:.2}  [FAIL]") } else { format!("{r:.2}") };
+        let base = mean(&distortions(&measure_static(
+            &cfg,
+            named,
+            &sensitivity,
+            &params,
+            0x500 + i as u64,
+        )));
+        let uni = mean(&distortions(&measure_static(
+            &cfg,
+            named,
+            &uniform,
+            &params,
+            0x600 + i as u64,
+        )));
+        let fc = mean(&distortions(&measure_static(
+            &cfg,
+            named,
+            &fast,
+            &params,
+            0x700 + i as u64,
+        )));
+        let mark = |r: f64| {
+            if r > 5.0 {
+                format!("{r:.2}  [FAIL]")
+            } else {
+                format!("{r:.2}")
+            }
+        };
         table.row(vec![
             named.name.clone(),
             mark(uni / base.max(1e-12)),

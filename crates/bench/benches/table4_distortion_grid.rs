@@ -23,7 +23,13 @@ fn main() {
     for &m_scalar in &[40usize, 80] {
         let mut table = Table::new(
             format!("Table 4: k-means distortion, m = {m_scalar}k"),
-            &["dataset", "uniform", "lightweight", "welterweight", "fast-coreset"],
+            &[
+                "dataset",
+                "uniform",
+                "lightweight",
+                "welterweight",
+                "fast-coreset",
+            ],
         );
         for (di, named) in suite.iter().enumerate() {
             let params = params_for(named, m_scalar, DEFAULT_KIND);
@@ -31,7 +37,11 @@ fn main() {
             for (mi, method) in methods.iter().enumerate() {
                 let salt = 0x4000 + (di * 16 + mi) as u64 + m_scalar as u64 * 131;
                 let ds = distortions(&measure_static(&cfg, named, method.as_ref(), &params, salt));
-                cells.push(format!("{}{}", fmt_mean_var(&ds), failure_marker(mean(&ds))));
+                cells.push(format!(
+                    "{}{}",
+                    fmt_mean_var(&ds),
+                    failure_marker(mean(&ds))
+                ));
             }
             table.row(cells);
         }

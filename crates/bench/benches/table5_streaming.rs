@@ -38,11 +38,24 @@ fn main() {
         let mut cells = vec![named.name.clone()];
         for (mi, method) in methods.iter().enumerate() {
             let salt = 0x5000 + (di * 16 + mi) as u64;
-            let strm =
-                distortions(&measure_streaming(&cfg, named, method.as_ref(), &params, salt));
+            let strm = distortions(&measure_streaming(
+                &cfg,
+                named,
+                method.as_ref(),
+                &params,
+                salt,
+            ));
             let stat = distortions(&measure_static(&cfg, named, method.as_ref(), &params, salt));
-            cells.push(format!("{}{}", fmt_mean_var(&strm), failure_marker(mean(&strm))));
-            cells.push(format!("{}{}", fmt_mean_var(&stat), failure_marker(mean(&stat))));
+            cells.push(format!(
+                "{}{}",
+                fmt_mean_var(&strm),
+                failure_marker(mean(&strm))
+            ));
+            cells.push(format!(
+                "{}{}",
+                fmt_mean_var(&stat),
+                failure_marker(mean(&stat))
+            ));
         }
         table.row(cells);
     }

@@ -32,8 +32,15 @@ fn bico_distortions(
                 }
                 b.coreset()
             };
-            fc_core::distortion(&mut rng, &named.data, &coreset, named.k, DEFAULT_KIND, eval_lloyd())
-                .distortion
+            fc_core::distortion(
+                &mut rng,
+                &named.data,
+                &coreset,
+                named.k,
+                DEFAULT_KIND,
+                eval_lloyd(),
+            )
+            .distortion
         })
         .collect()
 }

@@ -19,7 +19,11 @@ fn main() {
     let n = ((50_000.0 * cfg.scale) as usize).max(2_000);
     let k = cfg.k_small;
     let kappa = (k / 2).max(4);
-    let params = CompressionParams { k, m: 40 * k, kind: DEFAULT_KIND };
+    let params = CompressionParams {
+        k,
+        m: 40 * k,
+        kind: DEFAULT_KIND,
+    };
 
     let methods: Vec<(&str, Box<dyn Compressor>)> = vec![
         ("LW coreset", Box::new(Lightweight)),
@@ -31,7 +35,10 @@ fn main() {
 
     let gammas = [0.0f64, 1.0, 3.0, 5.0];
     let mut table = Table::new(
-        format!("Table 7: distortion vs gamma (gaussian mixture, kappa={kappa}, k={k}, m={})", params.m),
+        format!(
+            "Table 7: distortion vs gamma (gaussian mixture, kappa={kappa}, k={k}, m={})",
+            params.m
+        ),
         &["method", "gamma=0", "gamma=1", "gamma=3", "gamma=5"],
     );
     // Regenerate the dataset per run (the paper averages over 5 dataset
@@ -44,7 +51,13 @@ fn main() {
                 name: format!("gaussian gamma={gamma}"),
                 data: gaussian_mixture(
                     &mut rng,
-                    GaussianMixtureConfig { n, d: 50, kappa, gamma, ..Default::default() },
+                    GaussianMixtureConfig {
+                        n,
+                        d: 50,
+                        kappa,
+                        gamma,
+                        ..Default::default()
+                    },
                 ),
                 k,
             };

@@ -21,13 +21,28 @@ fn main() {
 
     let mut table = Table::new(
         "Table 8: downstream cost(P, C_S), k-means++ + Lloyd on each coreset [k = 50]",
-        &["dataset", "uniform", "lightweight", "welterweight", "fast-coreset", "winner"],
+        &[
+            "dataset",
+            "uniform",
+            "lightweight",
+            "welterweight",
+            "fast-coreset",
+            "winner",
+        ],
     );
     for (di, named) in suite.iter().enumerate() {
         // The paper uses m = 4000 for MNIST/Adult and m = 20000 for the
         // rest; keep that ratio under scaling via the m-scalars 80 and 400.
-        let m = if named.name == "adult" || named.name == "mnist" { 80 * k } else { 400 * k };
-        let params = CompressionParams { k, m, kind: DEFAULT_KIND };
+        let m = if named.name == "adult" || named.name == "mnist" {
+            80 * k
+        } else {
+            400 * k
+        };
+        let params = CompressionParams {
+            k,
+            m,
+            kind: DEFAULT_KIND,
+        };
         let mut costs = Vec::new();
         for (mi, method) in methods.iter().enumerate() {
             let runs: Vec<f64> = (0..cfg.runs)

@@ -12,7 +12,10 @@ use crate::scenarios::NamedData;
 /// Lloyd budget used by every distortion evaluation (kept moderate so the
 /// candidate solution — not the refinement — dominates the measurement).
 pub fn eval_lloyd() -> LloydConfig {
-    LloydConfig { max_iters: 12, ..Default::default() }
+    LloydConfig {
+        max_iters: 12,
+        ..Default::default()
+    }
 }
 
 /// Number of stream blocks used by the streaming experiments (§5.4).
@@ -38,8 +41,7 @@ pub fn measure_static(
     (0..cfg.runs)
         .map(|run| {
             let mut rng = cfg.rng(salt.wrapping_add(run as u64));
-            let (coreset, build_secs) =
-                time(|| method.compress(&mut rng, &named.data, params));
+            let (coreset, build_secs) = time(|| method.compress(&mut rng, &named.data, params));
             let rep = fc_core::distortion(
                 &mut rng,
                 &named.data,
@@ -48,7 +50,10 @@ pub fn measure_static(
                 params.kind,
                 eval_lloyd(),
             );
-            Measurement { distortion: rep.distortion, build_secs }
+            Measurement {
+                distortion: rep.distortion,
+                build_secs,
+            }
         })
         .collect()
 }
@@ -96,7 +101,10 @@ pub fn measure_streaming(
                 params.kind,
                 eval_lloyd(),
             );
-            Measurement { distortion: rep.distortion, build_secs }
+            Measurement {
+                distortion: rep.distortion,
+                build_secs,
+            }
         })
         .collect()
 }

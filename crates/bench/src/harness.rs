@@ -28,7 +28,13 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        Self { scale: 0.1, runs: 3, k_small: 50, k_big: 150, seed: 20_240_402 }
+        Self {
+            scale: 0.1,
+            runs: 3,
+            k_small: 50,
+            k_big: 150,
+            seed: 20_240_402,
+        }
     }
 }
 

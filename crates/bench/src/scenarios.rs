@@ -5,7 +5,9 @@ use fc_clustering::CostKind;
 use fc_core::methods::{JCount, Lightweight, Uniform, Welterweight};
 use fc_core::{CompressionParams, Compressor, FastCoreset, StandardSensitivity};
 use fc_data::realworld::realworld_suite;
-use fc_data::synthetic::{benchmark, c_outlier, gaussian_mixture, geometric, GaussianMixtureConfig};
+use fc_data::synthetic::{
+    benchmark, c_outlier, gaussian_mixture, geometric, GaussianMixtureConfig,
+};
 use fc_geom::Dataset;
 use rand::Rng;
 
@@ -45,7 +47,13 @@ pub fn artificial_suite<R: Rng + ?Sized>(rng: &mut R, cfg: &BenchConfig) -> Vec<
             name: "gaussian".into(),
             data: gaussian_mixture(
                 rng,
-                GaussianMixtureConfig { n, d, kappa: k / 2, gamma: 1.0, ..Default::default() },
+                GaussianMixtureConfig {
+                    n,
+                    d,
+                    kappa: k / 2,
+                    gamma: 1.0,
+                    ..Default::default()
+                },
             ),
             k,
         },
@@ -63,8 +71,16 @@ pub fn real_suite<R: Rng + ?Sized>(rng: &mut R, cfg: &BenchConfig) -> Vec<NamedD
     realworld_suite()
         .into_iter()
         .map(|spec| {
-            let k = if spec.default_k >= 500 { cfg.k_big } else { cfg.k_small };
-            NamedData { name: spec.name.to_string(), data: spec.generate(rng, cfg.scale), k }
+            let k = if spec.default_k >= 500 {
+                cfg.k_big
+            } else {
+                cfg.k_small
+            };
+            NamedData {
+                name: spec.name.to_string(),
+                data: spec.generate(rng, cfg.scale),
+                k,
+            }
         })
         .collect()
 }
@@ -105,7 +121,11 @@ mod tests {
 
     #[test]
     fn suites_generate_at_tiny_scale() {
-        let cfg = BenchConfig { scale: 0.01, runs: 1, ..Default::default() };
+        let cfg = BenchConfig {
+            scale: 0.01,
+            runs: 1,
+            ..Default::default()
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let art = artificial_suite(&mut rng, &cfg);
         assert_eq!(art.len(), 4);
@@ -115,16 +135,34 @@ mod tests {
         let real = real_suite(&mut rng, &cfg);
         assert_eq!(real.len(), 7);
         let names: Vec<&str> = real.iter().map(|d| d.name.as_str()).collect();
-        assert_eq!(names, vec!["adult", "mnist", "star", "song", "cover-type", "taxi", "census"]);
+        assert_eq!(
+            names,
+            vec![
+                "adult",
+                "mnist",
+                "star",
+                "song",
+                "cover-type",
+                "taxi",
+                "census"
+            ]
+        );
     }
 
     #[test]
     fn methods_have_stable_names() {
-        let names: Vec<String> =
-            table4_methods().iter().map(|m| m.name().to_string()).collect();
+        let names: Vec<String> = table4_methods()
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
         assert_eq!(
             names,
-            vec!["uniform", "lightweight", "welterweight(log k)", "fast-coreset"]
+            vec![
+                "uniform",
+                "lightweight",
+                "welterweight(log k)",
+                "fast-coreset"
+            ]
         );
     }
 }

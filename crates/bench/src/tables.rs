@@ -73,25 +73,61 @@ impl Table {
     /// Prints the table and a compact JSON line for machine consumption.
     pub fn print(&self) {
         print!("{}", self.render());
-        let json = serde_json::json!({
-            "table": self.title,
-            "header": self.header,
-            "rows": self.rows,
-        });
-        println!("JSON {json}");
+        let header: Vec<String> = self.header.iter().map(|h| json_string(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        println!(
+            "JSON {{\"table\":{},\"header\":[{}],\"rows\":[{}]}}",
+            json_string(&self.title),
+            header.join(","),
+            rows.join(",")
+        );
     }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats repeated measurements the way the paper reports cells:
 /// `mean ± variance`, with short human-friendly precision.
 pub fn fmt_mean_var(values: &[f64]) -> String {
-    format!("{} ± {}", fmt_compact(mean(values)), fmt_compact(variance(values)))
+    format!(
+        "{} ± {}",
+        fmt_compact(mean(values)),
+        fmt_compact(variance(values))
+    )
 }
 
 /// Compact numeric formatting: `1.07`, `86.3`, `2.4K`, `3.2B`, `inf`.
 pub fn fmt_compact(v: f64) -> String {
     if !v.is_finite() {
-        return if v.is_nan() { "nan".into() } else { "inf".into() };
+        return if v.is_nan() {
+            "nan".into()
+        } else {
+            "inf".into()
+        };
     }
     let a = v.abs();
     if a >= 1e9 {
@@ -126,7 +162,10 @@ mod tests {
         assert!(s.contains("== demo =="));
         assert!(s.contains("long-name"));
         // Both rows align: the "value" column starts at the same offset.
-        let lines: Vec<&str> = s.lines().filter(|l| l.contains("1.0") || l.contains("2.0")).collect();
+        let lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains("1.0") || l.contains("2.0"))
+            .collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0].find("1.0"), lines[1].find("2.0"));
     }

@@ -68,7 +68,11 @@ impl Assignment {
 /// or dimensions disagree; `O(nkd)` with partial-distance pruning.
 pub fn assign(points: &Points, centers: &Points, kind: CostKind) -> Assignment {
     assert!(!centers.is_empty(), "assignment needs at least one center");
-    assert_eq!(points.dim(), centers.dim(), "points and centers must share dimension");
+    assert_eq!(
+        points.dim(),
+        centers.dim(),
+        "points and centers must share dimension"
+    );
     let n = points.len();
     let mut labels = vec![0usize; n];
     let mut cost_z = vec![0.0f64; n];

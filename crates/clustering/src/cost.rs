@@ -10,7 +10,11 @@ use fc_geom::points::Points;
 /// Weighted `cost_z(P, C)`. Panics on empty centers or dimension mismatch.
 pub fn cost(data: &Dataset, centers: &Points, kind: CostKind) -> f64 {
     assert!(!centers.is_empty(), "cost needs at least one center");
-    assert_eq!(data.dim(), centers.dim(), "data and centers must share dimension");
+    assert_eq!(
+        data.dim(),
+        centers.dim(),
+        "data and centers must share dimension"
+    );
     let dim = centers.dim();
     let flat = centers.as_flat();
     let mut total = 0.0;

@@ -26,7 +26,10 @@ use crate::solution::Solution;
 /// the point with the largest current cost contribution (same policy as
 /// Lloyd's implementation).
 pub fn hamerly_kmeans(data: &Dataset, initial: Points, cfg: LloydConfig) -> Solution {
-    assert!(!initial.is_empty(), "refinement needs at least one initial center");
+    assert!(
+        !initial.is_empty(),
+        "refinement needs at least one initial center"
+    );
     assert!(!data.is_empty(), "cannot refine on an empty dataset");
     assert_eq!(data.dim(), initial.dim());
     let n = data.len();
@@ -50,8 +53,9 @@ pub fn hamerly_kmeans(data: &Dataset, initial: Points, cfg: LloydConfig) -> Solu
         // Centroid step.
         let new_centers = recompute(data, &labels, &upper, k, &centers);
         // Center movement distances.
-        let moves: Vec<f64> =
-            (0..k).map(|j| dist(centers.row(j), new_centers.row(j))).collect();
+        let moves: Vec<f64> = (0..k)
+            .map(|j| dist(centers.row(j), new_centers.row(j)))
+            .collect();
         let max_move = moves.iter().cloned().fold(0.0, f64::max);
         centers = new_centers;
 
@@ -92,7 +96,11 @@ pub fn hamerly_kmeans(data: &Dataset, initial: Points, cfg: LloydConfig) -> Solu
     // One exact pass for the final tight assignment and objective value.
     let assignment = crate::assign::assign(points, &centers, fc_geom::distance::CostKind::KMeans);
     let cost = assignment.total_cost(weights);
-    Solution { centers, labels: assignment.labels, cost }
+    Solution {
+        centers,
+        labels: assignment.labels,
+        cost,
+    }
 }
 
 /// Fraction of assignment scans Hamerly skips on one refinement run —
@@ -119,8 +127,9 @@ pub fn pruning_rate(data: &Dataset, initial: Points, cfg: LloydConfig) -> f64 {
     let mut considered = 0usize;
     for _ in 0..cfg.max_iters {
         let new_centers = recompute(data, &labels, &upper, k, &centers);
-        let moves: Vec<f64> =
-            (0..k).map(|j| dist(centers.row(j), new_centers.row(j))).collect();
+        let moves: Vec<f64> = (0..k)
+            .map(|j| dist(centers.row(j), new_centers.row(j)))
+            .collect();
         let max_move = moves.iter().cloned().fold(0.0, f64::max);
         centers = new_centers;
         let s = half_nearest_center_dist(&centers);
@@ -166,7 +175,15 @@ fn two_nearest(p: &[f64], centers: &Points) -> (usize, f64, f64) {
             second = d;
         }
     }
-    (best_idx, best.sqrt(), if second.is_finite() { second.sqrt() } else { best.sqrt() })
+    (
+        best_idx,
+        best.sqrt(),
+        if second.is_finite() {
+            second.sqrt()
+        } else {
+            best.sqrt()
+        },
+    )
 }
 
 /// Half the distance from each center to its nearest other center.
@@ -265,7 +282,12 @@ mod tests {
         let lloyd = refine(&d, seeding.centers.clone(), CostKind::KMeans, cfg);
         let hamerly = hamerly_kmeans(&d, seeding.centers, cfg);
         let rel = (lloyd.cost - hamerly.cost).abs() / lloyd.cost.max(1e-12);
-        assert!(rel < 1e-6, "lloyd {} vs hamerly {}", lloyd.cost, hamerly.cost);
+        assert!(
+            rel < 1e-6,
+            "lloyd {} vs hamerly {}",
+            lloyd.cost,
+            hamerly.cost
+        );
     }
 
     #[test]
@@ -300,7 +322,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let seeding = kmeanspp(&mut rng, &d, 6, CostKind::KMeans);
         let rate = pruning_rate(&d, seeding.centers, LloydConfig::fixed(10));
-        assert!(rate > 0.5, "pruning rate {rate} too low for well-separated clusters");
+        assert!(
+            rate > 0.5,
+            "pruning rate {rate} too low for well-separated clusters"
+        );
     }
 
     #[test]

@@ -49,7 +49,12 @@ pub fn random_seeding<R: Rng + ?Sized>(rng: &mut R, data: &Dataset, k: usize) ->
         centers.push(points.row(i)).expect("dimensions match");
         update_nearest(points, points.row(i), ord, &mut min_sq, &mut labels);
     }
-    Seeding { centers, chosen, labels, min_sq }
+    Seeding {
+        centers,
+        chosen,
+        labels,
+        min_sq,
+    }
 }
 
 /// Greedy k-means++: per round, draw `candidates` points by D^z and keep
@@ -105,11 +110,24 @@ pub fn greedy_kmeanspp<R: Rng + ?Sized>(
         if best_candidate == usize::MAX {
             break;
         }
-        centers.push(points.row(best_candidate)).expect("dimensions match");
+        centers
+            .push(points.row(best_candidate))
+            .expect("dimensions match");
         chosen.push(best_candidate);
-        update_nearest(points, points.row(best_candidate), round, &mut min_sq, &mut labels);
+        update_nearest(
+            points,
+            points.row(best_candidate),
+            round,
+            &mut min_sq,
+            &mut labels,
+        );
     }
-    Seeding { centers, chosen, labels, min_sq }
+    Seeding {
+        centers,
+        chosen,
+        labels,
+        min_sq,
+    }
 }
 
 #[cfg(test)]

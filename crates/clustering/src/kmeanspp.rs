@@ -49,12 +49,7 @@ impl Seeding {
 /// Runs weighted D^z-sampling seeding, returning `k` centers (or fewer when
 /// the residual cost reaches zero first, i.e. fewer than `k` distinct
 /// points). Panics on an empty dataset or `k == 0`.
-pub fn kmeanspp<R: Rng + ?Sized>(
-    rng: &mut R,
-    data: &Dataset,
-    k: usize,
-    kind: CostKind,
-) -> Seeding {
+pub fn kmeanspp<R: Rng + ?Sized>(rng: &mut R, data: &Dataset, k: usize, kind: CostKind) -> Seeding {
     assert!(k > 0, "k must be positive");
     assert!(!data.is_empty(), "cannot seed an empty dataset");
     let n = data.len();
@@ -67,7 +62,9 @@ pub fn kmeanspp<R: Rng + ?Sized>(
 
     let mut centers = Points::empty(points.dim());
     centers.reserve(k);
-    centers.push(points.row(first)).expect("dimensions match by construction");
+    centers
+        .push(points.row(first))
+        .expect("dimensions match by construction");
     let mut chosen = vec![first];
     let mut min_sq = vec![f64::INFINITY; n];
     let mut labels = vec![0usize; n];
@@ -95,12 +92,19 @@ pub fn kmeanspp<R: Rng + ?Sized>(
             }
             target -= s;
         }
-        centers.push(points.row(next)).expect("dimensions match by construction");
+        centers
+            .push(points.row(next))
+            .expect("dimensions match by construction");
         chosen.push(next);
         update_nearest(points, points.row(next), round, &mut min_sq, &mut labels);
     }
 
-    Seeding { centers, chosen, labels, min_sq }
+    Seeding {
+        centers,
+        chosen,
+        labels,
+        min_sq,
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,10 @@ pub struct WeiszfeldConfig {
 
 impl Default for WeiszfeldConfig {
     fn default() -> Self {
-        Self { max_iters: 64, tol: 1e-9 }
+        Self {
+            max_iters: 64,
+            tol: 1e-9,
+        }
     }
 }
 
@@ -134,7 +137,11 @@ mod tests {
         let median = geometric_median(&p, &w, &idx, WeiszfeldConfig::default());
         let mean = weighted_mean_of(&p, &w, &idx);
         assert!((mean[0] - 10.0).abs() < 1e-9);
-        assert!(median[0].abs() < 1.0, "median {} should resist the outlier", median[0]);
+        assert!(
+            median[0].abs() < 1.0,
+            "median {} should resist the outlier",
+            median[0]
+        );
     }
 
     #[test]
@@ -146,7 +153,10 @@ mod tests {
         let mean = weighted_mean_of(&p, &w, &idx);
         let med_cost = median_cost(&p, &w, &idx, &med);
         let mean_cost = median_cost(&p, &w, &idx, &mean);
-        assert!(med_cost <= mean_cost + 1e-9, "median cost {med_cost} vs mean cost {mean_cost}");
+        assert!(
+            med_cost <= mean_cost + 1e-9,
+            "median cost {med_cost} vs mean cost {mean_cost}"
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct LloydConfig {
 
 impl Default for LloydConfig {
     fn default() -> Self {
-        Self { max_iters: 20, tol: 1e-6, weiszfeld: WeiszfeldConfig::default() }
+        Self {
+            max_iters: 20,
+            tol: 1e-6,
+            weiszfeld: WeiszfeldConfig::default(),
+        }
     }
 }
 
@@ -35,7 +39,11 @@ impl LloydConfig {
     /// A configuration that runs exactly `iters` rounds with no tolerance
     /// stopping (useful for deterministic comparisons).
     pub fn fixed(iters: usize) -> Self {
-        Self { max_iters: iters, tol: 0.0, ..Self::default() }
+        Self {
+            max_iters: iters,
+            tol: 0.0,
+            ..Self::default()
+        }
     }
 }
 
@@ -46,7 +54,10 @@ impl LloydConfig {
 /// Empty clusters are re-seeded at the point with the largest current cost
 /// contribution, the standard practical fix.
 pub fn refine(data: &Dataset, initial: Points, kind: CostKind, cfg: LloydConfig) -> Solution {
-    assert!(!initial.is_empty(), "refinement needs at least one initial center");
+    assert!(
+        !initial.is_empty(),
+        "refinement needs at least one initial center"
+    );
     assert!(!data.is_empty(), "cannot refine on an empty dataset");
     let k = initial.len();
     let mut centers = initial;
@@ -68,7 +79,11 @@ pub fn refine(data: &Dataset, initial: Points, kind: CostKind, cfg: LloydConfig)
         current_cost = new_cost;
     }
 
-    Solution { centers, labels: assignment.labels, cost: current_cost }
+    Solution {
+        centers,
+        labels: assignment.labels,
+        cost: current_cost,
+    }
 }
 
 fn recompute_centers(
@@ -158,8 +173,17 @@ mod tests {
         // Lloyd from this initialization keeps one center per... actually the
         // far blob pulls one center across; final cost must be tiny compared
         // to the single-center cost.
-        let single = cost(&d, &Points::from_flat(vec![50.0, 0.0], 2).unwrap(), CostKind::KMeans);
-        assert!(sol.cost < single * 0.01, "cost {} vs single-center {}", sol.cost, single);
+        let single = cost(
+            &d,
+            &Points::from_flat(vec![50.0, 0.0], 2).unwrap(),
+            CostKind::KMeans,
+        );
+        assert!(
+            sol.cost < single * 0.01,
+            "cost {} vs single-center {}",
+            sol.cost,
+            single
+        );
     }
 
     #[test]
@@ -168,7 +192,12 @@ mod tests {
         let mut r = rng();
         let seeding = crate::kmeanspp::kmeanspp(&mut r, &d, 4, CostKind::KMeans);
         let initial_cost = seeding.total_cost(d.weights(), CostKind::KMeans);
-        let sol = refine(&d, seeding.centers, CostKind::KMeans, LloydConfig::default());
+        let sol = refine(
+            &d,
+            seeding.centers,
+            CostKind::KMeans,
+            LloydConfig::default(),
+        );
         assert!(sol.cost <= initial_cost + 1e-9);
     }
 
@@ -188,7 +217,12 @@ mod tests {
         let before = cost(&d, &init, CostKind::KMedian);
         let sol = refine(&d, init, CostKind::KMedian, LloydConfig::default());
         assert!(sol.cost <= before + 1e-9);
-        assert!(sol.cost < before * 0.5, "k-median cost {} vs {}", sol.cost, before);
+        assert!(
+            sol.cost < before * 0.5,
+            "k-median cost {} vs {}",
+            sol.cost,
+            before
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct LocalSearchConfig {
 
 impl Default for LocalSearchConfig {
     fn default() -> Self {
-        Self { trials: 50, min_gain: 1e-4 }
+        Self {
+            trials: 50,
+            min_gain: 1e-4,
+        }
     }
 }
 
@@ -37,7 +40,10 @@ pub fn local_search<R: Rng + ?Sized>(
     kind: CostKind,
     cfg: LocalSearchConfig,
 ) -> Solution {
-    assert!(!initial.is_empty(), "local search needs at least one center");
+    assert!(
+        !initial.is_empty(),
+        "local search needs at least one center"
+    );
     assert!(!data.is_empty(), "local search needs data");
     let k = initial.len();
     let dim = initial.dim();
@@ -48,7 +54,9 @@ pub fn local_search<R: Rng + ?Sized>(
         let swap_out = rng.gen_range(0..k);
         let swap_in = rng.gen_range(0..data.len());
         let mut candidate = centers.clone();
-        candidate.row_mut(swap_out).copy_from_slice(data.point(swap_in));
+        candidate
+            .row_mut(swap_out)
+            .copy_from_slice(data.point(swap_in));
         let c = cost(data, &candidate, kind);
         if c < best_cost * (1.0 - cfg.min_gain) {
             centers = candidate;
@@ -58,7 +66,11 @@ pub fn local_search<R: Rng + ?Sized>(
 
     let assignment = crate::assign::assign(data.points(), &centers, kind);
     debug_assert_eq!(dim, data.dim());
-    Solution { centers, labels: assignment.labels, cost: best_cost }
+    Solution {
+        centers,
+        labels: assignment.labels,
+        cost: best_cost,
+    }
 }
 
 #[cfg(test)]
@@ -77,22 +89,28 @@ mod tests {
         let init = Points::from_flat(vec![25.0, 25.0, 26.0, 25.0], 2).unwrap();
         let before = cost(&d, &init, CostKind::KMeans);
         let mut rng = StdRng::seed_from_u64(5);
-        let sol = local_search(&mut rng, &d, init, CostKind::KMeans, LocalSearchConfig::default());
+        let sol = local_search(
+            &mut rng,
+            &d,
+            init,
+            CostKind::KMeans,
+            LocalSearchConfig::default(),
+        );
         assert!(sol.cost <= before + 1e-9);
     }
 
     #[test]
     fn local_search_escapes_bad_placement() {
         // Centers placed in empty space; swaps with data points must help a lot.
-        let d = Dataset::from_flat(
-            vec![0.0, 0.0, 0.1, 0.0, 100.0, 100.0, 100.1, 100.0],
-            2,
-        )
-        .unwrap();
+        let d =
+            Dataset::from_flat(vec![0.0, 0.0, 0.1, 0.0, 100.0, 100.0, 100.1, 100.0], 2).unwrap();
         let init = Points::from_flat(vec![-500.0, -500.0, 500.0, 500.0], 2).unwrap();
         let before = cost(&d, &init, CostKind::KMeans);
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = LocalSearchConfig { trials: 200, min_gain: 1e-6 };
+        let cfg = LocalSearchConfig {
+            trials: 200,
+            min_gain: 1e-6,
+        };
         let sol = local_search(&mut rng, &d, init, CostKind::KMeans, cfg);
         assert!(sol.cost < before * 0.01, "cost {} vs {}", sol.cost, before);
     }

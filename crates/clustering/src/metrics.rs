@@ -55,7 +55,12 @@ pub fn cluster_profile(
             radii[l] = d;
         }
     }
-    ClusterProfile { weights, costs, radii, counts }
+    ClusterProfile {
+        weights,
+        costs,
+        radii,
+        counts,
+    }
 }
 
 /// Davies–Bouldin index: `1/k Σ_i max_{j≠i} (s_i + s_j)/d(c_i, c_j)` where
@@ -232,7 +237,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         // Pretend k = 1: no second cluster to compare against.
         let labels = vec![0usize; d.len()];
-        let a1 = Assignment { labels, cost_z: a.cost_z.clone() };
+        let a1 = Assignment {
+            labels,
+            cost_z: a.cost_z.clone(),
+        };
         assert_eq!(silhouette_sampled(&mut rng, &d, &a1, 1, 10), 0.0);
     }
 }

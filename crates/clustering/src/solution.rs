@@ -38,7 +38,11 @@ mod tests {
     #[test]
     fn cost_on_reprices_solution() {
         let centers = Points::from_flat(vec![0.0, 0.0], 2).unwrap();
-        let sol = Solution { centers, labels: vec![0, 0], cost: 0.0 };
+        let sol = Solution {
+            centers,
+            labels: vec![0, 0],
+            cost: 0.0,
+        };
         let d = Dataset::from_flat(vec![3.0, 4.0, 0.0, 0.0], 2).unwrap();
         assert!((sol.cost_on(&d, CostKind::KMeans) - 25.0).abs() < 1e-12);
         assert!((sol.cost_on(&d, CostKind::KMedian) - 5.0).abs() < 1e-12);

@@ -21,7 +21,11 @@ impl CompressionParams {
     /// Standard parameterization `m = m_scalar · k` (Section 5.2 defaults to
     /// `m_scalar = 40`).
     pub fn with_scalar(k: usize, m_scalar: usize, kind: CostKind) -> Self {
-        Self { k, m: m_scalar * k, kind }
+        Self {
+            k,
+            m: m_scalar * k,
+            kind,
+        }
     }
 }
 
@@ -41,6 +45,55 @@ pub trait Compressor: Send + Sync {
     ) -> Coreset;
 }
 
+// Smart pointers and references to compressors are compressors themselves,
+// so owners of a `Box<dyn Compressor>` / `Arc<dyn Compressor>` (the serving
+// engine shares one across shard threads) and borrowers alike can hand them
+// to APIs taking `impl Compressor`.
+impl<C: Compressor + ?Sized> Compressor for &C {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn compress(
+        &self,
+        rng: &mut dyn RngCore,
+        data: &Dataset,
+        params: &CompressionParams,
+    ) -> Coreset {
+        (**self).compress(rng, data, params)
+    }
+}
+
+impl<C: Compressor + ?Sized> Compressor for Box<C> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn compress(
+        &self,
+        rng: &mut dyn RngCore,
+        data: &Dataset,
+        params: &CompressionParams,
+    ) -> Coreset {
+        (**self).compress(rng, data, params)
+    }
+}
+
+impl<C: Compressor + ?Sized> Compressor for std::sync::Arc<C> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn compress(
+        &self,
+        rng: &mut dyn RngCore,
+        data: &Dataset,
+        params: &CompressionParams,
+    ) -> Coreset {
+        (**self).compress(rng, data, params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +108,32 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         fn _takes_boxed(_: Box<dyn Compressor>) {}
+    }
+
+    #[test]
+    fn pointer_wrappers_are_compressors() {
+        fn assert_compressor<C: Compressor>(c: &C) -> &str {
+            c.name()
+        }
+        struct Named;
+        impl Compressor for Named {
+            fn name(&self) -> &str {
+                "named"
+            }
+
+            fn compress(
+                &self,
+                _rng: &mut dyn RngCore,
+                data: &Dataset,
+                _params: &CompressionParams,
+            ) -> Coreset {
+                Coreset::new(data.clone())
+            }
+        }
+        let boxed: Box<dyn Compressor> = Box::new(Named);
+        let arc: std::sync::Arc<dyn Compressor> = std::sync::Arc::new(Named);
+        assert_eq!(assert_compressor(&&Named), "named");
+        assert_eq!(assert_compressor(&boxed), "named");
+        assert_eq!(assert_compressor(&arc), "named");
     }
 }

@@ -52,7 +52,9 @@ impl Coreset {
     /// coreset for `P₁ ∪ P₂`. The workhorse of merge-&-reduce and MapReduce
     /// aggregation.
     pub fn union(&self, other: &Coreset) -> Result<Coreset, fc_geom::GeomError> {
-        Ok(Coreset { data: self.data.concat(&other.data)? })
+        Ok(Coreset {
+            data: self.data.concat(&other.data)?,
+        })
     }
 }
 
@@ -89,8 +91,7 @@ mod tests {
         // Union cost = sum of part costs for any solution.
         let centers = Points::from_flat(vec![0.5, 0.5], 2).unwrap();
         let direct = u.cost(&centers, CostKind::KMedian);
-        let parts =
-            a.cost(&centers, CostKind::KMedian) + b.cost(&centers, CostKind::KMedian);
+        let parts = a.cost(&centers, CostKind::KMedian) + b.cost(&centers, CostKind::KMedian);
         assert!((direct - parts).abs() < 1e-12);
     }
 }

@@ -71,7 +71,12 @@ pub fn distortion<R: Rng + ?Sized>(
     } else {
         (cost_full / cost_coreset).max(cost_coreset / cost_full)
     };
-    DistortionReport { distortion, cost_full, cost_coreset, solution }
+    DistortionReport {
+        distortion,
+        cost_full,
+        cost_coreset,
+        solution,
+    }
 }
 
 #[cfg(test)]
@@ -119,13 +124,21 @@ mod tests {
         let c = Coreset::new(d.clone());
         let mut r = rng();
         let rep = distortion(&mut r, &d, &c, 4, CostKind::KMeans, LloydConfig::default());
-        assert!((rep.distortion - 1.0).abs() < 1e-9, "distortion {}", rep.distortion);
+        assert!(
+            (rep.distortion - 1.0).abs() < 1e-9,
+            "distortion {}",
+            rep.distortion
+        );
     }
 
     #[test]
     fn good_coreset_has_low_distortion_on_balanced_data() {
         let d = balanced_blobs();
-        let params = CompressionParams { k: 4, m: 200, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 4,
+            m: 200,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let c = FastCoreset::default().compress(&mut r, &d, &params);
         let rep = distortion(&mut r, &d, &c, 4, CostKind::KMeans, LloydConfig::default());
@@ -135,7 +148,11 @@ mod tests {
     #[test]
     fn uniform_fails_catastrophically_on_c_outlier() {
         let d = c_outlier();
-        let params = CompressionParams { k: 2, m: 60, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 60,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let mut worst: f64 = 1.0;
         for _ in 0..5 {
@@ -144,13 +161,20 @@ mod tests {
             worst = worst.max(rep.distortion);
         }
         // Paper Table 4: distortion > 10 ("catastrophic") on c-outlier.
-        assert!(worst > 10.0, "uniform sampling distortion {worst} suspiciously good");
+        assert!(
+            worst > 10.0,
+            "uniform sampling distortion {worst} suspiciously good"
+        );
     }
 
     #[test]
     fn fast_coreset_survives_c_outlier() {
         let d = c_outlier();
-        let params = CompressionParams { k: 2, m: 60, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 60,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let mut worst: f64 = 1.0;
         for _ in 0..5 {

@@ -82,7 +82,12 @@ fn check(
     } else {
         (cost_full / cost_coreset).max(cost_coreset / cost_full)
     };
-    SolutionCheck { source, cost_full, cost_coreset, ratio }
+    SolutionCheck {
+        source,
+        cost_full,
+        cost_coreset,
+        ratio,
+    }
 }
 
 /// Prices `rounds` solutions per source on both sets and reports the worst
@@ -102,7 +107,13 @@ pub fn battery_distortion<R: Rng + ?Sized>(
     for _ in 0..rounds {
         // 1. Seeded on the full data.
         let on_data = fc_clustering::kmeanspp::kmeanspp(rng, data, k, kind);
-        checks.push(check(data, coreset, &on_data.centers, kind, SolutionSource::SeededOnData));
+        checks.push(check(
+            data,
+            coreset,
+            &on_data.centers,
+            kind,
+            SolutionSource::SeededOnData,
+        ));
 
         // 2. Seeded on the coreset.
         let on_coreset = fc_clustering::kmeanspp::kmeanspp(rng, coreset.dataset(), k, kind);
@@ -119,9 +130,18 @@ pub fn battery_distortion<R: Rng + ?Sized>(
             coreset.dataset(),
             on_coreset.centers,
             kind,
-            LloydConfig { max_iters: 8, ..Default::default() },
+            LloydConfig {
+                max_iters: 8,
+                ..Default::default()
+            },
         );
-        checks.push(check(data, coreset, &refined.centers, kind, SolutionSource::RefinedOnCoreset));
+        checks.push(check(
+            data,
+            coreset,
+            &refined.centers,
+            kind,
+            SolutionSource::RefinedOnCoreset,
+        ));
 
         // 4. Random centers in the bounding box.
         if let Some(bbox) = &bbox {
@@ -135,13 +155,23 @@ pub fn battery_distortion<R: Rng + ?Sized>(
                 }
             }
             let random = Points::from_flat(flat, dim).expect("rectangular by construction");
-            checks.push(check(data, coreset, &random, kind, SolutionSource::RandomCenters));
+            checks.push(check(
+                data,
+                coreset,
+                &random,
+                kind,
+                SolutionSource::RandomCenters,
+            ));
         }
     }
 
     let max_ratio = checks.iter().map(|c| c.ratio).fold(1.0, f64::max);
     let mean_ratio = checks.iter().map(|c| c.ratio).sum::<f64>() / checks.len() as f64;
-    BatteryReport { max_ratio, mean_ratio, checks }
+    BatteryReport {
+        max_ratio,
+        mean_ratio,
+        checks,
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +204,11 @@ mod tests {
         let c = Coreset::new(d.clone());
         let mut r = rng();
         let rep = battery_distortion(&mut r, &d, &c, 4, CostKind::KMeans, 2);
-        assert!((rep.max_ratio - 1.0).abs() < 1e-9, "max ratio {}", rep.max_ratio);
+        assert!(
+            (rep.max_ratio - 1.0).abs() < 1e-9,
+            "max ratio {}",
+            rep.max_ratio
+        );
         assert!(rep.is_eps_coreset(0.01));
         assert_eq!(rep.checks.len(), 2 * 4);
     }
@@ -182,7 +216,11 @@ mod tests {
     #[test]
     fn fast_coreset_passes_battery_within_modest_eps() {
         let d = blobs();
-        let params = CompressionParams { k: 4, m: 400, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 4,
+            m: 400,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let c = FastCoreset::default().compress(&mut r, &d, &params);
         let rep = battery_distortion(&mut r, &d, &c, 4, CostKind::KMeans, 3);
@@ -204,7 +242,11 @@ mod tests {
             flat.push(1e6 + i as f64);
         }
         let d = Dataset::from_flat(flat, 1).unwrap();
-        let params = CompressionParams { k: 2, m: 50, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 50,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let c = Uniform.compress(&mut r, &d, &params);
         let rep = battery_distortion(&mut r, &d, &c, 2, CostKind::KMeans, 3);
@@ -222,7 +264,12 @@ mod tests {
         let mut r = rng();
         let rep = battery_distortion(&mut r, &d, &c, 2, CostKind::KMeans, 1);
         use SolutionSource::*;
-        for source in [SeededOnData, SeededOnCoreset, RefinedOnCoreset, RandomCenters] {
+        for source in [
+            SeededOnData,
+            SeededOnCoreset,
+            RefinedOnCoreset,
+            RandomCenters,
+        ] {
             assert!(
                 rep.checks.iter().any(|c| c.source == source),
                 "missing source {source:?}"

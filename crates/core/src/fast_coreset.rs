@@ -106,7 +106,8 @@ impl FastCoreset {
                 data.total_weight(),
             );
             let sp = SpreadParams::practical(data.len(), working.dim());
-            let (reduced, _map) = fc_quadtree::spread::reduce_spread(rng, &working, bound.upper, sp);
+            let (reduced, _map) =
+                fc_quadtree::spread::reduce_spread(rng, &working, bound.upper, sp);
             reduced
         } else {
             working
@@ -140,7 +141,11 @@ impl FastCoreset {
             .points()
             .iter()
             .zip(&seeding.labels)
-            .map(|(p, &l)| params.kind.from_sq(fc_geom::distance::sq_dist(p, centers.row(l))))
+            .map(|(p, &l)| {
+                params
+                    .kind
+                    .from_sq(fc_geom::distance::sq_dist(p, centers.row(l)))
+            })
             .collect();
         (seeding.labels, centers, cost_z)
     }
@@ -196,7 +201,11 @@ mod tests {
     #[test]
     fn produces_at_most_m_points_with_near_input_weight() {
         let d = blobs(&[2000, 2000, 2000], 100.0);
-        let params = CompressionParams { k: 3, m: 300, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 3,
+            m: 300,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let c = FastCoreset::default().compress(&mut r, &d, &params);
         assert!(c.len() <= 300);
@@ -207,7 +216,11 @@ mod tests {
     #[test]
     fn captures_tiny_far_cluster_unlike_uniform() {
         let d = blobs(&[9_000, 30], 5_000.0);
-        let params = CompressionParams { k: 2, m: 150, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 150,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let mut hits = 0;
         for _ in 0..10 {
@@ -222,7 +235,11 @@ mod tests {
     #[test]
     fn coreset_prices_candidate_solutions_well() {
         let d = blobs(&[3_000, 3_000], 1_000.0);
-        let params = CompressionParams { k: 2, m: 500, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 500,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let c = FastCoreset::default().compress(&mut r, &d, &params);
         for centers in [
@@ -233,14 +250,22 @@ mod tests {
             let full = fc_clustering::cost::cost(&d, &centers, CostKind::KMeans);
             let comp = c.cost(&centers, CostKind::KMeans);
             let ratio = (full / comp).max(comp / full);
-            assert!(ratio < 1.6, "ratio {ratio} for centers {:?}", centers.row(0));
+            assert!(
+                ratio < 1.6,
+                "ratio {ratio} for centers {:?}",
+                centers.row(0)
+            );
         }
     }
 
     #[test]
     fn kmedian_variant_works() {
         let d = blobs(&[2_000, 2_000], 500.0);
-        let params = CompressionParams { k: 2, m: 300, kind: CostKind::KMedian };
+        let params = CompressionParams {
+            k: 2,
+            m: 300,
+            kind: CostKind::KMedian,
+        };
         let mut r = rng();
         let c = FastCoreset::default().compress(&mut r, &d, &params);
         let centers = Points::from_flat(vec![0.0, 0.0, 500.0, 0.0], 2).unwrap();
@@ -253,14 +278,24 @@ mod tests {
     #[test]
     fn all_pipeline_variants_run() {
         let d = blobs(&[500, 500], 100.0);
-        let params = CompressionParams { k: 2, m: 100, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 100,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         for use_jl in [false, true] {
             for reduce_spread in [false, true] {
-                for weight_mode in
-                    [WeightMode::Unbiased, WeightMode::Rebalanced { epsilon: 0.1 }]
-                {
-                    let cfg = FastCoresetConfig { use_jl, reduce_spread, weight_mode, ..Default::default() };
+                for weight_mode in [
+                    WeightMode::Unbiased,
+                    WeightMode::Rebalanced { epsilon: 0.1 },
+                ] {
+                    let cfg = FastCoresetConfig {
+                        use_jl,
+                        reduce_spread,
+                        weight_mode,
+                        ..Default::default()
+                    };
                     let c = FastCoreset::with_config(cfg).compress(&mut r, &d, &params);
                     assert!(!c.is_empty());
                     assert!(c.total_weight() > 0.0);
@@ -272,7 +307,11 @@ mod tests {
     #[test]
     fn m_geq_n_returns_input() {
         let d = blobs(&[50], 1.0);
-        let params = CompressionParams { k: 2, m: 100, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 100,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let c = FastCoreset::default().compress(&mut r, &d, &params);
         assert_eq!(c.dataset(), &d);
@@ -288,7 +327,11 @@ mod tests {
             }
         }
         let d = Dataset::from_flat(flat, 64).unwrap();
-        let params = CompressionParams { k: 4, m: 50, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 4,
+            m: 50,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let (labels, centers, cost_z) = FastCoreset::default().partition(&mut r, &d, &params);
         assert_eq!(centers.dim(), 64);

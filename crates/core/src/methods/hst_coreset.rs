@@ -35,7 +35,10 @@ pub struct HstCoreset {
 
 impl Default for HstCoreset {
     fn default() -> Self {
-        Self { use_jl: true, tree: QuadtreeConfig::default() }
+        Self {
+            use_jl: true,
+            tree: QuadtreeConfig::default(),
+        }
     }
 }
 
@@ -67,8 +70,7 @@ impl Compressor for HstCoreset {
         // space) — the HST guarantees these centers are a bounded-factor
         // solution, and the exact assignment can only improve it.
         let centers_seed = data.points().gather(&hst.centers);
-        let assignment =
-            fc_clustering::assign::assign(data.points(), &centers_seed, params.kind);
+        let assignment = fc_clustering::assign::assign(data.points(), &centers_seed, params.kind);
         let k_eff = centers_seed.len();
 
         // Per-cluster 1-mean / 1-median, as in Algorithm 1 step 4.
@@ -94,7 +96,11 @@ impl Compressor for HstCoreset {
             .points()
             .iter()
             .zip(&assignment.labels)
-            .map(|(p, &l)| params.kind.from_sq(fc_geom::distance::sq_dist(p, centers.row(l))))
+            .map(|(p, &l)| {
+                params
+                    .kind
+                    .from_sq(fc_geom::distance::sq_dist(p, centers.row(l)))
+            })
             .collect();
         let scores = sensitivity_scores(&assignment.labels, &cost_z, data.weights(), k_eff);
         importance_sample(rng, data, &scores, params.m)
@@ -125,7 +131,11 @@ mod tests {
     #[test]
     fn hst_coreset_prices_solutions_well() {
         let d = blobs(&[2_000, 2_000], 500.0);
-        let params = CompressionParams { k: 2, m: 300, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 300,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let c = HstCoreset::default().compress(&mut r, &d, &params);
         let centers = Points::from_flat(vec![0.0, 0.0, 500.0, 0.0], 2).unwrap();
@@ -138,7 +148,11 @@ mod tests {
     #[test]
     fn captures_tiny_cluster() {
         let d = blobs(&[5_000, 25], 3_000.0);
-        let params = CompressionParams { k: 2, m: 120, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 120,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let mut hits = 0;
         for _ in 0..5 {
@@ -153,7 +167,11 @@ mod tests {
     #[test]
     fn kmedian_variant_runs() {
         let d = blobs(&[1_500, 1_500], 200.0);
-        let params = CompressionParams { k: 2, m: 200, kind: CostKind::KMedian };
+        let params = CompressionParams {
+            k: 2,
+            m: 200,
+            kind: CostKind::KMedian,
+        };
         let mut r = rng();
         let c = HstCoreset::default().compress(&mut r, &d, &params);
         assert!(!c.is_empty());
@@ -164,7 +182,11 @@ mod tests {
     #[test]
     fn m_geq_n_is_identity() {
         let d = blobs(&[40], 1.0);
-        let params = CompressionParams { k: 2, m: 100, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 100,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let c = HstCoreset::default().compress(&mut r, &d, &params);
         assert_eq!(c.dataset(), &d);

@@ -43,7 +43,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn params(m: usize) -> CompressionParams {
-        CompressionParams { k: 2, m, kind: CostKind::KMeans }
+        CompressionParams {
+            k: 2,
+            m,
+            kind: CostKind::KMeans,
+        }
     }
 
     #[test]
@@ -68,13 +72,8 @@ mod tests {
     fn misses_small_cluster_near_the_mean() {
         // The Figure-3 failure mode: a tiny cluster at the center of mass of
         // two large symmetric clusters gets vanishing sampling probability.
-        let mut flat = Vec::new();
-        for _ in 0..5_000 {
-            flat.push(-100.0);
-        }
-        for _ in 0..5_000 {
-            flat.push(100.0);
-        }
+        let mut flat = vec![-100.0; 5_000];
+        flat.extend(std::iter::repeat_n(100.0, 5_000));
         for i in 0..20 {
             flat.push(0.001 * i as f64); // tiny central cluster
         }
@@ -87,7 +86,10 @@ mod tests {
                 captured += 1;
             }
         }
-        assert!(captured <= 3, "central cluster captured {captured}/10 times — too often");
+        assert!(
+            captured <= 3,
+            "central cluster captured {captured}/10 times — too often"
+        );
     }
 
     #[test]
@@ -96,7 +98,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut totals = Vec::new();
         for _ in 0..20 {
-            totals.push(Lightweight.compress(&mut rng, &d, &params(80)).total_weight());
+            totals.push(
+                Lightweight
+                    .compress(&mut rng, &d, &params(80))
+                    .total_weight(),
+            );
         }
         let mean: f64 = totals.iter().sum::<f64>() / totals.len() as f64;
         assert!((mean - 500.0).abs() / 500.0 < 0.15, "mean {mean}");

@@ -39,6 +39,14 @@ mod tests {
     fn suite_has_the_four_table4_methods() {
         let suite = super::standard_suite();
         let names: Vec<&str> = suite.iter().map(|c| c.name()).collect();
-        assert_eq!(names, vec!["uniform", "lightweight", "welterweight(log k)", "fast-coreset"]);
+        assert_eq!(
+            names,
+            vec![
+                "uniform",
+                "lightweight",
+                "welterweight(log k)",
+                "fast-coreset"
+            ]
+        );
     }
 }

@@ -24,7 +24,9 @@ pub struct StandardSensitivity {
 
 impl Default for StandardSensitivity {
     fn default() -> Self {
-        Self { weight_mode: WeightMode::Unbiased }
+        Self {
+            weight_mode: WeightMode::Unbiased,
+        }
     }
 }
 
@@ -83,7 +85,11 @@ mod tests {
     #[test]
     fn captures_tiny_far_cluster() {
         let d = imbalanced_blobs();
-        let params = CompressionParams { k: 2, m: 100, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 100,
+            kind: CostKind::KMeans,
+        };
         let mut rng = StdRng::seed_from_u64(13);
         let mut hits = 0;
         for _ in 0..10 {
@@ -98,24 +104,36 @@ mod tests {
     #[test]
     fn coreset_prices_solutions_accurately() {
         let d = imbalanced_blobs();
-        let params = CompressionParams { k: 2, m: 400, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 400,
+            kind: CostKind::KMeans,
+        };
         let mut rng = StdRng::seed_from_u64(15);
         let c = StandardSensitivity::default().compress(&mut rng, &d, &params);
         // Price the natural 2-center solution on both sets.
-        let centers =
-            fc_geom::Points::from_flat(vec![0.05, 0.0, 5_000.0, 0.0], 2).unwrap();
+        let centers = fc_geom::Points::from_flat(vec![0.05, 0.0, 5_000.0, 0.0], 2).unwrap();
         let full = fc_clustering::cost::cost(&d, &centers, CostKind::KMeans);
         let compressed = c.cost(&centers, CostKind::KMeans);
         let ratio = (full / compressed).max(compressed / full);
-        assert!(ratio < 1.5, "cost ratio {ratio} too large (full {full}, coreset {compressed})");
+        assert!(
+            ratio < 1.5,
+            "cost ratio {ratio} too large (full {full}, coreset {compressed})"
+        );
     }
 
     #[test]
     fn rebalanced_mode_preserves_cluster_mass_lower_bound() {
         let d = imbalanced_blobs();
-        let params = CompressionParams { k: 2, m: 100, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 100,
+            kind: CostKind::KMeans,
+        };
         let mut rng = StdRng::seed_from_u64(17);
-        let comp = StandardSensitivity { weight_mode: WeightMode::Rebalanced { epsilon: 0.05 } };
+        let comp = StandardSensitivity {
+            weight_mode: WeightMode::Rebalanced { epsilon: 0.05 },
+        };
         let c = comp.compress(&mut rng, &d, &params);
         // Total mass must now be >= the input weight (each cluster topped up
         // to (1+eps) of its true mass).

@@ -60,7 +60,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn params(m: usize) -> CompressionParams {
-        CompressionParams { k: 5, m, kind: CostKind::KMeans }
+        CompressionParams {
+            k: 5,
+            m,
+            kind: CostKind::KMeans,
+        }
     }
 
     #[test]

@@ -81,8 +81,12 @@ impl Compressor for Welterweight {
         let j = self.j.resolve(params.k);
         let seeding = fc_clustering::kmeanspp::kmeanspp(rng, data, j, params.kind);
         let cost_z = seeding.cost_z(params.kind);
-        let scores =
-            sensitivity_scores(&seeding.labels, &cost_z, data.weights(), seeding.centers.len());
+        let scores = sensitivity_scores(
+            &seeding.labels,
+            &cost_z,
+            data.weights(),
+            seeding.centers.len(),
+        );
         importance_sample(rng, data, &scores, params.m)
     }
 }
@@ -105,16 +109,19 @@ mod tests {
 
     #[test]
     fn compresses_to_m_points() {
-        let d = Dataset::from_flat(
-            (0..2000).map(|i| (i % 83) as f64).collect(),
-            1,
-        )
-        .unwrap();
+        let d = Dataset::from_flat((0..2000).map(|i| (i % 83) as f64).collect(), 1).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
-        let params = CompressionParams { k: 16, m: 200, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 16,
+            m: 200,
+            kind: CostKind::KMeans,
+        };
         let c = Welterweight::default().compress(&mut rng, &d, &params);
         assert!(c.len() <= 200);
-        assert!(c.len() > 100, "merging should not collapse most of the sample");
+        assert!(
+            c.len() > 100,
+            "merging should not collapse most of the sample"
+        );
         assert!((c.total_weight() - 2000.0).abs() / 2000.0 < 0.25);
     }
 
@@ -137,7 +144,11 @@ mod tests {
             flat.push(0.0);
         }
         let d = Dataset::from_flat(flat, 2).unwrap();
-        let params = CompressionParams { k: 3, m: 60, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 3,
+            m: 60,
+            kind: CostKind::KMeans,
+        };
         let mut rng = StdRng::seed_from_u64(11);
         let capture_rate = |j: JCount, rng: &mut StdRng| -> usize {
             let ww = Welterweight::new(j);
@@ -159,7 +170,13 @@ mod tests {
 
     #[test]
     fn name_reflects_policy() {
-        assert_eq!(Welterweight::new(JCount::LogK).name(), "welterweight(log k)");
-        assert_eq!(Welterweight::new(JCount::SqrtK).name(), "welterweight(sqrt k)");
+        assert_eq!(
+            Welterweight::new(JCount::LogK).name(),
+            "welterweight(log k)"
+        );
+        assert_eq!(
+            Welterweight::new(JCount::SqrtK).name(),
+            "welterweight(sqrt k)"
+        );
     }
 }

@@ -158,7 +158,14 @@ impl Pipeline {
             (None, None)
         };
 
-        PipelineOutcome { coreset, solution, cost_on_data, distortion, compress_secs, solve_secs }
+        PipelineOutcome {
+            coreset,
+            solution,
+            cost_on_data,
+            distortion,
+            compress_secs,
+            solve_secs,
+        }
     }
 }
 
@@ -211,8 +218,14 @@ mod tests {
             Method::FastCoreset,
         ] {
             let mut rng = StdRng::seed_from_u64(3);
-            let out = Pipeline::new(3).method(method).m_scalar(20).run(&mut rng, &d);
-            assert!(out.distortion.expect("evaluation on").is_finite(), "{method:?}");
+            let out = Pipeline::new(3)
+                .method(method)
+                .m_scalar(20)
+                .run(&mut rng, &d);
+            assert!(
+                out.distortion.expect("evaluation on").is_finite(),
+                "{method:?}"
+            );
         }
     }
 

@@ -77,12 +77,17 @@ pub fn importance_sample<R: Rng + ?Sized>(
     }
     let Some(pairs) = importance_sample_indices(rng, data, scores, m) else {
         // No sampleable mass (all scores zero): degenerate single point.
-        let d = data.gather(&[0], vec![data.total_weight()]).expect("index 0 exists");
+        let d = data
+            .gather(&[0], vec![data.total_weight()])
+            .expect("index 0 exists");
         return Coreset::new(d);
     };
     let indices: Vec<usize> = pairs.iter().map(|&(i, _)| i).collect();
     let weights: Vec<f64> = pairs.iter().map(|&(_, w)| w).collect();
-    Coreset::new(data.gather(&indices, weights).expect("indices are in range"))
+    Coreset::new(
+        data.gather(&indices, weights)
+            .expect("indices are in range"),
+    )
 }
 
 /// Importance sampling followed by the per-cluster rebalancing step:
@@ -108,7 +113,9 @@ pub fn importance_sample_rebalanced<R: Rng + ?Sized>(
     }
     let k = centers.len();
     let Some(pairs) = importance_sample_indices(rng, data, scores, m) else {
-        let d = data.gather(&[0], vec![data.total_weight()]).expect("index 0 exists");
+        let d = data
+            .gather(&[0], vec![data.total_weight()])
+            .expect("index 0 exists");
         return Coreset::new(d);
     };
     // Ŵ(C_i): estimated cluster weights from the sample, via the points'
@@ -119,7 +126,9 @@ pub fn importance_sample_rebalanced<R: Rng + ?Sized>(
     }
     let indices: Vec<usize> = pairs.iter().map(|&(i, _)| i).collect();
     let weights: Vec<f64> = pairs.iter().map(|&(_, w)| w).collect();
-    let base = data.gather(&indices, weights).expect("indices are in range");
+    let base = data
+        .gather(&indices, weights)
+        .expect("indices are in range");
     let mut out_points = base.points().clone();
     let mut out_weights = base.weights().to_vec();
     let mut cluster_true = vec![0.0; k];
@@ -129,7 +138,9 @@ pub fn importance_sample_rebalanced<R: Rng + ?Sized>(
     for c in 0..k {
         let corrective = (1.0 + epsilon) * cluster_true[c] - estimated[c];
         if corrective > 0.0 {
-            out_points.push(centers.row(c)).expect("center has data dimension");
+            out_points
+                .push(centers.row(c))
+                .expect("center has data dimension");
             out_weights.push(corrective);
         }
     }
@@ -237,8 +248,10 @@ mod tests {
 
     #[test]
     fn rebalanced_cluster_masses_match_target() {
-        // Two clusters of known weight; after rebalancing each cluster's
-        // coreset mass must be >= its true mass (and ≈ (1+ε)·mass).
+        // Two clusters of known weight. Rebalancing makes each cluster's
+        // coreset mass max(Ŵ(C_i), (1+ε)·W(C_i)): the lower bound
+        // (1+ε)·W(C_i) holds on every draw, and since the estimate Ŵ is
+        // unbiased the mean mass over repetitions stays near the target.
         let mut flat = Vec::new();
         for i in 0..100 {
             flat.push(i as f64 * 0.001);
@@ -247,8 +260,7 @@ mod tests {
             flat.push(1000.0 + i as f64 * 0.001);
         }
         let d = Dataset::from_flat(flat, 1).unwrap();
-        let labels: Vec<usize> =
-            (0..150).map(|i| usize::from(i >= 100)).collect();
+        let labels: Vec<usize> = (0..150).map(|i| usize::from(i >= 100)).collect();
         let centers = Points::from_flat(vec![0.05, 1000.025], 1).unwrap();
         let cost_z: Vec<f64> = d
             .points()
@@ -258,15 +270,38 @@ mod tests {
             .collect();
         let scores = sensitivity_scores(&labels, &cost_z, d.weights(), 2);
         let eps = 0.1;
+        let targets = [(1.0 + eps) * 100.0, (1.0 + eps) * 50.0];
         let mut r = rng();
-        let c = importance_sample_rebalanced(&mut r, &d, &scores, &labels, &centers, 30, eps);
-        // Assign coreset points to the two centers and measure masses.
-        let a = fc_clustering::assign::assign(c.dataset().points(), &centers, CostKind::KMeans);
-        let mut mass = [0.0f64; 2];
-        for (i, &l) in a.labels.iter().enumerate() {
-            mass[l] += c.dataset().weight(i);
+        let runs = 40;
+        let mut mean_mass = [0.0f64; 2];
+        for _ in 0..runs {
+            let c = importance_sample_rebalanced(&mut r, &d, &scores, &labels, &centers, 30, eps);
+            // Assign coreset points to the two centers and measure masses.
+            let a = fc_clustering::assign::assign(c.dataset().points(), &centers, CostKind::KMeans);
+            let mut mass = [0.0f64; 2];
+            for (i, &l) in a.labels.iter().enumerate() {
+                mass[l] += c.dataset().weight(i);
+            }
+            for cl in 0..2 {
+                assert!(
+                    mass[cl] >= targets[cl] - 1e-9,
+                    "cluster {cl} mass {} below rebalancing floor {}",
+                    mass[cl],
+                    targets[cl]
+                );
+                mean_mass[cl] += mass[cl] / runs as f64;
+            }
         }
-        assert!((mass[0] - 110.0).abs() < 1.0, "cluster 0 mass {}", mass[0]);
-        assert!((mass[1] - 55.0).abs() < 1.0, "cluster 1 mass {}", mass[1]);
+        // The clamp only inflates mass when Ŵ undershoots, so the mean sits
+        // a little above the target; far-off means signal a weighting bug.
+        for cl in 0..2 {
+            let rel = (mean_mass[cl] - targets[cl]) / targets[cl];
+            assert!(
+                (-0.01..0.5).contains(&rel),
+                "cluster {cl} mean mass {} vs target {}",
+                mean_mass[cl],
+                targets[cl]
+            );
+        }
     }
 }

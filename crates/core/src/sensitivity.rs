@@ -53,15 +53,26 @@ pub fn sensitivity_scores(
     let mut scores = Vec::with_capacity(labels.len());
     let mut total = 0.0;
     for ((&l, &c), &w) in labels.iter().zip(cost_z).zip(weights) {
-        let cost_term =
-            if cluster_costs[l] > 0.0 { w * c / cluster_costs[l] } else { 0.0 };
-        let mass_term =
-            if cluster_weights[l] > 0.0 { w / cluster_weights[l] } else { 0.0 };
+        let cost_term = if cluster_costs[l] > 0.0 {
+            w * c / cluster_costs[l]
+        } else {
+            0.0
+        };
+        let mass_term = if cluster_weights[l] > 0.0 {
+            w / cluster_weights[l]
+        } else {
+            0.0
+        };
         let s = cost_term + mass_term;
         scores.push(s);
         total += s;
     }
-    SensitivityScores { scores, total, cluster_weights, cluster_costs }
+    SensitivityScores {
+        scores,
+        total,
+        cluster_weights,
+        cluster_costs,
+    }
 }
 
 /// Lightweight-coreset scores [6]: Eq. (1) specialised to the 1-means

@@ -57,13 +57,55 @@ pub struct RealWorldSpec {
 pub fn realworld_suite() -> Vec<RealWorldSpec> {
     use RealWorldKind::*;
     vec![
-        RealWorldSpec { kind: Adult, name: "adult", n: 48_842, d: 14, default_k: 100 },
-        RealWorldSpec { kind: Mnist, name: "mnist", n: 60_000, d: 784, default_k: 100 },
-        RealWorldSpec { kind: Star, name: "star", n: 138_500, d: 3, default_k: 100 },
-        RealWorldSpec { kind: Song, name: "song", n: 515_345, d: 90, default_k: 500 },
-        RealWorldSpec { kind: CoverType, name: "cover-type", n: 581_012, d: 54, default_k: 500 },
-        RealWorldSpec { kind: Taxi, name: "taxi", n: 754_539, d: 2, default_k: 500 },
-        RealWorldSpec { kind: Census, name: "census", n: 2_458_285, d: 68, default_k: 500 },
+        RealWorldSpec {
+            kind: Adult,
+            name: "adult",
+            n: 48_842,
+            d: 14,
+            default_k: 100,
+        },
+        RealWorldSpec {
+            kind: Mnist,
+            name: "mnist",
+            n: 60_000,
+            d: 784,
+            default_k: 100,
+        },
+        RealWorldSpec {
+            kind: Star,
+            name: "star",
+            n: 138_500,
+            d: 3,
+            default_k: 100,
+        },
+        RealWorldSpec {
+            kind: Song,
+            name: "song",
+            n: 515_345,
+            d: 90,
+            default_k: 500,
+        },
+        RealWorldSpec {
+            kind: CoverType,
+            name: "cover-type",
+            n: 581_012,
+            d: 54,
+            default_k: 500,
+        },
+        RealWorldSpec {
+            kind: Taxi,
+            name: "taxi",
+            n: 754_539,
+            d: 2,
+            default_k: 500,
+        },
+        RealWorldSpec {
+            kind: Census,
+            name: "census",
+            n: 2_458_285,
+            d: 68,
+            default_k: 500,
+        },
     ]
 }
 
@@ -88,7 +130,14 @@ impl RealWorldSpec {
 /// per-axis quantization mimicking categorical columns. Benign for every
 /// sampler.
 pub fn adult_like<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Dataset {
-    let cfg = GaussianMixtureConfig { n, d, kappa: 8, gamma: 0.5, center_box: 20.0, std: 2.0 };
+    let cfg = GaussianMixtureConfig {
+        n,
+        d,
+        kappa: 8,
+        gamma: 0.5,
+        center_box: 20.0,
+        std: 2.0,
+    };
     let mut data = gaussian_mixture(rng, cfg).into_parts().0;
     // Half the axes behave like small-cardinality categorical codes.
     for row_idx in 0..data.len() {
@@ -189,7 +238,14 @@ pub fn song_like<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Dataset {
 
 /// Cover Type proxy: 7 moderately imbalanced classes.
 pub fn covtype_like<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Dataset {
-    let cfg = GaussianMixtureConfig { n, d, kappa: 7, gamma: 1.5, center_box: 60.0, std: 4.0 };
+    let cfg = GaussianMixtureConfig {
+        n,
+        d,
+        kappa: 7,
+        gamma: 1.5,
+        center_box: 60.0,
+        std: 4.0,
+    };
     gaussian_mixture(rng, cfg)
 }
 
@@ -205,7 +261,9 @@ pub fn taxi_like<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Dataset {
     let glitches = (n / 2_000).max(4);
     let mut flat = Vec::with_capacity(n * d);
     // Zipf-ish sizes: cluster i gets mass ∝ 1/(i+1)^1.1.
-    let weights: Vec<f64> = (0..clusters).map(|i| 1.0 / (i as f64 + 1.0).powf(1.1)).collect();
+    let weights: Vec<f64> = (0..clusters)
+        .map(|i| 1.0 / (i as f64 + 1.0).powf(1.1))
+        .collect();
     let total_w: f64 = weights.iter().sum();
     let body = n - glitches;
     let mut produced = 0usize;
@@ -241,7 +299,14 @@ pub fn taxi_like<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Dataset {
 
 /// Census proxy: many balanced clusters; benign at the paper's `k = 500`.
 pub fn census_like<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Dataset {
-    let cfg = GaussianMixtureConfig { n, d, kappa: 40, gamma: 0.3, center_box: 40.0, std: 3.0 };
+    let cfg = GaussianMixtureConfig {
+        n,
+        d,
+        kappa: 40,
+        gamma: 0.3,
+        center_box: 40.0,
+        std: 3.0,
+    };
     gaussian_mixture(rng, cfg)
 }
 

@@ -25,7 +25,12 @@ pub struct RegistryParams {
 
 impl Default for RegistryParams {
     fn default() -> Self {
-        Self { n: 50_000, k: 100, scale: 0.1, gamma: 1.0 }
+        Self {
+            n: 50_000,
+            k: 100,
+            scale: 0.1,
+            gamma: 1.0,
+        }
     }
 }
 
@@ -45,9 +50,13 @@ pub fn generate<R: Rng + ?Sized>(
     let d = 50;
     match name {
         "c-outlier" => Some(c_outlier(rng, params.n, d, 16, 1e5)),
-        "geometric" => {
-            Some(geometric(rng, (params.n / (2 * params.k)).max(2), params.k, 2.0, d))
-        }
+        "geometric" => Some(geometric(
+            rng,
+            (params.n / (2 * params.k)).max(2),
+            params.k,
+            2.0,
+            d,
+        )),
         "gaussian" => Some(gaussian_mixture(
             rng,
             GaussianMixtureConfig {
@@ -58,7 +67,12 @@ pub fn generate<R: Rng + ?Sized>(
                 ..Default::default()
             },
         )),
-        "benchmark" => Some(benchmark(rng, params.k.max(3), (params.n / params.k).max(4), 100.0)),
+        "benchmark" => Some(benchmark(
+            rng,
+            params.k.max(3),
+            (params.n / params.k).max(4),
+            100.0,
+        )),
         other => realworld_suite()
             .into_iter()
             .find(|s| s.name == other)
@@ -74,11 +88,16 @@ mod tests {
 
     #[test]
     fn every_advertised_name_generates() {
-        let params = RegistryParams { n: 2_000, k: 20, scale: 0.005, gamma: 1.0 };
+        let params = RegistryParams {
+            n: 2_000,
+            k: 20,
+            scale: 0.005,
+            gamma: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         for name in available() {
-            let d = generate(&mut rng, name, &params)
-                .unwrap_or_else(|| panic!("{name} not generated"));
+            let d =
+                generate(&mut rng, name, &params).unwrap_or_else(|| panic!("{name} not generated"));
             assert!(!d.is_empty(), "{name} empty");
         }
     }

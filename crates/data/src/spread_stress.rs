@@ -39,7 +39,9 @@ pub fn spread_stress<R: Rng + ?Sized>(rng: &mut R, n: usize, n_prime: usize, r: 
 /// `log₂` of the dataset's spread — grows linearly in `r` (the knob of
 /// Table 1). `O(n²)`; diagnostics/tests only.
 pub fn log2_spread(points: &Points) -> f64 {
-    fc_geom::bbox::exact_spread(points).map(f64::log2).unwrap_or(0.0)
+    fc_geom::bbox::exact_spread(points)
+        .map(f64::log2)
+        .unwrap_or(0.0)
 }
 
 #[cfg(test)]

@@ -34,7 +34,12 @@ pub fn c_outlier<R: Rng + ?Sized>(
     assert!(c <= n, "cannot have more outliers than points");
     assert!(d > 0);
     let mut direction: Vec<f64> = (0..d).map(|_| StandardNormal.sample(rng)).collect();
-    let norm = direction.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+    let norm = direction
+        .iter()
+        .map(|x| x * x)
+        .sum::<f64>()
+        .sqrt()
+        .max(1e-12);
     direction.iter_mut().for_each(|x| *x *= separation / norm);
 
     let mut flat = vec![0.0; (n - c) * d];
@@ -94,7 +99,14 @@ pub struct GaussianMixtureConfig {
 impl Default for GaussianMixtureConfig {
     fn default() -> Self {
         // The paper's defaults: n = 50_000, d = 50.
-        Self { n: 50_000, d: 50, kappa: 50, gamma: 0.0, center_box: 100.0, std: 1.0 }
+        Self {
+            n: 50_000,
+            d: 50,
+            kappa: 50,
+            gamma: 0.0,
+            center_box: 100.0,
+            std: 1.0,
+        }
     }
 }
 
@@ -122,7 +134,9 @@ pub fn gaussian_mixture<R: Rng + ?Sized>(rng: &mut R, cfg: GaussianMixtureConfig
 
     let mut flat = Vec::with_capacity(cfg.n * cfg.d);
     for &size in &sizes {
-        let center: Vec<f64> = (0..cfg.d).map(|_| rng.gen::<f64>() * cfg.center_box).collect();
+        let center: Vec<f64> = (0..cfg.d)
+            .map(|_| rng.gen::<f64>() * cfg.center_box)
+            .collect();
         for _ in 0..size {
             for &c in &center {
                 let g: f64 = StandardNormal.sample(rng);
@@ -218,7 +232,13 @@ mod tests {
 
     #[test]
     fn gaussian_mixture_sizes_sum_to_n() {
-        let cfg = GaussianMixtureConfig { n: 5_000, d: 8, kappa: 10, gamma: 0.0, ..Default::default() };
+        let cfg = GaussianMixtureConfig {
+            n: 5_000,
+            d: 8,
+            kappa: 10,
+            gamma: 0.0,
+            ..Default::default()
+        };
         let d = gaussian_mixture(&mut rng(), cfg);
         assert_eq!(d.len(), 5_000);
         assert_eq!(d.dim(), 8);
@@ -229,30 +249,57 @@ mod tests {
         // With γ = 0 all clusters have n/κ points; verify via per-cluster
         // counts of the nearest generated center... indirectly: project on
         // the fact that sizes were computed as exactly n/κ each round.
-        let cfg = GaussianMixtureConfig { n: 1_000, d: 2, kappa: 4, gamma: 0.0, center_box: 1e6, std: 0.1, ..Default::default() };
+        let cfg = GaussianMixtureConfig {
+            n: 1_000,
+            d: 2,
+            kappa: 4,
+            gamma: 0.0,
+            center_box: 1e6,
+            std: 0.1,
+        };
         let d = gaussian_mixture(&mut rng(), cfg);
         // Clusters are hugely separated; count cluster memberships by
         // rounding to the nearest center found via simple scan.
         let mut r = rng();
-        let seeding = fc_clustering::kmeanspp::kmeanspp(&mut r, &d, 4, fc_clustering::CostKind::KMeans);
-        let a = fc_clustering::assign::assign(d.points(), &seeding.centers, fc_clustering::CostKind::KMeans);
+        let seeding =
+            fc_clustering::kmeanspp::kmeanspp(&mut r, &d, 4, fc_clustering::CostKind::KMeans);
+        let a = fc_clustering::assign::assign(
+            d.points(),
+            &seeding.centers,
+            fc_clustering::CostKind::KMeans,
+        );
         let mut counts = vec![0usize; 4];
         for &l in &a.labels {
             counts[l] += 1;
         }
         counts.sort_unstable();
         assert_eq!(counts.iter().sum::<usize>(), 1_000);
-        assert!(counts[0] >= 200, "balanced mixture produced sizes {counts:?}");
+        assert!(
+            counts[0] >= 200,
+            "balanced mixture produced sizes {counts:?}"
+        );
     }
 
     #[test]
     fn gamma_large_gives_imbalanced_sizes() {
-        let cfg = GaussianMixtureConfig { n: 2_000, d: 2, kappa: 8, gamma: 5.0, center_box: 1e6, std: 0.1, ..Default::default() };
+        let cfg = GaussianMixtureConfig {
+            n: 2_000,
+            d: 2,
+            kappa: 8,
+            gamma: 5.0,
+            center_box: 1e6,
+            std: 0.1,
+        };
         let d = gaussian_mixture(&mut rng(), cfg);
         assert_eq!(d.len(), 2_000);
         let mut r = rng();
-        let seeding = fc_clustering::kmeanspp::kmeanspp(&mut r, &d, 8, fc_clustering::CostKind::KMeans);
-        let a = fc_clustering::assign::assign(d.points(), &seeding.centers, fc_clustering::CostKind::KMeans);
+        let seeding =
+            fc_clustering::kmeanspp::kmeanspp(&mut r, &d, 8, fc_clustering::CostKind::KMeans);
+        let a = fc_clustering::assign::assign(
+            d.points(),
+            &seeding.centers,
+            fc_clustering::CostKind::KMeans,
+        );
         let mut counts = vec![0usize; 8];
         for &l in &a.labels {
             counts[l] += 1;
@@ -278,7 +325,10 @@ mod tests {
         let same = fc_geom::distance::dist(p0, p_same);
         let other = fc_geom::distance::dist(p0, p_other);
         assert!(same < 0.1, "same-vertex distance {same}");
-        assert!((other - 100.0 * 2.0f64.sqrt()).abs() < 1.0, "cross-vertex distance {other}");
+        assert!(
+            (other - 100.0 * 2.0f64.sqrt()).abs() < 1.0,
+            "cross-vertex distance {other}"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests for the dataset generators.
 
 use fc_data::registry::{available, generate, RegistryParams};
-use fc_data::synthetic::{c_outlier, gaussian_mixture, geometric, GaussianMixtureConfig};
 use fc_data::spread_stress::spread_stress;
+use fc_data::synthetic::{c_outlier, gaussian_mixture, geometric, GaussianMixtureConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

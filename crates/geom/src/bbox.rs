@@ -48,7 +48,11 @@ impl BoundingBox {
 
     /// Side length along each dimension.
     pub fn extents(&self) -> Vec<f64> {
-        self.min.iter().zip(&self.max).map(|(lo, hi)| hi - lo).collect()
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| hi - lo)
+            .collect()
     }
 
     /// Largest side length — the side of the enclosing hypercube.
@@ -59,7 +63,11 @@ impl BoundingBox {
     /// Euclidean diameter of the box (an upper bound on the point-set
     /// diameter, tight within `√d`).
     pub fn diagonal(&self) -> f64 {
-        self.extents().into_iter().map(|e| e * e).sum::<f64>().sqrt()
+        self.extents()
+            .into_iter()
+            .map(|e| e * e)
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Whether `p` lies inside the box (inclusive).

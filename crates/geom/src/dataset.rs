@@ -187,11 +187,8 @@ mod tests {
     #[test]
     fn concat_joins_points_and_weights() {
         let a = sample();
-        let b = Dataset::weighted(
-            Points::from_flat(vec![5.0, 5.0], 2).unwrap(),
-            vec![3.0],
-        )
-        .unwrap();
+        let b =
+            Dataset::weighted(Points::from_flat(vec![5.0, 5.0], 2).unwrap(), vec![3.0]).unwrap();
         let c = a.concat(&b).unwrap();
         assert_eq!(c.len(), 5);
         assert_eq!(c.point(4), &[5.0, 5.0]);

@@ -27,7 +27,10 @@ impl fmt::Display for GeomError {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
             GeomError::RaggedBuffer { len, dim } => {
-                write!(f, "buffer of length {len} is not a multiple of dimension {dim}")
+                write!(
+                    f,
+                    "buffer of length {len} is not a multiple of dimension {dim}"
+                )
             }
             GeomError::EmptyInput => write!(f, "operation requires at least one point"),
             GeomError::WeightLengthMismatch { points, weights } => {
@@ -51,11 +54,20 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GeomError::DimensionMismatch { expected: 3, got: 5 };
+        let e = GeomError::DimensionMismatch {
+            expected: 3,
+            got: 5,
+        };
         assert!(e.to_string().contains("expected 3"));
-        let e = GeomError::WeightLengthMismatch { points: 10, weights: 9 };
+        let e = GeomError::WeightLengthMismatch {
+            points: 10,
+            weights: 9,
+        };
         assert!(e.to_string().contains("9 weights"));
-        let e = GeomError::InvalidWeight { index: 2, value: -1.0 };
+        let e = GeomError::InvalidWeight {
+            index: 2,
+            value: -1.0,
+        };
         assert!(e.to_string().contains("index 2"));
     }
 

@@ -113,8 +113,7 @@ pub fn read_csv(path: &Path, with_weights: bool, skip_header: bool) -> Result<Da
         flat.extend_from_slice(&values);
     }
     let dim = dim.ok_or_else(|| IoError::Format("empty file".into()))?;
-    let points =
-        Points::from_flat(flat, dim).map_err(|e| IoError::Format(e.to_string()))?;
+    let points = Points::from_flat(flat, dim).map_err(|e| IoError::Format(e.to_string()))?;
     if with_weights {
         Dataset::weighted(points, weights).map_err(|e| IoError::Format(e.to_string()))
     } else {
@@ -164,8 +163,7 @@ pub fn read_binary(path: &Path) -> Result<Dataset, IoError> {
     }
     let mut flat = vec![0.0f64; n * dim];
     read_f64s(&mut r, &mut flat)?;
-    let points =
-        Points::from_flat(flat, dim).map_err(|e| IoError::Format(e.to_string()))?;
+    let points = Points::from_flat(flat, dim).map_err(|e| IoError::Format(e.to_string()))?;
     if with_weights {
         let mut weights = vec![0.0f64; n];
         read_f64s(&mut r, &mut weights)?;
@@ -248,9 +246,15 @@ mod tests {
     fn csv_rejects_ragged_rows_and_junk() {
         let path = tmp("bad.csv");
         std::fs::write(&path, "1.0,2.0\n3.0\n").unwrap();
-        assert!(matches!(read_csv(&path, false, false), Err(IoError::Format(_))));
+        assert!(matches!(
+            read_csv(&path, false, false),
+            Err(IoError::Format(_))
+        ));
         std::fs::write(&path, "1.0,zebra\n").unwrap();
-        assert!(matches!(read_csv(&path, false, false), Err(IoError::Format(_))));
+        assert!(matches!(
+            read_csv(&path, false, false),
+            Err(IoError::Format(_))
+        ));
         let _ = std::fs::remove_file(path);
     }
 

@@ -50,7 +50,10 @@ impl JlProjection {
         target_dim: usize,
     ) -> Result<Self, GeomError> {
         if target_dim == 0 || source_dim == 0 {
-            return Err(GeomError::InvalidTargetDim { source: source_dim, target: target_dim });
+            return Err(GeomError::InvalidTargetDim {
+                source: source_dim,
+                target: target_dim,
+            });
         }
         let len = source_dim * target_dim;
         let mut matrix = Vec::with_capacity(len);
@@ -76,7 +79,11 @@ impl JlProjection {
                 }
             }
         }
-        Ok(Self { matrix, source_dim, target_dim })
+        Ok(Self {
+            matrix,
+            source_dim,
+            target_dim,
+        })
     }
 
     /// Source dimensionality.
@@ -92,7 +99,10 @@ impl JlProjection {
     /// Projects a single point.
     pub fn project_point(&self, p: &[f64]) -> Result<Vec<f64>, GeomError> {
         if p.len() != self.source_dim {
-            return Err(GeomError::DimensionMismatch { expected: self.source_dim, got: p.len() });
+            return Err(GeomError::DimensionMismatch {
+                expected: self.source_dim,
+                got: p.len(),
+            });
         }
         let mut out = vec![0.0; self.target_dim];
         self.project_into(p, &mut out);
@@ -123,7 +133,10 @@ impl JlProjection {
         let n = points.len();
         let mut data = vec![0.0; n * self.target_dim];
         for (i, row) in points.iter().enumerate() {
-            self.project_into(row, &mut data[i * self.target_dim..(i + 1) * self.target_dim]);
+            self.project_into(
+                row,
+                &mut data[i * self.target_dim..(i + 1) * self.target_dim],
+            );
         }
         Points::from_flat(data, self.target_dim)
     }

@@ -24,7 +24,10 @@ impl Points {
     /// multiple of `dim`.
     pub fn from_flat(data: Vec<f64>, dim: usize) -> Result<Self, GeomError> {
         if dim == 0 || !data.len().is_multiple_of(dim) {
-            return Err(GeomError::RaggedBuffer { len: data.len(), dim });
+            return Err(GeomError::RaggedBuffer {
+                len: data.len(),
+                dim,
+            });
         }
         Ok(Self { data, dim })
     }
@@ -42,7 +45,10 @@ impl Points {
         let mut data = Vec::with_capacity(rows.len() * dim);
         for row in rows {
             if row.len() != dim {
-                return Err(GeomError::DimensionMismatch { expected: dim, got: row.len() });
+                return Err(GeomError::DimensionMismatch {
+                    expected: dim,
+                    got: row.len(),
+                });
             }
             data.extend_from_slice(row);
         }
@@ -52,13 +58,19 @@ impl Points {
     /// An empty store of the given dimension, useful as an accumulator.
     pub fn empty(dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Self { data: Vec::new(), dim }
+        Self {
+            data: Vec::new(),
+            dim,
+        }
     }
 
     /// A store of `n` zero points.
     pub fn zeros(n: usize, dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Self { data: vec![0.0; n * dim], dim }
+        Self {
+            data: vec![0.0; n * dim],
+            dim,
+        }
     }
 
     /// Number of points.
@@ -116,7 +128,10 @@ impl Points {
     /// Appends a point, checking its dimension.
     pub fn push(&mut self, point: &[f64]) -> Result<(), GeomError> {
         if point.len() != self.dim {
-            return Err(GeomError::DimensionMismatch { expected: self.dim, got: point.len() });
+            return Err(GeomError::DimensionMismatch {
+                expected: self.dim,
+                got: point.len(),
+            });
         }
         self.data.extend_from_slice(point);
         Ok(())
@@ -125,7 +140,10 @@ impl Points {
     /// Appends all points from `other` (must share the dimension).
     pub fn extend(&mut self, other: &Points) -> Result<(), GeomError> {
         if other.dim != self.dim {
-            return Err(GeomError::DimensionMismatch { expected: self.dim, got: other.dim });
+            return Err(GeomError::DimensionMismatch {
+                expected: self.dim,
+                got: other.dim,
+            });
         }
         self.data.extend_from_slice(&other.data);
         Ok(())
@@ -139,7 +157,10 @@ impl Points {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Points { data, dim: self.dim }
+        Points {
+            data,
+            dim: self.dim,
+        }
     }
 
     /// Reserve capacity for `additional` more points.
@@ -184,7 +205,13 @@ mod tests {
         let ok = Points::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         assert_eq!(ok.len(), 2);
         let bad = Points::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
-        assert!(matches!(bad, Err(GeomError::DimensionMismatch { expected: 2, got: 1 })));
+        assert!(matches!(
+            bad,
+            Err(GeomError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
         assert!(matches!(Points::from_rows(&[]), Err(GeomError::EmptyInput)));
     }
 

@@ -35,7 +35,13 @@ impl AliasTable {
         let scale = n as f64 / total;
         let mut prob: Vec<f64> = weights
             .iter()
-            .map(|&w| if w.is_finite() && w > 0.0 { w * scale } else { 0.0 })
+            .map(|&w| {
+                if w.is_finite() && w > 0.0 {
+                    w * scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut alias = vec![0usize; n];
         let mut small = Vec::with_capacity(n);
@@ -139,7 +145,10 @@ impl PrefixSums {
 
     /// Total weight of all items.
     pub fn total(&self) -> f64 {
-        *self.prefix.last().expect("prefix sums always hold a leading zero")
+        *self
+            .prefix
+            .last()
+            .expect("prefix sums always hold a leading zero")
     }
 
     /// Finds the index `i` in `lo..hi` such that the cumulative weight within
@@ -183,7 +192,10 @@ impl PrefixSums {
         let mut segments: Vec<(usize, usize)> = Vec::with_capacity(excluded.len() + 1);
         let mut cursor = lo;
         for &(elo, ehi) in excluded {
-            debug_assert!(elo >= cursor && ehi <= hi, "exclusions must be sorted and nested");
+            debug_assert!(
+                elo >= cursor && ehi <= hi,
+                "exclusions must be sorted and nested"
+            );
             if elo > cursor {
                 segments.push((cursor, elo));
             }
@@ -335,8 +347,13 @@ mod tests {
         let p = PrefixSums::new(&weights);
         let mut r = rng();
         for _ in 0..2_000 {
-            let s = p.sample_excluding(&mut r, 0, 10, &[(2, 4), (7, 9)]).unwrap();
-            assert!(!(2..4).contains(&s) && !(7..9).contains(&s), "sampled excluded index {s}");
+            let s = p
+                .sample_excluding(&mut r, 0, 10, &[(2, 4), (7, 9)])
+                .unwrap();
+            assert!(
+                !(2..4).contains(&s) && !(7..9).contains(&s),
+                "sampled excluded index {s}"
+            );
         }
     }
 

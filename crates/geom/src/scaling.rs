@@ -30,7 +30,10 @@ impl AxisScaler {
         let dim = data.dim();
         let total = data.total_weight();
         if total <= 0.0 {
-            return Err(GeomError::InvalidWeight { index: 0, value: 0.0 });
+            return Err(GeomError::InvalidWeight {
+                index: 0,
+                value: 0.0,
+            });
         }
         let mut mean = vec![0.0; dim];
         for (p, &w) in data.points().iter().zip(data.weights()) {
@@ -57,7 +60,10 @@ impl AxisScaler {
                 }
             })
             .collect();
-        Ok(Self { offset: mean, scale })
+        Ok(Self {
+            offset: mean,
+            scale,
+        })
     }
 
     /// Fits a min-max normalizer onto `[0, 1]` per axis (constant axes map
@@ -81,7 +87,10 @@ impl AxisScaler {
     /// Applies the transform to a point store.
     pub fn transform(&self, points: &Points) -> Result<Points, GeomError> {
         if points.dim() != self.dim() {
-            return Err(GeomError::DimensionMismatch { expected: self.dim(), got: points.dim() });
+            return Err(GeomError::DimensionMismatch {
+                expected: self.dim(),
+                got: points.dim(),
+            });
         }
         let mut out = points.clone();
         for i in 0..out.len() {
@@ -103,7 +112,10 @@ impl AxisScaler {
     /// centers — back to original units).
     pub fn inverse_transform(&self, points: &Points) -> Result<Points, GeomError> {
         if points.dim() != self.dim() {
-            return Err(GeomError::DimensionMismatch { expected: self.dim(), got: points.dim() });
+            return Err(GeomError::DimensionMismatch {
+                expected: self.dim(),
+                got: points.dim(),
+            });
         }
         let mut out = points.clone();
         for i in 0..out.len() {
@@ -142,7 +154,10 @@ mod tests {
         for axis in 0..2 {
             let vals: Vec<f64> = t.points().iter().map(|p| p[axis]).collect();
             assert!(crate::stats::mean(&vals).abs() < 1e-9, "axis {axis} mean");
-            assert!((crate::stats::variance(&vals) - 1.0).abs() < 1e-9, "axis {axis} var");
+            assert!(
+                (crate::stats::variance(&vals) - 1.0).abs() < 1e-9,
+                "axis {axis} var"
+            );
         }
         // Constant axis: centred, not exploded.
         let vals: Vec<f64> = t.points().iter().map(|p| p[2]).collect();
@@ -156,7 +171,10 @@ mod tests {
         let t = s.transform(d.points()).unwrap();
         for p in t.iter() {
             for &x in p {
-                assert!((-1e-12..=1.0 + 1e-12).contains(&x), "value {x} outside [0,1]");
+                assert!(
+                    (-1e-12..=1.0 + 1e-12).contains(&x),
+                    "value {x} outside [0,1]"
+                );
             }
         }
     }
@@ -164,7 +182,10 @@ mod tests {
     #[test]
     fn inverse_round_trips() {
         let d = skewed();
-        for scaler in [AxisScaler::standardize(&d).unwrap(), AxisScaler::min_max(&d).unwrap()] {
+        for scaler in [
+            AxisScaler::standardize(&d).unwrap(),
+            AxisScaler::min_max(&d).unwrap(),
+        ] {
             let t = scaler.transform(d.points()).unwrap();
             let back = scaler.inverse_transform(&t).unwrap();
             for (a, b) in back.iter().zip(d.points().iter()) {

@@ -47,7 +47,11 @@ pub fn crude_approx<R: Rng + ?Sized>(
     let delta = fc_geom::bbox::diameter_upper_bound(points);
     if delta <= 0.0 {
         // All points coincide: OPT = 0 at any k.
-        return CrudeBound { upper: 0.0, side: 0.0, probes: 0 };
+        return CrudeBound {
+            upper: 0.0,
+            side: 0.0,
+            probes: 0,
+        };
     }
     let shift: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>() * delta).collect();
     let mut probes = 0;
@@ -60,8 +64,8 @@ pub fn crude_approx<R: Rng + ?Sized>(
     // Level ℓ has side Δ·2^{-ℓ}. The occupied-cell count is non-decreasing
     // in ℓ (grids nest). Bracket the threshold, then binary search.
     const LO: i32 = -44; // side = Δ·2^44: one cell unless a boundary crosses
-    // Finest probe: Δ·2^-52 is the f64 significand resolution relative to
-    // the diameter; finer grids would also overflow the i64 cell coords.
+                         // Finest probe: Δ·2^-52 is the f64 significand resolution relative to
+                         // the diameter; finer grids would also overflow the i64 cell coords.
     const HI: i32 = 52;
     if count_at(LO) > k {
         // Even absurdly coarse grids are fragmented (can only happen with
@@ -69,7 +73,11 @@ pub fn crude_approx<R: Rng + ?Sized>(
         // bound cost(P, any single point) ≤ W·Δ^z.
         let side = delta;
         let upper = total_weight * ((dim as f64).sqrt() * side).powf(kind.z());
-        return CrudeBound { upper, side, probes };
+        return CrudeBound {
+            upper,
+            side,
+            probes,
+        };
     }
     if count_at(HI) <= k {
         // At f64 resolution the input still fits in k cells: at most k
@@ -78,7 +86,11 @@ pub fn crude_approx<R: Rng + ?Sized>(
         // the result still dominates OPT.
         let side = delta * f64::powi(2.0, -HI);
         let upper = total_weight * ((dim as f64).sqrt() * side).powf(kind.z());
-        return CrudeBound { upper, side, probes };
+        return CrudeBound {
+            upper,
+            side,
+            probes,
+        };
     }
 
     // Invariant: count(lo) <= k < count(hi).
@@ -96,7 +108,11 @@ pub fn crude_approx<R: Rng + ?Sized>(
     // One center per occupied cell ⇒ every point pays at most the cell
     // diagonal: OPT_z ≤ Σ w_p (√d·side)^z.
     let upper = total_weight * ((dim as f64).sqrt() * side).powf(kind.z());
-    CrudeBound { upper, side, probes }
+    CrudeBound {
+        upper,
+        side,
+        probes,
+    }
 }
 
 #[cfg(test)]
@@ -185,7 +201,11 @@ mod tests {
         let delta = fc_geom::bbox::diameter_upper_bound(&p);
         let mut r = rng();
         let b = crude_approx(&mut r, &p, 3, CostKind::KMedian, 3.0);
-        assert!(b.upper <= 3.0 * delta * f64::powi(2.0, -40), "bound {} not ~0", b.upper);
+        assert!(
+            b.upper <= 3.0 * delta * f64::powi(2.0, -40),
+            "bound {} not ~0",
+            b.upper
+        );
     }
 
     #[test]
@@ -204,7 +224,13 @@ mod tests {
         let mut r1 = rng();
         let mut r2 = rng();
         let b1 = crude_approx(&mut r1, d.points(), 3, CostKind::KMedian, d.total_weight());
-        let b2 = crude_approx(&mut r2, d.points(), 3, CostKind::KMedian, 2.0 * d.total_weight());
+        let b2 = crude_approx(
+            &mut r2,
+            d.points(),
+            3,
+            CostKind::KMedian,
+            2.0 * d.total_weight(),
+        );
         // Same rng seed ⇒ same shift ⇒ exactly double the bound.
         assert!((b2.upper - 2.0 * b1.upper).abs() < 1e-9 * b1.upper.max(1.0));
     }
@@ -220,6 +246,11 @@ mod tests {
         let mean = d.weighted_mean().unwrap();
         let c = Points::from_flat(mean, 2).unwrap();
         let opt_ish = cost(&d, &c, CostKind::KMedian);
-        assert!(b.upper >= opt_ish * 0.99, "upper {} vs 1-center cost {}", b.upper, opt_ish);
+        assert!(
+            b.upper >= opt_ish * 0.99,
+            "upper {} vs 1-center cost {}",
+            b.upper,
+            opt_ish
+        );
     }
 }

@@ -45,9 +45,17 @@ impl TreeStats {
             nodes: tree.node_count(),
             leaves,
             max_level,
-            mean_leaf_size: if leaves > 0 { leaf_points as f64 / leaves as f64 } else { 0.0 },
+            mean_leaf_size: if leaves > 0 {
+                leaf_points as f64 / leaves as f64
+            } else {
+                0.0
+            },
             max_leaf_size,
-            mean_branching: if internal > 0 { children as f64 / internal as f64 } else { 0.0 },
+            mean_branching: if internal > 0 {
+                children as f64 / internal as f64
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -95,8 +103,16 @@ mod tests {
             y *= 0.5;
         }
         let deep = Points::from_flat(deep_flat, 1).unwrap();
-        let ts = TreeStats::of(&Quadtree::build(&mut rng(), &shallow, QuadtreeConfig::default()));
-        let td = TreeStats::of(&Quadtree::build(&mut rng(), &deep, QuadtreeConfig::default()));
+        let ts = TreeStats::of(&Quadtree::build(
+            &mut rng(),
+            &shallow,
+            QuadtreeConfig::default(),
+        ));
+        let td = TreeStats::of(&Quadtree::build(
+            &mut rng(),
+            &deep,
+            QuadtreeConfig::default(),
+        ));
         assert!(
             td.max_level > ts.max_level + 10,
             "geometric chain depth {} vs uniform {}",
@@ -111,6 +127,9 @@ mod tests {
         let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig { max_depth: 30 });
         let s = TreeStats::of(&t);
         assert_eq!(s.nodes, 1);
-        assert_eq!(s.max_leaf_size, 20, "40 coords over dim 2 = 20 identical points");
+        assert_eq!(
+            s.max_leaf_size, 20,
+            "40 coords over dim 2 = 20 identical points"
+        );
     }
 }

@@ -34,7 +34,9 @@ pub struct FastSeedConfig {
 
 impl Default for FastSeedConfig {
     fn default() -> Self {
-        Self { max_attempts_per_center: 8 }
+        Self {
+            max_attempts_per_center: 8,
+        }
     }
 }
 
@@ -87,7 +89,11 @@ pub fn fast_kmeanspp<R: Rng + ?Sized>(
     config: FastSeedConfig,
 ) -> TreeSeeding {
     assert!(k > 0, "k must be positive");
-    assert_eq!(tree.len(), data.len(), "tree and dataset must hold the same points");
+    assert_eq!(
+        tree.len(),
+        data.len(),
+        "tree and dataset must hold the same points"
+    );
     let n = data.len();
 
     // Weights in tree order, wrapped in prefix sums for range draws.
@@ -95,7 +101,10 @@ pub fn fast_kmeanspp<R: Rng + ?Sized>(
     let prefix = PrefixSums::new(&w_perm);
     if prefix.total() <= 0.0 {
         // Degenerate: no sampleable mass; fall back to the first point.
-        return TreeSeeding { chosen: vec![0], labels: vec![0; n] };
+        return TreeSeeding {
+            chosen: vec![0],
+            labels: vec![0; n],
+        };
     }
 
     let mut marked: FxHashMap<u32, Marked> = FxHashMap::default();
@@ -108,7 +117,16 @@ pub fn fast_kmeanspp<R: Rng + ?Sized>(
     let first_pos = prefix
         .sample_in_range(rng, 0, n)
         .expect("total weight checked positive above");
-    insert_center(tree, &prefix, &mut marked, 0, first_pos, node_mass, data, &mut chosen_mask);
+    insert_center(
+        tree,
+        &prefix,
+        &mut marked,
+        0,
+        first_pos,
+        node_mass,
+        data,
+        &mut chosen_mask,
+    );
     chosen.push(tree.point_at(first_pos));
 
     'outer: while chosen.len() < k {
@@ -130,7 +148,10 @@ pub fn fast_kmeanspp<R: Rng + ?Sized>(
                 target -= c;
             }
             let Some(v) = node_pick.or_else(|| {
-                marked.iter().find(|(_, m)| m.contrib > 0.0).map(|(&id, _)| id)
+                marked
+                    .iter()
+                    .find(|(_, m)| m.contrib > 0.0)
+                    .map(|(&id, _)| id)
             }) else {
                 break 'outer;
             };
@@ -154,7 +175,16 @@ pub fn fast_kmeanspp<R: Rng + ?Sized>(
             break; // attempts exhausted: remaining mass is all duplicates
         };
         let ordinal = chosen.len() as u32;
-        insert_center(tree, &prefix, &mut marked, ordinal, pos, node_mass, data, &mut chosen_mask);
+        insert_center(
+            tree,
+            &prefix,
+            &mut marked,
+            ordinal,
+            pos,
+            node_mass,
+            data,
+            &mut chosen_mask,
+        );
         chosen.push(idx);
     }
 
@@ -251,13 +281,23 @@ fn insert_center(
         let sub_w = prefix.range_sum(node.start as usize, node.end as usize);
         let (next_w, marked_children) = if i + 1 < path.len() {
             let nxt = tree.node(path[i + 1]);
-            (prefix.range_sum(nxt.start as usize, nxt.end as usize), vec![path[i + 1]])
+            (
+                prefix.range_sum(nxt.start as usize, nxt.end as usize),
+                vec![path[i + 1]],
+            )
         } else {
             // Leaf: the center itself stops contributing mass.
             (data.weight(idx), Vec::new())
         };
         let contrib = node_mass(v, (sub_w - next_w).max(0.0));
-        marked.insert(v, Marked { rep: ordinal, contrib, marked_children });
+        marked.insert(
+            v,
+            Marked {
+                rep: ordinal,
+                contrib,
+                marked_children,
+            },
+        );
     }
 }
 
@@ -275,7 +315,14 @@ mod tests {
 
     fn seed(data: &Dataset, k: usize, r: &mut StdRng) -> TreeSeeding {
         let tree = Quadtree::build(r, data.points(), QuadtreeConfig::default());
-        fast_kmeanspp(r, data, &tree, k, CostKind::KMeans, FastSeedConfig::default())
+        fast_kmeanspp(
+            r,
+            data,
+            &tree,
+            k,
+            CostKind::KMeans,
+            FastSeedConfig::default(),
+        )
     }
 
     fn blobs(centers: &[(f64, f64)], per_blob: usize, spacing: f64) -> Dataset {
@@ -353,7 +400,11 @@ mod tests {
     fn assignment_cost_is_a_bounded_approximation() {
         // Tree-metric assignment must be within the theoretical distortion
         // of the exact k-means++ cost: sanity-check a generous factor.
-        let d = blobs(&[(0.0, 0.0), (50.0, 0.0), (0.0, 50.0), (50.0, 50.0)], 25, 0.05);
+        let d = blobs(
+            &[(0.0, 0.0), (50.0, 0.0), (0.0, 50.0), (50.0, 50.0)],
+            25,
+            0.05,
+        );
         let mut r = rng();
         let s = seed(&d, 4, &mut r);
         let centers = s.centers(&d);
@@ -363,7 +414,10 @@ mod tests {
             tree_cost += fc_geom::distance::sq_dist(d.point(i), centers.row(l));
         }
         let exact = fc_clustering::cost::cost(&d, &centers, CostKind::KMeans);
-        assert!(tree_cost >= exact - 1e-9, "tree assignment cannot beat the optimal assignment");
+        assert!(
+            tree_cost >= exact - 1e-9,
+            "tree assignment cannot beat the optimal assignment"
+        );
         assert!(
             tree_cost <= 500.0 * exact.max(1e-9),
             "tree cost {tree_cost} wildly exceeds exact assignment cost {exact}"
@@ -377,7 +431,11 @@ mod tests {
         let mut r = rng();
         let s = seed(&d, 5, &mut r);
         assert!(s.k() >= 2, "both distinct locations should be found");
-        assert!(s.k() <= 3, "cannot meaningfully exceed distinct points, got {}", s.k());
+        assert!(
+            s.k() <= 3,
+            "cannot meaningfully exceed distinct points, got {}",
+            s.k()
+        );
     }
 
     #[test]
@@ -418,6 +476,9 @@ mod tests {
                 first_hits += 1;
             }
         }
-        assert!(first_hits >= 19, "heavy point picked first only {first_hits}/20 times");
+        assert!(
+            first_hits >= 19,
+            "heavy point picked first only {first_hits}/20 times"
+        );
     }
 }

@@ -19,7 +19,10 @@ const MIX_SEED_B: u64 = 0xC2B2_AE3D_27D4_EB4F;
 #[inline]
 fn mix(mut h: u64, v: u64) -> u64 {
     // splitmix64 finalizer applied to a running combination.
-    h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+    h ^= v
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(h << 6)
+        .wrapping_add(h >> 2);
     h ^= h >> 30;
     h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     h ^= h >> 27;
@@ -52,7 +55,11 @@ pub fn cell_key(point: &[f64], shift: &[f64], side: f64) -> CellKey {
 /// Integer coordinates of the cell containing `point` (for callers that need
 /// the actual coordinates, e.g. to order boxes along a dimension).
 pub fn cell_coords(point: &[f64], shift: &[f64], side: f64) -> Vec<i64> {
-    point.iter().zip(shift).map(|(&x, &s)| grid_coord(x, s, side)).collect()
+    point
+        .iter()
+        .zip(shift)
+        .map(|(&x, &s)| grid_coord(x, s, side))
+        .collect()
 }
 
 /// Counts distinct occupied cells, stopping early once `limit` is exceeded —

@@ -34,7 +34,9 @@ pub struct HstSolution {
 pub fn solve_kmedian_on_hst(tree: &Quadtree, weights: &[f64], k: usize) -> HstSolution {
     assert!(k > 0, "k must be positive");
     assert_eq!(weights.len(), tree.len(), "one weight per point");
-    let w_perm: Vec<f64> = (0..tree.len()).map(|pos| weights[tree.point_at(pos)]).collect();
+    let w_perm: Vec<f64> = (0..tree.len())
+        .map(|pos| weights[tree.point_at(pos)])
+        .collect();
     let prefix = PrefixSums::new(&w_perm);
 
     // dp[v] : Vec of length (k_v + 1); dp[v][j] = cost of the points in
@@ -79,7 +81,11 @@ pub fn solve_kmedian_on_hst(tree: &Quadtree, weights: &[f64], k: usize) -> HstSo
                     continue;
                 }
                 for jc in 0..=child_cap.min(cap - j) {
-                    let cost_c = if jc == 0 { scale * child_w } else { child_dp[jc] };
+                    let cost_c = if jc == 0 {
+                        scale * child_w
+                    } else {
+                        child_dp[jc]
+                    };
                     let total = acc[j] + cost_c;
                     if total < next[j + jc] {
                         next[j + jc] = total;
@@ -96,10 +102,8 @@ pub fn solve_kmedian_on_hst(tree: &Quadtree, weights: &[f64], k: usize) -> HstSo
         // dp[v][0] = 0 (charged above); dp[v][j>=1] from the knapsack.
         let mut table = vec![0.0; cap + 1];
         let mut tchoice = vec![Vec::new(); cap + 1];
-        for j in 1..=cap {
-            table[j] = acc[j];
-            tchoice[j] = acc_choice[j].clone();
-        }
+        table[1..=cap].copy_from_slice(&acc[1..=cap]);
+        tchoice[1..=cap].clone_from_slice(&acc_choice[1..=cap]);
         dp[id as usize] = table;
         choice[id as usize] = tchoice;
     }
@@ -164,7 +168,12 @@ mod tests {
         let w = vec![1.0; p.len()];
         let k3 = solve_kmedian_on_hst(&t, &w, 3);
         let k1 = solve_kmedian_on_hst(&t, &w, 1);
-        assert!(k3.cost < k1.cost * 0.05, "k=3 cost {} vs k=1 cost {}", k3.cost, k1.cost);
+        assert!(
+            k3.cost < k1.cost * 0.05,
+            "k=3 cost {} vs k=1 cost {}",
+            k3.cost,
+            k1.cost
+        );
         assert_eq!(k3.centers.len(), 3);
     }
 
@@ -176,7 +185,11 @@ mod tests {
         let mut prev = f64::INFINITY;
         for k in 1..=6 {
             let s = solve_kmedian_on_hst(&t, &w, k);
-            assert!(s.cost <= prev + 1e-9, "k={k}: cost {} > previous {prev}", s.cost);
+            assert!(
+                s.cost <= prev + 1e-9,
+                "k={k}: cost {} > previous {prev}",
+                s.cost
+            );
             prev = s.cost;
         }
     }
@@ -211,7 +224,11 @@ mod tests {
         let p = Points::from_flat(vec![0.0, 0.0, 0.1, 0.0, 900.0, 0.0], 2).unwrap();
         let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
         let s = solve_kmedian_on_hst(&t, &[1.0, 1.0, 1e6], 1);
-        assert!(s.centers.contains(&2), "heavy point not covered: {:?}", s.centers);
+        assert!(
+            s.centers.contains(&2),
+            "heavy point not covered: {:?}",
+            s.centers
+        );
     }
 
     #[test]
@@ -227,8 +244,10 @@ mod tests {
         // Compute tree cost of centers {a, b}: every point pays the scale of
         // its deepest ancestor containing a center.
         let tree_cost = |centers: &[usize]| -> f64 {
-            let paths: Vec<Vec<u32>> =
-                centers.iter().map(|&c| t.path_to_position(t.position_of(c))).collect();
+            let paths: Vec<Vec<u32>> = centers
+                .iter()
+                .map(|&c| t.path_to_position(t.position_of(c)))
+                .collect();
             let mut marked: std::collections::HashSet<u32> = std::collections::HashSet::new();
             for path in &paths {
                 marked.extend(path.iter().copied());

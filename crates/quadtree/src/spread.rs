@@ -54,7 +54,10 @@ impl SpreadParams {
     pub fn practical(n: usize, d: usize) -> Self {
         let n = (n as f64).max(2.0);
         let d = d as f64;
-        Self { diameter_factor: d.sqrt() * n, rounding_denom: n * n * d }
+        Self {
+            diameter_factor: d.sqrt() * n,
+            rounding_denom: n * n * d,
+        }
     }
 }
 
@@ -91,8 +94,8 @@ impl SpreadMap {
             *votes[c].entry(self.box_of_point[i]).or_insert(0) += 1;
         }
         let mut restored = centers.clone();
-        for c in 0..k {
-            let Some((&bx, _)) = votes[c].iter().max_by_key(|&(_, &count)| count) else {
+        for (c, vote) in votes.iter().enumerate().take(k) {
+            let Some((&bx, _)) = vote.iter().max_by_key(|&(_, &count)| count) else {
                 continue; // center serves no points: leave it in place
             };
             let shift = &self.box_shifts[bx];
@@ -196,14 +199,26 @@ pub fn reduce_spread<R: Rng + ?Sized>(
     }
 
     // Reduce-Min-Distance: snap to the grid of pitch g.
-    let g = if params.rounding_denom > 0.0 { upper / params.rounding_denom } else { 0.0 };
+    let g = if params.rounding_denom > 0.0 {
+        upper / params.rounding_denom
+    } else {
+        0.0
+    };
     if g > 0.0 && g.is_finite() {
         for x in reduced.as_flat_mut() {
             *x = (*x / g).round() * g;
         }
     }
 
-    (reduced, SpreadMap { box_of_point, box_shifts, g, r })
+    (
+        reduced,
+        SpreadMap {
+            box_of_point,
+            box_shifts,
+            g,
+            r,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -238,7 +253,10 @@ mod tests {
         let p = far_clusters(1e12);
         // A valid upper bound on OPT for k = 2: each cluster has extent ~2.
         let upper = 100.0;
-        let params = SpreadParams { diameter_factor: 10.0, rounding_denom: 1e6 };
+        let params = SpreadParams {
+            diameter_factor: 10.0,
+            rounding_denom: 1e6,
+        };
         let (reduced, map) = reduce_spread(&mut rng(), &p, upper, params);
         let before = diameter_upper_bound(&p);
         let after = diameter_upper_bound(&reduced);
@@ -253,7 +271,10 @@ mod tests {
     #[test]
     fn intra_box_geometry_is_exactly_preserved_without_rounding() {
         let p = far_clusters(1e9);
-        let params = SpreadParams { diameter_factor: 10.0, rounding_denom: 0.0 };
+        let params = SpreadParams {
+            diameter_factor: 10.0,
+            rounding_denom: 0.0,
+        };
         let (reduced, map) = reduce_spread(&mut rng(), &p, 100.0, params);
         for i in 0..p.len() {
             for j in (i + 1)..p.len() {
@@ -272,7 +293,10 @@ mod tests {
     #[test]
     fn restore_points_inverts_translation() {
         let p = far_clusters(1e9);
-        let params = SpreadParams { diameter_factor: 10.0, rounding_denom: 0.0 };
+        let params = SpreadParams {
+            diameter_factor: 10.0,
+            rounding_denom: 0.0,
+        };
         let (reduced, map) = reduce_spread(&mut rng(), &p, 100.0, params);
         let restored = map.restore_points(&reduced);
         for i in 0..p.len() {
@@ -285,7 +309,10 @@ mod tests {
     fn rounding_error_is_bounded_by_g() {
         let p = far_clusters(1e9);
         let upper = 100.0;
-        let params = SpreadParams { diameter_factor: 10.0, rounding_denom: 1e4 };
+        let params = SpreadParams {
+            diameter_factor: 10.0,
+            rounding_denom: 1e4,
+        };
         let (reduced, map) = reduce_spread(&mut rng(), &p, upper, params);
         assert!((map.g - upper / 1e4).abs() < 1e-12);
         let restored = map.restore_points(&reduced);
@@ -301,12 +328,18 @@ mod tests {
         // Spread before: ~1e13. After: diameter/g with g = U/denominator.
         let p = far_clusters(1e12);
         let upper = 100.0;
-        let params = SpreadParams { diameter_factor: 10.0, rounding_denom: 1e4 };
+        let params = SpreadParams {
+            diameter_factor: 10.0,
+            rounding_denom: 1e4,
+        };
         let (reduced, map) = reduce_spread(&mut rng(), &p, upper, params);
         let spread_after = exact_spread(&reduced).unwrap();
         // diameter ≤ 4·boxes·r·√d, min distance ≥ g ⇒ spread ≤ that ratio.
         let bound = 4.0 * map.box_count() as f64 * map.r * (2.0f64).sqrt() / map.g;
-        assert!(spread_after <= bound, "spread {spread_after} > bound {bound}");
+        assert!(
+            spread_after <= bound,
+            "spread {spread_after} > bound {bound}"
+        );
         assert!(spread_after < 1e10, "spread {spread_after} not reduced");
     }
 
@@ -324,7 +357,10 @@ mod tests {
         // With r enormous relative to the data, everything is one box and
         // the transform is (up to rounding) the identity.
         let p = far_clusters(5.0);
-        let params = SpreadParams { diameter_factor: 1e6, rounding_denom: 0.0 };
+        let params = SpreadParams {
+            diameter_factor: 1e6,
+            rounding_denom: 0.0,
+        };
         let (reduced, map) = reduce_spread(&mut rng(), &p, 10.0, params);
         assert_eq!(map.box_count(), 1);
         assert_eq!(reduced, p);
@@ -333,7 +369,10 @@ mod tests {
     #[test]
     fn restore_centers_reverses_majority_box_shift() {
         let p = far_clusters(1e9);
-        let params = SpreadParams { diameter_factor: 10.0, rounding_denom: 0.0 };
+        let params = SpreadParams {
+            diameter_factor: 10.0,
+            rounding_denom: 0.0,
+        };
         let (reduced, map) = reduce_spread(&mut rng(), &p, 100.0, params);
         // Centers: the means of the two reduced clusters; labels by cluster.
         let mut c0 = vec![0.0; 2];
@@ -368,7 +407,10 @@ mod tests {
         }
         let p = Points::from_flat(flat, 2).unwrap();
         // r = 1000 ⇒ boxes at exactly those integer coordinates (shift < r).
-        let params = SpreadParams { diameter_factor: 1.0, rounding_denom: 0.0 };
+        let params = SpreadParams {
+            diameter_factor: 1.0,
+            rounding_denom: 0.0,
+        };
         let (reduced, map) = reduce_spread(&mut rng(), &p, 1000.0, params);
         assert!(map.box_count() >= 2);
         // The far group must end up much closer, but never overlapping the

@@ -188,7 +188,15 @@ impl Quadtree {
         for (p, &orig) in perm.iter().enumerate() {
             pos[orig as usize] = p as u32;
         }
-        Self { nodes, perm, pos, dim, root_side, origin, max_depth: config.max_depth }
+        Self {
+            nodes,
+            perm,
+            pos,
+            dim,
+            root_side,
+            origin,
+            max_depth: config.max_depth,
+        }
     }
 
     /// Number of nodes.
@@ -294,7 +302,10 @@ impl Quadtree {
 
     /// Leaf node containing the tree position.
     pub fn leaf_of_position(&self, pos: usize) -> u32 {
-        *self.path_to_position(pos).last().expect("path always contains the root")
+        *self
+            .path_to_position(pos)
+            .last()
+            .expect("path always contains the root")
     }
 
     /// Checks structural invariants (test helper): ranges partition parents,
@@ -423,7 +434,9 @@ mod tests {
     fn sides_halve_with_levels() {
         let p = grid_points(8);
         let t = Quadtree::build(&mut rng(), &p, QuadtreeConfig::default());
-        assert!((t.side_of(0) - t.root_side() / f64::powi(2.0, t.node(0).level as i32)).abs() < 1e-12);
+        assert!(
+            (t.side_of(0) - t.root_side() / f64::powi(2.0, t.node(0).level as i32)).abs() < 1e-12
+        );
         for id in 0..t.node_count() as u32 {
             let node = t.node(id);
             if node.parent != u32::MAX {

@@ -1,11 +1,11 @@
 //! Property-based tests for the quadtree substrate.
 
+use fc_clustering::CostKind;
 use fc_geom::{Dataset, Points};
+use fc_quadtree::crude::crude_approx;
 use fc_quadtree::fast_kmeanspp::{fast_kmeanspp, FastSeedConfig};
 use fc_quadtree::spread::{reduce_spread, SpreadParams};
 use fc_quadtree::tree::{Quadtree, QuadtreeConfig};
-use fc_quadtree::crude::crude_approx;
-use fc_clustering::CostKind;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,0 +1,221 @@
+//! A blocking JSON-lines client for the service.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use fc_clustering::CostKind;
+use fc_core::Coreset;
+use fc_geom::{Dataset, Points};
+
+use crate::protocol::{self, DatasetStats, ProtocolError, Request, Response};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's reply didn't decode.
+    Protocol(ProtocolError),
+    /// The server replied with an error response.
+    Server(String),
+    /// The server replied with an unexpected (but valid) response kind.
+    UnexpectedResponse(Box<Response>),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::UnexpectedResponse(r) => write!(f, "unexpected response {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Outcome of [`ServiceClient::cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Served centers.
+    pub centers: Points,
+    /// Objective clustered under.
+    pub kind: CostKind,
+    /// The solution's cost on the served coreset.
+    pub coreset_cost: f64,
+    /// Size of the coreset the solve ran on.
+    pub coreset_points: usize,
+    /// The seed that produced the result (replay with the same seed).
+    pub seed: u64,
+}
+
+/// A blocking connection to a coreset server.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServiceClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads one response — the protocol is strictly
+    /// request/response per line.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.writer.write_all(request.to_json().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let response = Response::from_json(line.trim_end())?;
+        if let Response::Error { message } = response {
+            return Err(ClientError::Server(message));
+        }
+        Ok(response)
+    }
+
+    /// Ingests a weighted batch. Returns `(lifetime points, lifetime
+    /// weight)` for the dataset.
+    pub fn ingest(&mut self, dataset: &str, batch: &Dataset) -> Result<(u64, f64), ClientError> {
+        let (points, weights) = protocol::dataset_to_rows(batch);
+        // Unit weights are the wire default; skip the redundant array.
+        let weights = if batch.weights().iter().all(|&w| w == 1.0) {
+            None
+        } else {
+            Some(weights)
+        };
+        match self.request(&Request::Ingest {
+            dataset: dataset.into(),
+            points,
+            weights,
+        })? {
+            Response::Ingested {
+                total_points,
+                total_weight,
+                ..
+            } => Ok((total_points, total_weight)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Fetches the served coreset. Returns the coreset and the seed that
+    /// produced it.
+    pub fn compress(
+        &mut self,
+        dataset: &str,
+        seed: Option<u64>,
+    ) -> Result<(Coreset, u64), ClientError> {
+        match self.request(&Request::Compress {
+            dataset: dataset.into(),
+            seed,
+        })? {
+            Response::Coreset {
+                points,
+                weights,
+                seed,
+                ..
+            } => {
+                let data = protocol::rows_to_dataset(&points, Some(&weights))?;
+                Ok((Coreset::new(data), seed))
+            }
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Requests a clustering of the served coreset.
+    pub fn cluster(
+        &mut self,
+        dataset: &str,
+        k: Option<usize>,
+        kind: Option<CostKind>,
+        seed: Option<u64>,
+    ) -> Result<ClusterResult, ClientError> {
+        match self.request(&Request::Cluster {
+            dataset: dataset.into(),
+            k,
+            kind,
+            seed,
+        })? {
+            Response::Clustered {
+                centers,
+                kind,
+                coreset_cost,
+                coreset_points,
+                seed,
+                ..
+            } => Ok(ClusterResult {
+                centers: protocol::rows_to_points(&centers)?,
+                kind,
+                coreset_cost,
+                coreset_points,
+                seed,
+            }),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Prices candidate centers on the served coreset.
+    pub fn cost(
+        &mut self,
+        dataset: &str,
+        centers: &Points,
+        kind: Option<CostKind>,
+    ) -> Result<f64, ClientError> {
+        let rows = centers.iter().map(<[f64]>::to_vec).collect();
+        match self.request(&Request::Cost {
+            dataset: dataset.into(),
+            centers: rows,
+            kind,
+        })? {
+            Response::Cost { cost, .. } => Ok(cost),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Fetches statistics for every dataset, or one dataset.
+    pub fn stats(&mut self, dataset: Option<&str>) -> Result<Vec<DatasetStats>, ClientError> {
+        match self.request(&Request::Stats {
+            dataset: dataset.map(str::to_owned),
+        })? {
+            Response::Stats { datasets } => Ok(datasets),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Drops a dataset server-side.
+    pub fn drop_dataset(&mut self, dataset: &str) -> Result<(), ClientError> {
+        match self.request(&Request::DropDataset {
+            dataset: dataset.into(),
+        })? {
+            Response::Dropped { .. } => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+}

@@ -1,0 +1,736 @@
+//! The serving engine: named datasets held as sharded streaming coresets.
+//!
+//! Each dataset owns `shards` worker threads. An ingest batch is routed to
+//! one shard round-robin; the shard folds it into its own
+//! [`fc_streaming::MergeReduce`] stream (so at most one summary per
+//! Bentley–Saxe level lives per shard) and compacts the level stack into a
+//! single summary whenever stored points exceed the configured budget.
+//! Queries snapshot every shard's summary union — a valid coreset of all
+//! ingested data by composability — union them across shards, and compress
+//! the union down to the serving size with a request-seeded RNG, so every
+//! served compression and clustering is reproducible from `(state, seed)`.
+//!
+//! This is the paper's pitch operationalized: compression is `Õ(nd)` and
+//! composable, so the expensive part (ingest) streams through cheap
+//! per-shard summaries while cluster/cost queries touch only `Õ(m)` points
+//! regardless of how much data has flowed in.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use fc_clustering::lloyd::LloydConfig;
+use fc_clustering::{CostKind, Solution};
+use fc_core::{CompressionParams, Compressor, Coreset, FastCoreset};
+use fc_geom::{Dataset, Points};
+use fc_streaming::{MergeReduce, StreamingCompressor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::protocol::DatasetStats;
+
+/// Engine configuration: sharding, serving sizes, and the quality target.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads (= independent coreset streams) per dataset.
+    pub shards: usize,
+    /// Default number of clusters queries are served for.
+    pub k: usize,
+    /// Serving coreset size as a multiple of `k` (the paper's `m_scalar`,
+    /// §5.2 default 40).
+    pub m_scalar: usize,
+    /// Default objective.
+    pub kind: CostKind,
+    /// Per-shard stored-point budget; exceeding it triggers compaction of
+    /// the shard's level stack. `None` derives `4 * k * m_scalar` (room for
+    /// a few levels of summaries) from whatever `k`/`m_scalar` end up being,
+    /// so struct-update overrides of those fields keep a sensible budget.
+    pub compaction_budget: Option<usize>,
+    /// The distortion the served coresets are expected to stay within on
+    /// clusterable data — the engine's advertised quality bound, asserted
+    /// by the integration tests.
+    pub distortion_bound: f64,
+    /// Base of the deterministic seed sequence for requests that carry no
+    /// explicit seed.
+    pub base_seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            k: 8,
+            m_scalar: 40,
+            kind: CostKind::KMeans,
+            compaction_budget: None,
+            distortion_bound: 1.5,
+            base_seed: 0x0C0D_E5E7,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn params(&self, k: usize, kind: CostKind) -> CompressionParams {
+        CompressionParams::with_scalar(k, self.m_scalar, kind)
+    }
+
+    /// The effective per-shard compaction budget.
+    pub fn effective_budget(&self) -> usize {
+        self.compaction_budget.unwrap_or(4 * self.k * self.m_scalar)
+    }
+}
+
+/// Errors surfaced to protocol clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The named dataset does not exist.
+    UnknownDataset(String),
+    /// A batch's dimensionality conflicts with the dataset's.
+    DimensionMismatch {
+        /// The dataset's dimension.
+        expected: usize,
+        /// The offending input's dimension.
+        got: usize,
+    },
+    /// A request parameter was rejected.
+    InvalidArgument(String),
+    /// The engine is shutting down (or a shard died).
+    Unavailable,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownDataset(name) => write!(f, "no such dataset `{name}`"),
+            EngineError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "dimension mismatch: dataset holds {expected}-d points, got {got}-d"
+                )
+            }
+            EngineError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            EngineError::Unavailable => write!(f, "engine unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// What a `cluster` call served.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// The solution computed on the served coreset.
+    pub solution: Solution,
+    /// Objective clustered under.
+    pub kind: CostKind,
+    /// Size of the coreset the solve ran on.
+    pub coreset_points: usize,
+    /// The seed that produced this result.
+    pub seed: u64,
+}
+
+enum ShardCmd {
+    Ingest(Dataset),
+    Snapshot(SyncSender<Option<Coreset>>),
+    Stats(SyncSender<ShardStats>),
+    Shutdown,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ShardStats {
+    summaries: usize,
+    stored_points: usize,
+}
+
+/// Commands a shard worker queues before backpressure kicks in. Bounded so
+/// a writer outpacing compression blocks at the TCP ack instead of growing
+/// server memory without limit.
+const SHARD_QUEUE_DEPTH: usize = 32;
+
+struct Shard {
+    sender: SyncSender<ShardCmd>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Shard {
+    fn spawn(
+        compressor: Arc<dyn Compressor>,
+        params: CompressionParams,
+        budget: usize,
+        seed: u64,
+    ) -> Self {
+        let (sender, receiver) = mpsc::sync_channel(SHARD_QUEUE_DEPTH);
+        let join = std::thread::Builder::new()
+            .name("fc-shard".into())
+            .spawn(move || shard_loop(receiver, compressor, params, budget, seed))
+            .expect("spawning a shard worker thread succeeds");
+        Shard {
+            sender,
+            join: Some(join),
+        }
+    }
+}
+
+fn shard_loop(
+    receiver: Receiver<ShardCmd>,
+    compressor: Arc<dyn Compressor>,
+    params: CompressionParams,
+    budget: usize,
+    seed: u64,
+) {
+    // The shard's own deterministic RNG stream drives block compression;
+    // request-level reproducibility comes from the query path, which uses
+    // per-request seeds on the snapshot instead.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = MergeReduce::new(compressor, params);
+    while let Ok(cmd) = receiver.recv() {
+        match cmd {
+            ShardCmd::Ingest(block) => {
+                stream.insert_block(&mut rng, &block);
+                if stream.stored_points() > budget {
+                    stream.compact(&mut rng);
+                }
+            }
+            ShardCmd::Snapshot(reply) => {
+                let _ = reply.send(stream.snapshot());
+            }
+            ShardCmd::Stats(reply) => {
+                let _ = reply.send(ShardStats {
+                    summaries: stream.summary_count(),
+                    stored_points: stream.stored_points(),
+                });
+            }
+            ShardCmd::Shutdown => break,
+        }
+    }
+}
+
+struct DatasetEntry {
+    dim: usize,
+    shards: Vec<Shard>,
+    next_shard: AtomicUsize,
+    ingested_points: AtomicU64,
+    /// Total ingested weight; f64 behind a mutex since ingest batches are
+    /// coarse enough that contention is irrelevant.
+    ingested_weight: Mutex<f64>,
+}
+
+impl DatasetEntry {
+    fn shard_stats(&self) -> Result<Vec<ShardStats>, EngineError> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let (tx, rx) = mpsc::sync_channel(1);
+                shard
+                    .sender
+                    .send(ShardCmd::Stats(tx))
+                    .map_err(|_| EngineError::Unavailable)?;
+                rx.recv().map_err(|_| EngineError::Unavailable)
+            })
+            .collect()
+    }
+
+    fn snapshots(&self) -> Result<Vec<Coreset>, EngineError> {
+        let mut receivers = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (tx, rx) = mpsc::sync_channel(1);
+            shard
+                .sender
+                .send(ShardCmd::Snapshot(tx))
+                .map_err(|_| EngineError::Unavailable)?;
+            receivers.push(rx);
+        }
+        let mut out = Vec::new();
+        for rx in receivers {
+            if let Some(c) = rx.recv().map_err(|_| EngineError::Unavailable)? {
+                out.push(c);
+            }
+        }
+        Ok(out)
+    }
+
+    fn shutdown(&mut self) {
+        for shard in &self.shards {
+            let _ = shard.sender.send(ShardCmd::Shutdown);
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// The long-lived serving engine. Thread-safe: server connections share one
+/// engine behind an `Arc`.
+pub struct Engine {
+    config: EngineConfig,
+    compressor: Arc<dyn Compressor>,
+    datasets: Mutex<HashMap<String, Arc<DatasetEntry>>>,
+    seed_counter: AtomicU64,
+}
+
+impl Engine {
+    /// An engine compressing with the paper's Fast-Coreset pipeline.
+    pub fn new(config: EngineConfig) -> Self {
+        Self::with_compressor(config, Arc::new(FastCoreset::default()))
+    }
+
+    /// An engine using a custom compressor (tests use cheap samplers).
+    pub fn with_compressor(config: EngineConfig, compressor: Arc<dyn Compressor>) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(
+            config.k > 0 && config.m_scalar > 0,
+            "serving sizes must be positive"
+        );
+        Self {
+            config,
+            compressor,
+            datasets: Mutex::new(HashMap::new()),
+            seed_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The next seed in the deterministic default sequence.
+    fn assign_seed(&self) -> u64 {
+        self.config
+            .base_seed
+            .wrapping_add(self.seed_counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn resolve_seed(&self, seed: Option<u64>) -> u64 {
+        seed.unwrap_or_else(|| self.assign_seed())
+    }
+
+    fn entry(&self, name: &str) -> Result<Arc<DatasetEntry>, EngineError> {
+        self.datasets
+            .lock()
+            .expect("dataset registry lock is never poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))
+    }
+
+    /// Ingests a weighted batch, creating the dataset on first use.
+    /// Returns `(lifetime points, lifetime weight)` after the batch.
+    pub fn ingest(&self, name: &str, batch: &Dataset) -> Result<(u64, f64), EngineError> {
+        if batch.is_empty() {
+            return Err(EngineError::InvalidArgument("empty ingest batch".into()));
+        }
+        let entry = {
+            let mut datasets = self
+                .datasets
+                .lock()
+                .expect("dataset registry lock is never poisoned");
+            let entry = datasets.entry(name.to_owned()).or_insert_with(|| {
+                let params = self.config.params(self.config.k, self.config.kind);
+                let shards = (0..self.config.shards)
+                    .map(|s| {
+                        // One deterministic stream per (dataset, shard).
+                        let seed = self
+                            .config
+                            .base_seed
+                            .wrapping_add(fnv(name))
+                            .wrapping_add(s as u64);
+                        Shard::spawn(
+                            Arc::clone(&self.compressor),
+                            params,
+                            self.config.effective_budget(),
+                            seed,
+                        )
+                    })
+                    .collect();
+                Arc::new(DatasetEntry {
+                    dim: batch.dim(),
+                    shards,
+                    next_shard: AtomicUsize::new(0),
+                    ingested_points: AtomicU64::new(0),
+                    ingested_weight: Mutex::new(0.0),
+                })
+            });
+            Arc::clone(entry)
+        };
+        if entry.dim != batch.dim() {
+            return Err(EngineError::DimensionMismatch {
+                expected: entry.dim,
+                got: batch.dim(),
+            });
+        }
+        let shard_idx = entry.next_shard.fetch_add(1, Ordering::Relaxed) % entry.shards.len();
+        entry.shards[shard_idx]
+            .sender
+            .send(ShardCmd::Ingest(batch.clone()))
+            .map_err(|_| EngineError::Unavailable)?;
+        let total_points = entry
+            .ingested_points
+            .fetch_add(batch.len() as u64, Ordering::Relaxed)
+            + batch.len() as u64;
+        let total_weight = {
+            let mut w = entry
+                .ingested_weight
+                .lock()
+                .expect("weight counter lock is never poisoned");
+            *w += batch.total_weight();
+            *w
+        };
+        Ok((total_points, total_weight))
+    }
+
+    /// The served coreset: union of all shard snapshots, compressed to the
+    /// serving size with the (resolved) seed. Returns the seed used.
+    pub fn coreset(&self, name: &str, seed: Option<u64>) -> Result<(Coreset, u64), EngineError> {
+        let entry = self.entry(name)?;
+        let seed = self.resolve_seed(seed);
+        let parts = entry.snapshots()?;
+        let mut union = parts
+            .into_iter()
+            .reduce(|a, b| {
+                a.union(&b)
+                    .expect("shards of one dataset share its dimension")
+            })
+            .ok_or_else(|| {
+                EngineError::InvalidArgument(format!("dataset `{name}` holds no data yet"))
+            })?;
+        let params = self.config.params(self.config.k, self.config.kind);
+        if union.len() > params.m {
+            let mut rng = StdRng::seed_from_u64(seed);
+            union = self.compressor.compress(&mut rng, union.dataset(), &params);
+        }
+        Ok((union, seed))
+    }
+
+    /// Clusters the served coreset: k-means++ seeding plus Lloyd/Weiszfeld
+    /// refinement on the compressed points only.
+    pub fn cluster(
+        &self,
+        name: &str,
+        k: Option<usize>,
+        kind: Option<CostKind>,
+        seed: Option<u64>,
+    ) -> Result<ClusterOutcome, EngineError> {
+        let k = k.unwrap_or(self.config.k);
+        if k == 0 {
+            return Err(EngineError::InvalidArgument("k must be positive".into()));
+        }
+        let kind = kind.unwrap_or(self.config.kind);
+        let seed = self.resolve_seed(seed);
+        let (coreset, _) = self.coreset(name, Some(seed))?;
+        // Distinct stream from the compression draw so adding solve steps
+        // never perturbs which coreset is served for this seed.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let solution =
+            fc_core::solve_on_coreset(&mut rng, &coreset, k, kind, LloydConfig::default());
+        Ok(ClusterOutcome {
+            solution,
+            kind,
+            coreset_points: coreset.len(),
+            seed,
+        })
+    }
+
+    /// Prices candidate centers on the served coreset (deterministic: uses
+    /// the snapshot as-is when it fits the serving size, otherwise the
+    /// base-seed compression). Returns `(cost, resolved kind, coreset
+    /// points)` — the kind echoes what was actually priced under, so the
+    /// defaulting rule lives only here.
+    pub fn cost(
+        &self,
+        name: &str,
+        centers: &Points,
+        kind: Option<CostKind>,
+    ) -> Result<(f64, CostKind, usize), EngineError> {
+        let entry = self.entry(name)?;
+        if centers.dim() != entry.dim {
+            return Err(EngineError::DimensionMismatch {
+                expected: entry.dim,
+                got: centers.dim(),
+            });
+        }
+        let kind = kind.unwrap_or(self.config.kind);
+        let (coreset, _) = self.coreset(name, Some(self.config.base_seed))?;
+        Ok((coreset.cost(centers, kind), kind, coreset.len()))
+    }
+
+    /// Statistics for one dataset.
+    pub fn dataset_stats(&self, name: &str) -> Result<DatasetStats, EngineError> {
+        let entry = self.entry(name)?;
+        let shard_stats = entry.shard_stats()?;
+        let ingested_weight = *entry
+            .ingested_weight
+            .lock()
+            .expect("weight counter lock is never poisoned");
+        Ok(DatasetStats {
+            dataset: name.to_owned(),
+            dim: entry.dim,
+            shards: entry.shards.len(),
+            ingested_points: entry.ingested_points.load(Ordering::Relaxed),
+            ingested_weight,
+            stored_points: shard_stats.iter().map(|s| s.stored_points).sum(),
+            summaries_per_shard: shard_stats.iter().map(|s| s.summaries).collect(),
+        })
+    }
+
+    /// Statistics for every dataset (sorted by name). Datasets dropped
+    /// concurrently between the name snapshot and the per-dataset lookup
+    /// are skipped rather than failing the aggregate.
+    pub fn stats(&self) -> Result<Vec<DatasetStats>, EngineError> {
+        let mut names: Vec<String> = self
+            .datasets
+            .lock()
+            .expect("dataset registry lock is never poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        Ok(names
+            .iter()
+            .filter_map(|n| self.dataset_stats(n).ok())
+            .collect())
+    }
+
+    /// Drops a dataset, stopping and joining its shard workers.
+    pub fn drop_dataset(&self, name: &str) -> Result<(), EngineError> {
+        let entry = self
+            .datasets
+            .lock()
+            .expect("dataset registry lock is never poisoned")
+            .remove(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))?;
+        // Connections may still hold clones of the Arc; workers stop as
+        // soon as the shutdown commands drain regardless.
+        match Arc::try_unwrap(entry) {
+            Ok(mut entry) => entry.shutdown(),
+            Err(entry) => {
+                for shard in &entry.shards {
+                    let _ = shard.sender.send(ShardCmd::Shutdown);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Names of live datasets.
+    pub fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .datasets
+            .lock()
+            .expect("dataset registry lock is never poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        let names = self.dataset_names();
+        for name in names {
+            let _ = self.drop_dataset(&name);
+        }
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_core::methods::Uniform;
+
+    fn blobs(n_per: usize) -> Dataset {
+        let mut flat = Vec::new();
+        for b in 0..4 {
+            for i in 0..n_per {
+                flat.push(b as f64 * 100.0 + (i % 25) as f64 * 0.01);
+                flat.push((i / 25) as f64 * 0.01);
+            }
+        }
+        Dataset::from_flat(flat, 2).unwrap()
+    }
+
+    fn test_engine() -> Engine {
+        Engine::with_compressor(
+            EngineConfig {
+                shards: 2,
+                k: 4,
+                m_scalar: 25,
+                ..Default::default()
+            },
+            Arc::new(Uniform),
+        )
+    }
+
+    #[test]
+    fn ingest_then_coreset_preserves_weight() {
+        let engine = test_engine();
+        let data = blobs(500);
+        for block in data.chunks(250) {
+            engine.ingest("d", &block).unwrap();
+        }
+        let (coreset, _) = engine.coreset("d", Some(1)).unwrap();
+        assert!(coreset.len() <= 4 * 25);
+        let rel = (coreset.total_weight() - data.total_weight()).abs() / data.total_weight();
+        assert!(rel < 0.3, "served weight off by {rel}");
+        let stats = engine.dataset_stats("d").unwrap();
+        assert_eq!(stats.ingested_points, 2000);
+        assert_eq!(stats.shards, 2);
+    }
+
+    #[test]
+    fn served_coresets_are_reproducible_per_seed() {
+        let engine = test_engine();
+        for block in blobs(300).chunks(200) {
+            engine.ingest("d", &block).unwrap();
+        }
+        let (a, seed_a) = engine.coreset("d", Some(42)).unwrap();
+        let (b, seed_b) = engine.coreset("d", Some(42)).unwrap();
+        assert_eq!(seed_a, seed_b);
+        assert_eq!(
+            a.dataset(),
+            b.dataset(),
+            "same seed must serve the same coreset"
+        );
+        let (c, _) = engine.coreset("d", Some(43)).unwrap();
+        assert_ne!(a.dataset(), c.dataset(), "different seeds should differ");
+        // Engine-assigned seeds advance deterministically from the base.
+        let (_, s1) = engine.coreset("d", None).unwrap();
+        let (_, s2) = engine.coreset("d", None).unwrap();
+        assert_eq!(s2, s1 + 1);
+    }
+
+    #[test]
+    fn cluster_serves_reasonable_centers() {
+        let engine = test_engine();
+        let data = blobs(500);
+        for block in data.chunks(100) {
+            engine.ingest("d", &block).unwrap();
+        }
+        let outcome = engine.cluster("d", Some(4), None, Some(7)).unwrap();
+        assert_eq!(outcome.solution.k(), 4);
+        // The four blob centers are ~(b*100 + 0.12, 0.095); every served
+        // center must land inside some blob.
+        for center in outcome.solution.centers.iter() {
+            let blob = (center[0] / 100.0).round();
+            assert!(
+                (center[0] - blob * 100.0).abs() < 5.0,
+                "stray center {center:?}"
+            );
+        }
+        // Same seed, same clustering.
+        let again = engine.cluster("d", Some(4), None, Some(7)).unwrap();
+        assert_eq!(outcome.solution.centers, again.solution.centers);
+    }
+
+    #[test]
+    fn derived_budget_tracks_serving_size() {
+        let cfg = EngineConfig {
+            k: 4,
+            m_scalar: 10,
+            ..Default::default()
+        };
+        assert_eq!(cfg.effective_budget(), 4 * 4 * 10);
+        let explicit = EngineConfig {
+            compaction_budget: Some(99),
+            ..Default::default()
+        };
+        assert_eq!(explicit.effective_budget(), 99);
+    }
+
+    #[test]
+    fn compaction_keeps_shards_within_budget() {
+        let budget = 150;
+        let engine = Engine::with_compressor(
+            EngineConfig {
+                shards: 2,
+                k: 4,
+                m_scalar: 10,
+                compaction_budget: Some(budget),
+                ..Default::default()
+            },
+            Arc::new(Uniform),
+        );
+        for block in blobs(600).chunks(60) {
+            engine.ingest("d", &block).unwrap();
+        }
+        let stats = engine.dataset_stats("d").unwrap();
+        // Each shard may exceed the budget by at most one un-compacted
+        // insertion (= one level-0 summary of ≤ m points).
+        let slack = 4 * 10;
+        for (shard, &summaries) in stats.summaries_per_shard.iter().enumerate() {
+            assert!(summaries >= 1, "shard {shard} lost its summaries");
+        }
+        assert!(
+            stats.stored_points <= 2 * (budget + slack),
+            "stored {} vs budget {}",
+            stats.stored_points,
+            budget
+        );
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let engine = test_engine();
+        assert_eq!(
+            engine.coreset("ghost", None).unwrap_err(),
+            EngineError::UnknownDataset("ghost".into())
+        );
+        engine.ingest("d", &blobs(50)).unwrap();
+        let three_d = Dataset::from_flat(vec![1.0, 2.0, 3.0], 3).unwrap();
+        assert_eq!(
+            engine.ingest("d", &three_d).unwrap_err(),
+            EngineError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        let empty = Dataset::from_flat(vec![], 2).unwrap();
+        assert!(matches!(
+            engine.ingest("d", &empty).unwrap_err(),
+            EngineError::InvalidArgument(_)
+        ));
+        assert!(engine.drop_dataset("d").is_ok());
+        assert_eq!(
+            engine.drop_dataset("d").unwrap_err(),
+            EngineError::UnknownDataset("d".into())
+        );
+    }
+
+    #[test]
+    fn concurrent_ingest_and_query_from_many_threads() {
+        let engine = Arc::new(test_engine());
+        engine.ingest("d", &blobs(100)).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    for i in 0..20 {
+                        if t % 2 == 0 {
+                            engine.ingest("d", &blobs(40)).unwrap();
+                        } else {
+                            let (c, _) = engine.coreset("d", Some(t * 100 + i)).unwrap();
+                            assert!(!c.is_empty());
+                        }
+                    }
+                });
+            }
+        });
+        let stats = engine.dataset_stats("d").unwrap();
+        assert_eq!(stats.ingested_points, (400 + 2 * 20 * 160) as u64);
+    }
+}

@@ -1,0 +1,34 @@
+//! A sharded coreset-serving subsystem: the Fast-Coreset pipeline
+//! (compress in `Õ(nd)`, answer clustering queries from the compression)
+//! run as a long-lived concurrent service.
+//!
+//! - [`engine`]: named datasets as sharded [`fc_streaming::MergeReduce`]
+//!   streams with per-shard worker threads and budgeted compaction.
+//! - [`protocol`]: the request/response types and their dependency-free
+//!   JSON-lines codec ([`json`]).
+//! - [`server`] / [`client`]: a `std::net` TCP server (thread per
+//!   connection, graceful shutdown) and the blocking [`ServiceClient`].
+//!
+//! ```no_run
+//! use fc_service::{Engine, EngineConfig, ServerHandle, ServiceClient};
+//!
+//! let server = ServerHandle::bind("127.0.0.1:0", Engine::new(EngineConfig::default()))?;
+//! let mut client = ServiceClient::connect(server.addr())?;
+//! let data = fc_geom::Dataset::from_flat(vec![0.0, 0.0, 1.0, 1.0], 2)?;
+//! client.ingest("demo", &data)?;
+//! let result = client.cluster("demo", Some(2), None, None)?;
+//! println!("served {} centers (seed {})", result.centers.len(), result.seed);
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod engine;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, ClusterResult, ServiceClient};
+pub use engine::{ClusterOutcome, Engine, EngineConfig, EngineError};
+pub use protocol::{DatasetStats, ProtocolError, Request, Response};
+pub use server::ServerHandle;

@@ -1,0 +1,913 @@
+//! The service's wire protocol: JSON-lines requests and responses.
+//!
+//! One request per line, one response per line, UTF-8, `\n`-terminated.
+//! Every request is an object with an `"op"` discriminator:
+//!
+//! ```text
+//! {"op":"ingest","dataset":"d","points":[[0,0],[1,1]],"weights":[1,2]}
+//! {"op":"compress","dataset":"d","seed":7}
+//! {"op":"cluster","dataset":"d","k":4,"kind":"kmeans","seed":7}
+//! {"op":"cost","dataset":"d","centers":[[0.5,0.5]],"kind":"kmeans"}
+//! {"op":"stats"}            {"op":"stats","dataset":"d"}
+//! {"op":"drop_dataset","dataset":"d"}
+//! ```
+//!
+//! `seed` makes served randomness reproducible: the same coreset state plus
+//! the same seed yields the same compression / clustering. When omitted,
+//! the engine assigns the next seed from its deterministic counter and
+//! echoes it in the response, so any served result can be replayed.
+
+use crate::json::{self, number_array, object, Value};
+use fc_clustering::CostKind;
+use fc_geom::{Dataset, Points};
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Appends a weighted point batch to a dataset (created on first use).
+    Ingest {
+        /// Target dataset name.
+        dataset: String,
+        /// Row-major point batch.
+        points: Vec<Vec<f64>>,
+        /// Optional per-point weights (unit when omitted).
+        weights: Option<Vec<f64>>,
+    },
+    /// Returns the dataset's current served coreset.
+    Compress {
+        /// Dataset name.
+        dataset: String,
+        /// Reproducibility seed; engine-assigned when omitted.
+        seed: Option<u64>,
+    },
+    /// Clusters the served coreset and returns the centers.
+    Cluster {
+        /// Dataset name.
+        dataset: String,
+        /// Number of centers; the engine default when omitted.
+        k: Option<usize>,
+        /// Objective; the engine default when omitted.
+        kind: Option<CostKind>,
+        /// Reproducibility seed; engine-assigned when omitted.
+        seed: Option<u64>,
+    },
+    /// Prices a candidate solution on the served coreset.
+    Cost {
+        /// Dataset name.
+        dataset: String,
+        /// Candidate centers, row-major.
+        centers: Vec<Vec<f64>>,
+        /// Objective; the engine default when omitted.
+        kind: Option<CostKind>,
+    },
+    /// Reports engine-wide or per-dataset statistics.
+    Stats {
+        /// Restrict to one dataset when present.
+        dataset: Option<String>,
+    },
+    /// Removes a dataset and frees its shards.
+    DropDataset {
+        /// Dataset name.
+        dataset: String,
+    },
+}
+
+/// Statistics for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub dataset: String,
+    /// Point dimensionality.
+    pub dim: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Total points ingested over the dataset's lifetime.
+    pub ingested_points: u64,
+    /// Total ingested weight.
+    pub ingested_weight: f64,
+    /// Points currently held across shard summaries.
+    pub stored_points: usize,
+    /// Per-shard summary counts (merge-&-reduce stack depths).
+    pub summaries_per_shard: Vec<usize>,
+}
+
+/// A server response. `Error` is the only failure shape on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Outcome of an `Ingest`.
+    Ingested {
+        /// Dataset name.
+        dataset: String,
+        /// Points accepted in this batch.
+        points: usize,
+        /// Lifetime ingested points after this batch.
+        total_points: u64,
+        /// Lifetime ingested weight after this batch.
+        total_weight: f64,
+    },
+    /// Outcome of a `Compress`: the served coreset.
+    Coreset {
+        /// Dataset name.
+        dataset: String,
+        /// Coreset points, row-major.
+        points: Vec<Vec<f64>>,
+        /// Per-point weights.
+        weights: Vec<f64>,
+        /// The seed that produced this compression.
+        seed: u64,
+    },
+    /// Outcome of a `Cluster`.
+    Clustered {
+        /// Dataset name.
+        dataset: String,
+        /// Centers, row-major.
+        centers: Vec<Vec<f64>>,
+        /// Objective clustered under.
+        kind: CostKind,
+        /// The solution's cost on the served coreset.
+        coreset_cost: f64,
+        /// Number of coreset points the solve ran on.
+        coreset_points: usize,
+        /// The seed that produced this clustering.
+        seed: u64,
+    },
+    /// Outcome of a `Cost`.
+    Cost {
+        /// Dataset name.
+        dataset: String,
+        /// Weighted cost of the candidate centers on the served coreset.
+        cost: f64,
+        /// Objective priced under.
+        kind: CostKind,
+        /// Number of coreset points priced.
+        coreset_points: usize,
+    },
+    /// Outcome of a `Stats`.
+    Stats {
+        /// Per-dataset statistics (all datasets, or the one requested).
+        datasets: Vec<DatasetStats>,
+    },
+    /// Outcome of a `DropDataset`.
+    Dropped {
+        /// Dataset name.
+        dataset: String,
+    },
+    /// Any failure.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// A protocol-level decoding failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// What was malformed.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<json::JsonError> for ProtocolError {
+    fn from(e: json::JsonError) -> Self {
+        ProtocolError::new(format!("invalid JSON: {e}"))
+    }
+}
+
+fn kind_to_str(kind: CostKind) -> &'static str {
+    match kind {
+        CostKind::KMeans => "kmeans",
+        CostKind::KMedian => "kmedian",
+    }
+}
+
+fn kind_from_value(v: &Value) -> Result<CostKind, ProtocolError> {
+    match v.as_str() {
+        Some("kmeans") => Ok(CostKind::KMeans),
+        Some("kmedian") => Ok(CostKind::KMedian),
+        Some(other) => Err(ProtocolError::new(format!(
+            "unknown kind `{other}` (expected `kmeans` or `kmedian`)"
+        ))),
+        None => Err(ProtocolError::new("`kind` must be a string")),
+    }
+}
+
+fn rows_to_value(rows: &[Vec<f64>]) -> Value {
+    Value::Array(rows.iter().map(|r| number_array(r)).collect())
+}
+
+fn rows_from_value(v: &Value, what: &str) -> Result<Vec<Vec<f64>>, ProtocolError> {
+    let outer = v
+        .as_array()
+        .ok_or_else(|| ProtocolError::new(format!("`{what}` must be an array of points")))?;
+    let mut rows = Vec::with_capacity(outer.len());
+    let mut dim = None;
+    for (i, row) in outer.iter().enumerate() {
+        let coords = row.as_array().ok_or_else(|| {
+            ProtocolError::new(format!("`{what}[{i}]` must be an array of numbers"))
+        })?;
+        let parsed: Option<Vec<f64>> = coords.iter().map(Value::as_f64).collect();
+        let parsed = parsed.ok_or_else(|| {
+            ProtocolError::new(format!("`{what}[{i}]` holds a non-numeric coordinate"))
+        })?;
+        if !parsed.iter().all(|x| x.is_finite()) {
+            return Err(ProtocolError::new(format!(
+                "`{what}[{i}]` holds a non-finite coordinate"
+            )));
+        }
+        match dim {
+            None => {
+                if parsed.is_empty() {
+                    return Err(ProtocolError::new(format!(
+                        "`{what}[{i}]` is empty (points need at least one coordinate)"
+                    )));
+                }
+                dim = Some(parsed.len());
+            }
+            Some(d) if d != parsed.len() => {
+                return Err(ProtocolError::new(format!(
+                    "`{what}[{i}]` has {} coordinates but earlier points have {d}",
+                    parsed.len()
+                )));
+            }
+            Some(_) => {}
+        }
+        rows.push(parsed);
+    }
+    Ok(rows)
+}
+
+fn floats_from_value(v: &Value, what: &str) -> Result<Vec<f64>, ProtocolError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| ProtocolError::new(format!("`{what}` must be an array of numbers")))?;
+    let parsed: Option<Vec<f64>> = items.iter().map(Value::as_f64).collect();
+    parsed.ok_or_else(|| ProtocolError::new(format!("`{what}` holds a non-numeric entry")))
+}
+
+fn required_str(v: &Value, key: &str) -> Result<String, ProtocolError> {
+    v.get(key)
+        .ok_or_else(|| ProtocolError::new(format!("missing required field `{key}`")))?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| ProtocolError::new(format!("`{key}` must be a string")))
+}
+
+fn optional_seed(v: &Value) -> Result<Option<u64>, ProtocolError> {
+    match v.get("seed") {
+        None | Some(Value::Null) => Ok(None),
+        Some(s) => s
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::new("`seed` must be a non-negative integer")),
+    }
+}
+
+impl Request {
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let value = match self {
+            Request::Ingest {
+                dataset,
+                points,
+                weights,
+            } => {
+                let mut pairs = vec![
+                    ("op", Value::from("ingest")),
+                    ("dataset", Value::from(dataset.clone())),
+                    ("points", rows_to_value(points)),
+                ];
+                if let Some(w) = weights {
+                    pairs.push(("weights", number_array(w)));
+                }
+                pairs_to_object(pairs)
+            }
+            Request::Compress { dataset, seed } => {
+                let mut pairs = vec![
+                    ("op", Value::from("compress")),
+                    ("dataset", Value::from(dataset.clone())),
+                ];
+                if let Some(s) = seed {
+                    pairs.push(("seed", Value::from(*s)));
+                }
+                pairs_to_object(pairs)
+            }
+            Request::Cluster {
+                dataset,
+                k,
+                kind,
+                seed,
+            } => {
+                let mut pairs = vec![
+                    ("op", Value::from("cluster")),
+                    ("dataset", Value::from(dataset.clone())),
+                ];
+                if let Some(k) = k {
+                    pairs.push(("k", Value::from(*k)));
+                }
+                if let Some(kind) = kind {
+                    pairs.push(("kind", Value::from(kind_to_str(*kind))));
+                }
+                if let Some(s) = seed {
+                    pairs.push(("seed", Value::from(*s)));
+                }
+                pairs_to_object(pairs)
+            }
+            Request::Cost {
+                dataset,
+                centers,
+                kind,
+            } => {
+                let mut pairs = vec![
+                    ("op", Value::from("cost")),
+                    ("dataset", Value::from(dataset.clone())),
+                    ("centers", rows_to_value(centers)),
+                ];
+                if let Some(kind) = kind {
+                    pairs.push(("kind", Value::from(kind_to_str(*kind))));
+                }
+                pairs_to_object(pairs)
+            }
+            Request::Stats { dataset } => {
+                let mut pairs = vec![("op", Value::from("stats"))];
+                if let Some(d) = dataset {
+                    pairs.push(("dataset", Value::from(d.clone())));
+                }
+                pairs_to_object(pairs)
+            }
+            Request::DropDataset { dataset } => pairs_to_object(vec![
+                ("op", Value::from("drop_dataset")),
+                ("dataset", Value::from(dataset.clone())),
+            ]),
+        };
+        value.to_json()
+    }
+
+    /// Decodes one request line.
+    pub fn from_json(line: &str) -> Result<Self, ProtocolError> {
+        let v = json::parse(line)?;
+        if v.as_object().is_none() {
+            return Err(ProtocolError::new("request must be a JSON object"));
+        }
+        let op = required_str(&v, "op")?;
+        match op.as_str() {
+            "ingest" => {
+                let dataset = required_str(&v, "dataset")?;
+                let points = rows_from_value(
+                    v.get("points")
+                        .ok_or_else(|| ProtocolError::new("missing required field `points`"))?,
+                    "points",
+                )?;
+                if points.is_empty() {
+                    return Err(ProtocolError::new("`points` must be non-empty"));
+                }
+                let weights = match v.get("weights") {
+                    None | Some(Value::Null) => None,
+                    Some(w) => {
+                        let w = floats_from_value(w, "weights")?;
+                        if w.len() != points.len() {
+                            return Err(ProtocolError::new(format!(
+                                "{} weights for {} points",
+                                w.len(),
+                                points.len()
+                            )));
+                        }
+                        if !w.iter().all(|x| x.is_finite() && *x >= 0.0) {
+                            return Err(ProtocolError::new(
+                                "`weights` must be finite and non-negative",
+                            ));
+                        }
+                        Some(w)
+                    }
+                };
+                Ok(Request::Ingest {
+                    dataset,
+                    points,
+                    weights,
+                })
+            }
+            "compress" => Ok(Request::Compress {
+                dataset: required_str(&v, "dataset")?,
+                seed: optional_seed(&v)?,
+            }),
+            "cluster" => {
+                let dataset = required_str(&v, "dataset")?;
+                let k = match v.get("k") {
+                    None | Some(Value::Null) => None,
+                    Some(k) => Some(
+                        k.as_usize()
+                            .filter(|&k| k > 0)
+                            .ok_or_else(|| ProtocolError::new("`k` must be a positive integer"))?,
+                    ),
+                };
+                let kind = match v.get("kind") {
+                    None | Some(Value::Null) => None,
+                    Some(kind) => Some(kind_from_value(kind)?),
+                };
+                Ok(Request::Cluster {
+                    dataset,
+                    k,
+                    kind,
+                    seed: optional_seed(&v)?,
+                })
+            }
+            "cost" => {
+                let dataset = required_str(&v, "dataset")?;
+                let centers = rows_from_value(
+                    v.get("centers")
+                        .ok_or_else(|| ProtocolError::new("missing required field `centers`"))?,
+                    "centers",
+                )?;
+                if centers.is_empty() {
+                    return Err(ProtocolError::new("`centers` must be non-empty"));
+                }
+                let kind = match v.get("kind") {
+                    None | Some(Value::Null) => None,
+                    Some(kind) => Some(kind_from_value(kind)?),
+                };
+                Ok(Request::Cost {
+                    dataset,
+                    centers,
+                    kind,
+                })
+            }
+            "stats" => {
+                let dataset = match v.get("dataset") {
+                    None | Some(Value::Null) => None,
+                    Some(d) => Some(
+                        d.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| ProtocolError::new("`dataset` must be a string"))?,
+                    ),
+                };
+                Ok(Request::Stats { dataset })
+            }
+            "drop_dataset" => Ok(Request::DropDataset {
+                dataset: required_str(&v, "dataset")?,
+            }),
+            other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
+        }
+    }
+}
+
+fn pairs_to_object(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn dataset_stats_to_value(s: &DatasetStats) -> Value {
+    object([
+        ("dataset", Value::from(s.dataset.clone())),
+        ("dim", Value::from(s.dim)),
+        ("shards", Value::from(s.shards)),
+        ("ingested_points", Value::from(s.ingested_points)),
+        ("ingested_weight", Value::from(s.ingested_weight)),
+        ("stored_points", Value::from(s.stored_points)),
+        (
+            "summaries_per_shard",
+            Value::Array(
+                s.summaries_per_shard
+                    .iter()
+                    .map(|&n| Value::from(n))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn dataset_stats_from_value(v: &Value) -> Result<DatasetStats, ProtocolError> {
+    let field = |key: &str| {
+        v.get(key)
+            .ok_or_else(|| ProtocolError::new(format!("stats missing `{key}`")))
+    };
+    Ok(DatasetStats {
+        dataset: required_str(v, "dataset")?,
+        dim: field("dim")?
+            .as_usize()
+            .ok_or_else(|| ProtocolError::new("`dim` must be an integer"))?,
+        shards: field("shards")?
+            .as_usize()
+            .ok_or_else(|| ProtocolError::new("`shards` must be an integer"))?,
+        ingested_points: field("ingested_points")?
+            .as_u64()
+            .ok_or_else(|| ProtocolError::new("`ingested_points` must be an integer"))?,
+        ingested_weight: field("ingested_weight")?
+            .as_f64()
+            .ok_or_else(|| ProtocolError::new("`ingested_weight` must be a number"))?,
+        stored_points: field("stored_points")?
+            .as_usize()
+            .ok_or_else(|| ProtocolError::new("`stored_points` must be an integer"))?,
+        summaries_per_shard: field("summaries_per_shard")?
+            .as_array()
+            .ok_or_else(|| ProtocolError::new("`summaries_per_shard` must be an array"))?
+            .iter()
+            .map(|n| {
+                n.as_usize()
+                    .ok_or_else(|| ProtocolError::new("`summaries_per_shard` must hold integers"))
+            })
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+impl Response {
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let value = match self {
+            Response::Ingested {
+                dataset,
+                points,
+                total_points,
+                total_weight,
+            } => object([
+                ("ok", Value::from(true)),
+                ("kind", Value::from("ingested")),
+                ("dataset", Value::from(dataset.clone())),
+                ("points", Value::from(*points)),
+                ("total_points", Value::from(*total_points)),
+                ("total_weight", Value::from(*total_weight)),
+            ]),
+            Response::Coreset {
+                dataset,
+                points,
+                weights,
+                seed,
+            } => object([
+                ("ok", Value::from(true)),
+                ("kind", Value::from("coreset")),
+                ("dataset", Value::from(dataset.clone())),
+                ("points", rows_to_value(points)),
+                ("weights", number_array(weights)),
+                ("seed", Value::from(*seed)),
+            ]),
+            Response::Clustered {
+                dataset,
+                centers,
+                kind,
+                coreset_cost,
+                coreset_points,
+                seed,
+            } => object([
+                ("ok", Value::from(true)),
+                ("kind", Value::from("clustered")),
+                ("dataset", Value::from(dataset.clone())),
+                ("centers", rows_to_value(centers)),
+                ("objective", Value::from(kind_to_str(*kind))),
+                ("coreset_cost", Value::from(*coreset_cost)),
+                ("coreset_points", Value::from(*coreset_points)),
+                ("seed", Value::from(*seed)),
+            ]),
+            Response::Cost {
+                dataset,
+                cost,
+                kind,
+                coreset_points,
+            } => object([
+                ("ok", Value::from(true)),
+                ("kind", Value::from("cost")),
+                ("dataset", Value::from(dataset.clone())),
+                ("cost", Value::from(*cost)),
+                ("objective", Value::from(kind_to_str(*kind))),
+                ("coreset_points", Value::from(*coreset_points)),
+            ]),
+            Response::Stats { datasets } => object([
+                ("ok", Value::from(true)),
+                ("kind", Value::from("stats")),
+                (
+                    "datasets",
+                    Value::Array(datasets.iter().map(dataset_stats_to_value).collect()),
+                ),
+            ]),
+            Response::Dropped { dataset } => object([
+                ("ok", Value::from(true)),
+                ("kind", Value::from("dropped")),
+                ("dataset", Value::from(dataset.clone())),
+            ]),
+            Response::Error { message } => object([
+                ("ok", Value::from(false)),
+                ("kind", Value::from("error")),
+                ("message", Value::from(message.clone())),
+            ]),
+        };
+        value.to_json()
+    }
+
+    /// Decodes one response line.
+    pub fn from_json(line: &str) -> Result<Self, ProtocolError> {
+        let v = json::parse(line)?;
+        let kind = required_str(&v, "kind")?;
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| ProtocolError::new(format!("missing numeric field `{key}`")))
+        };
+        let int = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_usize)
+                .ok_or_else(|| ProtocolError::new(format!("missing integer field `{key}`")))
+        };
+        let seed = |()| {
+            v.get("seed")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ProtocolError::new("missing integer field `seed`"))
+        };
+        match kind.as_str() {
+            "ingested" => Ok(Response::Ingested {
+                dataset: required_str(&v, "dataset")?,
+                points: int("points")?,
+                total_points: v
+                    .get("total_points")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| ProtocolError::new("missing integer field `total_points`"))?,
+                total_weight: num("total_weight")?,
+            }),
+            "coreset" => Ok(Response::Coreset {
+                dataset: required_str(&v, "dataset")?,
+                points: rows_from_value(
+                    v.get("points")
+                        .ok_or_else(|| ProtocolError::new("missing field `points`"))?,
+                    "points",
+                )?,
+                weights: floats_from_value(
+                    v.get("weights")
+                        .ok_or_else(|| ProtocolError::new("missing field `weights`"))?,
+                    "weights",
+                )?,
+                seed: seed(())?,
+            }),
+            "clustered" => Ok(Response::Clustered {
+                dataset: required_str(&v, "dataset")?,
+                centers: rows_from_value(
+                    v.get("centers")
+                        .ok_or_else(|| ProtocolError::new("missing field `centers`"))?,
+                    "centers",
+                )?,
+                kind: kind_from_value(
+                    v.get("objective")
+                        .ok_or_else(|| ProtocolError::new("missing field `objective`"))?,
+                )?,
+                coreset_cost: num("coreset_cost")?,
+                coreset_points: int("coreset_points")?,
+                seed: seed(())?,
+            }),
+            "cost" => Ok(Response::Cost {
+                dataset: required_str(&v, "dataset")?,
+                cost: num("cost")?,
+                kind: kind_from_value(
+                    v.get("objective")
+                        .ok_or_else(|| ProtocolError::new("missing field `objective`"))?,
+                )?,
+                coreset_points: int("coreset_points")?,
+            }),
+            "stats" => Ok(Response::Stats {
+                datasets: v
+                    .get("datasets")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| ProtocolError::new("missing array field `datasets`"))?
+                    .iter()
+                    .map(dataset_stats_from_value)
+                    .collect::<Result<_, _>>()?,
+            }),
+            "dropped" => Ok(Response::Dropped {
+                dataset: required_str(&v, "dataset")?,
+            }),
+            "error" => Ok(Response::Error {
+                message: required_str(&v, "message")?,
+            }),
+            other => Err(ProtocolError::new(format!(
+                "unknown response kind `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Converts a weighted dataset into protocol rows + weights.
+pub fn dataset_to_rows(data: &Dataset) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let rows = data.points().iter().map(<[f64]>::to_vec).collect();
+    (rows, data.weights().to_vec())
+}
+
+/// Builds a weighted dataset from protocol rows (+ optional weights).
+pub fn rows_to_dataset(
+    points: &[Vec<f64>],
+    weights: Option<&[f64]>,
+) -> Result<Dataset, ProtocolError> {
+    let pts = Points::from_rows(points)
+        .map_err(|e| ProtocolError::new(format!("invalid points: {e:?}")))?;
+    match weights {
+        None => Ok(Dataset::unweighted(pts)),
+        Some(w) => Dataset::weighted(pts, w.to_vec())
+            .map_err(|e| ProtocolError::new(format!("invalid weights: {e:?}"))),
+    }
+}
+
+/// Builds a center store from protocol rows.
+pub fn rows_to_points(rows: &[Vec<f64>]) -> Result<Points, ProtocolError> {
+    Points::from_rows(rows).map_err(|e| ProtocolError::new(format!("invalid centers: {e:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let line = req.to_json();
+        assert!(
+            !line.contains('\n'),
+            "requests must be single lines: {line}"
+        );
+        assert_eq!(Request::from_json(&line).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let line = resp.to_json();
+        assert!(
+            !line.contains('\n'),
+            "responses must be single lines: {line}"
+        );
+        assert_eq!(Response::from_json(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ingest {
+            dataset: "d".into(),
+            points: vec![vec![0.0, 1.5], vec![-2.25, 3.0]],
+            weights: Some(vec![1.0, 2.5]),
+        });
+        round_trip_request(Request::Ingest {
+            dataset: "d".into(),
+            points: vec![vec![0.5]],
+            weights: None,
+        });
+        round_trip_request(Request::Compress {
+            dataset: "a/b c".into(),
+            seed: Some(7),
+        });
+        round_trip_request(Request::Compress {
+            dataset: "x".into(),
+            seed: None,
+        });
+        round_trip_request(Request::Cluster {
+            dataset: "d".into(),
+            k: Some(4),
+            kind: Some(CostKind::KMedian),
+            seed: Some(99),
+        });
+        round_trip_request(Request::Cluster {
+            dataset: "d".into(),
+            k: None,
+            kind: None,
+            seed: None,
+        });
+        round_trip_request(Request::Cost {
+            dataset: "d".into(),
+            centers: vec![vec![1.0, 2.0]],
+            kind: Some(CostKind::KMeans),
+        });
+        round_trip_request(Request::Stats { dataset: None });
+        round_trip_request(Request::Stats {
+            dataset: Some("d".into()),
+        });
+        round_trip_request(Request::DropDataset {
+            dataset: "d".into(),
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Ingested {
+            dataset: "d".into(),
+            points: 128,
+            total_points: 1 << 40,
+            total_weight: 1099511627776.5,
+        });
+        round_trip_response(Response::Coreset {
+            dataset: "d".into(),
+            points: vec![vec![0.125, -4.0]],
+            weights: vec![17.25],
+            seed: 3,
+        });
+        round_trip_response(Response::Clustered {
+            dataset: "d".into(),
+            centers: vec![vec![1.0], vec![2.0]],
+            kind: CostKind::KMeans,
+            coreset_cost: 12.5,
+            coreset_points: 200,
+            seed: 8,
+        });
+        round_trip_response(Response::Cost {
+            dataset: "d".into(),
+            cost: 0.0625,
+            kind: CostKind::KMedian,
+            coreset_points: 10,
+        });
+        round_trip_response(Response::Stats {
+            datasets: vec![DatasetStats {
+                dataset: "d".into(),
+                dim: 3,
+                shards: 4,
+                ingested_points: 1000,
+                ingested_weight: 1000.0,
+                stored_points: 320,
+                summaries_per_shard: vec![2, 1, 3, 1],
+            }],
+        });
+        round_trip_response(Response::Dropped {
+            dataset: "d".into(),
+        });
+        round_trip_response(Response::Error {
+            message: "no such dataset \"x\"".into(),
+        });
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_context() {
+        let cases = [
+            ("not json at all", "invalid JSON"),
+            ("[1,2]", "request must be a JSON object"),
+            ("{}", "missing required field `op`"),
+            (r#"{"op":"fly"}"#, "unknown op"),
+            (
+                r#"{"op":"ingest","dataset":"d"}"#,
+                "missing required field `points`",
+            ),
+            (
+                r#"{"op":"ingest","dataset":"d","points":[]}"#,
+                "must be non-empty",
+            ),
+            (
+                r#"{"op":"ingest","dataset":"d","points":[[1],[2,3]]}"#,
+                "coordinates",
+            ),
+            (
+                r#"{"op":"ingest","dataset":"d","points":[["a"]]}"#,
+                "non-numeric",
+            ),
+            (
+                r#"{"op":"ingest","dataset":"d","points":[[1]],"weights":[1,2]}"#,
+                "2 weights for 1 points",
+            ),
+            (
+                r#"{"op":"ingest","dataset":"d","points":[[1]],"weights":[-1]}"#,
+                "non-negative",
+            ),
+            (
+                r#"{"op":"cluster","dataset":"d","k":0}"#,
+                "positive integer",
+            ),
+            (
+                r#"{"op":"cluster","dataset":"d","k":2.5}"#,
+                "positive integer",
+            ),
+            (
+                r#"{"op":"cluster","dataset":"d","kind":"fuzzy"}"#,
+                "unknown kind",
+            ),
+            (
+                r#"{"op":"cluster","dataset":"d","seed":-4}"#,
+                "`seed` must be",
+            ),
+            (
+                r#"{"op":"cost","dataset":"d"}"#,
+                "missing required field `centers`",
+            ),
+            (r#"{"op":"compress"}"#, "missing required field `dataset`"),
+            (
+                r#"{"op":"ingest","dataset":7,"points":[[1]]}"#,
+                "`dataset` must be a string",
+            ),
+        ];
+        for (line, needle) in cases {
+            let err = Request::from_json(line).expect_err(line);
+            assert!(
+                err.message.contains(needle),
+                "error for `{line}` was `{}`, expected to contain `{needle}`",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_conversion_round_trips() {
+        let d = rows_to_dataset(&[vec![1.0, 2.0], vec![3.0, 4.0]], Some(&[2.0, 3.0])).unwrap();
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.total_weight(), 5.0);
+        let (rows, weights) = dataset_to_rows(&d);
+        assert_eq!(rows, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(weights, vec![2.0, 3.0]);
+        assert!(rows_to_dataset(&[vec![1.0], vec![2.0]], Some(&[1.0])).is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! The TCP server: JSON-lines over `std::net`, one thread per connection.
+//!
+//! The accept loop runs on its own thread; [`ServerHandle::shutdown`] flips
+//! a flag, pokes the listener with a throwaway connection to unblock
+//! `accept`, and joins every connection thread — so shutdown is graceful:
+//! in-flight requests finish, streams flush, then threads exit.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::engine::{Engine, EngineError};
+use crate::protocol::{self, Request, Response};
+
+/// Live connections: the worker join handle plus a stream clone the
+/// shutdown path uses to unblock readers waiting on idle clients.
+type ConnectionRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    connections: ConnectionRegistry,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// serving `engine` in background threads.
+    pub fn bind(addr: impl ToSocketAddrs, engine: Engine) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(engine);
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: ConnectionRegistry = Arc::new(Mutex::new(Vec::new()));
+        let accept_engine = Arc::clone(&engine);
+        let accept_stop = Arc::clone(&stop);
+        let accept_connections = Arc::clone(&connections);
+        let accept_thread = std::thread::Builder::new()
+            .name("fc-accept".into())
+            .spawn(move || accept_loop(listener, accept_engine, accept_stop, accept_connections))
+            .expect("spawning the accept thread succeeds");
+        Ok(ServerHandle {
+            addr,
+            engine,
+            stop,
+            connections,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served engine (for in-process inspection in tests and examples).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stops accepting, waits for in-flight connections to finish, and
+    /// joins all server threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a no-op connection, and unblock
+        // connection readers parked on idle-but-open clients by shutting
+        // the read side of their sockets. In-flight requests still finish:
+        // the worker observes EOF on its next read and can still write its
+        // response.
+        let _ = TcpStream::connect(self.addr);
+        for (_, stream) in self
+            .connections
+            .lock()
+            .expect("connection registry lock")
+            .iter()
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    connections: ConnectionRegistry,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            // Persistent accept errors (e.g. fd exhaustion) would otherwise
+            // busy-spin this loop at 100% CPU; pause before retrying.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            continue;
+        };
+        let Ok(registry_clone) = stream.try_clone() else {
+            continue;
+        };
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fc-conn".into())
+            .spawn(move || run_connection(stream, &engine, &stop))
+            .expect("spawning a connection thread succeeds");
+        let mut conns = connections.lock().expect("connection registry lock");
+        // Opportunistically reap finished connections so the registry
+        // doesn't grow with every client that ever connected.
+        conns.retain(|(h, _)| !h.is_finished());
+        conns.push((handle, registry_clone));
+    }
+    // Shut each connection's read side before joining: a worker parked on
+    // an idle-but-open client wakes with EOF, finishes any in-flight
+    // response, and exits. (The handle's shutdown path also sweeps the
+    // registry, but this loop may have emptied it first — the join must
+    // not depend on that race.)
+    let handles = std::mem::take(&mut *connections.lock().expect("connection registry lock"));
+    for (h, stream) in handles {
+        let _ = stream.shutdown(std::net::Shutdown::Read);
+        let _ = h.join();
+    }
+}
+
+/// Largest request line the server buffers. A client that never sends a
+/// newline would otherwise grow the line buffer until the process OOMs;
+/// 64 MiB comfortably fits the largest sane ingest batch.
+const MAX_LINE_BYTES: u64 = 64 * 1024 * 1024;
+
+fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let respond = |writer: &mut BufWriter<TcpStream>, response: Response| {
+        writer.write_all(response.to_json().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()
+    };
+    loop {
+        let mut buf = Vec::new();
+        let n = (&mut reader)
+            .take(MAX_LINE_BYTES)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break; // EOF
+        }
+        if n as u64 == MAX_LINE_BYTES && buf.last() != Some(&b'\n') {
+            // Oversized line: answer once and drop the connection (the rest
+            // of the line cannot be resynchronized).
+            let message = format!("request line exceeds {MAX_LINE_BYTES} bytes");
+            respond(&mut writer, Response::Error { message })?;
+            break;
+        }
+        let response = match std::str::from_utf8(&buf) {
+            Ok(line) if line.trim().is_empty() => continue,
+            Ok(line) => match Request::from_json(line.trim_end_matches(['\n', '\r'])) {
+                Ok(request) => handle_request(engine, request),
+                Err(e) => Response::Error { message: e.message },
+            },
+            Err(_) => Response::Error {
+                message: "request line is not valid UTF-8".into(),
+            },
+        };
+        respond(&mut writer, response)?;
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves one connection, then actively closes the socket. The close must
+/// be an explicit `shutdown`: the registry keeps a clone of the stream, so
+/// merely dropping this thread's handles would leave the connection
+/// half-open (no FIN) until server shutdown, and a waiting client would
+/// never see EOF.
+fn run_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) {
+    let closer = stream.try_clone().ok();
+    let _ = serve_connection(stream, engine, stop);
+    if let Some(s) = closer {
+        let _ = s.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+fn engine_error(e: EngineError) -> Response {
+    Response::Error {
+        message: e.to_string(),
+    }
+}
+
+/// Executes one request against the engine. Exposed so tests can drive the
+/// dispatch logic without a socket.
+pub fn handle_request(engine: &Engine, request: Request) -> Response {
+    match request {
+        Request::Ingest {
+            dataset,
+            points,
+            weights,
+        } => {
+            let batch = match protocol::rows_to_dataset(&points, weights.as_deref()) {
+                Ok(b) => b,
+                Err(e) => return Response::Error { message: e.message },
+            };
+            match engine.ingest(&dataset, &batch) {
+                Ok((total_points, total_weight)) => Response::Ingested {
+                    dataset,
+                    points: batch.len(),
+                    total_points,
+                    total_weight,
+                },
+                Err(e) => engine_error(e),
+            }
+        }
+        Request::Compress { dataset, seed } => match engine.coreset(&dataset, seed) {
+            Ok((coreset, seed)) => {
+                let (points, weights) = protocol::dataset_to_rows(coreset.dataset());
+                Response::Coreset {
+                    dataset,
+                    points,
+                    weights,
+                    seed,
+                }
+            }
+            Err(e) => engine_error(e),
+        },
+        Request::Cluster {
+            dataset,
+            k,
+            kind,
+            seed,
+        } => match engine.cluster(&dataset, k, kind, seed) {
+            Ok(outcome) => Response::Clustered {
+                dataset,
+                centers: outcome
+                    .solution
+                    .centers
+                    .iter()
+                    .map(<[f64]>::to_vec)
+                    .collect(),
+                kind: outcome.kind,
+                coreset_cost: outcome.solution.cost,
+                coreset_points: outcome.coreset_points,
+                seed: outcome.seed,
+            },
+            Err(e) => engine_error(e),
+        },
+        Request::Cost {
+            dataset,
+            centers,
+            kind,
+        } => {
+            let centers = match protocol::rows_to_points(&centers) {
+                Ok(c) => c,
+                Err(e) => return Response::Error { message: e.message },
+            };
+            match engine.cost(&dataset, &centers, kind) {
+                Ok((cost, kind, coreset_points)) => Response::Cost {
+                    dataset,
+                    cost,
+                    kind,
+                    coreset_points,
+                },
+                Err(e) => engine_error(e),
+            }
+        }
+        Request::Stats { dataset } => {
+            let result = match dataset {
+                Some(name) => engine.dataset_stats(&name).map(|s| vec![s]),
+                None => engine.stats(),
+            };
+            match result {
+                Ok(datasets) => Response::Stats { datasets },
+                Err(e) => engine_error(e),
+            }
+        }
+        Request::DropDataset { dataset } => match engine.drop_dataset(&dataset) {
+            Ok(()) => Response::Dropped { dataset },
+            Err(e) => engine_error(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use fc_core::methods::Uniform;
+    use fc_geom::Dataset;
+
+    fn engine() -> Engine {
+        Engine::with_compressor(
+            EngineConfig {
+                shards: 2,
+                k: 2,
+                m_scalar: 20,
+                ..Default::default()
+            },
+            Arc::new(Uniform),
+        )
+    }
+
+    #[test]
+    fn dispatch_covers_every_op() {
+        let engine = engine();
+        let ingest = handle_request(
+            &engine,
+            Request::Ingest {
+                dataset: "d".into(),
+                points: (0..50).map(|i| vec![i as f64, 0.0]).collect(),
+                weights: None,
+            },
+        );
+        assert!(
+            matches!(ingest, Response::Ingested { points: 50, .. }),
+            "{ingest:?}"
+        );
+
+        let compress = handle_request(
+            &engine,
+            Request::Compress {
+                dataset: "d".into(),
+                seed: Some(1),
+            },
+        );
+        assert!(matches!(compress, Response::Coreset { .. }), "{compress:?}");
+
+        let cluster = handle_request(
+            &engine,
+            Request::Cluster {
+                dataset: "d".into(),
+                k: Some(2),
+                kind: None,
+                seed: Some(1),
+            },
+        );
+        assert!(matches!(cluster, Response::Clustered { .. }), "{cluster:?}");
+
+        let cost = handle_request(
+            &engine,
+            Request::Cost {
+                dataset: "d".into(),
+                centers: vec![vec![0.0, 0.0], vec![49.0, 0.0]],
+                kind: None,
+            },
+        );
+        assert!(matches!(cost, Response::Cost { .. }), "{cost:?}");
+
+        let stats = handle_request(&engine, Request::Stats { dataset: None });
+        match stats {
+            Response::Stats { datasets } => {
+                assert_eq!(datasets.len(), 1);
+                assert_eq!(datasets[0].ingested_points, 50);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let dropped = handle_request(
+            &engine,
+            Request::DropDataset {
+                dataset: "d".into(),
+            },
+        );
+        assert!(matches!(dropped, Response::Dropped { .. }), "{dropped:?}");
+
+        let missing = handle_request(
+            &engine,
+            Request::Stats {
+                dataset: Some("d".into()),
+            },
+        );
+        assert!(matches!(missing, Response::Error { .. }), "{missing:?}");
+    }
+
+    #[test]
+    fn server_binds_ephemeral_port_and_shuts_down() {
+        let handle = ServerHandle::bind("127.0.0.1:0", engine()).unwrap();
+        let addr = handle.addr();
+        assert_ne!(addr.port(), 0);
+        // A raw client connection with a malformed line gets an error reply.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"{oops\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = Response::from_json(line.trim()).unwrap();
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        handle.shutdown();
+        let empty = Dataset::from_flat(vec![], 2);
+        assert!(empty.is_ok(), "shutdown leaves the process healthy");
+    }
+}

@@ -30,7 +30,10 @@ type CellKey = (u64, u64);
 fn cell_key(point: &[f64], side: f64) -> CellKey {
     #[inline]
     fn mix(mut h: u64, v: u64) -> u64 {
-        h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+        h ^= v
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(h << 6)
+            .wrapping_add(h >> 2);
         h ^= h >> 30;
         h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         h ^= h >> 27;
@@ -59,7 +62,10 @@ pub struct BicoConfig {
 impl BicoConfig {
     /// Budget-only constructor with the default depth cap.
     pub fn with_target(target_size: usize) -> Self {
-        Self { target_size, max_level: 32 }
+        Self {
+            target_size,
+            max_level: 32,
+        }
     }
 }
 
@@ -185,7 +191,10 @@ impl Bico {
                 let empty: Vec<usize> = Vec::new();
                 let candidates: &Vec<usize> = match parent {
                     // Level 1: one grid bucket instead of every root.
-                    None => self.root_index.get(&cell_key(p, self.index_side())).unwrap_or(&empty),
+                    None => self
+                        .root_index
+                        .get(&cell_key(p, self.index_side()))
+                        .unwrap_or(&empty),
                     Some(pid) => &self.nodes[pid].children,
                 };
                 let mut best: Option<(usize, f64)> = None;
@@ -261,7 +270,8 @@ impl Bico {
                 ws.push(*w);
             }
             if pts.is_empty() {
-                pts.push(&vec![0.0; self.dim]).expect("dimension is positive");
+                pts.push(&vec![0.0; self.dim])
+                    .expect("dimension is positive");
                 ws.push(0.0);
             }
             return Coreset::new(Dataset::weighted(pts, ws).expect("weights are non-negative"));
@@ -270,7 +280,8 @@ impl Bico {
         let mut ws = Vec::new();
         for node in &self.nodes {
             if node.cf.weight > 0.0 {
-                pts.push(&node.cf.centroid()).expect("centroid has the dimension");
+                pts.push(&node.cf.centroid())
+                    .expect("centroid has the dimension");
                 ws.push(node.cf.weight);
             }
         }
@@ -312,7 +323,10 @@ pub struct BicoStream {
 impl BicoStream {
     /// Creates the adapter; the summary is initialized on the first block.
     pub fn new(config: BicoConfig) -> Self {
-        Self { inner: None, config }
+        Self {
+            inner: None,
+            config,
+        }
     }
 }
 
@@ -322,15 +336,19 @@ impl StreamingCompressor for BicoStream {
     }
 
     fn insert_block(&mut self, _rng: &mut dyn RngCore, block: &Dataset) {
-        let bico =
-            self.inner.get_or_insert_with(|| Bico::new(block.dim(), self.config));
+        let bico = self
+            .inner
+            .get_or_insert_with(|| Bico::new(block.dim(), self.config));
         for (p, &w) in block.points().iter().zip(block.weights()) {
             bico.insert(p, w);
         }
     }
 
     fn finalize(&mut self, _rng: &mut dyn RngCore) -> Coreset {
-        self.inner.as_ref().expect("finalize called before any block").coreset()
+        self.inner
+            .as_ref()
+            .expect("finalize called before any block")
+            .coreset()
     }
 }
 
@@ -361,7 +379,11 @@ mod tests {
         let d = blobs(500);
         let mut bico = Bico::new(2, BicoConfig::with_target(50));
         feed(&mut bico, &d);
-        assert!(bico.feature_count() <= 50, "{} features", bico.feature_count());
+        assert!(
+            bico.feature_count() <= 50,
+            "{} features",
+            bico.feature_count()
+        );
         let c = bico.coreset();
         assert!(c.len() <= 50);
     }
@@ -417,7 +439,9 @@ mod tests {
         feed(&mut bico, &d);
         let c = bico.coreset();
         let centers = fc_geom::Points::from_flat(
-            vec![0.05, 0.2, 100.05, 0.2, 200.05, 0.2, 300.05, 0.2, 400.05, 0.2],
+            vec![
+                0.05, 0.2, 100.05, 0.2, 200.05, 0.2, 300.05, 0.2, 400.05, 0.2,
+            ],
             2,
         )
         .unwrap();
@@ -425,8 +449,15 @@ mod tests {
         let summary = c.cost(&centers, CostKind::KMeans);
         // BICO is not an importance sample: allow generous slack, but the
         // right order of magnitude must hold for a "nice" solution.
-        let ratio = if full > 0.0 { (summary / full).max(full / summary.max(1e-12)) } else { 1.0 };
-        assert!(ratio < 10.0, "ratio {ratio} (full {full}, summary {summary})");
+        let ratio = if full > 0.0 {
+            (summary / full).max(full / summary.max(1e-12))
+        } else {
+            1.0
+        };
+        assert!(
+            ratio < 10.0,
+            "ratio {ratio} (full {full}, summary {summary})"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct ClusteringFeature {
 impl ClusteringFeature {
     /// An empty feature of the given dimension.
     pub fn empty(dim: usize) -> Self {
-        Self { weight: 0.0, linear_sum: vec![0.0; dim], square_sum: 0.0 }
+        Self {
+            weight: 0.0,
+            linear_sum: vec![0.0; dim],
+            square_sum: 0.0,
+        }
     }
 
     /// A feature holding one weighted point.

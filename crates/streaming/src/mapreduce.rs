@@ -2,14 +2,13 @@
 //!
 //! The data is partitioned randomly among `workers` computation entities;
 //! each computes a coreset of its shard (here: real OS threads via
-//! crossbeam's scoped spawn); the host unions the shard coresets — a valid
+//! `std::thread::scope`); the host unions the shard coresets — a valid
 //! coreset for the full data by composability — and optionally re-compresses
 //! to the target size. Communication is `O(m)` points per worker,
 //! independent of `n`, which is the whole appeal of the scheme.
 
 use fc_core::{CompressionParams, Compressor, Coreset};
 use fc_geom::Dataset;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -57,21 +56,22 @@ pub fn mapreduce_coreset<R: Rng + ?Sized>(
     // Per-worker compression on real threads; each worker gets its own
     // deterministic RNG stream.
     let seeds: Vec<u64> = (0..shards.len()).map(|_| rng.gen()).collect();
-    let results: Mutex<Vec<Option<Coreset>>> = Mutex::new(vec![None; shards.len()]);
-    crossbeam::scope(|scope| {
+    let results: std::sync::Mutex<Vec<Option<Coreset>>> =
+        std::sync::Mutex::new(vec![None; shards.len()]);
+    std::thread::scope(|scope| {
         for (w, (shard, seed)) in shards.iter().zip(&seeds).enumerate() {
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut worker_rng = StdRng::seed_from_u64(*seed);
                 let c = compressor.compress(&mut worker_rng, shard, params);
-                results.lock()[w] = Some(c);
+                results.lock().expect("no worker panicked holding the lock")[w] = Some(c);
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
     let parts: Vec<Coreset> = results
         .into_inner()
+        .expect("no worker panicked holding the lock")
         .into_iter()
         .map(|c| c.expect("every worker produced a coreset"))
         .collect();
@@ -84,7 +84,11 @@ pub fn mapreduce_coreset<R: Rng + ?Sized>(
         let mut host_rng = StdRng::seed_from_u64(rng.gen());
         union = compressor.compress(&mut host_rng, union.dataset(), params);
     }
-    MapReduceReport { coreset: union, communicated_points, shard_sizes }
+    MapReduceReport {
+        coreset: union,
+        communicated_points,
+        shard_sizes,
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +116,11 @@ mod tests {
     #[test]
     fn aggregation_covers_all_clusters() {
         let d = blobs();
-        let params = CompressionParams { k: 3, m: 200, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 3,
+            m: 200,
+            kind: CostKind::KMeans,
+        };
         let comp = FastCoreset::default();
         let mut r = rng();
         let report = mapreduce_coreset(&mut r, &d, &comp, &params, 4);
@@ -128,7 +136,11 @@ mod tests {
     #[test]
     fn communication_is_bounded_by_workers_times_m() {
         let d = blobs();
-        let params = CompressionParams { k: 3, m: 100, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 3,
+            m: 100,
+            kind: CostKind::KMeans,
+        };
         let comp = Uniform;
         let mut r = rng();
         let report = mapreduce_coreset(&mut r, &d, &comp, &params, 5);
@@ -139,30 +151,48 @@ mod tests {
     #[test]
     fn shards_are_roughly_balanced() {
         let d = blobs();
-        let params = CompressionParams { k: 3, m: 50, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 3,
+            m: 50,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let report = mapreduce_coreset(&mut r, &d, &Uniform, &params, 3);
         let expected = d.len() as f64 / 3.0;
         for &s in &report.shard_sizes {
-            assert!((s as f64 - expected).abs() < expected * 0.2, "shard size {s}");
+            assert!(
+                (s as f64 - expected).abs() < expected * 0.2,
+                "shard size {s}"
+            );
         }
     }
 
     #[test]
     fn single_worker_degenerates_to_plain_compression() {
         let d = blobs();
-        let params = CompressionParams { k: 3, m: 150, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 3,
+            m: 150,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let report = mapreduce_coreset(&mut r, &d, &Uniform, &params, 1);
         assert!(report.coreset.len() <= 150);
         let rel = (report.coreset.total_weight() - d.total_weight()).abs() / d.total_weight();
-        assert!(rel < 1e-9, "uniform preserves total weight exactly, drift {rel}");
+        assert!(
+            rel < 1e-9,
+            "uniform preserves total weight exactly, drift {rel}"
+        );
     }
 
     #[test]
     fn total_weight_survives_aggregation() {
         let d = blobs();
-        let params = CompressionParams { k: 3, m: 400, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 3,
+            m: 400,
+            kind: CostKind::KMeans,
+        };
         let mut r = rng();
         let report = mapreduce_coreset(&mut r, &d, &Uniform, &params, 4);
         let rel = (report.coreset.total_weight() - d.total_weight()).abs() / d.total_weight();

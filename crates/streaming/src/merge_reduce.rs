@@ -20,8 +20,13 @@ use rand::RngCore;
 use crate::stream::StreamingCompressor;
 
 /// Merge-&-reduce state over a black-box compressor.
+///
+/// Owns its compressor (boxed), so long-lived holders — the serving engine
+/// keeps one per shard worker thread — need no external lifetime; borrowing
+/// call sites pass `&compressor` thanks to the pointer blanket impls on
+/// [`Compressor`].
 pub struct MergeReduce<'a> {
-    compressor: &'a dyn Compressor,
+    compressor: Box<dyn Compressor + 'a>,
     params: CompressionParams,
     /// `(level, summary)` pairs; at most one summary per level.
     stack: Vec<(u32, Coreset)>,
@@ -29,8 +34,12 @@ pub struct MergeReduce<'a> {
 
 impl<'a> MergeReduce<'a> {
     /// Creates an empty composition.
-    pub fn new(compressor: &'a dyn Compressor, params: CompressionParams) -> Self {
-        Self { compressor, params, stack: Vec::new() }
+    pub fn new(compressor: impl Compressor + 'a, params: CompressionParams) -> Self {
+        Self {
+            compressor: Box::new(compressor),
+            params,
+            stack: Vec::new(),
+        }
     }
 
     /// Number of summaries currently held (≤ log₂ #blocks + 1).
@@ -44,6 +53,47 @@ impl<'a> MergeReduce<'a> {
         self.stack.iter().map(|(l, _)| *l).collect()
     }
 
+    /// Total points stored across the per-level summaries — the memory
+    /// footprint a compaction policy budgets against.
+    pub fn stored_points(&self) -> usize {
+        self.stack.iter().map(|(_, c)| c.len()).sum()
+    }
+
+    /// A snapshot coreset of everything inserted so far: the union of the
+    /// per-level summaries (valid by composability), without consuming the
+    /// stream state. `None` before the first block.
+    pub fn snapshot(&self) -> Option<Coreset> {
+        let mut it = self.stack.iter().rev().map(|(_, c)| c);
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, c| {
+            acc.union(c).expect("summaries share the data dimension")
+        }))
+    }
+
+    /// Collapses the level stack into a single summary of at most
+    /// `params.m` points at the top occupied level. Serving systems call
+    /// this when [`Self::stored_points`] outgrows their per-shard budget;
+    /// the result is a (slightly worse) coreset exactly as in the classic
+    /// merge step, so the streaming guarantee is unchanged.
+    pub fn compact(&mut self, rng: &mut dyn RngCore) {
+        if self.stack.len() <= 1 {
+            return;
+        }
+        let top_level = self
+            .stack
+            .first()
+            .map(|&(l, _)| l)
+            .expect("stack is non-empty");
+        let union = self.snapshot().expect("stack is non-empty");
+        let compressed = Coreset::new(
+            self.compressor
+                .compress(rng, union.dataset(), &self.params)
+                .into_dataset(),
+        );
+        self.stack.clear();
+        self.stack.push((top_level + 1, compressed));
+    }
+
     fn push(&mut self, rng: &mut dyn RngCore, mut level: u32, mut coreset: Coreset) {
         // Carry propagation: merge equal-level summaries upward.
         while let Some(&(top_level, _)) = self.stack.last() {
@@ -51,7 +101,9 @@ impl<'a> MergeReduce<'a> {
                 break;
             }
             let (_, top) = self.stack.pop().expect("peeked entry exists");
-            let merged = top.union(&coreset).expect("summaries share the data dimension");
+            let merged = top
+                .union(&coreset)
+                .expect("summaries share the data dimension");
             coreset = Coreset::new(
                 self.compressor
                     .compress(rng, merged.dataset(), &self.params)
@@ -79,7 +131,9 @@ impl StreamingCompressor for MergeReduce<'_> {
             panic!("finalize called on an empty stream");
         };
         for (_, summary) in stack.into_iter().rev() {
-            acc = acc.union(&summary).expect("summaries share the data dimension");
+            acc = acc
+                .union(&summary)
+                .expect("summaries share the data dimension");
         }
         if acc.len() > self.params.m {
             acc = self.compressor.compress(rng, acc.dataset(), &self.params);
@@ -116,9 +170,13 @@ mod tests {
     #[test]
     fn level_structure_matches_bentley_saxe() {
         let d = blobs();
-        let params = CompressionParams { k: 4, m: 50, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 4,
+            m: 50,
+            kind: CostKind::KMeans,
+        };
         let comp = Uniform;
-        let mut mr = MergeReduce::new(&comp, params);
+        let mut mr = MergeReduce::new(comp, params);
         let mut r = rng();
         let batch = d.len() / 8;
         for block in d.chunks(batch).into_iter().take(8) {
@@ -136,9 +194,13 @@ mod tests {
     #[test]
     fn final_coreset_obeys_size_budget() {
         let d = blobs();
-        let params = CompressionParams { k: 4, m: 80, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 4,
+            m: 80,
+            kind: CostKind::KMeans,
+        };
         let comp = Uniform;
-        let mut mr = MergeReduce::new(&comp, params);
+        let mut mr = MergeReduce::new(comp, params);
         let mut r = rng();
         let c = run_stream(&mut mr, &mut r, &d, 10);
         assert!(c.len() <= 80, "final size {}", c.len());
@@ -150,9 +212,13 @@ mod tests {
     #[test]
     fn streaming_coreset_preserves_costs() {
         let d = blobs();
-        let params = CompressionParams { k: 4, m: 300, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 4,
+            m: 300,
+            kind: CostKind::KMeans,
+        };
         let comp = FastCoreset::default();
-        let mut mr = MergeReduce::new(&comp, params);
+        let mut mr = MergeReduce::new(comp, params);
         let mut r = rng();
         let c = run_stream(&mut mr, &mut r, &d, 8);
         let centers = fc_geom::Points::from_flat(
@@ -169,9 +235,13 @@ mod tests {
     #[test]
     fn single_block_stream_equals_static_compression() {
         let d = blobs();
-        let params = CompressionParams { k: 4, m: 100, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 4,
+            m: 100,
+            kind: CostKind::KMeans,
+        };
         let comp = Uniform;
-        let mut mr = MergeReduce::new(&comp, params);
+        let mut mr = MergeReduce::new(comp, params);
         let mut r1 = rng();
         let streamed = run_stream(&mut mr, &mut r1, &d, 1);
         let mut r2 = rng();
@@ -181,11 +251,87 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_matches_union_and_preserves_state() {
+        let d = blobs();
+        let params = CompressionParams {
+            k: 4,
+            m: 60,
+            kind: CostKind::KMeans,
+        };
+        let mut mr = MergeReduce::new(Uniform, params);
+        let mut r = rng();
+        assert!(mr.snapshot().is_none());
+        let batch = d.len() / 5;
+        for block in d.chunks(batch) {
+            mr.insert_block(&mut r, &block);
+        }
+        let levels_before = mr.levels();
+        let snap = mr.snapshot().expect("blocks were inserted");
+        assert_eq!(snap.len(), mr.stored_points());
+        // Snapshots are reads: the stream state is untouched.
+        assert_eq!(mr.levels(), levels_before);
+        let rel = (snap.total_weight() - d.total_weight()).abs() / d.total_weight();
+        assert!(rel < 0.3, "snapshot weight off by {rel}");
+    }
+
+    #[test]
+    fn compact_collapses_to_single_budgeted_summary() {
+        let d = blobs();
+        let params = CompressionParams {
+            k: 4,
+            m: 60,
+            kind: CostKind::KMeans,
+        };
+        let mut mr = MergeReduce::new(Uniform, params);
+        let mut r = rng();
+        let batch = d.len() / 11;
+        for block in d.chunks(batch) {
+            mr.insert_block(&mut r, &block);
+        }
+        assert!(
+            mr.summary_count() > 1,
+            "need a multi-level stack to compact"
+        );
+        let top = mr.levels()[0];
+        mr.compact(&mut r);
+        assert_eq!(mr.summary_count(), 1);
+        assert_eq!(mr.levels(), vec![top + 1]);
+        assert!(mr.stored_points() <= 60, "stored {}", mr.stored_points());
+        // The stream stays usable after compaction.
+        mr.insert_block(&mut r, &d.chunks(batch)[0]);
+        let c = mr.finalize(&mut r);
+        assert!(c.len() <= 60);
+    }
+
+    #[test]
+    fn owned_compressor_requires_no_external_lifetime() {
+        fn make_static_stream() -> MergeReduce<'static> {
+            let params = CompressionParams {
+                k: 2,
+                m: 30,
+                kind: CostKind::KMeans,
+            };
+            MergeReduce::new(
+                std::sync::Arc::new(Uniform) as std::sync::Arc<dyn Compressor>,
+                params,
+            )
+        }
+        let mut mr = make_static_stream();
+        let mut r = rng();
+        mr.insert_block(&mut r, &blobs());
+        assert_eq!(mr.summary_count(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "empty stream")]
     fn finalize_without_blocks_panics() {
-        let params = CompressionParams { k: 2, m: 10, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 2,
+            m: 10,
+            kind: CostKind::KMeans,
+        };
         let comp = Uniform;
-        let mut mr = MergeReduce::new(&comp, params);
+        let mut mr = MergeReduce::new(comp, params);
         let mut r = rng();
         let _ = mr.finalize(&mut r);
     }

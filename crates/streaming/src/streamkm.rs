@@ -47,7 +47,11 @@ pub fn coreset_tree_reduce<R: Rng + ?Sized>(rng: &mut R, data: &Dataset, m: usiz
             .iter()
             .map(|&i| weights[i] * fc_geom::distance::sq_dist(points.row(i), points.row(center)))
             .sum();
-        Leaf { indices, center, cost }
+        Leaf {
+            indices,
+            center,
+            cost,
+        }
     };
     let mut leaves = vec![make_leaf((0..data.len()).collect(), root_center)];
 
@@ -72,8 +76,7 @@ pub fn coreset_tree_reduce<R: Rng + ?Sized>(rng: &mut R, data: &Dataset, m: usiz
             .indices
             .iter()
             .map(|&i| {
-                weights[i]
-                    * fc_geom::distance::sq_dist(points.row(i), points.row(leaf.center))
+                weights[i] * fc_geom::distance::sq_dist(points.row(i), points.row(leaf.center))
             })
             .collect();
         let Some(table) = AliasTable::new(&scores) else {
@@ -103,9 +106,14 @@ pub fn coreset_tree_reduce<R: Rng + ?Sized>(rng: &mut R, data: &Dataset, m: usiz
     }
 
     let indices: Vec<usize> = leaves.iter().map(|l| l.center).collect();
-    let leaf_weights: Vec<f64> =
-        leaves.iter().map(|l| l.indices.iter().map(|&i| weights[i]).sum()).collect();
-    Coreset::new(data.gather(&indices, leaf_weights).expect("indices are in range"))
+    let leaf_weights: Vec<f64> = leaves
+        .iter()
+        .map(|l| l.indices.iter().map(|&i| weights[i]).sum())
+        .collect();
+    Coreset::new(
+        data.gather(&indices, leaf_weights)
+            .expect("indices are in range"),
+    )
 }
 
 /// [`Compressor`] adapter for the coreset tree (used by Table 9's static
@@ -143,7 +151,13 @@ impl StreamKm {
     /// Creates a StreamKM++ summarizer with bucket size `m`.
     pub fn new(dim: usize, m: usize) -> Self {
         assert!(m > 0 && dim > 0);
-        Self { m, dim, buffer: Vec::new(), buffer_weights: Vec::new(), buckets: Vec::new() }
+        Self {
+            m,
+            dim,
+            buffer: Vec::new(),
+            buffer_weights: Vec::new(),
+            buckets: Vec::new(),
+        }
     }
 
     fn flush_buffer(&mut self, rng: &mut dyn RngCore) {
@@ -283,11 +297,9 @@ mod tests {
         let mut s = StreamKm::new(2, 120);
         let mut r = rng();
         let c = run_stream(&mut s, &mut r, &d, 10);
-        let centers = fc_geom::Points::from_flat(
-            vec![0.1, 0.2, 50.1, 0.2, 100.1, 0.2, 150.1, 0.2],
-            2,
-        )
-        .unwrap();
+        let centers =
+            fc_geom::Points::from_flat(vec![0.1, 0.2, 50.1, 0.2, 100.1, 0.2, 150.1, 0.2], 2)
+                .unwrap();
         let full = fc_clustering::cost::cost(&d, &centers, CostKind::KMeans);
         let summary = c.cost(&centers, CostKind::KMeans);
         let ratio = (full / summary).max(summary / full);
@@ -297,7 +309,11 @@ mod tests {
     #[test]
     fn compressor_adapter_matches_direct_call() {
         let d = blobs();
-        let params = CompressionParams { k: 4, m: 50, kind: CostKind::KMeans };
+        let params = CompressionParams {
+            k: 4,
+            m: 50,
+            kind: CostKind::KMeans,
+        };
         let mut r1 = rng();
         let via_trait = CoresetTreeCompressor.compress(&mut r1, &d, &params);
         let mut r2 = rng();

@@ -74,7 +74,7 @@ proptest! {
         let m = (d.len() / 3).max(4);
         let params = CompressionParams { k: 2, m, kind: CostKind::KMeans };
         let comp = Uniform;
-        let mut mr = MergeReduce::new(&comp, params);
+        let mut mr = MergeReduce::new(comp, params);
         let mut rng = StdRng::seed_from_u64(seed);
         let c = run_stream(&mut mr, &mut rng, &d, blocks);
         // Uniform re-weighting preserves mass exactly at every level.
@@ -90,7 +90,7 @@ proptest! {
     ) {
         let params = CompressionParams { k: 2, m: 8, kind: CostKind::KMeans };
         let comp = Uniform;
-        let mut mr = MergeReduce::new(&comp, params);
+        let mut mr = MergeReduce::new(comp, params);
         let mut rng = StdRng::seed_from_u64(seed);
         let blocks: Vec<Dataset> = d.chunks((d.len() / 9).max(1));
         let b = blocks.len();

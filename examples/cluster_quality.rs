@@ -19,12 +19,20 @@ fn main() {
     let k = 24;
     let data = fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n: 150_000, d: 16, kappa: k, gamma: 1.2, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n: 150_000,
+            d: 16,
+            kappa: k,
+            gamma: 1.2,
+            ..Default::default()
+        },
     );
     println!("dataset: {} x {}", data.len(), data.dim());
 
     // One-liner pipeline: compress with Fast-Coresets, solve, evaluate.
-    let outcome = Pipeline::new(k).method(Method::FastCoreset).run(&mut rng, &data);
+    let outcome = Pipeline::new(k)
+        .method(Method::FastCoreset)
+        .run(&mut rng, &data);
     println!(
         "pipeline: coreset {} pts in {:.2}s, solve {:.2}s, distortion {:.3}",
         outcome.coreset.len(),
@@ -63,11 +71,18 @@ fn main() {
     );
     let db = davies_bouldin(outcome.coreset.dataset(), &assignment, &fast.centers);
     let sil = silhouette_sampled(&mut rng, outcome.coreset.dataset(), &assignment, k, 200);
-    let profile = cluster_profile(outcome.coreset.dataset(), &assignment, &fast.centers, CostKind::KMeans);
+    let profile = cluster_profile(
+        outcome.coreset.dataset(),
+        &assignment,
+        &fast.centers,
+        CostKind::KMeans,
+    );
     let (min_w, max_w) = profile
         .weights
         .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &w| (lo.min(w), hi.max(w)));
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &w| {
+            (lo.min(w), hi.max(w))
+        });
     println!("quality: davies-bouldin {db:.3}, silhouette {sil:.3}");
     println!(
         "clusters: weights from {:.0} to {:.0} (imbalance {:.1}x), largest radius {:.2}",

@@ -13,14 +13,16 @@ use fc_core::methods::JCount;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn evaluate(
-    name: &str,
-    data: &Dataset,
-    k: usize,
-    methods: &[(&str, Box<dyn Compressor>)],
-) {
-    println!("\n--- {name}: n = {}, d = {}, k = {k} ---", data.len(), data.dim());
-    println!("{:<22} {:>10} {:>12} {:>10}", "method", "size", "build time", "distortion");
+fn evaluate(name: &str, data: &Dataset, k: usize, methods: &[(&str, Box<dyn Compressor>)]) {
+    println!(
+        "\n--- {name}: n = {}, d = {}, k = {k} ---",
+        data.len(),
+        data.dim()
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>10}",
+        "method", "size", "build time", "distortion"
+    );
     let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
     for (label, method) in methods {
         let mut rng = StdRng::seed_from_u64(7);
@@ -56,15 +58,27 @@ fn main() {
     let methods: Vec<(&str, Box<dyn Compressor>)> = vec![
         ("uniform", Box::new(Uniform)),
         ("lightweight (j=1)", Box::new(Lightweight)),
-        ("welterweight (log k)", Box::new(Welterweight::new(JCount::LogK))),
-        ("sensitivity (j=k)", Box::new(StandardSensitivity::default())),
+        (
+            "welterweight (log k)",
+            Box::new(Welterweight::new(JCount::LogK)),
+        ),
+        (
+            "sensitivity (j=k)",
+            Box::new(StandardSensitivity::default()),
+        ),
         ("fast-coreset", Box::new(FastCoreset::default())),
     ];
 
     // 1. A benign balanced mixture: everything works.
     let benign = fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n: 40_000, d: 20, kappa: 20, gamma: 0.0, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n: 40_000,
+            d: 20,
+            kappa: 20,
+            gamma: 0.0,
+            ..Default::default()
+        },
     );
     evaluate("benign balanced mixture", &benign, 20, &methods);
 

@@ -25,13 +25,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(12);
     let data = fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n: 50_000, d: 8, kappa: 12, gamma: 1.0, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n: 50_000,
+            d: 8,
+            kappa: 12,
+            gamma: 1.0,
+            ..Default::default()
+        },
     );
     io::write_csv(&raw_path, &data, false)?;
     io::write_binary(&binary_path, &data, false)?;
     let csv_size = std::fs::metadata(&raw_path)?.len();
     let bin_size = std::fs::metadata(&binary_path)?.len();
-    println!("wrote {} ({csv_size} bytes csv, {bin_size} bytes binary)", raw_path.display());
+    println!(
+        "wrote {} ({csv_size} bytes csv, {bin_size} bytes binary)",
+        raw_path.display()
+    );
 
     // 2. Load, compress, persist the coreset WITH its weights.
     let loaded = io::read_csv(&raw_path, false, false)?;

@@ -19,9 +19,20 @@ fn main() {
     let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
     let data = fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n: 200_000, d: 25, kappa: 40, gamma: 1.0, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n: 200_000,
+            d: 25,
+            kappa: 40,
+            gamma: 1.0,
+            ..Default::default()
+        },
     );
-    println!("dataset: {} points x {} dims; target m = {}", data.len(), data.dim(), params.m);
+    println!(
+        "dataset: {} points x {} dims; target m = {}",
+        data.len(),
+        data.dim(),
+        params.m
+    );
 
     let fast = FastCoreset::default();
     for workers in [1usize, 2, 4, 8] {

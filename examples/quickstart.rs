@@ -48,9 +48,18 @@ fn main() {
         CostKind::KMeans,
         LloydConfig::default(),
     );
-    println!("cost of the coreset-derived solution on the full data: {:.4e}", report.cost_full);
-    println!("cost of the same solution on the coreset:              {:.4e}", report.cost_coreset);
-    println!("coreset distortion: {:.4}  (1.0 = perfect, >5 = failure)", report.distortion);
+    println!(
+        "cost of the coreset-derived solution on the full data: {:.4e}",
+        report.cost_full
+    );
+    println!(
+        "cost of the same solution on the coreset:              {:.4e}",
+        report.cost_coreset
+    );
+    println!(
+        "coreset distortion: {:.4}  (1.0 = perfect, >5 = failure)",
+        report.distortion
+    );
 
     // Contrast with uniform sampling at the same size.
     let uniform = Uniform.compress(&mut rng, &data, &params);
@@ -62,5 +71,8 @@ fn main() {
         CostKind::KMeans,
         LloydConfig::default(),
     );
-    println!("uniform-sampling distortion at the same size: {:.4}", u_report.distortion);
+    println!(
+        "uniform-sampling distortion at the same size: {:.4}",
+        u_report.distortion
+    );
 }

@@ -1,0 +1,77 @@
+//! End-to-end service round trip: boot a coreset server on an ephemeral
+//! port, stream a Gaussian mixture into it over TCP, ask the server for a
+//! k-means clustering of its served coreset, and compare the served
+//! solution's cost against the ground-truth cost on the full data — the
+//! serving-system version of the paper's distortion experiment.
+//!
+//! ```text
+//! cargo run --release --example service_roundtrip
+//! ```
+
+use fast_coresets::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 8;
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    let data = fc_data::gaussian_mixture(
+        &mut rng,
+        fc_data::GaussianMixtureConfig {
+            n: 20_000,
+            d: 16,
+            kappa: k,
+            ..Default::default()
+        },
+    );
+
+    // A server on an ephemeral port, serving coresets sized for k clusters.
+    let config = EngineConfig {
+        k,
+        shards: 4,
+        ..Default::default()
+    };
+    let server = ServerHandle::bind("127.0.0.1:0", Engine::new(config))?;
+    println!("server listening on {}", server.addr());
+
+    // Stream the data in as 20 ingest batches.
+    let mut client = ServiceClient::connect(server.addr())?;
+    for batch in data.chunks(1_000) {
+        client.ingest("gaussians", &batch)?;
+    }
+    let stats = &client.stats(Some("gaussians"))?[0];
+    println!(
+        "ingested {} points (weight {:.0}) across {} shards; {} stored coreset points",
+        stats.ingested_points, stats.ingested_weight, stats.shards, stats.stored_points
+    );
+
+    // Ask the service to cluster its compression.
+    let result = client.cluster("gaussians", Some(k), Some(CostKind::KMeans), None)?;
+    println!(
+        "served k={k} clustering from {} coreset points (seed {})",
+        result.coreset_points, result.seed
+    );
+
+    // Price the served centers on the full data (which only this process
+    // has — the server never saw more than its compressed state).
+    let full_cost = fc_clustering::cost::cost(&data, &result.centers, CostKind::KMeans);
+    let served_cost = result.coreset_cost;
+    let ratio = (full_cost / served_cost).max(served_cost / full_cost);
+    println!("cost on full data:     {full_cost:.1}");
+    println!("cost on served coreset: {served_cost:.1}");
+    println!("distortion ratio:       {ratio:.4}");
+
+    // Replaying with the served seed reproduces the clustering exactly.
+    let replay = client.cluster(
+        "gaussians",
+        Some(k),
+        Some(CostKind::KMeans),
+        Some(result.seed),
+    )?;
+    assert_eq!(replay.centers, result.centers, "seeded replay must match");
+    println!("replay with seed {} reproduced the clustering", result.seed);
+
+    client.drop_dataset("gaussians")?;
+    server.shutdown();
+    Ok(())
+}

@@ -54,7 +54,10 @@ fn main() {
 
     // End to end: Fast-Coreset with and without the reduction.
     let cparams = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
-    for (label, reduce) in [("without reduce-spread", false), ("with reduce-spread", true)] {
+    for (label, reduce) in [
+        ("without reduce-spread", false),
+        ("with reduce-spread", true),
+    ] {
         let fc = FastCoreset::with_config(FastCoresetConfig {
             use_jl: false,
             reduce_spread: reduce,
@@ -71,7 +74,10 @@ fn main() {
             CostKind::KMeans,
             fc_clustering::lloyd::LloydConfig::default(),
         );
-        println!("fast-coreset {label:<24} build {elapsed:>8.2?}  distortion {:.3}", rep.distortion);
+        println!(
+            "fast-coreset {label:<24} build {elapsed:>8.2?}  distortion {:.3}",
+            rep.distortion
+        );
     }
 
     println!(

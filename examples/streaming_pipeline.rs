@@ -23,14 +23,24 @@ fn main() {
     // The "stream": an imbalanced mixture arriving in 20 blocks.
     let data = fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n: 120_000, d: 15, kappa: 25, gamma: 1.5, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n: 120_000,
+            d: 15,
+            kappa: 25,
+            gamma: 1.5,
+            ..Default::default()
+        },
     );
     let blocks = 20;
-    println!("stream: {} points in {blocks} blocks, target size m = {}", data.len(), params.m);
+    println!(
+        "stream: {} points in {blocks} blocks, target size m = {}",
+        data.len(),
+        params.m
+    );
 
     // 1. Merge-&-reduce over the Fast-Coreset compressor.
     let fast = FastCoreset::default();
-    let mut mr = MergeReduce::new(&fast, params);
+    let mut mr = MergeReduce::new(fast, params);
     let start = std::time::Instant::now();
     let streamed = run_stream(&mut mr, &mut rng, &data, blocks);
     let stream_time = start.elapsed();
@@ -52,7 +62,10 @@ fn main() {
     let skm_c = run_stream(&mut skm, &mut rng, &data, blocks);
     let skm_time = start.elapsed();
 
-    println!("\n{:<28} {:>8} {:>12} {:>10}", "pipeline", "size", "build time", "distortion");
+    println!(
+        "\n{:<28} {:>8} {:>12} {:>10}",
+        "pipeline", "size", "build time", "distortion"
+    );
     for (name, coreset, t) in [
         ("merge-reduce[fast-coreset]", &streamed, stream_time),
         ("static fast-coreset", &static_c, static_time),
@@ -67,7 +80,11 @@ fn main() {
             CostKind::KMeans,
             LloydConfig::default(),
         );
-        println!("{name:<28} {:>8} {t:>12.2?} {:>10.3}", coreset.len(), rep.distortion);
+        println!(
+            "{name:<28} {:>8} {t:>12.2?} {:>10.3}",
+            coreset.len(),
+            rep.distortion
+        );
     }
 
     println!(

@@ -1,0 +1,84 @@
+//! `fc-server`: the coreset-serving daemon.
+//!
+//! ```text
+//! fc-server [--addr HOST:PORT] [--shards N] [--k K] [--m-scalar M]
+//!           [--budget POINTS] [--kmedian]
+//! ```
+//!
+//! Serves the JSON-lines protocol of `fc_service::protocol` until killed.
+
+use fc_clustering::CostKind;
+use fc_service::{Engine, EngineConfig, ServerHandle};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fc-server [--addr HOST:PORT] [--shards N] [--k K] \
+         [--m-scalar M] [--budget POINTS] [--kmedian]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (String, EngineConfig) {
+    let mut addr = "127.0.0.1:4777".to_owned();
+    let mut config = EngineConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("host:port"),
+            "--shards" => {
+                config.shards = value("count").parse().unwrap_or_else(|_| usage());
+            }
+            "--k" => config.k = value("count").parse().unwrap_or_else(|_| usage()),
+            "--m-scalar" => {
+                config.m_scalar = value("count").parse().unwrap_or_else(|_| usage());
+            }
+            "--budget" => {
+                config.compaction_budget =
+                    Some(value("points").parse().unwrap_or_else(|_| usage()));
+            }
+            "--kmedian" => config.kind = CostKind::KMedian,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    if config.shards == 0 || config.k == 0 || config.m_scalar == 0 {
+        eprintln!("--shards, --k, and --m-scalar must be positive");
+        usage();
+    }
+    (addr, config)
+}
+
+fn main() {
+    let (addr, config) = parse_args();
+    let engine = Engine::new(config);
+    let handle = match ServerHandle::bind(addr.as_str(), engine) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fc-server: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "fc-server listening on {} (shards={}, k={}, m={}, budget={}, {:?})",
+        handle.addr(),
+        config.shards,
+        config.k,
+        config.k * config.m_scalar,
+        config.effective_budget(),
+        config.kind,
+    );
+    // Serve until the process is killed; accept/connection threads do the
+    // work. SIGTERM's default disposition terminates the process.
+    loop {
+        std::thread::park();
+    }
+}

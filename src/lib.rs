@@ -40,12 +40,14 @@
 //! | [`fc_core`] | Fast-Coresets (Algorithm 1), uniform/lightweight/welterweight/sensitivity samplers, distortion metric |
 //! | [`fc_streaming`] | merge-&-reduce, BICO, StreamKM++, MapReduce aggregation |
 //! | [`fc_data`] | the paper's artificial datasets and real-world proxies |
+//! | [`fc_service`] | the sharded coreset-serving engine, its TCP/JSON-lines protocol, server, and client (`fc-server` binary) |
 
 pub use fc_clustering;
 pub use fc_core;
 pub use fc_data;
 pub use fc_geom;
 pub use fc_quadtree;
+pub use fc_service;
 pub use fc_streaming;
 
 /// The most common imports in one place.
@@ -57,6 +59,7 @@ pub mod prelude {
         StandardSensitivity, Uniform, Welterweight,
     };
     pub use fc_geom::{Dataset, Points};
+    pub use fc_service::{Engine, EngineConfig, ServerHandle, ServiceClient};
     pub use fc_streaming::{MergeReduce, StreamingCompressor};
 }
 
@@ -65,6 +68,10 @@ mod tests {
     #[test]
     fn prelude_reexports_compile() {
         use crate::prelude::*;
-        let _ = CompressionParams { k: 2, m: 10, kind: CostKind::KMeans };
+        let _ = CompressionParams {
+            k: 2,
+            m: 10,
+            kind: CostKind::KMeans,
+        };
     }
 }

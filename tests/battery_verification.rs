@@ -12,7 +12,13 @@ fn mixture(seed: u64, gamma: f64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n: 10_000, d: 12, kappa: 10, gamma, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n: 10_000,
+            d: 12,
+            kappa: 10,
+            gamma,
+            ..Default::default()
+        },
     )
 }
 
@@ -56,8 +62,14 @@ fn sensitivity_passes_where_uniform_fails_under_the_battery() {
         let s = battery_distortion(&mut rng, &data, &sens, k, CostKind::KMeans, 2);
         sensitivity_worst = sensitivity_worst.max(s.max_ratio);
     }
-    assert!(uniform_worst > 10.0, "uniform battery worst {uniform_worst}");
-    assert!(sensitivity_worst < 2.0, "sensitivity battery worst {sensitivity_worst}");
+    assert!(
+        uniform_worst > 10.0,
+        "uniform battery worst {uniform_worst}"
+    );
+    assert!(
+        sensitivity_worst < 2.0,
+        "sensitivity battery worst {sensitivity_worst}"
+    );
 }
 
 #[test]
@@ -90,5 +102,9 @@ fn kmedian_battery_holds_too() {
     let mut rng = StdRng::seed_from_u64(67);
     let coreset = FastCoreset::default().compress(&mut rng, &data, &params);
     let report = battery_distortion(&mut rng, &data, &coreset, k, CostKind::KMedian, 2);
-    assert!(report.max_ratio < 1.6, "k-median battery max {}", report.max_ratio);
+    assert!(
+        report.max_ratio < 1.6,
+        "k-median battery max {}",
+        report.max_ratio
+    );
 }

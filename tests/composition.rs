@@ -12,7 +12,13 @@ fn mixture(seed: u64, n: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n, d: 12, kappa: 8, gamma: 1.0, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n,
+            d: 12,
+            kappa: 8,
+            gamma: 1.0,
+            ..Default::default()
+        },
     )
 }
 
@@ -47,9 +53,15 @@ fn mapreduce_matches_single_shot_quality() {
 
     let mut rng = StdRng::seed_from_u64(45);
     let single = method.compress(&mut rng, &data, &params);
-    let single_d =
-        fc_core::distortion(&mut rng, &data, &single, k, CostKind::KMeans, LloydConfig::default())
-            .distortion;
+    let single_d = fc_core::distortion(
+        &mut rng,
+        &data,
+        &single,
+        k,
+        CostKind::KMeans,
+        LloydConfig::default(),
+    )
+    .distortion;
 
     let report = mapreduce_coreset(&mut rng, &data, &method, &params, 4);
     let agg_d = fc_core::distortion(
@@ -84,10 +96,20 @@ fn compression_is_deterministic_under_a_fixed_seed() {
         let mut r2 = StdRng::seed_from_u64(47);
         let a = method.compress(&mut r1, &data, &params);
         let b = method.compress(&mut r2, &data, &params);
-        assert_eq!(a.dataset(), b.dataset(), "{} not deterministic", method.name());
+        assert_eq!(
+            a.dataset(),
+            b.dataset(),
+            "{} not deterministic",
+            method.name()
+        );
         let mut r3 = StdRng::seed_from_u64(48);
         let c = method.compress(&mut r3, &data, &params);
-        assert_ne!(a.dataset(), c.dataset(), "{} ignores the seed", method.name());
+        assert_ne!(
+            a.dataset(),
+            c.dataset(),
+            "{} ignores the seed",
+            method.name()
+        );
     }
 }
 
@@ -102,14 +124,29 @@ fn recompressing_a_coreset_stays_accurate() {
     let big = method.compress(
         &mut rng,
         &data,
-        &CompressionParams { k, m: 2_000, kind: CostKind::KMeans },
+        &CompressionParams {
+            k,
+            m: 2_000,
+            kind: CostKind::KMeans,
+        },
     );
     let small = method.compress(
         &mut rng,
         big.dataset(),
-        &CompressionParams { k, m: 400, kind: CostKind::KMeans },
+        &CompressionParams {
+            k,
+            m: 400,
+            kind: CostKind::KMeans,
+        },
     );
-    let d = fc_core::distortion(&mut rng, &data, &small, k, CostKind::KMeans, LloydConfig::default())
-        .distortion;
+    let d = fc_core::distortion(
+        &mut rng,
+        &data,
+        &small,
+        k,
+        CostKind::KMeans,
+        LloydConfig::default(),
+    )
+    .distortion;
     assert!(d < 2.0, "double-compressed distortion {d}");
 }

@@ -12,12 +12,21 @@ fn distortion_of(method: &dyn Compressor, data: &Dataset, k: usize, seed: u64) -
     let mut rng = StdRng::seed_from_u64(seed);
     let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
     let coreset = method.compress(&mut rng, data, &params);
-    fc_core::distortion(&mut rng, data, &coreset, k, CostKind::KMeans, LloydConfig::default())
-        .distortion
+    fc_core::distortion(
+        &mut rng,
+        data,
+        &coreset,
+        k,
+        CostKind::KMeans,
+        LloydConfig::default(),
+    )
+    .distortion
 }
 
 fn median_distortion(method: &dyn Compressor, data: &Dataset, k: usize) -> f64 {
-    let runs: Vec<f64> = (0..3).map(|s| distortion_of(method, data, k, 100 + s)).collect();
+    let runs: Vec<f64> = (0..3)
+        .map(|s| distortion_of(method, data, k, 100 + s))
+        .collect();
     fc_geom::stats::median(&runs)
 }
 
@@ -26,7 +35,10 @@ fn fast_coreset_is_accurate_on_every_artificial_dataset() {
     let mut rng = StdRng::seed_from_u64(1);
     let k = 20;
     let datasets: Vec<(&str, Dataset)> = vec![
-        ("c-outlier", fc_data::c_outlier(&mut rng, 10_000, 20, 8, 1e5)),
+        (
+            "c-outlier",
+            fc_data::c_outlier(&mut rng, 10_000, 20, 8, 1e5),
+        ),
         ("geometric", fc_data::geometric(&mut rng, 50, k, 2.0, 20)),
         (
             "gaussian",
@@ -57,7 +69,10 @@ fn uniform_fails_catastrophically_on_c_outlier() {
     let worst = (0..4)
         .map(|s| distortion_of(&Uniform, &data, 10, 200 + s))
         .fold(1.0f64, f64::max);
-    assert!(worst > 10.0, "uniform distortion {worst} should be catastrophic on c-outlier");
+    assert!(
+        worst > 10.0,
+        "uniform distortion {worst} should be catastrophic on c-outlier"
+    );
 }
 
 #[test]
@@ -93,7 +108,12 @@ fn coreset_sizes_and_weights_are_consistent_across_methods() {
     let mut rng = StdRng::seed_from_u64(5);
     let data = fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n: 8_000, d: 10, kappa: 8, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n: 8_000,
+            d: 10,
+            kappa: 8,
+            ..Default::default()
+        },
     );
     let params = CompressionParams::with_scalar(8, 40, CostKind::KMeans);
     let methods: Vec<Box<dyn Compressor>> = vec![
@@ -105,11 +125,26 @@ fn coreset_sizes_and_weights_are_consistent_across_methods() {
     ];
     for m in &methods {
         let c = m.compress(&mut rng, &data, &params);
-        assert!(c.len() <= params.m, "{}: size {} > m {}", m.name(), c.len(), params.m);
-        assert!(c.len() > params.m / 2, "{}: size {} suspiciously small", m.name(), c.len());
+        assert!(
+            c.len() <= params.m,
+            "{}: size {} > m {}",
+            m.name(),
+            c.len(),
+            params.m
+        );
+        assert!(
+            c.len() > params.m / 2,
+            "{}: size {} suspiciously small",
+            m.name(),
+            c.len()
+        );
         let rel = (c.total_weight() - data.total_weight()).abs() / data.total_weight();
         assert!(rel < 0.3, "{}: weight drift {rel}", m.name());
-        assert!(c.dataset().weights().iter().all(|&w| w >= 0.0), "{}: negative weight", m.name());
+        assert!(
+            c.dataset().weights().iter().all(|&w| w >= 0.0),
+            "{}: negative weight",
+            m.name()
+        );
     }
 }
 
@@ -133,8 +168,15 @@ fn larger_m_improves_worst_case_distortion() {
                 let mut rng = StdRng::seed_from_u64(600 + s);
                 let params = CompressionParams::with_scalar(k, m_scalar, CostKind::KMeans);
                 let c = FastCoreset::default().compress(&mut rng, &data, &params);
-                fc_core::distortion(&mut rng, &data, &c, k, CostKind::KMeans, LloydConfig::default())
-                    .distortion
+                fc_core::distortion(
+                    &mut rng,
+                    &data,
+                    &c,
+                    k,
+                    CostKind::KMeans,
+                    LloydConfig::default(),
+                )
+                .distortion
             })
             .fold(1.0f64, f64::max)
     };

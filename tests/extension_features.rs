@@ -10,7 +10,12 @@ use rand::SeedableRng;
 
 #[test]
 fn pipeline_runs_on_every_registry_dataset() {
-    let params = RegistryParams { n: 4_000, k: 10, scale: 0.01, gamma: 1.0 };
+    let params = RegistryParams {
+        n: 4_000,
+        k: 10,
+        scale: 0.01,
+        gamma: 1.0,
+    };
     for name in available() {
         let mut rng = StdRng::seed_from_u64(81);
         let data = generate(&mut rng, name, &params).expect("registered dataset");
@@ -31,7 +36,13 @@ fn hst_coreset_is_competitive_with_fast_coreset() {
     let mut rng = StdRng::seed_from_u64(82);
     let data = fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n: 8_000, d: 10, kappa: 6, gamma: 1.5, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n: 8_000,
+            d: 10,
+            kappa: 6,
+            gamma: 1.5,
+            ..Default::default()
+        },
     );
     let k = 6;
     let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);

@@ -37,8 +37,15 @@ fn distortion_of(method: &dyn Compressor, data: &Dataset, k: usize, seed: u64) -
     let mut rng = StdRng::seed_from_u64(seed);
     let params = CompressionParams::with_scalar(k, 20, CostKind::KMeans);
     let coreset = method.compress(&mut rng, data, &params);
-    fc_core::distortion(&mut rng, data, &coreset, k, CostKind::KMeans, LloydConfig::default())
-        .distortion
+    fc_core::distortion(
+        &mut rng,
+        data,
+        &coreset,
+        k,
+        CostKind::KMeans,
+        LloydConfig::default(),
+    )
+    .distortion
 }
 
 #[test]
@@ -46,8 +53,9 @@ fn uniform_breaks_on_the_taxi_proxy() {
     let mut rng = StdRng::seed_from_u64(11);
     let data = fc_data::realworld::taxi_like(&mut rng, 40_000);
     let k = 20;
-    let uniform_worst =
-        (0..4).map(|s| distortion_of(&Uniform, &data, k, 300 + s)).fold(1.0f64, f64::max);
+    let uniform_worst = (0..4)
+        .map(|s| distortion_of(&Uniform, &data, k, 300 + s))
+        .fold(1.0f64, f64::max);
     let fast_worst = (0..4)
         .map(|s| distortion_of(&FastCoreset::default(), &data, k, 300 + s))
         .fold(1.0f64, f64::max);
@@ -55,7 +63,10 @@ fn uniform_breaks_on_the_taxi_proxy() {
         uniform_worst > 5.0,
         "uniform should fail on taxi-like data, got {uniform_worst}"
     );
-    assert!(fast_worst < 3.0, "fast-coreset should survive taxi, got {fast_worst}");
+    assert!(
+        fast_worst < 3.0,
+        "fast-coreset should survive taxi, got {fast_worst}"
+    );
     assert!(
         uniform_worst > 5.0 * fast_worst,
         "expected a decisive gap: uniform {uniform_worst} vs fast {fast_worst}"
@@ -67,8 +78,9 @@ fn uniform_degrades_on_the_star_proxy() {
     let mut rng = StdRng::seed_from_u64(12);
     let data = fc_data::realworld::star_like(&mut rng, 40_000);
     let k = 10;
-    let uniform_worst =
-        (0..4).map(|s| distortion_of(&Uniform, &data, k, 400 + s)).fold(1.0f64, f64::max);
+    let uniform_worst = (0..4)
+        .map(|s| distortion_of(&Uniform, &data, k, 400 + s))
+        .fold(1.0f64, f64::max);
     let fast_median = {
         let runs: Vec<f64> = (0..3)
             .map(|s| distortion_of(&FastCoreset::default(), &data, k, 400 + s))
@@ -87,9 +99,17 @@ fn lightweight_misses_the_central_cluster_but_sensitivity_does_not() {
     let mut rng = StdRng::seed_from_u64(13);
     let data = figure3_instance(&mut rng, 30_000);
     let m = 150;
-    let params = CompressionParams { k: 3, m, kind: CostKind::KMeans };
+    let params = CompressionParams {
+        k: 3,
+        m,
+        kind: CostKind::KMeans,
+    };
     let central = |c: &Coreset| -> usize {
-        c.dataset().points().iter().filter(|p| p[0].abs() < 5.0 && p[1].abs() < 5.0).count()
+        c.dataset()
+            .points()
+            .iter()
+            .filter(|p| p[0].abs() < 5.0 && p[1].abs() < 5.0)
+            .count()
     };
     let mut lw_hits = 0;
     let mut sens_hits = 0;
@@ -123,9 +143,14 @@ fn benign_real_proxies_are_fine_for_everyone() {
         Box::new(Lightweight),
         Box::new(FastCoreset::default()),
     ] {
-        let runs: Vec<f64> =
-            (0..3).map(|s| distortion_of(method.as_ref(), &adult, k, 600 + s)).collect();
+        let runs: Vec<f64> = (0..3)
+            .map(|s| distortion_of(method.as_ref(), &adult, k, 600 + s))
+            .collect();
         let med = fc_geom::stats::median(&runs);
-        assert!(med < 2.0, "{} distortion {med} on adult proxy", method.name());
+        assert!(
+            med < 2.0,
+            "{} distortion {med} on adult proxy",
+            method.name()
+        );
     }
 }

@@ -18,7 +18,12 @@ fn mixture(seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n: 6_000, d: 8, kappa: 6, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n: 6_000,
+            d: 8,
+            kappa: 6,
+            ..Default::default()
+        },
     )
 }
 

@@ -10,8 +10,15 @@ fn distortion_kmedian(method: &dyn Compressor, data: &Dataset, k: usize, seed: u
     let mut rng = StdRng::seed_from_u64(seed);
     let params = CompressionParams::with_scalar(k, 40, CostKind::KMedian);
     let coreset = method.compress(&mut rng, data, &params);
-    fc_core::distortion(&mut rng, data, &coreset, k, CostKind::KMedian, LloydConfig::default())
-        .distortion
+    fc_core::distortion(
+        &mut rng,
+        data,
+        &coreset,
+        k,
+        CostKind::KMedian,
+        LloydConfig::default(),
+    )
+    .distortion
 }
 
 #[test]
@@ -19,7 +26,13 @@ fn fast_coreset_kmedian_is_accurate() {
     let mut rng = StdRng::seed_from_u64(31);
     let data = fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n: 10_000, d: 15, kappa: 10, gamma: 2.0, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n: 10_000,
+            d: 15,
+            kappa: 10,
+            gamma: 2.0,
+            ..Default::default()
+        },
     );
     let runs: Vec<f64> = (0..3)
         .map(|s| distortion_kmedian(&FastCoreset::default(), &data, 10, 800 + s))
@@ -59,11 +72,18 @@ fn kmedian_seeding_uses_linear_distance_scores() {
     for s in 0..6 {
         let mut rng = StdRng::seed_from_u64(1_000 + s);
         let c = Lightweight.compress(&mut rng, &data, &params);
-        if c.dataset().points().iter().any(|p| p.iter().any(|&x| x.abs() > 1e3)) {
+        if c.dataset()
+            .points()
+            .iter()
+            .any(|p| p.iter().any(|&x| x.abs() > 1e3))
+        {
             captured += 1;
         }
     }
-    assert!(captured >= 5, "lightweight k-median captured outliers only {captured}/6 times");
+    assert!(
+        captured >= 5,
+        "lightweight k-median captured outliers only {captured}/6 times"
+    );
 }
 
 #[test]

@@ -41,7 +41,12 @@ fn crude_bound_brackets_refined_cost_on_huge_spread() {
         CostKind::KMedian,
         LloydConfig::default(),
     );
-    assert!(bound.upper >= sol.cost, "crude bound {} < refined {}", bound.upper, sol.cost);
+    assert!(
+        bound.upper >= sol.cost,
+        "crude bound {} < refined {}",
+        bound.upper,
+        sol.cost
+    );
     // The bound is an O(n·poly)-approximation, not vacuous: it must be far
     // below the single-center cost (which pays the 1e12 gap).
     let single = fc_clustering::cost::cost(
@@ -49,7 +54,12 @@ fn crude_bound_brackets_refined_cost_on_huge_spread() {
         &Points::from_flat(vec![0.5, 0.5], 2).unwrap(),
         CostKind::KMedian,
     );
-    assert!(bound.upper < single, "bound {} not better than 1 center {}", bound.upper, single);
+    assert!(
+        bound.upper < single,
+        "bound {} not better than 1 center {}",
+        bound.upper,
+        single
+    );
 }
 
 #[test]
@@ -71,14 +81,23 @@ fn solutions_transfer_between_original_and_reduced_space() {
     );
     // Solve on the reduced dataset.
     let reduced_ds = Dataset::unweighted(reduced);
-    let sol = fc_clustering::lloyd::solve(&mut rng, &reduced_ds, 3, CostKind::KMeans, LloydConfig::default());
+    let sol = fc_clustering::lloyd::solve(
+        &mut rng,
+        &reduced_ds,
+        3,
+        CostKind::KMeans,
+        LloydConfig::default(),
+    );
     // Map centers back and price on the original data.
     let restored = map.restore_centers(&sol.centers, &sol.labels);
     let cost_back = fc_clustering::cost::cost(&data, &restored, CostKind::KMeans);
     // The reduced-space solution must transfer: each cluster is tiny
     // (unit box), so a good solution costs ~ n * O(1).
     let per_point = cost_back / data.len() as f64;
-    assert!(per_point < 10.0, "restored solution costs {per_point} per point");
+    assert!(
+        per_point < 10.0,
+        "restored solution costs {per_point} per point"
+    );
 }
 
 #[test]
@@ -94,7 +113,14 @@ fn fast_coreset_handles_pathological_spread() {
         });
         let mut rng = StdRng::seed_from_u64(56);
         let c = fc.compress(&mut rng, &data, &params);
-        let rep = fc_core::distortion(&mut rng, &data, &c, k, CostKind::KMeans, LloydConfig::default());
+        let rep = fc_core::distortion(
+            &mut rng,
+            &data,
+            &c,
+            k,
+            CostKind::KMeans,
+            LloydConfig::default(),
+        );
         assert!(
             rep.distortion < 2.0,
             "distortion {} with reduce_spread={reduce_spread}",
@@ -120,5 +146,8 @@ fn hst_solver_agrees_with_euclidean_on_separated_clusters() {
     for &c in &sol.centers {
         cluster_hit[c / 600] = true;
     }
-    assert!(cluster_hit.iter().all(|&h| h), "HST centers missed a cluster: {cluster_hit:?}");
+    assert!(
+        cluster_hit.iter().all(|&h| h),
+        "HST centers missed a cluster: {cluster_hit:?}"
+    );
 }

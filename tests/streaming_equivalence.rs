@@ -12,7 +12,13 @@ fn mixture(seed: u64, n: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n, d: 15, kappa: 10, gamma: 1.0, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n,
+            d: 15,
+            kappa: 10,
+            gamma: 1.0,
+            ..Default::default()
+        },
     )
 }
 
@@ -21,14 +27,30 @@ fn stream_distortion(method: &dyn Compressor, data: &Dataset, k: usize, seed: u6
     let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
     let mut mr = MergeReduce::new(method, params);
     let c = run_stream(&mut mr, &mut rng, data, 10);
-    fc_core::distortion(&mut rng, data, &c, k, CostKind::KMeans, LloydConfig::default()).distortion
+    fc_core::distortion(
+        &mut rng,
+        data,
+        &c,
+        k,
+        CostKind::KMeans,
+        LloydConfig::default(),
+    )
+    .distortion
 }
 
 fn static_distortion(method: &dyn Compressor, data: &Dataset, k: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
     let c = method.compress(&mut rng, data, &params);
-    fc_core::distortion(&mut rng, data, &c, k, CostKind::KMeans, LloydConfig::default()).distortion
+    fc_core::distortion(
+        &mut rng,
+        data,
+        &c,
+        k,
+        CostKind::KMeans,
+        LloydConfig::default(),
+    )
+    .distortion
 }
 
 #[test]
@@ -42,10 +64,12 @@ fn streaming_matches_static_for_every_method() {
         Box::new(FastCoreset::default()),
     ];
     for m in &methods {
-        let strm: Vec<f64> =
-            (0..3).map(|s| stream_distortion(m.as_ref(), &data, k, 700 + s)).collect();
-        let stat: Vec<f64> =
-            (0..3).map(|s| static_distortion(m.as_ref(), &data, k, 700 + s)).collect();
+        let strm: Vec<f64> = (0..3)
+            .map(|s| stream_distortion(m.as_ref(), &data, k, 700 + s))
+            .collect();
+        let stat: Vec<f64> = (0..3)
+            .map(|s| static_distortion(m.as_ref(), &data, k, 700 + s))
+            .collect();
         let (sm, tm) = (fc_geom::stats::median(&strm), fc_geom::stats::median(&stat));
         assert!(sm < 2.5, "{} streaming distortion {sm}", m.name());
         assert!(
@@ -62,7 +86,7 @@ fn streamed_weight_is_conserved() {
     let method = FastCoreset::default();
     let params = CompressionParams::with_scalar(9, 40, CostKind::KMeans);
     let mut rng = StdRng::seed_from_u64(23);
-    let mut mr = MergeReduce::new(&method, params);
+    let mut mr = MergeReduce::new(method, params);
     let c = run_stream(&mut mr, &mut rng, &data, 12);
     let rel = (c.total_weight() - data.total_weight()).abs() / data.total_weight();
     assert!(rel < 0.3, "streamed weight drift {rel}");
@@ -75,17 +99,23 @@ fn streaming_handles_adversarial_block_order() {
     let mut rng = StdRng::seed_from_u64(24);
     let mut body = fc_data::gaussian_mixture(
         &mut rng,
-        fc_data::GaussianMixtureConfig { n: 9_000, d: 10, kappa: 5, gamma: 0.0, ..Default::default() },
+        fc_data::GaussianMixtureConfig {
+            n: 9_000,
+            d: 10,
+            kappa: 5,
+            gamma: 0.0,
+            ..Default::default()
+        },
     );
-    let far = Dataset::unweighted(fc_geom::Points::from_flat(
-        (0..40 * 10).map(|i| 1e5 + (i % 10) as f64).collect(),
-        10,
-    ).unwrap());
+    let far = Dataset::unweighted(
+        fc_geom::Points::from_flat((0..40 * 10).map(|i| 1e5 + (i % 10) as f64).collect(), 10)
+            .unwrap(),
+    );
     body = body.concat(&far).unwrap();
 
     let method = FastCoreset::default();
     let params = CompressionParams::with_scalar(6, 40, CostKind::KMeans);
-    let mut mr = MergeReduce::new(&method, params);
+    let mut mr = MergeReduce::new(method, params);
     let c = run_stream(&mut mr, &mut rng, &body, 10);
     let captured = c.dataset().points().iter().any(|p| p[0] > 1e4);
     assert!(captured, "late-arriving outlier cluster lost by the stream");
@@ -98,19 +128,40 @@ fn bico_and_streamkm_produce_usable_summaries() {
     let m = 40 * k;
     let mut rng = StdRng::seed_from_u64(26);
 
-    let mut bico = fc_streaming::bico::BicoStream::new(
-        fc_streaming::bico::BicoConfig::with_target(m),
-    );
+    let mut bico =
+        fc_streaming::bico::BicoStream::new(fc_streaming::bico::BicoConfig::with_target(m));
     let bc = run_stream(&mut bico, &mut rng, &data, 10);
-    let bd = fc_core::distortion(&mut rng, &data, &bc, k, CostKind::KMeans, LloydConfig::default());
+    let bd = fc_core::distortion(
+        &mut rng,
+        &data,
+        &bc,
+        k,
+        CostKind::KMeans,
+        LloydConfig::default(),
+    );
     assert!(bd.distortion.is_finite());
     // BICO is a quantization summary, not an importance sample: distortion
     // in the tens on clusterable data is the expected behaviour (the paper's
     // Table 6 reports 27.0 ± 6.7 for the streaming Gaussian mixture).
-    assert!(bd.distortion < 100.0, "BICO distortion {} out of plausible range", bd.distortion);
+    assert!(
+        bd.distortion < 100.0,
+        "BICO distortion {} out of plausible range",
+        bd.distortion
+    );
 
     let mut skm = fc_streaming::StreamKm::new(data.dim(), m);
     let sc = run_stream(&mut skm, &mut rng, &data, 10);
-    let sd = fc_core::distortion(&mut rng, &data, &sc, k, CostKind::KMeans, LloydConfig::default());
-    assert!(sd.distortion < 5.0, "StreamKM++ distortion {}", sd.distortion);
+    let sd = fc_core::distortion(
+        &mut rng,
+        &data,
+        &sc,
+        k,
+        CostKind::KMeans,
+        LloydConfig::default(),
+    );
+    assert!(
+        sd.distortion < 5.0,
+        "StreamKM++ distortion {}",
+        sd.distortion
+    );
 }

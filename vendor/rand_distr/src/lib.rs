@@ -1,0 +1,107 @@
+//! Offline shim for the subset of the `rand_distr` 0.4 API used by this
+//! workspace: the [`Distribution`] trait and [`StandardNormal`].
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. `StandardNormal` here uses the Marsaglia polar method, which
+//! produces exact standard-normal deviates (two per rejection round) — the
+//! distributional contract matches the real crate even though the exact
+//! stream per seed differs.
+
+use rand::Rng;
+
+/// Types that generate values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method. The spare deviate is deliberately not
+        // cached across calls: `Distribution::sample` takes `&self`, and a
+        // shared spare would make draws depend on unrelated samplers.
+        loop {
+            let u: f64 = 2.0 * rng.gen::<f64>() - 1.0;
+            let v: f64 = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+/// A normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+impl Normal {
+    /// Builds the distribution; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StandardNormal.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x: f64 = StandardNormal.sample(&mut rng);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "normal variance {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += d.sample(&mut rng);
+        }
+        assert!((sum / n as f64 - 5.0).abs() < 0.05);
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}
