@@ -24,7 +24,7 @@ pub const STREAM_BLOCKS: usize = 10;
 /// A `(distortion, build_seconds)` measurement.
 #[derive(Debug, Clone, Copy)]
 pub struct Measurement {
-    /// Coreset distortion (the [57] metric).
+    /// Coreset distortion (the \[57\] metric).
     pub distortion: f64,
     /// Seconds spent *building* the compression (excludes evaluation).
     pub build_secs: f64,

@@ -109,9 +109,12 @@ pub fn sensitivity_baseline() -> StandardSensitivity {
     StandardSensitivity::default()
 }
 
-/// Compression parameters for a dataset at a given m-scalar.
+/// Compression parameters for a dataset at a given m-scalar. Scenario
+/// tables are authored with valid `k`/`m_scalar`, so derivation failures
+/// are programmer errors here.
 pub fn params_for(named: &NamedData, m_scalar: usize, kind: CostKind) -> CompressionParams {
     CompressionParams::with_scalar(named.k, m_scalar, kind)
+        .expect("scenario tables use valid k and m_scalar")
 }
 
 #[cfg(test)]

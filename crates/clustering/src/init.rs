@@ -1,11 +1,11 @@
 //! Alternative seeding strategies.
 //!
-//! Beyond plain D^z sampling ([`crate::kmeanspp`]), two classical variants:
+//! Beyond plain D^z sampling ([`crate::kmeanspp()`]), two classical variants:
 //!
 //! - [`random_seeding`]: weight-proportional draws without any distance
 //!   bias — the "no guarantee" baseline whose failure on imbalanced data
 //!   mirrors uniform sampling's.
-//! - [`greedy_kmeanspp`]: the greedy variant of [4] (also used by
+//! - [`greedy_kmeanspp`]: the greedy variant of \[4\] (also used by
 //!   scikit-learn): each round draws `t` candidates by D^z and keeps the one
 //!   that reduces the cost most. Slower by the factor `t`, noticeably better
 //!   seeds in practice.
@@ -20,7 +20,7 @@ use crate::assign::update_nearest;
 use crate::kmeanspp::Seeding;
 
 /// `k` distinct centers drawn proportional to point weight (no distance
-/// term). The assignment by-products match [`crate::kmeanspp`]'s contract.
+/// term). The assignment by-products match [`crate::kmeanspp()`]'s contract.
 pub fn random_seeding<R: Rng + ?Sized>(rng: &mut R, data: &Dataset, k: usize) -> Seeding {
     assert!(k > 0, "k must be positive");
     assert!(!data.is_empty(), "cannot seed an empty dataset");

@@ -1,6 +1,6 @@
 //! Weighted k-means++ seeding (D^z sampling).
 //!
-//! The classic `O(ndk)` seeding of Arthur & Vassilvitskii [2]: pick the first
+//! The classic `O(ndk)` seeding of Arthur & Vassilvitskii \[2\]: pick the first
 //! center with probability proportional to weight, then repeatedly pick a
 //! point with probability proportional to `w_p · dist(p, C)^z`. Gives an
 //! `O(log k)`-approximation in expectation for k-means and is the seeding

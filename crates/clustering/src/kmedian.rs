@@ -2,7 +2,7 @@
 //!
 //! The 1-median counterpart of the mean: Algorithm 1 computes the 1-median of
 //! every cluster of the crude solution when targeting k-median (step 4). The
-//! paper notes this takes `O(nd)` time per cluster [20]; Weiszfeld iterations
+//! paper notes this takes `O(nd)` time per cluster \[20\]; Weiszfeld iterations
 //! converge fast in practice and a constant-factor approximation suffices for
 //! the sensitivity scores.
 

@@ -3,12 +3,12 @@
 //! Implements the classic toolchain the paper benchmarks against and builds
 //! upon:
 //!
-//! - [`assign`]: nearest-center assignment with partial-distance pruning —
+//! - [`assign`](mod@assign): nearest-center assignment with partial-distance pruning —
 //!   the `O(nkd)` primitive whose avoidance is the whole point of
 //!   Fast-kmeans++.
-//! - [`cost`]: weighted `cost_z(P, C)` evaluation for k-means (`z = 2`) and
+//! - [`cost`](mod@cost): weighted `cost_z(P, C)` evaluation for k-means (`z = 2`) and
 //!   k-median (`z = 1`).
-//! - [`kmeanspp`]: weighted D^z-sampling seeding (k-means++ of Arthur &
+//! - [`kmeanspp`](mod@kmeanspp): weighted D^z-sampling seeding (k-means++ of Arthur &
 //!   Vassilvitskii, adapted to both objectives), the seeding inside standard
 //!   sensitivity sampling.
 //! - [`lloyd`]: weighted Lloyd iterations (k-means) and Weiszfeld-based
@@ -17,8 +17,11 @@
 //! - [`kmedian`]: the weighted geometric median (Weiszfeld's algorithm).
 //! - [`hamerly`]: bound-pruned exact k-means (identical results to Lloyd,
 //!   most assignment scans skipped) for the large-`k` downstream solves.
-//! - [`init`]: alternative seedings — random and greedy k-means++ [4].
-//! - [`local_search`]: single-swap local search, an extension baseline.
+//! - [`init`]: alternative seedings — random and greedy k-means++ \[4\].
+//! - [`local_search`](mod@local_search): single-swap local search, an extension baseline.
+//! - [`solver`]: the [`solver::Solver`] enum dispatching every refinement
+//!   strategy by canonical name — the solve-side mirror of the compressor
+//!   spectrum.
 
 pub mod assign;
 pub mod cost;
@@ -30,6 +33,7 @@ pub mod lloyd;
 pub mod local_search;
 pub mod metrics;
 pub mod solution;
+pub mod solver;
 
 pub use assign::{assign, Assignment};
 pub use cost::{cost, per_point_cost};
@@ -38,4 +42,6 @@ pub use hamerly::hamerly_kmeans;
 pub use init::{greedy_kmeanspp, random_seeding};
 pub use kmeanspp::kmeanspp;
 pub use lloyd::{refine, LloydConfig};
+pub use local_search::{local_search, LocalSearchConfig};
 pub use solution::Solution;
+pub use solver::{SolveConfig, Solver, SolverError, ALL_SOLVERS};

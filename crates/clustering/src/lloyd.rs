@@ -1,6 +1,6 @@
 //! Weighted Lloyd refinement.
 //!
-//! Lloyd's algorithm [49] alternates assignment and centroid recomputation;
+//! Lloyd's algorithm \[49\] alternates assignment and centroid recomputation;
 //! for k-median the centroid step is replaced by Weiszfeld's geometric
 //! median. Used by the paper's downstream-task experiments (Table 8) and
 //! inside the coreset distortion metric, where the candidate solution `C_Ω`

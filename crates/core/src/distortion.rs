@@ -1,4 +1,4 @@
-//! The coreset distortion metric of [57] (Section 5, "Metrics").
+//! The coreset distortion metric of \[57\] (Section 5, "Metrics").
 //!
 //! Verifying Definition 2.1 over *all* solutions is co-NP-hard, so the
 //! evaluation uses the practical proxy: compute a candidate solution `C_Ω`

@@ -1,7 +1,7 @@
 //! Battery-based coreset evaluation.
 //!
 //! The strong-coreset property quantifies over *all* solutions, which is
-//! co-NP-hard to verify [57]; the distortion metric checks a single
+//! co-NP-hard to verify \[57\]; the distortion metric checks a single
 //! coreset-derived solution. This module strengthens the empirical check by
 //! pricing a diverse battery of candidate solutions on both sets and
 //! reporting the worst ratio:

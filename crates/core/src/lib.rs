@@ -5,35 +5,46 @@
 //! - [`coreset::Coreset`]: a weighted subset `(Ω, w)` approximating
 //!   `cost_z(P, C)` for *every* candidate solution `C` (Definition 2.1).
 //! - [`sensitivity`]: the importance scores of Eq. (1) — the upper bound on
-//!   true sensitivities from an `α`-approximate solution [37].
+//!   true sensitivities from an `α`-approximate solution \[37\].
 //! - [`sampling`]: importance sampling with inverse-probability weights, with
 //!   the optional per-cluster rebalancing of Algorithm 1 lines 7–8.
 //! - [`methods`]: the benchmark suite of §5.2 — uniform sampling, lightweight
-//!   coresets (`j = 1`) [6], welterweight coresets (`1 < j < k`), and
-//!   standard sensitivity sampling (`j = k`, `O(nk)` seeding) [47].
+//!   coresets (`j = 1`) \[6\], welterweight coresets (`1 < j < k`), and
+//!   standard sensitivity sampling (`j = k`, `O(nk)` seeding) \[47\].
 //! - [`fast_coreset`]: **Algorithm 1** — JL projection → (optional)
 //!   spread reduction (Algorithms 2–3) → quadtree `Fast-kmeans++` →
 //!   sensitivity sampling, in `Õ(nd)` total.
-//! - [`distortion`]: the coreset distortion metric of [57] used throughout
-//!   the evaluation: solve on the coreset, price on both sets, report the
-//!   worst ratio.
+//! - [`distortion`](crate::distortion()): the coreset distortion metric of
+//!   \[57\] used throughout the evaluation: solve on the coreset, price on
+//!   both sets, report the worst ratio.
 //! - [`compressor`]: the object-safe [`compressor::Compressor`] trait tying
-//!   all of the above into one API (also consumed by the streaming crate).
+//!   all of the above into one API.
+//! - [`streaming`]: merge-&-reduce, BICO, StreamKM++, and MapReduce
+//!   aggregation (re-exported by the `fc-streaming` facade crate).
+//! - [`plan`]: the unified, fallible, solver-aware [`plan::Plan`] API — one
+//!   [`plan::Method`] enum over the whole batch + streaming spectrum, one
+//!   [`fc_clustering::Solver`] knob for refinement, and [`error::FcError`]
+//!   instead of panics on invalid parameters.
 
 pub mod compressor;
 pub mod coreset;
 pub mod distortion;
+pub mod error;
 pub mod evaluation;
 pub mod fast_coreset;
 pub mod methods;
 pub mod pipeline;
+pub mod plan;
 pub mod sampling;
 pub mod sensitivity;
+pub mod streaming;
 
 pub use compressor::{CompressionParams, Compressor};
 pub use coreset::Coreset;
 pub use distortion::{distortion, solve_on_coreset, DistortionReport};
+pub use error::FcError;
 pub use evaluation::{battery_distortion, BatteryReport};
 pub use fast_coreset::{FastCoreset, FastCoresetConfig};
 pub use methods::{Lightweight, StandardSensitivity, Uniform, Welterweight};
+pub use plan::{Method, Plan, PlanBuilder, PlanOutcome, StreamSession, BASE_METHODS};
 pub use sampling::WeightMode;

@@ -1,4 +1,4 @@
-//! Lightweight coresets [6]: sensitivity sampling against the 1-means
+//! Lightweight coresets \[6\]: sensitivity sampling against the 1-means
 //! solution.
 //!
 //! `ŝ(p) = w_p/W + w_p·dist(p, µ)^z / cost_z(P, µ)` where `µ` is the data

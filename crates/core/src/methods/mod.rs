@@ -5,9 +5,9 @@
 //! | method | candidate solution | seeding cost | guarantee |
 //! |---|---|---|---|
 //! | [`Uniform`] | none | `O(m)` (sublinear) | none |
-//! | [`Lightweight`] | `{µ}` (j = 1) [6] | `O(nd)` | additive `ε·cost(P, {µ})` |
+//! | [`Lightweight`] | `{µ}` (j = 1) \[6\] | `O(nd)` | additive `ε·cost(P, {µ})` |
 //! | [`Welterweight`] | j-means, `1 < j < k` | `O(ndj)` | interpolates |
-//! | [`StandardSensitivity`] | k-means++ (j = k) [47] | `O(ndk)` | strong ε-coreset |
+//! | [`StandardSensitivity`] | k-means++ (j = k) \[47\] | `O(ndk)` | strong ε-coreset |
 //! | [`crate::FastCoreset`] | Fast-kmeans++ | `Õ(nd)` | strong ε-coreset |
 
 mod hst_coreset;

@@ -1,9 +1,9 @@
-//! Standard sensitivity sampling [37, 47]: the `Õ(nd + nk)` strong-coreset
+//! Standard sensitivity sampling \[37, 47\]: the `Õ(nd + nk)` strong-coreset
 //! baseline.
 //!
 //! Seeds a full k-means++ solution (`O(ndk)` — the `Ω(nk)` bottleneck
-//! conjectured necessary by [31] and removed by Fast-Coresets), then samples
-//! by Eq. (1). This is the method [57] recommends and the distortion
+//! conjectured necessary by \[31\] and removed by Fast-Coresets), then samples
+//! by Eq. (1). This is the method \[57\] recommends and the distortion
 //! baseline of Table 2; Figure 1 shows its runtime growing linearly in `k`
 //! where Fast-Coresets stay near-flat.
 

@@ -17,7 +17,7 @@ use crate::sampling::importance_sample;
 use crate::sensitivity::sensitivity_scores;
 
 /// How the number of seeding centers `j` is derived from `k`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JCount {
     /// A fixed `j`.
     Fixed(usize),

@@ -1,87 +1,38 @@
-//! High-level compression pipeline: the "one obvious way" to use this
-//! library for the compress-then-cluster workflow the paper advocates.
+//! Deprecated pipeline shim — superseded by [`crate::plan`].
 //!
-//! ```
-//! use fc_core::pipeline::{Method, Pipeline};
-//! use fc_clustering::CostKind;
-//! use rand::SeedableRng;
+//! `Pipeline` predates the unified, fallible [`crate::plan::Plan`] API and
+//! panicked on invalid parameters. It is kept as a thin delegating shim for
+//! one release; migrate by replacing
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-//! let data = fc_geom::Dataset::from_flat((0..4000).map(f64::from).collect(), 2).unwrap();
-//! let outcome = Pipeline::new(5)
-//!     .kind(CostKind::KMeans)
-//!     .m_scalar(20)
-//!     .method(Method::FastCoreset)
-//!     .run(&mut rng, &data);
-//! assert!(outcome.coreset.len() <= 100);
-//! assert_eq!(outcome.solution.k(), 5);
+//! ```text
+//! Pipeline::new(k).method(Method::FastCoreset).run(&mut rng, &data)
 //! ```
+//!
+//! with
+//!
+//! ```text
+//! PlanBuilder::new(k).method(Method::FastCoreset).build()?.run(&mut rng, &data)?
+//! ```
+//!
+//! The [`Method`] enum is the same type (re-exported from the plan module);
+//! the plan additionally selects a [`fc_clustering::Solver`] and returns
+//! `Result` everywhere.
+
+#![allow(deprecated)]
 
 use fc_clustering::lloyd::LloydConfig;
-use fc_clustering::{CostKind, Solution};
+use fc_clustering::CostKind;
 use fc_geom::Dataset;
 use rand::Rng;
 
-use crate::compressor::{CompressionParams, Compressor};
-use crate::coreset::Coreset;
-use crate::methods::{JCount, Lightweight, StandardSensitivity, Uniform, Welterweight};
-use crate::FastCoreset;
-
-/// The compression strategies selectable by name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Method {
-    /// Uniform sampling (fastest, no guarantee).
-    Uniform,
-    /// Lightweight coresets (`j = 1`).
-    Lightweight,
-    /// Welterweight coresets with the given seeding-size policy.
-    Welterweight(JCount),
-    /// Standard sensitivity sampling (`Ω(nk)` seeding).
-    Sensitivity,
-    /// Fast-Coresets (Algorithm 1, `Õ(nd)`).
-    FastCoreset,
-}
-
-impl Method {
-    /// Materializes the compressor.
-    pub fn build(self) -> Box<dyn Compressor> {
-        match self {
-            Method::Uniform => Box::new(Uniform),
-            Method::Lightweight => Box::new(Lightweight),
-            Method::Welterweight(j) => Box::new(Welterweight::new(j)),
-            Method::Sensitivity => Box::new(StandardSensitivity::default()),
-            Method::FastCoreset => Box::new(FastCoreset::default()),
-        }
-    }
-}
+use crate::plan::PlanBuilder;
+pub use crate::plan::{Method, PlanOutcome as PipelineOutcome};
 
 /// Builder for the compress-then-cluster pipeline.
-#[derive(Debug, Clone, Copy)]
+#[deprecated(since = "0.1.0", note = "use `fc_core::plan::PlanBuilder` instead")]
+#[derive(Debug, Clone)]
 pub struct Pipeline {
-    k: usize,
-    m_scalar: usize,
-    kind: CostKind,
-    method: Method,
-    lloyd: LloydConfig,
-    evaluate: bool,
-}
-
-/// Everything a pipeline run produces.
-#[derive(Debug)]
-pub struct PipelineOutcome {
-    /// The compression.
-    pub coreset: Coreset,
-    /// The solution computed on the compression.
-    pub solution: Solution,
-    /// `cost_z(P, solution)` — only priced when evaluation is enabled
-    /// (it costs a full pass over the data).
-    pub cost_on_data: Option<f64>,
-    /// The distortion metric, when evaluation is enabled.
-    pub distortion: Option<f64>,
-    /// Seconds spent compressing.
-    pub compress_secs: f64,
-    /// Seconds spent clustering the compression.
-    pub solve_secs: f64,
+    builder: PlanBuilder,
 }
 
 impl Pipeline {
@@ -89,83 +40,60 @@ impl Pipeline {
     /// (`m = 40k`, k-means, Fast-Coresets, full evaluation).
     pub fn new(k: usize) -> Self {
         Self {
-            k,
-            m_scalar: 40,
-            kind: CostKind::KMeans,
-            method: Method::FastCoreset,
-            lloyd: LloydConfig::default(),
-            evaluate: true,
+            builder: PlanBuilder::new(k),
         }
     }
 
     /// Sets the objective (k-means / k-median).
     pub fn kind(mut self, kind: CostKind) -> Self {
-        self.kind = kind;
+        self.builder = self.builder.kind(kind);
         self
     }
 
     /// Sets the coreset size as a multiple of `k`.
     pub fn m_scalar(mut self, m_scalar: usize) -> Self {
-        self.m_scalar = m_scalar.max(1);
+        self.builder = self.builder.m_scalar(m_scalar.max(1));
         self
     }
 
     /// Selects the compression method.
     pub fn method(mut self, method: Method) -> Self {
-        self.method = method;
+        self.builder = self.builder.method(method);
         self
     }
 
     /// Adjusts the refinement budget for the solve step.
     pub fn lloyd(mut self, lloyd: LloydConfig) -> Self {
-        self.lloyd = lloyd;
+        self.builder = self.builder.lloyd(lloyd);
         self
     }
 
-    /// Disables the full-data evaluation pass (for when the data is too
-    /// large to re-read, which is the whole point of compressing).
+    /// Disables the full-data evaluation pass.
     pub fn without_evaluation(mut self) -> Self {
-        self.evaluate = false;
+        self.builder = self.builder.without_evaluation();
         self
     }
 
-    /// Runs compress → solve (→ evaluate).
+    /// Runs compress → solve (→ evaluate), panicking on invalid
+    /// parameters exactly as the historical pipeline did. New code should
+    /// use [`crate::plan::Plan::run`] and handle the `Result`.
     pub fn run<R: Rng>(&self, rng: &mut R, data: &Dataset) -> PipelineOutcome {
-        let params = CompressionParams::with_scalar(self.k, self.m_scalar, self.kind);
-        let compressor = self.method.build();
-
-        let t0 = std::time::Instant::now();
-        let coreset = compressor.compress(rng, data, &params);
-        let compress_secs = t0.elapsed().as_secs_f64();
-
-        let t1 = std::time::Instant::now();
-        let solution =
-            fc_clustering::lloyd::solve(rng, coreset.dataset(), self.k, self.kind, self.lloyd);
-        let solve_secs = t1.elapsed().as_secs_f64();
-
-        let (cost_on_data, distortion) = if self.evaluate {
-            let cost_full = solution.cost_on(data, self.kind);
-            let cost_core = coreset.cost(&solution.centers, self.kind);
-            let distortion = if cost_full > 0.0 && cost_core > 0.0 {
-                (cost_full / cost_core).max(cost_core / cost_full)
-            } else if cost_full <= 0.0 && cost_core <= 0.0 {
-                1.0
-            } else {
-                f64::INFINITY
-            };
-            (Some(cost_full), Some(distortion))
-        } else {
-            (None, None)
-        };
-
-        PipelineOutcome {
-            coreset,
-            solution,
-            cost_on_data,
-            distortion,
-            compress_secs,
-            solve_secs,
+        let mut builder = self.builder.clone();
+        let plan = builder
+            .clone()
+            .build()
+            .expect("pipeline parameters must be valid (migrate to PlanBuilder for Results)");
+        // Historically `m > n` was not an error: compressors simply return
+        // the data as an exact coreset. The plan API rejects it
+        // (`FcError::CoresetLargerThanData`), so preserve the old behavior
+        // by clamping the target to the data size.
+        if plan.m() > data.len() {
+            builder = builder.coreset_size(data.len().max(plan.k()));
         }
+        builder
+            .build()
+            .and_then(|plan| plan.run(rng, data))
+            .expect("pipeline parameters must be valid (migrate to PlanBuilder for Results)")
     }
 }
 
@@ -187,53 +115,44 @@ mod tests {
     }
 
     #[test]
-    fn default_pipeline_produces_good_solution() {
+    fn shim_still_runs_the_default_pipeline() {
         let d = blobs();
         let mut rng = StdRng::seed_from_u64(1);
         let out = Pipeline::new(3).run(&mut rng, &d);
         assert!(out.coreset.len() <= 120);
         assert_eq!(out.solution.k(), 3);
         assert!(out.distortion.expect("evaluation on") < 1.5);
-        assert!(out.cost_on_data.expect("evaluation on") < 100.0);
-        assert!(out.compress_secs >= 0.0 && out.solve_secs >= 0.0);
     }
 
     #[test]
-    fn without_evaluation_skips_the_data_pass() {
-        let d = blobs();
-        let mut rng = StdRng::seed_from_u64(2);
-        let out = Pipeline::new(3).without_evaluation().run(&mut rng, &d);
-        assert!(out.cost_on_data.is_none());
-        assert!(out.distortion.is_none());
+    fn shim_accepts_datasets_smaller_than_m_like_the_historical_pipeline() {
+        // 50 points, m = 40 * 3 = 120 > n: the old pipeline compressed
+        // this to an exact coreset; the shim must not panic.
+        let flat: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = Dataset::from_flat(flat, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = Pipeline::new(3).run(&mut rng, &d);
+        assert!(out.coreset.len() <= 50);
+        assert_eq!(out.solution.k(), 3);
     }
 
     #[test]
-    fn every_method_variant_runs() {
+    fn shim_matches_the_plan_it_delegates_to() {
         let d = blobs();
-        for method in [
-            Method::Uniform,
-            Method::Lightweight,
-            Method::Welterweight(JCount::LogK),
-            Method::Sensitivity,
-            Method::FastCoreset,
-        ] {
-            let mut rng = StdRng::seed_from_u64(3);
-            let out = Pipeline::new(3)
-                .method(method)
-                .m_scalar(20)
-                .run(&mut rng, &d);
-            assert!(
-                out.distortion.expect("evaluation on").is_finite(),
-                "{method:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn kmedian_pipeline_works() {
-        let d = blobs();
-        let mut rng = StdRng::seed_from_u64(4);
-        let out = Pipeline::new(3).kind(CostKind::KMedian).run(&mut rng, &d);
-        assert!(out.distortion.expect("evaluation on") < 1.5);
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let old = Pipeline::new(3)
+            .method(Method::Uniform)
+            .m_scalar(20)
+            .run(&mut r1, &d);
+        let new = PlanBuilder::new(3)
+            .method(Method::Uniform)
+            .m_scalar(20)
+            .build()
+            .unwrap()
+            .run(&mut r2, &d)
+            .unwrap();
+        assert_eq!(old.coreset.dataset(), new.coreset.dataset());
+        assert_eq!(old.solution.centers, new.solution.centers);
     }
 }

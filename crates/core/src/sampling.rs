@@ -8,7 +8,7 @@
 //!
 //! The paper's pseudocode additionally tracks `|Ĉ_i|` — the sampled estimate
 //! of each cluster's weight — and corrects the compression so cluster `i`
-//! carries total mass `(1+ε)|C_i|` (the construction of [25, 27] that the
+//! carries total mass `(1+ε)|C_i|` (the construction of \[25, 27\] that the
 //! analysis uses). We implement both readings behind [`WeightMode`]:
 //! `Unbiased` keeps plain inverse-probability weights (what the authors'
 //! released code computes); `Rebalanced { epsilon }` additionally appends the

@@ -6,7 +6,7 @@
 //! σ(p) = w_p · dist(p, c_p)^z / cost_z(C_p, c_p)  +  w_p / W(C_p)
 //! ```
 //!
-//! upper-bounds (a constant times) the true sensitivity of `p` [37]:
+//! upper-bounds (a constant times) the true sensitivity of `p` \[37\]:
 //! the first term captures how far `p` sits within its own cluster, the
 //! second guards cluster mass. Summed over a cluster both terms contribute
 //! exactly 1, so `Σ_p σ(p) = 2k` — the invariant the tests pin down.
@@ -75,7 +75,7 @@ pub fn sensitivity_scores(
     }
 }
 
-/// Lightweight-coreset scores [6]: Eq. (1) specialised to the 1-means
+/// Lightweight-coreset scores \[6\]: Eq. (1) specialised to the 1-means
 /// solution `C = {µ}` — `ŝ(p) = w_p/W + w_p·dist(p, µ)^z / cost_z(P, µ)`.
 pub fn lightweight_scores(
     data: &fc_geom::Dataset,

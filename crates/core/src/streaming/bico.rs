@@ -1,4 +1,4 @@
-//! BICO [38]: BIRCH meets coresets for k-means.
+//! BICO \[38\]: BIRCH meets coresets for k-means.
 //!
 //! BICO maintains a hierarchy of clustering features. Every feature has a
 //! *reference point*; level-`i` features only absorb points within radius
@@ -15,13 +15,13 @@
 //! sensitivity-based methods. Runs in a true single pass (this
 //! implementation is also usable statically by streaming the whole dataset).
 
-use fc_core::Coreset;
+use crate::Coreset;
 use fc_geom::{Dataset, Points};
 use rand::RngCore;
 use rustc_hash::FxHashMap;
 
-use crate::cf::ClusteringFeature;
-use crate::stream::StreamingCompressor;
+use super::cf::ClusteringFeature;
+use super::stream::StreamingCompressor;
 
 /// 128-bit grid-cell fingerprint (same mixing as `fc_quadtree::grid`, kept
 /// local so the streaming crate stays independent of the tree crate).
@@ -289,13 +289,13 @@ impl Bico {
     }
 }
 
-/// Static [`fc_core::Compressor`] adapter: streams the dataset through a
+/// Static [`crate::Compressor`] adapter: streams the dataset through a
 /// fresh BICO summary sized to `params.m`. Lets BICO participate in the
 /// shared method suites (Tables 4–6) and in MapReduce aggregation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BicoCompressor;
 
-impl fc_core::Compressor for BicoCompressor {
+impl crate::Compressor for BicoCompressor {
     fn name(&self) -> &str {
         "bico"
     }
@@ -304,7 +304,7 @@ impl fc_core::Compressor for BicoCompressor {
         &self,
         _rng: &mut dyn RngCore,
         data: &Dataset,
-        params: &fc_core::CompressionParams,
+        params: &crate::CompressionParams,
     ) -> Coreset {
         let mut bico = Bico::new(data.dim(), BicoConfig::with_target(params.m));
         for (p, &w) in data.points().iter().zip(data.weights()) {

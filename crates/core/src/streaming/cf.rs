@@ -1,4 +1,4 @@
-//! BIRCH clustering features [58]: additive sufficient statistics for the
+//! BIRCH clustering features \[58\]: additive sufficient statistics for the
 //! k-means objective.
 //!
 //! A CF holds `(W, Σ w·p, Σ w·|p|²)`. CFs merge by component-wise addition,

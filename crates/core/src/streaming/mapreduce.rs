@@ -7,7 +7,7 @@
 //! to the target size. Communication is `O(m)` points per worker,
 //! independent of `n`, which is the whole appeal of the scheme.
 
-use fc_core::{CompressionParams, Compressor, Coreset};
+use crate::{CompressionParams, Compressor, Coreset};
 use fc_geom::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,9 +94,9 @@ pub fn mapreduce_coreset<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::methods::Uniform;
+    use crate::FastCoreset;
     use fc_clustering::CostKind;
-    use fc_core::methods::Uniform;
-    use fc_core::FastCoreset;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(81)

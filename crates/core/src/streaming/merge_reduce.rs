@@ -1,4 +1,4 @@
-//! Merge-&-reduce composition [11, 40] over a black-box compressor.
+//! Merge-&-reduce composition \[11, 40\] over a black-box compressor.
 //!
 //! The coreset property composes: a coreset of a union is the union of
 //! coresets, and a coreset of a coreset is a (slightly worse) coreset. The
@@ -6,18 +6,18 @@
 //! complete binary tree: each block's coreset enters at level 0, and
 //! whenever two summaries share a level they are unioned and re-compressed
 //! one level up. With `b = 8` blocks the surviving summaries cover blocks
-//! `[[8],[7],[5,6],[1,2,3,4]]` — exactly the paper's footnote 10. `finalize`
+//! `[\[8\],\[7\],\[5,6\],\[1,2,3,4\]]` — exactly the paper's footnote 10. `finalize`
 //! concatenates the per-level summaries and compresses once more.
 //!
 //! The paper's empirical surprise (Table 5): the accelerated samplers are
 //! *no worse* under this composition, because the tree imposes non-uniform
 //! inclusion probabilities that sometimes help outliers survive.
 
-use fc_core::{CompressionParams, Compressor, Coreset};
+use crate::{CompressionParams, Compressor, Coreset};
 use fc_geom::Dataset;
 use rand::RngCore;
 
-use crate::stream::StreamingCompressor;
+use super::stream::StreamingCompressor;
 
 /// Merge-&-reduce state over a black-box compressor.
 ///
@@ -144,11 +144,11 @@ impl StreamingCompressor for MergeReduce<'_> {
 
 #[cfg(test)]
 mod tests {
+    use super::super::stream::run_stream;
     use super::*;
-    use crate::stream::run_stream;
+    use crate::methods::Uniform;
+    use crate::FastCoreset;
     use fc_clustering::CostKind;
-    use fc_core::methods::Uniform;
-    use fc_core::FastCoreset;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

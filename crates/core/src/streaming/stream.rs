@@ -1,6 +1,6 @@
 //! The streaming-compressor interface: consume blocks, emit one coreset.
 
-use fc_core::Coreset;
+use crate::Coreset;
 use fc_geom::Dataset;
 use rand::RngCore;
 

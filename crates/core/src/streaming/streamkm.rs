@@ -1,4 +1,4 @@
-//! StreamKM++ [1]: coreset trees over merge-&-reduce buckets.
+//! StreamKM++ \[1\]: coreset trees over merge-&-reduce buckets.
 //!
 //! The coreset tree performs hierarchical divisive D²-splitting: starting
 //! from one root cluster, repeatedly pick a leaf with probability
@@ -14,13 +14,13 @@
 //! is exactly why Table 9 shows mediocre distortion at the sizes sensitivity
 //! sampling thrives on.
 
-use fc_core::{CompressionParams, Compressor, Coreset};
+use crate::{CompressionParams, Compressor, Coreset};
 use fc_geom::sampling::AliasTable;
 use fc_geom::{Dataset, Points};
 use rand::Rng;
 use rand::RngCore;
 
-use crate::stream::StreamingCompressor;
+use super::stream::StreamingCompressor;
 
 /// One leaf of the coreset tree.
 struct Leaf {
@@ -224,8 +224,8 @@ impl StreamingCompressor for StreamKm {
 
 #[cfg(test)]
 mod tests {
+    use super::super::stream::run_stream;
     use super::*;
-    use crate::stream::run_stream;
     use fc_clustering::CostKind;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

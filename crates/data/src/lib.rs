@@ -4,7 +4,7 @@
 //!
 //! - [`synthetic`]: the artificial instances defined in the paper —
 //!   c-outlier, geometric (weighted simplex), Gaussian mixture with the
-//!   imbalance parameter γ, and the benchmark instance of [57] — plus the
+//!   imbalance parameter γ, and the benchmark instance of \[57\] — plus the
 //!   Table-1 spread-stress construction.
 //! - [`realworld`]: synthetic *proxies* for the seven public datasets the
 //!   paper evaluates (Adult, MNIST, Star, Song, Cover Type, Taxi, Census).

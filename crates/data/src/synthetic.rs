@@ -11,7 +11,7 @@
 //! - [`gaussian_mixture`]: scattered Gaussian clusters whose sizes diverge
 //!   exponentially with the imbalance parameter γ (Table 7's knob); a
 //!   well-clusterable instance under cost-stability conditions.
-//! - [`benchmark`]: the coreset-evaluation instance of [57] — uniform mass
+//! - [`benchmark`]: the coreset-evaluation instance of \[57\] — uniform mass
 //!   over the vertices of scaled simplices, so all reasonable k-means
 //!   solutions cost the same while being maximally far apart; built as three
 //!   size-split copies with random offsets, as the paper prescribes.
@@ -149,7 +149,7 @@ pub fn gaussian_mixture<R: Rng + ?Sized>(rng: &mut R, cfg: GaussianMixtureConfig
     Dataset::unweighted(points)
 }
 
-/// The benchmark instance of [57]: uniform point mass on the vertices of a
+/// The benchmark instance of \[57\]: uniform point mass on the vertices of a
 /// scaled simplex (`scale · e_i`), where every k-subset of vertices is an
 /// equally good k-means solution and distinct solutions are maximally far
 /// apart. Following the paper, the `k` directions are split into three

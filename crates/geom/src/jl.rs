@@ -1,7 +1,7 @@
 //! Johnson–Lindenstrauss random projections.
 //!
 //! Algorithm 1 step 2 embeds the input into `d̃ = O(log k)` dimensions before
-//! seeding; Makarychev–Makarychev–Razenshteyn [50] show this preserves
+//! seeding; Makarychev–Makarychev–Razenshteyn \[50\] show this preserves
 //! k-means/k-median costs within `1 ± ε`. Two classic constructions are
 //! provided: a dense Gaussian matrix and the sparse Achlioptas ±1 projection
 //! (three-point distribution, 2/3 sparsity), both scaled so squared norms are
@@ -33,7 +33,7 @@ pub struct JlProjection {
 }
 
 /// Target dimension for clustering with `k` centers at distortion `eps`,
-/// following the `O(log(k/ε²))`-style bound of [50] with the constant used in
+/// following the `O(log(k/ε²))`-style bound of \[50\] with the constant used in
 /// practice (the paper's experiments use this for MNIST only).
 pub fn target_dim_for_clustering(k: usize, eps: f64) -> usize {
     assert!(eps > 0.0, "eps must be positive");

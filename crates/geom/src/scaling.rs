@@ -66,7 +66,7 @@ impl AxisScaler {
         })
     }
 
-    /// Fits a min-max normalizer onto `[0, 1]` per axis (constant axes map
+    /// Fits a min-max normalizer onto `\[0, 1\]` per axis (constant axes map
     /// to 0).
     pub fn min_max(data: &Dataset) -> Result<Self, GeomError> {
         let bbox = crate::bbox::BoundingBox::of(data.points()).ok_or(GeomError::EmptyInput)?;

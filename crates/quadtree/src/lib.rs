@@ -4,8 +4,8 @@
 //! - [`tree::Quadtree`]: a compressed quadtree with `O(n)` nodes over a
 //!   randomly shifted dyadic grid; subtrees own contiguous ranges of a
 //!   permuted index array so subtree weights are prefix-sum queries.
-//! - [`fast_kmeanspp`]: tree-metric D^z sampling — the engineering form of
-//!   `Fast-kmeans++` [23]: centers are drawn against distances *in the tree
+//! - [`fast_kmeanspp`](mod@fast_kmeanspp): tree-metric D^z sampling — the engineering form of
+//!   `Fast-kmeans++` \[23\]: centers are drawn against distances *in the tree
 //!   metric*, so inserting a center costs `O(log Δ · log n)` instead of the
 //!   `O(nd)` of exact D² sampling, and the final point→center assignment is
 //!   one `O(n log Δ)` tree pass independent of `k`.

@@ -3,7 +3,8 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use fc_clustering::CostKind;
+use fc_clustering::{CostKind, Solver};
+use fc_core::plan::Method;
 use fc_core::Coreset;
 use fc_geom::{Dataset, Points};
 
@@ -54,6 +55,8 @@ pub struct ClusterResult {
     pub centers: Points,
     /// Objective clustered under.
     pub kind: CostKind,
+    /// Solver that refined the solution.
+    pub solver: Solver,
     /// The solution's cost on the served coreset.
     pub coreset_cost: f64,
     /// Size of the coreset the solve ran on.
@@ -125,15 +128,18 @@ impl ServiceClient {
         }
     }
 
-    /// Fetches the served coreset. Returns the coreset and the seed that
-    /// produced it.
+    /// Fetches the served coreset, optionally naming the compression
+    /// method for this request (the server default when `None`). Returns
+    /// the coreset and the seed that produced it.
     pub fn compress(
         &mut self,
         dataset: &str,
+        method: Option<&Method>,
         seed: Option<u64>,
     ) -> Result<(Coreset, u64), ClientError> {
         match self.request(&Request::Compress {
             dataset: dataset.into(),
+            method: method.cloned(),
             seed,
         })? {
             Response::Coreset {
@@ -149,23 +155,27 @@ impl ServiceClient {
         }
     }
 
-    /// Requests a clustering of the served coreset.
+    /// Requests a clustering of the served coreset, optionally naming the
+    /// refinement solver (the server default when `None`).
     pub fn cluster(
         &mut self,
         dataset: &str,
         k: Option<usize>,
         kind: Option<CostKind>,
+        solver: Option<Solver>,
         seed: Option<u64>,
     ) -> Result<ClusterResult, ClientError> {
         match self.request(&Request::Cluster {
             dataset: dataset.into(),
             k,
             kind,
+            solver,
             seed,
         })? {
             Response::Clustered {
                 centers,
                 kind,
+                solver,
                 coreset_cost,
                 coreset_points,
                 seed,
@@ -173,6 +183,7 @@ impl ServiceClient {
             } => Ok(ClusterResult {
                 centers: protocol::rows_to_points(&centers)?,
                 kind,
+                solver,
                 coreset_cost,
                 coreset_points,
                 seed,

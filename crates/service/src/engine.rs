@@ -21,9 +21,10 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
-use fc_clustering::lloyd::LloydConfig;
+use fc_clustering::solver::{SolveConfig, Solver};
 use fc_clustering::{CostKind, Solution};
-use fc_core::{CompressionParams, Compressor, Coreset, FastCoreset};
+use fc_core::plan::Method;
+use fc_core::{CompressionParams, Compressor, Coreset, FcError};
 use fc_geom::{Dataset, Points};
 use fc_streaming::{MergeReduce, StreamingCompressor};
 use rand::rngs::StdRng;
@@ -31,8 +32,9 @@ use rand::SeedableRng;
 
 use crate::protocol::DatasetStats;
 
-/// Engine configuration: sharding, serving sizes, and the quality target.
-#[derive(Debug, Clone, Copy)]
+/// Engine configuration: sharding, serving sizes, method/solver selection,
+/// and the quality target.
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads (= independent coreset streams) per dataset.
     pub shards: usize,
@@ -43,6 +45,12 @@ pub struct EngineConfig {
     pub m_scalar: usize,
     /// Default objective.
     pub kind: CostKind,
+    /// Compression method used by shard streams and the serving
+    /// compression — the same [`Method`] names the library and the wire
+    /// protocol use.
+    pub method: Method,
+    /// Default refinement solver for `cluster` requests.
+    pub solver: Solver,
     /// Per-shard stored-point budget; exceeding it triggers compaction of
     /// the shard's level stack. `None` derives `4 * k * m_scalar` (room for
     /// a few levels of summaries) from whatever `k`/`m_scalar` end up being,
@@ -64,6 +72,8 @@ impl Default for EngineConfig {
             k: 8,
             m_scalar: 40,
             kind: CostKind::KMeans,
+            method: Method::FastCoreset,
+            solver: Solver::Lloyd,
             compaction_budget: None,
             distortion_bound: 1.5,
             base_seed: 0x0C0D_E5E7,
@@ -72,8 +82,8 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    fn params(&self, k: usize, kind: CostKind) -> CompressionParams {
-        CompressionParams::with_scalar(k, self.m_scalar, kind)
+    fn params(&self, k: usize, kind: CostKind) -> Result<CompressionParams, EngineError> {
+        Ok(CompressionParams::with_scalar(k, self.m_scalar, kind)?)
     }
 
     /// The effective per-shard compaction budget.
@@ -96,6 +106,9 @@ pub enum EngineError {
     },
     /// A request parameter was rejected.
     InvalidArgument(String),
+    /// A plan/solver-level validation failure, in the library's shared
+    /// error vocabulary.
+    Invalid(FcError),
     /// The engine is shutting down (or a shard died).
     Unavailable,
 }
@@ -111,12 +124,25 @@ impl std::fmt::Display for EngineError {
                 )
             }
             EngineError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            EngineError::Invalid(e) => write!(f, "{e}"),
             EngineError::Unavailable => write!(f, "engine unavailable"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<FcError> for EngineError {
+    fn from(e: FcError) -> Self {
+        EngineError::Invalid(e)
+    }
+}
+
+impl From<fc_clustering::SolverError> for EngineError {
+    fn from(e: fc_clustering::SolverError) -> Self {
+        EngineError::Invalid(e.into())
+    }
+}
 
 /// What a `cluster` call served.
 #[derive(Debug, Clone)]
@@ -125,6 +151,8 @@ pub struct ClusterOutcome {
     pub solution: Solution,
     /// Objective clustered under.
     pub kind: CostKind,
+    /// Solver that refined the solution.
+    pub solver: Solver,
     /// Size of the coreset the solve ran on.
     pub coreset_points: usize,
     /// The seed that produced this result.
@@ -142,6 +170,7 @@ enum ShardCmd {
 struct ShardStats {
     summaries: usize,
     stored_points: usize,
+    queue_depth: usize,
 }
 
 /// Commands a shard worker queues before backpressure kicks in. Bounded so
@@ -151,6 +180,11 @@ const SHARD_QUEUE_DEPTH: usize = 32;
 
 struct Shard {
     sender: SyncSender<ShardCmd>,
+    /// Commands sent but not yet fully processed by the worker — the
+    /// observable backlog behind [`SHARD_QUEUE_DEPTH`]. Incremented on
+    /// send, decremented by the worker after it finishes each command, so
+    /// a long-running compaction shows up as depth, not as idle.
+    queue_depth: Arc<AtomicUsize>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -162,19 +196,32 @@ impl Shard {
         seed: u64,
     ) -> Self {
         let (sender, receiver) = mpsc::sync_channel(SHARD_QUEUE_DEPTH);
+        let queue_depth = Arc::new(AtomicUsize::new(0));
+        let worker_depth = Arc::clone(&queue_depth);
         let join = std::thread::Builder::new()
             .name("fc-shard".into())
-            .spawn(move || shard_loop(receiver, compressor, params, budget, seed))
+            .spawn(move || shard_loop(receiver, worker_depth, compressor, params, budget, seed))
             .expect("spawning a shard worker thread succeeds");
         Shard {
             sender,
+            queue_depth,
             join: Some(join),
         }
+    }
+
+    /// Queues one command, keeping the depth gauge in sync.
+    fn send(&self, cmd: ShardCmd) -> Result<(), EngineError> {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.sender.send(cmd).map_err(|_| {
+            self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            EngineError::Unavailable
+        })
     }
 }
 
 fn shard_loop(
     receiver: Receiver<ShardCmd>,
+    queue_depth: Arc<AtomicUsize>,
     compressor: Arc<dyn Compressor>,
     params: CompressionParams,
     budget: usize,
@@ -186,6 +233,7 @@ fn shard_loop(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stream = MergeReduce::new(compressor, params);
     while let Ok(cmd) = receiver.recv() {
+        let stop = matches!(cmd, ShardCmd::Shutdown);
         match cmd {
             ShardCmd::Ingest(block) => {
                 stream.insert_block(&mut rng, &block);
@@ -200,9 +248,14 @@ fn shard_loop(
                 let _ = reply.send(ShardStats {
                     summaries: stream.summary_count(),
                     stored_points: stream.stored_points(),
+                    queue_depth: 0, // overwritten by the reader from the gauge
                 });
             }
-            ShardCmd::Shutdown => break,
+            ShardCmd::Shutdown => {}
+        }
+        queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if stop {
+            break;
         }
     }
 }
@@ -219,15 +272,24 @@ struct DatasetEntry {
 
 impl DatasetEntry {
     fn shard_stats(&self) -> Result<Vec<ShardStats>, EngineError> {
-        self.shards
-            .iter()
-            .map(|shard| {
-                let (tx, rx) = mpsc::sync_channel(1);
-                shard
-                    .sender
-                    .send(ShardCmd::Stats(tx))
-                    .map_err(|_| EngineError::Unavailable)?;
-                rx.recv().map_err(|_| EngineError::Unavailable)
+        // Fan the probes out before collecting any reply (like
+        // `snapshots`), so total latency is one shard's backlog drain, not
+        // the sum of all of them.
+        let mut probes = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            // Sample the backlog *before* queueing our own probe, so a
+            // stats request doesn't count itself.
+            let queue_depth = shard.queue_depth.load(Ordering::Relaxed);
+            let (tx, rx) = mpsc::sync_channel(1);
+            shard.send(ShardCmd::Stats(tx))?;
+            probes.push((queue_depth, rx));
+        }
+        probes
+            .into_iter()
+            .map(|(queue_depth, rx)| {
+                let mut stats = rx.recv().map_err(|_| EngineError::Unavailable)?;
+                stats.queue_depth = queue_depth;
+                Ok(stats)
             })
             .collect()
     }
@@ -236,10 +298,7 @@ impl DatasetEntry {
         let mut receivers = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let (tx, rx) = mpsc::sync_channel(1);
-            shard
-                .sender
-                .send(ShardCmd::Snapshot(tx))
-                .map_err(|_| EngineError::Unavailable)?;
+            shard.send(ShardCmd::Snapshot(tx))?;
             receivers.push(rx);
         }
         let mut out = Vec::new();
@@ -253,7 +312,7 @@ impl DatasetEntry {
 
     fn shutdown(&mut self) {
         for shard in &self.shards {
-            let _ = shard.sender.send(ShardCmd::Shutdown);
+            let _ = shard.send(ShardCmd::Shutdown);
         }
         for shard in &mut self.shards {
             if let Some(join) = shard.join.take() {
@@ -265,6 +324,9 @@ impl DatasetEntry {
 
 /// The long-lived serving engine. Thread-safe: server connections share one
 /// engine behind an `Arc`.
+//
+// Debug prints the configuration and the live compressor name; dataset
+// state is deliberately omitted (it would require pausing the shards).
 pub struct Engine {
     config: EngineConfig,
     compressor: Arc<dyn Compressor>,
@@ -273,24 +335,40 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// An engine compressing with the paper's Fast-Coreset pipeline.
-    pub fn new(config: EngineConfig) -> Self {
-        Self::with_compressor(config, Arc::new(FastCoreset::default()))
+    /// An engine compressing with the configured [`Method`] (the paper's
+    /// Fast-Coreset pipeline by default). Rejects invalid configurations —
+    /// zero shards, `k = 0`, `m_scalar = 0`, or a default solver that
+    /// cannot refine under the default objective — instead of panicking.
+    pub fn new(config: EngineConfig) -> Result<Self, EngineError> {
+        let compressor: Arc<dyn Compressor> = Arc::from(config.method.build());
+        Self::with_compressor(config, compressor)
     }
 
-    /// An engine using a custom compressor (tests use cheap samplers).
-    pub fn with_compressor(config: EngineConfig, compressor: Arc<dyn Compressor>) -> Self {
-        assert!(config.shards > 0, "need at least one shard");
-        assert!(
-            config.k > 0 && config.m_scalar > 0,
-            "serving sizes must be positive"
-        );
-        Self {
+    /// An engine using a custom compressor (tests use cheap samplers);
+    /// `config.method` is kept for reporting but not built.
+    pub fn with_compressor(
+        config: EngineConfig,
+        compressor: Arc<dyn Compressor>,
+    ) -> Result<Self, EngineError> {
+        if config.shards == 0 {
+            return Err(EngineError::InvalidArgument(
+                "need at least one shard".into(),
+            ));
+        }
+        // Validates k ≥ 1 and m = m_scalar·k ≥ k (no overflow).
+        config.params(config.k, config.kind)?;
+        if !config.solver.supports(config.kind) {
+            return Err(EngineError::Invalid(FcError::UnsupportedObjective {
+                solver: config.solver,
+                kind: config.kind,
+            }));
+        }
+        Ok(Self {
             config,
             compressor,
             datasets: Mutex::new(HashMap::new()),
             seed_counter: AtomicU64::new(0),
-        }
+        })
     }
 
     /// The engine's configuration.
@@ -324,13 +402,14 @@ impl Engine {
         if batch.is_empty() {
             return Err(EngineError::InvalidArgument("empty ingest batch".into()));
         }
+        // Validated at construction; per-default-config params cannot fail.
+        let params = self.config.params(self.config.k, self.config.kind)?;
         let entry = {
             let mut datasets = self
                 .datasets
                 .lock()
                 .expect("dataset registry lock is never poisoned");
             let entry = datasets.entry(name.to_owned()).or_insert_with(|| {
-                let params = self.config.params(self.config.k, self.config.kind);
                 let shards = (0..self.config.shards)
                     .map(|s| {
                         // One deterministic stream per (dataset, shard).
@@ -364,10 +443,7 @@ impl Engine {
             });
         }
         let shard_idx = entry.next_shard.fetch_add(1, Ordering::Relaxed) % entry.shards.len();
-        entry.shards[shard_idx]
-            .sender
-            .send(ShardCmd::Ingest(batch.clone()))
-            .map_err(|_| EngineError::Unavailable)?;
+        entry.shards[shard_idx].send(ShardCmd::Ingest(batch.clone()))?;
         let total_points = entry
             .ingested_points
             .fetch_add(batch.len() as u64, Ordering::Relaxed)
@@ -384,8 +460,16 @@ impl Engine {
     }
 
     /// The served coreset: union of all shard snapshots, compressed to the
-    /// serving size with the (resolved) seed. Returns the seed used.
-    pub fn coreset(&self, name: &str, seed: Option<u64>) -> Result<(Coreset, u64), EngineError> {
+    /// serving size with the (resolved) seed. `method` overrides the
+    /// engine's configured compressor for this one serving compression
+    /// (the shard streams keep their configured method). Returns the seed
+    /// used.
+    pub fn coreset(
+        &self,
+        name: &str,
+        seed: Option<u64>,
+        method: Option<&Method>,
+    ) -> Result<(Coreset, u64), EngineError> {
         let entry = self.entry(name)?;
         let seed = self.resolve_seed(seed);
         let parts = entry.snapshots()?;
@@ -398,38 +482,56 @@ impl Engine {
             .ok_or_else(|| {
                 EngineError::InvalidArgument(format!("dataset `{name}` holds no data yet"))
             })?;
-        let params = self.config.params(self.config.k, self.config.kind);
+        let params = self.config.params(self.config.k, self.config.kind)?;
         if union.len() > params.m {
             let mut rng = StdRng::seed_from_u64(seed);
-            union = self.compressor.compress(&mut rng, union.dataset(), &params);
+            union = match method {
+                Some(m) => m.build().compress(&mut rng, union.dataset(), &params),
+                None => self.compressor.compress(&mut rng, union.dataset(), &params),
+            };
         }
         Ok((union, seed))
     }
 
-    /// Clusters the served coreset: k-means++ seeding plus Lloyd/Weiszfeld
-    /// refinement on the compressed points only.
+    /// Clusters the served coreset: k-means++ seeding plus the requested
+    /// solver's refinement (the engine default when omitted) on the
+    /// compressed points only.
     pub fn cluster(
         &self,
         name: &str,
         k: Option<usize>,
         kind: Option<CostKind>,
+        solver: Option<Solver>,
         seed: Option<u64>,
     ) -> Result<ClusterOutcome, EngineError> {
         let k = k.unwrap_or(self.config.k);
         if k == 0 {
-            return Err(EngineError::InvalidArgument("k must be positive".into()));
+            return Err(EngineError::Invalid(FcError::InvalidK));
         }
         let kind = kind.unwrap_or(self.config.kind);
+        let solver = solver.unwrap_or(self.config.solver);
+        if !solver.supports(kind) {
+            return Err(EngineError::Invalid(FcError::UnsupportedObjective {
+                solver,
+                kind,
+            }));
+        }
         let seed = self.resolve_seed(seed);
-        let (coreset, _) = self.coreset(name, Some(seed))?;
+        let (coreset, _) = self.coreset(name, Some(seed), None)?;
         // Distinct stream from the compression draw so adding solve steps
         // never perturbs which coreset is served for this seed.
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-        let solution =
-            fc_core::solve_on_coreset(&mut rng, &coreset, k, kind, LloydConfig::default());
+        let solution = solver.solve(
+            &mut rng,
+            coreset.dataset(),
+            k,
+            kind,
+            &SolveConfig::default(),
+        )?;
         Ok(ClusterOutcome {
             solution,
             kind,
+            solver,
             coreset_points: coreset.len(),
             seed,
         })
@@ -454,7 +556,7 @@ impl Engine {
             });
         }
         let kind = kind.unwrap_or(self.config.kind);
-        let (coreset, _) = self.coreset(name, Some(self.config.base_seed))?;
+        let (coreset, _) = self.coreset(name, Some(self.config.base_seed), None)?;
         Ok((coreset.cost(centers, kind), kind, coreset.len()))
     }
 
@@ -474,6 +576,7 @@ impl Engine {
             ingested_weight,
             stored_points: shard_stats.iter().map(|s| s.stored_points).sum(),
             summaries_per_shard: shard_stats.iter().map(|s| s.summaries).collect(),
+            queue_depth_per_shard: shard_stats.iter().map(|s| s.queue_depth).collect(),
         })
     }
 
@@ -509,7 +612,7 @@ impl Engine {
             Ok(mut entry) => entry.shutdown(),
             Err(entry) => {
                 for shard in &entry.shards {
-                    let _ = shard.sender.send(ShardCmd::Shutdown);
+                    let _ = shard.send(ShardCmd::Shutdown);
                 }
             }
         }
@@ -527,6 +630,15 @@ impl Engine {
             .collect();
         names.sort();
         names
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("compressor", &self.compressor.name())
+            .finish_non_exhaustive()
     }
 }
 
@@ -574,6 +686,7 @@ mod tests {
             },
             Arc::new(Uniform),
         )
+        .unwrap()
     }
 
     #[test]
@@ -583,7 +696,7 @@ mod tests {
         for block in data.chunks(250) {
             engine.ingest("d", &block).unwrap();
         }
-        let (coreset, _) = engine.coreset("d", Some(1)).unwrap();
+        let (coreset, _) = engine.coreset("d", Some(1), None).unwrap();
         assert!(coreset.len() <= 4 * 25);
         let rel = (coreset.total_weight() - data.total_weight()).abs() / data.total_weight();
         assert!(rel < 0.3, "served weight off by {rel}");
@@ -598,19 +711,19 @@ mod tests {
         for block in blobs(300).chunks(200) {
             engine.ingest("d", &block).unwrap();
         }
-        let (a, seed_a) = engine.coreset("d", Some(42)).unwrap();
-        let (b, seed_b) = engine.coreset("d", Some(42)).unwrap();
+        let (a, seed_a) = engine.coreset("d", Some(42), None).unwrap();
+        let (b, seed_b) = engine.coreset("d", Some(42), None).unwrap();
         assert_eq!(seed_a, seed_b);
         assert_eq!(
             a.dataset(),
             b.dataset(),
             "same seed must serve the same coreset"
         );
-        let (c, _) = engine.coreset("d", Some(43)).unwrap();
+        let (c, _) = engine.coreset("d", Some(43), None).unwrap();
         assert_ne!(a.dataset(), c.dataset(), "different seeds should differ");
         // Engine-assigned seeds advance deterministically from the base.
-        let (_, s1) = engine.coreset("d", None).unwrap();
-        let (_, s2) = engine.coreset("d", None).unwrap();
+        let (_, s1) = engine.coreset("d", None, None).unwrap();
+        let (_, s2) = engine.coreset("d", None, None).unwrap();
         assert_eq!(s2, s1 + 1);
     }
 
@@ -621,7 +734,7 @@ mod tests {
         for block in data.chunks(100) {
             engine.ingest("d", &block).unwrap();
         }
-        let outcome = engine.cluster("d", Some(4), None, Some(7)).unwrap();
+        let outcome = engine.cluster("d", Some(4), None, None, Some(7)).unwrap();
         assert_eq!(outcome.solution.k(), 4);
         // The four blob centers are ~(b*100 + 0.12, 0.095); every served
         // center must land inside some blob.
@@ -633,7 +746,7 @@ mod tests {
             );
         }
         // Same seed, same clustering.
-        let again = engine.cluster("d", Some(4), None, Some(7)).unwrap();
+        let again = engine.cluster("d", Some(4), None, None, Some(7)).unwrap();
         assert_eq!(outcome.solution.centers, again.solution.centers);
     }
 
@@ -664,7 +777,8 @@ mod tests {
                 ..Default::default()
             },
             Arc::new(Uniform),
-        );
+        )
+        .unwrap();
         for block in blobs(600).chunks(60) {
             engine.ingest("d", &block).unwrap();
         }
@@ -687,7 +801,7 @@ mod tests {
     fn errors_are_specific() {
         let engine = test_engine();
         assert_eq!(
-            engine.coreset("ghost", None).unwrap_err(),
+            engine.coreset("ghost", None, None).unwrap_err(),
             EngineError::UnknownDataset("ghost".into())
         );
         engine.ingest("d", &blobs(50)).unwrap();
@@ -723,7 +837,7 @@ mod tests {
                         if t % 2 == 0 {
                             engine.ingest("d", &blobs(40)).unwrap();
                         } else {
-                            let (c, _) = engine.coreset("d", Some(t * 100 + i)).unwrap();
+                            let (c, _) = engine.coreset("d", Some(t * 100 + i), None).unwrap();
                             assert!(!c.is_empty());
                         }
                     }
@@ -732,5 +846,113 @@ mod tests {
         });
         let stats = engine.dataset_stats("d").unwrap();
         assert_eq!(stats.ingested_points, (400 + 2 * 20 * 160) as u64);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected_at_construction() {
+        assert!(matches!(
+            Engine::new(EngineConfig {
+                shards: 0,
+                ..Default::default()
+            })
+            .unwrap_err(),
+            EngineError::InvalidArgument(_)
+        ));
+        assert_eq!(
+            Engine::new(EngineConfig {
+                k: 0,
+                ..Default::default()
+            })
+            .unwrap_err(),
+            EngineError::Invalid(FcError::InvalidK)
+        );
+        assert_eq!(
+            Engine::new(EngineConfig {
+                m_scalar: 0,
+                ..Default::default()
+            })
+            .unwrap_err(),
+            EngineError::Invalid(FcError::InvalidCoresetSize { m: 0, k: 8 })
+        );
+        // Hamerly cannot refine k-median; the default config must not
+        // silently accept the combination.
+        assert_eq!(
+            Engine::new(EngineConfig {
+                kind: CostKind::KMedian,
+                solver: Solver::Hamerly,
+                ..Default::default()
+            })
+            .unwrap_err(),
+            EngineError::Invalid(FcError::UnsupportedObjective {
+                solver: Solver::Hamerly,
+                kind: CostKind::KMedian,
+            })
+        );
+    }
+
+    #[test]
+    fn engine_builds_its_configured_method() {
+        let engine = Engine::new(EngineConfig {
+            shards: 1,
+            k: 4,
+            m_scalar: 10,
+            method: "merge-reduce(uniform)".parse().unwrap(),
+            ..Default::default()
+        })
+        .unwrap();
+        engine.ingest("d", &blobs(200)).unwrap();
+        let (c, _) = engine.coreset("d", Some(1), None).unwrap();
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn per_request_solver_and_method_overrides_work() {
+        let engine = test_engine();
+        for block in blobs(400).chunks(100) {
+            engine.ingest("d", &block).unwrap();
+        }
+        let hamerly = engine
+            .cluster("d", Some(4), None, Some(Solver::Hamerly), Some(7))
+            .unwrap();
+        assert_eq!(hamerly.solver, Solver::Hamerly);
+        assert_eq!(hamerly.solution.k(), 4);
+        // An unsupported solver/objective pair errors instead of panicking.
+        assert_eq!(
+            engine
+                .cluster(
+                    "d",
+                    Some(4),
+                    Some(CostKind::KMedian),
+                    Some(Solver::Hamerly),
+                    Some(7),
+                )
+                .unwrap_err(),
+            EngineError::Invalid(FcError::UnsupportedObjective {
+                solver: Solver::Hamerly,
+                kind: CostKind::KMedian,
+            })
+        );
+        // A per-request compression method serves through a different
+        // compressor with the same seed discipline.
+        let (a, _) = engine
+            .coreset("d", Some(5), Some(&Method::Lightweight))
+            .unwrap();
+        let (b, _) = engine
+            .coreset("d", Some(5), Some(&Method::Lightweight))
+            .unwrap();
+        assert_eq!(a.dataset(), b.dataset(), "override is still reproducible");
+    }
+
+    #[test]
+    fn stats_report_per_shard_queue_depth() {
+        let engine = test_engine();
+        engine.ingest("d", &blobs(100)).unwrap();
+        let stats = engine.dataset_stats("d").unwrap();
+        assert_eq!(stats.queue_depth_per_shard.len(), 2);
+        // The probe samples the gauge before enqueueing itself, and ingest
+        // has long drained by the time both stats replies arrive.
+        for &depth in &stats.queue_depth_per_shard {
+            assert!(depth <= 1, "unexpected backlog {depth}");
+        }
     }
 }

@@ -12,11 +12,11 @@
 //! ```no_run
 //! use fc_service::{Engine, EngineConfig, ServerHandle, ServiceClient};
 //!
-//! let server = ServerHandle::bind("127.0.0.1:0", Engine::new(EngineConfig::default()))?;
+//! let server = ServerHandle::bind("127.0.0.1:0", Engine::new(EngineConfig::default())?)?;
 //! let mut client = ServiceClient::connect(server.addr())?;
 //! let data = fc_geom::Dataset::from_flat(vec![0.0, 0.0, 1.0, 1.0], 2)?;
 //! client.ingest("demo", &data)?;
-//! let result = client.cluster("demo", Some(2), None, None)?;
+//! let result = client.cluster("demo", Some(2), None, None, None)?;
 //! println!("served {} centers (seed {})", result.centers.len(), result.seed);
 //! server.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())

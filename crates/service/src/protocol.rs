@@ -5,8 +5,8 @@
 //!
 //! ```text
 //! {"op":"ingest","dataset":"d","points":[[0,0],[1,1]],"weights":[1,2]}
-//! {"op":"compress","dataset":"d","seed":7}
-//! {"op":"cluster","dataset":"d","k":4,"kind":"kmeans","seed":7}
+//! {"op":"compress","dataset":"d","method":"fast-coreset","seed":7}
+//! {"op":"cluster","dataset":"d","k":4,"kind":"kmeans","solver":"hamerly","seed":7}
 //! {"op":"cost","dataset":"d","centers":[[0.5,0.5]],"kind":"kmeans"}
 //! {"op":"stats"}            {"op":"stats","dataset":"d"}
 //! {"op":"drop_dataset","dataset":"d"}
@@ -16,9 +16,16 @@
 //! the same seed yields the same compression / clustering. When omitted,
 //! the engine assigns the next seed from its deterministic counter and
 //! echoes it in the response, so any served result can be replayed.
+//!
+//! `method` and `solver` are the canonical names of
+//! [`fc_core::plan::Method`] and [`fc_clustering::Solver`] — the wire
+//! protocol parses them with the exact same `FromStr` implementations the
+//! library exposes, so a string that works in code works on the wire and
+//! vice versa.
 
 use crate::json::{self, number_array, object, Value};
-use fc_clustering::CostKind;
+use fc_clustering::{CostKind, Solver};
+use fc_core::plan::Method;
 use fc_geom::{Dataset, Points};
 
 /// A client request.
@@ -37,6 +44,10 @@ pub enum Request {
     Compress {
         /// Dataset name.
         dataset: String,
+        /// Compression method for the serving compression; the engine's
+        /// configured method when omitted. Parsed with the same `FromStr`
+        /// the library exposes (`"fast-coreset"`, `"bico"`, ...).
+        method: Option<Method>,
         /// Reproducibility seed; engine-assigned when omitted.
         seed: Option<u64>,
     },
@@ -48,6 +59,10 @@ pub enum Request {
         k: Option<usize>,
         /// Objective; the engine default when omitted.
         kind: Option<CostKind>,
+        /// Refinement solver; the engine default when omitted. Parsed with
+        /// the same `FromStr` the library exposes (`"lloyd"`,
+        /// `"hamerly"`, ...).
+        solver: Option<Solver>,
         /// Reproducibility seed; engine-assigned when omitted.
         seed: Option<u64>,
     },
@@ -89,6 +104,9 @@ pub struct DatasetStats {
     pub stored_points: usize,
     /// Per-shard summary counts (merge-&-reduce stack depths).
     pub summaries_per_shard: Vec<usize>,
+    /// Per-shard command-queue backlog (commands sent but not yet fully
+    /// processed) — the observable precursor of ingest backpressure.
+    pub queue_depth_per_shard: Vec<usize>,
 }
 
 /// A server response. `Error` is the only failure shape on the wire.
@@ -124,6 +142,8 @@ pub enum Response {
         centers: Vec<Vec<f64>>,
         /// Objective clustered under.
         kind: CostKind,
+        /// Solver that refined the solution.
+        solver: Solver,
         /// The solution's cost on the served coreset.
         coreset_cost: f64,
         /// Number of coreset points the solve ran on.
@@ -203,6 +223,24 @@ fn kind_from_value(v: &Value) -> Result<CostKind, ProtocolError> {
             "unknown kind `{other}` (expected `kmeans` or `kmedian`)"
         ))),
         None => Err(ProtocolError::new("`kind` must be a string")),
+    }
+}
+
+fn method_from_value(v: &Value) -> Result<Method, ProtocolError> {
+    match v.as_str() {
+        Some(name) => name
+            .parse::<Method>()
+            .map_err(|e| ProtocolError::new(e.to_string())),
+        None => Err(ProtocolError::new("`method` must be a string")),
+    }
+}
+
+fn solver_from_value(v: &Value) -> Result<Solver, ProtocolError> {
+    match v.as_str() {
+        Some(name) => name
+            .parse::<Solver>()
+            .map_err(|e| ProtocolError::new(e.to_string())),
+        None => Err(ProtocolError::new("`solver` must be a string")),
     }
 }
 
@@ -296,11 +334,18 @@ impl Request {
                 }
                 pairs_to_object(pairs)
             }
-            Request::Compress { dataset, seed } => {
+            Request::Compress {
+                dataset,
+                method,
+                seed,
+            } => {
                 let mut pairs = vec![
                     ("op", Value::from("compress")),
                     ("dataset", Value::from(dataset.clone())),
                 ];
+                if let Some(m) = method {
+                    pairs.push(("method", Value::from(m.to_string())));
+                }
                 if let Some(s) = seed {
                     pairs.push(("seed", Value::from(*s)));
                 }
@@ -310,6 +355,7 @@ impl Request {
                 dataset,
                 k,
                 kind,
+                solver,
                 seed,
             } => {
                 let mut pairs = vec![
@@ -321,6 +367,9 @@ impl Request {
                 }
                 if let Some(kind) = kind {
                     pairs.push(("kind", Value::from(kind_to_str(*kind))));
+                }
+                if let Some(solver) = solver {
+                    pairs.push(("solver", Value::from(solver.to_string())));
                 }
                 if let Some(s) = seed {
                     pairs.push(("seed", Value::from(*s)));
@@ -402,6 +451,10 @@ impl Request {
             }
             "compress" => Ok(Request::Compress {
                 dataset: required_str(&v, "dataset")?,
+                method: match v.get("method") {
+                    None | Some(Value::Null) => None,
+                    Some(m) => Some(method_from_value(m)?),
+                },
                 seed: optional_seed(&v)?,
             }),
             "cluster" => {
@@ -418,10 +471,15 @@ impl Request {
                     None | Some(Value::Null) => None,
                     Some(kind) => Some(kind_from_value(kind)?),
                 };
+                let solver = match v.get("solver") {
+                    None | Some(Value::Null) => None,
+                    Some(solver) => Some(solver_from_value(solver)?),
+                };
                 Ok(Request::Cluster {
                     dataset,
                     k,
                     kind,
+                    solver,
                     seed: optional_seed(&v)?,
                 })
             }
@@ -485,6 +543,15 @@ fn dataset_stats_to_value(s: &DatasetStats) -> Value {
                     .collect(),
             ),
         ),
+        (
+            "queue_depth_per_shard",
+            Value::Array(
+                s.queue_depth_per_shard
+                    .iter()
+                    .map(|&n| Value::from(n))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -517,6 +584,15 @@ fn dataset_stats_from_value(v: &Value) -> Result<DatasetStats, ProtocolError> {
             .map(|n| {
                 n.as_usize()
                     .ok_or_else(|| ProtocolError::new("`summaries_per_shard` must hold integers"))
+            })
+            .collect::<Result<_, _>>()?,
+        queue_depth_per_shard: field("queue_depth_per_shard")?
+            .as_array()
+            .ok_or_else(|| ProtocolError::new("`queue_depth_per_shard` must be an array"))?
+            .iter()
+            .map(|n| {
+                n.as_usize()
+                    .ok_or_else(|| ProtocolError::new("`queue_depth_per_shard` must hold integers"))
             })
             .collect::<Result<_, _>>()?,
     })
@@ -556,6 +632,7 @@ impl Response {
                 dataset,
                 centers,
                 kind,
+                solver,
                 coreset_cost,
                 coreset_points,
                 seed,
@@ -565,6 +642,7 @@ impl Response {
                 ("dataset", Value::from(dataset.clone())),
                 ("centers", rows_to_value(centers)),
                 ("objective", Value::from(kind_to_str(*kind))),
+                ("solver", Value::from(solver.to_string())),
                 ("coreset_cost", Value::from(*coreset_cost)),
                 ("coreset_points", Value::from(*coreset_points)),
                 ("seed", Value::from(*seed)),
@@ -657,6 +735,10 @@ impl Response {
                 kind: kind_from_value(
                     v.get("objective")
                         .ok_or_else(|| ProtocolError::new("missing field `objective`"))?,
+                )?,
+                solver: solver_from_value(
+                    v.get("solver")
+                        .ok_or_else(|| ProtocolError::new("missing field `solver`"))?,
                 )?,
                 coreset_cost: num("coreset_cost")?,
                 coreset_points: int("coreset_points")?,
@@ -754,22 +836,26 @@ mod tests {
         });
         round_trip_request(Request::Compress {
             dataset: "a/b c".into(),
+            method: None,
             seed: Some(7),
         });
         round_trip_request(Request::Compress {
             dataset: "x".into(),
+            method: Some("merge-reduce(welterweight(log-k))".parse().unwrap()),
             seed: None,
         });
         round_trip_request(Request::Cluster {
             dataset: "d".into(),
             k: Some(4),
             kind: Some(CostKind::KMedian),
+            solver: Some(Solver::KMedianWeiszfeld),
             seed: Some(99),
         });
         round_trip_request(Request::Cluster {
             dataset: "d".into(),
             k: None,
             kind: None,
+            solver: None,
             seed: None,
         });
         round_trip_request(Request::Cost {
@@ -804,6 +890,7 @@ mod tests {
             dataset: "d".into(),
             centers: vec![vec![1.0], vec![2.0]],
             kind: CostKind::KMeans,
+            solver: Solver::Hamerly,
             coreset_cost: 12.5,
             coreset_points: 200,
             seed: 8,
@@ -823,6 +910,7 @@ mod tests {
                 ingested_weight: 1000.0,
                 stored_points: 320,
                 summaries_per_shard: vec![2, 1, 3, 1],
+                queue_depth_per_shard: vec![0, 4, 0, 1],
             }],
         });
         round_trip_response(Response::Dropped {
@@ -875,6 +963,22 @@ mod tests {
             (
                 r#"{"op":"cluster","dataset":"d","kind":"fuzzy"}"#,
                 "unknown kind",
+            ),
+            (
+                r#"{"op":"cluster","dataset":"d","solver":"simplex"}"#,
+                "unknown solver",
+            ),
+            (
+                r#"{"op":"cluster","dataset":"d","solver":7}"#,
+                "`solver` must be a string",
+            ),
+            (
+                r#"{"op":"compress","dataset":"d","method":"zip"}"#,
+                "unknown method",
+            ),
+            (
+                r#"{"op":"compress","dataset":"d","method":[1]}"#,
+                "`method` must be a string",
             ),
             (
                 r#"{"op":"cluster","dataset":"d","seed":-4}"#,

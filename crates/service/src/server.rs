@@ -229,7 +229,11 @@ pub fn handle_request(engine: &Engine, request: Request) -> Response {
                 Err(e) => engine_error(e),
             }
         }
-        Request::Compress { dataset, seed } => match engine.coreset(&dataset, seed) {
+        Request::Compress {
+            dataset,
+            method,
+            seed,
+        } => match engine.coreset(&dataset, seed, method.as_ref()) {
             Ok((coreset, seed)) => {
                 let (points, weights) = protocol::dataset_to_rows(coreset.dataset());
                 Response::Coreset {
@@ -245,8 +249,9 @@ pub fn handle_request(engine: &Engine, request: Request) -> Response {
             dataset,
             k,
             kind,
+            solver,
             seed,
-        } => match engine.cluster(&dataset, k, kind, seed) {
+        } => match engine.cluster(&dataset, k, kind, solver, seed) {
             Ok(outcome) => Response::Clustered {
                 dataset,
                 centers: outcome
@@ -256,6 +261,7 @@ pub fn handle_request(engine: &Engine, request: Request) -> Response {
                     .map(<[f64]>::to_vec)
                     .collect(),
                 kind: outcome.kind,
+                solver: outcome.solver,
                 coreset_cost: outcome.solution.cost,
                 coreset_points: outcome.coreset_points,
                 seed: outcome.seed,
@@ -315,6 +321,7 @@ mod tests {
             },
             Arc::new(Uniform),
         )
+        .unwrap()
     }
 
     #[test]
@@ -337,6 +344,7 @@ mod tests {
             &engine,
             Request::Compress {
                 dataset: "d".into(),
+                method: Some(fc_core::plan::Method::Uniform),
                 seed: Some(1),
             },
         );
@@ -348,10 +356,16 @@ mod tests {
                 dataset: "d".into(),
                 k: Some(2),
                 kind: None,
+                solver: Some(fc_clustering::Solver::Hamerly),
                 seed: Some(1),
             },
         );
-        assert!(matches!(cluster, Response::Clustered { .. }), "{cluster:?}");
+        match &cluster {
+            Response::Clustered { solver, .. } => {
+                assert_eq!(*solver, fc_clustering::Solver::Hamerly)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
 
         let cost = handle_request(
             &engine,

@@ -1,30 +1,15 @@
-//! Streaming compression (Sections 2.3 and 5.4 of the paper).
+//! Streaming compression — compatibility facade.
 //!
-//! - [`merge_reduce`]: the black-box merge-&-reduce composition of [11, 40]
-//!   used by the paper's streaming experiments — blocks are compressed,
-//!   merged pairwise along a complete binary tree (so at any moment at most
-//!   one coreset per level exists), and the level coresets are concatenated
-//!   and compressed once more at the end.
-//! - [`cf`]: BIRCH-style clustering features `(W, Σp, Σ|p|²)` [58] — the
-//!   additive sufficient statistics under the k-means objective.
-//! - [`bico`]: the BICO streaming coreset of [38]: a hierarchy of clustering
-//!   features with level-halving radii and a global cost threshold that
-//!   doubles whenever the summary outgrows its budget.
-//! - [`streamkm`]: StreamKM++ [1]: a coreset tree performing hierarchical
-//!   D²-splitting, composed over the stream with merge-&-reduce buckets.
-//! - [`mapreduce`]: the single-round MapReduce aggregation of Section 2.3 —
-//!   partition, compress per worker (real threads), union the coresets.
+//! The implementations moved into [`fc_core::streaming`] so the unified
+//! `Plan`/`Method` API in `fc_core` can drive the streaming compressors
+//! (BICO, StreamKM++, merge-&-reduce over any base method) without a
+//! dependency cycle. This crate re-exports everything under its historical
+//! paths, so `use fc_streaming::MergeReduce;` and
+//! `fc_streaming::bico::BicoConfig` keep working unchanged.
 
-pub mod bico;
-pub mod cf;
-pub mod mapreduce;
-pub mod merge_reduce;
-pub mod stream;
-pub mod streamkm;
+pub use fc_core::streaming::{bico, cf, mapreduce, merge_reduce, stream, streamkm};
 
-pub use bico::{Bico, BicoCompressor, BicoConfig, BicoStream};
-pub use cf::ClusteringFeature;
-pub use mapreduce::{mapreduce_coreset, MapReduceReport};
-pub use merge_reduce::MergeReduce;
-pub use stream::StreamingCompressor;
-pub use streamkm::{CoresetTreeCompressor, StreamKm};
+pub use fc_core::streaming::{
+    mapreduce_coreset, run_stream, Bico, BicoCompressor, BicoConfig, BicoStream, ClusteringFeature,
+    CoresetTreeCompressor, MapReduceReport, MergeReduce, StreamKm, StreamingCompressor,
+};

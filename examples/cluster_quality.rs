@@ -8,9 +8,7 @@
 
 use fast_coresets::prelude::*;
 use fc_clustering::hamerly::{hamerly_kmeans, pruning_rate};
-use fc_clustering::lloyd::LloydConfig;
 use fc_clustering::metrics::{cluster_profile, davies_bouldin, silhouette_sampled};
-use fc_core::pipeline::{Method, Pipeline};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,10 +27,16 @@ fn main() {
     );
     println!("dataset: {} x {}", data.len(), data.dim());
 
-    // One-liner pipeline: compress with Fast-Coresets, solve, evaluate.
-    let outcome = Pipeline::new(k)
+    // One plan: compress with Fast-Coresets, refine with the
+    // Hamerly-accelerated solver (identical fixed points to Lloyd),
+    // evaluate. Swapping `.solver(...)` is the whole migration.
+    let outcome = PlanBuilder::new(k)
         .method(Method::FastCoreset)
-        .run(&mut rng, &data);
+        .solver(Solver::Hamerly)
+        .build()
+        .expect("valid plan")
+        .run(&mut rng, &data)
+        .expect("valid data");
     println!(
         "pipeline: coreset {} pts in {:.2}s, solve {:.2}s, distortion {:.3}",
         outcome.coreset.len(),

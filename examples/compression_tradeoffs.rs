@@ -8,12 +8,11 @@
 //! ```
 
 use fast_coresets::prelude::*;
-use fc_clustering::lloyd::LloydConfig;
 use fc_core::methods::JCount;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn evaluate(name: &str, data: &Dataset, k: usize, methods: &[(&str, Box<dyn Compressor>)]) {
+fn evaluate(name: &str, data: &Dataset, k: usize, methods: &[Method]) {
     println!(
         "\n--- {name}: n = {}, d = {}, k = {k} ---",
         data.len(),
@@ -23,50 +22,42 @@ fn evaluate(name: &str, data: &Dataset, k: usize, methods: &[(&str, Box<dyn Comp
         "{:<22} {:>10} {:>12} {:>10}",
         "method", "size", "build time", "distortion"
     );
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
-    for (label, method) in methods {
+    for method in methods {
+        // One plan per (dataset, method): the whole sweep is the method
+        // knob turning across the spectrum.
+        let plan = PlanBuilder::new(k)
+            .method(method.clone())
+            .m_scalar(40)
+            .build()
+            .expect("valid plan");
         let mut rng = StdRng::seed_from_u64(7);
-        let start = std::time::Instant::now();
-        let coreset = method.compress(&mut rng, data, &params);
-        let elapsed = start.elapsed();
-        let report = fc_core::distortion(
-            &mut rng,
-            data,
-            &coreset,
-            k,
-            CostKind::KMeans,
-            LloydConfig::default(),
-        );
-        let flag = if report.distortion > 10.0 {
+        let out = plan.run(&mut rng, data).expect("valid data");
+        let distortion = out.distortion.expect("evaluation on");
+        let flag = if distortion > 10.0 {
             "  <- catastrophic"
-        } else if report.distortion > 5.0 {
+        } else if distortion > 5.0 {
             "  <- failure"
         } else {
             ""
         };
         println!(
-            "{label:<22} {:>10} {:>12.2?} {:>10.3}{flag}",
-            coreset.len(),
-            elapsed,
-            report.distortion,
+            "{:<22} {:>10} {:>11.2}s {:>10.3}{flag}",
+            method.to_string(),
+            out.coreset.len(),
+            out.compress_secs,
+            distortion,
         );
     }
 }
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2024);
-    let methods: Vec<(&str, Box<dyn Compressor>)> = vec![
-        ("uniform", Box::new(Uniform)),
-        ("lightweight (j=1)", Box::new(Lightweight)),
-        (
-            "welterweight (log k)",
-            Box::new(Welterweight::new(JCount::LogK)),
-        ),
-        (
-            "sensitivity (j=k)",
-            Box::new(StandardSensitivity::default()),
-        ),
-        ("fast-coreset", Box::new(FastCoreset::default())),
+    let methods: Vec<Method> = vec![
+        Method::Uniform,
+        Method::Lightweight,
+        Method::Welterweight(JCount::LogK),
+        Method::Sensitivity,
+        Method::FastCoreset,
     ];
 
     // 1. A benign balanced mixture: everything works.

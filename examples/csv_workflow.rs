@@ -46,8 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let loaded = io::read_csv(&raw_path, false, false)?;
     assert_eq!(loaded.len(), data.len());
     let k = 12;
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
-    let coreset = FastCoreset::default().compress(&mut rng, &loaded, &params);
+    let plan = PlanBuilder::new(k).method(Method::FastCoreset).build()?;
+    let coreset = plan.compress(&mut rng, &loaded)?;
     io::write_csv(&coreset_path, coreset.dataset(), true)?;
     let coreset_size = std::fs::metadata(&coreset_path)?.len();
     println!(
@@ -58,15 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         csv_size as f64 / coreset_size as f64,
     );
 
-    // 3. A downstream consumer loads ONLY the coreset file and clusters it.
+    // 3. A downstream consumer loads ONLY the coreset file and clusters
+    //    it — the same plan's solver, run on the shipped artifact.
     let shipped = io::read_csv(&coreset_path, true, false)?;
-    let solution = fc_clustering::lloyd::solve(
-        &mut rng,
-        &shipped,
-        k,
-        CostKind::KMeans,
-        fc_clustering::lloyd::LloydConfig::default(),
-    );
+    let solution = plan.solve_on(&mut rng, &shipped)?;
 
     // 4. Verify against the original data (the consumer normally can't).
     let full_cost = solution.cost_on(&data, CostKind::KMeans);

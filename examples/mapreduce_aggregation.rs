@@ -16,7 +16,7 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     let k = 40;
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans).unwrap();
     let data = fc_data::gaussian_mixture(
         &mut rng,
         fc_data::GaussianMixtureConfig {
@@ -34,10 +34,12 @@ fn main() {
         params.m
     );
 
-    let fast = FastCoreset::default();
+    // Built from the unified Method enum — the same name ("fast-coreset")
+    // selects this compressor in PlanBuilder and on the fc-service wire.
+    let fast = Method::FastCoreset.build();
     for workers in [1usize, 2, 4, 8] {
         let start = std::time::Instant::now();
-        let report = mapreduce_coreset(&mut rng, &data, &fast, &params, workers);
+        let report = mapreduce_coreset(&mut rng, &data, &*fast, &params, workers);
         let elapsed = start.elapsed();
         let dist = fc_core::distortion(
             &mut rng,

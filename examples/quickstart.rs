@@ -1,15 +1,15 @@
-//! Quickstart: compress a dataset with a Fast-Coreset, cluster the
-//! compression, and verify it prices solutions like the full data.
+//! Quickstart: one `Plan` compresses a dataset with a Fast-Coreset,
+//! clusters the compression, and verifies it prices solutions like the
+//! full data — then swaps the method knob to show the tradeoff.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use fast_coresets::prelude::*;
-use fc_clustering::lloyd::LloydConfig;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), FcError> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
 
     // 100 000 points in 20 dimensions from an imbalanced Gaussian mixture —
@@ -26,53 +26,45 @@ fn main() {
     );
     println!("dataset: {} points x {} dims", data.len(), data.dim());
 
-    // Compress to m = 40k points with the strong-coreset guarantee.
+    // One plan: compress to m = 40k points with the strong-coreset
+    // guarantee, cluster the compression with Lloyd, price the solution on
+    // both the coreset and the full data. Invalid parameters (k = 0,
+    // m < k, m > n) would surface here as an `FcError`, not a panic.
     let k = 30;
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
-    let start = std::time::Instant::now();
-    let coreset = FastCoreset::default().compress(&mut rng, &data, &params);
+    let plan = PlanBuilder::new(k)
+        .method(Method::FastCoreset)
+        .solver(Solver::Lloyd)
+        .m_scalar(40)
+        .build()?;
+    let outcome = plan.run(&mut rng, &data)?;
     println!(
-        "fast-coreset: {} -> {} weighted points in {:.2?} (total weight {:.0})",
+        "fast-coreset: {} -> {} weighted points in {:.2}s (solve {:.2}s, total weight {:.0})",
         data.len(),
-        coreset.len(),
-        start.elapsed(),
-        coreset.total_weight(),
-    );
-
-    // Cluster the coreset (not the data!) and price the result on both.
-    let report = fc_core::distortion(
-        &mut rng,
-        &data,
-        &coreset,
-        k,
-        CostKind::KMeans,
-        LloydConfig::default(),
+        outcome.coreset.len(),
+        outcome.compress_secs,
+        outcome.solve_secs,
+        outcome.coreset.total_weight(),
     );
     println!(
         "cost of the coreset-derived solution on the full data: {:.4e}",
-        report.cost_full
-    );
-    println!(
-        "cost of the same solution on the coreset:              {:.4e}",
-        report.cost_coreset
+        outcome.cost_on_data.expect("evaluation on")
     );
     println!(
         "coreset distortion: {:.4}  (1.0 = perfect, >5 = failure)",
-        report.distortion
+        outcome.distortion.expect("evaluation on")
     );
 
-    // Contrast with uniform sampling at the same size.
-    let uniform = Uniform.compress(&mut rng, &data, &params);
-    let u_report = fc_core::distortion(
-        &mut rng,
-        &data,
-        &uniform,
-        k,
-        CostKind::KMeans,
-        LloydConfig::default(),
-    );
+    // Contrast with uniform sampling at the same size — same plan, one
+    // knob turned. `Method` names parse from strings too ("uniform"),
+    // which is exactly what the fc-service protocol uses.
+    let uniform_plan = PlanBuilder::new(k)
+        .method("uniform".parse::<Method>()?)
+        .m_scalar(40)
+        .build()?;
+    let uniform = uniform_plan.run(&mut rng, &data)?;
     println!(
         "uniform-sampling distortion at the same size: {:.4}",
-        u_report.distortion
+        uniform.distortion.expect("evaluation on")
     );
+    Ok(())
 }

@@ -25,13 +25,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
 
-    // A server on an ephemeral port, serving coresets sized for k clusters.
+    // A server on an ephemeral port, serving coresets sized for k
+    // clusters. Method and solver are configured with the same enums (and
+    // canonical names) the library's PlanBuilder uses.
     let config = EngineConfig {
         k,
         shards: 4,
+        method: Method::FastCoreset,
+        solver: Solver::Lloyd,
         ..Default::default()
     };
-    let server = ServerHandle::bind("127.0.0.1:0", Engine::new(config))?;
+    let server = ServerHandle::bind("127.0.0.1:0", Engine::new(config)?)?;
     println!("server listening on {}", server.addr());
 
     // Stream the data in as 20 ingest batches.
@@ -41,12 +45,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let stats = &client.stats(Some("gaussians"))?[0];
     println!(
-        "ingested {} points (weight {:.0}) across {} shards; {} stored coreset points",
-        stats.ingested_points, stats.ingested_weight, stats.shards, stats.stored_points
+        "ingested {} points (weight {:.0}) across {} shards; {} stored coreset points \
+         (queue depths {:?})",
+        stats.ingested_points,
+        stats.ingested_weight,
+        stats.shards,
+        stats.stored_points,
+        stats.queue_depth_per_shard,
     );
 
     // Ask the service to cluster its compression.
-    let result = client.cluster("gaussians", Some(k), Some(CostKind::KMeans), None)?;
+    let result = client.cluster("gaussians", Some(k), Some(CostKind::KMeans), None, None)?;
     println!(
         "served k={k} clustering from {} coreset points (seed {})",
         result.coreset_points, result.seed
@@ -66,10 +75,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "gaussians",
         Some(k),
         Some(CostKind::KMeans),
+        None,
         Some(result.seed),
     )?;
     assert_eq!(replay.centers, result.centers, "seeded replay must match");
     println!("replay with seed {} reproduced the clustering", result.seed);
+
+    // Per-request overrides, parsed from the same canonical names the
+    // library exposes: a Hamerly-refined clustering and a one-off
+    // uniform-sampled serving coreset.
+    let hamerly = client.cluster(
+        "gaussians",
+        Some(k),
+        Some(CostKind::KMeans),
+        Some("hamerly".parse::<Solver>()?),
+        Some(result.seed),
+    )?;
+    println!(
+        "solver override: {} refined {} centers",
+        hamerly.solver,
+        hamerly.centers.len()
+    );
+    let (uniform, _) =
+        client.compress("gaussians", Some(&"uniform".parse::<Method>()?), Some(1))?;
+    println!(
+        "method override: uniform serving coreset of {} points",
+        uniform.len()
+    );
 
     client.drop_dataset("gaussians")?;
     server.shutdown();

@@ -53,7 +53,7 @@ fn main() {
     );
 
     // End to end: Fast-Coreset with and without the reduction.
-    let cparams = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let cparams = CompressionParams::with_scalar(k, 40, CostKind::KMeans).unwrap();
     for (label, reduce) in [
         ("without reduce-spread", false),
         ("with reduce-spread", true),

@@ -18,7 +18,7 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);
     let k = 25;
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans).unwrap();
 
     // The "stream": an imbalanced mixture arriving in 20 blocks.
     let data = fc_data::gaussian_mixture(
@@ -38,15 +38,33 @@ fn main() {
         params.m
     );
 
-    // 1. Merge-&-reduce over the Fast-Coreset compressor.
-    let fast = FastCoreset::default();
-    let mut mr = MergeReduce::new(fast, params);
+    // 1. Merge-&-reduce over the Fast-Coreset compressor, through the
+    //    unified Plan API: the same plan that runs batches opens a
+    //    streaming session.
+    let plan = PlanBuilder::new(k)
+        .method(Method::FastCoreset)
+        .m_scalar(40)
+        .build()
+        .expect("valid plan");
+    let mut session = plan.stream();
     let start = std::time::Instant::now();
-    let streamed = run_stream(&mut mr, &mut rng, &data, blocks);
+    let batch = data.len().div_ceil(blocks);
+    for block in data.chunks(batch) {
+        session
+            .push(&mut rng, &block)
+            .expect("blocks agree in dimension");
+    }
+    println!(
+        "mid-stream: {} summaries holding {} points",
+        session.summary_count(),
+        session.stored_points(),
+    );
+    let streamed = session.finish(&mut rng).expect("blocks were pushed");
     let stream_time = start.elapsed();
 
     // 2. The same compressor, one shot over the whole data (the "cheating"
     //    baseline that holds everything in memory).
+    let fast = FastCoreset::default();
     let start = std::time::Instant::now();
     let static_c = fast.compress(&mut rng, &data, &params);
     let static_time = start.elapsed();

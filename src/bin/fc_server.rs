@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! fc-server [--addr HOST:PORT] [--shards N] [--k K] [--m-scalar M]
-//!           [--budget POINTS] [--kmedian]
+//!           [--budget POINTS] [--kmedian] [--method NAME] [--solver NAME]
 //! ```
+//!
+//! `--method` and `--solver` take the canonical names of
+//! `fc_core::plan::Method` and `fc_clustering::Solver` (e.g.
+//! `fast-coreset`, `uniform`, `merge-reduce(lightweight)`; `lloyd`,
+//! `hamerly`) — the same strings the JSON protocol accepts per request.
 //!
 //! Serves the JSON-lines protocol of `fc_service::protocol` until killed.
 
@@ -13,7 +18,8 @@ use fc_service::{Engine, EngineConfig, ServerHandle};
 fn usage() -> ! {
     eprintln!(
         "usage: fc-server [--addr HOST:PORT] [--shards N] [--k K] \
-         [--m-scalar M] [--budget POINTS] [--kmedian]"
+         [--m-scalar M] [--budget POINTS] [--kmedian] [--method NAME] \
+         [--solver NAME]"
     );
     std::process::exit(2);
 }
@@ -43,6 +49,18 @@ fn parse_args() -> (String, EngineConfig) {
                     Some(value("points").parse().unwrap_or_else(|_| usage()));
             }
             "--kmedian" => config.kind = CostKind::KMedian,
+            "--method" => {
+                config.method = value("method name").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
+            "--solver" => {
+                config.solver = value("solver name").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -50,16 +68,20 @@ fn parse_args() -> (String, EngineConfig) {
             }
         }
     }
-    if config.shards == 0 || config.k == 0 || config.m_scalar == 0 {
-        eprintln!("--shards, --k, and --m-scalar must be positive");
-        usage();
-    }
     (addr, config)
 }
 
 fn main() {
     let (addr, config) = parse_args();
-    let engine = Engine::new(config);
+    // Engine construction validates the configuration (shards/k/m-scalar
+    // positive, solver compatible with the objective) via FcError.
+    let engine = match Engine::new(config.clone()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("fc-server: invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
     let handle = match ServerHandle::bind(addr.as_str(), engine) {
         Ok(h) => h,
         Err(e) => {
@@ -68,13 +90,16 @@ fn main() {
         }
     };
     println!(
-        "fc-server listening on {} (shards={}, k={}, m={}, budget={}, {:?})",
+        "fc-server listening on {} (shards={}, k={}, m={}, budget={}, {:?}, \
+         method={}, solver={})",
         handle.addr(),
         config.shards,
         config.k,
         config.k * config.m_scalar,
         config.effective_budget(),
         config.kind,
+        config.method,
+        config.solver,
     );
     // Serve until the process is killed; accept/connection threads do the
     // work. SIGTERM's default disposition terminates the process.

@@ -8,6 +8,12 @@
 //!
 //! ## Quick start
 //!
+//! One [`PlanBuilder`](prelude::PlanBuilder) drives everything: pick a
+//! compression [`Method`](prelude::Method) (the paper's settling-time /
+//! accuracy knob), pick a [`Solver`](prelude::Solver), and run — every
+//! invalid parameter comes back as an [`FcError`](prelude::FcError), never
+//! a panic.
+//!
 //! ```
 //! use fast_coresets::prelude::*;
 //! use rand::SeedableRng;
@@ -19,28 +25,52 @@
 //!     fc_data::GaussianMixtureConfig { n: 2_000, d: 10, kappa: 8, ..Default::default() },
 //! );
 //!
-//! // Compress 2 000 points down to 200 with a strong-coreset guarantee.
-//! let params = CompressionParams { k: 8, m: 200, kind: CostKind::KMeans };
-//! let coreset = FastCoreset::default().compress(&mut rng, &data, &params);
+//! // Compress 2 000 points down to 200 with a strong-coreset guarantee,
+//! // cluster the compression, and measure the distortion — one plan.
+//! let plan = PlanBuilder::new(8)
+//!     .method(Method::FastCoreset)
+//!     .solver(Solver::Lloyd)
+//!     .coreset_size(200)
+//!     .build()?;
+//! let outcome = plan.run(&mut rng, &data)?;
+//! assert!(outcome.coreset.len() <= 200);
+//! assert!(outcome.distortion.unwrap() < 2.0);
 //!
-//! // Cluster the coreset and measure how faithfully it priced the data.
-//! let report = fc_core::distortion(
-//!     &mut rng, &data, &coreset, params.k, params.kind, LloydConfig::default(),
-//! );
-//! assert!(report.distortion < 2.0);
+//! // The same plan consumes streams: push blocks, finish, solve.
+//! let mut session = plan.stream();
+//! for block in data.chunks(500) {
+//!     session.push(&mut rng, &block)?;
+//! }
+//! let (coreset, solution) = session.finish_and_solve(&mut rng)?;
+//! assert!(coreset.len() <= 200);
+//! assert_eq!(solution.k(), 8);
+//!
+//! // Methods and solvers have canonical names — the identical strings the
+//! // fc-service wire protocol accepts.
+//! assert_eq!("merge-reduce(fast-coreset)".parse::<Method>()?.to_string(),
+//!            "merge-reduce(fast-coreset)");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## Migrating from `Pipeline`
+//!
+//! `fc_core::pipeline::Pipeline` (panicking, batch-only) is deprecated.
+//! Replace `Pipeline::new(k).method(m).run(&mut rng, &data)` with
+//! `PlanBuilder::new(k).method(m).build()?.run(&mut rng, &data)?`; the
+//! [`Method`](prelude::Method) enum is the same type, now also covering
+//! BICO, StreamKM++, and merge-&-reduce composition.
 //!
 //! ## Crate map
 //!
 //! | crate | contents |
 //! |---|---|
 //! | [`fc_geom`] | point stores, weighted datasets, distances, JL projections, weighted sampling |
-//! | [`fc_clustering`] | k-means++ seeding, Lloyd/Weiszfeld refinement, cost evaluation |
+//! | [`fc_clustering`] | k-means++ seeding, Lloyd/Weiszfeld/Hamerly/local-search refinement behind the [`Solver`](prelude::Solver) dispatch |
 //! | [`fc_quadtree`] | compressed quadtrees, Fast-kmeans++, Crude-Approx, Reduce-Spread, HST k-median |
-//! | [`fc_core`] | Fast-Coresets (Algorithm 1), uniform/lightweight/welterweight/sensitivity samplers, distortion metric |
-//! | [`fc_streaming`] | merge-&-reduce, BICO, StreamKM++, MapReduce aggregation |
+//! | [`fc_core`] | the [`Plan`](prelude::Plan) API, Fast-Coresets (Algorithm 1), the sampler spectrum, streaming composition (merge-&-reduce, BICO, StreamKM++, MapReduce), distortion metric, [`FcError`](prelude::FcError) |
+//! | [`fc_streaming`] | compatibility facade re-exporting [`fc_core::streaming`] |
 //! | [`fc_data`] | the paper's artificial datasets and real-world proxies |
-//! | [`fc_service`] | the sharded coreset-serving engine, its TCP/JSON-lines protocol, server, and client (`fc-server` binary) |
+//! | [`fc_service`] | the sharded coreset-serving engine, its TCP/JSON-lines protocol, server, and client (`fc-server` binary) — configured by the same `Method`/`Solver` names |
 
 pub use fc_clustering;
 pub use fc_core;
@@ -53,10 +83,12 @@ pub use fc_streaming;
 /// The most common imports in one place.
 pub mod prelude {
     pub use fc_clustering::lloyd::LloydConfig;
-    pub use fc_clustering::CostKind;
+    pub use fc_clustering::solver::{SolveConfig, Solver, SolverError};
+    pub use fc_clustering::{CostKind, LocalSearchConfig};
+    pub use fc_core::plan::{Method, Plan, PlanBuilder, PlanOutcome, StreamSession};
     pub use fc_core::{
-        CompressionParams, Compressor, Coreset, FastCoreset, FastCoresetConfig, Lightweight,
-        StandardSensitivity, Uniform, Welterweight,
+        CompressionParams, Compressor, Coreset, FastCoreset, FastCoresetConfig, FcError,
+        Lightweight, StandardSensitivity, Uniform, Welterweight,
     };
     pub use fc_geom::{Dataset, Points};
     pub use fc_service::{Engine, EngineConfig, ServerHandle, ServiceClient};
@@ -73,5 +105,16 @@ mod tests {
             m: 10,
             kind: CostKind::KMeans,
         };
+        // The plan surface is reachable from the prelude alone.
+        let plan = PlanBuilder::new(2)
+            .method(Method::Uniform)
+            .solver(Solver::Lloyd)
+            .build()
+            .unwrap();
+        assert_eq!(plan.k(), 2);
+        assert!(matches!(
+            PlanBuilder::new(0).build(),
+            Err(FcError::InvalidK)
+        ));
     }
 }

@@ -27,7 +27,7 @@ fn fast_coreset_passes_the_battery_on_balanced_and_imbalanced_data() {
     for (seed, gamma) in [(61u64, 0.0), (62, 3.0)] {
         let data = mixture(seed, gamma);
         let k = 10;
-        let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+        let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans).unwrap();
         let mut rng = StdRng::seed_from_u64(seed + 100);
         let coreset = FastCoreset::default().compress(&mut rng, &data, &params);
         let report = battery_distortion(&mut rng, &data, &coreset, k, CostKind::KMeans, 3);
@@ -45,7 +45,7 @@ fn sensitivity_passes_where_uniform_fails_under_the_battery() {
     let mut gen_rng = StdRng::seed_from_u64(63);
     let data = fc_data::c_outlier(&mut gen_rng, 8_000, 12, 10, 1e5);
     let k = 6;
-    let params = CompressionParams::with_scalar(k, 20, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 20, CostKind::KMeans).unwrap();
 
     // Uniform sampling fails *probabilistically* (it fails iff the sample
     // misses every outlier), so take the worst over several attempts while
@@ -76,7 +76,7 @@ fn sensitivity_passes_where_uniform_fails_under_the_battery() {
 fn battery_and_single_metric_agree_on_verdicts() {
     let data = mixture(64, 1.0);
     let k = 10;
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans).unwrap();
     let mut rng = StdRng::seed_from_u64(65);
     let coreset = FastCoreset::default().compress(&mut rng, &data, &params);
     let single = fc_core::distortion(
@@ -98,7 +98,7 @@ fn battery_and_single_metric_agree_on_verdicts() {
 fn kmedian_battery_holds_too() {
     let data = mixture(66, 2.0);
     let k = 10;
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMedian);
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMedian).unwrap();
     let mut rng = StdRng::seed_from_u64(67);
     let coreset = FastCoreset::default().compress(&mut rng, &data, &params);
     let report = battery_distortion(&mut rng, &data, &coreset, k, CostKind::KMedian, 2);

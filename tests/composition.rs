@@ -26,7 +26,7 @@ fn mixture(seed: u64, n: usize) -> Dataset {
 fn union_of_part_coresets_prices_the_whole() {
     let data = mixture(41, 12_000);
     let halves = data.chunks(6_000);
-    let params = CompressionParams::with_scalar(8, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(8, 40, CostKind::KMeans).unwrap();
     let method = FastCoreset::default();
     let mut rng = StdRng::seed_from_u64(42);
     let c1 = method.compress(&mut rng, &halves[0], &params);
@@ -48,7 +48,7 @@ fn union_of_part_coresets_prices_the_whole() {
 fn mapreduce_matches_single_shot_quality() {
     let data = mixture(44, 16_000);
     let k = 8;
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans).unwrap();
     let method = FastCoreset::default();
 
     let mut rng = StdRng::seed_from_u64(45);
@@ -84,7 +84,7 @@ fn mapreduce_matches_single_shot_quality() {
 #[test]
 fn compression_is_deterministic_under_a_fixed_seed() {
     let data = mixture(46, 6_000);
-    let params = CompressionParams::with_scalar(6, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(6, 40, CostKind::KMeans).unwrap();
     for method in [
         Box::new(Uniform) as Box<dyn Compressor>,
         Box::new(Lightweight),

@@ -10,7 +10,7 @@ use rand::SeedableRng;
 
 fn distortion_of(method: &dyn Compressor, data: &Dataset, k: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans).unwrap();
     let coreset = method.compress(&mut rng, data, &params);
     fc_core::distortion(
         &mut rng,
@@ -115,7 +115,7 @@ fn coreset_sizes_and_weights_are_consistent_across_methods() {
             ..Default::default()
         },
     );
-    let params = CompressionParams::with_scalar(8, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(8, 40, CostKind::KMeans).unwrap();
     let methods: Vec<Box<dyn Compressor>> = vec![
         Box::new(Uniform),
         Box::new(Lightweight),
@@ -166,7 +166,7 @@ fn larger_m_improves_worst_case_distortion() {
         (0..3)
             .map(|s| {
                 let mut rng = StdRng::seed_from_u64(600 + s);
-                let params = CompressionParams::with_scalar(k, m_scalar, CostKind::KMeans);
+                let params = CompressionParams::with_scalar(k, m_scalar, CostKind::KMeans).unwrap();
                 let c = FastCoreset::default().compress(&mut rng, &data, &params);
                 fc_core::distortion(
                     &mut rng,

@@ -1,9 +1,8 @@
 //! Cross-crate coverage for the extension features: the dataset registry,
-//! the HST-seeded compressor, and the high-level pipeline, working together.
+//! the HST-seeded compressor, and the high-level plan API, working together.
 
 use fast_coresets::prelude::*;
 use fc_core::methods::HstCoreset;
-use fc_core::pipeline::{Method, Pipeline};
 use fc_data::registry::{available, generate, RegistryParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,10 +19,13 @@ fn pipeline_runs_on_every_registry_dataset() {
         let mut rng = StdRng::seed_from_u64(81);
         let data = generate(&mut rng, name, &params).expect("registered dataset");
         let k = 10.min(data.len() / 4).max(2);
-        let out = Pipeline::new(k)
+        let out = PlanBuilder::new(k)
             .method(Method::FastCoreset)
             .m_scalar(20)
-            .run(&mut rng, &data);
+            .build()
+            .unwrap()
+            .run(&mut rng, &data)
+            .unwrap();
         let d = out.distortion.expect("evaluation on");
         assert!(d.is_finite(), "{name}: infinite distortion");
         // Strong-coreset method: never catastrophic, on any instance.
@@ -45,7 +47,7 @@ fn hst_coreset_is_competitive_with_fast_coreset() {
         },
     );
     let k = 6;
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans).unwrap();
     let lloyd = fc_clustering::lloyd::LloydConfig::default();
 
     let hst = HstCoreset::default().compress(&mut rng, &data, &params);
@@ -67,10 +69,13 @@ fn pipeline_methods_rank_as_the_paper_predicts_on_outliers() {
         (0..3)
             .map(|s| {
                 let mut rng = StdRng::seed_from_u64(900 + s);
-                Pipeline::new(k)
-                    .method(method)
+                PlanBuilder::new(k)
+                    .method(method.clone())
                     .m_scalar(20)
+                    .build()
+                    .unwrap()
                     .run(&mut rng, &data)
+                    .unwrap()
                     .distortion
                     .expect("evaluation on")
             })

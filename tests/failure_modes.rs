@@ -35,7 +35,7 @@ mod rand_distr_free {
 
 fn distortion_of(method: &dyn Compressor, data: &Dataset, k: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
-    let params = CompressionParams::with_scalar(k, 20, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 20, CostKind::KMeans).unwrap();
     let coreset = method.compress(&mut rng, data, &params);
     fc_core::distortion(
         &mut rng,

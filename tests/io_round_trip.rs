@@ -31,7 +31,7 @@ fn mixture(seed: u64) -> Dataset {
 fn persisted_coreset_prices_identically() {
     let data = mixture(71);
     let k = 6;
-    let params = CompressionParams::with_scalar(k, 30, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 30, CostKind::KMeans).unwrap();
     let mut rng = StdRng::seed_from_u64(72);
     let coreset = FastCoreset::default().compress(&mut rng, &data, &params);
 
@@ -63,7 +63,7 @@ fn compression_composes_with_standardization() {
     let scaler = AxisScaler::standardize(&data).unwrap();
     let scaled = scaler.transform_dataset(&data).unwrap();
 
-    let params = CompressionParams::with_scalar(k, 30, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 30, CostKind::KMeans).unwrap();
     let mut rng = StdRng::seed_from_u64(74);
     let coreset = FastCoreset::default().compress(&mut rng, &scaled, &params);
     let sol = fc_core::solve_on_coreset(
@@ -95,7 +95,7 @@ fn compression_composes_with_standardization() {
 fn binary_format_survives_large_weighted_data() {
     let data = mixture(75);
     let mut rng = StdRng::seed_from_u64(76);
-    let params = CompressionParams::with_scalar(4, 100, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(4, 100, CostKind::KMeans).unwrap();
     let coreset = Lightweight.compress(&mut rng, &data, &params);
     let path = tmp("large.fcds");
     io::write_binary(&path, coreset.dataset(), true).unwrap();

@@ -8,7 +8,7 @@ use rand::SeedableRng;
 
 fn distortion_kmedian(method: &dyn Compressor, data: &Dataset, k: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMedian);
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMedian).unwrap();
     let coreset = method.compress(&mut rng, data, &params);
     fc_core::distortion(
         &mut rng,
@@ -67,7 +67,7 @@ fn kmedian_seeding_uses_linear_distance_scores() {
     // ∝ distance (not squared), still far above uniform.
     let mut rng = StdRng::seed_from_u64(33);
     let data = fc_data::c_outlier(&mut rng, 5_000, 10, 4, 1e4);
-    let params = CompressionParams::with_scalar(4, 20, CostKind::KMedian);
+    let params = CompressionParams::with_scalar(4, 20, CostKind::KMedian).unwrap();
     let mut captured = 0;
     for s in 0..6 {
         let mut rng = StdRng::seed_from_u64(1_000 + s);

@@ -1,0 +1,237 @@
+//! The unified Plan API contract: canonical names round-trip between
+//! `Display` and `FromStr` (property-tested), the service protocol parses
+//! the very same names, and invalid parameters surface as `FcError`
+//! variants — never panics — through every entry point.
+
+use fast_coresets::prelude::*;
+use fc_clustering::ALL_SOLVERS;
+use fc_core::methods::JCount;
+use fc_core::BASE_METHODS;
+use fc_service::{Request, Response};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_base_method() -> impl Strategy<Value = Method> {
+    (0usize..10, 1usize..40).prop_map(|(i, j)| match i {
+        0 => Method::Uniform,
+        1 => Method::Lightweight,
+        2 => Method::Welterweight(JCount::LogK),
+        3 => Method::Welterweight(JCount::SqrtK),
+        4 => Method::Welterweight(JCount::Fixed(j)),
+        5 => Method::Sensitivity,
+        6 => Method::FastCoreset,
+        7 => Method::HstCoreset,
+        8 => Method::Bico,
+        _ => Method::StreamKm,
+    })
+}
+
+/// Any method, wrapped in up to two merge-&-reduce layers.
+fn arb_method() -> impl Strategy<Value = Method> {
+    (0usize..3, arb_base_method()).prop_map(|(wraps, base)| {
+        let mut method = base;
+        for _ in 0..wraps {
+            method = Method::MergeReduce(Box::new(method));
+        }
+        method
+    })
+}
+
+fn arb_solver() -> impl Strategy<Value = Solver> {
+    (0usize..ALL_SOLVERS.len()).prop_map(|i| ALL_SOLVERS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn method_display_fromstr_round_trips(method in arb_method()) {
+        let name = method.to_string();
+        let parsed: Method = name.parse().expect("canonical name parses");
+        prop_assert_eq!(parsed, method, "{}", name);
+    }
+
+    #[test]
+    fn solver_display_fromstr_round_trips(solver in arb_solver()) {
+        let name = solver.to_string();
+        let parsed: Solver = name.parse().expect("canonical name parses");
+        prop_assert_eq!(parsed, solver, "{}", name);
+    }
+
+    #[test]
+    fn wire_protocol_parses_the_library_names(
+        method in arb_method(),
+        solver in arb_solver(),
+    ) {
+        // Hand-written JSON carrying the library's canonical names — the
+        // protocol must accept exactly what `Display` produced.
+        let compress = format!(
+            r#"{{"op":"compress","dataset":"d","method":"{method}"}}"#
+        );
+        match Request::from_json(&compress).expect("compress parses") {
+            Request::Compress { method: parsed, .. } => {
+                prop_assert_eq!(parsed, Some(method));
+            }
+            other => prop_assert!(false, "unexpected request {:?}", other),
+        }
+        let cluster = format!(
+            r#"{{"op":"cluster","dataset":"d","solver":"{solver}"}}"#
+        );
+        match Request::from_json(&cluster).expect("cluster parses") {
+            Request::Cluster { solver: parsed, .. } => {
+                prop_assert_eq!(parsed, Some(solver));
+            }
+            other => prop_assert!(false, "unexpected request {:?}", other),
+        }
+    }
+
+    #[test]
+    fn plan_validation_never_panics(
+        k in 0usize..6,
+        m in 0usize..200,
+        n in 0usize..60,
+        method in arb_method(),
+    ) {
+        // Every (k, m, n) combination — mostly invalid — must come back as
+        // Ok or FcError, never a panic.
+        let built = PlanBuilder::new(k)
+            .method(method)
+            .coreset_size(m)
+            .build();
+        match built {
+            Err(FcError::InvalidK) => prop_assert_eq!(k, 0),
+            Err(FcError::InvalidCoresetSize { m: em, k: ek }) => {
+                prop_assert!(m < k);
+                prop_assert_eq!((em, ek), (m, k));
+            }
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+            Ok(plan) => {
+                let flat: Vec<f64> = (0..n * 2).map(|i| i as f64).collect();
+                let data = Dataset::from_flat(flat, 2).unwrap();
+                let mut rng = StdRng::seed_from_u64(7);
+                match plan.run(&mut rng, &data) {
+                    Err(FcError::EmptyData) => prop_assert_eq!(n, 0),
+                    Err(FcError::CoresetLargerThanData { m: em, n: en }) => {
+                        prop_assert!(m > n);
+                        prop_assert_eq!((em, en), (m, n));
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+                    Ok(out) => prop_assert_eq!(out.solution.k(), k),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_reports_the_first_violated_invariant() {
+    assert_eq!(PlanBuilder::new(0).build().unwrap_err(), FcError::InvalidK);
+    assert_eq!(
+        PlanBuilder::new(4).coreset_size(3).build().unwrap_err(),
+        FcError::InvalidCoresetSize { m: 3, k: 4 }
+    );
+    assert_eq!(
+        PlanBuilder::new(4).m_scalar(0).build().unwrap_err(),
+        FcError::InvalidCoresetSize { m: 0, k: 4 }
+    );
+    assert_eq!(
+        PlanBuilder::new(2)
+            .kind(CostKind::KMeans)
+            .solver(Solver::KMedianWeiszfeld)
+            .build()
+            .unwrap_err(),
+        FcError::UnsupportedObjective {
+            solver: Solver::KMedianWeiszfeld,
+            kind: CostKind::KMeans,
+        }
+    );
+}
+
+#[test]
+fn stream_sessions_reject_dimension_mismatches() {
+    let plan = PlanBuilder::new(2)
+        .method(Method::Uniform)
+        .m_scalar(5)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut session = plan.stream();
+    let flat: Vec<f64> = (0..60).map(f64::from).collect();
+    session
+        .push(&mut rng, &Dataset::from_flat(flat, 3).unwrap())
+        .unwrap();
+    let err = session
+        .push(&mut rng, &Dataset::from_flat(vec![1.0, 2.0], 2).unwrap())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        FcError::DimensionMismatch {
+            expected: 3,
+            got: 2
+        }
+    );
+}
+
+#[test]
+fn every_base_method_has_a_distinct_canonical_name() {
+    let names: Vec<String> = BASE_METHODS.iter().map(Method::to_string).collect();
+    let mut deduped = names.clone();
+    deduped.sort();
+    deduped.dedup();
+    assert_eq!(deduped.len(), names.len(), "{names:?}");
+}
+
+#[test]
+fn served_clustering_round_trips_solver_and_queue_depth() {
+    // In-process engine + protocol dispatch: the response carries the
+    // solver it used and stats expose per-shard queue depths.
+    let engine = Engine::new(EngineConfig {
+        shards: 2,
+        k: 2,
+        m_scalar: 10,
+        method: Method::Uniform,
+        ..Default::default()
+    })
+    .unwrap();
+    let points: Vec<Vec<f64>> = (0..80)
+        .map(|i| vec![f64::from(i % 2) * 50.0, f64::from(i) * 0.001])
+        .collect();
+    let resp = fc_service::server::handle_request(
+        &engine,
+        Request::Ingest {
+            dataset: "d".into(),
+            points,
+            weights: None,
+        },
+    );
+    assert!(matches!(resp, Response::Ingested { .. }), "{resp:?}");
+    let resp = fc_service::server::handle_request(
+        &engine,
+        Request::from_json(r#"{"op":"cluster","dataset":"d","k":2,"solver":"hamerly","seed":5}"#)
+            .unwrap(),
+    );
+    match resp {
+        Response::Clustered { solver, .. } => assert_eq!(solver, Solver::Hamerly),
+        other => panic!("unexpected {other:?}"),
+    }
+    let resp = fc_service::server::handle_request(
+        &engine,
+        Request::Stats {
+            dataset: Some("d".into()),
+        },
+    );
+    match resp {
+        Response::Stats { datasets } => {
+            assert_eq!(datasets[0].queue_depth_per_shard.len(), 2);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Bad names come back as protocol errors carrying the library's
+    // message, not as panics or connection drops.
+    let err =
+        Request::from_json(r#"{"op":"cluster","dataset":"d","solver":"gradient"}"#).unwrap_err();
+    assert!(err.message.contains("unknown solver"), "{}", err.message);
+    let err = Request::from_json(r#"{"op":"compress","dataset":"d","method":"gzip"}"#).unwrap_err();
+    assert!(err.message.contains("unknown method"), "{}", err.message);
+}

@@ -28,6 +28,7 @@ fn serving_engine(k: usize) -> Engine {
         shards: 3,
         ..Default::default()
     })
+    .unwrap()
 }
 
 #[test]
@@ -39,7 +40,7 @@ fn concurrent_clients_ingest_and_query_within_distortion_bound() {
         ..Default::default()
     };
     let bound = config.distortion_bound;
-    let server = ServerHandle::bind("127.0.0.1:0", Engine::new(config)).unwrap();
+    let server = ServerHandle::bind("127.0.0.1:0", Engine::new(config).unwrap()).unwrap();
     let addr = server.addr();
 
     // Phase 1: several writer clients stream disjoint slices concurrently,
@@ -71,7 +72,7 @@ fn concurrent_clients_ingest_and_query_within_distortion_bound() {
                     // dataset may not exist yet, or exist with no shard
                     // having processed a block. Both are clean errors;
                     // anything else fails the test.
-                    match client.cluster("blobs", Some(4), None, Some(r * 1000 + i)) {
+                    match client.cluster("blobs", Some(4), None, None, Some(r * 1000 + i)) {
                         Ok(result) => assert!(result.centers.len() <= 4),
                         Err(fc_service::ClientError::Server(msg)) => assert!(
                             msg.contains("no such dataset") || msg.contains("no data yet"),
@@ -98,7 +99,7 @@ fn concurrent_clients_ingest_and_query_within_distortion_bound() {
         .map(|_| per_writer.clone())
         .reduce(|a, b| a.concat(&b).unwrap())
         .unwrap();
-    let (coreset, seed) = client.compress("blobs", Some(7)).unwrap();
+    let (coreset, seed) = client.compress("blobs", None, Some(7)).unwrap();
     assert_eq!(seed, 7);
     let mut rng = StdRng::seed_from_u64(99);
     let report = fc_core::distortion(
@@ -116,7 +117,9 @@ fn concurrent_clients_ingest_and_query_within_distortion_bound() {
     );
 
     // Served clustering is also within the bound when priced on full data.
-    let result = client.cluster("blobs", Some(4), None, Some(11)).unwrap();
+    let result = client
+        .cluster("blobs", Some(4), None, None, Some(11))
+        .unwrap();
     let full_cost = fc_clustering::cost::cost(&full, &result.centers, CostKind::KMeans);
     let ratio = (full_cost / result.coreset_cost).max(result.coreset_cost / full_cost);
     assert!(
@@ -135,16 +138,18 @@ fn served_results_are_reproducible_across_connections() {
     for batch in four_blobs(200, 0.0).chunks(160) {
         a.ingest("d", &batch).unwrap();
     }
-    let from_a = a.cluster("d", Some(4), None, Some(5)).unwrap();
+    let from_a = a.cluster("d", Some(4), None, None, Some(5)).unwrap();
     // A different connection replaying the same seed sees the same result.
     let mut b = ServiceClient::connect(addr).unwrap();
-    let from_b = b.cluster("d", Some(4), None, Some(5)).unwrap();
+    let from_b = b.cluster("d", Some(4), None, None, Some(5)).unwrap();
     assert_eq!(from_a.centers, from_b.centers);
     assert_eq!(from_a.coreset_cost, from_b.coreset_cost);
     // Engine-assigned seeds are a deterministic counter sequence: replaying
     // an assigned seed reproduces the served result.
-    let assigned = a.cluster("d", Some(4), None, None).unwrap();
-    let replay = b.cluster("d", Some(4), None, Some(assigned.seed)).unwrap();
+    let assigned = a.cluster("d", Some(4), None, None, None).unwrap();
+    let replay = b
+        .cluster("d", Some(4), None, None, Some(assigned.seed))
+        .unwrap();
     assert_eq!(assigned.centers, replay.centers);
     server.shutdown();
 }
@@ -196,9 +201,13 @@ fn full_u64_seeds_survive_the_wire() {
     }
     // Seeds above 2^53 don't fit an f64 exactly; the codec must keep them.
     let seed = u64::MAX - 12345;
-    let a = client.cluster("d", Some(2), None, Some(seed)).unwrap();
+    let a = client
+        .cluster("d", Some(2), None, None, Some(seed))
+        .unwrap();
     assert_eq!(a.seed, seed);
-    let b = client.cluster("d", Some(2), None, Some(seed)).unwrap();
+    let b = client
+        .cluster("d", Some(2), None, None, Some(seed))
+        .unwrap();
     assert_eq!(a.centers, b.centers);
     server.shutdown();
 }

@@ -104,7 +104,7 @@ fn solutions_transfer_between_original_and_reduced_space() {
 fn fast_coreset_handles_pathological_spread() {
     let data = huge_spread_clusters(55);
     let k = 3;
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans).unwrap();
     for reduce_spread in [false, true] {
         let fc = FastCoreset::with_config(FastCoresetConfig {
             use_jl: false,

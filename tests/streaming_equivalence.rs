@@ -24,7 +24,7 @@ fn mixture(seed: u64, n: usize) -> Dataset {
 
 fn stream_distortion(method: &dyn Compressor, data: &Dataset, k: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans).unwrap();
     let mut mr = MergeReduce::new(method, params);
     let c = run_stream(&mut mr, &mut rng, data, 10);
     fc_core::distortion(
@@ -40,7 +40,7 @@ fn stream_distortion(method: &dyn Compressor, data: &Dataset, k: usize, seed: u6
 
 fn static_distortion(method: &dyn Compressor, data: &Dataset, k: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
-    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(k, 40, CostKind::KMeans).unwrap();
     let c = method.compress(&mut rng, data, &params);
     fc_core::distortion(
         &mut rng,
@@ -84,7 +84,7 @@ fn streaming_matches_static_for_every_method() {
 fn streamed_weight_is_conserved() {
     let data = mixture(22, 9_000);
     let method = FastCoreset::default();
-    let params = CompressionParams::with_scalar(9, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(9, 40, CostKind::KMeans).unwrap();
     let mut rng = StdRng::seed_from_u64(23);
     let mut mr = MergeReduce::new(method, params);
     let c = run_stream(&mut mr, &mut rng, &data, 12);
@@ -114,7 +114,7 @@ fn streaming_handles_adversarial_block_order() {
     body = body.concat(&far).unwrap();
 
     let method = FastCoreset::default();
-    let params = CompressionParams::with_scalar(6, 40, CostKind::KMeans);
+    let params = CompressionParams::with_scalar(6, 40, CostKind::KMeans).unwrap();
     let mut mr = MergeReduce::new(method, params);
     let c = run_stream(&mut mr, &mut rng, &body, 10);
     let captured = c.dataset().points().iter().any(|p| p[0] > 1e4);

@@ -185,7 +185,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+    /// Sizes accepted by [`vec()`]: a fixed length or a half-open range.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
         fn draw_len(&self, rng: &mut StdRng) -> usize;
@@ -203,7 +203,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         element: S,
