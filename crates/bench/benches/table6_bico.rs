@@ -8,9 +8,9 @@
 
 use fc_bench::experiments::{eval_lloyd, failure_marker, DEFAULT_KIND};
 use fc_bench::{fmt_mean_var, BenchConfig, Table};
+use fc_core::streaming::bico::{Bico, BicoConfig};
+use fc_core::streaming::stream::run_stream;
 use fc_geom::stats::mean;
-use fc_streaming::bico::{Bico, BicoConfig};
-use fc_streaming::stream::run_stream;
 
 fn bico_distortions(
     cfg: &BenchConfig,
@@ -23,7 +23,7 @@ fn bico_distortions(
         .map(|run| {
             let mut rng = cfg.rng(salt + run as u64);
             let coreset = if streaming {
-                let mut s = fc_streaming::bico::BicoStream::new(BicoConfig::with_target(m));
+                let mut s = fc_core::streaming::bico::BicoStream::new(BicoConfig::with_target(m));
                 run_stream(&mut s, &mut rng, &named.data, 10)
             } else {
                 let mut b = Bico::new(named.data.dim(), BicoConfig::with_target(m));

@@ -7,7 +7,7 @@
 use fc_bench::experiments::{distortions, measure_static, DEFAULT_KIND};
 use fc_bench::scenarios::params_for;
 use fc_bench::{fmt_mean_var, BenchConfig, Table};
-use fc_streaming::streamkm::CoresetTreeCompressor;
+use fc_core::streaming::streamkm::CoresetTreeCompressor;
 
 fn main() {
     let cfg = BenchConfig::from_env();

@@ -2,9 +2,9 @@
 
 use fc_clustering::lloyd::LloydConfig;
 use fc_clustering::CostKind;
+use fc_core::streaming::stream::run_stream;
+use fc_core::streaming::MergeReduce;
 use fc_core::{CompressionParams, Compressor};
-use fc_streaming::stream::run_stream;
-use fc_streaming::MergeReduce;
 
 use crate::harness::{time, BenchConfig};
 use crate::scenarios::NamedData;

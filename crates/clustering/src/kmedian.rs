@@ -9,7 +9,7 @@
 use fc_geom::points::Points;
 
 /// Configuration for Weiszfeld iterations.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeiszfeldConfig {
     /// Maximum number of iterations.
     pub max_iters: usize,

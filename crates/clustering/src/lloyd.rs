@@ -15,7 +15,7 @@ use crate::kmedian::{geometric_median, weighted_mean_of, WeiszfeldConfig};
 use crate::solution::Solution;
 
 /// Configuration for Lloyd refinement.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LloydConfig {
     /// Maximum alternation rounds.
     pub max_iters: usize,

@@ -15,7 +15,7 @@ use crate::cost::cost;
 use crate::solution::Solution;
 
 /// Configuration for local search.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalSearchConfig {
     /// Number of candidate swaps to try.
     pub trials: usize,

@@ -45,7 +45,7 @@ pub const ALL_SOLVERS: [Solver; 4] = [
 ];
 
 /// Per-solver tuning knobs, with usable defaults.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SolveConfig {
     /// Budget for Lloyd / Hamerly / Weiszfeld alternation.
     pub lloyd: LloydConfig,

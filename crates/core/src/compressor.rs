@@ -8,7 +8,7 @@ use crate::coreset::Coreset;
 use crate::error::FcError;
 
 /// Parameters shared by all compressors.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompressionParams {
     /// Number of clusters the compression should support.
     pub k: usize,

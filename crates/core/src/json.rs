@@ -1,10 +1,12 @@
 //! A dependency-free JSON value type, parser, and writer.
 //!
-//! The service speaks JSON-lines over TCP and the workspace has no serde
-//! (offline build), so the protocol layer carries its own minimal codec:
-//! UTF-8 text in, [`Value`] out, with precise error positions. Numbers are
-//! `f64` throughout — coordinates, weights, and counts all fit the
-//! protocol's ranges (counts stay below 2⁵³).
+//! The workspace has no serde (offline build), so it carries its own
+//! minimal codec: UTF-8 text in, [`Value`] out, with precise error
+//! positions. It lives in `fc_core` so the [`crate::plan::Plan`] wire form
+//! and the `fc-service` JSON-lines protocol serialize through one codec —
+//! a plan encoded by the library is byte-for-byte what the service speaks.
+//! Numbers are `f64` throughout — coordinates, weights, and counts all fit
+//! the protocol's ranges (counts stay below 2⁵³).
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -20,11 +20,13 @@
 //! - [`compressor`]: the object-safe [`compressor::Compressor`] trait tying
 //!   all of the above into one API.
 //! - [`streaming`]: merge-&-reduce, BICO, StreamKM++, and MapReduce
-//!   aggregation (re-exported by the `fc-streaming` facade crate).
+//!   aggregation.
 //! - [`plan`]: the unified, fallible, solver-aware [`plan::Plan`] API — one
 //!   [`plan::Method`] enum over the whole batch + streaming spectrum, one
-//!   [`fc_clustering::Solver`] knob for refinement, and [`error::FcError`]
-//!   instead of panics on invalid parameters.
+//!   [`fc_clustering::Solver`] knob for refinement, [`error::FcError`]
+//!   instead of panics on invalid parameters, and a stable JSON wire form
+//!   ([`plan::Plan::to_json`] / [`plan::Plan::from_json`]) speaking the
+//!   same [`json`] codec as the `fc-service` protocol.
 
 pub mod compressor;
 pub mod coreset;
@@ -32,8 +34,8 @@ pub mod distortion;
 pub mod error;
 pub mod evaluation;
 pub mod fast_coreset;
+pub mod json;
 pub mod methods;
-pub mod pipeline;
 pub mod plan;
 pub mod sampling;
 pub mod sensitivity;

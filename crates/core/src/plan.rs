@@ -6,8 +6,10 @@
 //! batch *and* streaming — and [`Solver`] is its refinement-side mirror.
 //! A [`Plan`] binds both to validated parameters, so one configuration
 //! drives the batch path ([`Plan::run`]), the streaming path
-//! ([`Plan::stream`]), and (through the same `FromStr` names) the serving
-//! protocol of `fc-service`.
+//! ([`Plan::stream`]), and the serving protocol of `fc-service` — which
+//! ships whole plans over the wire in the stable JSON form of
+//! [`Plan::to_json`] / [`Plan::from_json`], so a per-dataset plan written
+//! in Rust is byte-for-byte the object an `ingest` request carries.
 //!
 //! ```
 //! use fc_core::plan::{Method, PlanBuilder};
@@ -43,6 +45,7 @@ use rand::Rng;
 use crate::compressor::{CompressionParams, Compressor};
 use crate::coreset::Coreset;
 use crate::error::FcError;
+use crate::json::{self, Value};
 use crate::methods::{HstCoreset, JCount, Lightweight, StandardSensitivity, Uniform, Welterweight};
 use crate::streaming::{MergeReduce, StreamingCompressor};
 use crate::FastCoreset;
@@ -178,6 +181,26 @@ fn parenthesized<'a>(s: &'a str, name: &str) -> Option<&'a str> {
         .map(str::trim)
 }
 
+/// The canonical wire name of an objective (`"kmeans"` / `"kmedian"`) —
+/// what plan JSON and the service protocol spell [`CostKind`] as.
+pub fn kind_name(kind: CostKind) -> &'static str {
+    match kind {
+        CostKind::KMeans => "kmeans",
+        CostKind::KMedian => "kmedian",
+    }
+}
+
+/// Parses a canonical objective name ([`kind_name`]).
+pub fn kind_from_name(s: &str) -> Result<CostKind, FcError> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "kmeans" => Ok(CostKind::KMeans),
+        "kmedian" => Ok(CostKind::KMedian),
+        other => Err(FcError::InvalidParameter(format!(
+            "unknown kind `{other}` (expected `kmeans` or `kmedian`)"
+        ))),
+    }
+}
+
 /// Builder for a validated [`Plan`]. Defaults mirror the paper's §5.2
 /// setup: `m = 40k`, k-means, Fast-Coresets, Lloyd refinement, full
 /// evaluation.
@@ -191,6 +214,7 @@ pub struct PlanBuilder {
     solver: Solver,
     solve: SolveConfig,
     evaluate: bool,
+    budget: Option<usize>,
 }
 
 impl PlanBuilder {
@@ -205,6 +229,7 @@ impl PlanBuilder {
             solver: Solver::Lloyd,
             solve: SolveConfig::default(),
             evaluate: true,
+            budget: None,
         }
     }
 
@@ -259,11 +284,28 @@ impl PlanBuilder {
         self
     }
 
+    /// Sets an explicit stored-point budget for streaming holders of this
+    /// plan: a [`StreamSession`] compacts its level stack whenever the
+    /// stored points exceed it (with no explicit budget a session keeps
+    /// the classic un-compacted Bentley–Saxe stack), and each `fc-service`
+    /// shard stream compacts at [`Plan::effective_budget`] — this value,
+    /// or `4·m` when unset.
+    pub fn compaction_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Validates and produces the plan: `k ≥ 1`, `m ≥ k` (no overflow),
-    /// and the solver must support the objective.
+    /// a positive compaction budget, and the solver must support the
+    /// objective.
     pub fn build(self) -> Result<Plan, FcError> {
         if self.k == 0 {
             return Err(FcError::InvalidK);
+        }
+        if self.budget == Some(0) {
+            return Err(FcError::InvalidParameter(
+                "compaction budget must be at least 1".into(),
+            ));
         }
         let params = match self.m {
             Some(m) => {
@@ -289,6 +331,7 @@ impl PlanBuilder {
             solver: self.solver,
             solve: self.solve,
             evaluate: self.evaluate,
+            budget: self.budget,
         })
     }
 }
@@ -296,13 +339,14 @@ impl PlanBuilder {
 /// A validated compress-then-cluster configuration. Construct via
 /// [`PlanBuilder`]; by construction `k ≥ 1`, `m ≥ k`, and the solver
 /// supports the objective.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     params: CompressionParams,
     method: Method,
     solver: Solver,
     solve: SolveConfig,
     evaluate: bool,
+    budget: Option<usize>,
 }
 
 /// Everything a plan run produces.
@@ -352,6 +396,120 @@ impl Plan {
     /// The compression parameters this plan validated.
     pub fn params(&self) -> CompressionParams {
         self.params
+    }
+
+    /// The explicit streaming compaction budget, when one was set.
+    pub fn compaction_budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// The stored-point budget serving systems (the `fc-service` shard
+    /// streams) compact this plan's streams against: the explicit budget,
+    /// or `4·m` (room for a few Bentley–Saxe levels of summaries) when
+    /// unset. A plain [`StreamSession`] compacts only under an *explicit*
+    /// budget — see [`PlanBuilder::compaction_budget`].
+    pub fn effective_budget(&self) -> usize {
+        self.budget.unwrap_or(4 * self.params.m)
+    }
+
+    /// Encodes the plan in its stable JSON wire form — the object the
+    /// `fc-service` protocol carries per dataset:
+    ///
+    /// ```text
+    /// {"k":4,"kind":"kmeans","m":160,"method":"fast-coreset","solver":"lloyd"}
+    /// ```
+    ///
+    /// `budget` (the compaction budget) appears only when explicitly set.
+    /// Solver tuning budgets ([`SolveConfig`]) and the evaluation switch
+    /// are deliberately not part of the wire form.
+    pub fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("k".to_owned(), Value::from(self.params.k)),
+            ("m".to_owned(), Value::from(self.params.m)),
+            ("kind".to_owned(), Value::from(kind_name(self.params.kind))),
+            ("method".to_owned(), Value::from(self.method.to_string())),
+            ("solver".to_owned(), Value::from(self.solver.to_string())),
+        ];
+        if let Some(budget) = self.budget {
+            pairs.push(("budget".to_owned(), Value::from(budget)));
+        }
+        Value::Object(pairs.into_iter().collect())
+    }
+
+    /// Decodes (and validates) a plan from its JSON wire form. `k` is
+    /// required; every other field defaults as in [`PlanBuilder::new`].
+    /// The size may be given as `"m"` (absolute) or `"m_scalar"` (per-`k`,
+    /// `"m"` wins when both are present); unknown fields are rejected so
+    /// typos fail loudly instead of silently running a default.
+    pub fn from_value(v: &Value) -> Result<Plan, FcError> {
+        let invalid = |msg: String| FcError::InvalidParameter(format!("plan {msg}"));
+        let obj = v
+            .as_object()
+            .ok_or_else(|| invalid("must be a JSON object".into()))?;
+        for key in obj.keys() {
+            if !matches!(
+                key.as_str(),
+                "k" | "m" | "m_scalar" | "kind" | "method" | "solver" | "budget"
+            ) {
+                return Err(invalid(format!("holds unknown field `{key}`")));
+            }
+        }
+        let field = |key: &str| match obj.get(key) {
+            None | Some(Value::Null) => None,
+            Some(value) => Some(value),
+        };
+        let int = |key: &str| -> Result<Option<usize>, FcError> {
+            field(key)
+                .map(|value| {
+                    value
+                        .as_usize()
+                        .ok_or_else(|| invalid(format!("field `{key}` must be an integer")))
+                })
+                .transpose()
+        };
+        let string = |key: &str| -> Result<Option<&str>, FcError> {
+            field(key)
+                .map(|value| {
+                    value
+                        .as_str()
+                        .ok_or_else(|| invalid(format!("field `{key}` must be a string")))
+                })
+                .transpose()
+        };
+        let k = int("k")?.ok_or_else(|| invalid("is missing required field `k`".into()))?;
+        let mut builder = PlanBuilder::new(k);
+        if let Some(m_scalar) = int("m_scalar")? {
+            builder = builder.m_scalar(m_scalar);
+        }
+        if let Some(m) = int("m")? {
+            builder = builder.coreset_size(m);
+        }
+        if let Some(kind) = string("kind")? {
+            builder = builder.kind(kind_from_name(kind)?);
+        }
+        if let Some(method) = string("method")? {
+            builder = builder.method(method.parse()?);
+        }
+        if let Some(solver) = string("solver")? {
+            builder = builder.solver(solver.parse::<Solver>().map_err(FcError::from)?);
+        }
+        if let Some(budget) = int("budget")? {
+            builder = builder.compaction_budget(budget);
+        }
+        builder.build()
+    }
+
+    /// [`Self::to_value`] as one compact JSON line.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Parses and validates a plan from one JSON document
+    /// ([`Self::from_value`] semantics).
+    pub fn from_json(text: &str) -> Result<Plan, FcError> {
+        let value =
+            json::parse(text).map_err(|e| FcError::InvalidParameter(format!("plan JSON: {e}")))?;
+        Self::from_value(&value)
     }
 
     /// Compresses `data` with the plan's method. Errors on empty data and
@@ -456,6 +614,14 @@ impl StreamSession {
             Some(_) => {}
         }
         self.stream.insert_block(rng, block);
+        // An explicit compaction budget bounds the memory footprint the
+        // same way a serving shard does: collapse the level stack as soon
+        // as the stored points outgrow it.
+        if let Some(budget) = self.plan.budget {
+            if self.stream.stored_points() > budget {
+                self.stream.compact(rng);
+            }
+        }
         Ok(())
     }
 
@@ -690,6 +856,101 @@ mod tests {
                 "{bad:?} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn wire_form_round_trips() {
+        let plan = PlanBuilder::new(5)
+            .kind(CostKind::KMedian)
+            .m_scalar(20)
+            .method(Method::MergeReduce(Box::new(Method::Welterweight(
+                JCount::Fixed(3),
+            ))))
+            .solver(Solver::KMedianWeiszfeld)
+            .compaction_budget(500)
+            .build()
+            .unwrap();
+        let line = plan.to_json();
+        assert_eq!(
+            line,
+            r#"{"budget":500,"k":5,"kind":"kmedian","m":100,"method":"merge-reduce(welterweight(3))","solver":"kmedian-weiszfeld"}"#
+        );
+        assert_eq!(Plan::from_json(&line).unwrap(), plan);
+        // Without an explicit budget the field is absent and still round-trips.
+        let default = PlanBuilder::new(3).build().unwrap();
+        assert!(!default.to_json().contains("budget"));
+        assert_eq!(Plan::from_json(&default.to_json()).unwrap(), default);
+    }
+
+    #[test]
+    fn wire_form_fills_defaults_and_rejects_junk() {
+        // `k` alone yields the paper's defaults.
+        let plan = Plan::from_json(r#"{"k":7}"#).unwrap();
+        assert_eq!(plan, PlanBuilder::new(7).build().unwrap());
+        // `m_scalar` is the per-k spelling; `m` wins when both appear.
+        let scaled = Plan::from_json(r#"{"k":4,"m_scalar":10}"#).unwrap();
+        assert_eq!(scaled.m(), 40);
+        let absolute = Plan::from_json(r#"{"k":4,"m_scalar":10,"m":17}"#).unwrap();
+        assert_eq!(absolute.m(), 17);
+        // Malformed documents are errors, not panics — and carry context.
+        for (text, needle) in [
+            ("[]", "must be a JSON object"),
+            ("{", "plan JSON"),
+            (r#"{"m":40}"#, "missing required field `k`"),
+            (r#"{"k":"four"}"#, "`k` must be an integer"),
+            (r#"{"k":4,"method":7}"#, "`method` must be a string"),
+            (r#"{"k":4,"methid":"uniform"}"#, "unknown field `methid`"),
+            (r#"{"k":4,"budget":0}"#, "compaction budget"),
+        ] {
+            let err = Plan::from_json(text).expect_err(text);
+            assert!(
+                err.to_string().contains(needle),
+                "`{text}` gave `{err}`, expected `{needle}`"
+            );
+        }
+        // Validation still applies: the wire form cannot smuggle in an
+        // unsupported solver/objective pair.
+        assert_eq!(
+            Plan::from_json(r#"{"k":2,"kind":"kmedian","solver":"hamerly"}"#).unwrap_err(),
+            FcError::UnsupportedObjective {
+                solver: Solver::Hamerly,
+                kind: CostKind::KMedian,
+            }
+        );
+    }
+
+    #[test]
+    fn explicit_budget_compacts_stream_sessions() {
+        let d = blobs();
+        let plan = PlanBuilder::new(3)
+            .method(Method::Uniform)
+            .m_scalar(10)
+            .compaction_budget(60)
+            .build()
+            .unwrap();
+        assert_eq!(plan.effective_budget(), 60);
+        assert_eq!(
+            PlanBuilder::new(3)
+                .m_scalar(10)
+                .build()
+                .unwrap()
+                .effective_budget(),
+            4 * 30
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut session = plan.stream();
+        for block in d.chunks(200) {
+            session.push(&mut rng, &block).unwrap();
+            // One un-compacted insertion may overshoot by at most one
+            // level-0 summary of ≤ m points.
+            assert!(
+                session.stored_points() <= 60 + plan.m(),
+                "stored {} over budget",
+                session.stored_points()
+            );
+        }
+        let coreset = session.finish(&mut rng).unwrap();
+        assert!(coreset.len() <= plan.m());
     }
 
     #[test]

@@ -2,8 +2,7 @@
 //!
 //! Lives inside `fc_core` so the unified [`crate::plan::Plan`] API can
 //! select streaming compressors through the same [`crate::plan::Method`]
-//! enum as the batch spectrum; the `fc-streaming` crate re-exports
-//! everything here under its historical paths.
+//! enum as the batch spectrum.
 //!
 //! - [`merge_reduce`]: the black-box merge-&-reduce composition of \[11, 40\]
 //!   used by the paper's streaming experiments — blocks are compressed,

@@ -2,11 +2,11 @@
 
 use fc_clustering::CostKind;
 use fc_core::methods::Uniform;
+use fc_core::streaming::cf::ClusteringFeature;
+use fc_core::streaming::stream::{run_stream, StreamingCompressor};
+use fc_core::streaming::MergeReduce;
 use fc_core::CompressionParams;
 use fc_geom::Dataset;
-use fc_streaming::cf::ClusteringFeature;
-use fc_streaming::stream::{run_stream, StreamingCompressor};
-use fc_streaming::MergeReduce;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,7 +109,7 @@ proptest! {
     fn streamkm_tree_reduce_weight_exact(d in dataset_strategy(), seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let m = (d.len() / 4).max(2);
-        let c = fc_streaming::streamkm::coreset_tree_reduce(&mut rng, &d, m);
+        let c = fc_core::streaming::streamkm::coreset_tree_reduce(&mut rng, &d, m);
         let drift = (c.total_weight() - d.total_weight()).abs();
         prop_assert!(drift < 1e-6 * d.total_weight().max(1.0));
         prop_assert!(c.len() <= m.max(d.len()));
@@ -121,7 +121,7 @@ proptest! {
         d in dataset_strategy(),
         budget in 2usize..40,
     ) {
-        let mut bico = fc_streaming::Bico::new(d.dim(), fc_streaming::BicoConfig::with_target(budget));
+        let mut bico = fc_core::streaming::Bico::new(d.dim(), fc_core::streaming::BicoConfig::with_target(budget));
         for (p, &w) in d.points().iter().zip(d.weights()) {
             bico.insert(p, w);
         }

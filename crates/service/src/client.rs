@@ -4,7 +4,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use fc_clustering::{CostKind, Solver};
-use fc_core::plan::Method;
+use fc_core::plan::{Method, Plan};
 use fc_core::Coreset;
 use fc_geom::{Dataset, Points};
 
@@ -19,6 +19,9 @@ pub enum ClientError {
     Protocol(ProtocolError),
     /// The server replied with an error response.
     Server(String),
+    /// The server refused the write because a shard queue is full
+    /// (`code: "overloaded"`). Back off and retry.
+    Overloaded(String),
     /// The server replied with an unexpected (but valid) response kind.
     UnexpectedResponse(Box<Response>),
 }
@@ -29,6 +32,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(e) => write!(f, "{e}"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Overloaded(msg) => write!(f, "server overloaded: {msg}"),
             ClientError::UnexpectedResponse(r) => write!(f, "unexpected response {r:?}"),
         }
     }
@@ -98,15 +102,25 @@ impl ServiceClient {
             )));
         }
         let response = Response::from_json(line.trim_end())?;
-        if let Response::Error { message } = response {
-            return Err(ClientError::Server(message));
+        if let Response::Error { message, code } = response {
+            return Err(match code {
+                Some(crate::protocol::ErrorCode::Overloaded) => ClientError::Overloaded(message),
+                _ => ClientError::Server(message),
+            });
         }
         Ok(response)
     }
 
-    /// Ingests a weighted batch. Returns `(lifetime points, lifetime
-    /// weight)` for the dataset.
-    pub fn ingest(&mut self, dataset: &str, batch: &Dataset) -> Result<(u64, f64), ClientError> {
+    /// Ingests a weighted batch, optionally carrying the per-dataset
+    /// [`Plan`] the creating ingest should set up (see
+    /// [`Request::Ingest`]). Returns `(lifetime points, lifetime weight)`
+    /// for the dataset.
+    pub fn ingest(
+        &mut self,
+        dataset: &str,
+        batch: &Dataset,
+        plan: Option<&Plan>,
+    ) -> Result<(u64, f64), ClientError> {
         let (points, weights) = protocol::dataset_to_rows(batch);
         // Unit weights are the wire default; skip the redundant array.
         let weights = if batch.weights().iter().all(|&w| w == 1.0) {
@@ -118,6 +132,7 @@ impl ServiceClient {
             dataset: dataset.into(),
             points,
             weights,
+            plan: plan.cloned(),
         })? {
             Response::Ingested {
                 total_points,
@@ -129,14 +144,15 @@ impl ServiceClient {
     }
 
     /// Fetches the served coreset, optionally naming the compression
-    /// method for this request (the server default when `None`). Returns
-    /// the coreset and the seed that produced it.
+    /// method for this request (the dataset plan's method when `None`).
+    /// Returns the coreset, the seed that produced it, and the effective
+    /// method it was served under.
     pub fn compress(
         &mut self,
         dataset: &str,
         method: Option<&Method>,
         seed: Option<u64>,
-    ) -> Result<(Coreset, u64), ClientError> {
+    ) -> Result<(Coreset, u64, Method), ClientError> {
         match self.request(&Request::Compress {
             dataset: dataset.into(),
             method: method.cloned(),
@@ -145,11 +161,12 @@ impl ServiceClient {
             Response::Coreset {
                 points,
                 weights,
+                method,
                 seed,
                 ..
             } => {
                 let data = protocol::rows_to_dataset(&points, Some(&weights))?;
-                Ok((Coreset::new(data), seed))
+                Ok((Coreset::new(data), seed, method))
             }
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }

@@ -1,43 +1,52 @@
-//! The serving engine: named datasets held as sharded streaming coresets.
+//! The serving engine: named datasets held as sharded streaming coresets,
+//! each dataset running under its own effective [`Plan`].
 //!
 //! Each dataset owns `shards` worker threads. An ingest batch is routed to
 //! one shard round-robin; the shard folds it into its own
-//! [`fc_streaming::MergeReduce`] stream (so at most one summary per
+//! [`fc_core::streaming::MergeReduce`] stream (so at most one summary per
 //! Bentley–Saxe level lives per shard) and compacts the level stack into a
-//! single summary whenever stored points exceed the configured budget.
-//! Queries snapshot every shard's summary union — a valid coreset of all
-//! ingested data by composability — union them across shards, and compress
-//! the union down to the serving size with a request-seeded RNG, so every
-//! served compression and clustering is reproducible from `(state, seed)`.
+//! single summary whenever stored points exceed the plan's compaction
+//! budget. Queries snapshot every shard's summary union — a valid coreset
+//! of all ingested data by composability — union them across shards, and
+//! compress the union down to the serving size with a request-seeded RNG,
+//! so every served compression and clustering is reproducible from
+//! `(state, seed)`.
 //!
-//! This is the paper's pitch operationalized: compression is `Õ(nd)` and
-//! composable, so the expensive part (ingest) streams through cheap
-//! per-shard summaries while cluster/cost queries touch only `Õ(m)` points
-//! regardless of how much data has flowed in.
+//! The compression *method* is the paper's settling-time/accuracy knob, so
+//! it is a per-dataset choice, not a server-wide one: the first `ingest`
+//! may carry a full [`Plan`] (k, m, objective, method, solver, compaction
+//! budget) and the dataset's shard streams, serving compressions, and
+//! query defaults are all built from it. [`EngineConfig`] supplies the
+//! default plan for datasets that don't choose their own.
 
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 use fc_clustering::solver::{SolveConfig, Solver};
 use fc_clustering::{CostKind, Solution};
-use fc_core::plan::Method;
+use fc_core::plan::{Method, Plan, PlanBuilder};
+use fc_core::streaming::{MergeReduce, StreamingCompressor};
 use fc_core::{CompressionParams, Compressor, Coreset, FcError};
 use fc_geom::{Dataset, Points};
-use fc_streaming::{MergeReduce, StreamingCompressor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::protocol::DatasetStats;
 
-/// Engine configuration: sharding, serving sizes, method/solver selection,
-/// and the quality target.
+/// Engine configuration: sharding, the default per-dataset [`Plan`]
+/// (serving size, method/solver selection), and the quality target.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads (= independent coreset streams) per dataset.
     pub shards: usize,
+    /// Bounded per-shard command-queue depth. A full queue rejects further
+    /// ingests with [`EngineError::Overloaded`] instead of blocking the
+    /// connection thread.
+    pub shard_queue_depth: usize,
     /// Default number of clusters queries are served for.
     pub k: usize,
     /// Serving coreset size as a multiple of `k` (the paper's `m_scalar`,
@@ -45,8 +54,8 @@ pub struct EngineConfig {
     pub m_scalar: usize,
     /// Default objective.
     pub kind: CostKind,
-    /// Compression method used by shard streams and the serving
-    /// compression — the same [`Method`] names the library and the wire
+    /// Default compression method for shard streams and serving
+    /// compressions — the same [`Method`] names the library and the wire
     /// protocol use.
     pub method: Method,
     /// Default refinement solver for `cluster` requests.
@@ -69,6 +78,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             shards: 4,
+            shard_queue_depth: 32,
             k: 8,
             m_scalar: 40,
             kind: CostKind::KMeans,
@@ -82,13 +92,25 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    fn params(&self, k: usize, kind: CostKind) -> Result<CompressionParams, EngineError> {
-        Ok(CompressionParams::with_scalar(k, self.m_scalar, kind)?)
+    /// The engine-wide default [`Plan`]: what a dataset runs under when its
+    /// creating `ingest` carried no plan of its own.
+    pub fn default_plan(&self) -> Result<Plan, FcError> {
+        let mut builder = PlanBuilder::new(self.k)
+            .m_scalar(self.m_scalar)
+            .kind(self.kind)
+            .method(self.method.clone())
+            .solver(self.solver);
+        if let Some(budget) = self.compaction_budget {
+            builder = builder.compaction_budget(budget);
+        }
+        builder.build()
     }
 
-    /// The effective per-shard compaction budget.
-    pub fn effective_budget(&self) -> usize {
-        self.compaction_budget.unwrap_or(4 * self.k * self.m_scalar)
+    /// The effective per-shard compaction budget of the default plan —
+    /// one rule, owned by [`Plan::effective_budget`]. Errors exactly when
+    /// [`Self::default_plan`] does.
+    pub fn effective_budget(&self) -> Result<usize, FcError> {
+        Ok(self.default_plan()?.effective_budget())
     }
 }
 
@@ -109,6 +131,14 @@ pub enum EngineError {
     /// A plan/solver-level validation failure, in the library's shared
     /// error vocabulary.
     Invalid(FcError),
+    /// A shard's bounded ingest queue is full: the batch was rejected
+    /// instead of blocking the caller. Back off and retry.
+    Overloaded {
+        /// The dataset whose shard is saturated.
+        dataset: String,
+        /// The saturated shard's index.
+        shard: usize,
+    },
     /// The engine is shutting down (or a shard died).
     Unavailable,
 }
@@ -125,6 +155,13 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             EngineError::Invalid(e) => write!(f, "{e}"),
+            EngineError::Overloaded { dataset, shard } => {
+                write!(
+                    f,
+                    "dataset `{dataset}` is overloaded: shard {shard}'s ingest \
+                     queue is full, back off and retry"
+                )
+            }
             EngineError::Unavailable => write!(f, "engine unavailable"),
         }
     }
@@ -162,8 +199,18 @@ pub struct ClusterOutcome {
 enum ShardCmd {
     Ingest(Dataset),
     Snapshot(SyncSender<Option<Coreset>>),
-    Stats(SyncSender<ShardStats>),
+    Stats(SyncSender<StreamStats>),
     Shutdown,
+}
+
+/// What the worker itself can observe about its stream. The command-queue
+/// depth is deliberately absent: it lives in the sender-side gauge and is
+/// attached by [`DatasetEntry::shard_stats`] — one writer, one reader, no
+/// placeholder value for anyone to forget to overwrite.
+#[derive(Debug, Clone, Copy)]
+struct StreamStats {
+    summaries: usize,
+    stored_points: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -173,15 +220,10 @@ struct ShardStats {
     queue_depth: usize,
 }
 
-/// Commands a shard worker queues before backpressure kicks in. Bounded so
-/// a writer outpacing compression blocks at the TCP ack instead of growing
-/// server memory without limit.
-const SHARD_QUEUE_DEPTH: usize = 32;
-
 struct Shard {
     sender: SyncSender<ShardCmd>,
     /// Commands sent but not yet fully processed by the worker — the
-    /// observable backlog behind [`SHARD_QUEUE_DEPTH`]. Incremented on
+    /// observable backlog behind the configured queue depth. Incremented on
     /// send, decremented by the worker after it finishes each command, so
     /// a long-running compaction shows up as depth, not as idle.
     queue_depth: Arc<AtomicUsize>,
@@ -194,8 +236,9 @@ impl Shard {
         params: CompressionParams,
         budget: usize,
         seed: u64,
+        queue_depth_bound: usize,
     ) -> Self {
-        let (sender, receiver) = mpsc::sync_channel(SHARD_QUEUE_DEPTH);
+        let (sender, receiver) = mpsc::sync_channel(queue_depth_bound);
         let queue_depth = Arc::new(AtomicUsize::new(0));
         let worker_depth = Arc::clone(&queue_depth);
         let join = std::thread::Builder::new()
@@ -209,12 +252,28 @@ impl Shard {
         }
     }
 
-    /// Queues one command, keeping the depth gauge in sync.
+    /// Queues one command, blocking while the queue is full (queries and
+    /// shutdown: they must eventually run, and they are issued by readers
+    /// that asked for the answer). Ingest traffic goes through
+    /// [`Self::try_ingest`] instead, which refuses rather than blocks.
     fn send(&self, cmd: ShardCmd) -> Result<(), EngineError> {
         self.queue_depth.fetch_add(1, Ordering::Relaxed);
         self.sender.send(cmd).map_err(|_| {
             self.queue_depth.fetch_sub(1, Ordering::Relaxed);
             EngineError::Unavailable
+        })
+    }
+
+    /// Queues an ingest without blocking: a full queue is an error (the
+    /// caller reports `overloaded` to the writer), not a pinned thread.
+    fn try_ingest(&self, block: Dataset) -> Result<(), TrySendError<()>> {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.sender.try_send(ShardCmd::Ingest(block)).map_err(|e| {
+            self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            match e {
+                TrySendError::Full(_) => TrySendError::Full(()),
+                TrySendError::Disconnected(_) => TrySendError::Disconnected(()),
+            }
         })
     }
 }
@@ -245,10 +304,9 @@ fn shard_loop(
                 let _ = reply.send(stream.snapshot());
             }
             ShardCmd::Stats(reply) => {
-                let _ = reply.send(ShardStats {
+                let _ = reply.send(StreamStats {
                     summaries: stream.summary_count(),
                     stored_points: stream.stored_points(),
-                    queue_depth: 0, // overwritten by the reader from the gauge
                 });
             }
             ShardCmd::Shutdown => {}
@@ -262,6 +320,13 @@ fn shard_loop(
 
 struct DatasetEntry {
     dim: usize,
+    /// The dataset's effective plan: shard streams, serving compressions,
+    /// and query defaults are all derived from it.
+    plan: Plan,
+    /// The compressor shard streams and serving compressions run — built
+    /// from `plan.method()` (or the engine's injected default compressor
+    /// for default-plan datasets).
+    compressor: Arc<dyn Compressor>,
     shards: Vec<Shard>,
     next_shard: AtomicUsize,
     ingested_points: AtomicU64,
@@ -287,9 +352,12 @@ impl DatasetEntry {
         probes
             .into_iter()
             .map(|(queue_depth, rx)| {
-                let mut stats = rx.recv().map_err(|_| EngineError::Unavailable)?;
-                stats.queue_depth = queue_depth;
-                Ok(stats)
+                let stats = rx.recv().map_err(|_| EngineError::Unavailable)?;
+                Ok(ShardStats {
+                    summaries: stats.summaries,
+                    stored_points: stats.stored_points,
+                    queue_depth,
+                })
             })
             .collect()
     }
@@ -329,7 +397,11 @@ impl DatasetEntry {
 // state is deliberately omitted (it would require pausing the shards).
 pub struct Engine {
     config: EngineConfig,
-    compressor: Arc<dyn Compressor>,
+    /// The validated default plan datasets fall back to.
+    default_plan: Plan,
+    /// The compressor default-plan datasets run (tests inject cheap
+    /// samplers here; per-dataset plans build their own).
+    default_compressor: Arc<dyn Compressor>,
     datasets: Mutex<HashMap<String, Arc<DatasetEntry>>>,
     seed_counter: AtomicU64,
 }
@@ -337,15 +409,18 @@ pub struct Engine {
 impl Engine {
     /// An engine compressing with the configured [`Method`] (the paper's
     /// Fast-Coreset pipeline by default). Rejects invalid configurations —
-    /// zero shards, `k = 0`, `m_scalar = 0`, or a default solver that
-    /// cannot refine under the default objective — instead of panicking.
+    /// zero shards, a zero queue depth, `k = 0`, `m_scalar = 0`, or a
+    /// default solver that cannot refine under the default objective —
+    /// instead of panicking.
     pub fn new(config: EngineConfig) -> Result<Self, EngineError> {
         let compressor: Arc<dyn Compressor> = Arc::from(config.method.build());
         Self::with_compressor(config, compressor)
     }
 
-    /// An engine using a custom compressor (tests use cheap samplers);
-    /// `config.method` is kept for reporting but not built.
+    /// An engine whose *default-plan* datasets use a custom compressor
+    /// (tests use cheap samplers); `config.method` is kept for reporting
+    /// but not built. Datasets created under an explicit per-dataset plan
+    /// always build that plan's method.
     pub fn with_compressor(
         config: EngineConfig,
         compressor: Arc<dyn Compressor>,
@@ -355,17 +430,18 @@ impl Engine {
                 "need at least one shard".into(),
             ));
         }
-        // Validates k ≥ 1 and m = m_scalar·k ≥ k (no overflow).
-        config.params(config.k, config.kind)?;
-        if !config.solver.supports(config.kind) {
-            return Err(EngineError::Invalid(FcError::UnsupportedObjective {
-                solver: config.solver,
-                kind: config.kind,
-            }));
+        if config.shard_queue_depth == 0 {
+            return Err(EngineError::InvalidArgument(
+                "shard queue depth must be at least 1".into(),
+            ));
         }
+        // Validates k ≥ 1, m = m_scalar·k ≥ k (no overflow), and that the
+        // default solver supports the default objective.
+        let default_plan = config.default_plan()?;
         Ok(Self {
             config,
-            compressor,
+            default_plan,
+            default_compressor: compressor,
             datasets: Mutex::new(HashMap::new()),
             seed_counter: AtomicU64::new(0),
         })
@@ -374,6 +450,17 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The default [`Plan`] datasets run under when their creating ingest
+    /// carried none.
+    pub fn default_plan(&self) -> &Plan {
+        &self.default_plan
+    }
+
+    /// The effective plan of a live dataset.
+    pub fn dataset_plan(&self, name: &str) -> Result<Plan, EngineError> {
+        Ok(self.entry(name)?.plan.clone())
     }
 
     /// The next seed in the deterministic default sequence.
@@ -398,43 +485,80 @@ impl Engine {
 
     /// Ingests a weighted batch, creating the dataset on first use.
     /// Returns `(lifetime points, lifetime weight)` after the batch.
-    pub fn ingest(&self, name: &str, batch: &Dataset) -> Result<(u64, f64), EngineError> {
+    ///
+    /// A `plan` carried by the creating ingest becomes the dataset's
+    /// effective plan — its shard streams, compaction budget, serving
+    /// compression, and query defaults all derive from it; when omitted the
+    /// engine's default plan applies. Later ingests may repeat the same
+    /// plan (idempotent) but a *different* plan for an existing dataset is
+    /// rejected — a dataset sits at one point on the settling-time/accuracy
+    /// curve at a time; drop and re-ingest to move it.
+    pub fn ingest(
+        &self,
+        name: &str,
+        batch: &Dataset,
+        plan: Option<&Plan>,
+    ) -> Result<(u64, f64), EngineError> {
         if batch.is_empty() {
             return Err(EngineError::InvalidArgument("empty ingest batch".into()));
         }
-        // Validated at construction; per-default-config params cannot fail.
-        let params = self.config.params(self.config.k, self.config.kind)?;
         let entry = {
             let mut datasets = self
                 .datasets
                 .lock()
                 .expect("dataset registry lock is never poisoned");
-            let entry = datasets.entry(name.to_owned()).or_insert_with(|| {
-                let shards = (0..self.config.shards)
-                    .map(|s| {
-                        // One deterministic stream per (dataset, shard).
-                        let seed = self
-                            .config
-                            .base_seed
-                            .wrapping_add(fnv(name))
-                            .wrapping_add(s as u64);
-                        Shard::spawn(
-                            Arc::clone(&self.compressor),
-                            params,
-                            self.config.effective_budget(),
-                            seed,
-                        )
-                    })
-                    .collect();
-                Arc::new(DatasetEntry {
-                    dim: batch.dim(),
-                    shards,
-                    next_shard: AtomicUsize::new(0),
-                    ingested_points: AtomicU64::new(0),
-                    ingested_weight: Mutex::new(0.0),
-                })
-            });
-            Arc::clone(entry)
+            match datasets.entry(name.to_owned()) {
+                MapEntry::Occupied(existing) => {
+                    let entry = Arc::clone(existing.get());
+                    if let Some(requested) = plan {
+                        // Compare wire forms: a plan re-sent from `stats`
+                        // (which never carries solver tuning budgets) must
+                        // count as "the same plan".
+                        if requested.to_value() != entry.plan.to_value() {
+                            return Err(EngineError::InvalidArgument(format!(
+                                "dataset `{name}` already runs under plan {}; \
+                                 drop it before ingesting under plan {}",
+                                entry.plan.to_json(),
+                                requested.to_json(),
+                            )));
+                        }
+                    }
+                    entry
+                }
+                MapEntry::Vacant(slot) => {
+                    let effective = plan.cloned().unwrap_or_else(|| self.default_plan.clone());
+                    let compressor: Arc<dyn Compressor> = match plan {
+                        Some(p) => Arc::from(p.method().build()),
+                        None => Arc::clone(&self.default_compressor),
+                    };
+                    let shards = (0..self.config.shards)
+                        .map(|s| {
+                            // One deterministic stream per (dataset, shard).
+                            let seed = self
+                                .config
+                                .base_seed
+                                .wrapping_add(fnv(name))
+                                .wrapping_add(s as u64);
+                            Shard::spawn(
+                                Arc::clone(&compressor),
+                                effective.params(),
+                                effective.effective_budget(),
+                                seed,
+                                self.config.shard_queue_depth,
+                            )
+                        })
+                        .collect();
+                    Arc::clone(slot.insert(Arc::new(DatasetEntry {
+                        dim: batch.dim(),
+                        plan: effective,
+                        compressor,
+                        shards,
+                        next_shard: AtomicUsize::new(0),
+                        ingested_points: AtomicU64::new(0),
+                        ingested_weight: Mutex::new(0.0),
+                    })))
+                }
+            }
         };
         if entry.dim != batch.dim() {
             return Err(EngineError::DimensionMismatch {
@@ -443,7 +567,15 @@ impl Engine {
             });
         }
         let shard_idx = entry.next_shard.fetch_add(1, Ordering::Relaxed) % entry.shards.len();
-        entry.shards[shard_idx].send(ShardCmd::Ingest(batch.clone()))?;
+        entry.shards[shard_idx]
+            .try_ingest(batch.clone())
+            .map_err(|e| match e {
+                TrySendError::Full(()) => EngineError::Overloaded {
+                    dataset: name.to_owned(),
+                    shard: shard_idx,
+                },
+                TrySendError::Disconnected(()) => EngineError::Unavailable,
+            })?;
         let total_points = entry
             .ingested_points
             .fetch_add(batch.len() as u64, Ordering::Relaxed)
@@ -460,17 +592,30 @@ impl Engine {
     }
 
     /// The served coreset: union of all shard snapshots, compressed to the
-    /// serving size with the (resolved) seed. `method` overrides the
-    /// engine's configured compressor for this one serving compression
-    /// (the shard streams keep their configured method). Returns the seed
-    /// used.
+    /// dataset plan's serving size with the (resolved) seed. `method`
+    /// overrides the plan's compressor for this one serving compression
+    /// (the shard streams keep the plan's method). Returns the seed used
+    /// and the effective method served under.
     pub fn coreset(
         &self,
         name: &str,
         seed: Option<u64>,
         method: Option<&Method>,
-    ) -> Result<(Coreset, u64), EngineError> {
+    ) -> Result<(Coreset, u64, Method), EngineError> {
         let entry = self.entry(name)?;
+        self.coreset_of(&entry, name, seed, method)
+    }
+
+    /// [`Self::coreset`] against an already-resolved entry: one registry
+    /// lookup per request, so query defaults and served data always come
+    /// from the same dataset generation even while drops race.
+    fn coreset_of(
+        &self,
+        entry: &DatasetEntry,
+        name: &str,
+        seed: Option<u64>,
+        method: Option<&Method>,
+    ) -> Result<(Coreset, u64, Method), EngineError> {
         let seed = self.resolve_seed(seed);
         let parts = entry.snapshots()?;
         let mut union = parts
@@ -482,20 +627,29 @@ impl Engine {
             .ok_or_else(|| {
                 EngineError::InvalidArgument(format!("dataset `{name}` holds no data yet"))
             })?;
-        let params = self.config.params(self.config.k, self.config.kind)?;
+        let params = entry.plan.params();
         if union.len() > params.m {
             let mut rng = StdRng::seed_from_u64(seed);
             union = match method {
                 Some(m) => m.build().compress(&mut rng, union.dataset(), &params),
-                None => self.compressor.compress(&mut rng, union.dataset(), &params),
+                None => entry
+                    .compressor
+                    .compress(&mut rng, union.dataset(), &params),
             };
         }
-        Ok((union, seed))
+        // The method the serving compression runs under. When the snapshot
+        // union already fits the serving size the union is served as-is —
+        // the reported method is then the one that *would* compress it.
+        let effective = method
+            .cloned()
+            .unwrap_or_else(|| entry.plan.method().clone());
+        Ok((union, seed, effective))
     }
 
     /// Clusters the served coreset: k-means++ seeding plus the requested
-    /// solver's refinement (the engine default when omitted) on the
-    /// compressed points only.
+    /// solver's refinement on the compressed points only. Omitted knobs
+    /// default from the *dataset's* effective plan, so two datasets on one
+    /// server cluster under their own `k`/objective/solver.
     pub fn cluster(
         &self,
         name: &str,
@@ -504,12 +658,14 @@ impl Engine {
         solver: Option<Solver>,
         seed: Option<u64>,
     ) -> Result<ClusterOutcome, EngineError> {
-        let k = k.unwrap_or(self.config.k);
+        let entry = self.entry(name)?;
+        let plan = &entry.plan;
+        let k = k.unwrap_or_else(|| plan.k());
         if k == 0 {
             return Err(EngineError::Invalid(FcError::InvalidK));
         }
-        let kind = kind.unwrap_or(self.config.kind);
-        let solver = solver.unwrap_or(self.config.solver);
+        let kind = kind.unwrap_or_else(|| plan.kind());
+        let solver = solver.unwrap_or_else(|| plan.solver());
         if !solver.supports(kind) {
             return Err(EngineError::Invalid(FcError::UnsupportedObjective {
                 solver,
@@ -517,7 +673,7 @@ impl Engine {
             }));
         }
         let seed = self.resolve_seed(seed);
-        let (coreset, _) = self.coreset(name, Some(seed), None)?;
+        let (coreset, _, _) = self.coreset_of(&entry, name, Some(seed), None)?;
         // Distinct stream from the compression draw so adding solve steps
         // never perturbs which coreset is served for this seed.
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
@@ -555,8 +711,8 @@ impl Engine {
                 got: centers.dim(),
             });
         }
-        let kind = kind.unwrap_or(self.config.kind);
-        let (coreset, _) = self.coreset(name, Some(self.config.base_seed), None)?;
+        let kind = kind.unwrap_or_else(|| entry.plan.kind());
+        let (coreset, _, _) = self.coreset_of(&entry, name, Some(self.config.base_seed), None)?;
         Ok((coreset.cost(centers, kind), kind, coreset.len()))
     }
 
@@ -571,6 +727,7 @@ impl Engine {
         Ok(DatasetStats {
             dataset: name.to_owned(),
             dim: entry.dim,
+            plan: entry.plan.clone(),
             shards: entry.shards.len(),
             ingested_points: entry.ingested_points.load(Ordering::Relaxed),
             ingested_weight,
@@ -637,7 +794,7 @@ impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("config", &self.config)
-            .field("compressor", &self.compressor.name())
+            .field("default_compressor", &self.default_compressor.name())
             .finish_non_exhaustive()
     }
 }
@@ -694,9 +851,9 @@ mod tests {
         let engine = test_engine();
         let data = blobs(500);
         for block in data.chunks(250) {
-            engine.ingest("d", &block).unwrap();
+            engine.ingest("d", &block, None).unwrap();
         }
-        let (coreset, _) = engine.coreset("d", Some(1), None).unwrap();
+        let (coreset, _, _) = engine.coreset("d", Some(1), None).unwrap();
         assert!(coreset.len() <= 4 * 25);
         let rel = (coreset.total_weight() - data.total_weight()).abs() / data.total_weight();
         assert!(rel < 0.3, "served weight off by {rel}");
@@ -709,21 +866,21 @@ mod tests {
     fn served_coresets_are_reproducible_per_seed() {
         let engine = test_engine();
         for block in blobs(300).chunks(200) {
-            engine.ingest("d", &block).unwrap();
+            engine.ingest("d", &block, None).unwrap();
         }
-        let (a, seed_a) = engine.coreset("d", Some(42), None).unwrap();
-        let (b, seed_b) = engine.coreset("d", Some(42), None).unwrap();
+        let (a, seed_a, _) = engine.coreset("d", Some(42), None).unwrap();
+        let (b, seed_b, _) = engine.coreset("d", Some(42), None).unwrap();
         assert_eq!(seed_a, seed_b);
         assert_eq!(
             a.dataset(),
             b.dataset(),
             "same seed must serve the same coreset"
         );
-        let (c, _) = engine.coreset("d", Some(43), None).unwrap();
+        let (c, _, _) = engine.coreset("d", Some(43), None).unwrap();
         assert_ne!(a.dataset(), c.dataset(), "different seeds should differ");
         // Engine-assigned seeds advance deterministically from the base.
-        let (_, s1) = engine.coreset("d", None, None).unwrap();
-        let (_, s2) = engine.coreset("d", None, None).unwrap();
+        let (_, s1, _) = engine.coreset("d", None, None).unwrap();
+        let (_, s2, _) = engine.coreset("d", None, None).unwrap();
         assert_eq!(s2, s1 + 1);
     }
 
@@ -732,7 +889,7 @@ mod tests {
         let engine = test_engine();
         let data = blobs(500);
         for block in data.chunks(100) {
-            engine.ingest("d", &block).unwrap();
+            engine.ingest("d", &block, None).unwrap();
         }
         let outcome = engine.cluster("d", Some(4), None, None, Some(7)).unwrap();
         assert_eq!(outcome.solution.k(), 4);
@@ -757,12 +914,12 @@ mod tests {
             m_scalar: 10,
             ..Default::default()
         };
-        assert_eq!(cfg.effective_budget(), 4 * 4 * 10);
+        assert_eq!(cfg.effective_budget().unwrap(), 4 * 4 * 10);
         let explicit = EngineConfig {
             compaction_budget: Some(99),
             ..Default::default()
         };
-        assert_eq!(explicit.effective_budget(), 99);
+        assert_eq!(explicit.effective_budget().unwrap(), 99);
     }
 
     #[test]
@@ -780,7 +937,7 @@ mod tests {
         )
         .unwrap();
         for block in blobs(600).chunks(60) {
-            engine.ingest("d", &block).unwrap();
+            engine.ingest("d", &block, None).unwrap();
         }
         let stats = engine.dataset_stats("d").unwrap();
         // Each shard may exceed the budget by at most one un-compacted
@@ -804,10 +961,10 @@ mod tests {
             engine.coreset("ghost", None, None).unwrap_err(),
             EngineError::UnknownDataset("ghost".into())
         );
-        engine.ingest("d", &blobs(50)).unwrap();
+        engine.ingest("d", &blobs(50), None).unwrap();
         let three_d = Dataset::from_flat(vec![1.0, 2.0, 3.0], 3).unwrap();
         assert_eq!(
-            engine.ingest("d", &three_d).unwrap_err(),
+            engine.ingest("d", &three_d, None).unwrap_err(),
             EngineError::DimensionMismatch {
                 expected: 2,
                 got: 3
@@ -815,7 +972,7 @@ mod tests {
         );
         let empty = Dataset::from_flat(vec![], 2).unwrap();
         assert!(matches!(
-            engine.ingest("d", &empty).unwrap_err(),
+            engine.ingest("d", &empty, None).unwrap_err(),
             EngineError::InvalidArgument(_)
         ));
         assert!(engine.drop_dataset("d").is_ok());
@@ -828,16 +985,16 @@ mod tests {
     #[test]
     fn concurrent_ingest_and_query_from_many_threads() {
         let engine = Arc::new(test_engine());
-        engine.ingest("d", &blobs(100)).unwrap();
+        engine.ingest("d", &blobs(100), None).unwrap();
         std::thread::scope(|scope| {
             for t in 0..4u64 {
                 let engine = Arc::clone(&engine);
                 scope.spawn(move || {
                     for i in 0..20 {
                         if t % 2 == 0 {
-                            engine.ingest("d", &blobs(40)).unwrap();
+                            engine.ingest("d", &blobs(40), None).unwrap();
                         } else {
-                            let (c, _) = engine.coreset("d", Some(t * 100 + i), None).unwrap();
+                            let (c, _, _) = engine.coreset("d", Some(t * 100 + i), None).unwrap();
                             assert!(!c.is_empty());
                         }
                     }
@@ -900,8 +1057,8 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        engine.ingest("d", &blobs(200)).unwrap();
-        let (c, _) = engine.coreset("d", Some(1), None).unwrap();
+        engine.ingest("d", &blobs(200), None).unwrap();
+        let (c, _, _) = engine.coreset("d", Some(1), None).unwrap();
         assert!(!c.is_empty());
     }
 
@@ -909,7 +1066,7 @@ mod tests {
     fn per_request_solver_and_method_overrides_work() {
         let engine = test_engine();
         for block in blobs(400).chunks(100) {
-            engine.ingest("d", &block).unwrap();
+            engine.ingest("d", &block, None).unwrap();
         }
         let hamerly = engine
             .cluster("d", Some(4), None, Some(Solver::Hamerly), Some(7))
@@ -934,19 +1091,170 @@ mod tests {
         );
         // A per-request compression method serves through a different
         // compressor with the same seed discipline.
-        let (a, _) = engine
+        let (a, _, _) = engine
             .coreset("d", Some(5), Some(&Method::Lightweight))
             .unwrap();
-        let (b, _) = engine
+        let (b, _, _) = engine
             .coreset("d", Some(5), Some(&Method::Lightweight))
             .unwrap();
         assert_eq!(a.dataset(), b.dataset(), "override is still reproducible");
     }
 
     #[test]
+    fn per_dataset_plans_govern_serving_and_defaults() {
+        let engine = test_engine();
+        let plan_a = PlanBuilder::new(2)
+            .m_scalar(10)
+            .method(Method::Uniform)
+            .solver(Solver::Hamerly)
+            .build()
+            .unwrap();
+        let plan_b = PlanBuilder::new(3)
+            .m_scalar(5)
+            .kind(CostKind::KMedian)
+            .method(Method::Lightweight)
+            .solver(Solver::KMedianWeiszfeld)
+            .build()
+            .unwrap();
+        for block in blobs(300).chunks(150) {
+            engine.ingest("a", &block, Some(&plan_a)).unwrap();
+            engine.ingest("b", &block, Some(&plan_b)).unwrap();
+            engine.ingest("defaulted", &block, None).unwrap();
+        }
+        // Query defaults resolve from each dataset's own plan.
+        let a = engine.cluster("a", None, None, None, Some(1)).unwrap();
+        assert_eq!(a.solution.k(), 2);
+        assert_eq!(a.kind, CostKind::KMeans);
+        assert_eq!(a.solver, Solver::Hamerly);
+        let b = engine.cluster("b", None, None, None, Some(1)).unwrap();
+        assert_eq!(b.solution.k(), 3);
+        assert_eq!(b.kind, CostKind::KMedian);
+        assert_eq!(b.solver, Solver::KMedianWeiszfeld);
+        // Serving sizes and effective methods follow the plans.
+        let (ca, _, ma) = engine.coreset("a", Some(2), None).unwrap();
+        assert!(ca.len() <= plan_a.m(), "{} > {}", ca.len(), plan_a.m());
+        assert_eq!(ma, Method::Uniform);
+        let (cb, _, mb) = engine.coreset("b", Some(2), None).unwrap();
+        assert!(cb.len() <= plan_b.m());
+        assert_eq!(mb, Method::Lightweight);
+        // Stats report each effective plan; the plan-less dataset runs the
+        // engine default.
+        assert_eq!(engine.dataset_plan("a").unwrap(), plan_a);
+        assert_eq!(engine.dataset_stats("b").unwrap().plan, plan_b);
+        assert_eq!(
+            engine.dataset_plan("defaulted").unwrap(),
+            *engine.default_plan()
+        );
+    }
+
+    #[test]
+    fn conflicting_plan_for_live_dataset_is_rejected() {
+        let engine = test_engine();
+        let plan = PlanBuilder::new(2)
+            .m_scalar(10)
+            .method(Method::Uniform)
+            .build()
+            .unwrap();
+        engine.ingest("d", &blobs(50), Some(&plan)).unwrap();
+        // Re-sending the same plan is idempotent.
+        engine.ingest("d", &blobs(50), Some(&plan)).unwrap();
+        let other = PlanBuilder::new(4)
+            .m_scalar(10)
+            .method(Method::Uniform)
+            .build()
+            .unwrap();
+        match engine.ingest("d", &blobs(50), Some(&other)).unwrap_err() {
+            EngineError::InvalidArgument(msg) => {
+                assert!(msg.contains("already runs under plan"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // After a drop the dataset can come back under the new plan.
+        engine.drop_dataset("d").unwrap();
+        engine.ingest("d", &blobs(50), Some(&other)).unwrap();
+        assert_eq!(engine.dataset_plan("d").unwrap(), other);
+    }
+
+    /// A compressor that parks until released — lets tests hold a shard
+    /// worker busy so the bounded queue actually fills.
+    struct Gated {
+        release: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Compressor for Gated {
+        fn name(&self) -> &str {
+            "gated"
+        }
+
+        fn compress(
+            &self,
+            rng: &mut dyn rand::RngCore,
+            data: &Dataset,
+            params: &CompressionParams,
+        ) -> Coreset {
+            while !self.release.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Uniform.compress(rng, data, params)
+        }
+    }
+
+    #[test]
+    fn full_shard_queue_reports_overloaded_instead_of_blocking() {
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let engine = Engine::with_compressor(
+            EngineConfig {
+                shards: 1,
+                shard_queue_depth: 1,
+                k: 2,
+                m_scalar: 5,
+                ..Default::default()
+            },
+            Arc::new(Gated {
+                release: Arc::clone(&release),
+            }),
+        )
+        .unwrap();
+        // The worker dequeues the first batch and parks inside compression;
+        // at most one more command fits the queue, so a handful of writes
+        // must hit `Overloaded` — and return immediately rather than pin
+        // the calling thread.
+        let mut overloaded = None;
+        for _ in 0..4 {
+            match engine.ingest("d", &blobs(20), None) {
+                Ok(_) => {}
+                Err(e) => {
+                    overloaded = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            overloaded,
+            Some(EngineError::Overloaded {
+                dataset: "d".into(),
+                shard: 0,
+            })
+        );
+        // The saturated shard is observable, then drains once released.
+        release.store(true, Ordering::SeqCst);
+        loop {
+            match engine.ingest("d", &blobs(20), None) {
+                Ok(_) => break,
+                Err(EngineError::Overloaded { .. }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        let stats = engine.dataset_stats("d").unwrap();
+        assert!(stats.ingested_points > 0);
+    }
+
+    #[test]
     fn stats_report_per_shard_queue_depth() {
         let engine = test_engine();
-        engine.ingest("d", &blobs(100)).unwrap();
+        engine.ingest("d", &blobs(100), None).unwrap();
         let stats = engine.dataset_stats("d").unwrap();
         assert_eq!(stats.queue_depth_per_shard.len(), 2);
         // The probe samples the gauge before enqueueing itself, and ingest

@@ -1,13 +1,19 @@
 //! A sharded coreset-serving subsystem: the Fast-Coreset pipeline
 //! (compress in `Õ(nd)`, answer clustering queries from the compression)
-//! run as a long-lived concurrent service.
+//! run as a long-lived concurrent service, with one effective
+//! [`fc_core::plan::Plan`] per dataset.
 //!
-//! - [`engine`]: named datasets as sharded [`fc_streaming::MergeReduce`]
-//!   streams with per-shard worker threads and budgeted compaction.
-//! - [`protocol`]: the request/response types and their dependency-free
-//!   JSON-lines codec ([`json`]).
+//! - [`engine`]: named datasets as sharded
+//!   [`fc_core::streaming::MergeReduce`] streams with per-shard worker
+//!   threads and budgeted compaction, each dataset built from its own
+//!   [`fc_core::plan::Plan`] (the engine config is only the default).
+//! - [`protocol`]: the request/response types and their JSON-lines codec
+//!   (the dependency-free [`fc_core::json`], re-exported as [`json`] —
+//!   plans cross the wire in the library's own
+//!   [`fc_core::plan::Plan::to_json`] form).
 //! - [`server`] / [`client`]: a `std::net` TCP server (thread per
 //!   connection, graceful shutdown) and the blocking [`ServiceClient`].
+//!   A full shard queue answers `overloaded` instead of blocking.
 //!
 //! ```no_run
 //! use fc_service::{Engine, EngineConfig, ServerHandle, ServiceClient};
@@ -15,8 +21,10 @@
 //! let server = ServerHandle::bind("127.0.0.1:0", Engine::new(EngineConfig::default())?)?;
 //! let mut client = ServiceClient::connect(server.addr())?;
 //! let data = fc_geom::Dataset::from_flat(vec![0.0, 0.0, 1.0, 1.0], 2)?;
-//! client.ingest("demo", &data)?;
-//! let result = client.cluster("demo", Some(2), None, None, None)?;
+//! // This dataset picks its own point on the settling-time/accuracy curve.
+//! let plan = fc_core::plan::Plan::from_json(r#"{"k":2,"method":"lightweight"}"#)?;
+//! client.ingest("demo", &data, Some(&plan))?;
+//! let result = client.cluster("demo", None, None, None, None)?;
 //! println!("served {} centers (seed {})", result.centers.len(), result.seed);
 //! server.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -24,11 +32,12 @@
 
 pub mod client;
 pub mod engine;
-pub mod json;
 pub mod protocol;
 pub mod server;
 
+pub use fc_core::json;
+
 pub use client::{ClientError, ClusterResult, ServiceClient};
 pub use engine::{ClusterOutcome, Engine, EngineConfig, EngineError};
-pub use protocol::{DatasetStats, ProtocolError, Request, Response};
+pub use protocol::{DatasetStats, ErrorCode, ProtocolError, Request, Response};
 pub use server::ServerHandle;

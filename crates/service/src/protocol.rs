@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! {"op":"ingest","dataset":"d","points":[[0,0],[1,1]],"weights":[1,2]}
+//! {"op":"ingest","dataset":"e","points":[[2,2]],"plan":{"k":4,"kind":"kmedian","method":"bico","solver":"kmedian-weiszfeld"}}
 //! {"op":"compress","dataset":"d","method":"fast-coreset","seed":7}
 //! {"op":"cluster","dataset":"d","k":4,"kind":"kmeans","solver":"hamerly","seed":7}
 //! {"op":"cost","dataset":"d","centers":[[0.5,0.5]],"kind":"kmeans"}
@@ -21,11 +22,19 @@
 //! [`fc_core::plan::Method`] and [`fc_clustering::Solver`] — the wire
 //! protocol parses them with the exact same `FromStr` implementations the
 //! library exposes, so a string that works in code works on the wire and
-//! vice versa.
+//! vice versa. `plan` on a creating ingest is the stable wire form of a
+//! whole [`Plan`] ([`Plan::from_value`]): per-dataset `k`, size, objective,
+//! method, solver, and compaction budget. `stats` reports each dataset's
+//! effective plan in the same form.
+//!
+//! The response schema is versioned with the workspace: client and server
+//! ship from one build, so new response fields (`method`, `plan`) are
+//! required on decode. Error `code`s are the one open set — unknown codes
+//! decode as `None` so clients survive new server-side classes.
 
 use crate::json::{self, number_array, object, Value};
 use fc_clustering::{CostKind, Solver};
-use fc_core::plan::Method;
+use fc_core::plan::{kind_from_name, kind_name, Method, Plan};
 use fc_geom::{Dataset, Points};
 
 /// A client request.
@@ -39,6 +48,11 @@ pub enum Request {
         points: Vec<Vec<f64>>,
         /// Optional per-point weights (unit when omitted).
         weights: Option<Vec<f64>>,
+        /// Optional per-dataset [`Plan`], honoured by the ingest that
+        /// creates the dataset (the engine default applies when omitted).
+        /// Re-sending the same plan is idempotent; a different plan for an
+        /// existing dataset is an error.
+        plan: Option<Plan>,
     },
     /// Returns the dataset's current served coreset.
     Compress {
@@ -94,6 +108,9 @@ pub struct DatasetStats {
     pub dataset: String,
     /// Point dimensionality.
     pub dim: usize,
+    /// The dataset's effective [`Plan`] — the one its shard streams,
+    /// serving compressions, and query defaults derive from.
+    pub plan: Plan,
     /// Shard count.
     pub shards: usize,
     /// Total points ingested over the dataset's lifetime.
@@ -131,6 +148,12 @@ pub enum Response {
         points: Vec<Vec<f64>>,
         /// Per-point weights.
         weights: Vec<f64>,
+        /// The effective compression method — the request's override, or
+        /// the dataset plan's method. This is the method the serving
+        /// compression runs under; when the snapshot union already fits
+        /// the serving size the points are served as-is and this names the
+        /// method that *would* compress them.
+        method: Method,
         /// The seed that produced this compression.
         seed: u64,
     },
@@ -176,7 +199,43 @@ pub enum Response {
     Error {
         /// Human-readable description.
         message: String,
+        /// Machine-readable class, for failures a client should react to
+        /// programmatically rather than by parsing prose.
+        code: Option<ErrorCode>,
     },
+}
+
+/// Machine-readable classes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// A shard ingest queue was full; the write was rejected instead of
+    /// blocking. Back off and retry.
+    Overloaded,
+}
+
+impl ErrorCode {
+    /// The canonical wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+        }
+    }
+
+    /// Parses a wire name; unknown codes decode as `None` so old clients
+    /// survive new server-side classes.
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "overloaded" => Some(ErrorCode::Overloaded),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// A protocol-level decoding failure.
@@ -208,20 +267,10 @@ impl From<json::JsonError> for ProtocolError {
     }
 }
 
-fn kind_to_str(kind: CostKind) -> &'static str {
-    match kind {
-        CostKind::KMeans => "kmeans",
-        CostKind::KMedian => "kmedian",
-    }
-}
-
 fn kind_from_value(v: &Value) -> Result<CostKind, ProtocolError> {
     match v.as_str() {
-        Some("kmeans") => Ok(CostKind::KMeans),
-        Some("kmedian") => Ok(CostKind::KMedian),
-        Some(other) => Err(ProtocolError::new(format!(
-            "unknown kind `{other}` (expected `kmeans` or `kmedian`)"
-        ))),
+        // The same canonical names the plan wire form uses.
+        Some(name) => kind_from_name(name).map_err(|e| ProtocolError::new(e.to_string())),
         None => Err(ProtocolError::new("`kind` must be a string")),
     }
 }
@@ -323,6 +372,7 @@ impl Request {
                 dataset,
                 points,
                 weights,
+                plan,
             } => {
                 let mut pairs = vec![
                     ("op", Value::from("ingest")),
@@ -331,6 +381,9 @@ impl Request {
                 ];
                 if let Some(w) = weights {
                     pairs.push(("weights", number_array(w)));
+                }
+                if let Some(p) = plan {
+                    pairs.push(("plan", p.to_value()));
                 }
                 pairs_to_object(pairs)
             }
@@ -366,7 +419,7 @@ impl Request {
                     pairs.push(("k", Value::from(*k)));
                 }
                 if let Some(kind) = kind {
-                    pairs.push(("kind", Value::from(kind_to_str(*kind))));
+                    pairs.push(("kind", Value::from(kind_name(*kind))));
                 }
                 if let Some(solver) = solver {
                     pairs.push(("solver", Value::from(solver.to_string())));
@@ -387,7 +440,7 @@ impl Request {
                     ("centers", rows_to_value(centers)),
                 ];
                 if let Some(kind) = kind {
-                    pairs.push(("kind", Value::from(kind_to_str(*kind))));
+                    pairs.push(("kind", Value::from(kind_name(*kind))));
                 }
                 pairs_to_object(pairs)
             }
@@ -443,10 +496,18 @@ impl Request {
                         Some(w)
                     }
                 };
+                let plan = match v.get("plan") {
+                    None | Some(Value::Null) => None,
+                    Some(p) => Some(
+                        Plan::from_value(p)
+                            .map_err(|e| ProtocolError::new(format!("invalid `plan`: {e}")))?,
+                    ),
+                };
                 Ok(Request::Ingest {
                     dataset,
                     points,
                     weights,
+                    plan,
                 })
             }
             "compress" => Ok(Request::Compress {
@@ -530,6 +591,7 @@ fn dataset_stats_to_value(s: &DatasetStats) -> Value {
     object([
         ("dataset", Value::from(s.dataset.clone())),
         ("dim", Value::from(s.dim)),
+        ("plan", s.plan.to_value()),
         ("shards", Value::from(s.shards)),
         ("ingested_points", Value::from(s.ingested_points)),
         ("ingested_weight", Value::from(s.ingested_weight)),
@@ -565,6 +627,8 @@ fn dataset_stats_from_value(v: &Value) -> Result<DatasetStats, ProtocolError> {
         dim: field("dim")?
             .as_usize()
             .ok_or_else(|| ProtocolError::new("`dim` must be an integer"))?,
+        plan: Plan::from_value(field("plan")?)
+            .map_err(|e| ProtocolError::new(format!("invalid stats `plan`: {e}")))?,
         shards: field("shards")?
             .as_usize()
             .ok_or_else(|| ProtocolError::new("`shards` must be an integer"))?,
@@ -619,6 +683,7 @@ impl Response {
                 dataset,
                 points,
                 weights,
+                method,
                 seed,
             } => object([
                 ("ok", Value::from(true)),
@@ -626,6 +691,7 @@ impl Response {
                 ("dataset", Value::from(dataset.clone())),
                 ("points", rows_to_value(points)),
                 ("weights", number_array(weights)),
+                ("method", Value::from(method.to_string())),
                 ("seed", Value::from(*seed)),
             ]),
             Response::Clustered {
@@ -641,7 +707,7 @@ impl Response {
                 ("kind", Value::from("clustered")),
                 ("dataset", Value::from(dataset.clone())),
                 ("centers", rows_to_value(centers)),
-                ("objective", Value::from(kind_to_str(*kind))),
+                ("objective", Value::from(kind_name(*kind))),
                 ("solver", Value::from(solver.to_string())),
                 ("coreset_cost", Value::from(*coreset_cost)),
                 ("coreset_points", Value::from(*coreset_points)),
@@ -657,7 +723,7 @@ impl Response {
                 ("kind", Value::from("cost")),
                 ("dataset", Value::from(dataset.clone())),
                 ("cost", Value::from(*cost)),
-                ("objective", Value::from(kind_to_str(*kind))),
+                ("objective", Value::from(kind_name(*kind))),
                 ("coreset_points", Value::from(*coreset_points)),
             ]),
             Response::Stats { datasets } => object([
@@ -673,11 +739,17 @@ impl Response {
                 ("kind", Value::from("dropped")),
                 ("dataset", Value::from(dataset.clone())),
             ]),
-            Response::Error { message } => object([
-                ("ok", Value::from(false)),
-                ("kind", Value::from("error")),
-                ("message", Value::from(message.clone())),
-            ]),
+            Response::Error { message, code } => {
+                let mut pairs = vec![
+                    ("ok", Value::from(false)),
+                    ("kind", Value::from("error")),
+                    ("message", Value::from(message.clone())),
+                ];
+                if let Some(code) = code {
+                    pairs.push(("code", Value::from(code.name())));
+                }
+                pairs_to_object(pairs)
+            }
         };
         value.to_json()
     }
@@ -723,6 +795,10 @@ impl Response {
                         .ok_or_else(|| ProtocolError::new("missing field `weights`"))?,
                     "weights",
                 )?,
+                method: method_from_value(
+                    v.get("method")
+                        .ok_or_else(|| ProtocolError::new("missing field `method`"))?,
+                )?,
                 seed: seed(())?,
             }),
             "clustered" => Ok(Response::Clustered {
@@ -767,6 +843,13 @@ impl Response {
             }),
             "error" => Ok(Response::Error {
                 message: required_str(&v, "message")?,
+                code: match v.get("code") {
+                    None | Some(Value::Null) => None,
+                    Some(code) => ErrorCode::from_name(
+                        code.as_str()
+                            .ok_or_else(|| ProtocolError::new("`code` must be a string"))?,
+                    ),
+                },
             }),
             other => Err(ProtocolError::new(format!(
                 "unknown response kind `{other}`"
@@ -828,11 +911,28 @@ mod tests {
             dataset: "d".into(),
             points: vec![vec![0.0, 1.5], vec![-2.25, 3.0]],
             weights: Some(vec![1.0, 2.5]),
+            plan: None,
         });
         round_trip_request(Request::Ingest {
             dataset: "d".into(),
             points: vec![vec![0.5]],
             weights: None,
+            plan: None,
+        });
+        round_trip_request(Request::Ingest {
+            dataset: "d".into(),
+            points: vec![vec![0.5, 1.0]],
+            weights: None,
+            plan: Some(
+                fc_core::plan::PlanBuilder::new(3)
+                    .m_scalar(15)
+                    .kind(CostKind::KMedian)
+                    .method("merge-reduce(lightweight)".parse().unwrap())
+                    .solver(Solver::KMedianWeiszfeld)
+                    .compaction_budget(900)
+                    .build()
+                    .unwrap(),
+            ),
         });
         round_trip_request(Request::Compress {
             dataset: "a/b c".into(),
@@ -884,6 +984,7 @@ mod tests {
             dataset: "d".into(),
             points: vec![vec![0.125, -4.0]],
             weights: vec![17.25],
+            method: Method::FastCoreset,
             seed: 3,
         });
         round_trip_response(Response::Clustered {
@@ -905,6 +1006,10 @@ mod tests {
             datasets: vec![DatasetStats {
                 dataset: "d".into(),
                 dim: 3,
+                plan: fc_core::plan::PlanBuilder::new(4)
+                    .m_scalar(25)
+                    .build()
+                    .unwrap(),
                 shards: 4,
                 ingested_points: 1000,
                 ingested_weight: 1000.0,
@@ -918,7 +1023,17 @@ mod tests {
         });
         round_trip_response(Response::Error {
             message: "no such dataset \"x\"".into(),
+            code: None,
         });
+        round_trip_response(Response::Error {
+            message: "shard 2 is overloaded".into(),
+            code: Some(ErrorCode::Overloaded),
+        });
+        // Unknown codes from newer servers decode as None, not an error.
+        match Response::from_json(r#"{"kind":"error","message":"m","code":"quota"}"#).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, None),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -983,6 +1098,18 @@ mod tests {
             (
                 r#"{"op":"cluster","dataset":"d","seed":-4}"#,
                 "`seed` must be",
+            ),
+            (
+                r#"{"op":"ingest","dataset":"d","points":[[1]],"plan":{"k":0}}"#,
+                "invalid `plan`",
+            ),
+            (
+                r#"{"op":"ingest","dataset":"d","points":[[1]],"plan":{"k":2,"method":"zip"}}"#,
+                "unknown method",
+            ),
+            (
+                r#"{"op":"ingest","dataset":"d","points":[[1]],"plan":7}"#,
+                "must be a JSON object",
             ),
             (
                 r#"{"op":"cost","dataset":"d"}"#,

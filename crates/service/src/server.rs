@@ -166,17 +166,27 @@ fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> st
             // Oversized line: answer once and drop the connection (the rest
             // of the line cannot be resynchronized).
             let message = format!("request line exceeds {MAX_LINE_BYTES} bytes");
-            respond(&mut writer, Response::Error { message })?;
+            respond(
+                &mut writer,
+                Response::Error {
+                    message,
+                    code: None,
+                },
+            )?;
             break;
         }
         let response = match std::str::from_utf8(&buf) {
             Ok(line) if line.trim().is_empty() => continue,
             Ok(line) => match Request::from_json(line.trim_end_matches(['\n', '\r'])) {
                 Ok(request) => handle_request(engine, request),
-                Err(e) => Response::Error { message: e.message },
+                Err(e) => Response::Error {
+                    message: e.message,
+                    code: None,
+                },
             },
             Err(_) => Response::Error {
                 message: "request line is not valid UTF-8".into(),
+                code: None,
             },
         };
         respond(&mut writer, response)?;
@@ -201,8 +211,13 @@ fn run_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) {
 }
 
 fn engine_error(e: EngineError) -> Response {
+    let code = match &e {
+        EngineError::Overloaded { .. } => Some(protocol::ErrorCode::Overloaded),
+        _ => None,
+    };
     Response::Error {
         message: e.to_string(),
+        code,
     }
 }
 
@@ -214,12 +229,18 @@ pub fn handle_request(engine: &Engine, request: Request) -> Response {
             dataset,
             points,
             weights,
+            plan,
         } => {
             let batch = match protocol::rows_to_dataset(&points, weights.as_deref()) {
                 Ok(b) => b,
-                Err(e) => return Response::Error { message: e.message },
+                Err(e) => {
+                    return Response::Error {
+                        message: e.message,
+                        code: None,
+                    }
+                }
             };
-            match engine.ingest(&dataset, &batch) {
+            match engine.ingest(&dataset, &batch, plan.as_ref()) {
                 Ok((total_points, total_weight)) => Response::Ingested {
                     dataset,
                     points: batch.len(),
@@ -234,12 +255,13 @@ pub fn handle_request(engine: &Engine, request: Request) -> Response {
             method,
             seed,
         } => match engine.coreset(&dataset, seed, method.as_ref()) {
-            Ok((coreset, seed)) => {
+            Ok((coreset, seed, method)) => {
                 let (points, weights) = protocol::dataset_to_rows(coreset.dataset());
                 Response::Coreset {
                     dataset,
                     points,
                     weights,
+                    method,
                     seed,
                 }
             }
@@ -275,7 +297,12 @@ pub fn handle_request(engine: &Engine, request: Request) -> Response {
         } => {
             let centers = match protocol::rows_to_points(&centers) {
                 Ok(c) => c,
-                Err(e) => return Response::Error { message: e.message },
+                Err(e) => {
+                    return Response::Error {
+                        message: e.message,
+                        code: None,
+                    }
+                }
             };
             match engine.cost(&dataset, &centers, kind) {
                 Ok((cost, kind, coreset_points)) => Response::Cost {
@@ -333,6 +360,7 @@ mod tests {
                 dataset: "d".into(),
                 points: (0..50).map(|i| vec![i as f64, 0.0]).collect(),
                 weights: None,
+                plan: None,
             },
         );
         assert!(

@@ -9,7 +9,7 @@
 
 use fast_coresets::prelude::*;
 use fc_clustering::lloyd::LloydConfig;
-use fc_streaming::mapreduce_coreset;
+use fc_core::streaming::mapreduce_coreset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Stream the data in as 20 ingest batches.
     let mut client = ServiceClient::connect(server.addr())?;
     for batch in data.chunks(1_000) {
-        client.ingest("gaussians", &batch)?;
+        client.ingest("gaussians", &batch, None)?;
     }
     let stats = &client.stats(Some("gaussians"))?[0];
     println!(
@@ -96,14 +96,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hamerly.solver,
         hamerly.centers.len()
     );
-    let (uniform, _) =
+    let (uniform, _, served_method) =
         client.compress("gaussians", Some(&"uniform".parse::<Method>()?), Some(1))?;
+    assert_eq!(served_method, Method::Uniform, "response echoes the method");
     println!(
-        "method override: uniform serving coreset of {} points",
+        "method override: {served_method} serving coreset of {} points",
         uniform.len()
     );
 
+    // A second dataset on the same server picks its own point on the
+    // settling-time/accuracy curve: a full per-dataset plan rides the
+    // creating ingest, and plan-less queries resolve against it.
+    let plan = PlanBuilder::new(4)
+        .m_scalar(20)
+        .method("merge-reduce(lightweight)".parse::<Method>()?)
+        .solver(Solver::Hamerly)
+        .build()?;
+    println!("second dataset under plan {}", plan.to_json());
+    for batch in data.chunks(2_000) {
+        client.ingest("planned", &batch, Some(&plan))?;
+    }
+    let planned = client.cluster("planned", None, None, None, None)?;
+    assert_eq!(planned.centers.len(), 4, "plan supplies k");
+    assert_eq!(planned.solver, Solver::Hamerly, "plan supplies the solver");
+    let effective = &client.stats(Some("planned"))?[0].plan;
+    assert_eq!(effective, &plan, "stats echo the effective plan");
+    println!(
+        "plan-less cluster served k={} via {} (stats echo the plan back)",
+        planned.centers.len(),
+        planned.solver,
+    );
+
     client.drop_dataset("gaussians")?;
+    client.drop_dataset("planned")?;
     server.shutdown();
     Ok(())
 }

@@ -9,9 +9,9 @@
 
 use fast_coresets::prelude::*;
 use fc_clustering::lloyd::LloydConfig;
-use fc_streaming::bico::{BicoConfig, BicoStream};
-use fc_streaming::stream::run_stream;
-use fc_streaming::StreamKm;
+use fc_core::streaming::bico::{BicoConfig, BicoStream};
+use fc_core::streaming::stream::run_stream;
+use fc_core::streaming::StreamKm;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

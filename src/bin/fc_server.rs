@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fc-server [--addr HOST:PORT] [--shards N] [--k K] [--m-scalar M]
-//!           [--budget POINTS] [--kmedian] [--method NAME] [--solver NAME]
+//!           [--budget POINTS] [--queue-depth N] [--kmedian]
+//!           [--method NAME] [--solver NAME]
 //! ```
 //!
 //! `--method` and `--solver` take the canonical names of
@@ -18,8 +19,8 @@ use fc_service::{Engine, EngineConfig, ServerHandle};
 fn usage() -> ! {
     eprintln!(
         "usage: fc-server [--addr HOST:PORT] [--shards N] [--k K] \
-         [--m-scalar M] [--budget POINTS] [--kmedian] [--method NAME] \
-         [--solver NAME]"
+         [--m-scalar M] [--budget POINTS] [--queue-depth N] [--kmedian] \
+         [--method NAME] [--solver NAME]"
     );
     std::process::exit(2);
 }
@@ -47,6 +48,9 @@ fn parse_args() -> (String, EngineConfig) {
             "--budget" => {
                 config.compaction_budget =
                     Some(value("points").parse().unwrap_or_else(|_| usage()));
+            }
+            "--queue-depth" => {
+                config.shard_queue_depth = value("count").parse().unwrap_or_else(|_| usage());
             }
             "--kmedian" => config.kind = CostKind::KMedian,
             "--method" => {
@@ -90,16 +94,11 @@ fn main() {
         }
     };
     println!(
-        "fc-server listening on {} (shards={}, k={}, m={}, budget={}, {:?}, \
-         method={}, solver={})",
+        "fc-server listening on {} (shards={}, queue-depth={}, default plan {})",
         handle.addr(),
         config.shards,
-        config.k,
-        config.k * config.m_scalar,
-        config.effective_budget(),
-        config.kind,
-        config.method,
-        config.solver,
+        config.shard_queue_depth,
+        handle.engine().default_plan().to_json(),
     );
     // Serve until the process is killed; accept/connection threads do the
     // work. SIGTERM's default disposition terminates the process.

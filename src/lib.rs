@@ -52,13 +52,19 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! ## Migrating from `Pipeline`
+//! ## Migration notes (removed shims)
 //!
-//! `fc_core::pipeline::Pipeline` (panicking, batch-only) is deprecated.
-//! Replace `Pipeline::new(k).method(m).run(&mut rng, &data)` with
-//! `PlanBuilder::new(k).method(m).build()?.run(&mut rng, &data)?`; the
-//! [`Method`](prelude::Method) enum is the same type, now also covering
-//! BICO, StreamKM++, and merge-&-reduce composition.
+//! Two historical compatibility layers are gone:
+//!
+//! - `fc_core::pipeline::Pipeline` (panicking, batch-only) — write
+//!   `PlanBuilder::new(k).method(m).build()?.run(&mut rng, &data)?`
+//!   instead; the [`Method`](prelude::Method) enum is the same type, and
+//!   every invalid parameter is an [`FcError`](prelude::FcError), not a
+//!   panic.
+//! - the `fc_streaming` facade crate — the implementations live in
+//!   [`fc_core::streaming`]; replace `use fc_streaming::MergeReduce` with
+//!   `use fc_core::streaming::MergeReduce` (every historical item name is
+//!   unchanged, only the crate prefix moves).
 //!
 //! ## Crate map
 //!
@@ -67,10 +73,9 @@
 //! | [`fc_geom`] | point stores, weighted datasets, distances, JL projections, weighted sampling |
 //! | [`fc_clustering`] | k-means++ seeding, Lloyd/Weiszfeld/Hamerly/local-search refinement behind the [`Solver`](prelude::Solver) dispatch |
 //! | [`fc_quadtree`] | compressed quadtrees, Fast-kmeans++, Crude-Approx, Reduce-Spread, HST k-median |
-//! | [`fc_core`] | the [`Plan`](prelude::Plan) API, Fast-Coresets (Algorithm 1), the sampler spectrum, streaming composition (merge-&-reduce, BICO, StreamKM++, MapReduce), distortion metric, [`FcError`](prelude::FcError) |
-//! | [`fc_streaming`] | compatibility facade re-exporting [`fc_core::streaming`] |
+//! | [`fc_core`] | the [`Plan`](prelude::Plan) API and its JSON wire form, Fast-Coresets (Algorithm 1), the sampler spectrum, streaming composition ([`fc_core::streaming`]: merge-&-reduce, BICO, StreamKM++, MapReduce), distortion metric, [`FcError`](prelude::FcError), the dependency-free [`fc_core::json`] codec |
 //! | [`fc_data`] | the paper's artificial datasets and real-world proxies |
-//! | [`fc_service`] | the sharded coreset-serving engine, its TCP/JSON-lines protocol, server, and client (`fc-server` binary) — configured by the same `Method`/`Solver` names |
+//! | [`fc_service`] | the sharded coreset-serving engine (one effective `Plan` per dataset), its TCP/JSON-lines protocol, server, and client (`fc-server` binary) |
 
 pub use fc_clustering;
 pub use fc_core;
@@ -78,7 +83,6 @@ pub use fc_data;
 pub use fc_geom;
 pub use fc_quadtree;
 pub use fc_service;
-pub use fc_streaming;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -86,13 +90,13 @@ pub mod prelude {
     pub use fc_clustering::solver::{SolveConfig, Solver, SolverError};
     pub use fc_clustering::{CostKind, LocalSearchConfig};
     pub use fc_core::plan::{Method, Plan, PlanBuilder, PlanOutcome, StreamSession};
+    pub use fc_core::streaming::{MergeReduce, StreamingCompressor};
     pub use fc_core::{
         CompressionParams, Compressor, Coreset, FastCoreset, FastCoresetConfig, FcError,
         Lightweight, StandardSensitivity, Uniform, Welterweight,
     };
     pub use fc_geom::{Dataset, Points};
     pub use fc_service::{Engine, EngineConfig, ServerHandle, ServiceClient};
-    pub use fc_streaming::{MergeReduce, StreamingCompressor};
 }
 
 #[cfg(test)]

@@ -203,6 +203,7 @@ fn served_clustering_round_trips_solver_and_queue_depth() {
             dataset: "d".into(),
             points,
             weights: None,
+            plan: None,
         },
     );
     assert!(matches!(resp, Response::Ingested { .. }), "{resp:?}");

@@ -57,7 +57,7 @@ fn concurrent_clients_ingest_and_query_within_distortion_bound() {
                 let mut client = ServiceClient::connect(addr).unwrap();
                 barrier.wait();
                 for batch in data.chunks(200) {
-                    client.ingest("blobs", &batch).unwrap();
+                    client.ingest("blobs", &batch, None).unwrap();
                 }
                 let _ = w;
             });
@@ -99,7 +99,7 @@ fn concurrent_clients_ingest_and_query_within_distortion_bound() {
         .map(|_| per_writer.clone())
         .reduce(|a, b| a.concat(&b).unwrap())
         .unwrap();
-    let (coreset, seed) = client.compress("blobs", None, Some(7)).unwrap();
+    let (coreset, seed, _) = client.compress("blobs", None, Some(7)).unwrap();
     assert_eq!(seed, 7);
     let mut rng = StdRng::seed_from_u64(99);
     let report = fc_core::distortion(
@@ -136,7 +136,7 @@ fn served_results_are_reproducible_across_connections() {
     let addr = server.addr();
     let mut a = ServiceClient::connect(addr).unwrap();
     for batch in four_blobs(200, 0.0).chunks(160) {
-        a.ingest("d", &batch).unwrap();
+        a.ingest("d", &batch, None).unwrap();
     }
     let from_a = a.cluster("d", Some(4), None, None, Some(5)).unwrap();
     // A different connection replaying the same seed sees the same result.
@@ -197,7 +197,7 @@ fn full_u64_seeds_survive_the_wire() {
     let server = ServerHandle::bind("127.0.0.1:0", serving_engine(2)).unwrap();
     let mut client = ServiceClient::connect(server.addr()).unwrap();
     for batch in four_blobs(100, 0.0).chunks(100) {
-        client.ingest("d", &batch).unwrap();
+        client.ingest("d", &batch, None).unwrap();
     }
     // Seeds above 2^53 don't fit an f64 exactly; the codec must keep them.
     let seed = u64::MAX - 12345;
@@ -232,7 +232,7 @@ fn oversized_request_line_is_rejected_without_oom() {
     let mut reply = String::new();
     reader.read_line(&mut reply).unwrap();
     match Response::from_json(reply.trim()).unwrap() {
-        Response::Error { message } => assert!(message.contains("exceeds"), "{message}"),
+        Response::Error { message, .. } => assert!(message.contains("exceeds"), "{message}"),
         other => panic!("unexpected {other:?}"),
     }
     // The connection is closed afterwards (oversized lines cannot resync).
@@ -249,10 +249,11 @@ fn dimension_mismatch_is_rejected_over_the_wire() {
         .ingest(
             "d",
             &Dataset::from_flat(vec![0.0, 0.0, 1.0, 1.0], 2).unwrap(),
+            None,
         )
         .unwrap();
     let three_d = Dataset::from_flat(vec![1.0, 2.0, 3.0], 3).unwrap();
-    match client.ingest("d", &three_d) {
+    match client.ingest("d", &three_d, None) {
         Err(fc_service::ClientError::Server(msg)) => {
             assert!(msg.contains("dimension mismatch"), "{msg}")
         }

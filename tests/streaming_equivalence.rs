@@ -4,7 +4,7 @@
 
 use fast_coresets::prelude::*;
 use fc_clustering::lloyd::LloydConfig;
-use fc_streaming::stream::run_stream;
+use fc_core::streaming::stream::run_stream;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -128,8 +128,9 @@ fn bico_and_streamkm_produce_usable_summaries() {
     let m = 40 * k;
     let mut rng = StdRng::seed_from_u64(26);
 
-    let mut bico =
-        fc_streaming::bico::BicoStream::new(fc_streaming::bico::BicoConfig::with_target(m));
+    let mut bico = fc_core::streaming::bico::BicoStream::new(
+        fc_core::streaming::bico::BicoConfig::with_target(m),
+    );
     let bc = run_stream(&mut bico, &mut rng, &data, 10);
     let bd = fc_core::distortion(
         &mut rng,
@@ -149,7 +150,7 @@ fn bico_and_streamkm_produce_usable_summaries() {
         bd.distortion
     );
 
-    let mut skm = fc_streaming::StreamKm::new(data.dim(), m);
+    let mut skm = fc_core::streaming::StreamKm::new(data.dim(), m);
     let sc = run_stream(&mut skm, &mut rng, &data, 10);
     let sd = fc_core::distortion(
         &mut rng,

@@ -5,8 +5,9 @@
 //! property tests — the [`strategy::Strategy`] trait with `prop_map` /
 //! `prop_flat_map`, tuple and range strategies, [`strategy::Just`],
 //! `prop::collection::vec`, `any::<T>()`, the `proptest!` /
-//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros, and
-//! [`test_runner::ProptestConfig`] — with two deliberate simplifications:
+//! `prop_oneof!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
+//! macros, and [`test_runner::ProptestConfig`] — with two deliberate
+//! simplifications:
 //! inputs are drawn from a generator seeded deterministically per test name
 //! (reproducible runs, no persistence files), and failing cases are
 //! reported without shrinking.
@@ -102,6 +103,61 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut StdRng) -> T {
             rng.gen_range(self.clone())
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`boxed`]. Object-safe
+    /// because the combinator methods are `Self: Sized`.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy — the type-erasure glue [`crate::prop_oneof!`]
+    /// uses to mix arms of different strategy types over one value type.
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+        Box::new(strategy)
+    }
+
+    /// Weighted choice among strategies sharing a value type — the
+    /// strategy behind [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        /// A union of `(weight, strategy)` arms. Panics on an empty arm
+        /// list or all-zero weights — a misuse of the macro, not a failing
+        /// property.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            assert!(
+                arms.iter().any(|(w, _)| *w > 0),
+                "prop_oneof! needs at least one positive weight"
+            );
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (weight, arm) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return arm.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("the weight sum covers every draw")
         }
     }
 
@@ -320,7 +376,7 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 
     pub mod prop {
         //! Namespaced strategy constructors (`prop::collection::vec`).
@@ -371,6 +427,24 @@ macro_rules! __proptest_tests {
             );
         }
         $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Chooses among strategies: `prop_oneof![a, b, c]` draws each arm with
+/// equal probability; `prop_oneof![3 => a, 1 => b]` draws proportionally
+/// to the integer weights. Arms may be different strategy types as long as
+/// they generate the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
     };
 }
 
@@ -459,6 +533,24 @@ mod tests {
             prop_assert!((1..4).contains(&a));
             prop_assert_eq!(b, 7u32);
             let _ = c;
+        }
+
+        #[test]
+        fn oneof_mixes_heterogeneous_arms(
+            x in prop_oneof![
+                Just(0usize),
+                1usize..5,
+                (10usize..12).prop_map(|v| v * 10),
+            ]
+        ) {
+            prop_assert!(x == 0 || (1..5).contains(&x) || x == 100 || x == 110, "{}", x);
+        }
+
+        #[test]
+        fn weighted_oneof_respects_zero_weights(
+            x in prop_oneof![4 => Just("often"), 0 => Just("never")]
+        ) {
+            prop_assert_eq!(x, "often");
         }
     }
 
