@@ -1,0 +1,1175 @@
+//! The coordinator: one [`fc_service::Backend`] fanning out to many
+//! remote `fc-server` nodes.
+//!
+//! Ingest routes each batch to one node (round-robin, hash-by-dataset, or
+//! weighted-by-capacity), forwarding the dataset's creating [`Plan`] with
+//! every routed batch so whichever node sees the dataset first creates it
+//! under the same plan (plan-less datasets run each node's default plan —
+//! deploy nodes and coordinator with the same plan flags). Queries fan
+//! out in parallel to every node, pull
+//! each node's serving compression, union the weighted coresets — the
+//! MapReduce aggregation step of
+//! [`fc_core::streaming::mapreduce::aggregate_parts`], exercised over TCP
+//! instead of threads — and run the final solve coordinator-side under the
+//! dataset's plan. Only compressed summaries ever cross the network:
+//! `O(m)` points per node per query, independent of how much data the
+//! nodes hold.
+//!
+//! Failure is a first-class input: an unreachable node is marked down and
+//! queries answer from the survivors; an `overloaded` node is retried
+//! through the client's bounded backoff and then failed over for writes;
+//! `stats` reports every node's identity, health, and last error.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BTreeMap, HashMap};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fc_clustering::solver::{SolveConfig, Solver};
+use fc_clustering::CostKind;
+use fc_core::plan::{Method, Plan};
+use fc_core::streaming::mapreduce::aggregate_parts;
+use fc_core::{Coreset, FcError};
+use fc_geom::{Dataset, Points};
+use fc_service::engine::fnv64;
+use fc_service::protocol::{self, DatasetStats, ErrorCode, NodeHealth, NodeStats};
+use fc_service::{
+    Backend, ClientError, ClusterOutcome, EngineConfig, EngineError, Request, Response, RetryPolicy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, WeightedIndex};
+
+use crate::node::NodeHandle;
+
+/// Separates the serving-compression RNG stream from the solve stream —
+/// the same constant the single-node engine uses, so adding solve steps
+/// never perturbs which coreset a seed serves.
+const SOLVE_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Mixes per-node compression seeds. Deliberately a different constant
+/// from [`SOLVE_STREAM`]: nodes seed their compressor RNGs directly from
+/// the request seed, so `node_seed(seed, i)` must never collide with the
+/// coordinator's own solve stream `seed ^ SOLVE_STREAM` (node 0 would
+/// draw the exact sequence the solver draws).
+const NODE_STREAM: u64 = 0x517C_C1B7_2722_0A95;
+
+/// How ingest batches are assigned to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Each dataset cycles through the nodes, spreading its blocks evenly
+    /// (the thread-shard policy of the single-node engine, lifted to
+    /// machines).
+    #[default]
+    RoundRobin,
+    /// All of a dataset's blocks go to the node its name hashes to —
+    /// datasets, not blocks, are the sharding unit.
+    HashDataset,
+    /// Blocks are routed randomly, proportionally to each node's
+    /// configured capacity weight (heterogeneous fleets).
+    Capacity,
+}
+
+impl RoutingPolicy {
+    /// The canonical names, for CLI flags and error messages.
+    pub const NAMES: [&'static str; 3] = ["round-robin", "hash-dataset", "capacity"];
+}
+
+impl std::fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::HashDataset => "hash-dataset",
+            RoutingPolicy::Capacity => "capacity",
+        })
+    }
+}
+
+impl FromStr for RoutingPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "round-robin" => Ok(RoutingPolicy::RoundRobin),
+            "hash-dataset" => Ok(RoutingPolicy::HashDataset),
+            "capacity" => Ok(RoutingPolicy::Capacity),
+            other => Err(format!(
+                "unknown routing policy `{other}` (expected one of: {})",
+                Self::NAMES.join(", ")
+            )),
+        }
+    }
+}
+
+/// One node in the fleet: where to dial it and how much traffic it can
+/// take relative to its peers.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// `host:port` of a running `fc-server`.
+    pub addr: String,
+    /// Relative routing weight under [`RoutingPolicy::Capacity`] (any
+    /// positive scale; ignored by the other policies).
+    pub capacity: f64,
+}
+
+impl<S: Into<String>> From<S> for NodeSpec {
+    fn from(addr: S) -> Self {
+        NodeSpec {
+            addr: addr.into(),
+            capacity: 1.0,
+        }
+    }
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// The fleet (at least one node).
+    pub nodes: Vec<NodeSpec>,
+    /// Ingest routing policy.
+    pub policy: RoutingPolicy,
+    /// The effective plan the coordinator assumes for datasets whose
+    /// creating ingest carries none: query defaults and coordinator-side
+    /// aggregation derive from it. Plan-less datasets run each *node's*
+    /// default plan node-side, so deploy nodes and coordinator with the
+    /// same plan flags (or always carry per-dataset plans).
+    pub default_plan: Plan,
+    /// Bounded backoff for `overloaded` node responses.
+    pub retry: RetryPolicy,
+    /// Base of the deterministic seed sequence for requests that carry no
+    /// explicit seed.
+    pub base_seed: u64,
+}
+
+impl CoordinatorConfig {
+    /// A configuration over `addrs` with the defaults of a stock
+    /// `fc-server`: round-robin routing, the default engine plan, and the
+    /// default retry schedule — so a coordinator in front of default nodes
+    /// behaves like one big default server.
+    pub fn new<I, S>(addrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            nodes: addrs.into_iter().map(NodeSpec::from).collect(),
+            policy: RoutingPolicy::default(),
+            default_plan: EngineConfig::default()
+                .default_plan()
+                .expect("the default engine configuration is valid"),
+            retry: RetryPolicy::default(),
+            base_seed: 0x0C0D_E5E7,
+        }
+    }
+}
+
+/// Coordinator-side record of a live dataset.
+struct Route {
+    /// The plan the creating ingest carried, if any — forwarded verbatim
+    /// with every routed batch, so whichever node sees its first block of
+    /// the dataset creates it under the same plan. `None` leaves each
+    /// node on its own default plan (deploy nodes and coordinator with the
+    /// same plan flags).
+    plan: Option<Plan>,
+    /// The dataset's effective plan (the creating ingest's plan, or the
+    /// coordinator default) — the source of every query default and of
+    /// the coordinator-side aggregation parameters.
+    effective: Plan,
+    /// The dataset's dimensionality, fixed by the creating batch. Checked
+    /// coordinator-side: with round-robin routing a mismatched batch would
+    /// otherwise land on a node that has no copy yet and silently create a
+    /// second dataset of the wrong dimension there.
+    dim: usize,
+    /// Round-robin cursor.
+    next: AtomicUsize,
+    /// Coordinator-lifetime ingest totals, backing the `Ingested`
+    /// acknowledgements (and `stats` when every holder is down). Regular
+    /// `stats` sums what the nodes currently hold instead, so the two
+    /// disagree after a node restarts and loses its share — by design:
+    /// acknowledgements count what was accepted, stats count what serves.
+    ingested_points: AtomicU64,
+    ingested_weight: Mutex<f64>,
+}
+
+/// A multi-node coordinator. Implements [`Backend`], so
+/// [`fc_service::ServerHandle::bind_backend`] turns it into a server that
+/// is wire-indistinguishable from a single big `fc-server`.
+pub struct Coordinator {
+    nodes: Vec<NodeHandle>,
+    policy: RoutingPolicy,
+    default_plan: Plan,
+    retry: RetryPolicy,
+    base_seed: u64,
+    routes: Mutex<HashMap<String, Arc<Route>>>,
+    seed_counter: AtomicU64,
+    /// Capacity-weighted node sampler (only under
+    /// [`RoutingPolicy::Capacity`]) and its deterministic RNG.
+    capacity_index: Option<WeightedIndex>,
+    capacity_rng: Mutex<StdRng>,
+}
+
+impl Coordinator {
+    /// Builds a coordinator over the configured fleet. Validates the
+    /// configuration (at least one node, finite non-negative capacities
+    /// with at least one positive under the capacity policy) but does not
+    /// dial anything yet — nodes are dialed lazily and marked down when
+    /// unreachable, so a coordinator can boot before (or outlive) its
+    /// fleet.
+    pub fn new(config: CoordinatorConfig) -> Result<Self, EngineError> {
+        if config.nodes.is_empty() {
+            return Err(EngineError::InvalidArgument(
+                "coordinator needs at least one node".into(),
+            ));
+        }
+        for spec in &config.nodes {
+            if !spec.capacity.is_finite() || spec.capacity < 0.0 {
+                return Err(EngineError::InvalidArgument(format!(
+                    "node `{}` has invalid capacity {}",
+                    spec.addr, spec.capacity
+                )));
+            }
+        }
+        let capacity_index = match config.policy {
+            RoutingPolicy::Capacity => Some(
+                WeightedIndex::new(config.nodes.iter().map(|n| n.capacity))
+                    .map_err(|e| EngineError::InvalidArgument(format!("capacity routing: {e}")))?,
+            ),
+            _ => None,
+        };
+        Ok(Self {
+            nodes: config
+                .nodes
+                .iter()
+                .map(|spec| NodeHandle::new(spec.addr.clone(), spec.capacity))
+                .collect(),
+            policy: config.policy,
+            default_plan: config.default_plan,
+            retry: config.retry,
+            base_seed: config.base_seed,
+            routes: Mutex::new(HashMap::new()),
+            seed_counter: AtomicU64::new(0),
+            capacity_index,
+            capacity_rng: Mutex::new(StdRng::seed_from_u64(config.base_seed)),
+        })
+    }
+
+    /// The fleet, with live health records (for binaries and tests).
+    pub fn nodes(&self) -> &[NodeHandle] {
+        &self.nodes
+    }
+
+    /// The ingest routing policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// The plan plan-less datasets run under.
+    pub fn default_plan(&self) -> &Plan {
+        &self.default_plan
+    }
+
+    fn assign_seed(&self) -> u64 {
+        self.base_seed
+            .wrapping_add(self.seed_counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn resolve_seed(&self, seed: Option<u64>) -> u64 {
+        seed.unwrap_or_else(|| self.assign_seed())
+    }
+
+    fn route(&self, name: &str) -> Result<Arc<Route>, EngineError> {
+        self.routes
+            .lock()
+            .expect("route registry lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))
+    }
+
+    /// Maps a node's wire error onto the engine vocabulary.
+    fn node_error(&self, node_idx: usize, dataset: &str, err: ClientError) -> EngineError {
+        match err {
+            ClientError::Overloaded(_) => EngineError::Overloaded {
+                dataset: dataset.to_owned(),
+                // The saturated unit, from a client's point of view, is the
+                // node — the coordinator's shard.
+                shard: node_idx,
+            },
+            ClientError::Server { message, code } => match code {
+                Some(ErrorCode::UnknownDataset) => EngineError::UnknownDataset(dataset.to_owned()),
+                Some(ErrorCode::NoData) => EngineError::NoData {
+                    dataset: dataset.to_owned(),
+                },
+                _ => EngineError::Remote {
+                    node: self.nodes[node_idx].addr().to_owned(),
+                    message,
+                },
+            },
+            other => EngineError::Remote {
+                node: self.nodes[node_idx].addr().to_owned(),
+                message: other.to_string(),
+            },
+        }
+    }
+
+    /// Runs one request against every node in parallel.
+    fn fan_out(&self, request: &Request) -> Vec<Result<Response, ClientError>> {
+        self.fan_out_with(|_| request.clone())
+    }
+
+    /// Runs a per-node request against every node in parallel.
+    fn fan_out_with(
+        &self,
+        request_for: impl Fn(usize) -> Request + Sync,
+    ) -> Vec<Result<Response, ClientError>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(idx, node)| {
+                    let request_for = &request_for;
+                    scope.spawn(move || {
+                        let request = request_for(idx);
+                        node.request(&request, &self.retry)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node fan-out threads do not panic"))
+                .collect()
+        })
+    }
+
+    /// The node an ingest for `(name, route)` should try first.
+    fn route_start(&self, name: &str, route: &Route) -> usize {
+        match self.policy {
+            RoutingPolicy::RoundRobin => {
+                route.next.fetch_add(1, Ordering::Relaxed) % self.nodes.len()
+            }
+            RoutingPolicy::HashDataset => fnv64(name) as usize % self.nodes.len(),
+            RoutingPolicy::Capacity => {
+                let index = self
+                    .capacity_index
+                    .as_ref()
+                    .expect("capacity policy builds its sampler at construction");
+                let mut rng = self.capacity_rng.lock().expect("capacity rng lock");
+                index.sample(&mut *rng)
+            }
+        }
+    }
+
+    /// Fetches every node's serving compression for `name` and aggregates
+    /// them: coreset union (composability), plus one re-compression under
+    /// the effective method when the union exceeds the plan's serving
+    /// size. Nodes that do not hold the dataset (or hold no processed data
+    /// yet) contribute nothing; unreachable nodes are skipped and marked
+    /// down. Fails only when *no* node contributed.
+    fn serving_coreset(
+        &self,
+        name: &str,
+        route: &Route,
+        seed: u64,
+        method: Option<&Method>,
+    ) -> Result<Coreset, EngineError> {
+        let outcomes = self.fan_out_with(|idx| Request::Compress {
+            dataset: name.to_owned(),
+            method: method.cloned(),
+            seed: Some(node_seed(seed, idx)),
+        });
+        let mut parts = Vec::new();
+        let mut saw_dataset_miss = false;
+        let mut last_failure = None;
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(Response::Coreset {
+                    points, weights, ..
+                }) => {
+                    let data = protocol::rows_to_dataset(&points, Some(&weights)).map_err(|e| {
+                        EngineError::Remote {
+                            node: self.nodes[idx].addr().to_owned(),
+                            message: e.to_string(),
+                        }
+                    })?;
+                    parts.push(Coreset::new(data));
+                }
+                Ok(other) => {
+                    return Err(EngineError::Remote {
+                        node: self.nodes[idx].addr().to_owned(),
+                        message: format!("unexpected response {other:?}"),
+                    })
+                }
+                Err(e) => match self.node_error(idx, name, e) {
+                    // Normal topology: this node never received a block of
+                    // the dataset (or hasn't processed one yet).
+                    EngineError::UnknownDataset(_) | EngineError::NoData { .. } => {
+                        saw_dataset_miss = true;
+                    }
+                    // A down node must not fail the whole query; the
+                    // survivors' union is still a valid coreset of the data
+                    // they hold.
+                    EngineError::Remote { node, message } => {
+                        last_failure = Some(EngineError::Remote { node, message });
+                    }
+                    fatal => return Err(fatal),
+                },
+            }
+        }
+        if parts.is_empty() {
+            return Err(if saw_dataset_miss {
+                EngineError::NoData {
+                    dataset: name.to_owned(),
+                }
+            } else {
+                last_failure.unwrap_or(EngineError::Unavailable)
+            });
+        }
+        let params = route.effective.params();
+        let compressor = method
+            .cloned()
+            .unwrap_or_else(|| route.effective.method().clone())
+            .build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Dimension disagreement between nodes (a fleet misconfiguration)
+        // surfaces here as FcError::DimensionMismatch, not a panic.
+        aggregate_parts(&mut rng, parts, compressor.as_ref(), &params).map_err(EngineError::Invalid)
+    }
+}
+
+/// A deterministic per-node seed stream: distinct nodes draw distinct
+/// compressions for one request seed, reproducibly, on a stream disjoint
+/// from the coordinator's solve stream.
+fn node_seed(seed: u64, node_idx: usize) -> u64 {
+    seed ^ NODE_STREAM.wrapping_mul(node_idx as u64 + 1)
+}
+
+impl Backend for Coordinator {
+    /// Routes the batch to one node under the configured policy,
+    /// forwarding the dataset's creating plan so the receiving node
+    /// creates (or validates) the dataset under it. An unreachable or
+    /// still-overloaded node fails over to the next; the write fails only
+    /// when every node refused it. Delivery is at-least-once: when a node
+    /// dies *after* applying a batch but *before* replying, the failover
+    /// re-sends the batch elsewhere and the coreset union briefly
+    /// overweights it (the guarantee degrades gracefully — a duplicated
+    /// block is more data, not corrupted data).
+    fn ingest(
+        &self,
+        name: &str,
+        batch: &Dataset,
+        plan: Option<&Plan>,
+    ) -> Result<(u64, f64), EngineError> {
+        if batch.is_empty() {
+            return Err(EngineError::InvalidArgument("empty ingest batch".into()));
+        }
+        let (route, created) = {
+            let mut routes = self.routes.lock().expect("route registry lock");
+            match routes.entry(name.to_owned()) {
+                MapEntry::Occupied(existing) => {
+                    let route = Arc::clone(existing.get());
+                    if batch.dim() != route.dim {
+                        return Err(EngineError::DimensionMismatch {
+                            expected: route.dim,
+                            got: batch.dim(),
+                        });
+                    }
+                    if let Some(requested) = plan {
+                        // Same rule as the engine: re-sending the effective
+                        // plan is idempotent, a different plan is a
+                        // conflict (compare wire forms).
+                        if requested.to_value() != route.effective.to_value() {
+                            return Err(EngineError::InvalidArgument(format!(
+                                "dataset `{name}` already runs under plan {}; \
+                                 drop it before ingesting under plan {}",
+                                route.effective.to_json(),
+                                requested.to_json(),
+                            )));
+                        }
+                    }
+                    (route, false)
+                }
+                MapEntry::Vacant(slot) => (
+                    Arc::clone(slot.insert(Arc::new(Route {
+                        plan: plan.cloned(),
+                        effective: plan.cloned().unwrap_or_else(|| self.default_plan.clone()),
+                        dim: batch.dim(),
+                        // Stagger datasets across the fleet instead of all
+                        // starting at node 0.
+                        next: AtomicUsize::new(fnv64(name) as usize % self.nodes.len()),
+                        ingested_points: AtomicU64::new(0),
+                        ingested_weight: Mutex::new(0.0),
+                    }))),
+                    true,
+                ),
+            }
+        };
+        let (points, weights) = protocol::dataset_to_rows(batch);
+        let weights = if batch.weights().iter().all(|&w| w == 1.0) {
+            None
+        } else {
+            Some(weights)
+        };
+        let request = Request::Ingest {
+            dataset: name.to_owned(),
+            points,
+            weights,
+            // The creating ingest's plan rides every routed batch: the
+            // round-robin node receiving its first block of this dataset
+            // mid-stream still creates it under the right plan, and a node
+            // that lost its copy (restart) recreates it correctly on the
+            // next routed block.
+            plan: route.plan.clone(),
+        };
+        let outcome = (|| {
+            let start = self.route_start(name, &route);
+            let mut last = EngineError::Unavailable;
+            for attempt in 0..self.nodes.len() {
+                let idx = (start + attempt) % self.nodes.len();
+                // Failover honours the capacity policy's contract: a node
+                // weighted to zero (drained, decommissioning) takes no
+                // writes even when its peers are unreachable.
+                if self.policy == RoutingPolicy::Capacity && self.nodes[idx].capacity() == 0.0 {
+                    continue;
+                }
+                match self.nodes[idx].request(&request, &self.retry) {
+                    Ok(Response::Ingested { .. }) => {
+                        let total_points = route
+                            .ingested_points
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed)
+                            + batch.len() as u64;
+                        let total_weight = {
+                            let mut w = route.ingested_weight.lock().expect("weight counter lock");
+                            *w += batch.total_weight();
+                            *w
+                        };
+                        return Ok((total_points, total_weight));
+                    }
+                    Ok(other) => {
+                        return Err(EngineError::Remote {
+                            node: self.nodes[idx].addr().to_owned(),
+                            message: format!("unexpected response {other:?}"),
+                        })
+                    }
+                    // Socket failures and persistent overload fail over to
+                    // the next node; anything the node *decided* (plan
+                    // conflict, dimension mismatch, …) is final.
+                    Err(e @ (ClientError::Io(_) | ClientError::Protocol(_))) => {
+                        last = self.node_error(idx, name, e);
+                    }
+                    Err(e @ ClientError::Overloaded(_)) => {
+                        last = self.node_error(idx, name, e);
+                    }
+                    Err(e) => return Err(self.node_error(idx, name, e)),
+                }
+            }
+            Err(last)
+        })();
+        if outcome.is_err() && created {
+            // No node ever accepted a byte of this dataset: unwind the
+            // freshly registered route so a failed creating ingest doesn't
+            // pin the plan/dimension or surface a phantom dataset in stats.
+            // (Another thread may have ingested through the same route in
+            // the meantime — only remove the untouched one.)
+            let mut routes = self.routes.lock().expect("route registry lock");
+            if let Some(current) = routes.get(name) {
+                if Arc::ptr_eq(current, &route)
+                    && route.ingested_points.load(Ordering::Relaxed) == 0
+                {
+                    routes.remove(name);
+                }
+            }
+        }
+        outcome
+    }
+
+    fn coreset(
+        &self,
+        name: &str,
+        seed: Option<u64>,
+        method: Option<&Method>,
+    ) -> Result<(Coreset, u64, Method), EngineError> {
+        let route = self.route(name)?;
+        let seed = self.resolve_seed(seed);
+        let coreset = self.serving_coreset(name, &route, seed, method)?;
+        let effective = method
+            .cloned()
+            .unwrap_or_else(|| route.effective.method().clone());
+        Ok((coreset, seed, effective))
+    }
+
+    /// Clusters the unioned per-node coresets coordinator-side: the final
+    /// solve of the MapReduce scheme, with every omitted knob defaulting
+    /// from the dataset's effective plan.
+    fn cluster(
+        &self,
+        name: &str,
+        k: Option<usize>,
+        kind: Option<CostKind>,
+        solver: Option<Solver>,
+        seed: Option<u64>,
+    ) -> Result<ClusterOutcome, EngineError> {
+        let route = self.route(name)?;
+        let plan = &route.effective;
+        let k = k.unwrap_or_else(|| plan.k());
+        if k == 0 {
+            return Err(EngineError::Invalid(FcError::InvalidK));
+        }
+        let kind = kind.unwrap_or_else(|| plan.kind());
+        let solver = solver.unwrap_or_else(|| plan.solver());
+        if !solver.supports(kind) {
+            return Err(EngineError::Invalid(FcError::UnsupportedObjective {
+                solver,
+                kind,
+            }));
+        }
+        let seed = self.resolve_seed(seed);
+        let coreset = self.serving_coreset(name, &route, seed, None)?;
+        let mut rng = StdRng::seed_from_u64(seed ^ SOLVE_STREAM);
+        let solution = solver.solve(
+            &mut rng,
+            coreset.dataset(),
+            k,
+            kind,
+            &SolveConfig::default(),
+        )?;
+        Ok(ClusterOutcome {
+            solution,
+            kind,
+            solver,
+            coreset_points: coreset.len(),
+            seed,
+        })
+    }
+
+    /// Prices the centers on every node's served coreset and sums: cost is
+    /// additive over a partition, so the sum is the cost on the union of
+    /// the per-node coresets — only scalars cross the network.
+    fn cost(
+        &self,
+        name: &str,
+        centers: &Points,
+        kind: Option<CostKind>,
+    ) -> Result<(f64, CostKind, usize), EngineError> {
+        let route = self.route(name)?;
+        let kind = kind.unwrap_or_else(|| route.effective.kind());
+        let rows: Vec<Vec<f64>> = centers.iter().map(<[f64]>::to_vec).collect();
+        let outcomes = self.fan_out(&Request::Cost {
+            dataset: name.to_owned(),
+            centers: rows,
+            kind: Some(kind),
+        });
+        let mut total = 0.0;
+        let mut priced_points = 0;
+        let mut answered = false;
+        let mut saw_dataset_miss = false;
+        let mut last_failure = None;
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(Response::Cost {
+                    cost,
+                    coreset_points,
+                    ..
+                }) => {
+                    total += cost;
+                    priced_points += coreset_points;
+                    answered = true;
+                }
+                Ok(other) => {
+                    return Err(EngineError::Remote {
+                        node: self.nodes[idx].addr().to_owned(),
+                        message: format!("unexpected response {other:?}"),
+                    })
+                }
+                Err(e) => match self.node_error(idx, name, e) {
+                    EngineError::UnknownDataset(_) | EngineError::NoData { .. } => {
+                        saw_dataset_miss = true;
+                    }
+                    EngineError::Remote { node, message } => {
+                        last_failure = Some(EngineError::Remote { node, message });
+                    }
+                    fatal => return Err(fatal),
+                },
+            }
+        }
+        if !answered {
+            return Err(if saw_dataset_miss {
+                EngineError::NoData {
+                    dataset: name.to_owned(),
+                }
+            } else {
+                last_failure.unwrap_or(EngineError::Unavailable)
+            });
+        }
+        Ok((total, kind, priced_points))
+    }
+
+    fn dataset_stats(&self, name: &str) -> Result<DatasetStats, EngineError> {
+        let known = self
+            .routes
+            .lock()
+            .expect("route registry lock")
+            .contains_key(name);
+        let mut all = self.aggregate_stats(Some(name))?;
+        match all.pop() {
+            Some(stats) => Ok(stats),
+            None if known => {
+                // Every node holding the dataset is unreachable; report the
+                // route with its node health rather than pretending the
+                // dataset vanished.
+                let route = self.route(name)?;
+                Ok(self.empty_stats(name, &route))
+            }
+            None => Err(EngineError::UnknownDataset(name.to_owned())),
+        }
+    }
+
+    fn stats(&self) -> Result<Vec<DatasetStats>, EngineError> {
+        let mut aggregated = self.aggregate_stats(None)?;
+        // Routes no reachable node reported (their only holders are down)
+        // still appear, with the coordinator's acknowledgement counters
+        // and the fleet's health.
+        let reported: std::collections::BTreeSet<&str> =
+            aggregated.iter().map(|s| s.dataset.as_str()).collect();
+        let missing: Vec<DatasetStats> = {
+            let routes = self.routes.lock().expect("route registry lock");
+            routes
+                .iter()
+                .filter(|(name, _)| !reported.contains(name.as_str()))
+                .map(|(name, route)| self.empty_stats(name, route))
+                .collect()
+        };
+        aggregated.extend(missing);
+        aggregated.sort_by(|a, b| a.dataset.cmp(&b.dataset));
+        Ok(aggregated)
+    }
+
+    /// Drops the dataset everywhere it is reachable. When some node could
+    /// not be asked (down or partitioned), the route is still removed —
+    /// the client's intent is clear — but the call errors so the caller
+    /// knows the drop is incomplete: a *partitioned* (not restarted) node
+    /// keeps its engine state and would otherwise resurrect the dropped
+    /// data into later unions once connectivity returns. Re-issue the
+    /// drop when the node is back; a restarted node comes back empty
+    /// anyway.
+    fn drop_dataset(&self, name: &str) -> Result<(), EngineError> {
+        let route = self
+            .routes
+            .lock()
+            .expect("route registry lock")
+            .remove(name);
+        let outcomes = self.fan_out(&Request::DropDataset {
+            dataset: name.to_owned(),
+        });
+        // Unknown-dataset answers are normal (the node never held a
+        // block); only a confirmed drop counts, and only an answered node
+        // counts as covered.
+        let mut dropped_anywhere = false;
+        let mut unreachable = None;
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(Response::Dropped { .. }) => dropped_anywhere = true,
+                Ok(_) | Err(ClientError::Server { .. }) => {}
+                Err(_) => unreachable = Some(idx),
+            }
+        }
+        if let Some(idx) = unreachable {
+            return Err(EngineError::Remote {
+                node: self.nodes[idx].addr().to_owned(),
+                message: format!(
+                    "dataset `{name}` was dropped on every reachable node, but this \
+                     node could not be asked — re-issue the drop when it returns"
+                ),
+            });
+        }
+        if route.is_some() || dropped_anywhere {
+            Ok(())
+        } else {
+            Err(EngineError::UnknownDataset(name.to_owned()))
+        }
+    }
+}
+
+impl Coordinator {
+    /// Fans `stats` out to the fleet and merges the per-node reports into
+    /// one [`DatasetStats`] per dataset, per-node breakdown attached.
+    ///
+    /// Health in the per-node rows is the *worse* of the node's health
+    /// when the request started and what this request's probe revealed: a
+    /// node that just recovered still shows its last recorded trouble
+    /// once, and a node that just died shows down immediately.
+    fn aggregate_stats(&self, which: Option<&str>) -> Result<Vec<DatasetStats>, EngineError> {
+        let pre: Vec<(NodeHealth, Option<String>)> =
+            self.nodes.iter().map(NodeHandle::health).collect();
+        let outcomes = self.fan_out(&Request::Stats {
+            dataset: which.map(str::to_owned),
+        });
+        // Per node: its reported datasets (empty when it answered
+        // unknown-dataset) or None when unreachable.
+        let mut per_node: Vec<Option<Vec<DatasetStats>>> = Vec::with_capacity(self.nodes.len());
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(Response::Stats { datasets }) => per_node.push(Some(datasets)),
+                Ok(other) => {
+                    return Err(EngineError::Remote {
+                        node: self.nodes[idx].addr().to_owned(),
+                        message: format!("unexpected response {other:?}"),
+                    })
+                }
+                Err(e) => match self.node_error(idx, which.unwrap_or(""), e) {
+                    EngineError::UnknownDataset(_) | EngineError::NoData { .. } => {
+                        per_node.push(Some(Vec::new()))
+                    }
+                    _ => per_node.push(None),
+                },
+            }
+        }
+        // health[i]: pre-request state unless this probe failed.
+        let health: Vec<(NodeHealth, Option<String>)> = per_node
+            .iter()
+            .enumerate()
+            .map(|(idx, report)| match report {
+                Some(_) => pre[idx].clone(),
+                None => self.nodes[idx].health(),
+            })
+            .collect();
+        let routes = self.routes.lock().expect("route registry lock");
+        let mut merged: BTreeMap<String, DatasetStats> = BTreeMap::new();
+        for (idx, report) in per_node.iter().enumerate() {
+            let Some(report) = report else { continue };
+            for stats in report {
+                let entry = merged.entry(stats.dataset.clone()).or_insert_with(|| {
+                    DatasetStats {
+                        dataset: stats.dataset.clone(),
+                        dim: stats.dim,
+                        // The coordinator's route is authoritative for the
+                        // plan; fall back to the first reporter for
+                        // datasets ingested around the coordinator.
+                        plan: routes
+                            .get(&stats.dataset)
+                            .map(|r| r.effective.clone())
+                            .unwrap_or_else(|| stats.plan.clone()),
+                        shards: 0,
+                        ingested_points: 0,
+                        ingested_weight: 0.0,
+                        stored_points: 0,
+                        summaries_per_shard: Vec::new(),
+                        queue_depth_per_shard: Vec::new(),
+                        nodes: self.node_rows(&health),
+                    }
+                });
+                entry.shards += stats.shards;
+                entry.ingested_points += stats.ingested_points;
+                entry.ingested_weight += stats.ingested_weight;
+                entry.stored_points += stats.stored_points;
+                entry
+                    .summaries_per_shard
+                    .extend_from_slice(&stats.summaries_per_shard);
+                entry
+                    .queue_depth_per_shard
+                    .extend_from_slice(&stats.queue_depth_per_shard);
+                let row = &mut entry.nodes[idx];
+                row.shards = stats.shards;
+                row.ingested_points = stats.ingested_points;
+                row.ingested_weight = stats.ingested_weight;
+                row.stored_points = stats.stored_points;
+            }
+        }
+        Ok(merged.into_values().collect())
+    }
+
+    /// Zeroed per-node rows carrying identity and health, ready to be
+    /// filled from each node's report.
+    fn node_rows(&self, health: &[(NodeHealth, Option<String>)]) -> Vec<NodeStats> {
+        self.nodes
+            .iter()
+            .zip(health)
+            .map(|(node, (health, last_error))| NodeStats {
+                node: node.addr().to_owned(),
+                health: *health,
+                last_error: last_error.clone(),
+                shards: 0,
+                ingested_points: 0,
+                ingested_weight: 0.0,
+                stored_points: 0,
+            })
+            .collect()
+    }
+
+    /// Stats for a route no reachable node reported: the coordinator's
+    /// lifetime acknowledgement counters (nothing currently serves, but
+    /// the data *was* accepted), the route's plan, and the fleet's
+    /// current health.
+    fn empty_stats(&self, name: &str, route: &Route) -> DatasetStats {
+        let health: Vec<(NodeHealth, Option<String>)> =
+            self.nodes.iter().map(NodeHandle::health).collect();
+        DatasetStats {
+            dataset: name.to_owned(),
+            dim: route.dim,
+            plan: route.effective.clone(),
+            shards: 0,
+            ingested_points: route.ingested_points.load(Ordering::Relaxed),
+            ingested_weight: *route.ingested_weight.lock().expect("weight counter lock"),
+            stored_points: 0,
+            summaries_per_shard: Vec::new(),
+            queue_depth_per_shard: Vec::new(),
+            nodes: self.node_rows(&health),
+        }
+    }
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("nodes", &self.nodes)
+            .field("policy", &self.policy)
+            .field("default_plan", &self.default_plan.to_json())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_core::methods::Uniform;
+    use fc_core::plan::PlanBuilder;
+    use fc_service::{Engine, ServerHandle};
+
+    fn blobs(n_per: usize) -> Dataset {
+        let mut flat = Vec::new();
+        for b in 0..4 {
+            for i in 0..n_per {
+                flat.push(b as f64 * 100.0 + (i % 25) as f64 * 0.01);
+                flat.push((i / 25) as f64 * 0.01);
+            }
+        }
+        Dataset::from_flat(flat, 2).unwrap()
+    }
+
+    fn node_server() -> ServerHandle {
+        let engine = Engine::with_compressor(
+            EngineConfig {
+                shards: 2,
+                k: 4,
+                m_scalar: 25,
+                ..Default::default()
+            },
+            Arc::new(Uniform),
+        )
+        .unwrap();
+        ServerHandle::bind("127.0.0.1:0", engine).unwrap()
+    }
+
+    fn coordinator_over(servers: &[&ServerHandle], policy: RoutingPolicy) -> Coordinator {
+        let mut config = CoordinatorConfig::new(servers.iter().map(|s| s.addr().to_string()));
+        config.policy = policy;
+        config.default_plan = PlanBuilder::new(4)
+            .m_scalar(25)
+            .method(Method::Uniform)
+            .build()
+            .unwrap();
+        Coordinator::new(config).unwrap()
+    }
+
+    #[test]
+    fn round_robin_spreads_blocks_and_stats_aggregate_per_node() {
+        let a = node_server();
+        let b = node_server();
+        let coordinator = coordinator_over(&[&a, &b], RoutingPolicy::RoundRobin);
+        let data = blobs(200);
+        for block in data.chunks(200) {
+            coordinator.ingest("d", &block, None).unwrap();
+        }
+        // 4 blocks round-robin over 2 nodes: both hold data.
+        let stats = coordinator.dataset_stats("d").unwrap();
+        assert_eq!(stats.ingested_points, data.len() as u64);
+        assert_eq!(stats.nodes.len(), 2);
+        for row in &stats.nodes {
+            assert_eq!(row.health, NodeHealth::Alive, "{row:?}");
+            assert!(row.ingested_points > 0, "{row:?}");
+        }
+        assert_eq!(stats.shards, 4, "two nodes x two shards");
+        // The union query answers, within the plan's serving size.
+        let (coreset, seed, method) = coordinator.coreset("d", Some(9), None).unwrap();
+        assert_eq!(seed, 9);
+        assert_eq!(method, Method::Uniform);
+        assert!(!coreset.is_empty());
+        assert!(coreset.len() <= 4 * 25);
+        // Reproducible per seed.
+        let (again, _, _) = coordinator.coreset("d", Some(9), None).unwrap();
+        assert_eq!(coreset.dataset(), again.dataset());
+        // Cost sums per-node contributions over the same dataset.
+        let centers = Points::from_flat(vec![0.1, 0.1, 100.1, 0.1], 2).unwrap();
+        let (cost, kind, priced) = coordinator.cost("d", &centers, None).unwrap();
+        assert!(cost > 0.0);
+        assert_eq!(kind, CostKind::KMeans);
+        assert!(priced > 0);
+        // Drop clears every node.
+        coordinator.drop_dataset("d").unwrap();
+        assert!(matches!(
+            coordinator.dataset_stats("d").unwrap_err(),
+            EngineError::UnknownDataset(_)
+        ));
+        assert!(a.engine().dataset_names().is_empty());
+        assert!(b.engine().dataset_names().is_empty());
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn effective_plan_is_forwarded_to_every_routed_node() {
+        let a = node_server();
+        let b = node_server();
+        let coordinator = coordinator_over(&[&a, &b], RoutingPolicy::RoundRobin);
+        let plan = PlanBuilder::new(2)
+            .m_scalar(10)
+            .method(Method::Lightweight)
+            .solver(Solver::Hamerly)
+            .build()
+            .unwrap();
+        // Only the creating ingest carries the plan; the later plan-less
+        // blocks still create the dataset under it on the *other* node.
+        let mut blocks = blobs(100).chunks(100).into_iter();
+        coordinator
+            .ingest("planned", &blocks.next().unwrap(), Some(&plan))
+            .unwrap();
+        for block in blocks {
+            coordinator.ingest("planned", &block, None).unwrap();
+        }
+        for node in [&a, &b] {
+            assert_eq!(
+                node.engine().dataset_plan("planned").unwrap(),
+                plan,
+                "node {} runs a different plan",
+                node.addr()
+            );
+        }
+        // Query defaults resolve from the plan, coordinator-side.
+        let outcome = coordinator
+            .cluster("planned", None, None, None, Some(3))
+            .unwrap();
+        assert_eq!(outcome.solution.k(), 2);
+        assert_eq!(outcome.solver, Solver::Hamerly);
+        // A conflicting plan is rejected without touching the nodes.
+        let other = PlanBuilder::new(3).m_scalar(10).build().unwrap();
+        match coordinator.ingest("planned", &blobs(10), Some(&other)) {
+            Err(EngineError::InvalidArgument(msg)) => {
+                assert!(msg.contains("already runs under plan"), "{msg}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn hash_dataset_policy_pins_a_dataset_to_one_node() {
+        let a = node_server();
+        let b = node_server();
+        let coordinator = coordinator_over(&[&a, &b], RoutingPolicy::HashDataset);
+        for block in blobs(100).chunks(80) {
+            coordinator.ingest("pinned", &block, None).unwrap();
+        }
+        let holders = [&a, &b]
+            .iter()
+            .filter(|s| !s.engine().dataset_names().is_empty())
+            .count();
+        assert_eq!(holders, 1, "hash policy must keep the dataset on one node");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn capacity_policy_never_routes_to_zero_capacity_nodes() {
+        let a = node_server();
+        let b = node_server();
+        let mut config = CoordinatorConfig::new([a.addr().to_string(), b.addr().to_string()]);
+        config.policy = RoutingPolicy::Capacity;
+        config.nodes[1].capacity = 0.0;
+        config.default_plan = PlanBuilder::new(4)
+            .m_scalar(25)
+            .method(Method::Uniform)
+            .build()
+            .unwrap();
+        let coordinator = Coordinator::new(config).unwrap();
+        for block in blobs(100).chunks(40) {
+            coordinator.ingest("weighted", &block, None).unwrap();
+        }
+        assert_eq!(a.engine().dataset_names(), vec!["weighted".to_owned()]);
+        assert!(b.engine().dataset_names().is_empty());
+        // Failover honours the weights too: with the only positive-capacity
+        // node gone, writes fail rather than leak onto the drained node.
+        a.shutdown();
+        assert!(coordinator.ingest("weighted", &blobs(10), None).is_err());
+        assert!(b.engine().dataset_names().is_empty());
+        b.shutdown();
+    }
+
+    #[test]
+    fn mismatched_batch_dimension_is_rejected_before_routing() {
+        let a = node_server();
+        let b = node_server();
+        let coordinator = coordinator_over(&[&a, &b], RoutingPolicy::RoundRobin);
+        coordinator.ingest("d", &blobs(20), None).unwrap();
+        // Round-robin would hand the 3-d batch to whichever node has no
+        // copy of `d` yet, silently forking the dataset; the coordinator
+        // must reject it like a single server does.
+        let three_d = Dataset::from_flat(vec![1.0, 2.0, 3.0], 3).unwrap();
+        assert_eq!(
+            coordinator.ingest("d", &three_d, None).unwrap_err(),
+            EngineError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn configuration_errors_are_rejected() {
+        assert!(matches!(
+            Coordinator::new(CoordinatorConfig::new(Vec::<String>::new())),
+            Err(EngineError::InvalidArgument(_))
+        ));
+        let mut all_zero = CoordinatorConfig::new(["127.0.0.1:1", "127.0.0.1:2"]);
+        all_zero.policy = RoutingPolicy::Capacity;
+        all_zero.nodes[0].capacity = 0.0;
+        all_zero.nodes[1].capacity = 0.0;
+        assert!(matches!(
+            Coordinator::new(all_zero),
+            Err(EngineError::InvalidArgument(_))
+        ));
+        let mut bad = CoordinatorConfig::new(["127.0.0.1:1"]);
+        bad.nodes[0].capacity = f64::NAN;
+        assert!(matches!(
+            Coordinator::new(bad),
+            Err(EngineError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn routing_policy_names_round_trip() {
+        for name in RoutingPolicy::NAMES {
+            let policy: RoutingPolicy = name.parse().unwrap();
+            assert_eq!(policy.to_string(), name);
+        }
+        assert!("fastest".parse::<RoutingPolicy>().is_err());
+    }
+
+    #[test]
+    fn unknown_dataset_errors_carry_the_engine_vocabulary() {
+        let a = node_server();
+        let coordinator = coordinator_over(&[&a], RoutingPolicy::RoundRobin);
+        assert!(matches!(
+            coordinator.coreset("ghost", Some(1), None).unwrap_err(),
+            EngineError::UnknownDataset(_)
+        ));
+        assert!(matches!(
+            coordinator.drop_dataset("ghost").unwrap_err(),
+            EngineError::UnknownDataset(_)
+        ));
+        a.shutdown();
+    }
+}

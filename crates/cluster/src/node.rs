@@ -1,0 +1,170 @@
+//! One remote `fc-server` node, as the coordinator sees it: a pool of
+//! reusable [`ServiceClient`] connections, lazy (re)dialing, and a health
+//! record driven by what actually happens on the wire.
+//!
+//! Connection lifecycle: a request checks an idle connection out of the
+//! pool (dialing a fresh one when the pool is empty), runs through the
+//! client's bounded `overloaded` backoff, and returns the connection to
+//! the pool on any outcome that leaves the socket usable. A socket-level
+//! failure drops the connection; if it came from the pool it may simply be
+//! stale (the node restarted since), so the request redials once before
+//! giving up — that redial is the coordinator's whole reconnect story.
+//!
+//! Retry semantics are **at-least-once**: a request resent after a
+//! socket failure may have already been applied if the node processed it
+//! and died before replying. Queries are idempotent so this is free;
+//! ingest can in that narrow window double-count a batch on one node
+//! (see the ROADMAP's idempotent-ingest follow-on).
+
+use std::sync::Mutex;
+
+use fc_service::protocol::NodeHealth;
+use fc_service::{ClientError, Request, Response, RetryPolicy, ServiceClient};
+
+/// Idle connections kept per node; extras beyond this are dropped on
+/// check-in rather than hoarded (fan-outs briefly need one per concurrent
+/// query thread, steady state needs far fewer).
+const MAX_POOLED: usize = 8;
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    health: NodeHealth,
+    last_error: Option<String>,
+}
+
+/// A remote node: address, routing capacity, connection pool, and health.
+pub struct NodeHandle {
+    addr: String,
+    capacity: f64,
+    pool: Mutex<Vec<ServiceClient>>,
+    state: Mutex<NodeState>,
+}
+
+impl NodeHandle {
+    /// A handle for the node at `addr` with the given routing capacity
+    /// (weights the `capacity` routing policy; any positive scale works).
+    /// Health starts [`NodeHealth::Alive`] optimistically — the first
+    /// request corrects it.
+    pub fn new(addr: impl Into<String>, capacity: f64) -> Self {
+        Self {
+            addr: addr.into(),
+            capacity,
+            pool: Mutex::new(Vec::new()),
+            state: Mutex::new(NodeState {
+                health: NodeHealth::Alive,
+                last_error: None,
+            }),
+        }
+    }
+
+    /// The node's identity: the address the coordinator dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The node's routing capacity weight.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// The node's current health and most recent error.
+    pub fn health(&self) -> (NodeHealth, Option<String>) {
+        let state = self.state.lock().expect("node state lock");
+        (state.health, state.last_error.clone())
+    }
+
+    fn mark_alive(&self) {
+        let mut state = self.state.lock().expect("node state lock");
+        state.health = NodeHealth::Alive;
+        state.last_error = None;
+    }
+
+    fn mark(&self, health: NodeHealth, error: String) {
+        let mut state = self.state.lock().expect("node state lock");
+        state.health = health;
+        state.last_error = Some(error);
+    }
+
+    /// Sends one request to this node: pooled connection or fresh dial,
+    /// bounded `overloaded` backoff, one redial when a pooled connection
+    /// turns out stale. Updates the health record from the outcome.
+    pub fn request(&self, request: &Request, retry: &RetryPolicy) -> Result<Response, ClientError> {
+        let pooled = self.pool.lock().expect("connection pool lock").pop();
+        match pooled {
+            Some(mut client) => match client.request_with_backoff(request, retry) {
+                // The pooled socket may be stale (node restarted since it
+                // was pooled): drop it and redial once.
+                Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {
+                    drop(client);
+                    self.dial_and_request(request, retry)
+                }
+                outcome => self.settle(client, outcome),
+            },
+            None => self.dial_and_request(request, retry),
+        }
+    }
+
+    fn dial_and_request(
+        &self,
+        request: &Request,
+        retry: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        let mut client = match ServiceClient::connect(self.addr.as_str()) {
+            Ok(client) => client,
+            Err(e) => {
+                self.mark(NodeHealth::Down, format!("connect {}: {e}", self.addr));
+                return Err(ClientError::Io(e));
+            }
+        };
+        match client.request_with_backoff(request, retry) {
+            outcome @ (Err(ClientError::Io(_)) | Err(ClientError::Protocol(_))) => {
+                let failure = match &outcome {
+                    Err(e) => e.to_string(),
+                    Ok(_) => unreachable!("the match arm only binds errors"),
+                };
+                self.mark(NodeHealth::Down, failure);
+                outcome
+            }
+            outcome => self.settle(client, outcome),
+        }
+    }
+
+    /// Records the outcome of a request whose connection stayed healthy and
+    /// returns the connection to the pool.
+    fn settle(
+        &self,
+        client: ServiceClient,
+        outcome: Result<Response, ClientError>,
+    ) -> Result<Response, ClientError> {
+        match &outcome {
+            // Server-side rejections (unknown dataset, plan conflicts, …)
+            // still prove the node is answering.
+            Ok(_) | Err(ClientError::Server { .. }) | Err(ClientError::UnexpectedResponse(_)) => {
+                self.mark_alive()
+            }
+            Err(ClientError::Overloaded(msg)) => {
+                self.mark(NodeHealth::Degraded, format!("overloaded: {msg}"))
+            }
+            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {
+                unreachable!("socket failures are settled by the callers")
+            }
+        }
+        let mut pool = self.pool.lock().expect("connection pool lock");
+        if pool.len() < MAX_POOLED {
+            pool.push(client);
+        }
+        outcome
+    }
+}
+
+impl std::fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (health, last_error) = self.health();
+        f.debug_struct("NodeHandle")
+            .field("addr", &self.addr)
+            .field("capacity", &self.capacity)
+            .field("health", &health)
+            .field("last_error", &last_error)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,5 +1,6 @@
 //! The coreset type: a weighted point set standing in for the full data.
 
+use crate::error::FcError;
 use fc_clustering::CostKind;
 use fc_geom::{Dataset, Points};
 
@@ -56,6 +57,50 @@ impl Coreset {
             data: self.data.concat(&other.data)?,
         })
     }
+
+    /// Unions many coresets into one — the aggregation entry point the
+    /// MapReduce host and the `fc-cluster` coordinator run on per-shard /
+    /// per-node parts. Unlike chaining [`Coreset::union`] (whose `GeomError`
+    /// callers have historically `expect`ed away), this validates up front
+    /// and speaks the library's shared error vocabulary: an empty part list
+    /// is [`FcError::EmptyData`], disagreeing dimensions are
+    /// [`FcError::DimensionMismatch`], and a non-finite or negative weight
+    /// (possible when parts arrive from outside the type system, e.g. a
+    /// remote node) is [`FcError::InvalidParameter`] — never a panic.
+    pub fn union_all<I>(parts: I) -> Result<Coreset, FcError>
+    where
+        I: IntoIterator<Item = Coreset>,
+    {
+        let mut iter = parts.into_iter();
+        let first = iter.next().ok_or(FcError::EmptyData)?;
+        let expected = first.dataset().dim();
+        let mut union = first;
+        validate_weights(union.dataset())?;
+        for part in iter {
+            let got = part.dataset().dim();
+            if got != expected {
+                return Err(FcError::DimensionMismatch { expected, got });
+            }
+            validate_weights(part.dataset())?;
+            union = Coreset {
+                data: union.data.concat(&part.data).map_err(|e| {
+                    FcError::InvalidParameter(format!("coreset union failed: {e:?}"))
+                })?,
+            };
+        }
+        Ok(union)
+    }
+}
+
+fn validate_weights(data: &Dataset) -> Result<(), FcError> {
+    for (i, &w) in data.weights().iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(FcError::InvalidParameter(format!(
+                "coreset union: weight {w} at index {i} is not finite and non-negative"
+            )));
+        }
+    }
+    Ok(())
 }
 
 impl From<Dataset> for Coreset {
@@ -79,6 +124,31 @@ mod tests {
         let centers = Points::from_flat(vec![0.0, 0.0], 2).unwrap();
         assert!((c.cost(&centers, CostKind::KMeans) - 1.0).abs() < 1e-12);
         assert!((c.total_weight() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_all_validates_instead_of_panicking() {
+        assert_eq!(
+            Coreset::union_all(std::iter::empty()).unwrap_err(),
+            FcError::EmptyData
+        );
+        let a = coreset(vec![0.0, 0.0, 1.0, 1.0], vec![2.0, 3.0]);
+        let b = coreset(vec![5.0, 5.0], vec![4.0]);
+        let u = Coreset::union_all([a.clone(), b]).unwrap();
+        assert_eq!(u.len(), 3);
+        assert!((u.total_weight() - 9.0).abs() < 1e-12);
+        // A single part passes through unchanged.
+        let solo = Coreset::union_all([a.clone()]).unwrap();
+        assert_eq!(solo.len(), a.len());
+        // Dimension disagreement is an FcError, not a panic.
+        let three_d = Coreset::new(Dataset::from_flat(vec![1.0, 2.0, 3.0], 3).unwrap());
+        assert_eq!(
+            Coreset::union_all([a, three_d]).unwrap_err(),
+            FcError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
     }
 
     #[test]

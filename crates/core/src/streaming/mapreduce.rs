@@ -7,7 +7,7 @@
 //! to the target size. Communication is `O(m)` points per worker,
 //! independent of `n`, which is the whole appeal of the scheme.
 
-use crate::{CompressionParams, Compressor, Coreset};
+use crate::{CompressionParams, Compressor, Coreset, FcError};
 use fc_geom::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +21,26 @@ pub struct MapReduceReport {
     pub communicated_points: usize,
     /// Shard sizes, for balance diagnostics.
     pub shard_sizes: Vec<usize>,
+}
+
+/// The host-side aggregation step of a MapReduce round: union the
+/// per-worker coresets (valid for the full data by composability) and
+/// re-compress once when the union exceeds `params.m`. This is the exact
+/// step the `fc-cluster` coordinator runs on coresets fetched from remote
+/// `fc-server` nodes over TCP — the parts' provenance (threads or sockets)
+/// is irrelevant to the math. Validation errors (no parts, dimension or
+/// weight disagreement between parts) surface as [`FcError`].
+pub fn aggregate_parts<R: Rng>(
+    rng: &mut R,
+    parts: Vec<Coreset>,
+    compressor: &dyn Compressor,
+    params: &CompressionParams,
+) -> Result<Coreset, FcError> {
+    let union = Coreset::union_all(parts)?;
+    if union.len() <= params.m {
+        return Ok(union);
+    }
+    Ok(compressor.compress(rng, union.dataset(), params))
 }
 
 /// Runs one MapReduce round: random partition into `workers` shards,
@@ -76,14 +96,17 @@ pub fn mapreduce_coreset<R: Rng + ?Sized>(
         .map(|c| c.expect("every worker produced a coreset"))
         .collect();
     let communicated_points: usize = parts.iter().map(|c| c.len()).sum();
-    let mut union = parts
-        .into_iter()
-        .reduce(|a, b| a.union(&b).expect("shards share the data dimension"))
-        .expect("at least one shard exists");
-    if union.len() > params.m {
-        let mut host_rng = StdRng::seed_from_u64(rng.gen());
-        union = compressor.compress(&mut host_rng, union.dataset(), params);
-    }
+    // The union's size is exactly the communicated total, so whether the
+    // host reduction will run is known before touching the caller's RNG —
+    // `rng` is consumed only when a reduction actually happens, keeping
+    // seeded downstream draws identical to the historical behaviour.
+    let mut host_rng = if communicated_points > params.m {
+        StdRng::seed_from_u64(rng.gen())
+    } else {
+        StdRng::seed_from_u64(0) // never sampled: the union already fits m
+    };
+    let union = aggregate_parts(&mut host_rng, parts, compressor, params)
+        .expect("same-partition shards always union cleanly");
     MapReduceReport {
         coreset: union,
         communicated_points,
@@ -182,6 +205,33 @@ mod tests {
         assert!(
             rel < 1e-9,
             "uniform preserves total weight exactly, drift {rel}"
+        );
+    }
+
+    #[test]
+    fn aggregate_parts_reduces_only_oversized_unions() {
+        let d = blobs();
+        let params = CompressionParams {
+            k: 3,
+            m: 100,
+            kind: CostKind::KMeans,
+        };
+        let mut r = rng();
+        let small: Vec<Coreset> = d
+            .chunks(d.len() / 2)
+            .into_iter()
+            .map(|part| Uniform.compress(&mut r, &part, &params))
+            .collect();
+        // Two parts of ≤ 100 points exceed m = 100 → one host reduction.
+        let reduced = aggregate_parts(&mut r, small.clone(), &Uniform, &params).unwrap();
+        assert!(reduced.len() <= 100);
+        // A single part already within m passes through untouched.
+        let solo = aggregate_parts(&mut r, vec![small[0].clone()], &Uniform, &params).unwrap();
+        assert_eq!(solo.len(), small[0].len());
+        // No parts is a validation error, not a panic.
+        assert_eq!(
+            aggregate_parts(&mut r, Vec::new(), &Uniform, &params).unwrap_err(),
+            FcError::EmptyData
         );
     }
 

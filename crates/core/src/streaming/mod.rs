@@ -28,7 +28,7 @@ pub mod streamkm;
 
 pub use bico::{Bico, BicoCompressor, BicoConfig, BicoStream};
 pub use cf::ClusteringFeature;
-pub use mapreduce::{mapreduce_coreset, MapReduceReport};
+pub use mapreduce::{aggregate_parts, mapreduce_coreset, MapReduceReport};
 pub use merge_reduce::MergeReduce;
 pub use stream::{run_stream, StreamingCompressor};
 pub use streamkm::{CoresetTreeCompressor, StreamKm};

@@ -1,0 +1,125 @@
+//! The serving backend abstraction: what a server needs from the thing it
+//! serves.
+//!
+//! [`crate::server::ServerHandle`] and the request dispatcher only ever
+//! call the operations below, so anything implementing [`Backend`] can sit
+//! behind the TCP/JSON-lines protocol. Two implementations exist:
+//!
+//! - [`Engine`] — the in-process sharded coreset engine (`fc-server`);
+//! - `fc_cluster::Coordinator` — fans the same operations out to remote
+//!   `fc-server` nodes and unions their coresets, making a whole cluster
+//!   wire-indistinguishable from a single big server.
+
+use fc_clustering::{CostKind, Solver};
+use fc_core::plan::{Method, Plan};
+use fc_core::Coreset;
+use fc_geom::{Dataset, Points};
+
+use crate::engine::{ClusterOutcome, Engine, EngineError};
+use crate::protocol::DatasetStats;
+
+/// The operations the protocol front-end dispatches. Signatures mirror
+/// [`Engine`]'s inherent methods — the engine *is* the reference backend —
+/// and every failure speaks [`EngineError`] so the server maps all
+/// backends onto the wire identically.
+pub trait Backend: Send + Sync {
+    /// Ingests a weighted batch, creating the dataset on first use; an
+    /// optional [`Plan`] on the creating ingest becomes the dataset's
+    /// effective plan. Returns `(lifetime points, lifetime weight)`.
+    fn ingest(
+        &self,
+        name: &str,
+        batch: &Dataset,
+        plan: Option<&Plan>,
+    ) -> Result<(u64, f64), EngineError>;
+
+    /// The served coreset, the seed that produced it, and the effective
+    /// compression method.
+    fn coreset(
+        &self,
+        name: &str,
+        seed: Option<u64>,
+        method: Option<&Method>,
+    ) -> Result<(Coreset, u64, Method), EngineError>;
+
+    /// Clusters the served coreset; omitted knobs default from the
+    /// dataset's effective plan.
+    fn cluster(
+        &self,
+        name: &str,
+        k: Option<usize>,
+        kind: Option<CostKind>,
+        solver: Option<Solver>,
+        seed: Option<u64>,
+    ) -> Result<ClusterOutcome, EngineError>;
+
+    /// Prices candidate centers on the served coreset. Returns
+    /// `(cost, resolved kind, coreset points)`.
+    fn cost(
+        &self,
+        name: &str,
+        centers: &Points,
+        kind: Option<CostKind>,
+    ) -> Result<(f64, CostKind, usize), EngineError>;
+
+    /// Statistics for one dataset.
+    fn dataset_stats(&self, name: &str) -> Result<DatasetStats, EngineError>;
+
+    /// Statistics for every dataset (sorted by name).
+    fn stats(&self) -> Result<Vec<DatasetStats>, EngineError>;
+
+    /// Drops a dataset and frees whatever holds it.
+    fn drop_dataset(&self, name: &str) -> Result<(), EngineError>;
+}
+
+impl Backend for Engine {
+    fn ingest(
+        &self,
+        name: &str,
+        batch: &Dataset,
+        plan: Option<&Plan>,
+    ) -> Result<(u64, f64), EngineError> {
+        Engine::ingest(self, name, batch, plan)
+    }
+
+    fn coreset(
+        &self,
+        name: &str,
+        seed: Option<u64>,
+        method: Option<&Method>,
+    ) -> Result<(Coreset, u64, Method), EngineError> {
+        Engine::coreset(self, name, seed, method)
+    }
+
+    fn cluster(
+        &self,
+        name: &str,
+        k: Option<usize>,
+        kind: Option<CostKind>,
+        solver: Option<Solver>,
+        seed: Option<u64>,
+    ) -> Result<ClusterOutcome, EngineError> {
+        Engine::cluster(self, name, k, kind, solver, seed)
+    }
+
+    fn cost(
+        &self,
+        name: &str,
+        centers: &Points,
+        kind: Option<CostKind>,
+    ) -> Result<(f64, CostKind, usize), EngineError> {
+        Engine::cost(self, name, centers, kind)
+    }
+
+    fn dataset_stats(&self, name: &str) -> Result<DatasetStats, EngineError> {
+        Engine::dataset_stats(self, name)
+    }
+
+    fn stats(&self) -> Result<Vec<DatasetStats>, EngineError> {
+        Engine::stats(self)
+    }
+
+    fn drop_dataset(&self, name: &str) -> Result<(), EngineError> {
+        Engine::drop_dataset(self, name)
+    }
+}

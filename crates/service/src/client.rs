@@ -2,13 +2,14 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use fc_clustering::{CostKind, Solver};
 use fc_core::plan::{Method, Plan};
 use fc_core::Coreset;
 use fc_geom::{Dataset, Points};
 
-use crate::protocol::{self, DatasetStats, ProtocolError, Request, Response};
+use crate::protocol::{self, DatasetStats, ErrorCode, ProtocolError, Request, Response};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -18,12 +19,30 @@ pub enum ClientError {
     /// The server's reply didn't decode.
     Protocol(ProtocolError),
     /// The server replied with an error response.
-    Server(String),
+    Server {
+        /// The human-readable description.
+        message: String,
+        /// The machine-readable class, when the server attached one
+        /// (`overloaded` is split out as [`ClientError::Overloaded`]).
+        code: Option<ErrorCode>,
+    },
     /// The server refused the write because a shard queue is full
-    /// (`code: "overloaded"`). Back off and retry.
+    /// (`code: "overloaded"`). Back off and retry — or let
+    /// [`ServiceClient::request_with_backoff`] do both.
     Overloaded(String),
     /// The server replied with an unexpected (but valid) response kind.
     UnexpectedResponse(Box<Response>),
+}
+
+impl ClientError {
+    /// The machine-readable error class, when the server attached one.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => *code,
+            ClientError::Overloaded(_) => Some(ErrorCode::Overloaded),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -31,7 +50,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(e) => write!(f, "{e}"),
-            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Server { message, .. } => write!(f, "server error: {message}"),
             ClientError::Overloaded(msg) => write!(f, "server overloaded: {msg}"),
             ClientError::UnexpectedResponse(r) => write!(f, "unexpected response {r:?}"),
         }
@@ -49,6 +68,60 @@ impl From<std::io::Error> for ClientError {
 impl From<ProtocolError> for ClientError {
     fn from(e: ProtocolError) -> Self {
         ClientError::Protocol(e)
+    }
+}
+
+/// A bounded retry-with-backoff schedule for `overloaded` responses — the
+/// structured backpressure signal a busy shard answers instead of blocking.
+/// [`ServiceClient::request_with_backoff`] sleeps and retries through this
+/// schedule so one busy node degrades a fan-out gracefully instead of
+/// failing the whole request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` never retries).
+    pub attempts: u32,
+    /// Sleep before the first retry.
+    pub initial_backoff: Duration,
+    /// Each subsequent sleep is the previous one times this factor.
+    pub multiplier: u32,
+    /// Ceiling on any single sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts backing off 5 ms → 10 ms → 20 ms: enough for a shard
+    /// to drain a compaction, small enough to stay interactive.
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            initial_backoff: Duration::from_millis(5),
+            multiplier: 2,
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no sleeping).
+    pub fn none() -> Self {
+        Self {
+            attempts: 1,
+            initial_backoff: Duration::ZERO,
+            multiplier: 1,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The sleep before retry number `retry` (1-based), following the
+    /// geometric schedule under the ceiling.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = self
+            .multiplier
+            .max(1)
+            .saturating_pow(retry.saturating_sub(1));
+        self.initial_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
     }
 }
 
@@ -104,11 +177,32 @@ impl ServiceClient {
         let response = Response::from_json(line.trim_end())?;
         if let Response::Error { message, code } = response {
             return Err(match code {
-                Some(crate::protocol::ErrorCode::Overloaded) => ClientError::Overloaded(message),
-                _ => ClientError::Server(message),
+                Some(ErrorCode::Overloaded) => ClientError::Overloaded(message),
+                code => ClientError::Server { message, code },
             });
         }
         Ok(response)
+    }
+
+    /// [`Self::request`], retrying `overloaded` responses through the
+    /// bounded backoff schedule of `retry`. Every other outcome — success
+    /// or failure — returns immediately; when the schedule is exhausted the
+    /// final [`ClientError::Overloaded`] surfaces to the caller.
+    pub fn request_with_backoff(
+        &mut self,
+        request: &Request,
+        retry: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        let mut attempt = 1;
+        loop {
+            match self.request(request) {
+                Err(ClientError::Overloaded(_)) if attempt < retry.attempts.max(1) => {
+                    std::thread::sleep(retry.backoff(attempt));
+                    attempt += 1;
+                }
+                outcome => return outcome,
+            }
+        }
     }
 
     /// Ingests a weighted batch, optionally carrying the per-dataset

@@ -119,6 +119,13 @@ impl EngineConfig {
 pub enum EngineError {
     /// The named dataset does not exist.
     UnknownDataset(String),
+    /// The dataset exists but no shard has processed a block yet, so there
+    /// is nothing to serve. Transient: ingest acknowledgement precedes
+    /// shard processing.
+    NoData {
+        /// The dataset with nothing to serve.
+        dataset: String,
+    },
     /// A batch's dimensionality conflicts with the dataset's.
     DimensionMismatch {
         /// The dataset's dimension.
@@ -139,6 +146,13 @@ pub enum EngineError {
         /// The saturated shard's index.
         shard: usize,
     },
+    /// A remote backend node failed (coordinator deployments).
+    Remote {
+        /// The failing node's identity (its address).
+        node: String,
+        /// What the node (or the socket to it) reported.
+        message: String,
+    },
     /// The engine is shutting down (or a shard died).
     Unavailable,
 }
@@ -147,6 +161,12 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::UnknownDataset(name) => write!(f, "no such dataset `{name}`"),
+            EngineError::NoData { dataset } => {
+                write!(f, "dataset `{dataset}` holds no data yet")
+            }
+            EngineError::Remote { node, message } => {
+                write!(f, "node `{node}`: {message}")
+            }
             EngineError::DimensionMismatch { expected, got } => {
                 write!(
                     f,
@@ -537,7 +557,7 @@ impl Engine {
                             let seed = self
                                 .config
                                 .base_seed
-                                .wrapping_add(fnv(name))
+                                .wrapping_add(fnv64(name))
                                 .wrapping_add(s as u64);
                             Shard::spawn(
                                 Arc::clone(&compressor),
@@ -624,8 +644,8 @@ impl Engine {
                 a.union(&b)
                     .expect("shards of one dataset share its dimension")
             })
-            .ok_or_else(|| {
-                EngineError::InvalidArgument(format!("dataset `{name}` holds no data yet"))
+            .ok_or_else(|| EngineError::NoData {
+                dataset: name.to_owned(),
             })?;
         let params = entry.plan.params();
         if union.len() > params.m {
@@ -734,6 +754,9 @@ impl Engine {
             stored_points: shard_stats.iter().map(|s| s.stored_points).sum(),
             summaries_per_shard: shard_stats.iter().map(|s| s.summaries).collect(),
             queue_depth_per_shard: shard_stats.iter().map(|s| s.queue_depth).collect(),
+            // A single engine is one node; the per-node breakdown belongs
+            // to coordinators.
+            nodes: Vec::new(),
         })
     }
 
@@ -808,7 +831,12 @@ impl Drop for Engine {
     }
 }
 
-fn fnv(s: &str) -> u64 {
+/// FNV-1a over a name — the workspace's one stable string hash: the
+/// engine derives per-(dataset, shard) RNG seeds from it, and the
+/// `fc-cluster` coordinator staggers round-robin starts and pins
+/// hash-dataset routing with it. One definition, so seeding and routing
+/// can never silently diverge.
+pub fn fnv64(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.bytes() {
         h ^= b as u64;

@@ -11,8 +11,12 @@
 //!   (the dependency-free [`fc_core::json`], re-exported as [`json`] —
 //!   plans cross the wire in the library's own
 //!   [`fc_core::plan::Plan::to_json`] form).
+//! - [`backend`]: the [`Backend`] trait the server dispatches through —
+//!   [`Engine`] is the reference implementation, and the `fc-cluster`
+//!   coordinator serves a whole node fleet behind the same trait.
 //! - [`server`] / [`client`]: a `std::net` TCP server (thread per
-//!   connection, graceful shutdown) and the blocking [`ServiceClient`].
+//!   connection, graceful shutdown) and the blocking [`ServiceClient`],
+//!   with a bounded [`RetryPolicy`] for `overloaded` backpressure.
 //!   A full shard queue answers `overloaded` instead of blocking.
 //!
 //! ```no_run
@@ -30,6 +34,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod backend;
 pub mod client;
 pub mod engine;
 pub mod protocol;
@@ -37,7 +42,10 @@ pub mod server;
 
 pub use fc_core::json;
 
-pub use client::{ClientError, ClusterResult, ServiceClient};
+pub use backend::Backend;
+pub use client::{ClientError, ClusterResult, RetryPolicy, ServiceClient};
 pub use engine::{ClusterOutcome, Engine, EngineConfig, EngineError};
-pub use protocol::{DatasetStats, ErrorCode, ProtocolError, Request, Response};
+pub use protocol::{
+    DatasetStats, ErrorCode, NodeHealth, NodeStats, ProtocolError, Request, Response,
+};
 pub use server::ServerHandle;

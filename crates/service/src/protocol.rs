@@ -29,8 +29,15 @@
 //!
 //! The response schema is versioned with the workspace: client and server
 //! ship from one build, so new response fields (`method`, `plan`) are
-//! required on decode. Error `code`s are the one open set — unknown codes
-//! decode as `None` so clients survive new server-side classes.
+//! required on decode. Two exceptions stay open: error `code`s (unknown
+//! codes decode as `None` so clients survive new server-side classes) and
+//! the per-node `nodes` breakdown in `stats` (emitted by coordinators,
+//! absent from plain servers — see [`DatasetStats::nodes`]).
+//!
+//! This protocol is also how an `fc-coordinator` speaks: it serves these
+//! requests *upward* unchanged while issuing the same requests *downward*
+//! to its `fc-server` nodes, so a coordinator is wire-indistinguishable
+//! from a single big server.
 
 use crate::json::{self, number_array, object, Value};
 use fc_clustering::{CostKind, Solver};
@@ -101,6 +108,68 @@ pub enum Request {
     },
 }
 
+/// Health of one cluster node, as observed by a coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// The node's last operation succeeded.
+    Alive,
+    /// The node is answering but shedding load (its last operation came
+    /// back `overloaded` even after the coordinator's bounded retries).
+    Degraded,
+    /// The node is unreachable (dial or socket failure).
+    Down,
+}
+
+impl NodeHealth {
+    /// The canonical wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeHealth::Alive => "alive",
+            NodeHealth::Degraded => "degraded",
+            NodeHealth::Down => "down",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "alive" => Some(NodeHealth::Alive),
+            "degraded" => Some(NodeHealth::Degraded),
+            "down" => Some(NodeHealth::Down),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for NodeHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One cluster node's contribution to a dataset, with its identity and
+/// health attached — what a coordinator's `stats` response reports per
+/// node under [`DatasetStats::nodes`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    /// Node identity (the address the coordinator routes to).
+    pub node: String,
+    /// The node's health as of this stats request.
+    pub health: NodeHealth,
+    /// The most recent failure observed against this node, if its health
+    /// is not [`NodeHealth::Alive`].
+    pub last_error: Option<String>,
+    /// Shards the node runs for this dataset (0 when the node does not
+    /// hold it or is down).
+    pub shards: usize,
+    /// Points this node has ingested for the dataset.
+    pub ingested_points: u64,
+    /// Weight this node has ingested for the dataset.
+    pub ingested_weight: f64,
+    /// Points currently held in the node's shard summaries.
+    pub stored_points: usize,
+}
+
 /// Statistics for one dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatasetStats {
@@ -124,6 +193,12 @@ pub struct DatasetStats {
     /// Per-shard command-queue backlog (commands sent but not yet fully
     /// processed) — the observable precursor of ingest backpressure.
     pub queue_depth_per_shard: Vec<usize>,
+    /// Per-node breakdown with node identity and health, populated by
+    /// `fc-coordinator` deployments. Empty on a single server — and, unlike
+    /// the other response fields, *optional on decode*: a coordinator is
+    /// itself a client of plain `fc-server` nodes, whose stats never carry
+    /// it.
+    pub nodes: Vec<NodeStats>,
 }
 
 /// A server response. `Error` is the only failure shape on the wire.
@@ -212,6 +287,14 @@ pub enum ErrorCode {
     /// A shard ingest queue was full; the write was rejected instead of
     /// blocking. Back off and retry.
     Overloaded,
+    /// The named dataset does not exist on this server. Coordinators react
+    /// to this code (a node that never received a shard of the dataset is
+    /// normal) instead of parsing prose.
+    UnknownDataset,
+    /// The dataset exists but no shard has processed a block yet, so there
+    /// is nothing to serve. Transient: ingest acknowledgement precedes
+    /// shard processing.
+    NoData,
 }
 
 impl ErrorCode {
@@ -219,6 +302,8 @@ impl ErrorCode {
     pub fn name(self) -> &'static str {
         match self {
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::UnknownDataset => "unknown_dataset",
+            ErrorCode::NoData => "no_data",
         }
     }
 
@@ -227,6 +312,8 @@ impl ErrorCode {
     fn from_name(name: &str) -> Option<Self> {
         match name {
             "overloaded" => Some(ErrorCode::Overloaded),
+            "unknown_dataset" => Some(ErrorCode::UnknownDataset),
+            "no_data" => Some(ErrorCode::NoData),
             _ => None,
         }
     }
@@ -587,8 +674,58 @@ fn pairs_to_object(pairs: Vec<(&str, Value)>) -> Value {
     Value::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
 }
 
+fn node_stats_to_value(n: &NodeStats) -> Value {
+    let mut pairs = vec![
+        ("node", Value::from(n.node.clone())),
+        ("health", Value::from(n.health.name())),
+        ("shards", Value::from(n.shards)),
+        ("ingested_points", Value::from(n.ingested_points)),
+        ("ingested_weight", Value::from(n.ingested_weight)),
+        ("stored_points", Value::from(n.stored_points)),
+    ];
+    if let Some(e) = &n.last_error {
+        pairs.push(("last_error", Value::from(e.clone())));
+    }
+    pairs_to_object(pairs)
+}
+
+fn node_stats_from_value(v: &Value) -> Result<NodeStats, ProtocolError> {
+    let field = |key: &str| {
+        v.get(key)
+            .ok_or_else(|| ProtocolError::new(format!("node stats missing `{key}`")))
+    };
+    let health = field("health")?
+        .as_str()
+        .and_then(NodeHealth::from_name)
+        .ok_or_else(|| ProtocolError::new("`health` must be alive, degraded, or down"))?;
+    Ok(NodeStats {
+        node: required_str(v, "node")?,
+        health,
+        last_error: match v.get("last_error") {
+            None | Some(Value::Null) => None,
+            Some(e) => Some(
+                e.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| ProtocolError::new("`last_error` must be a string"))?,
+            ),
+        },
+        shards: field("shards")?
+            .as_usize()
+            .ok_or_else(|| ProtocolError::new("node `shards` must be an integer"))?,
+        ingested_points: field("ingested_points")?
+            .as_u64()
+            .ok_or_else(|| ProtocolError::new("node `ingested_points` must be an integer"))?,
+        ingested_weight: field("ingested_weight")?
+            .as_f64()
+            .ok_or_else(|| ProtocolError::new("node `ingested_weight` must be a number"))?,
+        stored_points: field("stored_points")?
+            .as_usize()
+            .ok_or_else(|| ProtocolError::new("node `stored_points` must be an integer"))?,
+    })
+}
+
 fn dataset_stats_to_value(s: &DatasetStats) -> Value {
-    object([
+    let mut value = object([
         ("dataset", Value::from(s.dataset.clone())),
         ("dim", Value::from(s.dim)),
         ("plan", s.plan.to_value()),
@@ -614,7 +751,16 @@ fn dataset_stats_to_value(s: &DatasetStats) -> Value {
                     .collect(),
             ),
         ),
-    ])
+    ]);
+    if !s.nodes.is_empty() {
+        if let Value::Object(map) = &mut value {
+            map.insert(
+                "nodes".to_owned(),
+                Value::Array(s.nodes.iter().map(node_stats_to_value).collect()),
+            );
+        }
+    }
+    value
 }
 
 fn dataset_stats_from_value(v: &Value) -> Result<DatasetStats, ProtocolError> {
@@ -659,6 +805,17 @@ fn dataset_stats_from_value(v: &Value) -> Result<DatasetStats, ProtocolError> {
                     .ok_or_else(|| ProtocolError::new("`queue_depth_per_shard` must hold integers"))
             })
             .collect::<Result<_, _>>()?,
+        // Optional on decode: plain servers never emit it (see the field
+        // docs on `DatasetStats`).
+        nodes: match v.get("nodes") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(nodes) => nodes
+                .as_array()
+                .ok_or_else(|| ProtocolError::new("`nodes` must be an array"))?
+                .iter()
+                .map(node_stats_from_value)
+                .collect::<Result<_, _>>()?,
+        },
     })
 }
 
@@ -1016,6 +1173,41 @@ mod tests {
                 stored_points: 320,
                 summaries_per_shard: vec![2, 1, 3, 1],
                 queue_depth_per_shard: vec![0, 4, 0, 1],
+                nodes: Vec::new(),
+            }],
+        });
+        // Coordinator stats carry per-node identity and health.
+        round_trip_response(Response::Stats {
+            datasets: vec![DatasetStats {
+                dataset: "d".into(),
+                dim: 2,
+                plan: fc_core::plan::PlanBuilder::new(2).build().unwrap(),
+                shards: 4,
+                ingested_points: 10,
+                ingested_weight: 10.0,
+                stored_points: 10,
+                summaries_per_shard: vec![1, 1, 1, 1],
+                queue_depth_per_shard: vec![0, 0, 0, 0],
+                nodes: vec![
+                    NodeStats {
+                        node: "127.0.0.1:4777".into(),
+                        health: NodeHealth::Alive,
+                        last_error: None,
+                        shards: 2,
+                        ingested_points: 6,
+                        ingested_weight: 6.0,
+                        stored_points: 6,
+                    },
+                    NodeStats {
+                        node: "127.0.0.1:4778".into(),
+                        health: NodeHealth::Down,
+                        last_error: Some("connect: refused".into()),
+                        shards: 0,
+                        ingested_points: 0,
+                        ingested_weight: 0.0,
+                        stored_points: 0,
+                    },
+                ],
             }],
         });
         round_trip_response(Response::Dropped {

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::backend::Backend;
 use crate::engine::{Engine, EngineError};
 use crate::protocol::{self, Request, Response};
 
@@ -21,7 +22,9 @@ type ConnectionRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
 /// A running server. Dropping the handle shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
-    engine: Arc<Engine>,
+    /// Set when the server was bound over an [`Engine`] (the common case);
+    /// backend-bound servers (`fc-coordinator`) have no engine to inspect.
+    engine: Option<Arc<Engine>>,
     stop: Arc<AtomicBool>,
     connections: ConnectionRegistry,
     accept_thread: Option<JoinHandle<()>>,
@@ -31,21 +34,33 @@ impl ServerHandle {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
     /// serving `engine` in background threads.
     pub fn bind(addr: impl ToSocketAddrs, engine: Engine) -> std::io::Result<ServerHandle> {
+        let engine = Arc::new(engine);
+        let mut handle = Self::bind_backend(addr, Arc::clone(&engine) as Arc<dyn Backend>)?;
+        handle.engine = Some(engine);
+        Ok(handle)
+    }
+
+    /// Binds `addr` and serves an arbitrary [`Backend`] — the same
+    /// protocol, threading, and shutdown behaviour as [`Self::bind`], but
+    /// the requests may be answered by anything (the `fc-cluster`
+    /// coordinator serves a whole node fleet through this entry point).
+    pub fn bind_backend(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn Backend>,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let engine = Arc::new(engine);
         let stop = Arc::new(AtomicBool::new(false));
         let connections: ConnectionRegistry = Arc::new(Mutex::new(Vec::new()));
-        let accept_engine = Arc::clone(&engine);
         let accept_stop = Arc::clone(&stop);
         let accept_connections = Arc::clone(&connections);
         let accept_thread = std::thread::Builder::new()
             .name("fc-accept".into())
-            .spawn(move || accept_loop(listener, accept_engine, accept_stop, accept_connections))
+            .spawn(move || accept_loop(listener, backend, accept_stop, accept_connections))
             .expect("spawning the accept thread succeeds");
         Ok(ServerHandle {
             addr,
-            engine,
+            engine: None,
             stop,
             connections,
             accept_thread: Some(accept_thread),
@@ -58,8 +73,15 @@ impl ServerHandle {
     }
 
     /// The served engine (for in-process inspection in tests and examples).
+    ///
+    /// # Panics
+    ///
+    /// When the server was bound over a generic backend
+    /// ([`Self::bind_backend`]) rather than an [`Engine`].
     pub fn engine(&self) -> &Arc<Engine> {
-        &self.engine
+        self.engine
+            .as_ref()
+            .expect("server was bound over a generic backend, not an Engine")
     }
 
     /// Stops accepting, waits for in-flight connections to finish, and
@@ -100,7 +122,7 @@ impl Drop for ServerHandle {
 
 fn accept_loop(
     listener: TcpListener,
-    engine: Arc<Engine>,
+    backend: Arc<dyn Backend>,
     stop: Arc<AtomicBool>,
     connections: ConnectionRegistry,
 ) {
@@ -117,11 +139,11 @@ fn accept_loop(
         let Ok(registry_clone) = stream.try_clone() else {
             continue;
         };
-        let engine = Arc::clone(&engine);
+        let backend = Arc::clone(&backend);
         let stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("fc-conn".into())
-            .spawn(move || run_connection(stream, &engine, &stop))
+            .spawn(move || run_connection(stream, &*backend, &stop))
             .expect("spawning a connection thread succeeds");
         let mut conns = connections.lock().expect("connection registry lock");
         // Opportunistically reap finished connections so the registry
@@ -146,7 +168,11 @@ fn accept_loop(
 /// 64 MiB comfortably fits the largest sane ingest batch.
 const MAX_LINE_BYTES: u64 = 64 * 1024 * 1024;
 
-fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> std::io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    backend: &dyn Backend,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let respond = |writer: &mut BufWriter<TcpStream>, response: Response| {
@@ -178,7 +204,7 @@ fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> st
         let response = match std::str::from_utf8(&buf) {
             Ok(line) if line.trim().is_empty() => continue,
             Ok(line) => match Request::from_json(line.trim_end_matches(['\n', '\r'])) {
-                Ok(request) => handle_request(engine, request),
+                Ok(request) => handle_request(backend, request),
                 Err(e) => Response::Error {
                     message: e.message,
                     code: None,
@@ -202,9 +228,9 @@ fn serve_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> st
 /// merely dropping this thread's handles would leave the connection
 /// half-open (no FIN) until server shutdown, and a waiting client would
 /// never see EOF.
-fn run_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) {
+fn run_connection(stream: TcpStream, backend: &dyn Backend, stop: &AtomicBool) {
     let closer = stream.try_clone().ok();
-    let _ = serve_connection(stream, engine, stop);
+    let _ = serve_connection(stream, backend, stop);
     if let Some(s) = closer {
         let _ = s.shutdown(std::net::Shutdown::Both);
     }
@@ -213,6 +239,8 @@ fn run_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) {
 fn engine_error(e: EngineError) -> Response {
     let code = match &e {
         EngineError::Overloaded { .. } => Some(protocol::ErrorCode::Overloaded),
+        EngineError::UnknownDataset(_) => Some(protocol::ErrorCode::UnknownDataset),
+        EngineError::NoData { .. } => Some(protocol::ErrorCode::NoData),
         _ => None,
     };
     Response::Error {
@@ -221,9 +249,10 @@ fn engine_error(e: EngineError) -> Response {
     }
 }
 
-/// Executes one request against the engine. Exposed so tests can drive the
-/// dispatch logic without a socket.
-pub fn handle_request(engine: &Engine, request: Request) -> Response {
+/// Executes one request against a backend. Exposed so tests can drive the
+/// dispatch logic without a socket. (`&Engine` coerces: the engine is the
+/// reference [`Backend`].)
+pub fn handle_request(backend: &dyn Backend, request: Request) -> Response {
     match request {
         Request::Ingest {
             dataset,
@@ -240,7 +269,7 @@ pub fn handle_request(engine: &Engine, request: Request) -> Response {
                     }
                 }
             };
-            match engine.ingest(&dataset, &batch, plan.as_ref()) {
+            match backend.ingest(&dataset, &batch, plan.as_ref()) {
                 Ok((total_points, total_weight)) => Response::Ingested {
                     dataset,
                     points: batch.len(),
@@ -254,7 +283,7 @@ pub fn handle_request(engine: &Engine, request: Request) -> Response {
             dataset,
             method,
             seed,
-        } => match engine.coreset(&dataset, seed, method.as_ref()) {
+        } => match backend.coreset(&dataset, seed, method.as_ref()) {
             Ok((coreset, seed, method)) => {
                 let (points, weights) = protocol::dataset_to_rows(coreset.dataset());
                 Response::Coreset {
@@ -273,7 +302,7 @@ pub fn handle_request(engine: &Engine, request: Request) -> Response {
             kind,
             solver,
             seed,
-        } => match engine.cluster(&dataset, k, kind, solver, seed) {
+        } => match backend.cluster(&dataset, k, kind, solver, seed) {
             Ok(outcome) => Response::Clustered {
                 dataset,
                 centers: outcome
@@ -304,7 +333,7 @@ pub fn handle_request(engine: &Engine, request: Request) -> Response {
                     }
                 }
             };
-            match engine.cost(&dataset, &centers, kind) {
+            match backend.cost(&dataset, &centers, kind) {
                 Ok((cost, kind, coreset_points)) => Response::Cost {
                     dataset,
                     cost,
@@ -316,15 +345,15 @@ pub fn handle_request(engine: &Engine, request: Request) -> Response {
         }
         Request::Stats { dataset } => {
             let result = match dataset {
-                Some(name) => engine.dataset_stats(&name).map(|s| vec![s]),
-                None => engine.stats(),
+                Some(name) => backend.dataset_stats(&name).map(|s| vec![s]),
+                None => backend.stats(),
             };
             match result {
                 Ok(datasets) => Response::Stats { datasets },
                 Err(e) => engine_error(e),
             }
         }
-        Request::DropDataset { dataset } => match engine.drop_dataset(&dataset) {
+        Request::DropDataset { dataset } => match backend.drop_dataset(&dataset) {
             Ok(()) => Response::Dropped { dataset },
             Err(e) => engine_error(e),
         },

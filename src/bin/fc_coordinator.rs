@@ -1,0 +1,179 @@
+//! `fc-coordinator`: the multi-node coreset-serving front-end.
+//!
+//! ```text
+//! fc-coordinator --node HOST:PORT [--node HOST:PORT ...]
+//!                [--addr HOST:PORT] [--policy round-robin|hash-dataset|capacity]
+//!                [--capacity W ...] [--retries N]
+//!                [--k K] [--m-scalar M] [--budget POINTS] [--kmedian]
+//!                [--method NAME] [--solver NAME]
+//! ```
+//!
+//! Speaks the `fc-service` JSON-lines protocol upward (the same protocol
+//! `fc-server` serves — clients cannot tell the difference) and downward
+//! to every `--node`. Each `--capacity` pairs positionally with a
+//! `--node` and weights the `capacity` routing policy; `--retries` bounds
+//! the per-request backoff on `overloaded` nodes. The plan flags
+//! (`--k`/`--m-scalar`/`--budget`/`--kmedian`/`--method`/`--solver`)
+//! define the default per-dataset plan, forwarded to the nodes with every
+//! routed batch — node-side defaults never leak in.
+
+use fc_cluster::{Coordinator, CoordinatorConfig, RoutingPolicy};
+use fc_clustering::CostKind;
+use fc_core::plan::PlanBuilder;
+use fc_service::{RetryPolicy, ServerHandle};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fc-coordinator --node HOST:PORT [--node HOST:PORT ...] \
+         [--addr HOST:PORT] [--policy round-robin|hash-dataset|capacity] \
+         [--capacity W ...] [--retries N] [--k K] [--m-scalar M] \
+         [--budget POINTS] [--kmedian] [--method NAME] [--solver NAME]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    addr: String,
+    nodes: Vec<String>,
+    capacities: Vec<f64>,
+    policy: RoutingPolicy,
+    retries: u32,
+    k: usize,
+    m_scalar: usize,
+    budget: Option<usize>,
+    kind: CostKind,
+    method: fc_core::plan::Method,
+    solver: fc_clustering::Solver,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        addr: "127.0.0.1:4778".to_owned(),
+        nodes: Vec::new(),
+        capacities: Vec::new(),
+        policy: RoutingPolicy::RoundRobin,
+        retries: RetryPolicy::default().attempts,
+        k: 8,
+        m_scalar: 40,
+        budget: None,
+        kind: CostKind::KMeans,
+        method: fc_core::plan::Method::FastCoreset,
+        solver: fc_clustering::Solver::Lloyd,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => parsed.addr = value("host:port"),
+            "--node" => parsed.nodes.push(value("host:port")),
+            "--capacity" => parsed
+                .capacities
+                .push(value("weight").parse().unwrap_or_else(|_| usage())),
+            "--policy" => {
+                parsed.policy = value("policy name").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
+            "--retries" => parsed.retries = value("count").parse().unwrap_or_else(|_| usage()),
+            "--k" => parsed.k = value("count").parse().unwrap_or_else(|_| usage()),
+            "--m-scalar" => parsed.m_scalar = value("count").parse().unwrap_or_else(|_| usage()),
+            "--budget" => {
+                parsed.budget = Some(value("points").parse().unwrap_or_else(|_| usage()));
+            }
+            "--kmedian" => parsed.kind = CostKind::KMedian,
+            "--method" => {
+                parsed.method = value("method name").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
+            "--solver" => {
+                parsed.solver = value("solver name").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    if parsed.nodes.is_empty() {
+        eprintln!("fc-coordinator needs at least one --node");
+        usage();
+    }
+    if !parsed.capacities.is_empty() && parsed.capacities.len() != parsed.nodes.len() {
+        eprintln!(
+            "{} --capacity values for {} --node values (they pair positionally)",
+            parsed.capacities.len(),
+            parsed.nodes.len()
+        );
+        usage();
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let mut builder = PlanBuilder::new(args.k)
+        .m_scalar(args.m_scalar)
+        .kind(args.kind)
+        .method(args.method.clone())
+        .solver(args.solver);
+    if let Some(budget) = args.budget {
+        builder = builder.compaction_budget(budget);
+    }
+    let default_plan = match builder.build() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("fc-coordinator: invalid default plan: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut config = CoordinatorConfig::new(args.nodes.clone());
+    config.policy = args.policy;
+    config.default_plan = default_plan;
+    config.retry = RetryPolicy {
+        attempts: args.retries.max(1),
+        ..RetryPolicy::default()
+    };
+    if !args.capacities.is_empty() {
+        for (spec, capacity) in config.nodes.iter_mut().zip(&args.capacities) {
+            spec.capacity = *capacity;
+        }
+    }
+    let coordinator = match Coordinator::new(config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fc-coordinator: invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    let plan_json = coordinator.default_plan().to_json();
+    let policy = coordinator.policy();
+    let handle = match ServerHandle::bind_backend(args.addr.as_str(), Arc::new(coordinator)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fc-coordinator: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "fc-coordinator listening on {} (nodes=[{}], policy={policy}, default plan {plan_json})",
+        handle.addr(),
+        args.nodes.join(", "),
+    );
+    // Serve until the process is killed, like fc-server.
+    loop {
+        std::thread::park();
+    }
+}

@@ -76,7 +76,9 @@
 //! | [`fc_core`] | the [`Plan`](prelude::Plan) API and its JSON wire form, Fast-Coresets (Algorithm 1), the sampler spectrum, streaming composition ([`fc_core::streaming`]: merge-&-reduce, BICO, StreamKM++, MapReduce), distortion metric, [`FcError`](prelude::FcError), the dependency-free [`fc_core::json`] codec |
 //! | [`fc_data`] | the paper's artificial datasets and real-world proxies |
 //! | [`fc_service`] | the sharded coreset-serving engine (one effective `Plan` per dataset), its TCP/JSON-lines protocol, server, and client (`fc-server` binary) |
+//! | [`fc_cluster`] | the multi-node coordinator: shards datasets across remote `fc-server` nodes, unions per-node coresets, serves the same protocol (`fc-coordinator` binary) |
 
+pub use fc_cluster;
 pub use fc_clustering;
 pub use fc_core;
 pub use fc_data;
@@ -86,6 +88,7 @@ pub use fc_service;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use fc_cluster::{Coordinator, CoordinatorConfig, RoutingPolicy};
     pub use fc_clustering::lloyd::LloydConfig;
     pub use fc_clustering::solver::{SolveConfig, Solver, SolverError};
     pub use fc_clustering::{CostKind, LocalSearchConfig};
@@ -96,7 +99,7 @@ pub mod prelude {
         Lightweight, StandardSensitivity, Uniform, Welterweight,
     };
     pub use fc_geom::{Dataset, Points};
-    pub use fc_service::{Engine, EngineConfig, ServerHandle, ServiceClient};
+    pub use fc_service::{Engine, EngineConfig, RetryPolicy, ServerHandle, ServiceClient};
 }
 
 #[cfg(test)]

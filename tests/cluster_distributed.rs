@@ -1,0 +1,335 @@
+//! End-to-end tests for the multi-node tier: a real `fc-coordinator`
+//! backend serving the fc-service protocol over TCP, backed by real
+//! in-process `fc-server` nodes — the unchanged [`ServiceClient`] drives
+//! the whole cluster.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fast_coresets::prelude::*;
+use fc_cluster::{Coordinator, CoordinatorConfig};
+use fc_service::protocol::NodeHealth;
+use fc_service::ServerHandle;
+
+fn four_blobs(n_per: usize) -> Dataset {
+    let mut flat = Vec::new();
+    for b in 0..4 {
+        for i in 0..n_per {
+            flat.push(b as f64 * 100.0 + (i % 25) as f64 * 0.01);
+            flat.push((i / 25) as f64 * 0.01);
+        }
+    }
+    Dataset::from_flat(flat, 2).unwrap()
+}
+
+fn node_server(k: usize) -> ServerHandle {
+    let engine = Engine::new(EngineConfig {
+        k,
+        shards: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    ServerHandle::bind("127.0.0.1:0", engine).unwrap()
+}
+
+/// Binds a coordinator front-end over the given node servers.
+fn coordinator_front(nodes: &[&ServerHandle]) -> ServerHandle {
+    let config = CoordinatorConfig::new(nodes.iter().map(|n| n.addr().to_string()));
+    let coordinator = Coordinator::new(config).unwrap();
+    ServerHandle::bind_backend("127.0.0.1:0", Arc::new(coordinator)).unwrap()
+}
+
+/// The acceptance path: a client pointed at the coordinator (backed by two
+/// real fc-server listeners) ingests with a per-dataset plan, clusters,
+/// and reads per-node stats — through the unchanged `ServiceClient` API —
+/// and the clustering cost matches a single big server's within the
+/// distortion bound.
+#[test]
+fn coordinator_matches_single_server_within_distortion_bound() {
+    let k = 4;
+    let bound = EngineConfig::default().distortion_bound;
+    let plan = PlanBuilder::new(k)
+        .m_scalar(25)
+        .method(Method::FastCoreset)
+        .solver(Solver::Lloyd)
+        .build()
+        .unwrap();
+    let data = four_blobs(400);
+
+    // Cluster: two nodes behind a coordinator.
+    let node_a = node_server(k);
+    let node_b = node_server(k);
+    let front = coordinator_front(&[&node_a, &node_b]);
+    let mut client = ServiceClient::connect(front.addr()).unwrap();
+    for batch in data.chunks(200) {
+        client.ingest("blobs", &batch, Some(&plan)).unwrap();
+    }
+
+    // Single server: the same data under the same plan.
+    let single = node_server(k);
+    let mut single_client = ServiceClient::connect(single.addr()).unwrap();
+    for batch in data.chunks(200) {
+        single_client.ingest("blobs", &batch, Some(&plan)).unwrap();
+    }
+
+    // Per-node stats through the wire protocol: identity, health, and a
+    // spread of the ingested data across both nodes.
+    let stats = &client.stats(Some("blobs")).unwrap()[0];
+    assert_eq!(stats.ingested_points, data.len() as u64);
+    assert_eq!(stats.plan, plan, "stats echo the per-dataset plan");
+    assert_eq!(stats.nodes.len(), 2);
+    let addrs: Vec<String> = vec![node_a.addr().to_string(), node_b.addr().to_string()];
+    for row in &stats.nodes {
+        assert!(addrs.contains(&row.node), "unknown node id {}", row.node);
+        assert_eq!(row.health, NodeHealth::Alive);
+        assert!(row.ingested_points > 0, "{row:?}");
+    }
+    assert_eq!(
+        stats.nodes.iter().map(|r| r.ingested_points).sum::<u64>(),
+        data.len() as u64
+    );
+    // Single-server stats carry no per-node breakdown.
+    assert!(single_client.stats(Some("blobs")).unwrap()[0]
+        .nodes
+        .is_empty());
+
+    // Both serve a clustering; costs on the full data agree within the
+    // distortion bound.
+    let from_cluster = client.cluster("blobs", None, None, None, Some(7)).unwrap();
+    let from_single = single_client
+        .cluster("blobs", None, None, None, Some(7))
+        .unwrap();
+    assert_eq!(from_cluster.centers.len(), k, "plan supplies k");
+    let cost_cluster = fc_clustering::cost::cost(&data, &from_cluster.centers, CostKind::KMeans);
+    let cost_single = fc_clustering::cost::cost(&data, &from_single.centers, CostKind::KMeans);
+    let ratio = (cost_cluster / cost_single).max(cost_single / cost_cluster);
+    assert!(
+        ratio <= bound,
+        "coordinator cost {cost_cluster} vs single-server cost {cost_single}: \
+         ratio {ratio} exceeds bound {bound}"
+    );
+
+    // The coordinator's coreset is a real coreset of the full data: it
+    // prices the served centers like the full data does.
+    let served_cost = client
+        .cost("blobs", &from_cluster.centers, Some(CostKind::KMeans))
+        .unwrap();
+    let full_ratio = (served_cost / cost_cluster).max(cost_cluster / served_cost);
+    assert!(
+        full_ratio <= bound,
+        "summed node cost {served_cost} vs full cost {cost_cluster}: ratio {full_ratio}"
+    );
+
+    // Seeded replay through the coordinator is reproducible.
+    let replay = client.cluster("blobs", None, None, None, Some(7)).unwrap();
+    assert_eq!(replay.centers, from_cluster.centers);
+
+    front.shutdown();
+    node_a.shutdown();
+    node_b.shutdown();
+    single.shutdown();
+}
+
+/// Degraded-cluster behaviour over real TCP with three in-process servers:
+/// a node killed mid-session is marked down in `stats`, queries still
+/// answer from the survivors, and re-ingest after the node comes back
+/// recovers it.
+#[test]
+fn killed_node_degrades_gracefully_and_recovers_on_reingest() {
+    let k = 4;
+    let plan = PlanBuilder::new(k)
+        .m_scalar(25)
+        .method(Method::FastCoreset)
+        .build()
+        .unwrap();
+    let nodes = [node_server(k), node_server(k), node_server(k)];
+    let front = coordinator_front(&[&nodes[0], &nodes[1], &nodes[2]]);
+    let mut client = ServiceClient::connect(front.addr()).unwrap();
+    let data = four_blobs(300);
+    for batch in data.chunks(200) {
+        client.ingest("blobs", &batch, Some(&plan)).unwrap();
+    }
+    // Six round-robin blocks over three nodes: everyone holds data.
+    let stats = &client.stats(Some("blobs")).unwrap()[0];
+    assert!(stats.nodes.iter().all(|r| r.ingested_points > 0));
+
+    // Kill the middle node.
+    let [node_a, node_b, node_c] = nodes;
+    let dead_addr = node_b.addr();
+    node_b.shutdown();
+
+    // Queries still answer, from the survivors.
+    let degraded = client.cluster("blobs", None, None, None, Some(3)).unwrap();
+    assert_eq!(degraded.centers.len(), k);
+    assert!(degraded.coreset_points > 0);
+
+    // The dead node is marked down, with its last error attached.
+    let stats = &client.stats(Some("blobs")).unwrap()[0];
+    let row = stats
+        .nodes
+        .iter()
+        .find(|r| r.node == dead_addr.to_string())
+        .expect("the dead node still appears in stats");
+    assert_eq!(row.health, NodeHealth::Down, "{row:?}");
+    assert!(row.last_error.is_some(), "{row:?}");
+    assert_eq!(row.ingested_points, 0, "a dead node reports nothing");
+    // Survivors stay alive and keep their data.
+    assert_eq!(
+        stats
+            .nodes
+            .iter()
+            .filter(|r| r.health == NodeHealth::Alive && r.ingested_points > 0)
+            .count(),
+        2
+    );
+
+    // Restart a server on the same address (fresh engine — the old state
+    // is gone, as after a crash) and re-ingest: the coordinator reconnects
+    // and re-creates the dataset there under the forwarded plan.
+    let reborn = ServerHandle::bind(
+        dead_addr,
+        Engine::new(EngineConfig {
+            k,
+            shards: 2,
+            ..Default::default()
+        })
+        .unwrap(),
+    )
+    .unwrap();
+    for batch in data.chunks(200) {
+        client.ingest("blobs", &batch, Some(&plan)).unwrap();
+    }
+    let stats = &client.stats(Some("blobs")).unwrap()[0];
+    let row = stats
+        .nodes
+        .iter()
+        .find(|r| r.node == dead_addr.to_string())
+        .unwrap();
+    assert_eq!(row.health, NodeHealth::Alive, "{row:?}");
+    assert!(
+        row.ingested_points > 0,
+        "re-ingest must reach the reborn node"
+    );
+    assert_eq!(
+        reborn.engine().dataset_plan("blobs").unwrap(),
+        plan,
+        "the reborn node re-creates the dataset under the forwarded plan"
+    );
+    // And queries use all three nodes again.
+    let recovered = client.cluster("blobs", None, None, None, Some(5)).unwrap();
+    assert_eq!(recovered.centers.len(), k);
+
+    front.shutdown();
+    node_a.shutdown();
+    node_c.shutdown();
+    reborn.shutdown();
+}
+
+/// A compressor that parks until released — holds one node's shard worker
+/// busy so its bounded queue genuinely fills.
+struct Gated {
+    release: Arc<AtomicBool>,
+}
+
+impl Compressor for Gated {
+    fn name(&self) -> &str {
+        "gated"
+    }
+
+    fn compress(
+        &self,
+        rng: &mut dyn rand::RngCore,
+        data: &Dataset,
+        params: &CompressionParams,
+    ) -> fc_core::Coreset {
+        while !self.release.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        Uniform.compress(rng, data, params)
+    }
+}
+
+/// One overloaded node must not fail cluster writes: the coordinator
+/// retries through the bounded backoff, then fails the batch over to a
+/// healthy node, and `stats` shows the busy node degraded.
+#[test]
+fn overloaded_node_fails_over_instead_of_failing_the_write() {
+    let release = Arc::new(AtomicBool::new(false));
+    let gated = Engine::with_compressor(
+        EngineConfig {
+            shards: 1,
+            shard_queue_depth: 1,
+            k: 2,
+            m_scalar: 5,
+            ..Default::default()
+        },
+        Arc::new(Gated {
+            release: Arc::clone(&release),
+        }),
+    )
+    .unwrap();
+    let busy = ServerHandle::bind("127.0.0.1:0", gated).unwrap();
+    let healthy = node_server(2);
+
+    let mut config = CoordinatorConfig::new([busy.addr().to_string(), healthy.addr().to_string()]);
+    config.retry = RetryPolicy {
+        attempts: 2,
+        initial_backoff: std::time::Duration::from_millis(1),
+        ..RetryPolicy::default()
+    };
+    let front =
+        ServerHandle::bind_backend("127.0.0.1:0", Arc::new(Coordinator::new(config).unwrap()))
+            .unwrap();
+    let mut client = ServiceClient::connect(front.addr()).unwrap();
+
+    // No per-dataset plan: the busy node's gated default compressor stays
+    // in play. Every write must succeed — the busy node absorbs at most
+    // its queue, everything else fails over to the healthy node.
+    let data = four_blobs(100);
+    let blocks: Vec<Dataset> = data.chunks(50);
+    for block in &blocks {
+        client.ingest("blobs", block, None).unwrap();
+    }
+    // Release the gate so the busy node can drain (and answer stats).
+    release.store(true, Ordering::SeqCst);
+    let stats = &client.stats(Some("blobs")).unwrap()[0];
+    assert_eq!(
+        stats.ingested_points,
+        data.len() as u64,
+        "every block was acknowledged by some node"
+    );
+    let healthy_row = stats
+        .nodes
+        .iter()
+        .find(|r| r.node == healthy.addr().to_string())
+        .unwrap();
+    assert!(
+        healthy_row.ingested_points >= data.len() as u64 / 2,
+        "failover must shift load to the healthy node: {healthy_row:?}"
+    );
+    // The busy node was marked degraded by the overload (the first stats
+    // after recovery still reports the pre-request health).
+    let busy_row = stats
+        .nodes
+        .iter()
+        .find(|r| r.node == busy.addr().to_string())
+        .unwrap();
+    assert_eq!(busy_row.health, NodeHealth::Degraded, "{busy_row:?}");
+    assert!(busy_row
+        .last_error
+        .as_deref()
+        .unwrap_or("")
+        .contains("overloaded"));
+    // A second stats shows it alive again.
+    let stats = &client.stats(Some("blobs")).unwrap()[0];
+    let busy_row = stats
+        .nodes
+        .iter()
+        .find(|r| r.node == busy.addr().to_string())
+        .unwrap();
+    assert_eq!(busy_row.health, NodeHealth::Alive, "{busy_row:?}");
+
+    front.shutdown();
+    busy.shutdown();
+    healthy.shutdown();
+}

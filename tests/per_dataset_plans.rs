@@ -187,7 +187,9 @@ fn two_datasets_run_different_plans_on_one_server() {
         .ingest("fast", &data, Some(&accurate))
         .expect_err("plan conflict must fail");
     match err {
-        ClientError::Server(msg) => assert!(msg.contains("already runs under plan"), "{msg}"),
+        ClientError::Server { message, .. } => {
+            assert!(message.contains("already runs under plan"), "{message}")
+        }
         other => panic!("unexpected {other:?}"),
     }
     server.shutdown();

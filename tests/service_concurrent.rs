@@ -74,10 +74,16 @@ fn concurrent_clients_ingest_and_query_within_distortion_bound() {
                     // anything else fails the test.
                     match client.cluster("blobs", Some(4), None, None, Some(r * 1000 + i)) {
                         Ok(result) => assert!(result.centers.len() <= 4),
-                        Err(fc_service::ClientError::Server(msg)) => assert!(
-                            msg.contains("no such dataset") || msg.contains("no data yet"),
-                            "{msg}"
-                        ),
+                        Err(fc_service::ClientError::Server { message, code }) => {
+                            assert!(
+                                matches!(
+                                    code,
+                                    Some(fc_service::ErrorCode::UnknownDataset)
+                                        | Some(fc_service::ErrorCode::NoData)
+                                ),
+                                "{message} (code {code:?})"
+                            )
+                        }
                         Err(other) => panic!("unexpected client error: {other}"),
                     }
                 }
@@ -254,8 +260,8 @@ fn dimension_mismatch_is_rejected_over_the_wire() {
         .unwrap();
     let three_d = Dataset::from_flat(vec![1.0, 2.0, 3.0], 3).unwrap();
     match client.ingest("d", &three_d, None) {
-        Err(fc_service::ClientError::Server(msg)) => {
-            assert!(msg.contains("dimension mismatch"), "{msg}")
+        Err(fc_service::ClientError::Server { message, .. }) => {
+            assert!(message.contains("dimension mismatch"), "{message}")
         }
         other => panic!("expected a server error, got {other:?}"),
     }

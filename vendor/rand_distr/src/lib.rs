@@ -1,11 +1,16 @@
 //! Offline shim for the subset of the `rand_distr` 0.4 API used by this
-//! workspace: the [`Distribution`] trait and [`StandardNormal`].
+//! workspace: the [`Distribution`] trait, [`StandardNormal`], and the
+//! weighted-index distribution [`WeightedIndex`].
 //!
 //! The build environment has no network access, so the real crate cannot be
 //! fetched. `StandardNormal` here uses the Marsaglia polar method, which
 //! produces exact standard-normal deviates (two per rejection round) — the
 //! distributional contract matches the real crate even though the exact
-//! stream per seed differs.
+//! stream per seed differs. `WeightedIndex` covers the `f64`-weighted
+//! surface the workspace calls (the real crate is generic over the weight
+//! type): cumulative sums built once, `O(log n)` sampling by binary search.
+
+use std::borrow::Borrow;
 
 use rand::Rng;
 
@@ -70,6 +75,104 @@ impl Distribution<f64> for Normal {
     }
 }
 
+/// Error constructing a [`WeightedIndex`] from invalid weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight list was empty.
+    NoItem,
+    /// A weight was negative, NaN, or infinite.
+    InvalidWeight,
+    /// Every weight was zero — nothing can ever be drawn.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "weighted index needs at least one weight"),
+            WeightedError::InvalidWeight => {
+                write!(f, "weights must be finite and non-negative")
+            }
+            WeightedError::AllWeightsZero => {
+                write!(f, "at least one weight must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// A distribution over `0..n` where index `i` is drawn with probability
+/// proportional to the `i`-th weight. Zero-weight indices are never drawn.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    /// `cumulative[i]` = sum of weights `0..=i`; the last entry is the
+    /// total weight.
+    cumulative: Vec<f64>,
+    /// Index of the last positive weight — the clamp target for the
+    /// rounding edge where a draw lands exactly on the total.
+    last_positive: usize,
+}
+
+impl WeightedIndex {
+    /// Builds the distribution from non-negative finite weights (at least
+    /// one of them positive).
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            if !total.is_finite() {
+                return Err(WeightedError::InvalidWeight);
+            }
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        let last_positive = (0..cumulative.len())
+            .rev()
+            .find(|&i| cumulative[i] > if i == 0 { 0.0 } else { cumulative[i - 1] })
+            .expect("a positive total implies a positive weight");
+        Ok(Self {
+            cumulative,
+            last_positive,
+        })
+    }
+
+    fn total(&self) -> f64 {
+        *self
+            .cumulative
+            .last()
+            .expect("construction rejects empty weight lists")
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // u ∈ [0, total); the first index whose cumulative weight exceeds u
+        // is the draw. Zero-weight indices share their predecessor's
+        // cumulative value, so `<= u` skips them even at the boundary.
+        let u = rng.gen::<f64>() * self.total();
+        // Guard the u == total edge (reachable only through floating
+        // rounding): clamp onto the last positive-weight index.
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.last_positive)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +206,54 @@ mod tests {
         }
         assert!((sum / n as f64 - 5.0).abs() < 0.05);
         assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn weighted_index_tracks_weights() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dist = WeightedIndex::new([1.0, 0.0, 3.0]).unwrap();
+        let n = 40_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight index drawn");
+        let p0 = counts[0] as f64 / n as f64;
+        let p2 = counts[2] as f64 / n as f64;
+        assert!((p0 - 0.25).abs() < 0.02, "p0 = {p0}");
+        assert!((p2 - 0.75).abs() < 0.02, "p2 = {p2}");
+    }
+
+    #[test]
+    fn weighted_index_trailing_zero_weight_is_never_drawn() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let dist = WeightedIndex::new([2.0, 0.0]).unwrap();
+        for _ in 0..10_000 {
+            assert_eq!(dist.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_rejects_invalid_weights() {
+        assert_eq!(
+            WeightedIndex::new(std::iter::empty::<f64>()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0, 0.0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+        assert_eq!(
+            WeightedIndex::new([1.0, -0.5]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new([1.0, f64::NAN]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new([f64::INFINITY]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
     }
 }
