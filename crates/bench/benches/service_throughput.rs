@@ -1,0 +1,203 @@
+//! **Service throughput**: requests/sec and latency percentiles of the
+//! serving tier vs. concurrent connection count, thread-per-connection
+//! vs. the epoll reactor — the serving-scale experiment behind the I/O
+//! refactor (the paper's tables measure compression; this measures the
+//! tier that serves it).
+//!
+//! Every connection runs its own client thread issuing sequential `cost`
+//! requests (deterministic: no RNG in the measured path), so offered
+//! concurrency equals the connection count. Besides the console table,
+//! the run writes `BENCH_service.json` at the workspace root so the
+//! repo carries a perf trajectory.
+//!
+//! Environment knobs:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `SERVICE_BENCH_CONNS` | `8,64,256` | connection counts to sweep |
+//! | `SERVICE_BENCH_REQUESTS` | `100` | requests per connection |
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use fc_bench::Table;
+use fc_geom::Dataset;
+use fc_service::{Engine, EngineConfig, IoModel, ServerHandle, ServerOptions, ServiceClient};
+
+fn blobs(n_per: usize) -> Dataset {
+    let mut flat = Vec::new();
+    for b in 0..4 {
+        for i in 0..n_per {
+            flat.push(b as f64 * 100.0 + (i % 25) as f64 * 0.01);
+            flat.push((i / 25) as f64 * 0.01);
+        }
+    }
+    Dataset::from_flat(flat, 2).unwrap()
+}
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig {
+        shards: 2,
+        k: 4,
+        m_scalar: 20,
+        method: fc_core::plan::Method::Uniform,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+struct Row {
+    model: IoModel,
+    connections: usize,
+    requests: usize,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 * p).floor() as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Runs `connections` client threads, each issuing `per_conn` sequential
+/// cost requests, against one server; returns (rps, p50 ms, p99 ms).
+fn measure(addr: std::net::SocketAddr, connections: usize, per_conn: usize) -> (f64, f64, f64) {
+    let barrier = Arc::new(Barrier::new(connections + 1));
+    let centers = fc_geom::Points::from_flat(vec![0.0, 0.0, 100.0, 0.0], 2).unwrap();
+    let (wall, mut latencies) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..connections)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let centers = centers.clone();
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("bench connect");
+                    barrier.wait();
+                    let mut latencies = Vec::with_capacity(per_conn);
+                    for _ in 0..per_conn {
+                        let started = Instant::now();
+                        client
+                            .cost("bench", &centers, None)
+                            .expect("cost request succeeds");
+                        latencies.push(started.elapsed().as_secs_f64() * 1e3);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        barrier.wait();
+        let started = Instant::now();
+        let latencies: Vec<f64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("bench worker"))
+            .collect();
+        (started.elapsed().as_secs_f64(), latencies)
+    });
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total = (connections * per_conn) as f64;
+    (
+        total / wall,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+    )
+}
+
+fn sweep(model: IoModel, conns: &[usize], per_conn: usize, rows: &mut Vec<Row>) {
+    let options = ServerOptions {
+        io_model: model,
+        ..Default::default()
+    };
+    let server = ServerHandle::bind_with("127.0.0.1:0", engine(), options).unwrap();
+    let mut seeder = ServiceClient::connect(server.addr()).unwrap();
+    seeder.ingest("bench", &blobs(250), None).unwrap();
+    // Warm the serving path once so neither model pays first-touch costs
+    // inside the measurement.
+    let centers = fc_geom::Points::from_flat(vec![0.0, 0.0], 2).unwrap();
+    seeder.cost("bench", &centers, None).unwrap();
+    for &connections in conns {
+        let (rps, p50_ms, p99_ms) = measure(server.addr(), connections, per_conn);
+        rows.push(Row {
+            model: server.io_model(),
+            connections,
+            requests: connections * per_conn,
+            rps,
+            p50_ms,
+            p99_ms,
+        });
+    }
+    server.shutdown();
+}
+
+fn env_conns() -> Vec<usize> {
+    std::env::var("SERVICE_BENCH_CONNS")
+        .ok()
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|n| n.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![8, 64, 256])
+}
+
+fn env_requests() -> usize {
+    std::env::var("SERVICE_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(100)
+        .max(1)
+}
+
+fn json_row(row: &Row) -> String {
+    format!(
+        r#"{{"model":"{}","connections":{},"requests":{},"rps":{:.1},"p50_ms":{:.3},"p99_ms":{:.3}}}"#,
+        row.model, row.connections, row.requests, row.rps, row.p50_ms, row.p99_ms
+    )
+}
+
+fn main() {
+    let conns = env_conns();
+    let per_conn = env_requests();
+
+    let mut rows = Vec::new();
+    // Threaded first, reactor second — each sweep boots a fresh server on
+    // an ephemeral port with an identically seeded dataset. Platforms
+    // where the reactor falls back to threaded skip the second sweep
+    // rather than measure the same configuration twice under two labels.
+    sweep(IoModel::Threaded, &conns, per_conn, &mut rows);
+    if IoModel::Reactor.effective() == IoModel::Reactor {
+        sweep(IoModel::Reactor, &conns, per_conn, &mut rows);
+    } else {
+        println!("(no epoll on this platform: reactor sweep skipped)");
+    }
+
+    let mut table = Table::new(
+        "Service throughput: thread-per-connection vs epoll reactor",
+        &["model", "conns", "requests", "req/s", "p50 ms", "p99 ms"],
+    );
+    for row in &rows {
+        table.row(vec![
+            row.model.to_string(),
+            row.connections.to_string(),
+            row.requests.to_string(),
+            format!("{:.0}", row.rps),
+            format!("{:.3}", row.p50_ms),
+            format!("{:.3}", row.p99_ms),
+        ]);
+    }
+    table.print();
+
+    let json = format!(
+        "{{\"experiment\":\"service_throughput\",\"requests_per_connection\":{},\"rows\":[{}]}}\n",
+        per_conn,
+        rows.iter().map(json_row).collect::<Vec<_>>().join(",")
+    );
+    // The workspace root, independent of the bench's working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, &json).expect("write BENCH_service.json");
+    println!("wrote {path}");
+}

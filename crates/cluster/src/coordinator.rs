@@ -34,6 +34,8 @@ use fc_core::{Coreset, FcError};
 use fc_geom::{Dataset, Points};
 use fc_service::engine::fnv64;
 use fc_service::protocol::{self, DatasetStats, ErrorCode, NodeHealth, NodeStats};
+#[cfg(target_os = "linux")]
+use fc_service::ServiceClient;
 use fc_service::{
     Backend, ClientError, ClusterOutcome, EngineConfig, EngineError, Request, Response, RetryPolicy,
 };
@@ -41,7 +43,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, WeightedIndex};
 
-use crate::node::NodeHandle;
+use crate::node::{NodeHandle, NodeTimeouts};
 
 /// Separates the serving-compression RNG stream from the solve stream —
 /// the same constant the single-node engine uses, so adding solve steps
@@ -137,6 +139,12 @@ pub struct CoordinatorConfig {
     pub default_plan: Plan,
     /// Bounded backoff for `overloaded` node responses.
     pub retry: RetryPolicy,
+    /// Socket timeouts for every dial and exchange against the fleet. A
+    /// hung (accepting but never answering) node fails its slot in a
+    /// fan-out with a timeout and is surfaced as
+    /// [`fc_service::protocol::NodeHealth::Degraded`] instead of pinning
+    /// the request forever.
+    pub timeouts: NodeTimeouts,
     /// Base of the deterministic seed sequence for requests that carry no
     /// explicit seed.
     pub base_seed: u64,
@@ -159,6 +167,7 @@ impl CoordinatorConfig {
                 .default_plan()
                 .expect("the default engine configuration is valid"),
             retry: RetryPolicy::default(),
+            timeouts: NodeTimeouts::default(),
             base_seed: 0x0C0D_E5E7,
         }
     }
@@ -200,6 +209,8 @@ pub struct Coordinator {
     policy: RoutingPolicy,
     default_plan: Plan,
     retry: RetryPolicy,
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    timeouts: NodeTimeouts,
     base_seed: u64,
     routes: Mutex<HashMap<String, Arc<Route>>>,
     seed_counter: AtomicU64,
@@ -241,11 +252,12 @@ impl Coordinator {
             nodes: config
                 .nodes
                 .iter()
-                .map(|spec| NodeHandle::new(spec.addr.clone(), spec.capacity))
+                .map(|spec| NodeHandle::new(spec.addr.clone(), spec.capacity, config.timeouts))
                 .collect(),
             policy: config.policy,
             default_plan: config.default_plan,
             retry: config.retry,
+            timeouts: config.timeouts,
             base_seed: config.base_seed,
             routes: Mutex::new(HashMap::new()),
             seed_counter: AtomicU64::new(0),
@@ -313,12 +325,235 @@ impl Coordinator {
         }
     }
 
-    /// Runs one request against every node in parallel.
+    /// Runs one request against every node concurrently.
     fn fan_out(&self, request: &Request) -> Vec<Result<Response, ClientError>> {
         self.fan_out_with(|_| request.clone())
     }
 
-    /// Runs a per-node request against every node in parallel.
+    /// Runs a per-node request against every node concurrently.
+    ///
+    /// On Linux the exchanges are multiplexed over one epoll poller on the
+    /// *calling* thread ([`fc_service::reactor::drive_exchanges`]): a
+    /// coordinator query spawns zero threads however wide the fleet is.
+    /// Pooled connections that turn out stale are redialed once; a node
+    /// answering `overloaded` is retried through the same bounded backoff
+    /// schedule the blocking client runs, node-parallel; a node that
+    /// breaches its read/write deadline fails its slot with a timeout
+    /// (surfaced as degraded health) without disturbing the other nodes.
+    #[cfg(target_os = "linux")]
+    fn fan_out_with(
+        &self,
+        request_for: impl Fn(usize) -> Request + Sync,
+    ) -> Vec<Result<Response, ClientError>> {
+        use fc_service::reactor::{drive_exchanges, Exchange};
+
+        /// Zero means "no timeout" in [`NodeTimeouts`]; the exchange
+        /// driver wants a finite deadline, so map zero to a year.
+        fn bound(d: std::time::Duration) -> std::time::Duration {
+            if d.is_zero() {
+                std::time::Duration::from_secs(365 * 86_400)
+            } else {
+                d
+            }
+        }
+
+        struct Live {
+            node: usize,
+            client: Option<ServiceClient>,
+            from_pool: bool,
+            redialed: bool,
+            attempt: u32,
+            line: Vec<u8>,
+        }
+
+        let n = self.nodes.len();
+        let mut outcomes: Vec<Option<Result<Response, ClientError>>> =
+            std::iter::repeat_with(|| None).take(n).collect();
+        let mut live: Vec<Live> = Vec::new();
+        let mut cold: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let mut line = request_for(idx).to_json().into_bytes();
+            line.push(b'\n');
+            match node.pooled() {
+                Some(client) => live.push(Live {
+                    node: idx,
+                    client: Some(client),
+                    from_pool: true,
+                    redialed: false,
+                    attempt: 1,
+                    line,
+                }),
+                None => cold.push((idx, line)),
+            }
+        }
+        // Cold nodes (empty pools) dial concurrently, so an unreachable
+        // fleet costs one connect timeout, not one per node in series.
+        // Steady-state queries take the pooled path above and spawn
+        // nothing.
+        let cold_nodes: Vec<usize> = cold.iter().map(|(idx, _)| *idx).collect();
+        for ((idx, line), dialed) in cold.into_iter().zip(self.dial_many(&cold_nodes)) {
+            match dialed {
+                Ok(client) => live.push(Live {
+                    node: idx,
+                    client: Some(client),
+                    from_pool: false,
+                    redialed: false,
+                    attempt: 1,
+                    line,
+                }),
+                // The dial already marked the node's health.
+                Err(e) => outcomes[idx] = Some(Err(ClientError::Io(e))),
+            }
+        }
+
+        let mut backoff_round = 0u32;
+        while !live.is_empty() {
+            let exchanges: Vec<Exchange> = live
+                .iter_mut()
+                .map(|l| {
+                    let (stream, codec) = l
+                        .client
+                        .take()
+                        .expect("every live slot holds a connection")
+                        .into_parts();
+                    Exchange {
+                        stream,
+                        codec,
+                        request: l.line.clone(),
+                    }
+                })
+                .collect();
+            let driven = drive_exchanges(
+                exchanges,
+                bound(self.timeouts.write),
+                bound(self.timeouts.read),
+            );
+            let results = match driven {
+                Ok(results) => results,
+                Err(e) => {
+                    // The poller itself failed (fd exhaustion): nothing
+                    // ran; fail every remaining node with that error.
+                    for l in live.drain(..) {
+                        let outcome = Err(ClientError::Io(std::io::Error::new(
+                            e.kind(),
+                            e.to_string(),
+                        )));
+                        self.nodes[l.node].record(&outcome);
+                        outcomes[l.node] = Some(outcome);
+                    }
+                    break;
+                }
+            };
+
+            let mut next: Vec<Live> = Vec::new();
+            let mut redial: Vec<Live> = Vec::new();
+            let mut overload_retry = false;
+            for (mut l, result) in live.into_iter().zip(results) {
+                let mut client = ServiceClient::from_parts(result.stream, result.codec);
+                // from_parts starts a fresh client; restore the node's
+                // whole-response budget before this connection is pooled
+                // for later blocking use.
+                client.set_response_timeout(self.timeouts.read_opt());
+                match result.outcome {
+                    Ok(line) => {
+                        let outcome = match Response::from_json(line.trim_end()) {
+                            Ok(Response::Error { message, code }) => Err(match code {
+                                Some(ErrorCode::Overloaded) => ClientError::Overloaded(message),
+                                code => ClientError::Server { message, code },
+                            }),
+                            Ok(response) => Ok(response),
+                            Err(e) => Err(ClientError::Protocol(e)),
+                        };
+                        match outcome {
+                            Err(ClientError::Overloaded(_))
+                                if l.attempt < self.retry.attempts.max(1) =>
+                            {
+                                // The node answered (socket healthy): hold
+                                // the connection and retry after backoff.
+                                l.client = Some(client);
+                                l.attempt += 1;
+                                overload_retry = true;
+                                next.push(l);
+                            }
+                            outcome => {
+                                self.nodes[l.node].record(&outcome);
+                                if matches!(&outcome, Err(ClientError::Protocol(_))) {
+                                    drop(client); // mid-frame: unusable
+                                } else {
+                                    self.nodes[l.node].checkin(client);
+                                }
+                                outcomes[l.node] = Some(outcome);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        drop(client);
+                        if l.from_pool && !l.redialed && !crate::node::is_timeout(&e) {
+                            // Stale pooled socket: redial once and retry
+                            // (batched below so redials run concurrently).
+                            l.from_pool = false;
+                            l.redialed = true;
+                            redial.push(l);
+                        } else {
+                            let outcome = Err(ClientError::Io(e));
+                            self.nodes[l.node].record(&outcome);
+                            outcomes[l.node] = Some(outcome);
+                        }
+                    }
+                }
+            }
+            if !redial.is_empty() {
+                let which: Vec<usize> = redial.iter().map(|l| l.node).collect();
+                for (mut l, dialed) in redial.into_iter().zip(self.dial_many(&which)) {
+                    match dialed {
+                        Ok(fresh) => {
+                            l.client = Some(fresh);
+                            next.push(l);
+                        }
+                        // The redial already marked the node down.
+                        Err(dial_err) => {
+                            outcomes[l.node] = Some(Err(ClientError::Io(dial_err)));
+                        }
+                    }
+                }
+            }
+            live = next;
+            if overload_retry && !live.is_empty() {
+                backoff_round += 1;
+                std::thread::sleep(self.retry.backoff(backoff_round));
+            }
+        }
+
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every node settles with an outcome"))
+            .collect()
+    }
+
+    /// Dials the given nodes, concurrently when there is more than one —
+    /// connect timeouts against an unreachable fleet overlap instead of
+    /// stacking. Only the cold-dial and stale-redial paths come here;
+    /// steady-state fan-outs run on pooled connections and spawn nothing.
+    #[cfg(target_os = "linux")]
+    fn dial_many(&self, which: &[usize]) -> Vec<Result<ServiceClient, std::io::Error>> {
+        if which.len() <= 1 {
+            return which.iter().map(|&idx| self.nodes[idx].dial()).collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = which
+                .iter()
+                .map(|&idx| scope.spawn(move || self.nodes[idx].dial()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("dial threads do not panic"))
+                .collect()
+        })
+    }
+
+    /// Runs a per-node request against every node in parallel — scoped
+    /// threads on platforms without the epoll reactor.
+    #[cfg(not(target_os = "linux"))]
     fn fan_out_with(
         &self,
         request_for: impl Fn(usize) -> Request + Sync,

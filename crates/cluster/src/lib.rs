@@ -9,11 +9,15 @@
 //!
 //! - [`Coordinator`] speaks the protocol *downward* to N `fc-server`
 //!   nodes (pooled, reconnecting [`node::NodeHandle`]s with bounded
-//!   `overloaded` backoff) and implements [`fc_service::Backend`], so
+//!   `overloaded` backoff and [`NodeTimeouts`] socket deadlines) and
+//!   implements [`fc_service::Backend`], so
 //!   [`fc_service::ServerHandle::bind_backend`] exposes the identical
 //!   protocol *upward* — a coordinator is wire-indistinguishable from a
 //!   single big server, and the unchanged
-//!   [`fc_service::ServiceClient`] drives either.
+//!   [`fc_service::ServiceClient`] drives either. On Linux, query
+//!   fan-outs multiplex every node exchange over one epoll poller on the
+//!   calling thread ([`fc_service::reactor`]) — zero threads per request,
+//!   however wide the fleet.
 //! - Ingest routes blocks by [`RoutingPolicy`] (round-robin,
 //!   hash-by-dataset, or capacity-weighted), forwarding each dataset's
 //!   effective [`fc_core::plan::Plan`] with every routed batch.
@@ -46,4 +50,4 @@ pub mod coordinator;
 pub mod node;
 
 pub use coordinator::{Coordinator, CoordinatorConfig, NodeSpec, RoutingPolicy};
-pub use node::NodeHandle;
+pub use node::{NodeHandle, NodeTimeouts};

@@ -1,14 +1,22 @@
 //! One remote `fc-server` node, as the coordinator sees it: a pool of
-//! reusable [`ServiceClient`] connections, lazy (re)dialing, and a health
-//! record driven by what actually happens on the wire.
+//! reusable connections, lazy (re)dialing under socket timeouts, and a
+//! health record driven by what actually happens on the wire.
 //!
 //! Connection lifecycle: a request checks an idle connection out of the
-//! pool (dialing a fresh one when the pool is empty), runs through the
-//! client's bounded `overloaded` backoff, and returns the connection to
-//! the pool on any outcome that leaves the socket usable. A socket-level
-//! failure drops the connection; if it came from the pool it may simply be
-//! stale (the node restarted since), so the request redials once before
-//! giving up — that redial is the coordinator's whole reconnect story.
+//! pool (dialing a fresh one when the pool is empty), runs its exchange,
+//! and returns the connection to the pool on any outcome that leaves the
+//! socket usable. A socket-level failure drops the connection; if it came
+//! from the pool it may simply be stale (the node restarted since), so
+//! the request redials once before giving up — that redial is the
+//! coordinator's whole reconnect story.
+//!
+//! Every dial and every byte moved is bounded by the fleet's
+//! [`NodeTimeouts`]: a *hung* (not dead) node — accepting but never
+//! answering — fails the exchange with a timeout instead of pinning a
+//! coordinator fan-out slot forever, and is surfaced as
+//! [`NodeHealth::Degraded`] (it is answering the transport, just not the
+//! protocol; a node that refuses the transport entirely is
+//! [`NodeHealth::Down`]).
 //!
 //! Retry semantics are **at-least-once**: a request resent after a
 //! socket failure may have already been applied if the node processed it
@@ -16,15 +24,70 @@
 //! ingest can in that narrow window double-count a batch on one node
 //! (see the ROADMAP's idempotent-ingest follow-on).
 
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use fc_service::protocol::NodeHealth;
 use fc_service::{ClientError, Request, Response, RetryPolicy, ServiceClient};
 
 /// Idle connections kept per node; extras beyond this are dropped on
 /// check-in rather than hoarded (fan-outs briefly need one per concurrent
-/// query thread, steady state needs far fewer).
+/// query, steady state needs far fewer).
 const MAX_POOLED: usize = 8;
+
+/// Socket timeouts for everything a coordinator does to a node. A zero
+/// duration disables that timeout (std rejects zero-duration socket
+/// timeouts, so zero maps to "unbounded").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTimeouts {
+    /// TCP connect budget per dial attempt.
+    pub connect: Duration,
+    /// Budget for a node to produce its complete response line once the
+    /// request is on the wire.
+    pub read: Duration,
+    /// Budget to flush a request onto the wire.
+    pub write: Duration,
+}
+
+impl Default for NodeTimeouts {
+    /// 2 s to connect, 30 s to answer, 10 s to accept a request — generous
+    /// enough for a serving compression over a loaded node, small enough
+    /// that a hung node degrades a query instead of wedging it.
+    fn default() -> Self {
+        Self {
+            connect: Duration::from_secs(2),
+            read: Duration::from_secs(30),
+            write: Duration::from_secs(10),
+        }
+    }
+}
+
+impl NodeTimeouts {
+    fn opt(d: Duration) -> Option<Duration> {
+        (!d.is_zero()).then_some(d)
+    }
+
+    /// The read timeout as std wants it (`None` when disabled).
+    pub fn read_opt(&self) -> Option<Duration> {
+        Self::opt(self.read)
+    }
+
+    /// The write timeout as std wants it (`None` when disabled).
+    pub fn write_opt(&self) -> Option<Duration> {
+        Self::opt(self.write)
+    }
+}
+
+/// Whether an I/O failure is a deadline expiry (the node is slow or hung)
+/// rather than a transport failure (the node is gone). Blocking sockets
+/// report `SO_RCVTIMEO` expiry as `WouldBlock` on Linux.
+pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
 
 #[derive(Debug, Clone)]
 struct NodeState {
@@ -32,23 +95,26 @@ struct NodeState {
     last_error: Option<String>,
 }
 
-/// A remote node: address, routing capacity, connection pool, and health.
+/// A remote node: address, routing capacity, connection pool, timeouts,
+/// and health.
 pub struct NodeHandle {
     addr: String,
     capacity: f64,
+    timeouts: NodeTimeouts,
     pool: Mutex<Vec<ServiceClient>>,
     state: Mutex<NodeState>,
 }
 
 impl NodeHandle {
     /// A handle for the node at `addr` with the given routing capacity
-    /// (weights the `capacity` routing policy; any positive scale works).
-    /// Health starts [`NodeHealth::Alive`] optimistically — the first
-    /// request corrects it.
-    pub fn new(addr: impl Into<String>, capacity: f64) -> Self {
+    /// (weights the `capacity` routing policy; any positive scale works)
+    /// and socket timeouts. Health starts [`NodeHealth::Alive`]
+    /// optimistically — the first request corrects it.
+    pub fn new(addr: impl Into<String>, capacity: f64, timeouts: NodeTimeouts) -> Self {
         Self {
             addr: addr.into(),
             capacity,
+            timeouts,
             pool: Mutex::new(Vec::new()),
             state: Mutex::new(NodeState {
                 health: NodeHealth::Alive,
@@ -65,6 +131,11 @@ impl NodeHandle {
     /// The node's routing capacity weight.
     pub fn capacity(&self) -> f64 {
         self.capacity
+    }
+
+    /// The socket timeouts this node is driven under.
+    pub fn timeouts(&self) -> NodeTimeouts {
+        self.timeouts
     }
 
     /// The node's current health and most recent error.
@@ -85,58 +156,81 @@ impl NodeHandle {
         state.last_error = Some(error);
     }
 
-    /// Sends one request to this node: pooled connection or fresh dial,
-    /// bounded `overloaded` backoff, one redial when a pooled connection
-    /// turns out stale. Updates the health record from the outcome.
-    pub fn request(&self, request: &Request, retry: &RetryPolicy) -> Result<Response, ClientError> {
-        let pooled = self.pool.lock().expect("connection pool lock").pop();
-        match pooled {
-            Some(mut client) => match client.request_with_backoff(request, retry) {
-                // The pooled socket may be stale (node restarted since it
-                // was pooled): drop it and redial once.
-                Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {
-                    drop(client);
-                    self.dial_and_request(request, retry)
-                }
-                outcome => self.settle(client, outcome),
-            },
-            None => self.dial_and_request(request, retry),
+    /// Checks an idle connection out of the pool without dialing.
+    pub(crate) fn pooled(&self) -> Option<ServiceClient> {
+        self.pool.lock().expect("connection pool lock").pop()
+    }
+
+    /// Checks a connection out of the pool, dialing when empty. The bool
+    /// is `true` for a pooled (possibly stale) connection. A failed dial
+    /// marks the node down.
+    pub(crate) fn checkout(&self) -> Result<(ServiceClient, bool), std::io::Error> {
+        if let Some(client) = self.pooled() {
+            return Ok((client, true));
+        }
+        self.dial().map(|c| (c, false))
+    }
+
+    /// Returns a healthy connection to the pool.
+    pub(crate) fn checkin(&self, client: ServiceClient) {
+        let mut pool = self.pool.lock().expect("connection pool lock");
+        if pool.len() < MAX_POOLED {
+            pool.push(client);
         }
     }
 
-    fn dial_and_request(
-        &self,
-        request: &Request,
-        retry: &RetryPolicy,
-    ) -> Result<Response, ClientError> {
-        let mut client = match ServiceClient::connect(self.addr.as_str()) {
-            Ok(client) => client,
+    /// Dials a fresh connection under the connect timeout and arms the
+    /// socket's read/write timeouts. A failure marks the node down.
+    pub(crate) fn dial(&self) -> Result<ServiceClient, std::io::Error> {
+        let mut last: Option<std::io::Error> = None;
+        let addrs = match self.addr.as_str().to_socket_addrs() {
+            Ok(addrs) => addrs,
             Err(e) => {
-                self.mark(NodeHealth::Down, format!("connect {}: {e}", self.addr));
-                return Err(ClientError::Io(e));
+                self.mark(NodeHealth::Down, format!("resolve {}: {e}", self.addr));
+                return Err(e);
             }
         };
-        match client.request_with_backoff(request, retry) {
-            outcome @ (Err(ClientError::Io(_)) | Err(ClientError::Protocol(_))) => {
-                let failure = match &outcome {
-                    Err(e) => e.to_string(),
-                    Ok(_) => unreachable!("the match arm only binds errors"),
-                };
-                self.mark(NodeHealth::Down, failure);
-                outcome
+        for addr in addrs {
+            let attempt = match NodeTimeouts::opt(self.timeouts.connect) {
+                Some(limit) => TcpStream::connect_timeout(&addr, limit),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_read_timeout(self.timeouts.read_opt()).ok();
+                    stream.set_write_timeout(self.timeouts.write_opt()).ok();
+                    let mut client = ServiceClient::from_stream(stream);
+                    // The socket timeout alone is per-read-syscall; the
+                    // client-level budget makes `read` a *whole-response*
+                    // deadline, so a node trickling bytes cannot pin a
+                    // blocking request (ingest routing) indefinitely.
+                    client.set_response_timeout(self.timeouts.read_opt());
+                    return Ok(client);
+                }
+                Err(e) => last = Some(e),
             }
-            outcome => self.settle(client, outcome),
         }
+        let e = last.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        });
+        let health = if is_timeout(&e) {
+            NodeHealth::Degraded
+        } else {
+            NodeHealth::Down
+        };
+        self.mark(health, format!("connect {}: {e}", self.addr));
+        Err(e)
     }
 
-    /// Records the outcome of a request whose connection stayed healthy and
-    /// returns the connection to the pool.
-    fn settle(
-        &self,
-        client: ServiceClient,
-        outcome: Result<Response, ClientError>,
-    ) -> Result<Response, ClientError> {
-        match &outcome {
+    /// Records the health consequences of one request outcome. Timeouts
+    /// mean the node is *answering the transport but not the protocol* —
+    /// degraded, like persistent overload; other socket or framing
+    /// failures mean it is down.
+    pub(crate) fn record(&self, outcome: &Result<Response, ClientError>) {
+        match outcome {
             // Server-side rejections (unknown dataset, plan conflicts, …)
             // still prove the node is answering.
             Ok(_) | Err(ClientError::Server { .. }) | Err(ClientError::UnexpectedResponse(_)) => {
@@ -145,13 +239,57 @@ impl NodeHandle {
             Err(ClientError::Overloaded(msg)) => {
                 self.mark(NodeHealth::Degraded, format!("overloaded: {msg}"))
             }
-            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {
-                unreachable!("socket failures are settled by the callers")
+            Err(ClientError::Io(e)) if is_timeout(e) => {
+                self.mark(NodeHealth::Degraded, format!("timed out: {e}"))
+            }
+            Err(e @ (ClientError::Io(_) | ClientError::Protocol(_))) => {
+                self.mark(NodeHealth::Down, e.to_string())
             }
         }
-        let mut pool = self.pool.lock().expect("connection pool lock");
-        if pool.len() < MAX_POOLED {
-            pool.push(client);
+    }
+
+    /// Sends one request to this node: pooled connection or fresh dial,
+    /// bounded `overloaded` backoff, one redial when a pooled connection
+    /// turns out stale. Updates the health record from the outcome.
+    pub fn request(&self, request: &Request, retry: &RetryPolicy) -> Result<Response, ClientError> {
+        let (client, from_pool) = match self.checkout() {
+            Ok(checked_out) => checked_out,
+            Err(e) => return Err(ClientError::Io(e)),
+        };
+        let mut client = client;
+        let outcome = client.request_with_backoff(request, retry);
+        // The pooled socket may be stale (node restarted since it was
+        // pooled): drop it and redial once. Timeouts are not staleness —
+        // a fresh socket would hang the same way.
+        let stale = from_pool
+            && match &outcome {
+                Err(ClientError::Io(e)) => !is_timeout(e),
+                Err(ClientError::Protocol(_)) => true,
+                _ => false,
+            };
+        if stale {
+            drop(client);
+            let mut fresh = match self.dial() {
+                Ok(client) => client,
+                Err(e) => return Err(ClientError::Io(e)),
+            };
+            let outcome = fresh.request_with_backoff(request, retry);
+            return self.settle(fresh, outcome);
+        }
+        self.settle(client, outcome)
+    }
+
+    /// Records the outcome and, when the socket stayed usable, returns
+    /// the connection to the pool.
+    fn settle(
+        &self,
+        client: ServiceClient,
+        outcome: Result<Response, ClientError>,
+    ) -> Result<Response, ClientError> {
+        self.record(&outcome);
+        match &outcome {
+            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => drop(client),
+            _ => self.checkin(client),
         }
         outcome
     }
@@ -163,6 +301,7 @@ impl std::fmt::Debug for NodeHandle {
         f.debug_struct("NodeHandle")
             .field("addr", &self.addr)
             .field("capacity", &self.capacity)
+            .field("timeouts", &self.timeouts)
             .field("health", &health)
             .field("last_error", &last_error)
             .finish_non_exhaustive()

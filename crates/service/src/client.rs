@@ -1,8 +1,10 @@
 //! A blocking JSON-lines client for the service.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+use crate::framing::LineCodec;
 
 use fc_clustering::{CostKind, Solver};
 use fc_core::plan::{Method, Plan};
@@ -142,38 +144,72 @@ pub struct ClusterResult {
     pub seed: u64,
 }
 
-/// A blocking connection to a coreset server.
+/// A blocking connection to a coreset server. Framed by the same
+/// incremental [`LineCodec`] the server and the cluster coordinator use.
 pub struct ServiceClient {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    stream: TcpStream,
+    codec: LineCodec,
+    /// Whole-response deadline (see [`Self::set_response_timeout`]).
+    response_timeout: Option<Duration>,
 }
 
 impl ServiceClient {
     /// Connects to a server.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Ok(Self::from_stream(stream))
+    }
+
+    /// Wraps an already-connected socket (e.g. one dialed with
+    /// `TcpStream::connect_timeout`). The stream should be in blocking
+    /// mode; socket read/write timeouts set by the caller apply to every
+    /// subsequent request.
+    pub fn from_stream(stream: TcpStream) -> Self {
         stream.set_nodelay(true).ok();
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self {
-            reader,
-            writer: BufWriter::new(stream),
-        })
+        // The server caps *request* lines; responses are whatever the
+        // server legitimately serves (a large-budget coreset can exceed
+        // any fixed cap), so the client reads unbounded — exactly the
+        // trust model the old `read_line` client had.
+        Self::from_parts(stream, LineCodec::new(usize::MAX))
+    }
+
+    /// Reassembles a client from [`Self::into_parts`] output. The stream
+    /// is returned to blocking mode here — once, not per request — since
+    /// multiplexed use (the coordinator's fan-out) leaves it non-blocking.
+    pub fn from_parts(stream: TcpStream, codec: LineCodec) -> Self {
+        stream.set_nonblocking(false).ok();
+        Self {
+            stream,
+            codec,
+            response_timeout: None,
+        }
+    }
+
+    /// Bounds the *whole* response read of every subsequent request: the
+    /// budget spans all reads until the response line completes, so a
+    /// peer trickling bytes cannot stretch a socket-level read timeout
+    /// (which is per-`read` syscall) into an unbounded wait. `None`
+    /// (default) leaves reads unbounded.
+    pub fn set_response_timeout(&mut self, timeout: Option<Duration>) {
+        self.response_timeout = timeout;
+    }
+
+    /// Disassembles the client into its socket and framing state, for
+    /// callers that multiplex the connection themselves (the `fc-cluster`
+    /// coordinator's reactor-driven fan-out).
+    pub fn into_parts(self) -> (TcpStream, LineCodec) {
+        (self.stream, self.codec)
     }
 
     /// Sends one request and reads one response — the protocol is strictly
-    /// request/response per line.
+    /// request/response per line. A socket read/write timeout configured on
+    /// the underlying stream surfaces as [`ClientError::Io`] with kind
+    /// `TimedOut` or `WouldBlock`.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.writer.write_all(request.to_json().as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
-        }
+        let mut line = request.to_json().into_bytes();
+        line.push(b'\n');
+        self.stream.write_all(&line)?;
+        let line = self.read_frame()?;
         let response = Response::from_json(line.trim_end())?;
         if let Response::Error { message, code } = response {
             return Err(match code {
@@ -182,6 +218,62 @@ impl ServiceClient {
             });
         }
         Ok(response)
+    }
+
+    /// Blocks until the codec produces one complete line, under the
+    /// whole-response deadline when one is configured.
+    fn read_frame(&mut self) -> Result<String, ClientError> {
+        let deadline = self
+            .response_timeout
+            .map(|budget| std::time::Instant::now() + budget);
+        let Some(deadline) = deadline else {
+            return self.read_frame_until(None);
+        };
+        // The deadline loop arms shrinking SO_RCVTIMEO values; those are
+        // per-request state, so the caller's own socket timeout is
+        // restored afterwards on every path (or a later request with the
+        // budget cleared would inherit a stale, near-zero read timeout).
+        let base = self.stream.read_timeout().ok().flatten();
+        let result = self.read_frame_until(Some(deadline));
+        let _ = self.stream.set_read_timeout(base);
+        result
+    }
+
+    fn read_frame_until(
+        &mut self,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<String, ClientError> {
+        let mut scratch = [0u8; 64 * 1024];
+        loop {
+            if let Some(line) = self.codec.next_frame().map_err(|e| {
+                ClientError::Protocol(crate::protocol::ProtocolError {
+                    message: e.to_string(),
+                })
+            })? {
+                return Ok(line);
+            }
+            if let Some(deadline) = deadline {
+                // Shrink the per-read budget to what remains of the
+                // whole-response budget, so trickled bytes cannot extend
+                // the wait past the deadline.
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "response deadline exceeded",
+                    )));
+                }
+                self.stream.set_read_timeout(Some(remaining))?;
+            }
+            let n = self.stream.read(&mut scratch)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.codec.push(&scratch[..n]);
+        }
     }
 
     /// [`Self::request`], retrying `overloaded` responses through the

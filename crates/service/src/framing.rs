@@ -1,0 +1,296 @@
+//! Incremental JSON-lines framing: bytes in, complete frames out.
+//!
+//! The protocol is one UTF-8 request or response per `\n`-terminated line.
+//! [`LineCodec`] turns an arbitrary byte stream — frames split or
+//! coalesced at any boundary the transport happened to pick — back into
+//! whole lines, without ever blocking: push whatever bytes arrived, then
+//! drain the complete frames. The same codec frames every side of the
+//! protocol: the reactor server's non-blocking reads, the blocking
+//! [`crate::ServiceClient`], and the `fc-cluster` coordinator's
+//! multiplexed node connections.
+//!
+//! Two failure shapes exist, and they differ in what can happen next:
+//!
+//! - an invalid-UTF-8 line is *recoverable* — the frame boundary is known,
+//!   so the line is discarded, an error can be answered, and the stream
+//!   resynchronizes at the next newline;
+//! - an oversized line (no newline within [`LineCodec::max_frame`] bytes)
+//!   is *fatal* — the boundary of the runaway frame is unknowable, so the
+//!   connection must be answered once and closed.
+
+/// Largest *request* frame the server buffers. A peer that never sends a
+/// newline would otherwise grow the buffer until the process OOMs; 64 MiB
+/// comfortably fits the largest sane ingest batch. (The client direction
+/// reads unbounded — responses are whatever the server legitimately
+/// serves.)
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// A framing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line is not valid UTF-8. Recoverable: the offending frame was
+    /// consumed and the stream resynchronizes at the next newline.
+    InvalidUtf8,
+    /// No newline arrived within the frame limit. Fatal: the rest of the
+    /// frame cannot be resynchronized, so the connection must close.
+    Oversized {
+        /// The configured frame limit in bytes.
+        limit: usize,
+    },
+}
+
+impl FrameError {
+    /// Whether the connection can keep framing after this error.
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, FrameError::Oversized { .. })
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::InvalidUtf8 => write!(f, "line is not valid UTF-8"),
+            FrameError::Oversized { limit } => {
+                write!(f, "line exceeds {limit} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// An incremental line framer over a byte buffer.
+///
+/// ```
+/// use fc_service::framing::LineCodec;
+///
+/// let mut codec = LineCodec::new(1024);
+/// codec.push(b"{\"op\":\"stats\"}\n{\"op\":");
+/// assert_eq!(codec.next_frame(), Ok(Some("{\"op\":\"stats\"}".to_owned())));
+/// assert_eq!(codec.next_frame(), Ok(None)); // second frame still partial
+/// codec.push(b"\"stats\"}\n");
+/// assert_eq!(codec.next_frame(), Ok(Some("{\"op\":\"stats\"}".to_owned())));
+/// ```
+#[derive(Debug)]
+pub struct LineCodec {
+    buf: Vec<u8>,
+    /// Bytes before this offset are consumed (compacted away lazily).
+    start: usize,
+    /// How far past `start` the newline scan has looked, so repeated
+    /// `next_frame` calls on a partial frame never rescan bytes.
+    scanned: usize,
+    max_frame: usize,
+    /// Set once an oversized frame was observed; the codec refuses to
+    /// resynchronize afterwards (the caller must close the connection).
+    poisoned: bool,
+}
+
+impl LineCodec {
+    /// A codec that rejects frames longer than `max_frame` bytes
+    /// (newline excluded).
+    pub fn new(max_frame: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
+            scanned: 0,
+            max_frame,
+            poisoned: false,
+        }
+    }
+
+    /// The configured frame limit in bytes.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Appends bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: consumed frames must not count against
+        // the frame limit, and the buffer must not grow without bound
+        // across many pipelined frames.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet framed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete line, if one is buffered. Trailing `\r`
+    /// is stripped (the protocol is `\n`-terminated; tolerate CRLF peers).
+    ///
+    /// `Ok(None)` means "no complete frame yet — read more bytes".
+    pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::Oversized {
+                limit: self.max_frame,
+            });
+        }
+        let unscanned = &self.buf[self.start + self.scanned..];
+        match unscanned.iter().position(|&b| b == b'\n') {
+            Some(offset) => {
+                let end = self.start + self.scanned + offset;
+                // The limit binds whether or not the newline has arrived:
+                // a complete frame past it is rejected, not returned (one
+                // big push must not bypass what chunked pushes enforce).
+                if end - self.start > self.max_frame {
+                    self.poisoned = true;
+                    return Err(FrameError::Oversized {
+                        limit: self.max_frame,
+                    });
+                }
+                let mut line_end = end;
+                if line_end > self.start && self.buf[line_end - 1] == b'\r' {
+                    line_end -= 1;
+                }
+                let frame = std::str::from_utf8(&self.buf[self.start..line_end])
+                    .map(str::to_owned)
+                    .map_err(|_| FrameError::InvalidUtf8);
+                // Consume the frame (newline included) on both outcomes:
+                // an invalid-UTF-8 line has a known boundary, so the
+                // stream resynchronizes at the byte after its newline.
+                self.start = end + 1;
+                self.scanned = 0;
+                frame.map(Some)
+            }
+            None => {
+                self.scanned = self.buf.len() - self.start;
+                if self.scanned > self.max_frame {
+                    self.poisoned = true;
+                    return Err(FrameError::Oversized {
+                        limit: self.max_frame,
+                    });
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Consumes whatever is still buffered as one final frame — EOF acts
+    /// as an implicit terminator, so a peer that writes its last request
+    /// and closes without a trailing newline still gets an answer (the
+    /// lenient behaviour `BufRead::read_until` gave the old server).
+    /// `Ok(None)` when nothing is buffered; the same limit and UTF-8
+    /// rules as [`Self::next_frame`] apply.
+    pub fn finish(&mut self) -> Result<Option<String>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::Oversized {
+                limit: self.max_frame,
+            });
+        }
+        if self.buffered() == 0 {
+            return Ok(None);
+        }
+        let end = self.buf.len();
+        if end - self.start > self.max_frame {
+            self.poisoned = true;
+            return Err(FrameError::Oversized {
+                limit: self.max_frame,
+            });
+        }
+        let mut line_end = end;
+        if line_end > self.start && self.buf[line_end - 1] == b'\r' {
+            line_end -= 1;
+        }
+        let frame = std::str::from_utf8(&self.buf[self.start..line_end])
+            .map(str::to_owned)
+            .map_err(|_| FrameError::InvalidUtf8);
+        self.start = end;
+        self.scanned = 0;
+        frame.map(Some)
+    }
+
+    /// Whether an oversized frame has poisoned this codec (the connection
+    /// must close; no further frames will ever be produced).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_split_and_coalesced_arbitrarily() {
+        let mut codec = LineCodec::new(64);
+        codec.push(b"ab");
+        assert_eq!(codec.next_frame(), Ok(None));
+        codec.push(b"c\nde\nf");
+        assert_eq!(codec.next_frame(), Ok(Some("abc".into())));
+        assert_eq!(codec.next_frame(), Ok(Some("de".into())));
+        assert_eq!(codec.next_frame(), Ok(None));
+        codec.push(b"\n");
+        assert_eq!(codec.next_frame(), Ok(Some("f".into())));
+        assert_eq!(codec.next_frame(), Ok(None));
+        assert_eq!(codec.buffered(), 0);
+    }
+
+    #[test]
+    fn crlf_and_empty_lines() {
+        let mut codec = LineCodec::new(64);
+        codec.push(b"one\r\n\ntwo\n");
+        assert_eq!(codec.next_frame(), Ok(Some("one".into())));
+        assert_eq!(codec.next_frame(), Ok(Some("".into())));
+        assert_eq!(codec.next_frame(), Ok(Some("two".into())));
+    }
+
+    #[test]
+    fn invalid_utf8_is_recoverable() {
+        let mut codec = LineCodec::new(64);
+        codec.push(b"\xff\xfe\nok\n");
+        assert_eq!(codec.next_frame(), Err(FrameError::InvalidUtf8));
+        assert_eq!(codec.next_frame(), Ok(Some("ok".into())));
+    }
+
+    #[test]
+    fn oversized_frame_poisons_the_codec() {
+        let mut codec = LineCodec::new(8);
+        codec.push(b"0123456789");
+        let err = codec.next_frame().unwrap_err();
+        assert!(err.is_fatal(), "{err:?}");
+        assert!(codec.is_poisoned());
+        // Even a later newline cannot resynchronize.
+        codec.push(b"\nok\n");
+        assert!(codec.next_frame().is_err());
+    }
+
+    #[test]
+    fn finish_yields_the_unterminated_tail() {
+        let mut codec = LineCodec::new(64);
+        codec.push(b"a\nfinal without newline");
+        assert_eq!(codec.next_frame(), Ok(Some("a".into())));
+        assert_eq!(codec.next_frame(), Ok(None));
+        assert_eq!(codec.finish(), Ok(Some("final without newline".into())));
+        assert_eq!(codec.finish(), Ok(None));
+        // An empty tail is no frame.
+        let mut empty = LineCodec::new(64);
+        empty.push(b"done\n");
+        assert_eq!(empty.next_frame(), Ok(Some("done".into())));
+        assert_eq!(empty.finish(), Ok(None));
+    }
+
+    #[test]
+    fn complete_over_limit_frames_are_rejected_too() {
+        // One big push that already contains the newline must not slip a
+        // frame past the limit.
+        let mut codec = LineCodec::new(8);
+        codec.push(b"0123456789ABCDEF\nok\n");
+        assert_eq!(codec.next_frame(), Err(FrameError::Oversized { limit: 8 }));
+        assert!(codec.is_poisoned());
+    }
+
+    #[test]
+    fn consumed_frames_do_not_count_against_the_limit() {
+        let mut codec = LineCodec::new(8);
+        for _ in 0..100 {
+            codec.push(b"12345\n");
+            assert_eq!(codec.next_frame(), Ok(Some("12345".into())));
+        }
+        assert!(!codec.is_poisoned());
+    }
+}

@@ -14,10 +14,17 @@
 //! - [`backend`]: the [`Backend`] trait the server dispatches through —
 //!   [`Engine`] is the reference implementation, and the `fc-cluster`
 //!   coordinator serves a whole node fleet behind the same trait.
-//! - [`server`] / [`client`]: a `std::net` TCP server (thread per
-//!   connection, graceful shutdown) and the blocking [`ServiceClient`],
-//!   with a bounded [`RetryPolicy`] for `overloaded` backpressure.
-//!   A full shard queue answers `overloaded` instead of blocking.
+//! - [`framing`]: the incremental [`framing::LineCodec`] — bytes in,
+//!   complete JSON-lines frames out — shared by server, client, and the
+//!   `fc-cluster` coordinator.
+//! - [`reactor`] (Linux): a hand-rolled epoll readiness layer — poller,
+//!   eventfd wakeup token, and a one-thread multiplexed request driver.
+//! - [`server`] / [`client`]: the TCP server — an epoll reactor plus a
+//!   bounded executor pool by default on Linux, classic thread-per-
+//!   connection elsewhere or on request ([`server::IoModel`]) — and the
+//!   blocking [`ServiceClient`], with a bounded [`RetryPolicy`] for
+//!   `overloaded` backpressure. A full shard queue answers `overloaded`
+//!   instead of blocking.
 //!
 //! ```no_run
 //! use fc_service::{Engine, EngineConfig, ServerHandle, ServiceClient};
@@ -37,7 +44,10 @@
 pub mod backend;
 pub mod client;
 pub mod engine;
+pub mod framing;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 
 pub use fc_core::json;
@@ -45,7 +55,8 @@ pub use fc_core::json;
 pub use backend::Backend;
 pub use client::{ClientError, ClusterResult, RetryPolicy, ServiceClient};
 pub use engine::{ClusterOutcome, Engine, EngineConfig, EngineError};
+pub use framing::{FrameError, LineCodec};
 pub use protocol::{
     DatasetStats, ErrorCode, NodeHealth, NodeStats, ProtocolError, Request, Response,
 };
-pub use server::ServerHandle;
+pub use server::{IoModel, ServerHandle, ServerOptions};

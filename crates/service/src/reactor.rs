@@ -1,0 +1,552 @@
+//! A hand-rolled epoll readiness layer (Linux only): the one I/O core
+//! under the reactor server and the coordinator's multiplexed fan-out.
+//!
+//! The workspace is offline — no tokio, no mio, no libc crate — so this
+//! module declares the four syscall entry points it needs (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `eventfd`) as `extern "C"` and builds three
+//! small, safe abstractions on top:
+//!
+//! - [`Poller`]: an epoll instance with token-addressed, level-triggered
+//!   registration. Interest is re-armed by the owning state machine on
+//!   every transition (read when a frame is wanted, write when bytes are
+//!   queued), which gives edge-precise behaviour without the lost-wakeup
+//!   hazards of `EPOLLET`.
+//! - [`Waker`]: an `eventfd` wakeup token. Any thread can [`Waker::wake`]
+//!   a poller parked in [`Poller::wait`]; the poller drains it and
+//!   processes whatever message queue the wake advertised. This is how
+//!   executor threads complete responses into the reactor and how
+//!   shutdown interrupts a parked loop.
+//! - [`drive_exchanges`]: one-thread multiplexed request/response
+//!   exchanges over many already-connected sockets — the coordinator's
+//!   query fan-out, with per-phase write/read deadlines, no thread per
+//!   node.
+//!
+//! Everything here is `target_os = "linux"`-gated at the module level;
+//! on other platforms the server keeps its thread-per-connection path and
+//! the coordinator fans out with scoped threads (see
+//! [`crate::server::IoModel`]).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::{Duration, Instant};
+
+use crate::framing::LineCodec;
+
+/// Raw syscall surface. Numbers and layouts match the Linux UAPI headers;
+/// the symbols resolve from the C runtime Rust already links against.
+mod sys {
+    /// Mirror of `struct epoll_event`. The kernel ABI packs it on x86-64
+    /// (and only there), so the data word straddles an unaligned boundary
+    /// exactly like C sees it.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: i32) -> i32;
+    }
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CLOEXEC: i32 = 0x8_0000;
+    pub const EFD_CLOEXEC: i32 = 0x8_0000;
+    pub const EFD_NONBLOCK: i32 = 0x800;
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the file descriptor was registered under.
+    pub token: u64,
+    /// The descriptor is readable (or has hung up — a read will observe
+    /// EOF or the error).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+}
+
+/// A level-triggered epoll instance addressing registrations by token.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates an epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(
+        &self,
+        op: i32,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        let mut events = sys::EPOLLRDHUP;
+        if readable {
+            events |= sys::EPOLLIN;
+        }
+        if writable {
+            events |= sys::EPOLLOUT;
+        }
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, readable, writable)
+    }
+
+    /// Re-arms `fd`'s interest (level-triggered: the state machine sets
+    /// exactly what it currently wants).
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, readable, writable)
+    }
+
+    /// Removes `fd` from the interest set. (Closing the descriptor also
+    /// removes it; this exists for descriptors that outlive their
+    /// registration, e.g. pooled sockets returned to their owner.)
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Waits for readiness, filling `out` (cleared first). `None` blocks
+    /// until an event or a [`Waker::wake`]; `Some(d)` returns empty after
+    /// `d` at the latest. EINTR retries internally.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let mut raw = [sys::EpollEvent { events: 0, data: 0 }; 64];
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 100µs deadline doesn't busy-spin at 0ms.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        let n = loop {
+            let rc = unsafe {
+                sys::epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as i32, timeout_ms)
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &raw[..n] {
+            // Copy out of the (packed) ABI struct before use.
+            let bits = ev.events;
+            let token = ev.data;
+            let hangup = bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0;
+            out.push(Event {
+                token,
+                // Hangups and errors surface as readability: the next read
+                // observes EOF or the socket error.
+                readable: bits & sys::EPOLLIN != 0 || hangup,
+                writable: bits & sys::EPOLLOUT != 0 || hangup,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// An `eventfd` wakeup token: cross-thread pokes for a parked [`Poller`].
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates the eventfd (non-blocking, close-on-exec).
+    pub fn new() -> io::Result<Waker> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker { fd })
+    }
+
+    /// The descriptor to register (readable interest) on the poller.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wakes the poller. Safe from any thread; coalesces (a saturated
+    /// counter already guarantees a pending wake).
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe { sys::write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Drains pending wakes (call when the waker token fires).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { sys::read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+// Waker is a plain fd; writes are atomic at the kernel.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+/// One request/response exchange to drive over [`drive_exchanges`].
+pub struct Exchange {
+    /// A connected socket (any blocking mode; the driver switches it to
+    /// non-blocking and leaves it that way).
+    pub stream: TcpStream,
+    /// The connection's framing state (normally empty between requests —
+    /// the protocol is strict request/response).
+    pub codec: LineCodec,
+    /// The request line, newline included.
+    pub request: Vec<u8>,
+}
+
+/// The outcome of one [`Exchange`]: the socket and codec back (for
+/// pooling) plus the response line or the socket-level failure.
+pub struct ExchangeOutcome {
+    /// The socket, still non-blocking.
+    pub stream: TcpStream,
+    /// The framing state.
+    pub codec: LineCodec,
+    /// The response line, or what went wrong (`TimedOut` for deadline
+    /// expiry, `UnexpectedEof` for a peer close, `InvalidData` for a
+    /// framing violation).
+    pub outcome: io::Result<String>,
+}
+
+enum Phase {
+    Writing { written: usize },
+    Reading,
+    Done,
+}
+
+/// Drives every exchange concurrently on the *calling* thread: one
+/// [`Poller`], zero spawned threads. Each exchange gets `write_timeout`
+/// to flush its request and then `read_timeout` to produce a complete
+/// response line; an expired deadline fails that exchange with
+/// [`io::ErrorKind::TimedOut`] without disturbing the others.
+pub fn drive_exchanges(
+    items: Vec<Exchange>,
+    write_timeout: Duration,
+    read_timeout: Duration,
+) -> io::Result<Vec<ExchangeOutcome>> {
+    struct Slot {
+        stream: TcpStream,
+        codec: LineCodec,
+        request: Vec<u8>,
+        phase: Phase,
+        deadline: Instant,
+        outcome: Option<io::Result<String>>,
+    }
+
+    let poller = Poller::new()?;
+    let now = Instant::now();
+    let mut slots: Vec<Slot> = Vec::with_capacity(items.len());
+    for (idx, item) in items.into_iter().enumerate() {
+        let slot = Slot {
+            stream: item.stream,
+            codec: item.codec,
+            request: item.request,
+            phase: Phase::Writing { written: 0 },
+            deadline: now + write_timeout,
+            outcome: None,
+        };
+        match slot.stream.set_nonblocking(true) {
+            Ok(()) => {
+                if let Err(e) = poller.add(slot.stream.as_raw_fd(), idx as u64, true, true) {
+                    let mut slot = slot;
+                    slot.outcome = Some(Err(e));
+                    slot.phase = Phase::Done;
+                    slots.push(slot);
+                    continue;
+                }
+                slots.push(slot);
+            }
+            Err(e) => {
+                let mut slot = slot;
+                slot.outcome = Some(Err(e));
+                slot.phase = Phase::Done;
+                slots.push(slot);
+            }
+        }
+    }
+
+    let mut remaining = slots.iter().filter(|s| s.outcome.is_none()).count();
+    let mut events = Vec::new();
+    let mut scratch = [0u8; 64 * 1024];
+    while remaining > 0 {
+        let now = Instant::now();
+        // Fail expired exchanges and find the nearest live deadline.
+        let mut nearest: Option<Duration> = None;
+        for slot in slots.iter_mut().filter(|s| s.outcome.is_none()) {
+            if slot.deadline <= now {
+                let _ = poller.remove(slot.stream.as_raw_fd());
+                slot.outcome = Some(Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    match slot.phase {
+                        Phase::Writing { .. } => "request write timed out",
+                        _ => "response read timed out",
+                    },
+                )));
+                slot.phase = Phase::Done;
+                remaining -= 1;
+            } else {
+                let left = slot.deadline - now;
+                nearest = Some(nearest.map_or(left, |d| d.min(left)));
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        poller.wait(&mut events, nearest)?;
+        for event in &events {
+            let idx = event.token as usize;
+            let slot = &mut slots[idx];
+            if slot.outcome.is_some() {
+                continue;
+            }
+            if event.writable {
+                if let Phase::Writing { written } = slot.phase {
+                    match write_some(&mut slot.stream, &slot.request[written..]) {
+                        Ok(n) => {
+                            let written = written + n;
+                            if written == slot.request.len() {
+                                slot.phase = Phase::Reading;
+                                slot.deadline = Instant::now() + read_timeout;
+                                let _ =
+                                    poller.modify(slot.stream.as_raw_fd(), idx as u64, true, false);
+                            } else {
+                                slot.phase = Phase::Writing { written };
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                        Err(e) => {
+                            let _ = poller.remove(slot.stream.as_raw_fd());
+                            slot.outcome = Some(Err(e));
+                            slot.phase = Phase::Done;
+                            remaining -= 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            if event.readable && matches!(slot.phase, Phase::Reading) {
+                match pump_read(&mut slot.stream, &mut slot.codec, &mut scratch) {
+                    Ok(Some(line)) => {
+                        let _ = poller.remove(slot.stream.as_raw_fd());
+                        slot.outcome = Some(Ok(line));
+                        slot.phase = Phase::Done;
+                        remaining -= 1;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        let _ = poller.remove(slot.stream.as_raw_fd());
+                        slot.outcome = Some(Err(e));
+                        slot.phase = Phase::Done;
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(slots
+        .into_iter()
+        .map(|slot| ExchangeOutcome {
+            stream: slot.stream,
+            codec: slot.codec,
+            outcome: slot
+                .outcome
+                .expect("every exchange settles before the driver returns"),
+        })
+        .collect())
+}
+
+/// One non-blocking write attempt; `Ok(0)` only for an empty buffer.
+fn write_some(stream: &mut TcpStream, bytes: &[u8]) -> io::Result<usize> {
+    loop {
+        match stream.write(bytes) {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
+/// Reads whatever is available into the codec and extracts at most one
+/// frame (the protocol is one response per request).
+fn pump_read(
+    stream: &mut TcpStream,
+    codec: &mut LineCodec,
+    scratch: &mut [u8],
+) -> io::Result<Option<String>> {
+    loop {
+        match stream.read(scratch) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))
+            }
+            Ok(n) => {
+                codec.push(&scratch[..n]);
+                match codec.next_frame() {
+                    Ok(Some(line)) => return Ok(Some(line)),
+                    Ok(None) => continue,
+                    Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+
+    #[test]
+    fn waker_unblocks_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.add(waker.fd(), 7, true, false).unwrap();
+        let remote = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        waker.drain();
+        // Drained: a zero-timeout wait sees nothing.
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.is_empty());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn exchanges_multiplex_on_one_thread() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // An echo peer that answers each line reversed, serially.
+        let server = std::thread::spawn(move || {
+            for _ in 0..3 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let reply: String = line.trim_end().chars().rev().collect();
+                let mut stream = stream;
+                stream.write_all(reply.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+            }
+        });
+        let items: Vec<Exchange> = (0..3)
+            .map(|i| Exchange {
+                stream: TcpStream::connect(addr).unwrap(),
+                codec: LineCodec::new(1024),
+                request: format!("msg-{i}\n").into_bytes(),
+            })
+            .collect();
+        let outcomes =
+            drive_exchanges(items, Duration::from_secs(5), Duration::from_secs(5)).unwrap();
+        let got: Vec<String> = outcomes.into_iter().map(|o| o.outcome.unwrap()).collect();
+        assert_eq!(got, vec!["0-gsm", "1-gsm", "2-gsm"]);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn read_deadline_fails_only_the_hung_exchange() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First peer hangs (accepts, never answers); second answers.
+            let (hung, _) = listener.accept().unwrap();
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut stream = stream;
+            stream.write_all(b"pong\n").unwrap();
+            // Hold the hung socket open past the client deadline.
+            std::thread::sleep(Duration::from_millis(400));
+            drop(hung);
+        });
+        let items: Vec<Exchange> = (0..2)
+            .map(|_| Exchange {
+                stream: TcpStream::connect(addr).unwrap(),
+                codec: LineCodec::new(1024),
+                request: b"ping\n".to_vec(),
+            })
+            .collect();
+        let outcomes =
+            drive_exchanges(items, Duration::from_secs(2), Duration::from_millis(150)).unwrap();
+        assert_eq!(
+            outcomes[0].outcome.as_ref().unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+        assert_eq!(outcomes[1].outcome.as_ref().unwrap(), "pong");
+        server.join().unwrap();
+    }
+}

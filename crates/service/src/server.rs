@@ -1,75 +1,212 @@
-//! The TCP server: JSON-lines over `std::net`, one thread per connection.
+//! The TCP server: JSON-lines over `std::net`, with two interchangeable
+//! I/O models behind one [`ServerHandle`].
 //!
-//! The accept loop runs on its own thread; [`ServerHandle::shutdown`] flips
-//! a flag, pokes the listener with a throwaway connection to unblock
-//! `accept`, and joins every connection thread — so shutdown is graceful:
-//! in-flight requests finish, streams flush, then threads exit.
+//! - [`IoModel::Reactor`] (Linux default): one epoll reactor thread per
+//!   `io_threads` multiplexes every connection through per-connection
+//!   state machines (reading → executing → writing), and a small bounded
+//!   executor pool runs the [`Backend`] calls. Idle connections cost a
+//!   few kilobytes of buffers, not a thread; process thread count is
+//!   bounded by `io_threads + executor_threads`, not by connections.
+//! - [`IoModel::Threaded`]: the classic thread-per-connection loop —
+//!   correct everywhere `std::net` works, and the fallback on platforms
+//!   without epoll.
+//!
+//! Both models frame requests with the shared incremental
+//! [`LineCodec`] and dispatch through
+//! [`handle_request`], so protocol behaviour is identical; the reactor
+//! additionally serves *pipelined* requests (many lines in one packet)
+//! strictly in order, one in flight per connection at a time.
+//!
+//! Shutdown is graceful in both models: in-flight requests finish, their
+//! responses flush, then every thread joins. The reactor needs no
+//! socket-shutdown sweep for this — its connections never block, so the
+//! drain is just "stop reading, finish executing, flush, close".
 
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crate::backend::Backend;
 use crate::engine::{Engine, EngineError};
+use crate::framing::{FrameError, LineCodec, MAX_FRAME_BYTES};
 use crate::protocol::{self, Request, Response};
 
-/// Live connections: the worker join handle plus a stream clone the
-/// shutdown path uses to unblock readers waiting on idle clients.
-type ConnectionRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+/// How the server multiplexes its connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// One epoll reactor (per io thread) + a bounded executor pool.
+    /// Linux only; other platforms silently fall back to [`Self::Threaded`]
+    /// at bind time.
+    Reactor,
+    /// One blocking thread per connection.
+    Threaded,
+}
+
+impl Default for IoModel {
+    /// The reactor on Linux, thread-per-connection elsewhere.
+    fn default() -> Self {
+        #[cfg(target_os = "linux")]
+        {
+            IoModel::Reactor
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            IoModel::Threaded
+        }
+    }
+}
+
+impl IoModel {
+    /// The model that will actually run on this platform.
+    pub fn effective(self) -> IoModel {
+        #[cfg(target_os = "linux")]
+        {
+            self
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            IoModel::Threaded
+        }
+    }
+
+    /// The canonical name (CLI flags, bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            IoModel::Reactor => "reactor",
+            IoModel::Threaded => "threaded",
+        }
+    }
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reactor" => Ok(IoModel::Reactor),
+            "threaded" => Ok(IoModel::Threaded),
+            other => Err(format!(
+                "unknown io model `{other}` (expected `reactor` or `threaded`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IoModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Server concurrency configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// The I/O model (see [`IoModel`]).
+    pub io_model: IoModel,
+    /// Reactor threads (connections are distributed round-robin across
+    /// them). Ignored by [`IoModel::Threaded`]. At least 1.
+    pub io_threads: usize,
+    /// Executor threads running [`Backend`] calls for the reactor model.
+    /// Ignored by [`IoModel::Threaded`]. At least 1.
+    pub executor_threads: usize,
+}
+
+impl Default for ServerOptions {
+    /// One reactor thread and four executors: enough to saturate the
+    /// engine's shard workers while keeping the thread count constant.
+    fn default() -> Self {
+        Self {
+            io_model: IoModel::default(),
+            io_threads: 1,
+            executor_threads: 4,
+        }
+    }
+}
+
+enum ServerImpl {
+    Threaded(threaded::Server),
+    #[cfg(target_os = "linux")]
+    Reactor(reactor_server::Server),
+}
 
 /// A running server. Dropping the handle shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
+    io_model: IoModel,
     /// Set when the server was bound over an [`Engine`] (the common case);
     /// backend-bound servers (`fc-coordinator`) have no engine to inspect.
     engine: Option<Arc<Engine>>,
-    stop: Arc<AtomicBool>,
-    connections: ConnectionRegistry,
-    accept_thread: Option<JoinHandle<()>>,
+    imp: Option<ServerImpl>,
 }
 
 impl ServerHandle {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-    /// serving `engine` in background threads.
+    /// serving `engine` with default [`ServerOptions`].
     pub fn bind(addr: impl ToSocketAddrs, engine: Engine) -> std::io::Result<ServerHandle> {
+        Self::bind_with(addr, engine, ServerOptions::default())
+    }
+
+    /// [`Self::bind`] with explicit concurrency options.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        engine: Engine,
+        options: ServerOptions,
+    ) -> std::io::Result<ServerHandle> {
         let engine = Arc::new(engine);
-        let mut handle = Self::bind_backend(addr, Arc::clone(&engine) as Arc<dyn Backend>)?;
+        let mut handle =
+            Self::bind_backend_with(addr, Arc::clone(&engine) as Arc<dyn Backend>, options)?;
         handle.engine = Some(engine);
         Ok(handle)
     }
 
     /// Binds `addr` and serves an arbitrary [`Backend`] — the same
-    /// protocol, threading, and shutdown behaviour as [`Self::bind`], but
-    /// the requests may be answered by anything (the `fc-cluster`
+    /// protocol, concurrency, and shutdown behaviour as [`Self::bind`],
+    /// but the requests may be answered by anything (the `fc-cluster`
     /// coordinator serves a whole node fleet through this entry point).
     pub fn bind_backend(
         addr: impl ToSocketAddrs,
         backend: Arc<dyn Backend>,
     ) -> std::io::Result<ServerHandle> {
+        Self::bind_backend_with(addr, backend, ServerOptions::default())
+    }
+
+    /// [`Self::bind_backend`] with explicit concurrency options.
+    pub fn bind_backend_with(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn Backend>,
+        options: ServerOptions,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let connections: ConnectionRegistry = Arc::new(Mutex::new(Vec::new()));
-        let accept_stop = Arc::clone(&stop);
-        let accept_connections = Arc::clone(&connections);
-        let accept_thread = std::thread::Builder::new()
-            .name("fc-accept".into())
-            .spawn(move || accept_loop(listener, backend, accept_stop, accept_connections))
-            .expect("spawning the accept thread succeeds");
+        let io_model = options.io_model.effective();
+        let imp = match io_model {
+            IoModel::Threaded => ServerImpl::Threaded(threaded::Server::start(listener, backend)?),
+            #[cfg(target_os = "linux")]
+            IoModel::Reactor => {
+                ServerImpl::Reactor(reactor_server::Server::start(listener, backend, &options)?)
+            }
+            #[cfg(not(target_os = "linux"))]
+            IoModel::Reactor => unreachable!("IoModel::effective maps Reactor away off-Linux"),
+        };
         Ok(ServerHandle {
             addr,
+            io_model,
             engine: None,
-            stop,
-            connections,
-            accept_thread: Some(accept_thread),
+            imp: Some(imp),
         })
     }
 
     /// The bound address (useful with ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The I/O model actually serving (after platform fallback).
+    pub fn io_model(&self) -> IoModel {
+        self.io_model
     }
 
     /// The served engine (for in-process inspection in tests and examples).
@@ -84,32 +221,18 @@ impl ServerHandle {
             .expect("server was bound over a generic backend, not an Engine")
     }
 
-    /// Stops accepting, waits for in-flight connections to finish, and
-    /// joins all server threads.
+    /// Stops accepting, waits for in-flight requests to finish and their
+    /// responses to flush, and joins all server threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the accept loop with a no-op connection, and unblock
-        // connection readers parked on idle-but-open clients by shutting
-        // the read side of their sockets. In-flight requests still finish:
-        // the worker observes EOF on its next read and can still write its
-        // response.
-        let _ = TcpStream::connect(self.addr);
-        for (_, stream) in self
-            .connections
-            .lock()
-            .expect("connection registry lock")
-            .iter()
-        {
-            let _ = stream.shutdown(std::net::Shutdown::Read);
-        }
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        match self.imp.take() {
+            Some(ServerImpl::Threaded(mut s)) => s.shutdown(self.addr),
+            #[cfg(target_os = "linux")]
+            Some(ServerImpl::Reactor(mut s)) => s.shutdown(),
+            None => {}
         }
     }
 }
@@ -117,122 +240,6 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop_and_join();
-    }
-}
-
-fn accept_loop(
-    listener: TcpListener,
-    backend: Arc<dyn Backend>,
-    stop: Arc<AtomicBool>,
-    connections: ConnectionRegistry,
-) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else {
-            // Persistent accept errors (e.g. fd exhaustion) would otherwise
-            // busy-spin this loop at 100% CPU; pause before retrying.
-            std::thread::sleep(std::time::Duration::from_millis(20));
-            continue;
-        };
-        let Ok(registry_clone) = stream.try_clone() else {
-            continue;
-        };
-        let backend = Arc::clone(&backend);
-        let stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("fc-conn".into())
-            .spawn(move || run_connection(stream, &*backend, &stop))
-            .expect("spawning a connection thread succeeds");
-        let mut conns = connections.lock().expect("connection registry lock");
-        // Opportunistically reap finished connections so the registry
-        // doesn't grow with every client that ever connected.
-        conns.retain(|(h, _)| !h.is_finished());
-        conns.push((handle, registry_clone));
-    }
-    // Shut each connection's read side before joining: a worker parked on
-    // an idle-but-open client wakes with EOF, finishes any in-flight
-    // response, and exits. (The handle's shutdown path also sweeps the
-    // registry, but this loop may have emptied it first — the join must
-    // not depend on that race.)
-    let handles = std::mem::take(&mut *connections.lock().expect("connection registry lock"));
-    for (h, stream) in handles {
-        let _ = stream.shutdown(std::net::Shutdown::Read);
-        let _ = h.join();
-    }
-}
-
-/// Largest request line the server buffers. A client that never sends a
-/// newline would otherwise grow the line buffer until the process OOMs;
-/// 64 MiB comfortably fits the largest sane ingest batch.
-const MAX_LINE_BYTES: u64 = 64 * 1024 * 1024;
-
-fn serve_connection(
-    stream: TcpStream,
-    backend: &dyn Backend,
-    stop: &AtomicBool,
-) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let respond = |writer: &mut BufWriter<TcpStream>, response: Response| {
-        writer.write_all(response.to_json().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()
-    };
-    loop {
-        let mut buf = Vec::new();
-        let n = (&mut reader)
-            .take(MAX_LINE_BYTES)
-            .read_until(b'\n', &mut buf)?;
-        if n == 0 {
-            break; // EOF
-        }
-        if n as u64 == MAX_LINE_BYTES && buf.last() != Some(&b'\n') {
-            // Oversized line: answer once and drop the connection (the rest
-            // of the line cannot be resynchronized).
-            let message = format!("request line exceeds {MAX_LINE_BYTES} bytes");
-            respond(
-                &mut writer,
-                Response::Error {
-                    message,
-                    code: None,
-                },
-            )?;
-            break;
-        }
-        let response = match std::str::from_utf8(&buf) {
-            Ok(line) if line.trim().is_empty() => continue,
-            Ok(line) => match Request::from_json(line.trim_end_matches(['\n', '\r'])) {
-                Ok(request) => handle_request(backend, request),
-                Err(e) => Response::Error {
-                    message: e.message,
-                    code: None,
-                },
-            },
-            Err(_) => Response::Error {
-                message: "request line is not valid UTF-8".into(),
-                code: None,
-            },
-        };
-        respond(&mut writer, response)?;
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-    }
-    Ok(())
-}
-
-/// Serves one connection, then actively closes the socket. The close must
-/// be an explicit `shutdown`: the registry keeps a clone of the stream, so
-/// merely dropping this thread's handles would leave the connection
-/// half-open (no FIN) until server shutdown, and a waiting client would
-/// never see EOF.
-fn run_connection(stream: TcpStream, backend: &dyn Backend, stop: &AtomicBool) {
-    let closer = stream.try_clone().ok();
-    let _ = serve_connection(stream, backend, stop);
-    if let Some(s) = closer {
-        let _ = s.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -246,6 +253,36 @@ fn engine_error(e: EngineError) -> Response {
     Response::Error {
         message: e.to_string(),
         code,
+    }
+}
+
+/// Parses one request line and executes it — the whole per-request unit
+/// of work both I/O models hand to their executing thread. Empty lines
+/// yield `None` (the protocol skips them silently).
+fn execute_line(backend: &dyn Backend, line: &str) -> Option<Response> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    Some(match Request::from_json(trimmed) {
+        Ok(request) => handle_request(backend, request),
+        Err(e) => Response::Error {
+            message: e.message,
+            code: None,
+        },
+    })
+}
+
+/// The error response answered for a framing failure.
+fn framing_error_response(e: &FrameError) -> Response {
+    Response::Error {
+        message: match e {
+            FrameError::InvalidUtf8 => "request line is not valid UTF-8".to_owned(),
+            FrameError::Oversized { limit } => {
+                format!("request line exceeds {limit} bytes")
+            }
+        },
+        code: None,
     }
 }
 
@@ -360,12 +397,856 @@ pub fn handle_request(backend: &dyn Backend, request: Request) -> Response {
     }
 }
 
+/// The classic thread-per-connection model: an accept thread spawns one
+/// blocking worker per connection; shutdown pokes the accept loop and
+/// sweeps connection read sides so parked workers wake and join.
+mod threaded {
+    use super::*;
+
+    /// Live connections: the worker join handle plus a stream clone the
+    /// shutdown path uses to unblock readers waiting on idle clients.
+    type ConnectionRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+    pub(super) struct Server {
+        stop: Arc<AtomicBool>,
+        connections: ConnectionRegistry,
+        accept_thread: Option<JoinHandle<()>>,
+    }
+
+    impl Server {
+        pub(super) fn start(
+            listener: TcpListener,
+            backend: Arc<dyn Backend>,
+        ) -> std::io::Result<Server> {
+            let stop = Arc::new(AtomicBool::new(false));
+            let connections: ConnectionRegistry = Arc::new(Mutex::new(Vec::new()));
+            let accept_stop = Arc::clone(&stop);
+            let accept_connections = Arc::clone(&connections);
+            let accept_thread = std::thread::Builder::new()
+                .name("fc-accept".into())
+                .spawn(move || accept_loop(listener, backend, accept_stop, accept_connections))?;
+            Ok(Server {
+                stop,
+                connections,
+                accept_thread: Some(accept_thread),
+            })
+        }
+
+        pub(super) fn shutdown(&mut self, addr: SocketAddr) {
+            if self.stop.swap(true, Ordering::SeqCst) {
+                return;
+            }
+            // Unblock the accept loop with a no-op connection, and unblock
+            // connection readers parked on idle-but-open clients by
+            // shutting the read side of their sockets. In-flight requests
+            // still finish: the worker observes EOF on its next read and
+            // can still write its response.
+            let _ = TcpStream::connect(addr);
+            for (_, stream) in self
+                .connections
+                .lock()
+                .expect("connection registry lock")
+                .iter()
+            {
+                let _ = stream.shutdown(std::net::Shutdown::Read);
+            }
+            if let Some(t) = self.accept_thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    fn accept_loop(
+        listener: TcpListener,
+        backend: Arc<dyn Backend>,
+        stop: Arc<AtomicBool>,
+        connections: ConnectionRegistry,
+    ) {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else {
+                // Persistent accept errors (e.g. fd exhaustion) would
+                // otherwise busy-spin this loop at 100% CPU; pause before
+                // retrying.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            };
+            let Ok(registry_clone) = stream.try_clone() else {
+                continue;
+            };
+            let backend = Arc::clone(&backend);
+            let stop = Arc::clone(&stop);
+            let spawned = std::thread::Builder::new()
+                .name("fc-conn".into())
+                .spawn(move || run_connection(stream, &*backend, &stop));
+            let Ok(handle) = spawned else {
+                // Thread exhaustion: decline this connection (the stream
+                // clone drops, the client sees EOF) but keep accepting —
+                // the regime that exhausts threads is exactly the one
+                // where killing the accept loop would be worst.
+                continue;
+            };
+            let mut conns = connections.lock().expect("connection registry lock");
+            // Opportunistically reap finished connections so the registry
+            // doesn't grow with every client that ever connected.
+            conns.retain(|(h, _)| !h.is_finished());
+            conns.push((handle, registry_clone));
+        }
+        // Shut each connection's read side before joining: a worker parked
+        // on an idle-but-open client wakes with EOF, finishes any in-flight
+        // response, and exits. (The handle's shutdown path also sweeps the
+        // registry, but this loop may have emptied it first — the join must
+        // not depend on that race.)
+        let handles = std::mem::take(&mut *connections.lock().expect("connection registry lock"));
+        for (h, stream) in handles {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+            let _ = h.join();
+        }
+    }
+
+    fn serve_connection(
+        mut stream: TcpStream,
+        backend: &dyn Backend,
+        stop: &AtomicBool,
+    ) -> std::io::Result<()> {
+        let mut codec = LineCodec::new(MAX_FRAME_BYTES);
+        let mut scratch = vec![0u8; 64 * 1024];
+        // Serves one framing outcome; Ok(true) means "stop serving".
+        let serve_frame =
+            |frame: Result<String, FrameError>, stream: &mut TcpStream| -> std::io::Result<bool> {
+                match frame {
+                    Ok(line) => {
+                        let Some(response) = execute_line(backend, &line) else {
+                            return Ok(false);
+                        };
+                        let mut bytes = response.to_json().into_bytes();
+                        bytes.push(b'\n');
+                        stream.write_all(&bytes)?;
+                        Ok(stop.load(Ordering::SeqCst))
+                    }
+                    Err(e) => {
+                        let mut bytes = framing_error_response(&e).to_json().into_bytes();
+                        bytes.push(b'\n');
+                        stream.write_all(&bytes)?;
+                        // Oversized lines cannot be resynchronized.
+                        Ok(e.is_fatal())
+                    }
+                }
+            };
+        'serve: loop {
+            // Serve every frame already buffered (pipelined requests)
+            // before reading more bytes.
+            loop {
+                match codec.next_frame() {
+                    Ok(Some(line)) => {
+                        if serve_frame(Ok(line), &mut stream)? {
+                            break 'serve;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        if serve_frame(Err(e), &mut stream)? {
+                            break 'serve;
+                        }
+                    }
+                }
+            }
+            let n = stream.read(&mut scratch)?;
+            if n == 0 {
+                // EOF still terminates a final, newline-less request.
+                match codec.finish() {
+                    Ok(None) => {}
+                    Ok(Some(line)) => {
+                        serve_frame(Ok(line), &mut stream)?;
+                    }
+                    Err(e) => {
+                        serve_frame(Err(e), &mut stream)?;
+                    }
+                }
+                break;
+            }
+            codec.push(&scratch[..n]);
+        }
+        Ok(())
+    }
+
+    /// Serves one connection, then actively closes the socket. The close
+    /// must be an explicit `shutdown`: the registry keeps a clone of the
+    /// stream, so merely dropping this thread's handles would leave the
+    /// connection half-open (no FIN) until server shutdown, and a waiting
+    /// client would never see EOF.
+    fn run_connection(stream: TcpStream, backend: &dyn Backend, stop: &AtomicBool) {
+        let closer = stream.try_clone().ok();
+        let _ = serve_connection(stream, backend, stop);
+        if let Some(s) = closer {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// The epoll reactor model (Linux): per-connection state machines driven
+/// by reactor threads, [`Backend`] calls on a bounded executor pool.
+#[cfg(target_os = "linux")]
+mod reactor_server {
+    use super::*;
+    use crate::reactor::{Event, Poller, Waker};
+    use std::os::fd::AsRawFd;
+    use std::time::{Duration, Instant};
+
+    const TOKEN_WAKER: u64 = 0;
+    const TOKEN_LISTENER: u64 = 1;
+    const FIRST_CONN_TOKEN: u64 = 2;
+
+    /// Parsed-but-unexecuted frames buffered per connection before read
+    /// interest is dropped — the pipelining depth one client may run.
+    const PENDING_CAP: usize = 128;
+
+    /// Unflushed response bytes above which a connection stops reading new
+    /// requests (write backpressure propagated to the reader).
+    const WRITE_HIGH_WATERMARK: usize = 4 * 1024 * 1024;
+
+    /// Bytes read per connection per readiness event before yielding to
+    /// the other connections (level-triggered epoll re-fires if more data
+    /// is waiting).
+    const READ_BURST_BYTES: usize = 256 * 1024;
+
+    /// How long shutdown waits for in-flight requests to finish and their
+    /// responses to flush before force-closing stragglers (a client that
+    /// never drains its socket must not pin the process).
+    const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+    enum Msg {
+        /// A freshly accepted connection assigned to this reactor.
+        Conn(TcpStream),
+        /// An executor finished a request for connection `conn`.
+        Complete { conn: u64, bytes: Vec<u8> },
+        /// Begin graceful drain.
+        Shutdown,
+    }
+
+    /// A reactor's cross-thread mailbox: push a message, wake the loop.
+    pub(super) struct Mailbox {
+        queue: Mutex<Vec<Msg>>,
+        waker: Waker,
+    }
+
+    impl Mailbox {
+        fn send(&self, msg: Msg) {
+            self.queue.lock().expect("reactor mailbox lock").push(msg);
+            self.waker.wake();
+        }
+
+        fn drain(&self) -> Vec<Msg> {
+            self.waker.drain();
+            std::mem::take(&mut *self.queue.lock().expect("reactor mailbox lock"))
+        }
+    }
+
+    struct Job {
+        reactor: usize,
+        conn: u64,
+        line: String,
+    }
+
+    /// A queued frame awaiting dispatch. Framing errors stay *in order*
+    /// with the requests around them, so a pipelined client sees its
+    /// responses in exactly the order it sent the lines.
+    enum PendingFrame {
+        Line(String),
+        Recoverable(FrameError),
+        Fatal(FrameError),
+    }
+
+    struct Conn {
+        stream: TcpStream,
+        codec: LineCodec,
+        pending: VecDeque<PendingFrame>,
+        /// Bytes held by `pending` line frames — the byte-level bound on
+        /// pipelining (frame *count* alone would let one connection queue
+        /// `PENDING_CAP` × 64 MiB lines).
+        pending_bytes: usize,
+        write_buf: Vec<u8>,
+        write_pos: usize,
+        /// A request from this connection is executing on the pool.
+        inflight: bool,
+        /// EOF observed (or reads abandoned); no further frames will come.
+        read_closed: bool,
+        /// Close once the write buffer drains (fatal framing error).
+        close_after_flush: bool,
+        /// Current epoll interest, to skip redundant `EPOLL_CTL_MOD`s.
+        want_read: bool,
+        want_write: bool,
+    }
+
+    impl Conn {
+        fn new(stream: TcpStream) -> Conn {
+            Conn {
+                stream,
+                codec: LineCodec::new(MAX_FRAME_BYTES),
+                pending: VecDeque::new(),
+                pending_bytes: 0,
+                write_buf: Vec::new(),
+                write_pos: 0,
+                inflight: false,
+                read_closed: false,
+                close_after_flush: false,
+                want_read: true,
+                want_write: false,
+            }
+        }
+
+        fn unflushed(&self) -> usize {
+            self.write_buf.len() - self.write_pos
+        }
+
+        fn queue_response(&mut self, response: &Response) {
+            self.write_buf
+                .extend_from_slice(response.to_json().as_bytes());
+            self.write_buf.push(b'\n');
+        }
+
+        /// Whether the connection has nothing left to do and can close.
+        fn finished(&self, draining: bool) -> bool {
+            let no_more_input = self.read_closed || draining || self.close_after_flush;
+            no_more_input && !self.inflight && self.pending.is_empty() && self.unflushed() == 0
+        }
+
+        /// Whether more frames may be queued: bounded by count *and* by
+        /// bytes, so neither many small lines nor few huge ones grow the
+        /// queue past roughly one maximum frame.
+        fn can_queue(&self) -> bool {
+            self.pending.len() < PENDING_CAP && self.pending_bytes <= MAX_FRAME_BYTES
+        }
+
+        fn push_pending(&mut self, frame: PendingFrame) {
+            if let PendingFrame::Line(line) = &frame {
+                self.pending_bytes += line.len();
+            }
+            self.pending.push_back(frame);
+        }
+
+        fn pop_pending(&mut self) -> Option<PendingFrame> {
+            let frame = self.pending.pop_front();
+            if let Some(PendingFrame::Line(line)) = &frame {
+                self.pending_bytes -= line.len();
+            }
+            frame
+        }
+
+        fn clear_pending(&mut self) {
+            self.pending.clear();
+            self.pending_bytes = 0;
+        }
+    }
+
+    pub(super) struct Server {
+        mailboxes: Vec<Arc<Mailbox>>,
+        reactor_threads: Vec<JoinHandle<()>>,
+        job_tx: Option<mpsc::Sender<Job>>,
+        executor_threads: Vec<JoinHandle<()>>,
+        stopped: bool,
+    }
+
+    impl Server {
+        pub(super) fn start(
+            listener: TcpListener,
+            backend: Arc<dyn Backend>,
+            options: &ServerOptions,
+        ) -> std::io::Result<Server> {
+            listener.set_nonblocking(true)?;
+            let io_threads = options.io_threads.max(1);
+            let executor_threads = options.executor_threads.max(1);
+
+            let mut mailboxes = Vec::with_capacity(io_threads);
+            let mut pollers = Vec::with_capacity(io_threads);
+            for _ in 0..io_threads {
+                let mailbox = Arc::new(Mailbox {
+                    queue: Mutex::new(Vec::new()),
+                    waker: Waker::new()?,
+                });
+                let poller = Poller::new()?;
+                poller.add(mailbox.waker.fd(), TOKEN_WAKER, true, false)?;
+                pollers.push(poller);
+                mailboxes.push(mailbox);
+            }
+            pollers[0].add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+
+            let (job_tx, job_rx) = mpsc::channel::<Job>();
+            let job_rx = Arc::new(Mutex::new(job_rx));
+            let mut executors = Vec::with_capacity(executor_threads);
+            for i in 0..executor_threads {
+                let rx = Arc::clone(&job_rx);
+                let backend = Arc::clone(&backend);
+                let mailboxes = mailboxes.clone();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("fc-exec-{i}"))
+                    .spawn(move || executor_loop(&rx, &*backend, &mailboxes));
+                match spawned {
+                    Ok(t) => executors.push(t),
+                    Err(e) => {
+                        // No reactors exist yet: dropping the only sender
+                        // disconnects the queue, so the spawned workers
+                        // exit and join — nothing leaks out of a failed
+                        // bind.
+                        drop(job_tx);
+                        for t in executors {
+                            let _ = t.join();
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+
+            let mut reactor_threads = Vec::with_capacity(io_threads);
+            let mut listener = Some(listener);
+            for (idx, poller) in pollers.into_iter().enumerate() {
+                let mailbox = Arc::clone(&mailboxes[idx]);
+                let peers = mailboxes.clone();
+                let reactor_job_tx = job_tx.clone();
+                let listener = if idx == 0 { listener.take() } else { None };
+                let spawned = std::thread::Builder::new()
+                    .name(format!("fc-io-{idx}"))
+                    .spawn(move || {
+                        Reactor {
+                            idx,
+                            poller,
+                            mailbox,
+                            peers,
+                            listener,
+                            job_tx: reactor_job_tx,
+                            conns: HashMap::new(),
+                            next_token: FIRST_CONN_TOKEN,
+                            next_assignee: 0,
+                            draining: false,
+                            drain_deadline: None,
+                            accept_retry_at: None,
+                        }
+                        .run()
+                    });
+                match spawned {
+                    Ok(t) => reactor_threads.push(t),
+                    Err(e) => {
+                        // Partial spawn: the reactors already running (one
+                        // of which may own the listener) must drain and
+                        // join, or a failed bind would leave the port
+                        // bound and threads serving with no handle.
+                        let mut partial = Server {
+                            mailboxes,
+                            reactor_threads,
+                            job_tx: Some(job_tx),
+                            executor_threads: executors,
+                            stopped: false,
+                        };
+                        partial.shutdown();
+                        return Err(e);
+                    }
+                }
+            }
+
+            Ok(Server {
+                mailboxes,
+                reactor_threads,
+                job_tx: Some(job_tx),
+                executor_threads: executors,
+                stopped: false,
+            })
+        }
+
+        pub(super) fn shutdown(&mut self) {
+            if self.stopped {
+                return;
+            }
+            self.stopped = true;
+            for mailbox in &self.mailboxes {
+                mailbox.send(Msg::Shutdown);
+            }
+            // Reactors drain (in-flight responses still complete through
+            // the live executor pool), then exit; only then is the pool
+            // disconnected and joined.
+            for t in self.reactor_threads.drain(..) {
+                let _ = t.join();
+            }
+            self.job_tx = None;
+            for t in self.executor_threads.drain(..) {
+                let _ = t.join();
+            }
+        }
+    }
+
+    fn executor_loop(
+        rx: &Mutex<mpsc::Receiver<Job>>,
+        backend: &dyn Backend,
+        mailboxes: &[Arc<Mailbox>],
+    ) {
+        loop {
+            // The guard drops at the end of the statement: workers contend
+            // only for the *wait*, never during execution.
+            let job = rx.lock().expect("executor queue lock").recv();
+            let Ok(job) = job else { break };
+            let response = execute_line(backend, &job.line);
+            let mut bytes = Vec::new();
+            if let Some(response) = response {
+                bytes = response.to_json().into_bytes();
+                bytes.push(b'\n');
+            }
+            mailboxes[job.reactor].send(Msg::Complete {
+                conn: job.conn,
+                bytes,
+            });
+        }
+    }
+
+    struct Reactor {
+        idx: usize,
+        poller: Poller,
+        mailbox: Arc<Mailbox>,
+        peers: Vec<Arc<Mailbox>>,
+        listener: Option<TcpListener>,
+        job_tx: mpsc::Sender<Job>,
+        conns: HashMap<u64, Conn>,
+        next_token: u64,
+        /// Round-robin cursor over `peers` for accepted connections
+        /// (reactor 0 only — it owns the listener).
+        next_assignee: usize,
+        draining: bool,
+        drain_deadline: Option<Instant>,
+        /// Set after a persistent accept failure (e.g. fd exhaustion):
+        /// the listener is deregistered until this instant so the
+        /// still-pending connection cannot spin the level-triggered loop,
+        /// and no sleep ever blocks the reactor thread.
+        accept_retry_at: Option<Instant>,
+    }
+
+    impl Reactor {
+        fn run(mut self) {
+            let mut events: Vec<Event> = Vec::new();
+            let mut scratch = vec![0u8; 64 * 1024];
+            loop {
+                let now = Instant::now();
+                let mut timeout = self
+                    .drain_deadline
+                    .map(|d| d.saturating_duration_since(now));
+                if let Some(retry) = self.accept_retry_at {
+                    let until = retry.saturating_duration_since(now);
+                    timeout = Some(timeout.map_or(until, |t| t.min(until)));
+                }
+                if self.poller.wait(&mut events, timeout).is_err() {
+                    // An unusable poller cannot serve; drop everything.
+                    return;
+                }
+                // Re-arm the listener once its accept-failure backoff ends.
+                if self
+                    .accept_retry_at
+                    .is_some_and(|retry| Instant::now() >= retry)
+                {
+                    self.accept_retry_at = None;
+                    if let Some(listener) = &self.listener {
+                        let _ = self
+                            .poller
+                            .add(listener.as_raw_fd(), TOKEN_LISTENER, true, false);
+                    }
+                    self.accept_burst();
+                }
+                let mut touched: Vec<u64> = Vec::new();
+                // Detach the event list so `self` stays borrowable; hand
+                // the (same-capacity) vector back for the next wait.
+                let ready = std::mem::take(&mut events);
+                for event in &ready {
+                    let event = *event;
+                    match event.token {
+                        TOKEN_WAKER => {} // mailbox drained below
+                        TOKEN_LISTENER => self.accept_burst(),
+                        token => {
+                            if self.handle_io(token, &event, &mut scratch) {
+                                touched.push(token);
+                            }
+                        }
+                    }
+                }
+                events = ready;
+                for msg in self.mailbox.drain() {
+                    match msg {
+                        Msg::Conn(stream) => self.adopt(stream),
+                        Msg::Complete { conn, bytes } => {
+                            if let Some(c) = self.conns.get_mut(&conn) {
+                                c.write_buf.extend_from_slice(&bytes);
+                                c.inflight = false;
+                                touched.push(conn);
+                            }
+                        }
+                        Msg::Shutdown => self.begin_drain(),
+                    }
+                }
+                touched.sort_unstable();
+                touched.dedup();
+                for token in touched {
+                    self.pump(token);
+                }
+                if self.draining {
+                    if self.drain_deadline.is_some_and(|d| Instant::now() >= d) {
+                        // Grace expired: force-close the stragglers.
+                        self.conns.clear();
+                    }
+                    if self.conns.is_empty() {
+                        return;
+                    }
+                }
+            }
+        }
+
+        fn begin_drain(&mut self) {
+            if self.draining {
+                return;
+            }
+            self.draining = true;
+            self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+            // Stop accepting; the port closes with the listener.
+            self.listener = None;
+            self.accept_retry_at = None;
+            // Stop reading everywhere; in-flight work still completes.
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in tokens {
+                self.pump(token);
+            }
+        }
+
+        fn accept_burst(&mut self) {
+            let mut accepted = Vec::new();
+            if let Some(listener) = &self.listener {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => accepted.push(stream),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        // Persistent accept failures (e.g. fd exhaustion)
+                        // leave the pending connection in the kernel
+                        // queue, so level-triggered epoll would re-report
+                        // the listener instantly and spin this loop at
+                        // 100% CPU. Deregister the listener and retry
+                        // after a pause — tracked as a deadline, never a
+                        // sleep, so established connections keep being
+                        // served in the meantime.
+                        Err(_) => {
+                            let _ = self.poller.remove(listener.as_raw_fd());
+                            self.accept_retry_at = Some(Instant::now() + Duration::from_millis(20));
+                            break;
+                        }
+                    }
+                }
+            }
+            for stream in accepted {
+                let target = self.next_assignee % self.peers.len();
+                self.next_assignee = self.next_assignee.wrapping_add(1);
+                if target == self.idx {
+                    self.adopt(stream);
+                } else {
+                    self.peers[target].send(Msg::Conn(stream));
+                }
+            }
+        }
+
+        fn adopt(&mut self, stream: TcpStream) {
+            if self.draining {
+                return; // dropped: we are closing
+            }
+            if stream.set_nonblocking(true).is_err() {
+                return;
+            }
+            stream.set_nodelay(true).ok();
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .poller
+                .add(stream.as_raw_fd(), token, true, false)
+                .is_err()
+            {
+                return;
+            }
+            self.conns.insert(token, Conn::new(stream));
+        }
+
+        /// Socket-level I/O for one readiness event. Returns whether the
+        /// connection survived (and should be pumped).
+        fn handle_io(&mut self, token: u64, event: &Event, scratch: &mut [u8]) -> bool {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            if event.writable && conn.unflushed() > 0 && !flush_writes(conn) {
+                self.conns.remove(&token);
+                return false;
+            }
+            if event.readable && !conn.read_closed {
+                let mut budget = READ_BURST_BYTES;
+                loop {
+                    match conn.stream.read(scratch) {
+                        Ok(0) => {
+                            conn.read_closed = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.codec.push(&scratch[..n]);
+                            budget = budget.saturating_sub(n);
+                            if budget == 0 {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            self.conns.remove(&token);
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        }
+
+        /// Runs one connection's state machine: extract frames, dispatch
+        /// at most one request to the executors, flush writes, close when
+        /// finished, and re-arm epoll interest.
+        fn pump(&mut self, token: u64) {
+            let draining = self.draining;
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+
+            // Reading → pending: pull complete frames out of the codec.
+            // This runs even after EOF — a client that writes its request
+            // and immediately half-closes must still get its answers for
+            // every complete frame it sent.
+            while conn.can_queue() && !conn.codec.is_poisoned() {
+                match conn.codec.next_frame() {
+                    Ok(Some(line)) => conn.push_pending(PendingFrame::Line(line)),
+                    Ok(None) => break,
+                    Err(e) if e.is_fatal() => {
+                        conn.push_pending(PendingFrame::Fatal(e));
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Err(e) => conn.push_pending(PendingFrame::Recoverable(e)),
+                }
+            }
+            // EOF terminates a final, newline-less request too (finish()
+            // drains the tail, so this yields at most one frame, once).
+            if conn.read_closed && !conn.codec.is_poisoned() && conn.can_queue() {
+                match conn.codec.finish() {
+                    Ok(None) => {}
+                    Ok(Some(line)) => conn.push_pending(PendingFrame::Line(line)),
+                    Err(e) if e.is_fatal() => conn.push_pending(PendingFrame::Fatal(e)),
+                    Err(e) => conn.push_pending(PendingFrame::Recoverable(e)),
+                }
+            }
+
+            // Pending → executing: one request in flight per connection,
+            // responses strictly in request order. Framing errors are
+            // answered inline, in their pipelined position. A drain stops
+            // dispatching new work but lets the in-flight request finish.
+            while !conn.inflight && !draining {
+                match conn.pop_pending() {
+                    None => break,
+                    Some(PendingFrame::Line(line)) => {
+                        if line.trim().is_empty() {
+                            continue; // blank lines are skipped silently
+                        }
+                        conn.inflight = true;
+                        if self
+                            .job_tx
+                            .send(Job {
+                                reactor: self.idx,
+                                conn: token,
+                                line,
+                            })
+                            .is_err()
+                        {
+                            // Executors are gone (shutdown race): nothing
+                            // will ever answer; close.
+                            self.conns.remove(&token);
+                            return;
+                        }
+                    }
+                    Some(PendingFrame::Recoverable(e)) => {
+                        conn.queue_response(&framing_error_response(&e));
+                    }
+                    Some(PendingFrame::Fatal(e)) => {
+                        conn.queue_response(&framing_error_response(&e));
+                        conn.close_after_flush = true;
+                        conn.clear_pending();
+                    }
+                }
+            }
+            if draining {
+                conn.clear_pending();
+            }
+
+            // Executing → writing: flush whatever is queued.
+            if conn.unflushed() > 0 && !flush_writes(conn) {
+                self.conns.remove(&token);
+                return;
+            }
+
+            if conn.finished(draining) {
+                self.conns.remove(&token);
+                return;
+            }
+
+            // Re-arm interest for the current state. Reads stop while the
+            // pipeline queue is full (by count or bytes), while a partial
+            // frame already fills the codec, or while responses are backed
+            // up past the write watermark.
+            let want_read = !conn.read_closed
+                && !conn.close_after_flush
+                && !draining
+                && conn.can_queue()
+                && conn.codec.buffered() <= MAX_FRAME_BYTES
+                && conn.write_buf.len() < WRITE_HIGH_WATERMARK;
+            let want_write = conn.unflushed() > 0;
+            if want_read != conn.want_read || want_write != conn.want_write {
+                conn.want_read = want_read;
+                conn.want_write = want_write;
+                if self
+                    .poller
+                    .modify(conn.stream.as_raw_fd(), token, want_read, want_write)
+                    .is_err()
+                {
+                    self.conns.remove(&token);
+                }
+            }
+        }
+    }
+
+    /// Writes as much of the buffer as the socket accepts. Returns `false`
+    /// when the connection died.
+    fn flush_writes(conn: &mut Conn) -> bool {
+        while conn.write_pos < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => conn.write_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if conn.write_pos == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+        } else if conn.write_pos > WRITE_HIGH_WATERMARK {
+            conn.write_buf.drain(..conn.write_pos);
+            conn.write_pos = 0;
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::EngineConfig;
     use fc_core::methods::Uniform;
     use fc_geom::Dataset;
+    use std::io::{BufRead, BufReader, BufWriter};
 
     fn engine() -> Engine {
         Engine::with_compressor(
@@ -460,12 +1341,12 @@ mod tests {
         assert!(matches!(missing, Response::Error { .. }), "{missing:?}");
     }
 
-    #[test]
-    fn server_binds_ephemeral_port_and_shuts_down() {
-        let handle = ServerHandle::bind("127.0.0.1:0", engine()).unwrap();
+    fn roundtrip_against(options: ServerOptions) {
+        let handle = ServerHandle::bind_with("127.0.0.1:0", engine(), options).unwrap();
         let addr = handle.addr();
         assert_ne!(addr.port(), 0);
-        // A raw client connection with a malformed line gets an error reply.
+        // A raw client connection with a malformed line gets an error
+        // reply; a valid request on the same connection still answers.
         let stream = TcpStream::connect(addr).unwrap();
         let mut writer = BufWriter::new(stream.try_clone().unwrap());
         let mut reader = BufReader::new(stream);
@@ -475,8 +1356,40 @@ mod tests {
         reader.read_line(&mut line).unwrap();
         let resp = Response::from_json(line.trim()).unwrap();
         assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        writer
+            .write_all(b"{\"op\":\"ingest\",\"dataset\":\"d\",\"points\":[[0,0],[1,1]]}\n")
+            .unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let resp = Response::from_json(line.trim()).unwrap();
+        assert!(
+            matches!(resp, Response::Ingested { points: 2, .. }),
+            "{resp:?}"
+        );
         handle.shutdown();
         let empty = Dataset::from_flat(vec![], 2);
         assert!(empty.is_ok(), "shutdown leaves the process healthy");
+    }
+
+    #[test]
+    fn server_binds_ephemeral_port_and_shuts_down() {
+        roundtrip_against(ServerOptions::default());
+    }
+
+    #[test]
+    fn threaded_model_serves_identically() {
+        roundtrip_against(ServerOptions {
+            io_model: IoModel::Threaded,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn io_model_names_round_trip() {
+        for model in [IoModel::Reactor, IoModel::Threaded] {
+            assert_eq!(model.name().parse::<IoModel>().unwrap(), model);
+        }
+        assert!("uring".parse::<IoModel>().is_err());
     }
 }

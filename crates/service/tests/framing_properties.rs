@@ -1,0 +1,130 @@
+//! Property-based fuzz of the incremental [`LineCodec`]: whatever way the
+//! transport splits or coalesces the byte stream, the frames that come
+//! out are exactly the lines that went in, in order.
+
+use fc_service::framing::{FrameError, LineCodec};
+use proptest::prelude::*;
+
+/// Bytes that are printable ASCII minus `\r` (so expected frames are
+/// byte-identical after CR stripping) — the payload alphabet.
+fn frame_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(32u8..127, 0..60)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII is UTF-8"))
+}
+
+/// Joins frames into one wire stream, newline-terminated.
+fn wire(frames: &[String]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for frame in frames {
+        bytes.extend_from_slice(frame.as_bytes());
+        bytes.push(b'\n');
+    }
+    bytes
+}
+
+/// Drains every complete frame the codec currently holds.
+fn drain(codec: &mut LineCodec, into: &mut Vec<String>) {
+    while let Ok(Some(frame)) = codec.next_frame() {
+        into.push(frame);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Frames split at arbitrary byte boundaries reassemble exactly.
+    #[test]
+    fn frames_survive_arbitrary_chunking(
+        frames in prop::collection::vec(frame_strategy(), 1..16),
+        cuts in prop::collection::vec(1usize..23, 1..32),
+    ) {
+        let stream = wire(&frames);
+        let mut codec = LineCodec::new(4096);
+        let mut got = Vec::new();
+        let mut offset = 0;
+        let mut cut = 0;
+        while offset < stream.len() {
+            let take = cuts[cut % cuts.len()].min(stream.len() - offset);
+            cut += 1;
+            codec.push(&stream[offset..offset + take]);
+            offset += take;
+            drain(&mut codec, &mut got);
+        }
+        prop_assert_eq!(&got, &frames);
+        prop_assert_eq!(codec.buffered(), 0);
+    }
+
+    /// A fully coalesced pipeline (every frame in one push) extracts every
+    /// frame back-to-back, in order.
+    #[test]
+    fn pipelined_frames_extract_in_order(
+        frames in prop::collection::vec(frame_strategy(), 1..24),
+    ) {
+        let mut codec = LineCodec::new(4096);
+        codec.push(&wire(&frames));
+        let mut got = Vec::new();
+        drain(&mut codec, &mut got);
+        prop_assert_eq!(&got, &frames);
+        // And the stream is fully consumed: nothing dangles.
+        prop_assert_eq!(codec.next_frame(), Ok(None));
+    }
+
+    /// CRLF framing yields the same frames as LF framing.
+    #[test]
+    fn crlf_equals_lf(frames in prop::collection::vec(frame_strategy(), 1..8)) {
+        let mut crlf = Vec::new();
+        for frame in &frames {
+            crlf.extend_from_slice(frame.as_bytes());
+            crlf.extend_from_slice(b"\r\n");
+        }
+        let mut codec = LineCodec::new(4096);
+        codec.push(&crlf);
+        let mut got = Vec::new();
+        drain(&mut codec, &mut got);
+        prop_assert_eq!(&got, &frames);
+    }
+
+    /// A line that exceeds the limit without a newline is rejected as soon
+    /// as the limit is breached — at whatever chunk boundary that happens —
+    /// and poisons the codec for good.
+    #[test]
+    fn oversized_lines_are_fatal(
+        limit in 8usize..64,
+        overshoot in 1usize..32,
+        chunk in 1usize..17,
+    ) {
+        let mut codec = LineCodec::new(limit);
+        let stream = vec![b'x'; limit + overshoot];
+        let mut rejected = false;
+        for piece in stream.chunks(chunk) {
+            codec.push(piece);
+            match codec.next_frame() {
+                Ok(None) => {}
+                Err(e @ FrameError::Oversized { .. }) => {
+                    prop_assert!(e.is_fatal());
+                    rejected = true;
+                    break;
+                }
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+        prop_assert!(rejected, "an over-limit line must be rejected");
+        prop_assert!(codec.is_poisoned());
+        // No resynchronization, even after a newline finally shows up.
+        codec.push(b"\nok\n");
+        prop_assert!(codec.next_frame().is_err());
+    }
+
+    /// Lines at exactly the limit still pass (the cap is on the line, not
+    /// on the buffer).
+    #[test]
+    fn limit_sized_lines_pass(limit in 4usize..64) {
+        let mut codec = LineCodec::new(limit);
+        let mut stream = vec![b'y'; limit];
+        stream.push(b'\n');
+        codec.push(&stream);
+        let frame = codec.next_frame().unwrap().unwrap();
+        prop_assert_eq!(frame.len(), limit);
+        prop_assert!(!codec.is_poisoned());
+    }
+}

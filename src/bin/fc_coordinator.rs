@@ -3,32 +3,41 @@
 //! ```text
 //! fc-coordinator --node HOST:PORT [--node HOST:PORT ...]
 //!                [--addr HOST:PORT] [--policy round-robin|hash-dataset|capacity]
-//!                [--capacity W ...] [--retries N]
+//!                [--capacity W ...] [--retries N] [--node-timeout-ms MS]
 //!                [--k K] [--m-scalar M] [--budget POINTS] [--kmedian]
 //!                [--method NAME] [--solver NAME]
+//!                [--io-model reactor|threaded] [--io-threads N]
+//!                [--executor-threads N]
 //! ```
 //!
 //! Speaks the `fc-service` JSON-lines protocol upward (the same protocol
 //! `fc-server` serves — clients cannot tell the difference) and downward
 //! to every `--node`. Each `--capacity` pairs positionally with a
 //! `--node` and weights the `capacity` routing policy; `--retries` bounds
-//! the per-request backoff on `overloaded` nodes. The plan flags
-//! (`--k`/`--m-scalar`/`--budget`/`--kmedian`/`--method`/`--solver`)
-//! define the default per-dataset plan, forwarded to the nodes with every
-//! routed batch — node-side defaults never leak in.
+//! the per-request backoff on `overloaded` nodes; `--node-timeout-ms`
+//! bounds every read and write against a node (a hung node degrades a
+//! query instead of wedging it; connect keeps its own 2 s default). The
+//! plan flags (`--k`/`--m-scalar`/`--budget`/`--kmedian`/`--method`/
+//! `--solver`) define the default per-dataset plan, forwarded to the
+//! nodes with every routed batch — node-side defaults never leak in. The
+//! `--io-*` flags configure the upward-facing server exactly as on
+//! `fc-server`; node fan-outs multiplex over epoll regardless (Linux).
 
-use fc_cluster::{Coordinator, CoordinatorConfig, RoutingPolicy};
+use fc_cluster::{Coordinator, CoordinatorConfig, NodeTimeouts, RoutingPolicy};
 use fc_clustering::CostKind;
 use fc_core::plan::PlanBuilder;
-use fc_service::{RetryPolicy, ServerHandle};
+use fc_service::{RetryPolicy, ServerHandle, ServerOptions};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fc-coordinator --node HOST:PORT [--node HOST:PORT ...] \
          [--addr HOST:PORT] [--policy round-robin|hash-dataset|capacity] \
-         [--capacity W ...] [--retries N] [--k K] [--m-scalar M] \
-         [--budget POINTS] [--kmedian] [--method NAME] [--solver NAME]"
+         [--capacity W ...] [--retries N] [--node-timeout-ms MS] [--k K] \
+         [--m-scalar M] [--budget POINTS] [--kmedian] [--method NAME] \
+         [--solver NAME] [--io-model reactor|threaded] [--io-threads N] \
+         [--executor-threads N]"
     );
     std::process::exit(2);
 }
@@ -39,6 +48,8 @@ struct Args {
     capacities: Vec<f64>,
     policy: RoutingPolicy,
     retries: u32,
+    node_timeout_ms: Option<u64>,
+    options: ServerOptions,
     k: usize,
     m_scalar: usize,
     budget: Option<usize>,
@@ -54,6 +65,8 @@ fn parse_args() -> Args {
         capacities: Vec::new(),
         policy: RoutingPolicy::RoundRobin,
         retries: RetryPolicy::default().attempts,
+        node_timeout_ms: None,
+        options: ServerOptions::default(),
         k: 8,
         m_scalar: 40,
         budget: None,
@@ -82,6 +95,23 @@ fn parse_args() -> Args {
                 });
             }
             "--retries" => parsed.retries = value("count").parse().unwrap_or_else(|_| usage()),
+            "--node-timeout-ms" => {
+                parsed.node_timeout_ms =
+                    Some(value("milliseconds").parse().unwrap_or_else(|_| usage()));
+            }
+            "--io-model" => {
+                parsed.options.io_model = value("model name").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
+            "--io-threads" => {
+                parsed.options.io_threads = value("count").parse().unwrap_or_else(|_| usage());
+            }
+            "--executor-threads" => {
+                parsed.options.executor_threads =
+                    value("count").parse().unwrap_or_else(|_| usage());
+            }
             "--k" => parsed.k = value("count").parse().unwrap_or_else(|_| usage()),
             "--m-scalar" => parsed.m_scalar = value("count").parse().unwrap_or_else(|_| usage()),
             "--budget" => {
@@ -146,6 +176,14 @@ fn main() {
         attempts: args.retries.max(1),
         ..RetryPolicy::default()
     };
+    if let Some(ms) = args.node_timeout_ms {
+        let limit = Duration::from_millis(ms);
+        config.timeouts = NodeTimeouts {
+            read: limit,
+            write: limit,
+            ..NodeTimeouts::default()
+        };
+    }
     if !args.capacities.is_empty() {
         for (spec, capacity) in config.nodes.iter_mut().zip(&args.capacities) {
             spec.capacity = *capacity;
@@ -160,7 +198,11 @@ fn main() {
     };
     let plan_json = coordinator.default_plan().to_json();
     let policy = coordinator.policy();
-    let handle = match ServerHandle::bind_backend(args.addr.as_str(), Arc::new(coordinator)) {
+    let handle = match ServerHandle::bind_backend_with(
+        args.addr.as_str(),
+        Arc::new(coordinator),
+        args.options,
+    ) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("fc-coordinator: cannot bind {}: {e}", args.addr);
@@ -168,8 +210,10 @@ fn main() {
         }
     };
     println!(
-        "fc-coordinator listening on {} (nodes=[{}], policy={policy}, default plan {plan_json})",
+        "fc-coordinator listening on {} (io={}, nodes=[{}], policy={policy}, \
+         default plan {plan_json})",
         handle.addr(),
+        handle.io_model(),
         args.nodes.join(", "),
     );
     // Serve until the process is killed, like fc-server.

@@ -4,6 +4,8 @@
 //! fc-server [--addr HOST:PORT] [--shards N] [--k K] [--m-scalar M]
 //!           [--budget POINTS] [--queue-depth N] [--kmedian]
 //!           [--method NAME] [--solver NAME]
+//!           [--io-model reactor|threaded] [--io-threads N]
+//!           [--executor-threads N]
 //! ```
 //!
 //! `--method` and `--solver` take the canonical names of
@@ -11,23 +13,31 @@
 //! `fast-coreset`, `uniform`, `merge-reduce(lightweight)`; `lloyd`,
 //! `hamerly`) — the same strings the JSON protocol accepts per request.
 //!
+//! `--io-model` picks the connection model: `reactor` (epoll readiness
+//! loop + bounded executor pool — the Linux default; `--io-threads`
+//! reactor threads, `--executor-threads` backend workers) or `threaded`
+//! (one blocking thread per connection). Platforms without epoll always
+//! run `threaded`.
+//!
 //! Serves the JSON-lines protocol of `fc_service::protocol` until killed.
 
 use fc_clustering::CostKind;
-use fc_service::{Engine, EngineConfig, ServerHandle};
+use fc_service::{Engine, EngineConfig, ServerHandle, ServerOptions};
 
 fn usage() -> ! {
     eprintln!(
         "usage: fc-server [--addr HOST:PORT] [--shards N] [--k K] \
          [--m-scalar M] [--budget POINTS] [--queue-depth N] [--kmedian] \
-         [--method NAME] [--solver NAME]"
+         [--method NAME] [--solver NAME] [--io-model reactor|threaded] \
+         [--io-threads N] [--executor-threads N]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (String, EngineConfig) {
+fn parse_args() -> (String, EngineConfig, ServerOptions) {
     let mut addr = "127.0.0.1:4777".to_owned();
     let mut config = EngineConfig::default();
+    let mut options = ServerOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |what: &str| -> String {
@@ -65,6 +75,18 @@ fn parse_args() -> (String, EngineConfig) {
                     usage()
                 });
             }
+            "--io-model" => {
+                options.io_model = value("model name").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
+            "--io-threads" => {
+                options.io_threads = value("count").parse().unwrap_or_else(|_| usage());
+            }
+            "--executor-threads" => {
+                options.executor_threads = value("count").parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -72,11 +94,11 @@ fn parse_args() -> (String, EngineConfig) {
             }
         }
     }
-    (addr, config)
+    (addr, config, options)
 }
 
 fn main() {
-    let (addr, config) = parse_args();
+    let (addr, config, options) = parse_args();
     // Engine construction validates the configuration (shards/k/m-scalar
     // positive, solver compatible with the objective) via FcError.
     let engine = match Engine::new(config.clone()) {
@@ -86,7 +108,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let handle = match ServerHandle::bind(addr.as_str(), engine) {
+    let handle = match ServerHandle::bind_with(addr.as_str(), engine, options) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("fc-server: cannot bind {addr}: {e}");
@@ -94,8 +116,9 @@ fn main() {
         }
     };
     println!(
-        "fc-server listening on {} (shards={}, queue-depth={}, default plan {})",
+        "fc-server listening on {} (io={}, shards={}, queue-depth={}, default plan {})",
         handle.addr(),
+        handle.io_model(),
         config.shards,
         config.shard_queue_depth,
         handle.engine().default_plan().to_json(),

@@ -241,9 +241,14 @@ fn oversized_request_line_is_rejected_without_oom() {
         Response::Error { message, .. } => assert!(message.contains("exceeds"), "{message}"),
         other => panic!("unexpected {other:?}"),
     }
-    // The connection is closed afterwards (oversized lines cannot resync).
+    // The connection is closed afterwards (oversized lines cannot
+    // resync): either a clean EOF, or a reset if our unread bytes were
+    // still in the server's receive buffer when it closed.
     let mut rest = String::new();
-    assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+    match reader.read_line(&mut rest) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("connection still open, read {n} more bytes: {rest:?}"),
+    }
     server.shutdown();
 }
 

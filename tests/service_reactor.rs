@@ -1,0 +1,404 @@
+//! End-to-end tests for the epoll reactor serving model: bounded thread
+//! counts under hundreds of idle connections, strictly ordered pipelined
+//! responses (with the exact wire bytes pinned), prompt graceful
+//! shutdown, and thread-free coordinator fan-outs.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fast_coresets::prelude::*;
+use fc_service::{Engine, EngineConfig, IoModel, ServerHandle, ServerOptions, ServiceClient};
+
+fn four_blobs(n_per: usize) -> Dataset {
+    let mut flat = Vec::new();
+    for b in 0..4 {
+        for i in 0..n_per {
+            flat.push(b as f64 * 100.0 + (i % 25) as f64 * 0.01);
+            flat.push((i / 25) as f64 * 0.01);
+        }
+    }
+    Dataset::from_flat(flat, 2).unwrap()
+}
+
+fn small_engine() -> Engine {
+    Engine::new(EngineConfig {
+        shards: 2,
+        k: 4,
+        m_scalar: 20,
+        method: Method::Uniform,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+/// The process's live thread count, from /proc (Linux only).
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("/proc/self/status is readable")
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .expect("status reports Threads:")
+        .trim()
+        .parse()
+        .expect("thread count parses")
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_is_the_default_io_model_on_linux() {
+    let server = ServerHandle::bind("127.0.0.1:0", small_engine()).unwrap();
+    assert_eq!(server.io_model(), IoModel::Reactor);
+    server.shutdown();
+}
+
+/// The acceptance claim of the refactor: one reactor thread plus the
+/// bounded executor pool serves 256 concurrent connections — the process
+/// thread count is bounded by the pool configuration, not by the
+/// connection count — while active clients keep getting correct answers.
+#[cfg(target_os = "linux")]
+#[test]
+fn idle_connections_do_not_pin_threads() {
+    let options = ServerOptions {
+        io_model: IoModel::Reactor,
+        io_threads: 1,
+        executor_threads: 4,
+    };
+    let before_server = thread_count();
+    let server = ServerHandle::bind_with("127.0.0.1:0", small_engine(), options).unwrap();
+    let addr = server.addr();
+
+    // Seed a dataset so the active clients have something to query.
+    let mut seeder = ServiceClient::connect(addr).unwrap();
+    let data = four_blobs(100);
+    seeder.ingest("load", &data, None).unwrap();
+
+    // 256 idle connections: accepted, then silent.
+    let idle: Vec<TcpStream> = (0..256)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+    // Prove the reactor has accepted and still serves: a round-trip on a
+    // fresh client drains the accept queue behind it.
+    assert_eq!(seeder.stats(Some("load")).unwrap().len(), 1);
+
+    let with_idle = thread_count();
+    // The engine's shard workers (one dataset × 2 shards), one reactor,
+    // four executors — plus whatever the test harness itself runs. What
+    // must NOT appear is ~256 connection threads.
+    assert!(
+        with_idle <= before_server + 16,
+        "256 idle connections grew the process from {before_server} to \
+         {with_idle} threads — the reactor must not spend threads on idle \
+         connections"
+    );
+
+    // 8 active clients ingest and query concurrently while the idle herd
+    // stays connected.
+    let peak = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8u64)
+            .map(|w| {
+                let data = data.clone();
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).unwrap();
+                    for (i, batch) in data.chunks(100).into_iter().enumerate() {
+                        client.ingest("load", &batch, None).unwrap();
+                        let result = client
+                            .cluster("load", Some(4), None, None, Some(w * 100 + i as u64))
+                            .unwrap();
+                        assert!(result.centers.len() <= 4);
+                        assert!(result.coreset_points > 0);
+                    }
+                })
+            })
+            .collect();
+        let mut peak = 0;
+        while workers.iter().any(|w| !w.is_finished()) {
+            peak = peak.max(thread_count());
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        peak
+    });
+    // 8 worker threads are the test's own; the server side must still be
+    // bounded by the pool, not by 264 connections.
+    assert!(
+        peak <= before_server + 16 + 8,
+        "thread count peaked at {peak} (baseline {before_server}) under \
+         256 idle + 8 active connections"
+    );
+
+    // Graceful shutdown joins cleanly with the idle herd still connected —
+    // no socket-shutdown sweep, no hang.
+    let started = Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?} with idle connections open",
+        started.elapsed()
+    );
+    // Idle sockets observe the close.
+    for mut stream in idle {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("idle connection still live after shutdown ({n} bytes)"),
+        }
+    }
+}
+
+/// Pipelined requests — many lines in one packet — are answered strictly
+/// in order, and the response bytes are pinned so the framing refactor
+/// cannot silently alter the JSON-lines contract.
+#[test]
+fn pipelined_requests_answer_in_order_with_pinned_wire_bytes() {
+    let server = ServerHandle::bind("127.0.0.1:0", small_engine()).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+    // One write, five frames: ingest, cost, unknown op, blank line
+    // (skipped silently), drop. Every response is deterministic.
+    let pipeline = concat!(
+        r#"{"op":"ingest","dataset":"pin","points":[[0,0],[1,0],[0,1],[1,1]]}"#,
+        "\n",
+        r#"{"op":"cost","dataset":"pin","centers":[[0,0]]}"#,
+        "\n",
+        r#"{"op":"warp"}"#,
+        "\n",
+        "\n",
+        r#"{"op":"drop_dataset","dataset":"pin"}"#,
+        "\n",
+    );
+    stream.write_all(pipeline.as_bytes()).unwrap();
+
+    let mut replies = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 4096];
+    while replies.lines().count() < 4 {
+        let n = stream.read(&mut buf).expect("responses arrive");
+        assert!(n > 0, "server closed early; got {replies:?}");
+        replies.push_str(std::str::from_utf8(&buf[..n]).unwrap());
+    }
+    let lines: Vec<&str> = replies.lines().collect();
+    assert_eq!(lines.len(), 4, "{replies:?}");
+    // The exact wire bytes, in the exact request order.
+    assert_eq!(
+        lines[0],
+        r#"{"dataset":"pin","kind":"ingested","ok":true,"points":4,"total_points":4,"total_weight":4.0}"#
+    );
+    assert_eq!(
+        lines[1],
+        r#"{"coreset_points":4,"cost":4.0,"dataset":"pin","kind":"cost","objective":"kmeans","ok":true}"#
+    );
+    assert_eq!(
+        lines[2],
+        r#"{"kind":"error","message":"unknown op `warp`","ok":false}"#
+    );
+    assert_eq!(lines[3], r#"{"dataset":"pin","kind":"dropped","ok":true}"#);
+    server.shutdown();
+}
+
+/// Back-to-back pipelined ingests on one connection are all applied, in
+/// order, with the totals accumulating monotonically.
+#[test]
+fn pipelined_ingests_accumulate_in_order() {
+    let server = ServerHandle::bind("127.0.0.1:0", small_engine()).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut pipeline = String::new();
+    for i in 0..20 {
+        pipeline.push_str(&format!(
+            r#"{{"op":"ingest","dataset":"acc","points":[[{i},0],[{i},1]]}}"#
+        ));
+        pipeline.push('\n');
+    }
+    stream.write_all(pipeline.as_bytes()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut replies = String::new();
+    let mut buf = [0u8; 4096];
+    while replies.lines().count() < 20 {
+        let n = stream.read(&mut buf).expect("responses arrive");
+        assert!(n > 0, "server closed early");
+        replies.push_str(std::str::from_utf8(&buf[..n]).unwrap());
+    }
+    for (i, line) in replies.lines().enumerate() {
+        let response = fc_service::Response::from_json(line).unwrap();
+        match response {
+            fc_service::Response::Ingested {
+                points,
+                total_points,
+                ..
+            } => {
+                assert_eq!(points, 2);
+                assert_eq!(
+                    total_points,
+                    2 * (i as u64 + 1),
+                    "response {i} out of order"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// A coordinator query fan-out multiplexes its node exchanges on the
+/// calling thread: zero threads are spawned per request.
+#[cfg(target_os = "linux")]
+#[test]
+fn coordinator_fan_out_spawns_zero_threads() {
+    use fc_cluster::{Coordinator, CoordinatorConfig};
+    use fc_service::Backend;
+
+    let node_a = ServerHandle::bind("127.0.0.1:0", small_engine()).unwrap();
+    let node_b = ServerHandle::bind("127.0.0.1:0", small_engine()).unwrap();
+    let mut config = CoordinatorConfig::new([node_a.addr().to_string(), node_b.addr().to_string()]);
+    config.default_plan = PlanBuilder::new(4)
+        .m_scalar(20)
+        .method(Method::Uniform)
+        .build()
+        .unwrap();
+    let coordinator = Coordinator::new(config).unwrap();
+    for batch in four_blobs(100).chunks(100) {
+        coordinator.ingest("fan", &batch, None).unwrap();
+    }
+    // Warm the pools (first queries dial connections).
+    coordinator.coreset("fan", Some(1), None).unwrap();
+
+    let baseline = thread_count();
+    let sampled = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let sampled = Arc::clone(&sampled);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                sampled.fetch_max(thread_count(), std::sync::atomic::Ordering::SeqCst);
+                std::thread::yield_now();
+            }
+        })
+    };
+    for seed in 0..30 {
+        let (coreset, _, _) = coordinator.coreset("fan", Some(seed), None).unwrap();
+        assert!(!coreset.is_empty());
+        coordinator.dataset_stats("fan").unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    sampler.join().unwrap();
+    let peak = sampled.load(std::sync::atomic::Ordering::SeqCst);
+    // The sampler itself is one thread above baseline; per-node fan-out
+    // threads (the old model spawned 2 per query) would push past it.
+    assert!(
+        peak <= baseline + 1,
+        "fan-out grew the process from {baseline} to {peak} threads — \
+         queries must multiplex, not spawn"
+    );
+    node_a.shutdown();
+    node_b.shutdown();
+}
+
+/// A client that writes its requests and immediately half-closes (the
+/// `printf ... | nc -q0` pattern) still gets every response: frames
+/// buffered when EOF arrives are served, not dropped. Both models.
+#[test]
+fn half_closed_connections_still_get_their_responses() {
+    for model in [IoModel::Reactor.effective(), IoModel::Threaded] {
+        let server = ServerHandle::bind_with(
+            "127.0.0.1:0",
+            small_engine(),
+            ServerOptions {
+                io_model: model,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"{\"op\":\"ingest\",\"dataset\":\"hc\",\"points\":[[0,0],[1,1]]}\n{\"op\":\"stats\",\"dataset\":\"hc\"}\n")
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut replies = String::new();
+        stream
+            .read_to_string(&mut replies)
+            .expect("responses then EOF");
+        assert_eq!(
+            replies.lines().count(),
+            2,
+            "model {model}: expected both responses, got {replies:?}"
+        );
+        for line in replies.lines() {
+            let response = fc_service::Response::from_json(line).unwrap();
+            assert!(
+                !matches!(response, fc_service::Response::Error { .. }),
+                "model {model}: unexpected {response:?}"
+            );
+        }
+        server.shutdown();
+    }
+}
+
+/// A final request missing its trailing newline before EOF is still
+/// served — EOF terminates the frame, as the pre-reactor server's
+/// `read_until` behaviour did. Both models.
+#[test]
+fn newline_less_final_request_is_served() {
+    for model in [IoModel::Reactor.effective(), IoModel::Threaded] {
+        let server = ServerHandle::bind_with(
+            "127.0.0.1:0",
+            small_engine(),
+            ServerOptions {
+                io_model: model,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"{\"op\":\"ingest\",\"dataset\":\"nl\",\"points\":[[0,0]]}\n{\"op\":\"stats\",\"dataset\":\"nl\"}")
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut replies = String::new();
+        stream.read_to_string(&mut replies).expect("responses");
+        assert_eq!(
+            replies.lines().count(),
+            2,
+            "model {model}: newline-less final request dropped: {replies:?}"
+        );
+        server.shutdown();
+    }
+}
+
+/// The threaded model still serves the same protocol (the non-Linux
+/// fallback path, exercised everywhere).
+#[test]
+fn threaded_model_round_trips() {
+    let server = ServerHandle::bind_with(
+        "127.0.0.1:0",
+        small_engine(),
+        ServerOptions {
+            io_model: IoModel::Threaded,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(server.io_model(), IoModel::Threaded);
+    let mut client = ServiceClient::connect(server.addr()).unwrap();
+    client.ingest("t", &four_blobs(50), None).unwrap();
+    let result = client.cluster("t", Some(4), None, None, Some(3)).unwrap();
+    assert!(result.centers.len() <= 4);
+    server.shutdown();
+}
