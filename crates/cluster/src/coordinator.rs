@@ -218,6 +218,13 @@ pub struct Coordinator {
     /// [`RoutingPolicy::Capacity`]) and its deterministic RNG.
     capacity_index: Option<WeightedIndex>,
     capacity_rng: Mutex<StdRng>,
+    /// Lifetime counters for the coordinator process itself (`stats`
+    /// wire field `server`): what *this* process acknowledged and
+    /// served, not a sum over the fleet.
+    started: std::time::Instant,
+    total_points: AtomicU64,
+    total_blocks: AtomicU64,
+    total_queries: AtomicU64,
 }
 
 impl Coordinator {
@@ -263,6 +270,10 @@ impl Coordinator {
             seed_counter: AtomicU64::new(0),
             capacity_index,
             capacity_rng: Mutex::new(StdRng::seed_from_u64(config.base_seed)),
+            started: std::time::Instant::now(),
+            total_points: AtomicU64::new(0),
+            total_blocks: AtomicU64::new(0),
+            total_queries: AtomicU64::new(0),
         })
     }
 
@@ -609,16 +620,35 @@ impl Coordinator {
         seed: u64,
         method: Option<&Method>,
     ) -> Result<Coreset, EngineError> {
-        let outcomes = self.fan_out_with(|idx| Request::Compress {
-            dataset: name.to_owned(),
-            method: method.cloned(),
-            seed: Some(node_seed(seed, idx)),
+        // A node still replaying its WAL would serve a coreset of a
+        // *prefix* of its acknowledged data — silently under-weighting
+        // the union. It gets a stats probe in the query's slot instead:
+        // it contributes nothing this round, and its answer refreshes
+        // the replay flag, so recovering → alive converges through the
+        // queries themselves with no background prober.
+        let outcomes = self.fan_out_with(|idx| {
+            if self.nodes[idx].is_recovering() {
+                Request::Stats { dataset: None }
+            } else {
+                Request::Compress {
+                    dataset: name.to_owned(),
+                    method: method.cloned(),
+                    seed: Some(node_seed(seed, idx)),
+                }
+            }
         });
         let mut parts = Vec::new();
         let mut saw_dataset_miss = false;
         let mut last_failure = None;
         for (idx, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
+                Ok(Response::Stats { datasets, .. }) => {
+                    self.nodes[idx].set_recovering(datasets.iter().any(|d| d.recovering));
+                    last_failure = Some(EngineError::Remote {
+                        node: self.nodes[idx].addr().to_owned(),
+                        message: "node is recovering (WAL replay in progress)".into(),
+                    });
+                }
                 Ok(Response::Coreset {
                     points, weights, ..
                 }) => {
@@ -779,6 +809,9 @@ impl Backend for Coordinator {
                             *w += batch.total_weight();
                             *w
                         };
+                        self.total_points
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        self.total_blocks.fetch_add(1, Ordering::Relaxed);
                         return Ok((total_points, total_weight));
                     }
                     Ok(other) => {
@@ -831,6 +864,7 @@ impl Backend for Coordinator {
         let effective = method
             .cloned()
             .unwrap_or_else(|| route.effective.method().clone());
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
         Ok((coreset, seed, effective))
     }
 
@@ -869,6 +903,7 @@ impl Backend for Coordinator {
             kind,
             &SolveConfig::default(),
         )?;
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
         Ok(ClusterOutcome {
             solution,
             kind,
@@ -890,10 +925,19 @@ impl Backend for Coordinator {
         let route = self.route(name)?;
         let kind = kind.unwrap_or_else(|| route.effective.kind());
         let rows: Vec<Vec<f64>> = centers.iter().map(<[f64]>::to_vec).collect();
-        let outcomes = self.fan_out(&Request::Cost {
-            dataset: name.to_owned(),
-            centers: rows,
-            kind: Some(kind),
+        // Same replay gating as `serving_coreset`: a recovering node's
+        // partial cost would corrupt the additive sum, so its slot probes
+        // stats instead.
+        let outcomes = self.fan_out_with(|idx| {
+            if self.nodes[idx].is_recovering() {
+                Request::Stats { dataset: None }
+            } else {
+                Request::Cost {
+                    dataset: name.to_owned(),
+                    centers: rows.clone(),
+                    kind: Some(kind),
+                }
+            }
         });
         let mut total = 0.0;
         let mut priced_points = 0;
@@ -902,6 +946,13 @@ impl Backend for Coordinator {
         let mut last_failure = None;
         for (idx, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
+                Ok(Response::Stats { datasets, .. }) => {
+                    self.nodes[idx].set_recovering(datasets.iter().any(|d| d.recovering));
+                    last_failure = Some(EngineError::Remote {
+                        node: self.nodes[idx].addr().to_owned(),
+                        message: "node is recovering (WAL replay in progress)".into(),
+                    });
+                }
                 Ok(Response::Cost {
                     cost,
                     coreset_points,
@@ -937,6 +988,7 @@ impl Backend for Coordinator {
                 last_failure.unwrap_or(EngineError::Unavailable)
             });
         }
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
         Ok((total, kind, priced_points))
     }
 
@@ -978,6 +1030,18 @@ impl Backend for Coordinator {
         aggregated.extend(missing);
         aggregated.sort_by(|a, b| a.dataset.cmp(&b.dataset));
         Ok(aggregated)
+    }
+
+    /// The coordinator process's own lifetime counters — acknowledged
+    /// ingests and queries served *by this coordinator*, not a fleet
+    /// aggregate (each node reports its own on its own `stats`).
+    fn server_stats(&self) -> Option<fc_service::ServerStats> {
+        Some(fc_service::ServerStats {
+            uptime_secs: self.started.elapsed().as_secs(),
+            ingested_points: self.total_points.load(Ordering::Relaxed),
+            ingested_blocks: self.total_blocks.load(Ordering::Relaxed),
+            queries: self.total_queries.load(Ordering::Relaxed),
+        })
     }
 
     /// Drops the dataset everywhere it is reachable. When some node could
@@ -1045,7 +1109,19 @@ impl Coordinator {
         let mut per_node: Vec<Option<Vec<DatasetStats>>> = Vec::with_capacity(self.nodes.len());
         for (idx, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
-                Ok(Response::Stats { datasets }) => per_node.push(Some(datasets)),
+                Ok(Response::Stats { datasets, .. }) => {
+                    // The node-level replay flag is cleared only by a
+                    // *full* report saying every dataset caught up; a
+                    // filtered report can set it (one dataset replaying
+                    // proves the node is), never clear it.
+                    let any = datasets.iter().any(|d| d.recovering);
+                    if which.is_none() {
+                        self.nodes[idx].set_recovering(any);
+                    } else if any {
+                        self.nodes[idx].set_recovering(true);
+                    }
+                    per_node.push(Some(datasets));
+                }
                 Ok(other) => {
                     return Err(EngineError::Remote {
                         node: self.nodes[idx].addr().to_owned(),
@@ -1060,12 +1136,21 @@ impl Coordinator {
                 },
             }
         }
-        // health[i]: pre-request state unless this probe failed.
+        // health[i]: pre-request state unless this probe failed — except
+        // the replay flag, where this probe's report is the freshest
+        // evidence there is.
         let health: Vec<(NodeHealth, Option<String>)> = per_node
             .iter()
             .enumerate()
             .map(|(idx, report)| match report {
-                Some(_) => pre[idx].clone(),
+                Some(_) => {
+                    let (health, last_error) = pre[idx].clone();
+                    if health == NodeHealth::Alive && self.nodes[idx].is_recovering() {
+                        (NodeHealth::Recovering, last_error)
+                    } else {
+                        (health, last_error)
+                    }
+                }
                 None => self.nodes[idx].health(),
             })
             .collect();
@@ -1091,6 +1176,8 @@ impl Coordinator {
                         stored_points: 0,
                         summaries_per_shard: Vec::new(),
                         queue_depth_per_shard: Vec::new(),
+                        state_epoch: (0, 0),
+                        recovering: false,
                         nodes: self.node_rows(&health),
                     }
                 });
@@ -1098,6 +1185,13 @@ impl Coordinator {
                 entry.ingested_points += stats.ingested_points;
                 entry.ingested_weight += stats.ingested_weight;
                 entry.stored_points += stats.stored_points;
+                // Epochs sum across nodes (each component already sums
+                // across that node's shards), so the fleet-level epoch
+                // inherits per-node monotonicity; replay anywhere marks
+                // the whole dataset recovering.
+                entry.state_epoch.0 += stats.state_epoch.0;
+                entry.state_epoch.1 += stats.state_epoch.1;
+                entry.recovering |= stats.recovering;
                 entry
                     .summaries_per_shard
                     .extend_from_slice(&stats.summaries_per_shard);
@@ -1149,6 +1243,8 @@ impl Coordinator {
             stored_points: 0,
             summaries_per_shard: Vec::new(),
             queue_depth_per_shard: Vec::new(),
+            state_epoch: (0, 0),
+            recovering: false,
             nodes: self.node_rows(&health),
         }
     }

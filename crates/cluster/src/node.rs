@@ -93,6 +93,13 @@ pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
 struct NodeState {
     health: NodeHealth,
     last_error: Option<String>,
+    /// Sticky replay flag, orthogonal to transport health: any request
+    /// outcome marks the node alive ([`NodeHandle::record`]), but only a
+    /// *stats* response saying every dataset has caught up clears this —
+    /// so a node restarting warm reads [`NodeHealth::Recovering`] until
+    /// its WAL replay is actually done, however many queries it answers
+    /// in between.
+    recovering: bool,
 }
 
 /// A remote node: address, routing capacity, connection pool, timeouts,
@@ -119,6 +126,7 @@ impl NodeHandle {
             state: Mutex::new(NodeState {
                 health: NodeHealth::Alive,
                 last_error: None,
+                recovering: false,
             }),
         }
     }
@@ -138,10 +146,28 @@ impl NodeHandle {
         self.timeouts
     }
 
-    /// The node's current health and most recent error.
+    /// The node's current health and most recent error. A transport-alive
+    /// node still replaying its WAL reads [`NodeHealth::Recovering`];
+    /// degraded/down take precedence (a dead node's replay state is
+    /// unknowable and moot).
     pub fn health(&self) -> (NodeHealth, Option<String>) {
         let state = self.state.lock().expect("node state lock");
-        (state.health, state.last_error.clone())
+        let health = match state.health {
+            NodeHealth::Alive if state.recovering => NodeHealth::Recovering,
+            h => h,
+        };
+        (health, state.last_error.clone())
+    }
+
+    /// Whether the node's last stats report said it was still replaying.
+    pub fn is_recovering(&self) -> bool {
+        self.state.lock().expect("node state lock").recovering
+    }
+
+    /// Updates the sticky replay flag from a stats response (the only
+    /// evidence that speaks to it).
+    pub(crate) fn set_recovering(&self, recovering: bool) {
+        self.state.lock().expect("node state lock").recovering = recovering;
     }
 
     fn mark_alive(&self) {

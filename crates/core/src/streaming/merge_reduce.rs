@@ -94,6 +94,22 @@ impl<'a> MergeReduce<'a> {
         self.stack.push((top_level + 1, compressed));
     }
 
+    /// Reinstalls a persisted summary into an *empty* stream at `level` —
+    /// the recovery counterpart of [`Self::snapshot`]. The summary enters
+    /// the stack verbatim (no re-compression: it is already a valid
+    /// coreset of everything it covered), and subsequent insertions carry
+    /// upward from level 0 exactly as if the summary had been produced
+    /// live. Errors if the stream already holds state.
+    pub fn install(&mut self, level: u32, summary: Coreset) -> Result<(), crate::FcError> {
+        if !self.stack.is_empty() {
+            return Err(crate::FcError::InvalidParameter(
+                "cannot install a snapshot into a non-empty stream".into(),
+            ));
+        }
+        self.stack.push((level, summary));
+        Ok(())
+    }
+
     fn push(&mut self, rng: &mut dyn RngCore, mut level: u32, mut coreset: Coreset) {
         // Carry propagation: merge equal-level summaries upward.
         while let Some(&(top_level, _)) = self.stack.last() {
@@ -320,6 +336,37 @@ mod tests {
         let mut r = rng();
         mr.insert_block(&mut r, &blobs());
         assert_eq!(mr.summary_count(), 1);
+    }
+
+    #[test]
+    fn install_restores_a_snapshot_into_an_empty_stream() {
+        let d = blobs();
+        let params = CompressionParams {
+            k: 4,
+            m: 60,
+            kind: CostKind::KMeans,
+        };
+        let mut mr = MergeReduce::new(Uniform, params);
+        let mut r = rng();
+        for block in d.chunks(d.len() / 5) {
+            mr.insert_block(&mut r, &block);
+        }
+        let top = mr.levels()[0];
+        let snap = mr.snapshot().expect("blocks were inserted");
+
+        // A fresh stream restored from the snapshot serves the same data.
+        let mut restored = MergeReduce::new(Uniform, params);
+        restored.install(top, snap.clone()).unwrap();
+        assert_eq!(restored.levels(), vec![top]);
+        assert_eq!(restored.stored_points(), snap.len());
+        let rel = (restored.snapshot().unwrap().total_weight() - d.total_weight()).abs()
+            / d.total_weight();
+        assert!(rel < 0.3, "restored weight off by {rel}");
+        // The restored stream keeps streaming: inserts enter at level 0.
+        restored.insert_block(&mut r, &d.chunks(500)[0]);
+        assert_eq!(restored.levels(), vec![top, 0]);
+        // Installing over live state is an error, not silent data loss.
+        assert!(restored.install(top, snap).is_err());
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! The length-prefixed, checksummed binary record framing.
+//!
+//! Every on-disk file in this crate is a sequence of records:
+//!
+//! ```text
+//! [len: u32 LE][crc32(payload): u32 LE][payload: len bytes]
+//! ```
+//!
+//! The framing distinguishes three outcomes when reading: a complete
+//! record, a clean end of file, and a *torn tail* — a header or payload
+//! cut short, or a checksum mismatch, exactly what a crash mid-`write`
+//! leaves behind. Torn tails are a normal part of recovery (the caller
+//! truncates them), not corruption errors.
+
+/// Framing header size: length prefix + checksum.
+pub(crate) const HEADER_BYTES: usize = 8;
+
+/// Upper bound on a single record's payload. Nothing legitimate comes
+/// close (a snapshot is a compaction budget's worth of points); the cap
+/// keeps a corrupt length prefix from looking like a 4 GiB allocation.
+pub(crate) const MAX_PAYLOAD_BYTES: u32 = 1 << 30;
+
+/// CRC-32 (IEEE 802.3, the zlib/gzip polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Wraps `payload` in the on-disk framing.
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One attempt to read a record at `*pos` in `buf`.
+pub(crate) enum ReadOutcome {
+    /// A complete, checksum-verified record; `*pos` advanced past it.
+    Record(Vec<u8>),
+    /// `*pos` is exactly the end of the buffer.
+    Eof,
+    /// The bytes at `*pos` are not a complete valid record — a partial
+    /// header, a payload cut short, an impossible length, or a checksum
+    /// mismatch. `*pos` is left at the record boundary so the caller can
+    /// truncate there.
+    Torn,
+}
+
+/// Reads the record starting at `*pos`, advancing `*pos` on success.
+pub(crate) fn read_framed(buf: &[u8], pos: &mut usize) -> ReadOutcome {
+    let start = *pos;
+    if start == buf.len() {
+        return ReadOutcome::Eof;
+    }
+    if buf.len() - start < HEADER_BYTES {
+        return ReadOutcome::Torn;
+    }
+    let len = u32::from_le_bytes(buf[start..start + 4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(buf[start + 4..start + 8].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD_BYTES {
+        return ReadOutcome::Torn;
+    }
+    let body_start = start + HEADER_BYTES;
+    let body_end = match body_start.checked_add(len as usize) {
+        Some(end) if end <= buf.len() => end,
+        _ => return ReadOutcome::Torn,
+    };
+    let payload = &buf[body_start..body_end];
+    if crc32(payload) != crc {
+        return ReadOutcome::Torn;
+    }
+    *pos = body_end;
+    ReadOutcome::Record(payload.to_vec())
+}
+
+/// A little-endian cursor over a record payload; every getter answers
+/// `None` past the end, so decoders fail soft on short payloads.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    pub(crate) fn f64s(&mut self, n: usize) -> Option<Vec<f64>> {
+        let bytes = self.take(n.checked_mul(8)?)?;
+        Some(
+            bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+                .collect(),
+        )
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+/// Appends a weighted dataset: `dim, n` then `n` weights then `n·dim`
+/// flat coordinates, all little-endian.
+pub(crate) fn put_dataset(out: &mut Vec<u8>, data: &fc_geom::Dataset) {
+    put_u32(out, data.dim() as u32);
+    put_u32(out, data.len() as u32);
+    for &w in data.weights() {
+        put_f64(out, w);
+    }
+    for row in data.points().iter() {
+        for &x in row {
+            put_f64(out, x);
+        }
+    }
+}
+
+/// Reads a dataset written by [`put_dataset`]. `None` on a short buffer
+/// or payload the geometry layer rejects (bad weights, dim mismatch).
+pub(crate) fn get_dataset(cur: &mut Cursor<'_>) -> Option<fc_geom::Dataset> {
+    let dim = cur.u32()? as usize;
+    let n = cur.u32()? as usize;
+    let weights = cur.f64s(n)?;
+    let flat = cur.f64s(n.checked_mul(dim)?)?;
+    let points = fc_geom::Points::from_flat(flat, dim).ok()?;
+    fc_geom::Dataset::weighted(points, weights).ok()
+}
+
+/// Little-endian append helpers for building payloads.
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check values for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn records_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        let payloads: [&[u8]; 3] = [b"alpha", b"", b"\x00\xff\x10"];
+        for p in payloads {
+            buf.extend_from_slice(&frame(p));
+        }
+        let mut pos = 0;
+        for expected in payloads {
+            match read_framed(&buf, &mut pos) {
+                ReadOutcome::Record(got) => assert_eq!(got, expected),
+                _ => panic!("expected a record"),
+            }
+        }
+        assert!(matches!(read_framed(&buf, &mut pos), ReadOutcome::Eof));
+    }
+
+    #[test]
+    fn every_truncation_is_torn_never_misparsed() {
+        let mut buf = frame(b"first record payload");
+        buf.extend_from_slice(&frame(b"second"));
+        let first_len = frame(b"first record payload").len();
+        for cut in 0..buf.len() {
+            let short = &buf[..cut];
+            let mut pos = 0;
+            // Records wholly before the cut still parse; the boundary
+            // itself is Eof or Torn, never a wrong record.
+            if cut >= first_len {
+                match read_framed(short, &mut pos) {
+                    ReadOutcome::Record(got) => assert_eq!(got, b"first record payload"),
+                    _ => panic!("full first record must parse at cut {cut}"),
+                }
+            }
+            match read_framed(short, &mut pos) {
+                ReadOutcome::Record(got) => {
+                    assert_eq!(got, b"second");
+                    assert_eq!(cut, buf.len());
+                }
+                ReadOutcome::Eof => assert!(pos == short.len()),
+                ReadOutcome::Torn => assert!(cut < buf.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_are_torn() {
+        let good = frame(b"payload");
+        // Flip one payload byte: checksum catches it.
+        let mut flipped = good.clone();
+        *flipped.last_mut().expect("non-empty") ^= 0x01;
+        let mut pos = 0;
+        assert!(matches!(read_framed(&flipped, &mut pos), ReadOutcome::Torn));
+        assert_eq!(pos, 0, "torn reads leave the position at the boundary");
+        // An absurd length prefix is torn, not a giant allocation.
+        let mut huge = good;
+        huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        pos = 0;
+        assert!(matches!(read_framed(&huge, &mut pos), ReadOutcome::Torn));
+    }
+}

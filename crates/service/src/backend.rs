@@ -16,7 +16,7 @@ use fc_core::Coreset;
 use fc_geom::{Dataset, Points};
 
 use crate::engine::{ClusterOutcome, Engine, EngineError};
-use crate::protocol::DatasetStats;
+use crate::protocol::{DatasetStats, ServerStats};
 
 /// The operations the protocol front-end dispatches. Signatures mirror
 /// [`Engine`]'s inherent methods — the engine *is* the reference backend —
@@ -68,6 +68,12 @@ pub trait Backend: Send + Sync {
     /// Statistics for every dataset (sorted by name).
     fn stats(&self) -> Result<Vec<DatasetStats>, EngineError>;
 
+    /// Lifetime counters of the serving process, attached to `stats`
+    /// responses. `None` (the default) omits the field on the wire.
+    fn server_stats(&self) -> Option<ServerStats> {
+        None
+    }
+
     /// Drops a dataset and frees whatever holds it.
     fn drop_dataset(&self, name: &str) -> Result<(), EngineError>;
 }
@@ -117,6 +123,10 @@ impl Backend for Engine {
 
     fn stats(&self) -> Result<Vec<DatasetStats>, EngineError> {
         Engine::stats(self)
+    }
+
+    fn server_stats(&self) -> Option<ServerStats> {
+        Some(Engine::server_stats(self))
     }
 
     fn drop_dataset(&self, name: &str) -> Result<(), EngineError> {

@@ -415,10 +415,19 @@ impl ServiceClient {
 
     /// Fetches statistics for every dataset, or one dataset.
     pub fn stats(&mut self, dataset: Option<&str>) -> Result<Vec<DatasetStats>, ClientError> {
+        self.full_stats(dataset).map(|(datasets, _)| datasets)
+    }
+
+    /// Like [`Self::stats`], but also returns the serving process's
+    /// lifetime counters when the backend reports them.
+    pub fn full_stats(
+        &mut self,
+        dataset: Option<&str>,
+    ) -> Result<(Vec<DatasetStats>, Option<protocol::ServerStats>), ClientError> {
         match self.request(&Request::Stats {
             dataset: dataset.map(str::to_owned),
         })? {
-            Response::Stats { datasets } => Ok(datasets),
+            Response::Stats { datasets, server } => Ok((datasets, server)),
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }

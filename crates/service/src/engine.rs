@@ -21,10 +21,12 @@
 
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use fc_clustering::solver::{SolveConfig, Solver};
 use fc_clustering::{CostKind, Solution};
@@ -32,10 +34,14 @@ use fc_core::plan::{Method, Plan, PlanBuilder};
 use fc_core::streaming::{MergeReduce, StreamingCompressor};
 use fc_core::{CompressionParams, Compressor, Coreset, FcError};
 use fc_geom::{Dataset, Points};
+use fc_persist::{
+    dataset_dir, list_datasets, shard_dir, DatasetMeta, FsyncPolicy, LogOptions, PersistError,
+    ShardLog, Snapshot, WalRecord,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::protocol::DatasetStats;
+use crate::protocol::{DatasetStats, ServerStats};
 
 /// Engine configuration: sharding, the default per-dataset [`Plan`]
 /// (serving size, method/solver selection), and the quality target.
@@ -72,6 +78,13 @@ pub struct EngineConfig {
     /// Base of the deterministic seed sequence for requests that carry no
     /// explicit seed.
     pub base_seed: u64,
+    /// Durability: when set, every acknowledged ingest batch is written to
+    /// a per-shard write-ahead log under `data_dir` before it is queued,
+    /// shard summaries are snapshotted periodically, and `Engine::new` on
+    /// the same directory recovers every dataset (newest snapshot + WAL
+    /// tail replay). `None` (the default) keeps the engine purely
+    /// in-memory.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for EngineConfig {
@@ -87,6 +100,53 @@ impl Default for EngineConfig {
             compaction_budget: None,
             distortion_bound: 1.5,
             base_seed: 0x0C0D_E5E7,
+            persist: None,
+        }
+    }
+}
+
+/// Durability configuration: where state lives on disk and how eagerly it
+/// is flushed and snapshotted.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Root directory for all persisted state. Layout:
+    /// `<data_dir>/datasets/ds-<hash>/{meta.json, shard-NNN/{wal-*.log, snap-*.snap}}`.
+    pub data_dir: PathBuf,
+    /// When WAL appends are fsynced. With [`FsyncPolicy::Always`] (the
+    /// default) an acknowledged batch survives `kill -9`.
+    pub fsync: FsyncPolicy,
+    /// WAL segment rotation threshold, in bytes.
+    pub segment_bytes: u64,
+    /// Snapshot a shard after this many stream compactions since its last
+    /// snapshot.
+    pub snapshot_compactions: u32,
+    /// Snapshot a shard once its WAL holds this many bytes past the last
+    /// snapshot (replay debt bound).
+    pub snapshot_bytes: u64,
+    /// Artificial delay per replayed WAL record — testing hook to widen
+    /// the observable `recovering` window; zero (the default) in
+    /// production.
+    pub replay_throttle: Duration,
+}
+
+impl PersistConfig {
+    /// Durable-by-default settings under `data_dir`: fsync every append,
+    /// 8 MiB segments, snapshot after 4 compactions or 32 MiB of WAL.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 8 << 20,
+            snapshot_compactions: 4,
+            snapshot_bytes: 32 << 20,
+            replay_throttle: Duration::ZERO,
+        }
+    }
+
+    fn log_options(&self) -> LogOptions {
+        LogOptions {
+            fsync: self.fsync,
+            segment_bytes: self.segment_bytes,
         }
     }
 }
@@ -153,6 +213,10 @@ pub enum EngineError {
         /// What the node (or the socket to it) reported.
         message: String,
     },
+    /// The durability layer failed (WAL append, snapshot, or recovery
+    /// I/O). The batch was *not* acknowledged: durability errors refuse
+    /// writes rather than silently dropping the guarantee.
+    Persist(String),
     /// The engine is shutting down (or a shard died).
     Unavailable,
 }
@@ -182,8 +246,15 @@ impl std::fmt::Display for EngineError {
                      queue is full, back off and retry"
                 )
             }
+            EngineError::Persist(msg) => write!(f, "persistence failure: {msg}"),
             EngineError::Unavailable => write!(f, "engine unavailable"),
         }
+    }
+}
+
+impl From<PersistError> for EngineError {
+    fn from(e: PersistError) -> Self {
+        EngineError::Persist(e.to_string())
     }
 }
 
@@ -217,20 +288,19 @@ pub struct ClusterOutcome {
 }
 
 enum ShardCmd {
-    Ingest(Dataset),
+    Ingest {
+        block: Dataset,
+        /// The block's WAL sequence number; `0` on a non-persistent
+        /// engine.
+        seq: u64,
+    },
     Snapshot(SyncSender<Option<Coreset>>),
-    Stats(SyncSender<StreamStats>),
-    Shutdown,
-}
-
-/// What the worker itself can observe about its stream. The command-queue
-/// depth is deliberately absent: it lives in the sender-side gauge and is
-/// attached by [`DatasetEntry::shard_stats`] — one writer, one reader, no
-/// placeholder value for anyone to forget to overwrite.
-#[derive(Debug, Clone, Copy)]
-struct StreamStats {
-    summaries: usize,
-    stored_points: usize,
+    Shutdown {
+        /// Flush the WAL and install a final snapshot before exiting
+        /// (graceful shutdown); `false` on dataset drops, whose on-disk
+        /// state is purged anyway.
+        finalize: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -240,6 +310,50 @@ struct ShardStats {
     queue_depth: usize,
 }
 
+/// Stream gauges the worker publishes after every command, so stats never
+/// have to queue behind the worker — in particular not behind a WAL
+/// replay, during which `recovering` must stay observable.
+#[derive(Default)]
+struct ShardGauges {
+    summaries: AtomicUsize,
+    stored_points: AtomicUsize,
+}
+
+/// The durable half of one shard, shared between the ingest path (which
+/// appends under the log mutex before queueing), the worker (which
+/// advances `applied_seq` and installs snapshots), and the stats path
+/// (which reads both without touching the worker).
+struct ShardPersist {
+    log: Mutex<ShardLog>,
+    /// Highest WAL sequence the worker has applied to its stream.
+    applied_seq: AtomicU64,
+    /// The durable sequence on disk at boot — what the worker must replay
+    /// up to before the shard has caught up with its own past. Fixed at
+    /// open time, so `recovering` clears exactly once.
+    target_seq: u64,
+}
+
+impl ShardPersist {
+    fn recovering(&self) -> bool {
+        self.applied_seq.load(Ordering::Acquire) < self.target_seq
+    }
+}
+
+/// Everything a worker needs to run its shard durably: the shared log
+/// state plus the recovered snapshot/tail to restore before serving.
+struct ShardDurability {
+    shared: Arc<ShardPersist>,
+    /// The recovered snapshot to reinstall, if any.
+    snapshot: Option<Snapshot>,
+    /// WAL records past the snapshot, replayed before the command loop.
+    tail: Vec<WalRecord>,
+    /// The dataset's effective plan wire form, stamped into snapshots.
+    plan_json: String,
+    snapshot_compactions: u32,
+    snapshot_bytes: u64,
+    replay_throttle: Duration,
+}
+
 struct Shard {
     sender: SyncSender<ShardCmd>,
     /// Commands sent but not yet fully processed by the worker — the
@@ -247,6 +361,7 @@ struct Shard {
     /// send, decremented by the worker after it finishes each command, so
     /// a long-running compaction shows up as depth, not as idle.
     queue_depth: Arc<AtomicUsize>,
+    gauges: Arc<ShardGauges>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -257,17 +372,32 @@ impl Shard {
         budget: usize,
         seed: u64,
         queue_depth_bound: usize,
+        durability: Option<ShardDurability>,
     ) -> Self {
         let (sender, receiver) = mpsc::sync_channel(queue_depth_bound);
         let queue_depth = Arc::new(AtomicUsize::new(0));
+        let gauges = Arc::new(ShardGauges::default());
         let worker_depth = Arc::clone(&queue_depth);
+        let worker_gauges = Arc::clone(&gauges);
         let join = std::thread::Builder::new()
             .name("fc-shard".into())
-            .spawn(move || shard_loop(receiver, worker_depth, compressor, params, budget, seed))
+            .spawn(move || {
+                shard_loop(
+                    receiver,
+                    worker_depth,
+                    worker_gauges,
+                    compressor,
+                    params,
+                    budget,
+                    seed,
+                    durability,
+                )
+            })
             .expect("spawning a shard worker thread succeeds");
         Shard {
             sender,
             queue_depth,
+            gauges,
             join: Some(join),
         }
     }
@@ -286,56 +416,194 @@ impl Shard {
 
     /// Queues an ingest without blocking: a full queue is an error (the
     /// caller reports `overloaded` to the writer), not a pinned thread.
-    fn try_ingest(&self, block: Dataset) -> Result<(), TrySendError<()>> {
+    fn try_ingest(&self, block: Dataset, seq: u64) -> Result<(), TrySendError<()>> {
         self.queue_depth.fetch_add(1, Ordering::Relaxed);
-        self.sender.try_send(ShardCmd::Ingest(block)).map_err(|e| {
-            self.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            match e {
-                TrySendError::Full(_) => TrySendError::Full(()),
-                TrySendError::Disconnected(_) => TrySendError::Disconnected(()),
-            }
-        })
+        self.sender
+            .try_send(ShardCmd::Ingest { block, seq })
+            .map_err(|e| {
+                self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                match e {
+                    TrySendError::Full(_) => TrySendError::Full(()),
+                    TrySendError::Disconnected(_) => TrySendError::Disconnected(()),
+                }
+            })
     }
 }
 
+/// The worker's stream plus the lifetime counters it stamps into
+/// snapshots; folding a block and compacting under budget live here so
+/// replay and live ingest apply records identically.
+struct ShardWorker<'a> {
+    rng: StdRng,
+    stream: MergeReduce<'a>,
+    budget: usize,
+    /// Lifetime ingest counters (survive restarts via snapshots).
+    blocks: u64,
+    points: u64,
+    weight: f64,
+    compactions_since_snapshot: u32,
+}
+
+impl ShardWorker<'_> {
+    fn apply(&mut self, block: &Dataset) {
+        self.stream.insert_block(&mut self.rng, block);
+        if self.stream.stored_points() > self.budget {
+            self.stream.compact(&mut self.rng);
+            self.compactions_since_snapshot += 1;
+        }
+        self.blocks += 1;
+        self.points += block.len() as u64;
+        self.weight += block.total_weight();
+    }
+
+    fn publish(&self, gauges: &ShardGauges) {
+        gauges
+            .summaries
+            .store(self.stream.summary_count(), Ordering::Relaxed);
+        gauges
+            .stored_points
+            .store(self.stream.stored_points(), Ordering::Relaxed);
+    }
+
+    /// Installs a snapshot at `applied` into the shard's log. Runs on the
+    /// worker thread; failures degrade durability to WAL-only replay (the
+    /// log keeps every record the snapshot would have covered), so they
+    /// are reported, not fatal.
+    fn snapshot_to(&mut self, d: &ShardDurability, applied: u64) {
+        let mut log = d
+            .shared
+            .log
+            .lock()
+            .expect("shard log lock is never poisoned");
+        if applied <= log.last_snapshot_seq() {
+            return;
+        }
+        let snap = Snapshot {
+            id: log.next_snapshot_id(),
+            seq: applied,
+            level: self.stream.levels().first().copied().unwrap_or(0),
+            blocks: self.blocks,
+            points: self.points,
+            weight: self.weight,
+            plan_json: d.plan_json.clone(),
+            summary: self.stream.snapshot().map(|c| c.dataset().clone()),
+        };
+        match log.install_snapshot(&snap) {
+            Ok(()) => self.compactions_since_snapshot = 0,
+            Err(e) => eprintln!("fc-shard: snapshot {} failed: {e}", snap.id),
+        }
+    }
+
+    /// Snapshot when either freshness threshold is crossed: enough
+    /// compactions (the stream has reshaped since the last snapshot) or
+    /// enough WAL bytes (replay debt).
+    fn maybe_snapshot(&mut self, d: &ShardDurability, applied: u64) {
+        let debt = d
+            .shared
+            .log
+            .lock()
+            .expect("shard log lock is never poisoned")
+            .bytes_since_snapshot();
+        if self.compactions_since_snapshot >= d.snapshot_compactions || debt >= d.snapshot_bytes {
+            self.snapshot_to(d, applied);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn shard_loop(
     receiver: Receiver<ShardCmd>,
     queue_depth: Arc<AtomicUsize>,
+    gauges: Arc<ShardGauges>,
     compressor: Arc<dyn Compressor>,
     params: CompressionParams,
     budget: usize,
     seed: u64,
+    mut durability: Option<ShardDurability>,
 ) {
     // The shard's own deterministic RNG stream drives block compression;
     // request-level reproducibility comes from the query path, which uses
     // per-request seeds on the snapshot instead.
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut stream = MergeReduce::new(compressor, params);
+    let mut worker = ShardWorker {
+        rng: StdRng::seed_from_u64(seed),
+        stream: MergeReduce::new(compressor, params),
+        budget,
+        blocks: 0,
+        points: 0,
+        weight: 0.0,
+        compactions_since_snapshot: 0,
+    };
+    // Recovery runs on the worker thread, *before* the command loop:
+    // commands (including new ingests, which append to the WAL first)
+    // simply queue behind the replay, while the stats path watches the
+    // shared `applied_seq` climb toward its boot-time target.
+    if let Some(d) = &mut durability {
+        if let Some(snap) = d.snapshot.take() {
+            worker.blocks = snap.blocks;
+            worker.points = snap.points;
+            worker.weight = snap.weight;
+            if let Some(summary) = snap.summary {
+                worker
+                    .stream
+                    .install(snap.level, Coreset::new(summary))
+                    .expect("a fresh stream accepts its own snapshot");
+            }
+        }
+        worker.publish(&gauges);
+        for rec in std::mem::take(&mut d.tail) {
+            if !d.replay_throttle.is_zero() {
+                std::thread::sleep(d.replay_throttle);
+            }
+            worker.apply(&rec.block);
+            d.shared.applied_seq.store(rec.seq, Ordering::Release);
+            worker.publish(&gauges);
+        }
+    }
     while let Ok(cmd) = receiver.recv() {
-        let stop = matches!(cmd, ShardCmd::Shutdown);
+        let mut stop = false;
         match cmd {
-            ShardCmd::Ingest(block) => {
-                stream.insert_block(&mut rng, &block);
-                if stream.stored_points() > budget {
-                    stream.compact(&mut rng);
+            ShardCmd::Ingest { block, seq } => {
+                worker.apply(&block);
+                if let Some(d) = &durability {
+                    d.shared.applied_seq.store(seq, Ordering::Release);
+                    worker.maybe_snapshot(d, seq);
                 }
             }
             ShardCmd::Snapshot(reply) => {
-                let _ = reply.send(stream.snapshot());
+                let _ = reply.send(worker.stream.snapshot());
             }
-            ShardCmd::Stats(reply) => {
-                let _ = reply.send(StreamStats {
-                    summaries: stream.summary_count(),
-                    stored_points: stream.stored_points(),
-                });
+            ShardCmd::Shutdown { finalize } => {
+                if finalize {
+                    if let Some(d) = &durability {
+                        let applied = d.shared.applied_seq.load(Ordering::Acquire);
+                        worker.snapshot_to(d, applied);
+                        if let Err(e) = d
+                            .shared
+                            .log
+                            .lock()
+                            .expect("shard log lock is never poisoned")
+                            .sync()
+                        {
+                            eprintln!("fc-shard: final WAL sync failed: {e}");
+                        }
+                    }
+                }
+                stop = true;
             }
-            ShardCmd::Shutdown => {}
         }
+        worker.publish(&gauges);
         queue_depth.fetch_sub(1, Ordering::Relaxed);
         if stop {
             break;
         }
     }
+}
+
+/// A dataset's durable state: one [`ShardPersist`] per shard plus the
+/// dataset directory (deleted on drop).
+struct DatasetPersist {
+    dir: PathBuf,
+    shards: Vec<Arc<ShardPersist>>,
 }
 
 struct DatasetEntry {
@@ -353,33 +621,49 @@ struct DatasetEntry {
     /// Total ingested weight; f64 behind a mutex since ingest batches are
     /// coarse enough that contention is irrelevant.
     ingested_weight: Mutex<f64>,
+    /// `Some` on persistent engines.
+    persist: Option<DatasetPersist>,
 }
 
 impl DatasetEntry {
-    fn shard_stats(&self) -> Result<Vec<ShardStats>, EngineError> {
-        // Fan the probes out before collecting any reply (like
-        // `snapshots`), so total latency is one shard's backlog drain, not
-        // the sum of all of them.
-        let mut probes = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
-            // Sample the backlog *before* queueing our own probe, so a
-            // stats request doesn't count itself.
-            let queue_depth = shard.queue_depth.load(Ordering::Relaxed);
-            let (tx, rx) = mpsc::sync_channel(1);
-            shard.send(ShardCmd::Stats(tx))?;
-            probes.push((queue_depth, rx));
-        }
-        probes
-            .into_iter()
-            .map(|(queue_depth, rx)| {
-                let stats = rx.recv().map_err(|_| EngineError::Unavailable)?;
-                Ok(ShardStats {
-                    summaries: stats.summaries,
-                    stored_points: stats.stored_points,
-                    queue_depth,
-                })
+    /// Per-shard gauges, read lock-free from the sender side: a stats
+    /// request never queues behind the worker, so `recovering` and queue
+    /// depths stay observable while a shard is mid-replay or compacting.
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| ShardStats {
+                summaries: shard.gauges.summaries.load(Ordering::Relaxed),
+                stored_points: shard.gauges.stored_points.load(Ordering::Relaxed),
+                queue_depth: shard.queue_depth.load(Ordering::Relaxed),
             })
             .collect()
+    }
+
+    /// The dataset's durable-state epoch: `(Σ shard snapshot ids, Σ shard
+    /// applied seqs)`. Snapshot ids and sequence numbers only grow, so
+    /// the pair is monotonic across restarts — a coordinator can compare
+    /// epochs from before and after a node bounce.
+    fn state_epoch(&self) -> (u64, u64) {
+        match &self.persist {
+            None => (0, 0),
+            Some(p) => p.shards.iter().fold((0, 0), |(ids, seqs), shard| {
+                let id = shard
+                    .log
+                    .lock()
+                    .expect("shard log lock is never poisoned")
+                    .last_snapshot_id();
+                (ids + id, seqs + shard.applied_seq.load(Ordering::Acquire))
+            }),
+        }
+    }
+
+    /// Whether any shard is still replaying its WAL toward the durable
+    /// state it had before the restart.
+    fn recovering(&self) -> bool {
+        self.persist
+            .as_ref()
+            .is_some_and(|p| p.shards.iter().any(|s| s.recovering()))
     }
 
     fn snapshots(&self) -> Result<Vec<Coreset>, EngineError> {
@@ -398,13 +682,18 @@ impl DatasetEntry {
         Ok(out)
     }
 
-    fn shutdown(&mut self) {
+    /// Stops every worker and joins them in shard order, invoking
+    /// `drained` after each join — the ordered drain callback graceful
+    /// shutdown hooks rely on. With `finalize` each worker flushes its
+    /// WAL and installs a final snapshot before exiting.
+    fn shutdown(&mut self, finalize: bool, mut drained: impl FnMut(usize)) {
         for shard in &self.shards {
-            let _ = shard.send(ShardCmd::Shutdown);
+            let _ = shard.send(ShardCmd::Shutdown { finalize });
         }
-        for shard in &mut self.shards {
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
             if let Some(join) = shard.join.take() {
                 let _ = join.join();
+                drained(idx);
             }
         }
     }
@@ -424,7 +713,19 @@ pub struct Engine {
     default_compressor: Arc<dyn Compressor>,
     datasets: Mutex<HashMap<String, Arc<DatasetEntry>>>,
     seed_counter: AtomicU64,
+    /// Process-lifetime counters reported by [`Self::server_stats`].
+    started: Instant,
+    total_points: AtomicU64,
+    total_blocks: AtomicU64,
+    total_queries: AtomicU64,
+    /// Invoked as `(dataset, shard)` after each shard worker is joined
+    /// during graceful engine shutdown, in dataset-name then shard order.
+    drain_hook: Mutex<Option<DrainHook>>,
 }
+
+/// The ordered shard-drain callback installed with
+/// [`Engine::set_drain_hook`].
+pub type DrainHook = Box<dyn Fn(&str, usize) + Send + Sync>;
 
 impl Engine {
     /// An engine compressing with the configured [`Method`] (the paper's
@@ -458,13 +759,119 @@ impl Engine {
         // Validates k ≥ 1, m = m_scalar·k ≥ k (no overflow), and that the
         // default solver supports the default objective.
         let default_plan = config.default_plan()?;
-        Ok(Self {
+        let engine = Self {
             config,
             default_plan,
             default_compressor: compressor,
             datasets: Mutex::new(HashMap::new()),
             seed_counter: AtomicU64::new(0),
-        })
+            started: Instant::now(),
+            total_points: AtomicU64::new(0),
+            total_blocks: AtomicU64::new(0),
+            total_queries: AtomicU64::new(0),
+            drain_hook: Mutex::new(None),
+        };
+        engine.recover_datasets()?;
+        Ok(engine)
+    }
+
+    /// Installs the ordered shard-drain callback: on graceful shutdown
+    /// (engine drop) it is invoked as `(dataset, shard)` after each shard
+    /// worker has drained its queue, finalized its durable state, and
+    /// been joined — datasets in name order, shards in index order.
+    pub fn set_drain_hook(&self, hook: impl Fn(&str, usize) + Send + Sync + 'static) {
+        *self
+            .drain_hook
+            .lock()
+            .expect("drain hook lock is never poisoned") = Some(Box::new(hook));
+    }
+
+    /// Rebuilds every dataset found under the configured data directory:
+    /// per shard, the newest valid snapshot is reinstalled and the WAL
+    /// tail queued for replay on the worker thread, so construction stays
+    /// fast and the engine serves (with `recovering` reported) while it
+    /// catches up.
+    fn recover_datasets(&self) -> Result<(), EngineError> {
+        let Some(pc) = self.config.persist.clone() else {
+            return Ok(());
+        };
+        let mut datasets = self
+            .datasets
+            .lock()
+            .expect("dataset registry lock is never poisoned");
+        for (dir, meta) in list_datasets(&pc.data_dir)? {
+            let effective = meta
+                .plan
+                .clone()
+                .unwrap_or_else(|| self.default_plan.clone());
+            let compressor: Arc<dyn Compressor> = match &meta.plan {
+                Some(p) => Arc::from(p.method().build()),
+                None => Arc::clone(&self.default_compressor),
+            };
+            let plan_json = effective.to_json();
+            let mut shards = Vec::with_capacity(meta.shards);
+            let mut persists = Vec::with_capacity(meta.shards);
+            let mut points = 0u64;
+            let mut weight = 0.0f64;
+            for s in 0..meta.shards {
+                let (log, recovered) = ShardLog::open(&shard_dir(&dir, s), pc.log_options())?;
+                if let Some(snap) = &recovered.snapshot {
+                    points += snap.points;
+                    weight += snap.weight;
+                }
+                for rec in &recovered.tail {
+                    points += rec.block.len() as u64;
+                    weight += rec.block.total_weight();
+                }
+                let shared = Arc::new(ShardPersist {
+                    log: Mutex::new(log),
+                    applied_seq: AtomicU64::new(recovered.snapshot.as_ref().map_or(0, |sn| sn.seq)),
+                    target_seq: recovered.durable_seq(),
+                });
+                persists.push(Arc::clone(&shared));
+                shards.push(Shard::spawn(
+                    Arc::clone(&compressor),
+                    effective.params(),
+                    effective.effective_budget(),
+                    self.shard_seed(&meta.name, s),
+                    self.config.shard_queue_depth,
+                    Some(ShardDurability {
+                        shared,
+                        snapshot: recovered.snapshot,
+                        tail: recovered.tail,
+                        plan_json: plan_json.clone(),
+                        snapshot_compactions: pc.snapshot_compactions,
+                        snapshot_bytes: pc.snapshot_bytes,
+                        replay_throttle: pc.replay_throttle,
+                    }),
+                ));
+            }
+            datasets.insert(
+                meta.name.clone(),
+                Arc::new(DatasetEntry {
+                    dim: meta.dim,
+                    plan: effective,
+                    compressor,
+                    shards,
+                    next_shard: AtomicUsize::new(0),
+                    ingested_points: AtomicU64::new(points),
+                    ingested_weight: Mutex::new(weight),
+                    persist: Some(DatasetPersist {
+                        dir,
+                        shards: persists,
+                    }),
+                }),
+            );
+        }
+        Ok(())
+    }
+
+    /// The deterministic per-(dataset, shard) stream seed.
+    fn shard_seed(&self, name: &str, shard: usize) -> u64 {
+        self.config
+            .base_seed
+            .wrapping_add(fnv64(name))
+            .wrapping_add(shard as u64)
     }
 
     /// The engine's configuration.
@@ -546,37 +953,8 @@ impl Engine {
                     entry
                 }
                 MapEntry::Vacant(slot) => {
-                    let effective = plan.cloned().unwrap_or_else(|| self.default_plan.clone());
-                    let compressor: Arc<dyn Compressor> = match plan {
-                        Some(p) => Arc::from(p.method().build()),
-                        None => Arc::clone(&self.default_compressor),
-                    };
-                    let shards = (0..self.config.shards)
-                        .map(|s| {
-                            // One deterministic stream per (dataset, shard).
-                            let seed = self
-                                .config
-                                .base_seed
-                                .wrapping_add(fnv64(name))
-                                .wrapping_add(s as u64);
-                            Shard::spawn(
-                                Arc::clone(&compressor),
-                                effective.params(),
-                                effective.effective_budget(),
-                                seed,
-                                self.config.shard_queue_depth,
-                            )
-                        })
-                        .collect();
-                    Arc::clone(slot.insert(Arc::new(DatasetEntry {
-                        dim: batch.dim(),
-                        plan: effective,
-                        compressor,
-                        shards,
-                        next_shard: AtomicUsize::new(0),
-                        ingested_points: AtomicU64::new(0),
-                        ingested_weight: Mutex::new(0.0),
-                    })))
+                    let entry = self.create_dataset(name, batch.dim(), plan)?;
+                    Arc::clone(slot.insert(entry))
                 }
             }
         };
@@ -587,15 +965,42 @@ impl Engine {
             });
         }
         let shard_idx = entry.next_shard.fetch_add(1, Ordering::Relaxed) % entry.shards.len();
-        entry.shards[shard_idx]
-            .try_ingest(batch.clone())
-            .map_err(|e| match e {
-                TrySendError::Full(()) => EngineError::Overloaded {
-                    dataset: name.to_owned(),
-                    shard: shard_idx,
-                },
-                TrySendError::Disconnected(()) => EngineError::Unavailable,
-            })?;
+        let full = |_| EngineError::Overloaded {
+            dataset: name.to_owned(),
+            shard: shard_idx,
+        };
+        match &entry.persist {
+            None => entry.shards[shard_idx]
+                .try_ingest(batch.clone(), 0)
+                .map_err(|e| match e {
+                    TrySendError::Full(()) => full(()),
+                    TrySendError::Disconnected(()) => EngineError::Unavailable,
+                })?,
+            Some(p) => {
+                // Log-then-enqueue under the shard's log mutex: the batch
+                // is durable before it is acknowledged, and a refused
+                // (full-queue) batch is rolled back so replay can never
+                // resurrect a write the client was told to retry.
+                let shard = &p.shards[shard_idx];
+                let mut log = shard.log.lock().expect("shard log lock is never poisoned");
+                let seq = log.append(batch)?;
+                entry.shards[shard_idx]
+                    .try_ingest(batch.clone(), seq)
+                    .map_err(|e| {
+                        if let Err(rb) = log.rollback(seq) {
+                            // The rollback itself failing means the record
+                            // stays durable: replay will re-apply a batch
+                            // the client saw refused. Over-delivery, never
+                            // loss — but worth a trace.
+                            eprintln!("fc-engine: WAL rollback of seq {seq} failed: {rb}");
+                        }
+                        match e {
+                            TrySendError::Full(()) => full(()),
+                            TrySendError::Disconnected(()) => EngineError::Unavailable,
+                        }
+                    })?;
+            }
+        }
         let total_points = entry
             .ingested_points
             .fetch_add(batch.len() as u64, Ordering::Relaxed)
@@ -608,7 +1013,91 @@ impl Engine {
             *w += batch.total_weight();
             *w
         };
+        self.total_points
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.total_blocks.fetch_add(1, Ordering::Relaxed);
         Ok((total_points, total_weight))
+    }
+
+    /// Builds a fresh dataset entry (shards, and — on persistent engines —
+    /// its on-disk directory, meta file, and per-shard logs). Runs under
+    /// the registry lock: creation is rare and registering the dataset
+    /// must be atomic with reserving its directory.
+    fn create_dataset(
+        &self,
+        name: &str,
+        dim: usize,
+        plan: Option<&Plan>,
+    ) -> Result<Arc<DatasetEntry>, EngineError> {
+        let effective = plan.cloned().unwrap_or_else(|| self.default_plan.clone());
+        let compressor: Arc<dyn Compressor> = match plan {
+            Some(p) => Arc::from(p.method().build()),
+            None => Arc::clone(&self.default_compressor),
+        };
+        let persist = match &self.config.persist {
+            None => None,
+            Some(pc) => {
+                let dir = dataset_dir(&pc.data_dir, name);
+                DatasetMeta {
+                    name: name.to_owned(),
+                    dim,
+                    shards: self.config.shards,
+                    // Persist only an explicit plan: default-plan datasets
+                    // follow the engine default, even a *future* one.
+                    plan: plan.cloned(),
+                }
+                .store(&dir)?;
+                Some(pc.clone())
+            }
+        };
+        let plan_json = effective.to_json();
+        let mut shards = Vec::with_capacity(self.config.shards);
+        let mut persists = Vec::new();
+        for s in 0..self.config.shards {
+            let durability = match &persist {
+                None => None,
+                Some(pc) => {
+                    let dir = shard_dir(&dataset_dir(&pc.data_dir, name), s);
+                    let (log, recovered) = ShardLog::open(&dir, pc.log_options())?;
+                    let shared = Arc::new(ShardPersist {
+                        log: Mutex::new(log),
+                        applied_seq: AtomicU64::new(0),
+                        target_seq: recovered.durable_seq(),
+                    });
+                    persists.push(Arc::clone(&shared));
+                    Some(ShardDurability {
+                        shared,
+                        snapshot: recovered.snapshot,
+                        tail: recovered.tail,
+                        plan_json: plan_json.clone(),
+                        snapshot_compactions: pc.snapshot_compactions,
+                        snapshot_bytes: pc.snapshot_bytes,
+                        replay_throttle: pc.replay_throttle,
+                    })
+                }
+            };
+            shards.push(Shard::spawn(
+                Arc::clone(&compressor),
+                effective.params(),
+                effective.effective_budget(),
+                self.shard_seed(name, s),
+                self.config.shard_queue_depth,
+                durability,
+            ));
+        }
+        Ok(Arc::new(DatasetEntry {
+            dim,
+            plan: effective,
+            compressor,
+            shards,
+            next_shard: AtomicUsize::new(0),
+            ingested_points: AtomicU64::new(0),
+            ingested_weight: Mutex::new(0.0),
+            persist: self.config.persist.as_ref().map(|pc| DatasetPersist {
+                dir: dataset_dir(&pc.data_dir, name),
+                shards: persists,
+            }),
+        }))
     }
 
     /// The served coreset: union of all shard snapshots, compressed to the
@@ -623,7 +1112,9 @@ impl Engine {
         method: Option<&Method>,
     ) -> Result<(Coreset, u64, Method), EngineError> {
         let entry = self.entry(name)?;
-        self.coreset_of(&entry, name, seed, method)
+        let out = self.coreset_of(&entry, name, seed, method)?;
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
     }
 
     /// [`Self::coreset`] against an already-resolved entry: one registry
@@ -704,6 +1195,7 @@ impl Engine {
             kind,
             &SolveConfig::default(),
         )?;
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
         Ok(ClusterOutcome {
             solution,
             kind,
@@ -733,13 +1225,14 @@ impl Engine {
         }
         let kind = kind.unwrap_or_else(|| entry.plan.kind());
         let (coreset, _, _) = self.coreset_of(&entry, name, Some(self.config.base_seed), None)?;
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
         Ok((coreset.cost(centers, kind), kind, coreset.len()))
     }
 
     /// Statistics for one dataset.
     pub fn dataset_stats(&self, name: &str) -> Result<DatasetStats, EngineError> {
         let entry = self.entry(name)?;
-        let shard_stats = entry.shard_stats()?;
+        let shard_stats = entry.shard_stats();
         let ingested_weight = *entry
             .ingested_weight
             .lock()
@@ -754,10 +1247,25 @@ impl Engine {
             stored_points: shard_stats.iter().map(|s| s.stored_points).sum(),
             summaries_per_shard: shard_stats.iter().map(|s| s.summaries).collect(),
             queue_depth_per_shard: shard_stats.iter().map(|s| s.queue_depth).collect(),
+            state_epoch: entry.state_epoch(),
+            recovering: entry.recovering(),
             // A single engine is one node; the per-node breakdown belongs
             // to coordinators.
             nodes: Vec::new(),
         })
+    }
+
+    /// Lifetime counters of this engine process (since construction, not
+    /// persisted across restarts — per-dataset ingest totals *are* rebuilt
+    /// at recovery, these deliberately are not: they answer "what has this
+    /// process done", which is exactly what resets on a crash).
+    pub fn server_stats(&self) -> ServerStats {
+        ServerStats {
+            uptime_secs: self.started.elapsed().as_secs(),
+            ingested_points: self.total_points.load(Ordering::Relaxed),
+            ingested_blocks: self.total_blocks.load(Ordering::Relaxed),
+            queries: self.total_queries.load(Ordering::Relaxed),
+        }
     }
 
     /// Statistics for every dataset (sorted by name). Datasets dropped
@@ -778,22 +1286,38 @@ impl Engine {
             .collect())
     }
 
-    /// Drops a dataset, stopping and joining its shard workers.
+    /// Drops a dataset, stopping and joining its shard workers and —
+    /// on persistent engines — deleting its on-disk state. A dropped
+    /// dataset is *gone*: it does not come back on restart.
     pub fn drop_dataset(&self, name: &str) -> Result<(), EngineError> {
+        self.remove_dataset(name, true)
+    }
+
+    /// Unregisters a dataset. `purge` deletes its directory (client-facing
+    /// drop); `!purge` final-snapshots and keeps it (engine shutdown).
+    fn remove_dataset(&self, name: &str, purge: bool) -> Result<(), EngineError> {
         let entry = self
             .datasets
             .lock()
             .expect("dataset registry lock is never poisoned")
             .remove(name)
             .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))?;
+        let dir = entry.persist.as_ref().map(|p| p.dir.clone());
+        let finalize = !purge && dir.is_some();
         // Connections may still hold clones of the Arc; workers stop as
         // soon as the shutdown commands drain regardless.
         match Arc::try_unwrap(entry) {
-            Ok(mut entry) => entry.shutdown(),
+            Ok(mut entry) => entry.shutdown(finalize, |_| {}),
             Err(entry) => {
                 for shard in &entry.shards {
-                    let _ = shard.send(ShardCmd::Shutdown);
+                    let _ = shard.send(ShardCmd::Shutdown { finalize });
                 }
+            }
+        }
+        if purge {
+            if let Some(dir) = dir {
+                std::fs::remove_dir_all(&dir)
+                    .map_err(|e| EngineError::Persist(format!("purge {}: {e}", dir.display())))?;
             }
         }
         Ok(())
@@ -823,10 +1347,42 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Drop for Engine {
+    /// Graceful shutdown: every dataset's shards are drained *in shard
+    /// order* (the registered [`Engine::set_drain_hook`] observes each),
+    /// and persistent datasets flush a final snapshot + WAL sync so the
+    /// next process on this `--data-dir` restarts warm. Dropping the
+    /// engine never purges durable state — only [`Engine::drop_dataset`]
+    /// does.
     fn drop(&mut self) {
-        let names = self.dataset_names();
-        for name in names {
-            let _ = self.drop_dataset(&name);
+        let hook = self
+            .drain_hook
+            .lock()
+            .expect("drain hook lock is never poisoned")
+            .take();
+        let mut datasets: Vec<(String, Arc<DatasetEntry>)> = self
+            .datasets
+            .lock()
+            .expect("dataset registry lock is never poisoned")
+            .drain()
+            .collect();
+        datasets.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, entry) in datasets {
+            let finalize = entry.persist.is_some();
+            match Arc::try_unwrap(entry) {
+                Ok(mut entry) => entry.shutdown(finalize, |shard| {
+                    if let Some(hook) = &hook {
+                        hook(&name, shard);
+                    }
+                }),
+                // A connection still holds the entry (drop raced a
+                // request): signal the shards and let the last Arc's
+                // worker joins happen on their own threads.
+                Err(entry) => {
+                    for shard in &entry.shards {
+                        let _ = shard.send(ShardCmd::Shutdown { finalize });
+                    }
+                }
+            }
         }
     }
 }
@@ -837,12 +1393,9 @@ impl Drop for Engine {
 /// hash-dataset routing with it. One definition, so seeding and routing
 /// can never silently diverge.
 pub fn fnv64(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+    // Delegates to fc-persist, whose on-disk dataset directories are named
+    // by the same hash — a divergence would orphan persisted state.
+    fc_persist::fnv64(s)
 }
 
 #[cfg(test)]
@@ -967,7 +1520,21 @@ mod tests {
         for block in blobs(600).chunks(60) {
             engine.ingest("d", &block, None).unwrap();
         }
-        let stats = engine.dataset_stats("d").unwrap();
+        // Stream gauges are published by the shard workers, never queued
+        // behind (so stats stay answerable during a WAL replay): wait for
+        // the ingest queues to drain before reading them.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let stats = loop {
+            let stats = engine.dataset_stats("d").unwrap();
+            if stats.queue_depth_per_shard.iter().all(|&d| d == 0) {
+                break stats;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "shard queues never drained"
+            );
+            std::thread::yield_now();
+        };
         // Each shard may exceed the budget by at most one un-compacted
         // insertion (= one level-0 summary of ≤ m points).
         let slack = 4 * 10;

@@ -51,12 +51,13 @@ pub mod reactor;
 pub mod server;
 
 pub use fc_core::json;
+pub use fc_persist::FsyncPolicy;
 
 pub use backend::Backend;
 pub use client::{ClientError, ClusterResult, RetryPolicy, ServiceClient};
-pub use engine::{ClusterOutcome, Engine, EngineConfig, EngineError};
+pub use engine::{ClusterOutcome, DrainHook, Engine, EngineConfig, EngineError, PersistConfig};
 pub use framing::{FrameError, LineCodec};
 pub use protocol::{
-    DatasetStats, ErrorCode, NodeHealth, NodeStats, ProtocolError, Request, Response,
+    DatasetStats, ErrorCode, NodeHealth, NodeStats, ProtocolError, Request, Response, ServerStats,
 };
 pub use server::{IoModel, ServerHandle, ServerOptions};

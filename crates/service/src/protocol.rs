@@ -28,11 +28,13 @@
 //! effective plan in the same form.
 //!
 //! The response schema is versioned with the workspace: client and server
-//! ship from one build, so new response fields (`method`, `plan`) are
-//! required on decode. Two exceptions stay open: error `code`s (unknown
-//! codes decode as `None` so clients survive new server-side classes) and
-//! the per-node `nodes` breakdown in `stats` (emitted by coordinators,
-//! absent from plain servers — see [`DatasetStats::nodes`]).
+//! ship from one build, so new response fields (`method`, `plan`,
+//! `state_epoch`, `recovering`) are required on decode. Three exceptions
+//! stay open: error `code`s (unknown codes decode as `None` so clients
+//! survive new server-side classes), the per-node `nodes` breakdown in
+//! `stats` (emitted by coordinators, absent from plain servers — see
+//! [`DatasetStats::nodes`]), and the `server` lifetime counters in
+//! `stats` (omitted by backends that do not track them).
 //!
 //! This protocol is also how an `fc-coordinator` speaks: it serves these
 //! requests *upward* unchanged while issuing the same requests *downward*
@@ -113,6 +115,11 @@ pub enum Request {
 pub enum NodeHealth {
     /// The node's last operation succeeded.
     Alive,
+    /// The node is reachable but still replaying its write-ahead log
+    /// after a restart: its stats report at least one dataset behind its
+    /// own durable state. The coordinator keeps routing ingests to it but
+    /// answers queries from caught-up nodes only.
+    Recovering,
     /// The node is answering but shedding load (its last operation came
     /// back `overloaded` even after the coordinator's bounded retries).
     Degraded,
@@ -125,6 +132,7 @@ impl NodeHealth {
     pub fn name(self) -> &'static str {
         match self {
             NodeHealth::Alive => "alive",
+            NodeHealth::Recovering => "recovering",
             NodeHealth::Degraded => "degraded",
             NodeHealth::Down => "down",
         }
@@ -134,6 +142,7 @@ impl NodeHealth {
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "alive" => Some(NodeHealth::Alive),
+            "recovering" => Some(NodeHealth::Recovering),
             "degraded" => Some(NodeHealth::Degraded),
             "down" => Some(NodeHealth::Down),
             _ => None,
@@ -193,12 +202,35 @@ pub struct DatasetStats {
     /// Per-shard command-queue backlog (commands sent but not yet fully
     /// processed) — the observable precursor of ingest backpressure.
     pub queue_depth_per_shard: Vec<usize>,
+    /// The dataset's durable-state epoch `(snapshot ids, applied seqs)` —
+    /// each component the sum across shards (and, on a coordinator,
+    /// across nodes). Both components only grow: a restart recovers the
+    /// persisted state and replays forward, never backward. `(0, 0)` on
+    /// an engine running without persistence.
+    pub state_epoch: (u64, u64),
+    /// Whether any shard is still replaying its write-ahead log — the
+    /// dataset serves stale summaries until this clears.
+    pub recovering: bool,
     /// Per-node breakdown with node identity and health, populated by
     /// `fc-coordinator` deployments. Empty on a single server — and, unlike
     /// the other response fields, *optional on decode*: a coordinator is
     /// itself a client of plain `fc-server` nodes, whose stats never carry
     /// it.
     pub nodes: Vec<NodeStats>,
+}
+
+/// Process-lifetime counters for the serving process itself, attached to
+/// `stats` responses alongside the per-dataset rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Seconds since the serving engine started.
+    pub uptime_secs: u64,
+    /// Points acknowledged across all datasets since start.
+    pub ingested_points: u64,
+    /// Ingest batches acknowledged across all datasets since start.
+    pub ingested_blocks: u64,
+    /// Queries (compress, cluster, cost) served since start.
+    pub queries: u64,
 }
 
 /// A server response. `Error` is the only failure shape on the wire.
@@ -264,6 +296,9 @@ pub enum Response {
     Stats {
         /// Per-dataset statistics (all datasets, or the one requested).
         datasets: Vec<DatasetStats>,
+        /// Lifetime counters of the answering process. Optional on
+        /// decode: backends that do not track them omit the field.
+        server: Option<ServerStats>,
     },
     /// Outcome of a `DropDataset`.
     Dropped {
@@ -697,7 +732,9 @@ fn node_stats_from_value(v: &Value) -> Result<NodeStats, ProtocolError> {
     let health = field("health")?
         .as_str()
         .and_then(NodeHealth::from_name)
-        .ok_or_else(|| ProtocolError::new("`health` must be alive, degraded, or down"))?;
+        .ok_or_else(|| {
+            ProtocolError::new("`health` must be alive, recovering, degraded, or down")
+        })?;
     Ok(NodeStats {
         node: required_str(v, "node")?,
         health,
@@ -721,6 +758,29 @@ fn node_stats_from_value(v: &Value) -> Result<NodeStats, ProtocolError> {
         stored_points: field("stored_points")?
             .as_usize()
             .ok_or_else(|| ProtocolError::new("node `stored_points` must be an integer"))?,
+    })
+}
+
+fn server_stats_to_value(s: &ServerStats) -> Value {
+    object([
+        ("uptime_secs", Value::from(s.uptime_secs)),
+        ("ingested_points", Value::from(s.ingested_points)),
+        ("ingested_blocks", Value::from(s.ingested_blocks)),
+        ("queries", Value::from(s.queries)),
+    ])
+}
+
+fn server_stats_from_value(v: &Value) -> Result<ServerStats, ProtocolError> {
+    let counter = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ProtocolError::new(format!("server stats `{key}` must be an integer")))
+    };
+    Ok(ServerStats {
+        uptime_secs: counter("uptime_secs")?,
+        ingested_points: counter("ingested_points")?,
+        ingested_blocks: counter("ingested_blocks")?,
+        queries: counter("queries")?,
     })
 }
 
@@ -751,6 +811,14 @@ fn dataset_stats_to_value(s: &DatasetStats) -> Value {
                     .collect(),
             ),
         ),
+        (
+            "state_epoch",
+            Value::Array(vec![
+                Value::from(s.state_epoch.0),
+                Value::from(s.state_epoch.1),
+            ]),
+        ),
+        ("recovering", Value::from(s.recovering)),
     ]);
     if !s.nodes.is_empty() {
         if let Value::Object(map) = &mut value {
@@ -805,6 +873,21 @@ fn dataset_stats_from_value(v: &Value) -> Result<DatasetStats, ProtocolError> {
                     .ok_or_else(|| ProtocolError::new("`queue_depth_per_shard` must hold integers"))
             })
             .collect::<Result<_, _>>()?,
+        state_epoch: {
+            let pair = field("state_epoch")?
+                .as_array()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| ProtocolError::new("`state_epoch` must be a two-element array"))?;
+            let component = |i: usize| {
+                pair[i].as_u64().ok_or_else(|| {
+                    ProtocolError::new("`state_epoch` must hold non-negative integers")
+                })
+            };
+            (component(0)?, component(1)?)
+        },
+        recovering: field("recovering")?
+            .as_bool()
+            .ok_or_else(|| ProtocolError::new("`recovering` must be a boolean"))?,
         // Optional on decode: plain servers never emit it (see the field
         // docs on `DatasetStats`).
         nodes: match v.get("nodes") {
@@ -883,14 +966,20 @@ impl Response {
                 ("objective", Value::from(kind_name(*kind))),
                 ("coreset_points", Value::from(*coreset_points)),
             ]),
-            Response::Stats { datasets } => object([
-                ("ok", Value::from(true)),
-                ("kind", Value::from("stats")),
-                (
-                    "datasets",
-                    Value::Array(datasets.iter().map(dataset_stats_to_value).collect()),
-                ),
-            ]),
+            Response::Stats { datasets, server } => {
+                let mut pairs = vec![
+                    ("ok", Value::from(true)),
+                    ("kind", Value::from("stats")),
+                    (
+                        "datasets",
+                        Value::Array(datasets.iter().map(dataset_stats_to_value).collect()),
+                    ),
+                ];
+                if let Some(s) = server {
+                    pairs.push(("server", server_stats_to_value(s)));
+                }
+                pairs_to_object(pairs)
+            }
             Response::Dropped { dataset } => object([
                 ("ok", Value::from(true)),
                 ("kind", Value::from("dropped")),
@@ -994,6 +1083,12 @@ impl Response {
                     .iter()
                     .map(dataset_stats_from_value)
                     .collect::<Result<_, _>>()?,
+                // Optional on decode: backends without lifetime counters
+                // omit the field.
+                server: match v.get("server") {
+                    None | Some(Value::Null) => None,
+                    Some(s) => Some(server_stats_from_value(s)?),
+                },
             }),
             "dropped" => Ok(Response::Dropped {
                 dataset: required_str(&v, "dataset")?,
@@ -1173,8 +1268,16 @@ mod tests {
                 stored_points: 320,
                 summaries_per_shard: vec![2, 1, 3, 1],
                 queue_depth_per_shard: vec![0, 4, 0, 1],
+                state_epoch: (3, 1000),
+                recovering: false,
                 nodes: Vec::new(),
             }],
+            server: Some(ServerStats {
+                uptime_secs: 86_400,
+                ingested_points: 1 << 41,
+                ingested_blocks: 1 << 21,
+                queries: 42,
+            }),
         });
         // Coordinator stats carry per-node identity and health.
         round_trip_response(Response::Stats {
@@ -1188,6 +1291,8 @@ mod tests {
                 stored_points: 10,
                 summaries_per_shard: vec![1, 1, 1, 1],
                 queue_depth_per_shard: vec![0, 0, 0, 0],
+                state_epoch: (0, 0),
+                recovering: true,
                 nodes: vec![
                     NodeStats {
                         node: "127.0.0.1:4777".into(),
@@ -1200,6 +1305,15 @@ mod tests {
                     },
                     NodeStats {
                         node: "127.0.0.1:4778".into(),
+                        health: NodeHealth::Recovering,
+                        last_error: None,
+                        shards: 2,
+                        ingested_points: 4,
+                        ingested_weight: 4.0,
+                        stored_points: 4,
+                    },
+                    NodeStats {
+                        node: "127.0.0.1:4779".into(),
                         health: NodeHealth::Down,
                         last_error: Some("connect: refused".into()),
                         shards: 0,
@@ -1209,6 +1323,7 @@ mod tests {
                     },
                 ],
             }],
+            server: None,
         });
         round_trip_response(Response::Dropped {
             dataset: "d".into(),

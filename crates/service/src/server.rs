@@ -386,7 +386,10 @@ pub fn handle_request(backend: &dyn Backend, request: Request) -> Response {
                 None => backend.stats(),
             };
             match result {
-                Ok(datasets) => Response::Stats { datasets },
+                Ok(datasets) => Response::Stats {
+                    datasets,
+                    server: backend.server_stats(),
+                },
                 Err(e) => engine_error(e),
             }
         }
@@ -1317,9 +1320,13 @@ mod tests {
 
         let stats = handle_request(&engine, Request::Stats { dataset: None });
         match stats {
-            Response::Stats { datasets } => {
+            Response::Stats { datasets, server } => {
                 assert_eq!(datasets.len(), 1);
                 assert_eq!(datasets[0].ingested_points, 50);
+                let server = server.expect("engines report lifetime counters");
+                assert_eq!(server.ingested_points, 50);
+                assert_eq!(server.ingested_blocks, 1);
+                assert!(server.queries >= 1, "cost query counted");
             }
             other => panic!("unexpected {other:?}"),
         }

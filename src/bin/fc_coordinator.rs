@@ -22,6 +22,14 @@
 //! nodes with every routed batch — node-side defaults never leak in. The
 //! `--io-*` flags configure the upward-facing server exactly as on
 //! `fc-server`; node fan-outs multiplex over epoll regardless (Linux).
+//!
+//! A node restarting warm from its `--data-dir` reports `recovering` in
+//! `stats` while it replays its write-ahead log. The coordinator routes
+//! queries around it — its fan-out slot probes the node's stats instead,
+//! so the per-node health in `stats` tracks `recovering` → `alive` as
+//! the replay catches up — and resumes unioning its coresets only once
+//! it reports caught up. Ingest keeps routing to recovering nodes (the
+//! WAL orders those batches behind the replay).
 
 use fc_cluster::{Coordinator, CoordinatorConfig, NodeTimeouts, RoutingPolicy};
 use fc_clustering::CostKind;

@@ -1,0 +1,168 @@
+//! End-to-end crash recovery: a real `fc-server` process is killed with
+//! SIGKILL mid-stream and restarted on the same `--data-dir`. The
+//! restarted node must replay every acknowledged batch, report
+//! `recovering` (surfaced through an `fc-cluster` coordinator's health
+//! view) until the replay catches up, keep its `state_epoch` monotonic,
+//! and price queries at parity with its pre-crash self.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use fast_coresets::prelude::*;
+use fc_cluster::{Coordinator, CoordinatorConfig};
+use fc_service::protocol::NodeHealth;
+use fc_service::{Backend, ServiceClient};
+
+fn four_blobs(n_per: usize) -> Dataset {
+    let mut flat = Vec::new();
+    for b in 0..4 {
+        for i in 0..n_per {
+            flat.push(b as f64 * 100.0 + (i % 25) as f64 * 0.01);
+            flat.push((i / 25) as f64 * 0.01);
+        }
+    }
+    Dataset::from_flat(flat, 2).unwrap()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fc-crash-e2e-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Spawns `fc-server --addr 127.0.0.1:0 --data-dir <dir> <extra…>` and
+/// parses the bound address out of the startup banner. The returned
+/// reader keeps the stdout pipe open for the child's lifetime.
+fn spawn_server(
+    dir: &Path,
+    extra: &[&str],
+) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fc-server"));
+    cmd.args(["--addr", "127.0.0.1:0", "--shards", "2", "--data-dir"])
+        .arg(dir)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn fc-server");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .strip_prefix("fc-server listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .split_whitespace()
+        .next()
+        .expect("address in banner")
+        .to_owned();
+    (child, addr, reader)
+}
+
+#[test]
+fn kill_dash_nine_then_restart_recovers_and_reports_recovering() {
+    let dir = scratch("kill9");
+    let centers = Points::from_flat(vec![0.0, 0.0, 100.0, 0.0, 200.0, 0.0, 300.0, 0.0], 2).unwrap();
+
+    // Phase 1: serve, ingest, record the acknowledged totals and a
+    // baseline cost, then SIGKILL mid-flight (no shutdown path runs).
+    let (mut child, addr, _out) = spawn_server(&dir, &[]);
+    let (acked_points, acked_weight, epoch_before, cost_before) = {
+        let mut client = ServiceClient::connect(&addr).expect("connect");
+        for chunk in four_blobs(150).chunks(100) {
+            client.ingest("blobs", &chunk, None).expect("ingest");
+        }
+        let stats = client
+            .stats(Some("blobs"))
+            .expect("stats")
+            .pop()
+            .expect("dataset reported");
+        let cost = client.cost("blobs", &centers, None).expect("cost");
+        (
+            stats.ingested_points,
+            stats.ingested_weight,
+            stats.state_epoch,
+            cost,
+        )
+    };
+    child.kill().expect("SIGKILL fc-server");
+    child.wait().expect("reap fc-server");
+
+    // Phase 2: restart on the same data-dir, replay throttled so the
+    // recovering window is wide enough to observe over the wire.
+    let (mut child, addr, _out) = spawn_server(&dir, &["--replay-throttle-ms", "300"]);
+    let coordinator =
+        Coordinator::new(CoordinatorConfig::new([addr.clone()])).expect("coordinator");
+
+    // The very first stats probe lands inside the replay window: the
+    // dataset and the node both read `recovering`.
+    let stats = coordinator.dataset_stats("blobs").expect("stats");
+    assert!(
+        stats.recovering,
+        "restart with a WAL tail must report recovering"
+    );
+    assert_eq!(stats.nodes.len(), 1);
+    assert_eq!(
+        stats.nodes[0].health,
+        NodeHealth::Recovering,
+        "coordinator surfaces the node as recovering"
+    );
+
+    // The replay converges. A full stats sweep is the operation that
+    // clears the sticky per-node recovering flag (a filtered report can
+    // only set it — it cannot vouch for datasets it did not cover), so
+    // poll the fleet-wide view until the node reads alive again.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let stats = loop {
+        let stats = coordinator
+            .stats()
+            .expect("stats")
+            .into_iter()
+            .find(|d| d.dataset == "blobs")
+            .expect("dataset survives restart");
+        if !stats.recovering && stats.nodes[0].health == NodeHealth::Alive {
+            break stats;
+        }
+        assert!(Instant::now() < deadline, "replay never caught up");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    // Durability: every acknowledged batch survived the SIGKILL, and the
+    // state epoch never went backwards.
+    assert_eq!(
+        stats.ingested_points, acked_points,
+        "acknowledged points must survive kill -9"
+    );
+    assert!((stats.ingested_weight - acked_weight).abs() < 1e-6 * acked_weight.max(1.0));
+    assert!(
+        stats.state_epoch.1 >= epoch_before.1,
+        "applied-seq epoch must be monotonic across restarts \
+         (before {:?}, after {:?})",
+        epoch_before,
+        stats.state_epoch
+    );
+
+    // The recovered node keeps taking writes through the coordinator
+    // (this also registers the dataset in the coordinator's route
+    // registry — queries route by it). The batch sits exactly on the
+    // four centers, so it adds nothing to the cost below.
+    coordinator
+        .ingest("blobs", &four_blobs(1), None)
+        .expect("post-recovery ingest");
+
+    // Query parity: the recovered node prices the same centers close to
+    // its pre-crash self (both answers are coreset approximations of the
+    // same acknowledged data).
+    let (cost_after, _, priced) = coordinator.cost("blobs", &centers, None).expect("cost");
+    assert!(priced > 0);
+    let rel = (cost_after - cost_before).abs() / cost_before.max(1.0);
+    assert!(
+        rel < 0.5,
+        "post-recovery cost {cost_after} strays from pre-crash {cost_before} (rel {rel})"
+    );
+
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

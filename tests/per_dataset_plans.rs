@@ -217,7 +217,7 @@ fn raw_json_ingest_with_plan_and_stats_echo() {
         Request::from_json(r#"{"op":"stats","dataset":"d"}"#).unwrap(),
     );
     match stats {
-        Response::Stats { datasets } => {
+        Response::Stats { datasets, .. } => {
             let line = datasets[0].plan.to_json();
             assert_eq!(
                 line,

@@ -1,0 +1,203 @@
+//! Engine-level durability tests: a persistent engine restarts warm.
+//!
+//! Two restart shapes, both in-process:
+//!
+//! - **graceful**: dropping the engine final-snapshots every shard, so
+//!   the next boot replays nothing and starts caught up;
+//! - **crash**: `std::mem::forget(engine)` leaks the engine (shard
+//!   workers and all) without running any shutdown path — exactly the
+//!   on-disk state a `kill -9` leaves — and the next boot replays the
+//!   WAL tail, reporting `recovering` until it catches up.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use fast_coresets::prelude::*;
+use fc_service::{Engine, EngineConfig, PersistConfig};
+
+fn four_blobs(n_per: usize, offset: f64) -> Dataset {
+    let mut flat = Vec::new();
+    for b in 0..4 {
+        for i in 0..n_per {
+            flat.push(b as f64 * 100.0 + offset + (i % 25) as f64 * 0.01);
+            flat.push((i / 25) as f64 * 0.01);
+        }
+    }
+    Dataset::from_flat(flat, 2).unwrap()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fc-recovery-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn persistent_engine(dir: &Path, throttle_ms: u64) -> Engine {
+    let mut persist = PersistConfig::new(dir.to_path_buf());
+    persist.replay_throttle = Duration::from_millis(throttle_ms);
+    Engine::new(EngineConfig {
+        k: 4,
+        shards: 2,
+        persist: Some(persist),
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+/// Polls `stats` until the dataset stops reporting `recovering` (replay
+/// is asynchronous on the shard workers).
+fn await_caught_up(engine: &Engine, dataset: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = engine.dataset_stats(dataset).unwrap();
+        if !stats.recovering {
+            return;
+        }
+        assert!(Instant::now() < deadline, "replay never caught up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn graceful_restart_serves_the_same_data_without_replay() {
+    let dir = scratch("graceful");
+    let (acked_points, acked_weight, epoch) = {
+        let engine = persistent_engine(&dir, 0);
+        for chunk in four_blobs(200, 0.0).chunks(100) {
+            engine.ingest("blobs", &chunk, None).unwrap();
+        }
+        let stats = engine.dataset_stats("blobs").unwrap();
+        assert!(!stats.recovering, "a fresh dataset is not recovering");
+        (
+            stats.ingested_points,
+            stats.ingested_weight,
+            stats.state_epoch,
+        )
+        // Engine drops here: ordered drain + final snapshot per shard.
+    };
+    let engine = persistent_engine(&dir, 0);
+    let stats = engine.dataset_stats("blobs").unwrap();
+    // A graceful shutdown leaves no WAL tail: the restart is caught up
+    // before it answers its first request.
+    assert!(!stats.recovering, "graceful restart must not replay");
+    assert_eq!(stats.ingested_points, acked_points);
+    assert!((stats.ingested_weight - acked_weight).abs() < 1e-6 * acked_weight.max(1.0));
+    // The epoch's snapshot component grew (final snapshots were taken);
+    // the applied-seq component never goes backwards.
+    assert!(stats.state_epoch.0 > epoch.0, "snapshot ids must grow");
+    assert!(
+        stats.state_epoch.1 >= epoch.1,
+        "applied seq must not regress"
+    );
+    // The recovered stream serves a usable coreset.
+    let (coreset, _, _) = engine.coreset("blobs", Some(7), None).unwrap();
+    assert!(!coreset.is_empty());
+    // Sampling methods preserve total weight approximately (same bound
+    // the live-engine suite uses).
+    let rel = (coreset.total_weight() - acked_weight).abs() / acked_weight;
+    assert!(rel < 0.3, "served weight off by {rel}");
+    drop(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_restart_replays_every_acknowledged_batch() {
+    let dir = scratch("crash");
+    let (acked_points, acked_weight) = {
+        let engine = persistent_engine(&dir, 0);
+        for (i, chunk) in four_blobs(150, 0.0).chunks(75).into_iter().enumerate() {
+            engine
+                .ingest("blobs", &chunk, None)
+                .unwrap_or_else(|e| panic!("batch {i}: {e}"));
+        }
+        let stats = engine.dataset_stats("blobs").unwrap();
+        // Crash: leak the engine so no shutdown path (snapshot, WAL sync
+        // beyond the per-append policy) runs. The shard worker threads
+        // leak too — acceptable in a test process.
+        std::mem::forget(engine);
+        (stats.ingested_points, stats.ingested_weight)
+    };
+    let engine = persistent_engine(&dir, 0);
+    await_caught_up(&engine, "blobs");
+    let stats = engine.dataset_stats("blobs").unwrap();
+    assert_eq!(
+        stats.ingested_points, acked_points,
+        "every acknowledged batch must survive kill -9"
+    );
+    assert!((stats.ingested_weight - acked_weight).abs() < 1e-6 * acked_weight.max(1.0));
+    let (coreset, _, _) = engine.coreset("blobs", Some(7), None).unwrap();
+    let rel = (coreset.total_weight() - acked_weight).abs() / acked_weight;
+    assert!(rel < 0.3, "served weight off by {rel}");
+    std::mem::forget(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_restart_reports_recovering_while_replaying() {
+    let dir = scratch("recovering");
+    {
+        let engine = persistent_engine(&dir, 0);
+        for chunk in four_blobs(100, 0.0).chunks(50) {
+            engine.ingest("blobs", &chunk, None).unwrap();
+        }
+        std::mem::forget(engine);
+    }
+    // Throttled replay widens the window so the flag is observable.
+    let engine = persistent_engine(&dir, 200);
+    let stats = engine.dataset_stats("blobs").unwrap();
+    assert!(
+        stats.recovering,
+        "a crash restart with a WAL tail must report recovering"
+    );
+    let mid_epoch = stats.state_epoch;
+    await_caught_up(&engine, "blobs");
+    let stats = engine.dataset_stats("blobs").unwrap();
+    assert!(stats.state_epoch.1 >= mid_epoch.1, "epoch only grows");
+    std::mem::forget(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dropped_datasets_stay_dropped_across_restart() {
+    let dir = scratch("dropped");
+    {
+        let engine = persistent_engine(&dir, 0);
+        engine.ingest("keep", &four_blobs(50, 0.0), None).unwrap();
+        engine.ingest("gone", &four_blobs(50, 5.0), None).unwrap();
+        engine.drop_dataset("gone").unwrap();
+        // Graceful shutdown flushes `keep` only.
+    }
+    let engine = persistent_engine(&dir, 0);
+    assert_eq!(engine.dataset_names(), vec!["keep".to_owned()]);
+    assert!(engine.dataset_stats("gone").is_err());
+    drop(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drain_hook_observes_every_shard_in_order() {
+    use std::sync::{Arc, Mutex};
+    let dir = scratch("drain");
+    let engine = persistent_engine(&dir, 0);
+    engine.ingest("a", &four_blobs(30, 0.0), None).unwrap();
+    engine.ingest("b", &four_blobs(30, 1.0), None).unwrap();
+    let seen: Arc<Mutex<Vec<(String, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    engine.set_drain_hook(move |dataset, shard| {
+        sink.lock().unwrap().push((dataset.to_owned(), shard));
+    });
+    drop(engine);
+    let seen = seen.lock().unwrap();
+    // Two datasets × two shards, datasets in name order, shards in index
+    // order within each.
+    assert_eq!(
+        *seen,
+        vec![
+            ("a".to_owned(), 0),
+            ("a".to_owned(), 1),
+            ("b".to_owned(), 0),
+            ("b".to_owned(), 1),
+        ]
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

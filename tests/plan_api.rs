@@ -223,7 +223,7 @@ fn served_clustering_round_trips_solver_and_queue_depth() {
         },
     );
     match resp {
-        Response::Stats { datasets } => {
+        Response::Stats { datasets, .. } => {
             assert_eq!(datasets[0].queue_depth_per_shard.len(), 2);
         }
         other => panic!("unexpected {other:?}"),

@@ -192,7 +192,7 @@ fn protocol_errors_leave_connection_usable() {
     assert!(matches!(ok, Response::Ingested { points: 4, .. }), "{ok:?}");
     let stats = send(r#"{"op":"stats","dataset":"d"}"#);
     match stats {
-        Response::Stats { datasets } => assert_eq!(datasets[0].ingested_points, 4),
+        Response::Stats { datasets, .. } => assert_eq!(datasets[0].ingested_points, 4),
         other => panic!("unexpected {other:?}"),
     }
     server.shutdown();
