@@ -1,0 +1,244 @@
+//! **Cluster load**: throughput and latency percentiles of a whole fleet
+//! — one `fc-coordinator` backend in front of N in-process `fc-server`
+//! nodes — under a mixed ingest/cost/cluster workload, vs. client count.
+//! The serving-tier companion to `service_throughput`: that bench
+//! measures one node, this one measures the fan-out/union tier above it
+//! (ROADMAP item: a cluster-level load harness).
+//!
+//! Every client thread runs its own connection to the coordinator and
+//! cycles deterministically through the mix — `ingest` (one small
+//! block), `cost` (scalars only cross the network), `cluster` (per-node
+//! compressions unioned and solved coordinator-side) — so offered
+//! concurrency equals the client count and no RNG sits in the measured
+//! path. Besides the console table, the run writes `BENCH_cluster.json`
+//! at the workspace root so the repo carries a perf trajectory.
+//!
+//! Environment knobs:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `CLUSTER_BENCH_NODES` | `3` | fleet size behind the coordinator |
+//! | `CLUSTER_BENCH_CLIENTS` | `2,8,32` | client counts to sweep |
+//! | `CLUSTER_BENCH_REQUESTS` | `30` | requests per client |
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use fc_bench::Table;
+use fc_cluster::{Coordinator, CoordinatorConfig, RoutingPolicy};
+use fc_core::plan::{Method, PlanBuilder};
+use fc_geom::Dataset;
+use fc_service::{Engine, EngineConfig, ServerHandle, ServiceClient};
+
+fn blobs(n_per: usize) -> Dataset {
+    let mut flat = Vec::new();
+    for b in 0..4 {
+        for i in 0..n_per {
+            flat.push(b as f64 * 100.0 + (i % 25) as f64 * 0.01);
+            flat.push((i / 25) as f64 * 0.01);
+        }
+    }
+    Dataset::from_flat(flat, 2).unwrap()
+}
+
+fn node_server() -> ServerHandle {
+    let engine = Engine::new(EngineConfig {
+        shards: 2,
+        k: 4,
+        m_scalar: 25,
+        method: Method::Uniform,
+        ..Default::default()
+    })
+    .unwrap();
+    ServerHandle::bind("127.0.0.1:0", engine).unwrap()
+}
+
+/// The three ops of the mix, cycled per request index.
+const OPS: [&str; 3] = ["ingest", "cost", "cluster"];
+
+struct Row {
+    clients: usize,
+    requests: usize,
+    rps: f64,
+    /// Per-op `(p50 ms, p99 ms)`, indexed like [`OPS`].
+    per_op: [(f64, f64); 3],
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 * p).floor() as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Runs `clients` threads, each issuing `per_client` requests cycling
+/// through the mix, against the coordinator at `addr`.
+fn measure(addr: std::net::SocketAddr, clients: usize, per_client: usize) -> Row {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let block = blobs(25);
+    let centers = fc_geom::Points::from_flat(vec![0.0, 0.0, 100.0, 0.0], 2).unwrap();
+    let (wall, latencies) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|worker| {
+                let barrier = Arc::clone(&barrier);
+                let block = block.clone();
+                let centers = centers.clone();
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("bench connect");
+                    barrier.wait();
+                    // Per-op latency samples, indexed like OPS.
+                    let mut latencies: [Vec<f64>; 3] = Default::default();
+                    for i in 0..per_client {
+                        let op = (worker + i) % OPS.len();
+                        let started = Instant::now();
+                        match op {
+                            0 => {
+                                client.ingest("bench", &block, None).expect("ingest");
+                            }
+                            1 => {
+                                client.cost("bench", &centers, None).expect("cost");
+                            }
+                            _ => {
+                                client
+                                    .cluster("bench", None, None, None, Some(i as u64))
+                                    .expect("cluster");
+                            }
+                        }
+                        latencies[op].push(started.elapsed().as_secs_f64() * 1e3);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        barrier.wait();
+        let started = Instant::now();
+        let mut merged: [Vec<f64>; 3] = Default::default();
+        for worker in workers {
+            let samples = worker.join().expect("bench worker");
+            for (into, from) in merged.iter_mut().zip(samples) {
+                into.extend(from);
+            }
+        }
+        (started.elapsed().as_secs_f64(), merged)
+    });
+    let total: usize = latencies.iter().map(Vec::len).sum();
+    let per_op = latencies.map(|mut samples| {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        (percentile(&samples, 0.50), percentile(&samples, 0.99))
+    });
+    Row {
+        clients,
+        requests: total,
+        rps: total as f64 / wall,
+        per_op,
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn env_clients() -> Vec<usize> {
+    std::env::var("CLUSTER_BENCH_CLIENTS")
+        .ok()
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|n| n.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![2, 8, 32])
+}
+
+fn json_row(row: &Row) -> String {
+    let ops = OPS
+        .iter()
+        .zip(row.per_op)
+        .map(|(op, (p50, p99))| format!(r#""{op}":{{"p50_ms":{p50:.3},"p99_ms":{p99:.3}}}"#))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        r#"{{"clients":{},"requests":{},"rps":{:.1},{}}}"#,
+        row.clients, row.requests, row.rps, ops
+    )
+}
+
+fn main() {
+    let nodes = env_usize("CLUSTER_BENCH_NODES", 3);
+    let per_client = env_usize("CLUSTER_BENCH_REQUESTS", 30);
+    let clients = env_clients();
+
+    let fleet: Vec<ServerHandle> = (0..nodes).map(|_| node_server()).collect();
+    let mut config = CoordinatorConfig::new(fleet.iter().map(|s| s.addr().to_string()));
+    config.policy = RoutingPolicy::RoundRobin;
+    config.default_plan = PlanBuilder::new(4)
+        .m_scalar(25)
+        .method(Method::Uniform)
+        .build()
+        .unwrap();
+    let coordinator = Arc::new(Coordinator::new(config).unwrap());
+    let front = ServerHandle::bind_backend("127.0.0.1:0", coordinator).unwrap();
+
+    // Seed the dataset and warm every node's serving path once, so the
+    // sweep measures steady-state fan-outs, not first-touch costs.
+    let mut seeder = ServiceClient::connect(front.addr()).unwrap();
+    for block in blobs(100).chunks(50) {
+        seeder.ingest("bench", &block, None).unwrap();
+    }
+    seeder.cluster("bench", None, None, None, Some(0)).unwrap();
+
+    let mut rows = Vec::new();
+    for &count in &clients {
+        rows.push(measure(front.addr(), count, per_client));
+    }
+
+    let mut table = Table::new(
+        format!("Cluster load: coordinator over {nodes} nodes, mixed ingest/cost/cluster"),
+        &[
+            "clients",
+            "requests",
+            "req/s",
+            "ingest p50",
+            "p99",
+            "cost p50",
+            "p99",
+            "cluster p50",
+            "p99",
+        ],
+    );
+    for row in &rows {
+        let mut cells = vec![
+            row.clients.to_string(),
+            row.requests.to_string(),
+            format!("{:.0}", row.rps),
+        ];
+        for (p50, p99) in row.per_op {
+            cells.push(format!("{p50:.2}"));
+            cells.push(format!("{p99:.2}"));
+        }
+        table.row(cells);
+    }
+    table.print();
+
+    let json = format!(
+        "{{\"experiment\":\"cluster_load\",\"nodes\":{},\"requests_per_client\":{},\"rows\":[{}]}}\n",
+        nodes,
+        per_client,
+        rows.iter().map(json_row).collect::<Vec<_>>().join(",")
+    );
+    // The workspace root, independent of the bench's working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    std::fs::write(path, &json).expect("write BENCH_cluster.json");
+    println!("wrote {path}");
+
+    front.shutdown();
+    for node in fleet {
+        node.shutdown();
+    }
+}

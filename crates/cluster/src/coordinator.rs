@@ -28,17 +28,18 @@ use std::sync::{Arc, Mutex};
 
 use fc_clustering::solver::{SolveConfig, Solver};
 use fc_clustering::CostKind;
+use fc_core::json::Value;
 use fc_core::plan::{Method, Plan};
 use fc_core::streaming::mapreduce::aggregate_parts;
 use fc_core::{Coreset, FcError};
 use fc_geom::{Dataset, Points};
 use fc_service::engine::fnv64;
 use fc_service::protocol::{self, DatasetStats, ErrorCode, NodeHealth, NodeStats};
-#[cfg(target_os = "linux")]
 use fc_service::ServiceClient;
 use fc_service::{
     Backend, ClientError, ClusterOutcome, EngineConfig, EngineError, Request, Response, RetryPolicy,
 };
+use fc_telemetry::{current_trace, labeled, next_request_id, Counter, Histogram, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, WeightedIndex};
@@ -225,6 +226,53 @@ pub struct Coordinator {
     total_points: AtomicU64,
     total_blocks: AtomicU64,
     total_queries: AtomicU64,
+    /// The coordinator's observability surface (shared with the server
+    /// loop serving it) plus cached hot-path handles into it.
+    metrics: CoordinatorMetrics,
+}
+
+/// Coordinator-side telemetry handles: per-op latency histograms under
+/// the same names an engine uses (so one Grafana panel covers both
+/// tiers), plus a per-node request-latency histogram for attribution.
+struct CoordinatorMetrics {
+    shared: Arc<Telemetry>,
+    ingest_points: Counter,
+    ingest_blocks: Counter,
+    ingest_seconds: Histogram,
+    coreset_seconds: Histogram,
+    cluster_seconds: Histogram,
+    cost_seconds: Histogram,
+    /// Indexed by node: wall time of each fan-out exchange against that
+    /// node (including timeouts), whatever the op.
+    node_seconds: Vec<Histogram>,
+}
+
+impl CoordinatorMetrics {
+    fn new(node_addrs: impl Iterator<Item = impl AsRef<str>>) -> Self {
+        let shared = Arc::new(Telemetry::new());
+        let op_hist = |op: &str| {
+            shared
+                .registry
+                .histogram(&labeled("fc_op_seconds", &[("op", op)]))
+        };
+        CoordinatorMetrics {
+            ingest_points: shared.registry.counter("fc_ingest_points_total"),
+            ingest_blocks: shared.registry.counter("fc_ingest_blocks_total"),
+            ingest_seconds: op_hist("ingest"),
+            coreset_seconds: op_hist("coreset"),
+            cluster_seconds: op_hist("cluster"),
+            cost_seconds: op_hist("cost"),
+            node_seconds: node_addrs
+                .map(|addr| {
+                    shared.registry.histogram(&labeled(
+                        "fc_node_request_seconds",
+                        &[("node", addr.as_ref())],
+                    ))
+                })
+                .collect(),
+            shared,
+        }
+    }
 }
 
 impl Coordinator {
@@ -255,6 +303,7 @@ impl Coordinator {
             ),
             _ => None,
         };
+        let metrics = CoordinatorMetrics::new(config.nodes.iter().map(|spec| spec.addr.as_str()));
         Ok(Self {
             nodes: config
                 .nodes
@@ -274,6 +323,7 @@ impl Coordinator {
             total_points: AtomicU64::new(0),
             total_blocks: AtomicU64::new(0),
             total_queries: AtomicU64::new(0),
+            metrics,
         })
     }
 
@@ -375,15 +425,23 @@ impl Coordinator {
             redialed: bool,
             attempt: u32,
             line: Vec<u8>,
+            op: &'static str,
         }
 
+        // Every fan-out runs under one request id — the caller's (set as
+        // the ambient trace by the server loop in front of this
+        // coordinator) or a fresh one — stamped onto each node request,
+        // so a slow query is attributable per node on both sides.
+        let trace = current_trace().unwrap_or_else(next_request_id);
         let n = self.nodes.len();
         let mut outcomes: Vec<Option<Result<Response, ClientError>>> =
             std::iter::repeat_with(|| None).take(n).collect();
         let mut live: Vec<Live> = Vec::new();
-        let mut cold: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut cold: Vec<(usize, Vec<u8>, &'static str)> = Vec::new();
         for (idx, node) in self.nodes.iter().enumerate() {
-            let mut line = request_for(idx).to_json().into_bytes();
+            let request = request_for(idx);
+            let op = request.op_name();
+            let mut line = request.to_json_with_trace(Some(&trace)).into_bytes();
             line.push(b'\n');
             match node.pooled() {
                 Some(client) => live.push(Live {
@@ -393,16 +451,17 @@ impl Coordinator {
                     redialed: false,
                     attempt: 1,
                     line,
+                    op,
                 }),
-                None => cold.push((idx, line)),
+                None => cold.push((idx, line, op)),
             }
         }
         // Cold nodes (empty pools) dial concurrently, so an unreachable
         // fleet costs one connect timeout, not one per node in series.
         // Steady-state queries take the pooled path above and spawn
         // nothing.
-        let cold_nodes: Vec<usize> = cold.iter().map(|(idx, _)| *idx).collect();
-        for ((idx, line), dialed) in cold.into_iter().zip(self.dial_many(&cold_nodes)) {
+        let cold_nodes: Vec<usize> = cold.iter().map(|(idx, _, _)| *idx).collect();
+        for ((idx, line, op), dialed) in cold.into_iter().zip(self.dial_many(&cold_nodes)) {
             match dialed {
                 Ok(client) => live.push(Live {
                     node: idx,
@@ -411,6 +470,7 @@ impl Coordinator {
                     redialed: false,
                     attempt: 1,
                     line,
+                    op,
                 }),
                 // The dial already marked the node's health.
                 Err(e) => outcomes[idx] = Some(Err(ClientError::Io(e))),
@@ -460,6 +520,15 @@ impl Coordinator {
             let mut redial: Vec<Live> = Vec::new();
             let mut overload_retry = false;
             for (mut l, result) in live.into_iter().zip(results) {
+                // Attribute the exchange's wall time (including timeouts)
+                // to the node, and hop-log it under the fan-out's request
+                // id; retries record once per attempt, which is the truth.
+                self.metrics.node_seconds[l.node].observe(result.elapsed);
+                self.metrics.shared.traces.record(
+                    &trace,
+                    format!("node{}:{}", l.node, l.op),
+                    result.elapsed,
+                );
                 let mut client = ServiceClient::from_parts(result.stream, result.codec);
                 // from_parts starts a fresh client; restore the node's
                 // whole-response budget before this connection is pooled
@@ -569,6 +638,11 @@ impl Coordinator {
         &self,
         request_for: impl Fn(usize) -> Request + Sync,
     ) -> Vec<Result<Response, ClientError>> {
+        // One request id for the whole fan-out (the ambient trace is
+        // thread-local, so each spawned thread re-sets it before the
+        // client stamps outgoing lines).
+        let trace = current_trace().unwrap_or_else(next_request_id);
+        let trace = &trace;
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .nodes
@@ -577,8 +651,19 @@ impl Coordinator {
                 .map(|(idx, node)| {
                     let request_for = &request_for;
                     scope.spawn(move || {
+                        let _scope = fc_telemetry::set_current_trace(Some(trace.clone()));
                         let request = request_for(idx);
-                        node.request(&request, &self.retry)
+                        let op = request.op_name();
+                        let started = std::time::Instant::now();
+                        let outcome = node.request(&request, &self.retry);
+                        let elapsed = started.elapsed();
+                        self.metrics.node_seconds[idx].observe(elapsed);
+                        self.metrics.shared.traces.record(
+                            trace,
+                            format!("node{idx}:{op}"),
+                            elapsed,
+                        );
+                        outcome
                     })
                 })
                 .collect();
@@ -787,6 +872,7 @@ impl Backend for Coordinator {
             // next routed block.
             plan: route.plan.clone(),
         };
+        let started = std::time::Instant::now();
         let outcome = (|| {
             let start = self.route_start(name, &route);
             let mut last = EngineError::Unavailable;
@@ -834,6 +920,11 @@ impl Backend for Coordinator {
             }
             Err(last)
         })();
+        self.metrics.ingest_seconds.observe(started.elapsed());
+        if outcome.is_ok() {
+            self.metrics.ingest_points.add(batch.len() as u64);
+            self.metrics.ingest_blocks.incr();
+        }
         if outcome.is_err() && created {
             // No node ever accepted a byte of this dataset: unwind the
             // freshly registered route so a failed creating ingest doesn't
@@ -858,14 +949,19 @@ impl Backend for Coordinator {
         seed: Option<u64>,
         method: Option<&Method>,
     ) -> Result<(Coreset, u64, Method), EngineError> {
-        let route = self.route(name)?;
-        let seed = self.resolve_seed(seed);
-        let coreset = self.serving_coreset(name, &route, seed, method)?;
-        let effective = method
-            .cloned()
-            .unwrap_or_else(|| route.effective.method().clone());
-        self.total_queries.fetch_add(1, Ordering::Relaxed);
-        Ok((coreset, seed, effective))
+        let started = std::time::Instant::now();
+        let outcome = (|| {
+            let route = self.route(name)?;
+            let seed = self.resolve_seed(seed);
+            let coreset = self.serving_coreset(name, &route, seed, method)?;
+            let effective = method
+                .cloned()
+                .unwrap_or_else(|| route.effective.method().clone());
+            self.total_queries.fetch_add(1, Ordering::Relaxed);
+            Ok((coreset, seed, effective))
+        })();
+        self.metrics.coreset_seconds.observe(started.elapsed());
+        outcome
     }
 
     /// Clusters the unioned per-node coresets coordinator-side: the final
@@ -879,38 +975,43 @@ impl Backend for Coordinator {
         solver: Option<Solver>,
         seed: Option<u64>,
     ) -> Result<ClusterOutcome, EngineError> {
-        let route = self.route(name)?;
-        let plan = &route.effective;
-        let k = k.unwrap_or_else(|| plan.k());
-        if k == 0 {
-            return Err(EngineError::Invalid(FcError::InvalidK));
-        }
-        let kind = kind.unwrap_or_else(|| plan.kind());
-        let solver = solver.unwrap_or_else(|| plan.solver());
-        if !solver.supports(kind) {
-            return Err(EngineError::Invalid(FcError::UnsupportedObjective {
-                solver,
+        let started = std::time::Instant::now();
+        let outcome = (|| {
+            let route = self.route(name)?;
+            let plan = &route.effective;
+            let k = k.unwrap_or_else(|| plan.k());
+            if k == 0 {
+                return Err(EngineError::Invalid(FcError::InvalidK));
+            }
+            let kind = kind.unwrap_or_else(|| plan.kind());
+            let solver = solver.unwrap_or_else(|| plan.solver());
+            if !solver.supports(kind) {
+                return Err(EngineError::Invalid(FcError::UnsupportedObjective {
+                    solver,
+                    kind,
+                }));
+            }
+            let seed = self.resolve_seed(seed);
+            let coreset = self.serving_coreset(name, &route, seed, None)?;
+            let mut rng = StdRng::seed_from_u64(seed ^ SOLVE_STREAM);
+            let solution = solver.solve(
+                &mut rng,
+                coreset.dataset(),
+                k,
                 kind,
-            }));
-        }
-        let seed = self.resolve_seed(seed);
-        let coreset = self.serving_coreset(name, &route, seed, None)?;
-        let mut rng = StdRng::seed_from_u64(seed ^ SOLVE_STREAM);
-        let solution = solver.solve(
-            &mut rng,
-            coreset.dataset(),
-            k,
-            kind,
-            &SolveConfig::default(),
-        )?;
-        self.total_queries.fetch_add(1, Ordering::Relaxed);
-        Ok(ClusterOutcome {
-            solution,
-            kind,
-            solver,
-            coreset_points: coreset.len(),
-            seed,
-        })
+                &SolveConfig::default(),
+            )?;
+            self.total_queries.fetch_add(1, Ordering::Relaxed);
+            Ok(ClusterOutcome {
+                solution,
+                kind,
+                solver,
+                coreset_points: coreset.len(),
+                seed,
+            })
+        })();
+        self.metrics.cluster_seconds.observe(started.elapsed());
+        outcome
     }
 
     /// Prices the centers on every node's served coreset and sums: cost is
@@ -922,74 +1023,79 @@ impl Backend for Coordinator {
         centers: &Points,
         kind: Option<CostKind>,
     ) -> Result<(f64, CostKind, usize), EngineError> {
-        let route = self.route(name)?;
-        let kind = kind.unwrap_or_else(|| route.effective.kind());
-        let rows: Vec<Vec<f64>> = centers.iter().map(<[f64]>::to_vec).collect();
-        // Same replay gating as `serving_coreset`: a recovering node's
-        // partial cost would corrupt the additive sum, so its slot probes
-        // stats instead.
-        let outcomes = self.fan_out_with(|idx| {
-            if self.nodes[idx].is_recovering() {
-                Request::Stats { dataset: None }
-            } else {
-                Request::Cost {
-                    dataset: name.to_owned(),
-                    centers: rows.clone(),
-                    kind: Some(kind),
-                }
-            }
-        });
-        let mut total = 0.0;
-        let mut priced_points = 0;
-        let mut answered = false;
-        let mut saw_dataset_miss = false;
-        let mut last_failure = None;
-        for (idx, outcome) in outcomes.into_iter().enumerate() {
-            match outcome {
-                Ok(Response::Stats { datasets, .. }) => {
-                    self.nodes[idx].set_recovering(datasets.iter().any(|d| d.recovering));
-                    last_failure = Some(EngineError::Remote {
-                        node: self.nodes[idx].addr().to_owned(),
-                        message: "node is recovering (WAL replay in progress)".into(),
-                    });
-                }
-                Ok(Response::Cost {
-                    cost,
-                    coreset_points,
-                    ..
-                }) => {
-                    total += cost;
-                    priced_points += coreset_points;
-                    answered = true;
-                }
-                Ok(other) => {
-                    return Err(EngineError::Remote {
-                        node: self.nodes[idx].addr().to_owned(),
-                        message: format!("unexpected response {other:?}"),
-                    })
-                }
-                Err(e) => match self.node_error(idx, name, e) {
-                    EngineError::UnknownDataset(_) | EngineError::NoData { .. } => {
-                        saw_dataset_miss = true;
+        let started = std::time::Instant::now();
+        let outcome = (|| {
+            let route = self.route(name)?;
+            let kind = kind.unwrap_or_else(|| route.effective.kind());
+            let rows: Vec<Vec<f64>> = centers.iter().map(<[f64]>::to_vec).collect();
+            // Same replay gating as `serving_coreset`: a recovering node's
+            // partial cost would corrupt the additive sum, so its slot probes
+            // stats instead.
+            let outcomes = self.fan_out_with(|idx| {
+                if self.nodes[idx].is_recovering() {
+                    Request::Stats { dataset: None }
+                } else {
+                    Request::Cost {
+                        dataset: name.to_owned(),
+                        centers: rows.clone(),
+                        kind: Some(kind),
                     }
-                    EngineError::Remote { node, message } => {
-                        last_failure = Some(EngineError::Remote { node, message });
-                    }
-                    fatal => return Err(fatal),
-                },
-            }
-        }
-        if !answered {
-            return Err(if saw_dataset_miss {
-                EngineError::NoData {
-                    dataset: name.to_owned(),
                 }
-            } else {
-                last_failure.unwrap_or(EngineError::Unavailable)
             });
-        }
-        self.total_queries.fetch_add(1, Ordering::Relaxed);
-        Ok((total, kind, priced_points))
+            let mut total = 0.0;
+            let mut priced_points = 0;
+            let mut answered = false;
+            let mut saw_dataset_miss = false;
+            let mut last_failure = None;
+            for (idx, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    Ok(Response::Stats { datasets, .. }) => {
+                        self.nodes[idx].set_recovering(datasets.iter().any(|d| d.recovering));
+                        last_failure = Some(EngineError::Remote {
+                            node: self.nodes[idx].addr().to_owned(),
+                            message: "node is recovering (WAL replay in progress)".into(),
+                        });
+                    }
+                    Ok(Response::Cost {
+                        cost,
+                        coreset_points,
+                        ..
+                    }) => {
+                        total += cost;
+                        priced_points += coreset_points;
+                        answered = true;
+                    }
+                    Ok(other) => {
+                        return Err(EngineError::Remote {
+                            node: self.nodes[idx].addr().to_owned(),
+                            message: format!("unexpected response {other:?}"),
+                        })
+                    }
+                    Err(e) => match self.node_error(idx, name, e) {
+                        EngineError::UnknownDataset(_) | EngineError::NoData { .. } => {
+                            saw_dataset_miss = true;
+                        }
+                        EngineError::Remote { node, message } => {
+                            last_failure = Some(EngineError::Remote { node, message });
+                        }
+                        fatal => return Err(fatal),
+                    },
+                }
+            }
+            if !answered {
+                return Err(if saw_dataset_miss {
+                    EngineError::NoData {
+                        dataset: name.to_owned(),
+                    }
+                } else {
+                    last_failure.unwrap_or(EngineError::Unavailable)
+                });
+            }
+            self.total_queries.fetch_add(1, Ordering::Relaxed);
+            Ok((total, kind, priced_points))
+        })();
+        self.metrics.cost_seconds.observe(started.elapsed());
+        outcome
     }
 
     fn dataset_stats(&self, name: &str) -> Result<DatasetStats, EngineError> {
@@ -1088,9 +1194,63 @@ impl Backend for Coordinator {
             Err(EngineError::UnknownDataset(name.to_owned()))
         }
     }
+
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        Some(Arc::clone(&self.metrics.shared))
+    }
+
+    /// The coordinator's own registry and trace log, with every node's
+    /// `metrics` payload embedded under `"nodes"` (keyed by address) — one
+    /// wire call observes the whole fleet. A node that is unreachable, or
+    /// too old to know the `metrics` op, contributes its error string
+    /// instead of a payload.
+    fn metrics(&self) -> Option<Value> {
+        self.refresh_fleet_gauges();
+        let mut own = match self.metrics.shared.to_value() {
+            Value::Object(map) => map,
+            other => return Some(other),
+        };
+        let nodes: BTreeMap<String, Value> = self
+            .nodes
+            .iter()
+            .zip(self.fan_out(&Request::Metrics))
+            .map(|(node, outcome)| {
+                let payload = match outcome {
+                    Ok(Response::Metrics { metrics }) => metrics,
+                    Ok(other) => Value::String(format!("unexpected response {other:?}")),
+                    Err(e) => Value::String(e.to_string()),
+                };
+                (node.addr().to_owned(), payload)
+            })
+            .collect();
+        own.insert("nodes".to_owned(), Value::Object(nodes));
+        Some(Value::Object(own))
+    }
 }
 
 impl Coordinator {
+    /// Point-in-time fleet gauges, refreshed whenever the registry is
+    /// rendered or serialized (not on a background timer).
+    fn refresh_fleet_gauges(&self) {
+        let registry = &self.metrics.shared.registry;
+        registry.gauge("fc_nodes").set(self.nodes.len() as u64);
+        let alive = self
+            .nodes
+            .iter()
+            .filter(|n| n.health().0 == NodeHealth::Alive)
+            .count();
+        registry.gauge("fc_nodes_alive").set(alive as u64);
+    }
+
+    /// Prometheus text exposition of the coordinator's registry — per-op
+    /// and per-node latency histograms plus fleet gauges. Node registries
+    /// are *not* inlined here: each node serves its own scrape endpoint
+    /// (the JSON `metrics` op is the fleet-wide view).
+    pub fn render_prometheus(&self) -> String {
+        self.refresh_fleet_gauges();
+        self.metrics.shared.registry.render_prometheus()
+    }
+
     /// Fans `stats` out to the fleet and merges the per-node reports into
     /// one [`DatasetStats`] per dataset, per-node breakdown attached.
     ///
@@ -1181,16 +1341,20 @@ impl Coordinator {
                         nodes: self.node_rows(&health),
                     }
                 });
-                entry.shards += stats.shards;
-                entry.ingested_points += stats.ingested_points;
+                // Saturating sums: a buggy or hostile node reporting
+                // near-`u64::MAX` counters must degrade the aggregate,
+                // not panic the coordinator (debug builds) or wrap it to
+                // a tiny epoch that breaks monotonicity (release builds).
+                entry.shards = entry.shards.saturating_add(stats.shards);
+                entry.ingested_points = entry.ingested_points.saturating_add(stats.ingested_points);
                 entry.ingested_weight += stats.ingested_weight;
-                entry.stored_points += stats.stored_points;
+                entry.stored_points = entry.stored_points.saturating_add(stats.stored_points);
                 // Epochs sum across nodes (each component already sums
                 // across that node's shards), so the fleet-level epoch
                 // inherits per-node monotonicity; replay anywhere marks
                 // the whole dataset recovering.
-                entry.state_epoch.0 += stats.state_epoch.0;
-                entry.state_epoch.1 += stats.state_epoch.1;
+                entry.state_epoch.0 = entry.state_epoch.0.saturating_add(stats.state_epoch.0);
+                entry.state_epoch.1 = entry.state_epoch.1.saturating_add(stats.state_epoch.1);
                 entry.recovering |= stats.recovering;
                 entry
                     .summaries_per_shard

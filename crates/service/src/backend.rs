@@ -74,6 +74,21 @@ pub trait Backend: Send + Sync {
         None
     }
 
+    /// The backend's observability surface — shared with the server loop
+    /// in front of it so connection/queue metrics and request traces land
+    /// in the same registry the backend's own counters do. `None` (the
+    /// default) disables server-side recording and the `metrics` op.
+    fn telemetry(&self) -> Option<std::sync::Arc<fc_telemetry::Telemetry>> {
+        None
+    }
+
+    /// The payload the `metrics` wire command returns. The default dumps
+    /// [`Backend::telemetry`]; a coordinator overrides it to embed node
+    /// payloads alongside its own.
+    fn metrics(&self) -> Option<fc_core::json::Value> {
+        self.telemetry().map(|t| t.to_value())
+    }
+
     /// Drops a dataset and frees whatever holds it.
     fn drop_dataset(&self, name: &str) -> Result<(), EngineError>;
 }
@@ -127,6 +142,14 @@ impl Backend for Engine {
 
     fn server_stats(&self) -> Option<ServerStats> {
         Some(Engine::server_stats(self))
+    }
+
+    fn telemetry(&self) -> Option<std::sync::Arc<fc_telemetry::Telemetry>> {
+        Some(Engine::telemetry(self))
+    }
+
+    fn metrics(&self) -> Option<fc_core::json::Value> {
+        Some(Engine::metrics_value(self))
     }
 
     fn drop_dataset(&self, name: &str) -> Result<(), EngineError> {

@@ -206,7 +206,11 @@ impl ServiceClient {
     /// the underlying stream surfaces as [`ClientError::Io`] with kind
     /// `TimedOut` or `WouldBlock`.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let mut line = request.to_json().into_bytes();
+        // The thread's ambient trace id (set by a server around dispatch)
+        // rides along, so a coordinator's node calls carry the same id
+        // the client sent the coordinator.
+        let trace = fc_telemetry::current_trace();
+        let mut line = request.to_json_with_trace(trace.as_deref()).into_bytes();
         line.push(b'\n');
         self.stream.write_all(&line)?;
         let line = self.read_frame()?;

@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 
 use fc_clustering::solver::{SolveConfig, Solver};
 use fc_clustering::{CostKind, Solution};
+use fc_core::json::Value;
 use fc_core::plan::{Method, Plan, PlanBuilder};
 use fc_core::streaming::{MergeReduce, StreamingCompressor};
 use fc_core::{CompressionParams, Compressor, Coreset, FcError};
@@ -38,6 +39,7 @@ use fc_persist::{
     dataset_dir, list_datasets, shard_dir, DatasetMeta, FsyncPolicy, LogOptions, PersistError,
     ShardLog, Snapshot, WalRecord,
 };
+use fc_telemetry::{labeled, Counter, Histogram, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -366,6 +368,7 @@ struct Shard {
 }
 
 impl Shard {
+    #[allow(clippy::too_many_arguments)]
     fn spawn(
         compressor: Arc<dyn Compressor>,
         params: CompressionParams,
@@ -373,6 +376,7 @@ impl Shard {
         seed: u64,
         queue_depth_bound: usize,
         durability: Option<ShardDurability>,
+        metrics: CompactionMetrics,
     ) -> Self {
         let (sender, receiver) = mpsc::sync_channel(queue_depth_bound);
         let queue_depth = Arc::new(AtomicUsize::new(0));
@@ -391,6 +395,7 @@ impl Shard {
                     budget,
                     seed,
                     durability,
+                    metrics,
                 )
             })
             .expect("spawning a shard worker thread succeeds");
@@ -430,6 +435,16 @@ impl Shard {
     }
 }
 
+/// Compaction telemetry handles a shard worker updates in place: the
+/// engine-wide and per-dataset compaction counters plus the compaction
+/// latency histogram, all shared with the engine's registry.
+#[derive(Clone)]
+struct CompactionMetrics {
+    total: Counter,
+    dataset: Counter,
+    seconds: Histogram,
+}
+
 /// The worker's stream plus the lifetime counters it stamps into
 /// snapshots; folding a block and compacting under budget live here so
 /// replay and live ingest apply records identically.
@@ -442,13 +457,18 @@ struct ShardWorker<'a> {
     points: u64,
     weight: f64,
     compactions_since_snapshot: u32,
+    metrics: CompactionMetrics,
 }
 
 impl ShardWorker<'_> {
     fn apply(&mut self, block: &Dataset) {
         self.stream.insert_block(&mut self.rng, block);
         if self.stream.stored_points() > self.budget {
+            let compact_started = Instant::now();
             self.stream.compact(&mut self.rng);
+            self.metrics.seconds.observe(compact_started.elapsed());
+            self.metrics.total.incr();
+            self.metrics.dataset.incr();
             self.compactions_since_snapshot += 1;
         }
         self.blocks += 1;
@@ -520,6 +540,7 @@ fn shard_loop(
     budget: usize,
     seed: u64,
     mut durability: Option<ShardDurability>,
+    metrics: CompactionMetrics,
 ) {
     // The shard's own deterministic RNG stream drives block compression;
     // request-level reproducibility comes from the query path, which uses
@@ -532,6 +553,7 @@ fn shard_loop(
         points: 0,
         weight: 0.0,
         compactions_since_snapshot: 0,
+        metrics,
     };
     // Recovery runs on the worker thread, *before* the command loop:
     // commands (including new ingests, which append to the WAL first)
@@ -623,6 +645,17 @@ struct DatasetEntry {
     ingested_weight: Mutex<f64>,
     /// `Some` on persistent engines.
     persist: Option<DatasetPersist>,
+    /// Per-dataset counters, cached handles into the engine registry.
+    metrics: DatasetMetrics,
+}
+
+/// Per-dataset counter handles (labelled by dataset name), fetched once
+/// at dataset creation so the ingest hot path never touches the registry
+/// map.
+struct DatasetMetrics {
+    points: Counter,
+    blocks: Counter,
+    overloads: Counter,
 }
 
 impl DatasetEntry {
@@ -721,6 +754,75 @@ pub struct Engine {
     /// Invoked as `(dataset, shard)` after each shard worker is joined
     /// during graceful engine shutdown, in dataset-name then shard order.
     drain_hook: Mutex<Option<DrainHook>>,
+    /// The observability surface shared with the server loop in front of
+    /// this engine, plus cached hot-path handles into it.
+    metrics: EngineMetrics,
+}
+
+/// Engine-wide telemetry handles: one registry lookup at construction,
+/// plain atomic ops on every hot path thereafter.
+struct EngineMetrics {
+    shared: Arc<Telemetry>,
+    ingest_points: Counter,
+    ingest_blocks: Counter,
+    overloads: Counter,
+    ingest_seconds: Histogram,
+    coreset_seconds: Histogram,
+    cluster_seconds: Histogram,
+    cost_seconds: Histogram,
+}
+
+impl EngineMetrics {
+    fn new() -> Self {
+        let shared = Arc::new(Telemetry::new());
+        let op_hist = |op: &str| {
+            shared
+                .registry
+                .histogram(&labeled("fc_op_seconds", &[("op", op)]))
+        };
+        EngineMetrics {
+            ingest_points: shared.registry.counter("fc_ingest_points_total"),
+            ingest_blocks: shared.registry.counter("fc_ingest_blocks_total"),
+            overloads: shared.registry.counter("fc_overloaded_total"),
+            ingest_seconds: op_hist("ingest"),
+            coreset_seconds: op_hist("coreset"),
+            cluster_seconds: op_hist("cluster"),
+            cost_seconds: op_hist("cost"),
+            shared,
+        }
+    }
+
+    /// The engine-wide plus per-dataset compaction handles one shard
+    /// worker updates.
+    fn compaction(&self, dataset: &str) -> CompactionMetrics {
+        CompactionMetrics {
+            total: self.shared.registry.counter("fc_compactions_total"),
+            dataset: self
+                .shared
+                .registry
+                .counter(&labeled("fc_compactions_total", &[("dataset", dataset)])),
+            seconds: self.shared.registry.histogram("fc_compaction_seconds"),
+        }
+    }
+
+    /// Per-dataset ingest counter handles.
+    fn dataset(&self, dataset: &str) -> DatasetMetrics {
+        let labels = [("dataset", dataset)];
+        DatasetMetrics {
+            points: self
+                .shared
+                .registry
+                .counter(&labeled("fc_ingest_points_total", &labels)),
+            blocks: self
+                .shared
+                .registry
+                .counter(&labeled("fc_ingest_blocks_total", &labels)),
+            overloads: self
+                .shared
+                .registry
+                .counter(&labeled("fc_overloaded_total", &labels)),
+        }
+    }
 }
 
 /// The ordered shard-drain callback installed with
@@ -770,6 +872,7 @@ impl Engine {
             total_blocks: AtomicU64::new(0),
             total_queries: AtomicU64::new(0),
             drain_hook: Mutex::new(None),
+            metrics: EngineMetrics::new(),
         };
         engine.recover_datasets()?;
         Ok(engine)
@@ -844,6 +947,7 @@ impl Engine {
                         snapshot_bytes: pc.snapshot_bytes,
                         replay_throttle: pc.replay_throttle,
                     }),
+                    self.metrics.compaction(&meta.name),
                 ));
             }
             datasets.insert(
@@ -860,6 +964,7 @@ impl Engine {
                         dir,
                         shards: persists,
                     }),
+                    metrics: self.metrics.dataset(&meta.name),
                 }),
             );
         }
@@ -926,6 +1031,18 @@ impl Engine {
         batch: &Dataset,
         plan: Option<&Plan>,
     ) -> Result<(u64, f64), EngineError> {
+        let started = Instant::now();
+        let out = self.ingest_inner(name, batch, plan);
+        self.metrics.ingest_seconds.observe(started.elapsed());
+        out
+    }
+
+    fn ingest_inner(
+        &self,
+        name: &str,
+        batch: &Dataset,
+        plan: Option<&Plan>,
+    ) -> Result<(u64, f64), EngineError> {
         if batch.is_empty() {
             return Err(EngineError::InvalidArgument("empty ingest batch".into()));
         }
@@ -965,9 +1082,13 @@ impl Engine {
             });
         }
         let shard_idx = entry.next_shard.fetch_add(1, Ordering::Relaxed) % entry.shards.len();
-        let full = |_| EngineError::Overloaded {
-            dataset: name.to_owned(),
-            shard: shard_idx,
+        let full = |_| {
+            self.metrics.overloads.incr();
+            entry.metrics.overloads.incr();
+            EngineError::Overloaded {
+                dataset: name.to_owned(),
+                shard: shard_idx,
+            }
         };
         match &entry.persist {
             None => entry.shards[shard_idx]
@@ -1016,6 +1137,10 @@ impl Engine {
         self.total_points
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         self.total_blocks.fetch_add(1, Ordering::Relaxed);
+        self.metrics.ingest_points.add(batch.len() as u64);
+        self.metrics.ingest_blocks.incr();
+        entry.metrics.points.add(batch.len() as u64);
+        entry.metrics.blocks.incr();
         Ok((total_points, total_weight))
     }
 
@@ -1083,6 +1208,7 @@ impl Engine {
                 self.shard_seed(name, s),
                 self.config.shard_queue_depth,
                 durability,
+                self.metrics.compaction(name),
             ));
         }
         Ok(Arc::new(DatasetEntry {
@@ -1097,6 +1223,7 @@ impl Engine {
                 dir: dataset_dir(&pc.data_dir, name),
                 shards: persists,
             }),
+            metrics: self.metrics.dataset(name),
         }))
     }
 
@@ -1111,10 +1238,15 @@ impl Engine {
         seed: Option<u64>,
         method: Option<&Method>,
     ) -> Result<(Coreset, u64, Method), EngineError> {
-        let entry = self.entry(name)?;
-        let out = self.coreset_of(&entry, name, seed, method)?;
-        self.total_queries.fetch_add(1, Ordering::Relaxed);
-        Ok(out)
+        let started = Instant::now();
+        let out = (|| {
+            let entry = self.entry(name)?;
+            let out = self.coreset_of(&entry, name, seed, method)?;
+            self.total_queries.fetch_add(1, Ordering::Relaxed);
+            Ok(out)
+        })();
+        self.metrics.coreset_seconds.observe(started.elapsed());
+        out
     }
 
     /// [`Self::coreset`] against an already-resolved entry: one registry
@@ -1169,6 +1301,20 @@ impl Engine {
         solver: Option<Solver>,
         seed: Option<u64>,
     ) -> Result<ClusterOutcome, EngineError> {
+        let started = Instant::now();
+        let out = self.cluster_inner(name, k, kind, solver, seed);
+        self.metrics.cluster_seconds.observe(started.elapsed());
+        out
+    }
+
+    fn cluster_inner(
+        &self,
+        name: &str,
+        k: Option<usize>,
+        kind: Option<CostKind>,
+        solver: Option<Solver>,
+        seed: Option<u64>,
+    ) -> Result<ClusterOutcome, EngineError> {
         let entry = self.entry(name)?;
         let plan = &entry.plan;
         let k = k.unwrap_or_else(|| plan.k());
@@ -1216,17 +1362,23 @@ impl Engine {
         centers: &Points,
         kind: Option<CostKind>,
     ) -> Result<(f64, CostKind, usize), EngineError> {
-        let entry = self.entry(name)?;
-        if centers.dim() != entry.dim {
-            return Err(EngineError::DimensionMismatch {
-                expected: entry.dim,
-                got: centers.dim(),
-            });
-        }
-        let kind = kind.unwrap_or_else(|| entry.plan.kind());
-        let (coreset, _, _) = self.coreset_of(&entry, name, Some(self.config.base_seed), None)?;
-        self.total_queries.fetch_add(1, Ordering::Relaxed);
-        Ok((coreset.cost(centers, kind), kind, coreset.len()))
+        let started = Instant::now();
+        let out = (|| {
+            let entry = self.entry(name)?;
+            if centers.dim() != entry.dim {
+                return Err(EngineError::DimensionMismatch {
+                    expected: entry.dim,
+                    got: centers.dim(),
+                });
+            }
+            let kind = kind.unwrap_or_else(|| entry.plan.kind());
+            let (coreset, _, _) =
+                self.coreset_of(&entry, name, Some(self.config.base_seed), None)?;
+            self.total_queries.fetch_add(1, Ordering::Relaxed);
+            Ok((coreset.cost(centers, kind), kind, coreset.len()))
+        })();
+        self.metrics.cost_seconds.observe(started.elapsed());
+        out
     }
 
     /// Statistics for one dataset.
@@ -1265,6 +1417,60 @@ impl Engine {
             ingested_points: self.total_points.load(Ordering::Relaxed),
             ingested_blocks: self.total_blocks.load(Ordering::Relaxed),
             queries: self.total_queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The engine's shared observability surface (metric registry plus
+    /// trace log). The server loop in front of the engine records its
+    /// connection, queue-wait, and trace data into this same object, so
+    /// one scrape covers the whole process.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.metrics.shared)
+    }
+
+    /// The `metrics` wire payload: point-in-time gauges refreshed, then
+    /// the full registry (counters, gauges, histograms with quantiles)
+    /// plus recent request traces as JSON.
+    pub fn metrics_value(&self) -> Value {
+        self.refresh_gauges();
+        self.metrics.shared.to_value()
+    }
+
+    /// Prometheus text exposition of the registry (gauges refreshed
+    /// first). This is what `--metrics-addr` serves.
+    pub fn render_prometheus(&self) -> String {
+        self.refresh_gauges();
+        self.metrics.shared.registry.render_prometheus()
+    }
+
+    /// Point-in-time gauges are sampled when somebody looks (scrape or
+    /// `metrics` op) rather than maintained on every ingest: the dataset
+    /// count plus per-shard queue depth, stored points, and summary
+    /// counts, all read lock-free from the shard sender side.
+    fn refresh_gauges(&self) {
+        let entries: Vec<(String, Arc<DatasetEntry>)> = self
+            .datasets
+            .lock()
+            .expect("dataset registry lock is never poisoned")
+            .iter()
+            .map(|(n, e)| (n.clone(), Arc::clone(e)))
+            .collect();
+        let registry = &self.metrics.shared.registry;
+        registry.gauge("fc_datasets").set(entries.len() as u64);
+        for (name, entry) in entries {
+            for (s, stats) in entry.shard_stats().iter().enumerate() {
+                let shard = s.to_string();
+                let labels = [("dataset", name.as_str()), ("shard", shard.as_str())];
+                registry
+                    .gauge(&labeled("fc_shard_queue_depth", &labels))
+                    .set(stats.queue_depth as u64);
+                registry
+                    .gauge(&labeled("fc_shard_stored_points", &labels))
+                    .set(stats.stored_points as u64);
+                registry
+                    .gauge(&labeled("fc_shard_summaries", &labels))
+                    .set(stats.summaries as u64);
+            }
         }
     }
 

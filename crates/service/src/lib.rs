@@ -24,7 +24,12 @@
 //!   connection elsewhere or on request ([`server::IoModel`]) — and the
 //!   blocking [`ServiceClient`], with a bounded [`RetryPolicy`] for
 //!   `overloaded` backpressure. A full shard queue answers `overloaded`
-//!   instead of blocking.
+//!   instead of blocking. [`ServerOptions`] adds admission control: an
+//!   open-connection cap (structured `unavailable`) and a server-side
+//!   queue deadline (structured `deadline_exceeded`).
+//! - [`metrics_http`]: a std-only Prometheus text-exposition scrape
+//!   endpoint serving the engine's `fc_telemetry` registry; the same
+//!   payload is available in JSON through the `metrics` wire command.
 //!
 //! ```no_run
 //! use fc_service::{Engine, EngineConfig, ServerHandle, ServiceClient};
@@ -45,6 +50,7 @@ pub mod backend;
 pub mod client;
 pub mod engine;
 pub mod framing;
+pub mod metrics_http;
 pub mod protocol;
 #[cfg(target_os = "linux")]
 pub mod reactor;
@@ -57,6 +63,7 @@ pub use backend::Backend;
 pub use client::{ClientError, ClusterResult, RetryPolicy, ServiceClient};
 pub use engine::{ClusterOutcome, DrainHook, Engine, EngineConfig, EngineError, PersistConfig};
 pub use framing::{FrameError, LineCodec};
+pub use metrics_http::MetricsServer;
 pub use protocol::{
     DatasetStats, ErrorCode, NodeHealth, NodeStats, ProtocolError, Request, Response, ServerStats,
 };

@@ -1,0 +1,170 @@
+//! A minimal Prometheus scrape endpoint: one blocking HTTP/1.1 GET
+//! responder over `std::net`, answering `/metrics` with whatever the
+//! installed render closure produces *at scrape time* (so point-in-time
+//! gauges are refreshed per scrape, not per request served).
+//!
+//! This is deliberately not a web server: one accept thread, one short
+//! response per connection, `Connection: close`. A scrape every 15s is
+//! the design load; anything heavier belongs behind the JSON `metrics`
+//! wire command.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the endpoint serves for a `/metrics` scrape — typically
+/// `Engine::render_prometheus` or a coordinator equivalent.
+pub type RenderFn = dyn Fn() -> String + Send + Sync;
+
+/// A running scrape endpoint. Dropping the handle stops it.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and serves Prometheus text exposition from `render`.
+    pub fn serve(
+        addr: impl ToSocketAddrs,
+        render: Arc<RenderFn>,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("fc-metrics".into())
+            .spawn(move || accept_loop(&listener, &*render, &accept_stop))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, render: &RenderFn, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        };
+        // A stuck scraper must not wedge the endpoint forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let _ = serve_one(stream, render);
+    }
+}
+
+/// Reads one request head, answers one response, closes.
+fn serve_one(stream: TcpStream, render: &RenderFn) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the header block; its contents are irrelevant to a scrape.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is served\n".to_owned(),
+        )
+    } else if path == "/metrics" || path == "/" {
+        (
+            "200 OK",
+            // The Prometheus text exposition format version.
+            "text/plain; version=0.0.4; charset=utf-8",
+            render(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics\n".to_owned(),
+        )
+    };
+    let mut stream = reader.into_inner();
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_fresh_renders_per_scrape() {
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let render_hits = Arc::clone(&hits);
+        let server = MetricsServer::serve(
+            "127.0.0.1:0",
+            Arc::new(move || {
+                let n = render_hits.fetch_add(1, Ordering::SeqCst) + 1;
+                format!("fc_scrapes {n}\n")
+            }),
+        )
+        .unwrap();
+        let first = http_get(server.addr(), "/metrics");
+        assert!(first.starts_with("HTTP/1.1 200 OK\r\n"), "{first}");
+        assert!(first.contains("fc_scrapes 1"), "{first}");
+        let second = http_get(server.addr(), "/metrics");
+        assert!(second.contains("fc_scrapes 2"), "{second}");
+
+        let missing = http_get(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "404s don't render");
+    }
+}

@@ -10,8 +10,16 @@
 //! {"op":"cluster","dataset":"d","k":4,"kind":"kmeans","solver":"hamerly","seed":7}
 //! {"op":"cost","dataset":"d","centers":[[0.5,0.5]],"kind":"kmeans"}
 //! {"op":"stats"}            {"op":"stats","dataset":"d"}
+//! {"op":"metrics"}
 //! {"op":"drop_dataset","dataset":"d"}
 //! ```
+//!
+//! Any request may additionally carry `"trace":"<id>"` — an opaque
+//! request id the server records in its recent-trace ring and a
+//! coordinator forwards to every node it fans out to, so one slow query
+//! can be attributed across the fleet. Servers that predate the field
+//! ignore it (decoders only look up known keys), which is what makes it
+//! safe to thread through a mixed-version fleet.
 //!
 //! `seed` makes served randomness reproducible: the same coreset state plus
 //! the same seed yields the same compression / clustering. When omitted,
@@ -103,6 +111,8 @@ pub enum Request {
         /// Restrict to one dataset when present.
         dataset: Option<String>,
     },
+    /// Dumps the process's metric registry and recent traces.
+    Metrics,
     /// Removes a dataset and frees its shards.
     DropDataset {
         /// Dataset name.
@@ -300,6 +310,15 @@ pub enum Response {
         /// decode: backends that do not track them omit the field.
         server: Option<ServerStats>,
     },
+    /// Outcome of a `Metrics`: the answering process's metric registry
+    /// and recent traces, passed through verbatim (the schema is owned by
+    /// `fc-telemetry`'s JSON form, not re-validated at the protocol
+    /// layer — a coordinator embeds node payloads it cannot know the
+    /// future shape of).
+    Metrics {
+        /// The registry dump: counters, gauges, histograms, traces.
+        metrics: Value,
+    },
     /// Outcome of a `DropDataset`.
     Dropped {
         /// Dataset name.
@@ -330,6 +349,17 @@ pub enum ErrorCode {
     /// is nothing to serve. Transient: ingest acknowledgement precedes
     /// shard processing.
     NoData,
+    /// The server refused the connection or request outright — e.g. the
+    /// `--max-connections` admission cap is reached, or a coordinator has
+    /// no live node to route to. Unlike [`ErrorCode::Overloaded`] this is
+    /// *not* an invitation to retry immediately: the client should spread
+    /// load elsewhere or wait out the condition.
+    Unavailable,
+    /// The request spent longer than the server's `--request-deadline-ms`
+    /// waiting to execute and was shed without running. Retrying
+    /// immediately would only rebuild the same queue; the client should
+    /// back off or reduce load.
+    DeadlineExceeded,
 }
 
 impl ErrorCode {
@@ -339,6 +369,8 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::UnknownDataset => "unknown_dataset",
             ErrorCode::NoData => "no_data",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
         }
     }
 
@@ -349,6 +381,8 @@ impl ErrorCode {
             "overloaded" => Some(ErrorCode::Overloaded),
             "unknown_dataset" => Some(ErrorCode::UnknownDataset),
             "no_data" => Some(ErrorCode::NoData),
+            "unavailable" => Some(ErrorCode::Unavailable),
+            "deadline_exceeded" => Some(ErrorCode::DeadlineExceeded),
             _ => None,
         }
     }
@@ -489,7 +523,36 @@ fn optional_seed(v: &Value) -> Result<Option<u64>, ProtocolError> {
 impl Request {
     /// Encodes the request as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
-        let value = match self {
+        self.to_json_with_trace(None)
+    }
+
+    /// Encodes the request with an optional `trace` request id attached.
+    /// Old servers ignore the field; new ones record the id in their
+    /// recent-trace ring.
+    pub fn to_json_with_trace(&self, trace: Option<&str>) -> String {
+        let mut value = self.to_value();
+        if let (Value::Object(map), Some(id)) = (&mut value, trace) {
+            map.insert("trace".to_owned(), Value::from(id));
+        }
+        value.to_json()
+    }
+
+    /// The wire `op` name — what trace hops and per-op metrics are
+    /// labelled with.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ingest { .. } => "ingest",
+            Request::Compress { .. } => "compress",
+            Request::Cluster { .. } => "cluster",
+            Request::Cost { .. } => "cost",
+            Request::Stats { .. } => "stats",
+            Request::Metrics => "metrics",
+            Request::DropDataset { .. } => "drop_dataset",
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
             Request::Ingest {
                 dataset,
                 points,
@@ -573,24 +636,42 @@ impl Request {
                 }
                 pairs_to_object(pairs)
             }
+            Request::Metrics => pairs_to_object(vec![("op", Value::from("metrics"))]),
             Request::DropDataset { dataset } => pairs_to_object(vec![
                 ("op", Value::from("drop_dataset")),
                 ("dataset", Value::from(dataset.clone())),
             ]),
-        };
-        value.to_json()
+        }
     }
 
     /// Decodes one request line.
     pub fn from_json(line: &str) -> Result<Self, ProtocolError> {
+        Ok(Self::from_json_with_trace(line)?.0)
+    }
+
+    /// Decodes one request line together with its optional `trace`
+    /// request id.
+    pub fn from_json_with_trace(line: &str) -> Result<(Self, Option<String>), ProtocolError> {
         let v = json::parse(line)?;
         if v.as_object().is_none() {
             return Err(ProtocolError::new("request must be a JSON object"));
         }
-        let op = required_str(&v, "op")?;
+        let trace = match v.get("trace") {
+            None | Some(Value::Null) => None,
+            Some(t) => Some(
+                t.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| ProtocolError::new("`trace` must be a string"))?,
+            ),
+        };
+        Ok((Self::from_value(&v)?, trace))
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ProtocolError> {
+        let op = required_str(v, "op")?;
         match op.as_str() {
             "ingest" => {
-                let dataset = required_str(&v, "dataset")?;
+                let dataset = required_str(v, "dataset")?;
                 let points = rows_from_value(
                     v.get("points")
                         .ok_or_else(|| ProtocolError::new("missing required field `points`"))?,
@@ -633,15 +714,15 @@ impl Request {
                 })
             }
             "compress" => Ok(Request::Compress {
-                dataset: required_str(&v, "dataset")?,
+                dataset: required_str(v, "dataset")?,
                 method: match v.get("method") {
                     None | Some(Value::Null) => None,
                     Some(m) => Some(method_from_value(m)?),
                 },
-                seed: optional_seed(&v)?,
+                seed: optional_seed(v)?,
             }),
             "cluster" => {
-                let dataset = required_str(&v, "dataset")?;
+                let dataset = required_str(v, "dataset")?;
                 let k = match v.get("k") {
                     None | Some(Value::Null) => None,
                     Some(k) => Some(
@@ -663,11 +744,11 @@ impl Request {
                     k,
                     kind,
                     solver,
-                    seed: optional_seed(&v)?,
+                    seed: optional_seed(v)?,
                 })
             }
             "cost" => {
-                let dataset = required_str(&v, "dataset")?;
+                let dataset = required_str(v, "dataset")?;
                 let centers = rows_from_value(
                     v.get("centers")
                         .ok_or_else(|| ProtocolError::new("missing required field `centers`"))?,
@@ -697,8 +778,9 @@ impl Request {
                 };
                 Ok(Request::Stats { dataset })
             }
+            "metrics" => Ok(Request::Metrics),
             "drop_dataset" => Ok(Request::DropDataset {
-                dataset: required_str(&v, "dataset")?,
+                dataset: required_str(v, "dataset")?,
             }),
             other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
         }
@@ -980,6 +1062,11 @@ impl Response {
                 }
                 pairs_to_object(pairs)
             }
+            Response::Metrics { metrics } => object([
+                ("ok", Value::from(true)),
+                ("kind", Value::from("metrics")),
+                ("metrics", metrics.clone()),
+            ]),
             Response::Dropped { dataset } => object([
                 ("ok", Value::from(true)),
                 ("kind", Value::from("dropped")),
@@ -1089,6 +1176,12 @@ impl Response {
                     None | Some(Value::Null) => None,
                     Some(s) => Some(server_stats_from_value(s)?),
                 },
+            }),
+            "metrics" => Ok(Response::Metrics {
+                metrics: v
+                    .get("metrics")
+                    .ok_or_else(|| ProtocolError::new("missing field `metrics`"))?
+                    .clone(),
             }),
             "dropped" => Ok(Response::Dropped {
                 dataset: required_str(&v, "dataset")?,
@@ -1219,9 +1312,33 @@ mod tests {
         round_trip_request(Request::Stats {
             dataset: Some("d".into()),
         });
+        round_trip_request(Request::Metrics);
         round_trip_request(Request::DropDataset {
             dataset: "d".into(),
         });
+    }
+
+    #[test]
+    fn trace_ids_round_trip_and_stay_optional() {
+        let req = Request::Stats { dataset: None };
+        let line = req.to_json_with_trace(Some("abc123"));
+        assert!(line.contains("\"trace\":\"abc123\""), "{line}");
+        let (decoded, trace) = Request::from_json_with_trace(&line).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(trace.as_deref(), Some("abc123"));
+        // Absent and null traces both decode as None; plain from_json
+        // drops the id without complaint (old-server behaviour).
+        let (_, trace) = Request::from_json_with_trace(&req.to_json()).unwrap();
+        assert_eq!(trace, None);
+        let (_, trace) = Request::from_json_with_trace(r#"{"op":"stats","trace":null}"#).unwrap();
+        assert_eq!(trace, None);
+        assert_eq!(Request::from_json(&line).unwrap(), req);
+        // Every op accepts a trace, not just stats.
+        let traced = Request::Metrics.to_json_with_trace(Some("x"));
+        assert_eq!(
+            Request::from_json_with_trace(&traced).unwrap().1.as_deref(),
+            Some("x")
+        );
     }
 
     #[test]
@@ -1328,6 +1445,9 @@ mod tests {
         round_trip_response(Response::Dropped {
             dataset: "d".into(),
         });
+        round_trip_response(Response::Metrics {
+            metrics: json::parse(r#"{"counters":{"fc_requests_total":7},"traces":[]}"#).unwrap(),
+        });
         round_trip_response(Response::Error {
             message: "no such dataset \"x\"".into(),
             code: None,
@@ -1335,6 +1455,14 @@ mod tests {
         round_trip_response(Response::Error {
             message: "shard 2 is overloaded".into(),
             code: Some(ErrorCode::Overloaded),
+        });
+        round_trip_response(Response::Error {
+            message: "connection limit reached".into(),
+            code: Some(ErrorCode::Unavailable),
+        });
+        round_trip_response(Response::Error {
+            message: "request waited 120ms, deadline 100ms".into(),
+            code: Some(ErrorCode::DeadlineExceeded),
         });
         // Unknown codes from newer servers decode as None, not an error.
         match Response::from_json(r#"{"kind":"error","message":"m","code":"quota"}"#).unwrap() {
@@ -1427,6 +1555,7 @@ mod tests {
                 r#"{"op":"ingest","dataset":7,"points":[[1]]}"#,
                 "`dataset` must be a string",
             ),
+            (r#"{"op":"stats","trace":7}"#, "`trace` must be a string"),
         ];
         for (line, needle) in cases {
             let err = Request::from_json(line).expect_err(line);

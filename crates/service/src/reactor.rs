@@ -266,6 +266,10 @@ pub struct ExchangeOutcome {
     /// expiry, `UnexpectedEof` for a peer close, `InvalidData` for a
     /// framing violation).
     pub outcome: io::Result<String>,
+    /// Wall time from the driver starting until *this* exchange settled —
+    /// per-peer latency even though the exchanges run multiplexed (the
+    /// `fc-cluster` coordinator feeds these into per-node histograms).
+    pub elapsed: Duration,
 }
 
 enum Phase {
@@ -291,10 +295,12 @@ pub fn drive_exchanges(
         phase: Phase,
         deadline: Instant,
         outcome: Option<io::Result<String>>,
+        settled: Option<Instant>,
     }
 
     let poller = Poller::new()?;
     let now = Instant::now();
+    let started = now;
     let mut slots: Vec<Slot> = Vec::with_capacity(items.len());
     for (idx, item) in items.into_iter().enumerate() {
         let slot = Slot {
@@ -304,6 +310,7 @@ pub fn drive_exchanges(
             phase: Phase::Writing { written: 0 },
             deadline: now + write_timeout,
             outcome: None,
+            settled: None,
         };
         match slot.stream.set_nonblocking(true) {
             Ok(()) => {
@@ -311,6 +318,7 @@ pub fn drive_exchanges(
                     let mut slot = slot;
                     slot.outcome = Some(Err(e));
                     slot.phase = Phase::Done;
+                    slot.settled = Some(Instant::now());
                     slots.push(slot);
                     continue;
                 }
@@ -320,6 +328,7 @@ pub fn drive_exchanges(
                 let mut slot = slot;
                 slot.outcome = Some(Err(e));
                 slot.phase = Phase::Done;
+                slot.settled = Some(Instant::now());
                 slots.push(slot);
             }
         }
@@ -343,6 +352,7 @@ pub fn drive_exchanges(
                     },
                 )));
                 slot.phase = Phase::Done;
+                slot.settled = Some(Instant::now());
                 remaining -= 1;
             } else {
                 let left = slot.deadline - now;
@@ -378,6 +388,7 @@ pub fn drive_exchanges(
                             let _ = poller.remove(slot.stream.as_raw_fd());
                             slot.outcome = Some(Err(e));
                             slot.phase = Phase::Done;
+                            slot.settled = Some(Instant::now());
                             remaining -= 1;
                             continue;
                         }
@@ -390,6 +401,7 @@ pub fn drive_exchanges(
                         let _ = poller.remove(slot.stream.as_raw_fd());
                         slot.outcome = Some(Ok(line));
                         slot.phase = Phase::Done;
+                        slot.settled = Some(Instant::now());
                         remaining -= 1;
                     }
                     Ok(None) => {}
@@ -397,6 +409,7 @@ pub fn drive_exchanges(
                         let _ = poller.remove(slot.stream.as_raw_fd());
                         slot.outcome = Some(Err(e));
                         slot.phase = Phase::Done;
+                        slot.settled = Some(Instant::now());
                         remaining -= 1;
                     }
                 }
@@ -412,6 +425,9 @@ pub fn drive_exchanges(
             outcome: slot
                 .outcome
                 .expect("every exchange settles before the driver returns"),
+            elapsed: slot
+                .settled
+                .map_or(Duration::ZERO, |at| at.duration_since(started)),
         })
         .collect())
 }

@@ -28,6 +28,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::backend::Backend;
 use crate::engine::{Engine, EngineError};
@@ -112,16 +113,30 @@ pub struct ServerOptions {
     /// Executor threads running [`Backend`] calls for the reactor model.
     /// Ignored by [`IoModel::Threaded`]. At least 1.
     pub executor_threads: usize,
+    /// Open-connection cap (0 = unlimited). A connection over the cap is
+    /// answered one structured `unavailable` error and closed, so clients
+    /// can tell "server full" from a network failure and back off.
+    pub max_connections: usize,
+    /// Server-side queue deadline for the reactor model: a request that
+    /// waited longer than this for an executor is shed with a structured
+    /// `deadline_exceeded` error instead of being executed — under
+    /// overload the server answers *recent* requests rather than grinding
+    /// through a backlog nobody is waiting on anymore. `None` disables
+    /// shedding. The threaded model has no queue, so it ignores this.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for ServerOptions {
     /// One reactor thread and four executors: enough to saturate the
     /// engine's shard workers while keeping the thread count constant.
+    /// Admission control is off by default.
     fn default() -> Self {
         Self {
             io_model: IoModel::default(),
             io_threads: 1,
             executor_threads: 4,
+            max_connections: 0,
+            request_deadline: None,
         }
     }
 }
@@ -183,7 +198,9 @@ impl ServerHandle {
         let addr = listener.local_addr()?;
         let io_model = options.io_model.effective();
         let imp = match io_model {
-            IoModel::Threaded => ServerImpl::Threaded(threaded::Server::start(listener, backend)?),
+            IoModel::Threaded => {
+                ServerImpl::Threaded(threaded::Server::start(listener, backend, &options)?)
+            }
             #[cfg(target_os = "linux")]
             IoModel::Reactor => {
                 ServerImpl::Reactor(reactor_server::Server::start(listener, backend, &options)?)
@@ -248,6 +265,7 @@ fn engine_error(e: EngineError) -> Response {
         EngineError::Overloaded { .. } => Some(protocol::ErrorCode::Overloaded),
         EngineError::UnknownDataset(_) => Some(protocol::ErrorCode::UnknownDataset),
         EngineError::NoData { .. } => Some(protocol::ErrorCode::NoData),
+        EngineError::Unavailable => Some(protocol::ErrorCode::Unavailable),
         _ => None,
     };
     Response::Error {
@@ -264,8 +282,19 @@ fn execute_line(backend: &dyn Backend, line: &str) -> Option<Response> {
     if trimmed.is_empty() {
         return None;
     }
-    Some(match Request::from_json(trimmed) {
-        Ok(request) => handle_request(backend, request),
+    Some(match Request::from_json_with_trace(trimmed) {
+        Ok((request, trace)) => {
+            let op = request.op_name();
+            // The ambient trace id rides the executing thread so a
+            // coordinator backend can stamp it onto its node fan-outs.
+            let _scope = fc_telemetry::set_current_trace(trace.clone());
+            let started = std::time::Instant::now();
+            let response = handle_request(backend, request);
+            if let (Some(id), Some(telemetry)) = (trace, backend.telemetry()) {
+                telemetry.traces.record(&id, op, started.elapsed());
+            }
+            response
+        }
         Err(e) => Response::Error {
             message: e.message,
             code: None,
@@ -397,6 +426,13 @@ pub fn handle_request(backend: &dyn Backend, request: Request) -> Response {
             Ok(()) => Response::Dropped { dataset },
             Err(e) => engine_error(e),
         },
+        Request::Metrics => match backend.metrics() {
+            Some(metrics) => Response::Metrics { metrics },
+            None => Response::Error {
+                message: "this backend exposes no metrics".to_owned(),
+                code: None,
+            },
+        },
     }
 }
 
@@ -420,14 +456,25 @@ mod threaded {
         pub(super) fn start(
             listener: TcpListener,
             backend: Arc<dyn Backend>,
+            options: &ServerOptions,
         ) -> std::io::Result<Server> {
             let stop = Arc::new(AtomicBool::new(false));
             let connections: ConnectionRegistry = Arc::new(Mutex::new(Vec::new()));
             let accept_stop = Arc::clone(&stop);
             let accept_connections = Arc::clone(&connections);
-            let accept_thread = std::thread::Builder::new()
-                .name("fc-accept".into())
-                .spawn(move || accept_loop(listener, backend, accept_stop, accept_connections))?;
+            let max_connections = options.max_connections;
+            let accept_thread =
+                std::thread::Builder::new()
+                    .name("fc-accept".into())
+                    .spawn(move || {
+                        accept_loop(
+                            listener,
+                            backend,
+                            accept_stop,
+                            accept_connections,
+                            max_connections,
+                        )
+                    })?;
             Ok(Server {
                 stop,
                 connections,
@@ -464,18 +511,40 @@ mod threaded {
         backend: Arc<dyn Backend>,
         stop: Arc<AtomicBool>,
         connections: ConnectionRegistry,
+        max_connections: usize,
     ) {
         for stream in listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
-            let Ok(stream) = stream else {
+            let Ok(mut stream) = stream else {
                 // Persistent accept errors (e.g. fd exhaustion) would
                 // otherwise busy-spin this loop at 100% CPU; pause before
                 // retrying.
                 std::thread::sleep(std::time::Duration::from_millis(20));
                 continue;
             };
+            if max_connections > 0 {
+                let mut conns = connections.lock().expect("connection registry lock");
+                conns.retain(|(h, _)| !h.is_finished());
+                if conns.len() >= max_connections {
+                    drop(conns);
+                    // Same structured refusal the reactor model answers:
+                    // one `unavailable` error, then close.
+                    let mut bytes = Response::Error {
+                        message: format!(
+                            "connection limit reached ({max_connections} open connections)"
+                        ),
+                        code: Some(protocol::ErrorCode::Unavailable),
+                    }
+                    .to_json()
+                    .into_bytes();
+                    bytes.push(b'\n');
+                    let _ = stream.write_all(&bytes);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    continue;
+                }
+            }
             let Ok(registry_clone) = stream.try_clone() else {
                 continue;
             };
@@ -595,8 +664,9 @@ mod threaded {
 mod reactor_server {
     use super::*;
     use crate::reactor::{Event, Poller, Waker};
+    use fc_telemetry::{Counter, Gauge, Histogram, Telemetry};
     use std::os::fd::AsRawFd;
-    use std::time::{Duration, Instant};
+    use std::time::Instant;
 
     const TOKEN_WAKER: u64 = 0;
     const TOKEN_LISTENER: u64 = 1;
@@ -651,6 +721,39 @@ mod reactor_server {
         reactor: usize,
         conn: u64,
         line: String,
+        /// When the request left its connection for the executor queue —
+        /// the timestamp deadline shedding and queue-wait metrics run on.
+        enqueued: Instant,
+    }
+
+    /// Handles into the backend's metric registry for everything the
+    /// serving loop itself observes (connections, bytes, queue waits,
+    /// admission-control rejections). Cloned freely: each handle is an
+    /// `Arc` around atomics.
+    #[derive(Clone)]
+    struct ServeMetrics {
+        connections_open: Gauge,
+        connections_total: Counter,
+        connections_rejected: Counter,
+        bytes_read: Counter,
+        bytes_written: Counter,
+        queue_wait: Histogram,
+        deadline_shed: Counter,
+    }
+
+    impl ServeMetrics {
+        fn new(telemetry: &Telemetry) -> ServeMetrics {
+            let registry = &telemetry.registry;
+            ServeMetrics {
+                connections_open: registry.gauge("fc_connections_open"),
+                connections_total: registry.counter("fc_connections_total"),
+                connections_rejected: registry.counter("fc_connections_rejected_total"),
+                bytes_read: registry.counter("fc_bytes_read_total"),
+                bytes_written: registry.counter("fc_bytes_written_total"),
+                queue_wait: registry.histogram("fc_queue_wait_seconds"),
+                deadline_shed: registry.counter("fc_deadline_shed_total"),
+            }
+        }
     }
 
     /// A queued frame awaiting dispatch. Framing errors stay *in order*
@@ -681,10 +784,19 @@ mod reactor_server {
         /// Current epoll interest, to skip redundant `EPOLL_CTL_MOD`s.
         want_read: bool,
         want_write: bool,
+        /// Byte counters shared with the process registry.
+        bytes_read: Counter,
+        bytes_written: Counter,
+        /// The open-connection gauge, decremented by `Drop` so every way a
+        /// connection dies (error, EOF, drain, force-close) releases its
+        /// admission slot.
+        open: Gauge,
     }
 
     impl Conn {
-        fn new(stream: TcpStream) -> Conn {
+        fn new(stream: TcpStream, metrics: &ServeMetrics) -> Conn {
+            metrics.connections_open.add(1);
+            metrics.connections_total.incr();
             Conn {
                 stream,
                 codec: LineCodec::new(MAX_FRAME_BYTES),
@@ -697,6 +809,9 @@ mod reactor_server {
                 close_after_flush: false,
                 want_read: true,
                 want_write: false,
+                bytes_read: metrics.bytes_read.clone(),
+                bytes_written: metrics.bytes_written.clone(),
+                open: metrics.connections_open.clone(),
             }
         }
 
@@ -744,6 +859,12 @@ mod reactor_server {
         }
     }
 
+    impl Drop for Conn {
+        fn drop(&mut self) {
+            self.open.sub(1);
+        }
+    }
+
     pub(super) struct Server {
         mailboxes: Vec<Arc<Mailbox>>,
         reactor_threads: Vec<JoinHandle<()>>,
@@ -761,6 +882,15 @@ mod reactor_server {
             listener.set_nonblocking(true)?;
             let io_threads = options.io_threads.max(1);
             let executor_threads = options.executor_threads.max(1);
+            // Backends without telemetry still get working admission
+            // control — the serving metrics just land in a registry
+            // nobody scrapes.
+            let telemetry = backend
+                .telemetry()
+                .unwrap_or_else(|| Arc::new(Telemetry::new()));
+            let metrics = ServeMetrics::new(&telemetry);
+            let max_connections = options.max_connections;
+            let deadline = options.request_deadline;
 
             let mut mailboxes = Vec::with_capacity(io_threads);
             let mut pollers = Vec::with_capacity(io_threads);
@@ -783,9 +913,10 @@ mod reactor_server {
                 let rx = Arc::clone(&job_rx);
                 let backend = Arc::clone(&backend);
                 let mailboxes = mailboxes.clone();
+                let metrics = metrics.clone();
                 let spawned = std::thread::Builder::new()
                     .name(format!("fc-exec-{i}"))
-                    .spawn(move || executor_loop(&rx, &*backend, &mailboxes));
+                    .spawn(move || executor_loop(&rx, &*backend, &mailboxes, deadline, &metrics));
                 match spawned {
                     Ok(t) => executors.push(t),
                     Err(e) => {
@@ -808,6 +939,7 @@ mod reactor_server {
                 let mailbox = Arc::clone(&mailboxes[idx]);
                 let peers = mailboxes.clone();
                 let reactor_job_tx = job_tx.clone();
+                let reactor_metrics = metrics.clone();
                 let listener = if idx == 0 { listener.take() } else { None };
                 let spawned = std::thread::Builder::new()
                     .name(format!("fc-io-{idx}"))
@@ -825,6 +957,8 @@ mod reactor_server {
                             draining: false,
                             drain_deadline: None,
                             accept_retry_at: None,
+                            max_connections,
+                            metrics: reactor_metrics,
                         }
                         .run()
                     });
@@ -882,13 +1016,33 @@ mod reactor_server {
         rx: &Mutex<mpsc::Receiver<Job>>,
         backend: &dyn Backend,
         mailboxes: &[Arc<Mailbox>],
+        deadline: Option<Duration>,
+        metrics: &ServeMetrics,
     ) {
         loop {
             // The guard drops at the end of the statement: workers contend
             // only for the *wait*, never during execution.
             let job = rx.lock().expect("executor queue lock").recv();
             let Ok(job) = job else { break };
-            let response = execute_line(backend, &job.line);
+            let waited = job.enqueued.elapsed();
+            metrics.queue_wait.observe(waited);
+            // Shed, don't execute, a request that already waited past the
+            // deadline: under a backlog the client has likely timed out
+            // (or will), and running its request anyway only delays every
+            // request behind it.
+            let response = if deadline.is_some_and(|d| waited > d) {
+                metrics.deadline_shed.incr();
+                Some(Response::Error {
+                    message: format!(
+                        "request waited {}ms in the executor queue, past the {}ms deadline",
+                        waited.as_millis(),
+                        deadline.unwrap_or_default().as_millis(),
+                    ),
+                    code: Some(protocol::ErrorCode::DeadlineExceeded),
+                })
+            } else {
+                execute_line(backend, &job.line)
+            };
             let mut bytes = Vec::new();
             if let Some(response) = response {
                 bytes = response.to_json().into_bytes();
@@ -920,6 +1074,11 @@ mod reactor_server {
         /// still-pending connection cannot spin the level-triggered loop,
         /// and no sleep ever blocks the reactor thread.
         accept_retry_at: Option<Instant>,
+        /// Open-connection cap (0 = unlimited), shared across reactors
+        /// through the `fc_connections_open` gauge itself: the gauge is
+        /// the process-wide count, so the cap needs no second counter.
+        max_connections: usize,
+        metrics: ServeMetrics,
     }
 
     impl Reactor {
@@ -1054,6 +1213,13 @@ mod reactor_server {
             if self.draining {
                 return; // dropped: we are closing
             }
+            if self.max_connections > 0
+                && self.metrics.connections_open.get() >= self.max_connections as u64
+            {
+                self.metrics.connections_rejected.incr();
+                refuse(stream, self.max_connections);
+                return;
+            }
             if stream.set_nonblocking(true).is_err() {
                 return;
             }
@@ -1067,7 +1233,7 @@ mod reactor_server {
             {
                 return;
             }
-            self.conns.insert(token, Conn::new(stream));
+            self.conns.insert(token, Conn::new(stream, &self.metrics));
         }
 
         /// Socket-level I/O for one readiness event. Returns whether the
@@ -1089,6 +1255,7 @@ mod reactor_server {
                             break;
                         }
                         Ok(n) => {
+                            conn.bytes_read.add(n as u64);
                             conn.codec.push(&scratch[..n]);
                             budget = budget.saturating_sub(n);
                             if budget == 0 {
@@ -1161,6 +1328,7 @@ mod reactor_server {
                                 reactor: self.idx,
                                 conn: token,
                                 line,
+                                enqueued: Instant::now(),
                             })
                             .is_err()
                         {
@@ -1220,13 +1388,32 @@ mod reactor_server {
         }
     }
 
+    /// Best-effort structured refusal for a connection over the admission
+    /// cap: one `unavailable` error, then close. The socket is still in
+    /// blocking mode here and the payload is far below any send buffer,
+    /// so the write either lands immediately or the client is gone.
+    fn refuse(mut stream: TcpStream, cap: usize) {
+        let mut bytes = Response::Error {
+            message: format!("connection limit reached ({cap} open connections)"),
+            code: Some(protocol::ErrorCode::Unavailable),
+        }
+        .to_json()
+        .into_bytes();
+        bytes.push(b'\n');
+        let _ = stream.write_all(&bytes);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+
     /// Writes as much of the buffer as the socket accepts. Returns `false`
     /// when the connection died.
     fn flush_writes(conn: &mut Conn) -> bool {
         while conn.write_pos < conn.write_buf.len() {
             match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
                 Ok(0) => return false,
-                Ok(n) => conn.write_pos += n,
+                Ok(n) => {
+                    conn.bytes_written.add(n as u64);
+                    conn.write_pos += n;
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => return false,

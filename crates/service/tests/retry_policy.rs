@@ -1,0 +1,144 @@
+//! Pins the client's retry contract: `request_with_backoff` follows the
+//! bounded geometric schedule of [`RetryPolicy`] for `overloaded`
+//! responses — and *only* for those. The admission-control codes
+//! (`unavailable`, `deadline_exceeded`) mean "the server chose to refuse
+//! this"; hammering a server that is shedding load would defeat the
+//! shedding, so they must surface on the first attempt.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fc_service::protocol::ErrorCode;
+use fc_service::{ClientError, Request, Response, RetryPolicy, ServiceClient};
+
+#[test]
+fn backoff_schedule_is_bounded_geometric() {
+    // The documented default: 4 attempts, sleeping 5 ms -> 10 ms -> 20 ms
+    // between them. A change here silently changes every deployed
+    // failover time, so the numbers are pinned exactly.
+    let policy = RetryPolicy::default();
+    assert_eq!(policy.attempts, 4);
+    assert_eq!(policy.backoff(1), Duration::from_millis(5));
+    assert_eq!(policy.backoff(2), Duration::from_millis(10));
+    assert_eq!(policy.backoff(3), Duration::from_millis(20));
+
+    // The geometric growth is clamped by the ceiling, never overflows.
+    let capped = RetryPolicy {
+        attempts: 10,
+        initial_backoff: Duration::from_millis(3),
+        multiplier: 4,
+        max_backoff: Duration::from_millis(25),
+    };
+    assert_eq!(capped.backoff(1), Duration::from_millis(3));
+    assert_eq!(capped.backoff(2), Duration::from_millis(12));
+    assert_eq!(capped.backoff(3), Duration::from_millis(25), "hit ceiling");
+    assert_eq!(capped.backoff(60), Duration::from_millis(25), "no overflow");
+
+    // A degenerate multiplier behaves like a constant schedule.
+    let flat = RetryPolicy {
+        multiplier: 0,
+        ..RetryPolicy::default()
+    };
+    assert_eq!(flat.backoff(1), flat.backoff(5));
+
+    // `none()` means one attempt and zero sleeping.
+    assert_eq!(RetryPolicy::none().attempts, 1);
+    assert_eq!(RetryPolicy::none().backoff(1), Duration::ZERO);
+}
+
+/// A server that answers every request line with the same canned error,
+/// counting how many lines it received — the retry behaviour is exactly
+/// the line count.
+fn canned_error_server(code: ErrorCode) -> (SocketAddr, Arc<AtomicU64>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let requests = Arc::new(AtomicU64::new(0));
+    let seen = Arc::clone(&requests);
+    std::thread::spawn(move || {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+            seen.fetch_add(1, Ordering::SeqCst);
+            let reply = Response::Error {
+                message: format!("canned {}", code.name()),
+                code: Some(code),
+            }
+            .to_json();
+            if writer.write_all(format!("{reply}\n").as_bytes()).is_err() {
+                return;
+            }
+        }
+    });
+    (addr, requests)
+}
+
+fn short_retry() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 3,
+        initial_backoff: Duration::from_millis(1),
+        multiplier: 1,
+        max_backoff: Duration::from_millis(1),
+    }
+}
+
+#[test]
+fn overloaded_is_retried_through_the_whole_schedule() {
+    let (addr, requests) = canned_error_server(ErrorCode::Overloaded);
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let outcome = client.request_with_backoff(&Request::Stats { dataset: None }, &short_retry());
+    assert!(
+        matches!(outcome, Err(ClientError::Overloaded(_))),
+        "{outcome:?}"
+    );
+    assert_eq!(
+        requests.load(Ordering::SeqCst),
+        3,
+        "every scheduled attempt must hit the wire"
+    );
+}
+
+#[test]
+fn unavailable_is_not_retried() {
+    let (addr, requests) = canned_error_server(ErrorCode::Unavailable);
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let outcome = client.request_with_backoff(&Request::Stats { dataset: None }, &short_retry());
+    match outcome {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, Some(ErrorCode::Unavailable)),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(
+        requests.load(Ordering::SeqCst),
+        1,
+        "an admission refusal must not be hammered"
+    );
+}
+
+#[test]
+fn deadline_exceeded_is_not_retried() {
+    let (addr, requests) = canned_error_server(ErrorCode::DeadlineExceeded);
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let outcome = client.request_with_backoff(&Request::Stats { dataset: None }, &short_retry());
+    match outcome {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, Some(ErrorCode::DeadlineExceeded));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(
+        requests.load(Ordering::SeqCst),
+        1,
+        "a shed request is already late; retrying it makes it later"
+    );
+}

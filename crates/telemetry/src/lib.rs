@@ -1,0 +1,744 @@
+//! Metrics and request tracing for the coreset-serving stack.
+//!
+//! The serving fleet needs to see its own time: the paper's whole
+//! contribution is a time-vs-accuracy tradeoff, and a deployment that
+//! cannot attribute a slow query to a node, shard, or queue cannot honor
+//! it. This crate provides the three observability primitives the stack
+//! wires in (std-only, like everything else in the workspace):
+//!
+//! - a [`Registry`] of named [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   latency [`Histogram`]s. Handles are `Arc`-backed atomics: callers
+//!   fetch a handle once (one short map lock) and every update after
+//!   that is a single atomic op — cheap enough for the ingest hot path.
+//! - a [`TraceContext`] (request id + per-hop timings) with a stable
+//!   JSON wire form, plus a bounded [`TraceLog`] ring each process keeps
+//!   so a request id handed to the coordinator can be found again in
+//!   both the coordinator's and the node's recent traces.
+//! - renderers: [`Registry::to_value`] for the `metrics` wire command
+//!   and [`Registry::render_prometheus`] for the text exposition
+//!   endpoint.
+//!
+//! Histogram quantiles are bucket-bracketed estimates: the reported
+//! value is the upper edge of the bucket holding the requested rank
+//! (clamped to the observed maximum), so the true empirical quantile is
+//! never overshot by more than one bucket width.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use fc_core::json::Value;
+
+/// A monotonic counter handle. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a non-negative level that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge to `n`.
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the gauge by `n`, saturating at zero (a release build must
+    /// not wrap to u64::MAX on a double-decrement bug).
+    pub fn sub(&self, n: u64) {
+        self.0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            })
+            .ok();
+    }
+
+    /// The current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket edges in microseconds: a coarse exponential
+/// ladder from 50µs to 10s. Requests beyond the last edge land in an
+/// overflow bucket whose quantile estimate is the observed maximum.
+pub const DEFAULT_LATENCY_EDGES_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+#[derive(Debug)]
+struct HistogramCells {
+    /// Upper bucket edges in microseconds, strictly increasing.
+    edges: Vec<u64>,
+    /// `edges.len() + 1` cells; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram handle. Cloning shares the cells.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(DEFAULT_LATENCY_EDGES_US)
+    }
+}
+
+impl Histogram {
+    /// Builds a histogram over the given upper bucket edges
+    /// (microseconds, strictly increasing); an overflow bucket is added.
+    pub fn new(edges: &[u64]) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        Histogram(Arc::new(HistogramCells {
+            edges: edges.to_vec(),
+            buckets: (0..=edges.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one duration.
+    pub fn observe(&self, elapsed: Duration) {
+        self.observe_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one sample, in microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let cells = &self.0;
+        let idx = cells.edges.partition_point(|&edge| edge < us);
+        cells.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum_us.fetch_add(us, Ordering::Relaxed);
+        cells.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.0.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen, in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.0.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (upper edge in µs, count); the final entry is
+    /// the overflow bucket with edge `u64::MAX`.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let cells = &self.0;
+        cells
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let edge = cells.edges.get(i).copied().unwrap_or(u64::MAX);
+                (edge, c.load(Ordering::Relaxed))
+            })
+            .collect()
+    }
+
+    /// Estimates the `q`-quantile (0 < q ≤ 1) in microseconds: the upper
+    /// edge of the bucket holding rank `ceil(q·count)`, clamped to the
+    /// observed maximum. `None` when the histogram is empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let cells = &self.0;
+        let count = cells.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let max = cells.max_us.load(Ordering::Relaxed);
+        let mut seen = 0u64;
+        for (i, bucket) in cells.buckets.iter().enumerate() {
+            seen = seen.saturating_add(bucket.load(Ordering::Relaxed));
+            if seen >= rank {
+                let edge = cells.edges.get(i).copied().unwrap_or(u64::MAX);
+                return Some(edge.min(max));
+            }
+        }
+        Some(max)
+    }
+}
+
+/// Formats a metric name with Prometheus-style labels:
+/// `labeled("fc_ingest_points_total", &[("dataset", "logs")])` →
+/// `fc_ingest_points_total{dataset="logs"}`.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// A registry of named metrics. Handle lookup takes one short map lock;
+/// everything after that is lock-free atomics on the handle.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Fetches (or creates) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Fetches (or creates) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("gauge map poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Fetches (or creates) the histogram named `name` with the default
+    /// latency buckets.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Serializes every metric to the JSON form the `metrics` wire
+    /// command returns: counters and gauges as integers, histograms as
+    /// `{count, sum_us, max_us, p50_us, p95_us, p99_us, buckets}`.
+    pub fn to_value(&self) -> Value {
+        let counters: BTreeMap<String, Value> = self
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(k, c)| (k.clone(), Value::from(c.get())))
+            .collect();
+        let gauges: BTreeMap<String, Value> = self
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(k, g)| (k.clone(), Value::from(g.get())))
+            .collect();
+        let histograms: BTreeMap<String, Value> = self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .buckets()
+                    .into_iter()
+                    .map(|(edge, count)| Value::Array(vec![Value::from(edge), Value::from(count)]))
+                    .collect();
+                let quantile = |q| Value::from(h.quantile_us(q).unwrap_or(0));
+                (
+                    k.clone(),
+                    fc_core::json::object([
+                        ("count", Value::from(h.count())),
+                        ("sum_us", Value::from(h.sum_us())),
+                        ("max_us", Value::from(h.max_us())),
+                        ("p50_us", quantile(0.50)),
+                        ("p95_us", quantile(0.95)),
+                        ("p99_us", quantile(0.99)),
+                        ("buckets", Value::Array(buckets)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(
+            [
+                ("counters".to_owned(), Value::Object(counters)),
+                ("gauges".to_owned(), Value::Object(gauges)),
+                ("histograms".to_owned(), Value::Object(histograms)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    /// Renders the Prometheus text exposition format: counters and
+    /// gauges as plain samples, histograms as `_bucket`/`_sum`/`_count`
+    /// families with `le` edges in seconds.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().expect("counter map poisoned").iter() {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&c.get().to_string());
+            out.push('\n');
+        }
+        for (name, g) in self.gauges.lock().expect("gauge map poisoned").iter() {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&g.get().to_string());
+            out.push('\n');
+        }
+        for (name, h) in self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+        {
+            let mut cumulative = 0u64;
+            for (edge, count) in h.buckets() {
+                cumulative = cumulative.saturating_add(count);
+                let le = if edge == u64::MAX {
+                    "+Inf".to_owned()
+                } else {
+                    format!("{}", edge as f64 / 1e6)
+                };
+                out.push_str(&prometheus_sub_name(name, "_bucket", Some(&le)));
+                out.push(' ');
+                out.push_str(&cumulative.to_string());
+                out.push('\n');
+            }
+            out.push_str(&prometheus_sub_name(name, "_sum", None));
+            out.push_str(&format!(" {}\n", h.sum_us() as f64 / 1e6));
+            out.push_str(&prometheus_sub_name(name, "_count", None));
+            out.push_str(&format!(" {}\n", h.count()));
+        }
+        out
+    }
+}
+
+/// Splices a histogram sub-series suffix (and optional `le` label) into
+/// a metric name that may already carry labels.
+fn prometheus_sub_name(name: &str, suffix: &str, le: Option<&str>) -> String {
+    let (base, labels) = match name.split_once('{') {
+        Some((base, rest)) => (base, rest.trim_end_matches('}')),
+        None => (name, ""),
+    };
+    let mut out = String::with_capacity(name.len() + suffix.len() + 16);
+    out.push_str(base);
+    out.push_str(suffix);
+    if !labels.is_empty() || le.is_some() {
+        out.push('{');
+        out.push_str(labels);
+        if let Some(le) = le {
+            if !labels.is_empty() {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(le);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out
+}
+
+/// One timed hop inside a trace: which stage ran and how long it took.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hop {
+    /// Stage name, e.g. `server:cluster` or `node0:cluster`.
+    pub name: String,
+    /// Elapsed time of the hop, in microseconds.
+    pub us: u64,
+}
+
+/// A request trace: one wire-visible id plus the per-hop timings every
+/// process recorded under it. The wire form is stable:
+/// `{"id":"…","hops":[{"name":"…","us":N},…]}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The request id threaded coordinator→node on the wire.
+    pub id: String,
+    /// Recorded hops, in arrival order.
+    pub hops: Vec<Hop>,
+}
+
+impl TraceContext {
+    /// A trace with no hops yet.
+    pub fn new(id: impl Into<String>) -> Self {
+        TraceContext {
+            id: id.into(),
+            hops: Vec::new(),
+        }
+    }
+
+    /// Serializes to the stable wire form.
+    pub fn to_value(&self) -> Value {
+        let hops = self
+            .hops
+            .iter()
+            .map(|h| {
+                fc_core::json::object([
+                    ("name", Value::from(h.name.as_str())),
+                    ("us", Value::from(h.us)),
+                ])
+            })
+            .collect();
+        fc_core::json::object([
+            ("id", Value::from(self.id.as_str())),
+            ("hops", Value::Array(hops)),
+        ])
+    }
+
+    /// Decodes the wire form; `None` when the shape is wrong.
+    pub fn from_value(value: &Value) -> Option<Self> {
+        let id = value.get("id")?.as_str()?.to_owned();
+        let mut hops = Vec::new();
+        for hop in value.get("hops")?.as_array()? {
+            hops.push(Hop {
+                name: hop.get("name")?.as_str()?.to_owned(),
+                us: hop.get("us")?.as_u64()?,
+            });
+        }
+        Some(TraceContext { id, hops })
+    }
+}
+
+/// Traces kept per process before the oldest is evicted.
+pub const TRACE_LOG_CAP: usize = 128;
+
+/// A bounded ring of recent [`TraceContext`]s. Hops recorded under an id
+/// still in the ring merge into that trace; new ids evict the oldest.
+#[derive(Debug)]
+pub struct TraceLog {
+    cap: usize,
+    entries: Mutex<VecDeque<TraceContext>>,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::new(TRACE_LOG_CAP)
+    }
+}
+
+impl TraceLog {
+    /// A log keeping at most `cap` traces.
+    pub fn new(cap: usize) -> Self {
+        TraceLog {
+            cap: cap.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records one hop under `id`, merging with a live trace of the same
+    /// id or starting a new one.
+    pub fn record(&self, id: &str, hop: impl Into<String>, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut entries = self.entries.lock().expect("trace log poisoned");
+        if let Some(trace) = entries.iter_mut().find(|t| t.id == id) {
+            trace.hops.push(Hop {
+                name: hop.into(),
+                us,
+            });
+            return;
+        }
+        if entries.len() == self.cap {
+            entries.pop_front();
+        }
+        let mut trace = TraceContext::new(id);
+        trace.hops.push(Hop {
+            name: hop.into(),
+            us,
+        });
+        entries.push_back(trace);
+    }
+
+    /// The current traces, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceContext> {
+        self.entries
+            .lock()
+            .expect("trace log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Serializes every live trace (oldest first) to the wire form.
+    pub fn to_value(&self) -> Value {
+        Value::Array(self.snapshot().iter().map(TraceContext::to_value).collect())
+    }
+}
+
+/// One process-wide observability surface: the metric registry plus the
+/// recent-trace ring, shared between an engine/coordinator and the
+/// server loops in front of it.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Named counters, gauges, and histograms.
+    pub registry: Registry,
+    /// Recent request traces.
+    pub traces: TraceLog,
+}
+
+impl Telemetry {
+    /// A fresh registry and trace log.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// The `metrics` wire payload: the registry plus recent traces.
+    pub fn to_value(&self) -> Value {
+        let mut value = self.registry.to_value();
+        if let Value::Object(map) = &mut value {
+            map.insert("traces".to_owned(), self.traces.to_value());
+        }
+        value
+    }
+}
+
+std::thread_local! {
+    static CURRENT_TRACE: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Restores the previous ambient trace id when dropped.
+pub struct TraceScope {
+    prev: Option<String>,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Sets the ambient trace id for the current thread (the server loop
+/// sets it around request dispatch so backends deep in the call tree —
+/// e.g. the coordinator's fan-out — can forward it without every trait
+/// method growing a trace parameter). Returns a guard restoring the
+/// previous value.
+pub fn set_current_trace(id: Option<String>) -> TraceScope {
+    let prev = CURRENT_TRACE.with(|c| c.replace(id));
+    TraceScope { prev }
+}
+
+/// The ambient trace id set by [`set_current_trace`], if any.
+pub fn current_trace() -> Option<String> {
+    CURRENT_TRACE.with(|c| c.borrow().clone())
+}
+
+/// Generates a process-unique request id: a time-seeded base mixed with
+/// a monotonic counter, formatted as 16 hex digits.
+pub fn next_request_id() -> String {
+    static BASE: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let base = *BASE.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        nanos | 1
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!(
+        "{:016x}",
+        base.wrapping_mul(0x100_0000_01B3) ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_move_as_expected() {
+        let registry = Registry::new();
+        let c = registry.counter("fc_requests_total");
+        c.incr();
+        c.add(4);
+        assert_eq!(registry.counter("fc_requests_total").get(), 5);
+        let g = registry.gauge("fc_connections");
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "gauges saturate at zero instead of wrapping");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(&[100, 1_000, 10_000]);
+        for us in [50, 150, 150, 5_000, 20_000] {
+            h.observe_us(us);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_us(), 25_350);
+        assert_eq!(h.max_us(), 20_000);
+        assert_eq!(
+            h.buckets(),
+            vec![(100, 1), (1_000, 2), (10_000, 1), (u64::MAX, 1)]
+        );
+        // rank(0.5) = 3 → second bucket, upper edge 1000.
+        assert_eq!(h.quantile_us(0.5), Some(1_000));
+        // rank(0.99) = 5 → overflow bucket, clamped to the observed max.
+        assert_eq!(h.quantile_us(0.99), Some(20_000));
+        assert_eq!(Histogram::default().quantile_us(0.5), None);
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_max_inside_bucket() {
+        let h = Histogram::new(&[1_000_000]);
+        h.observe_us(10);
+        assert_eq!(
+            h.quantile_us(0.5),
+            Some(10),
+            "a huge first bucket must not report its edge when every sample is tiny"
+        );
+    }
+
+    #[test]
+    fn labeled_names_render() {
+        assert_eq!(labeled("fc_x", &[]), "fc_x");
+        assert_eq!(
+            labeled("fc_x", &[("dataset", "a\"b"), ("shard", "0")]),
+            "fc_x{dataset=\"a\\\"b\",shard=\"0\"}"
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_shapes() {
+        let registry = Registry::new();
+        registry.counter("fc_ingest_points_total").add(7);
+        registry
+            .gauge(&labeled("fc_queue_depth", &[("shard", "0")]))
+            .set(3);
+        let h = registry.histogram(&labeled("fc_op_seconds", &[("op", "cost")]));
+        h.observe_us(600);
+        let text = registry.render_prometheus();
+        assert!(text.contains("fc_ingest_points_total 7\n"), "{text}");
+        assert!(text.contains("fc_queue_depth{shard=\"0\"} 3\n"), "{text}");
+        assert!(
+            text.contains("fc_op_seconds_bucket{op=\"cost\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fc_op_seconds_count{op=\"cost\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fc_op_seconds_sum{op=\"cost\"} 0.0006"),
+            "{text}"
+        );
+        // Cumulative le counts: the 1ms bucket already includes the 600µs sample.
+        assert!(
+            text.contains("fc_op_seconds_bucket{op=\"cost\",le=\"0.001\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn registry_json_form() {
+        let registry = Registry::new();
+        registry.counter("a").add(2);
+        let h = registry.histogram("h");
+        h.observe_us(10);
+        let v = registry.to_value();
+        assert_eq!(
+            v.get("counters").unwrap().get("a").unwrap().as_u64(),
+            Some(2)
+        );
+        let hv = v.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(hv.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(hv.get("p50_us").unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn trace_context_round_trips() {
+        let mut trace = TraceContext::new("abc123");
+        trace.hops.push(Hop {
+            name: "coordinator:cluster".into(),
+            us: 420,
+        });
+        let decoded = TraceContext::from_value(&trace.to_value()).unwrap();
+        assert_eq!(decoded, trace);
+        assert_eq!(TraceContext::from_value(&Value::Null), None);
+    }
+
+    #[test]
+    fn trace_log_merges_by_id_and_evicts_oldest() {
+        let log = TraceLog::new(2);
+        log.record("a", "hop1", Duration::from_micros(5));
+        log.record("a", "hop2", Duration::from_micros(6));
+        log.record("b", "hop1", Duration::from_micros(7));
+        assert_eq!(log.snapshot().len(), 2);
+        assert_eq!(log.snapshot()[0].hops.len(), 2);
+        log.record("c", "hop1", Duration::from_micros(8));
+        let ids: Vec<String> = log.snapshot().into_iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec!["b".to_owned(), "c".to_owned()]);
+    }
+
+    #[test]
+    fn ambient_trace_scopes_nest_and_restore() {
+        assert_eq!(current_trace(), None);
+        {
+            let _outer = set_current_trace(Some("outer".into()));
+            assert_eq!(current_trace().as_deref(), Some("outer"));
+            {
+                let _inner = set_current_trace(None);
+                assert_eq!(current_trace(), None);
+            }
+            assert_eq!(current_trace().as_deref(), Some("outer"));
+        }
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn request_ids_are_distinct_hex() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

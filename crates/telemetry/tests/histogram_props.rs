@@ -1,0 +1,90 @@
+//! Property tests for histogram correctness: arbitrary sample streams
+//! must conserve totals across buckets, and quantile estimates must
+//! bracket the true empirical quantile within one bucket width.
+
+use fc_telemetry::{Histogram, DEFAULT_LATENCY_EDGES_US};
+use proptest::prelude::*;
+
+/// The true empirical `q`-quantile: the sample at rank `ceil(q·n)`.
+fn empirical_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Width of the bucket a sample lands in (overflow bucket is unbounded,
+/// so the bracket there is against the observed maximum instead).
+fn bucket_width(edges: &[u64], sample: u64) -> Option<u64> {
+    let idx = edges.partition_point(|&edge| edge < sample);
+    let hi = *edges.get(idx)?;
+    let lo = if idx == 0 { 0 } else { edges[idx - 1] };
+    Some(hi - lo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bucket_counts_conserve_total(samples in prop::collection::vec(0u64..20_000_000, 1..200)) {
+        let h = Histogram::new(DEFAULT_LATENCY_EDGES_US);
+        for &s in &samples {
+            h.observe_us(s);
+        }
+        let buckets = h.buckets();
+        prop_assert_eq!(buckets.len(), DEFAULT_LATENCY_EDGES_US.len() + 1);
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, samples.len() as u64);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum_us(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.max_us(), samples.iter().copied().max().unwrap());
+        // Every bucket only holds samples at or below its edge: the
+        // cumulative count at each edge matches the sorted stream.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let mut cumulative = 0u64;
+        for &(edge, count) in &buckets {
+            cumulative += count;
+            let expected = sorted.partition_point(|&s| s <= edge) as u64;
+            prop_assert_eq!(cumulative, expected, "edge {}", edge);
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_empirical_quantile(
+        samples in prop::collection::vec(0u64..20_000_000, 1..200),
+        q in 0.01f64..1.0,
+    ) {
+        let h = Histogram::new(DEFAULT_LATENCY_EDGES_US);
+        for &s in &samples {
+            h.observe_us(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let truth = empirical_quantile(&sorted, q);
+        let estimate = h.quantile_us(q).unwrap();
+        // Never undershoot: the estimate is an upper bound on the true
+        // quantile (bucket upper edge, clamped to the observed max).
+        prop_assert!(estimate >= truth, "estimate {} < true quantile {}", estimate, truth);
+        // Never overshoot by more than one bucket width; in the overflow
+        // bucket the clamp to max_us() is the bound instead.
+        match bucket_width(DEFAULT_LATENCY_EDGES_US, truth) {
+            Some(width) => prop_assert!(
+                estimate - truth <= width,
+                "estimate {} overshoots true quantile {} by more than bucket width {}",
+                estimate, truth, width
+            ),
+            None => prop_assert!(estimate <= h.max_us()),
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(samples in prop::collection::vec(0u64..20_000_000, 1..100)) {
+        let h = Histogram::new(DEFAULT_LATENCY_EDGES_US);
+        for &s in &samples {
+            h.observe_us(s);
+        }
+        let qs = [0.1, 0.5, 0.9, 0.95, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            prop_assert!(h.quantile_us(pair[0]).unwrap() <= h.quantile_us(pair[1]).unwrap());
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //!                [--method NAME] [--solver NAME]
 //!                [--io-model reactor|threaded] [--io-threads N]
 //!                [--executor-threads N]
+//!                [--max-connections N] [--request-deadline-ms N]
+//!                [--metrics-addr HOST:PORT] [--version]
 //! ```
 //!
 //! Speaks the `fc-service` JSON-lines protocol upward (the same protocol
@@ -22,6 +24,12 @@
 //! nodes with every routed batch — node-side defaults never leak in. The
 //! `--io-*` flags configure the upward-facing server exactly as on
 //! `fc-server`; node fan-outs multiplex over epoll regardless (Linux).
+//! `--max-connections`, `--request-deadline-ms`, and `--metrics-addr`
+//! behave exactly as on `fc-server`: connection-cap admission control,
+//! executor-queue deadline shedding, and a Prometheus scrape listener
+//! (the coordinator's registry adds `fc_node_request_seconds{node=…}`
+//! latency attribution per fleet node; the JSON `metrics` op also embeds
+//! every node's registry under `"nodes"`).
 //!
 //! A node restarting warm from its `--data-dir` reports `recovering` in
 //! `stats` while it replays its write-ahead log. The coordinator routes
@@ -45,7 +53,8 @@ fn usage() -> ! {
          [--capacity W ...] [--retries N] [--node-timeout-ms MS] [--k K] \
          [--m-scalar M] [--budget POINTS] [--kmedian] [--method NAME] \
          [--solver NAME] [--io-model reactor|threaded] [--io-threads N] \
-         [--executor-threads N]"
+         [--executor-threads N] [--max-connections N] \
+         [--request-deadline-ms N] [--metrics-addr HOST:PORT] [--version]"
     );
     std::process::exit(2);
 }
@@ -58,6 +67,7 @@ struct Args {
     retries: u32,
     node_timeout_ms: Option<u64>,
     options: ServerOptions,
+    metrics_addr: Option<String>,
     k: usize,
     m_scalar: usize,
     budget: Option<usize>,
@@ -75,6 +85,7 @@ fn parse_args() -> Args {
         retries: RetryPolicy::default().attempts,
         node_timeout_ms: None,
         options: ServerOptions::default(),
+        metrics_addr: None,
         k: 8,
         m_scalar: 40,
         budget: None,
@@ -120,6 +131,15 @@ fn parse_args() -> Args {
                 parsed.options.executor_threads =
                     value("count").parse().unwrap_or_else(|_| usage());
             }
+            "--max-connections" => {
+                parsed.options.max_connections = value("count").parse().unwrap_or_else(|_| usage());
+            }
+            "--request-deadline-ms" => {
+                parsed.options.request_deadline = Some(Duration::from_millis(
+                    value("milliseconds").parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--metrics-addr" => parsed.metrics_addr = Some(value("host:port")),
             "--k" => parsed.k = value("count").parse().unwrap_or_else(|_| usage()),
             "--m-scalar" => parsed.m_scalar = value("count").parse().unwrap_or_else(|_| usage()),
             "--budget" => {
@@ -137,6 +157,10 @@ fn parse_args() -> Args {
                     eprintln!("{e}");
                     usage()
                 });
+            }
+            "--version" | "-V" => {
+                println!("fc-coordinator {}", fast_coresets::VERSION);
+                std::process::exit(0);
             }
             "--help" | "-h" => usage(),
             other => {
@@ -198,7 +222,7 @@ fn main() {
         }
     }
     let coordinator = match Coordinator::new(config) {
-        Ok(c) => c,
+        Ok(c) => Arc::new(c),
         Err(e) => {
             eprintln!("fc-coordinator: invalid configuration: {e}");
             std::process::exit(2);
@@ -208,7 +232,7 @@ fn main() {
     let policy = coordinator.policy();
     let handle = match ServerHandle::bind_backend_with(
         args.addr.as_str(),
-        Arc::new(coordinator),
+        Arc::clone(&coordinator) as Arc<dyn fc_service::Backend>,
         args.options,
     ) {
         Ok(h) => h,
@@ -217,12 +241,36 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let _metrics_server = args.metrics_addr.map(|maddr| {
+        let coordinator = Arc::clone(&coordinator);
+        let render: Arc<fc_service::metrics_http::RenderFn> =
+            Arc::new(move || coordinator.render_prometheus());
+        match fc_service::MetricsServer::serve(maddr.as_str(), render) {
+            Ok(server) => {
+                println!("fc-coordinator metrics on http://{}/metrics", server.addr());
+                server
+            }
+            Err(e) => {
+                eprintln!("fc-coordinator: cannot bind metrics listener {maddr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     println!(
-        "fc-coordinator listening on {} (io={}, nodes=[{}], policy={policy}, \
-         default plan {plan_json})",
+        "fc-coordinator {} listening on {} (io={}, nodes=[{}], policy={policy}, \
+         max-connections={}, request-deadline={}, default plan {plan_json})",
+        fast_coresets::VERSION,
         handle.addr(),
         handle.io_model(),
         args.nodes.join(", "),
+        match args.options.max_connections {
+            0 => "unlimited".to_owned(),
+            n => n.to_string(),
+        },
+        match args.options.request_deadline {
+            Some(d) => format!("{}ms", d.as_millis()),
+            None => "none".to_owned(),
+        },
     );
     // Serve until the process is killed, like fc-server.
     loop {

@@ -6,10 +6,12 @@
 //!           [--method NAME] [--solver NAME]
 //!           [--io-model reactor|threaded] [--io-threads N]
 //!           [--executor-threads N]
+//!           [--max-connections N] [--request-deadline-ms N]
+//!           [--metrics-addr HOST:PORT]
 //!           [--data-dir PATH] [--fsync always|interval|never]
 //!           [--fsync-interval-ms N] [--segment-bytes N]
 //!           [--snapshot-compactions N] [--snapshot-bytes N]
-//!           [--replay-throttle-ms N]
+//!           [--replay-throttle-ms N] [--version]
 //! ```
 //!
 //! `--method` and `--solver` take the canonical names of
@@ -22,6 +24,16 @@
 //! reactor threads, `--executor-threads` backend workers) or `threaded`
 //! (one blocking thread per connection). Platforms without epoll always
 //! run `threaded`.
+//!
+//! `--max-connections` caps concurrently open client connections; a
+//! connection over the cap is answered with one structured `unavailable`
+//! error and closed, so load balancers fail over instead of hanging.
+//! `--request-deadline-ms` sheds requests that waited longer than the
+//! deadline in the executor queue (reactor model only) with a structured
+//! `deadline_exceeded` — the server does stale work never, late work
+//! sometimes. `--metrics-addr` serves Prometheus text exposition
+//! (`GET /metrics`) from a second listener; the JSON protocol's
+//! `metrics` op returns the same registry inline.
 //!
 //! `--data-dir` turns on durability: every acknowledged ingest batch is
 //! written to a per-shard write-ahead log under the directory before it
@@ -49,10 +61,12 @@ fn usage() -> ! {
         "usage: fc-server [--addr HOST:PORT] [--shards N] [--k K] \
          [--m-scalar M] [--budget POINTS] [--queue-depth N] [--kmedian] \
          [--method NAME] [--solver NAME] [--io-model reactor|threaded] \
-         [--io-threads N] [--executor-threads N] [--data-dir PATH] \
+         [--io-threads N] [--executor-threads N] [--max-connections N] \
+         [--request-deadline-ms N] [--metrics-addr HOST:PORT] \
+         [--data-dir PATH] \
          [--fsync always|interval|never] [--fsync-interval-ms N] \
          [--segment-bytes N] [--snapshot-compactions N] \
-         [--snapshot-bytes N] [--replay-throttle-ms N]"
+         [--snapshot-bytes N] [--replay-throttle-ms N] [--version]"
     );
     std::process::exit(2);
 }
@@ -116,10 +130,11 @@ impl PersistFlags {
     }
 }
 
-fn parse_args() -> (String, EngineConfig, ServerOptions) {
+fn parse_args() -> (String, EngineConfig, ServerOptions, Option<String>) {
     let mut addr = "127.0.0.1:4777".to_owned();
     let mut config = EngineConfig::default();
     let mut options = ServerOptions::default();
+    let mut metrics_addr = None;
     let mut persist = PersistFlags::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -170,6 +185,15 @@ fn parse_args() -> (String, EngineConfig, ServerOptions) {
             "--executor-threads" => {
                 options.executor_threads = value("count").parse().unwrap_or_else(|_| usage());
             }
+            "--max-connections" => {
+                options.max_connections = value("count").parse().unwrap_or_else(|_| usage());
+            }
+            "--request-deadline-ms" => {
+                options.request_deadline = Some(Duration::from_millis(
+                    value("milliseconds").parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--metrics-addr" => metrics_addr = Some(value("host:port")),
             "--data-dir" => persist.data_dir = Some(value("path").into()),
             "--fsync" => persist.fsync = Some(value("policy")),
             "--fsync-interval-ms" => {
@@ -190,6 +214,10 @@ fn parse_args() -> (String, EngineConfig, ServerOptions) {
                 persist.replay_throttle_ms =
                     Some(value("milliseconds").parse().unwrap_or_else(|_| usage()));
             }
+            "--version" | "-V" => {
+                println!("fc-server {}", fast_coresets::VERSION);
+                std::process::exit(0);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -198,7 +226,7 @@ fn parse_args() -> (String, EngineConfig, ServerOptions) {
         }
     }
     config.persist = persist.build();
-    (addr, config, options)
+    (addr, config, options, metrics_addr)
 }
 
 /// Blocks SIGTERM and SIGINT on the calling thread (spawned threads
@@ -253,7 +281,7 @@ fn wait_for_signal(fd: i32) {
 }
 
 fn main() {
-    let (addr, config, options) = parse_args();
+    let (addr, config, options, metrics_addr) = parse_args();
     #[cfg(target_os = "linux")]
     let signal_fd = arm_shutdown_signals();
     // Engine construction validates the configuration (shards/k/m-scalar
@@ -276,12 +304,39 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // The scrape endpoint lives as long as main does; dropped (and
+    // stopped) only when the process exits.
+    let _metrics_server = metrics_addr.map(|maddr| {
+        let engine = std::sync::Arc::clone(handle.engine());
+        let render: std::sync::Arc<fc_service::metrics_http::RenderFn> =
+            std::sync::Arc::new(move || engine.render_prometheus());
+        match fc_service::MetricsServer::serve(maddr.as_str(), render) {
+            Ok(server) => {
+                println!("fc-server metrics on http://{}/metrics", server.addr());
+                server
+            }
+            Err(e) => {
+                eprintln!("fc-server: cannot bind metrics listener {maddr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     println!(
-        "fc-server listening on {} (io={}, shards={}, queue-depth={}, default plan {}{})",
+        "fc-server {} listening on {} (io={}, shards={}, queue-depth={}, \
+         max-connections={}, request-deadline={}, default plan {}{})",
+        fast_coresets::VERSION,
         handle.addr(),
         handle.io_model(),
         config.shards,
         config.shard_queue_depth,
+        match options.max_connections {
+            0 => "unlimited".to_owned(),
+            n => n.to_string(),
+        },
+        match options.request_deadline {
+            Some(d) => format!("{}ms", d.as_millis()),
+            None => "none".to_owned(),
+        },
         handle.engine().default_plan().to_json(),
         match &config.persist {
             Some(pc) => format!(", data-dir {}", pc.data_dir.display()),

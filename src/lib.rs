@@ -78,6 +78,11 @@
 //! | [`fc_service`] | the sharded coreset-serving engine (one effective `Plan` per dataset), its TCP/JSON-lines protocol, server, and client (`fc-server` binary) |
 //! | [`fc_cluster`] | the multi-node coordinator: shards datasets across remote `fc-server` nodes, unions per-node coresets, serves the same protocol (`fc-coordinator` binary) |
 
+/// The workspace version, shared by the `fc-server` and `fc-coordinator`
+/// `--version` flags and startup banners — one constant, so the two
+/// daemons of a deployment can never report different versions.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
 pub use fc_cluster;
 pub use fc_clustering;
 pub use fc_core;

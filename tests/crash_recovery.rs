@@ -50,8 +50,10 @@ fn spawn_server(
     let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
     let mut banner = String::new();
     reader.read_line(&mut banner).expect("read banner");
+    // Banner shape: `fc-server <version> listening on <addr> (...)`.
     let addr = banner
-        .strip_prefix("fc-server listening on ")
+        .split(" listening on ")
+        .nth(1)
         .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
         .split_whitespace()
         .next()

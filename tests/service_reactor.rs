@@ -65,6 +65,7 @@ fn idle_connections_do_not_pin_threads() {
         io_model: IoModel::Reactor,
         io_threads: 1,
         executor_threads: 4,
+        ..Default::default()
     };
     let before_server = thread_count();
     let server = ServerHandle::bind_with("127.0.0.1:0", small_engine(), options).unwrap();
