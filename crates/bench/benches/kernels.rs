@@ -1,0 +1,159 @@
+//! **Distance-kernel microbench**: nearest-center assignment throughput
+//! of the flat autovectorized kernels ([`fc_geom::distance::nearest_block`] over a
+//! contiguous row-major buffer) against the nested baseline they
+//! replaced (`Vec<Vec<f64>>` rows, scalar per-coordinate loop) — the
+//! `O(nkd)` scan at the heart of every compression and solve.
+//!
+//! Besides the console table, the run writes `BENCH_kernels.json` at the
+//! workspace root so the repo carries the kernel-throughput trajectory
+//! alongside `BENCH_service.json`.
+//!
+//! Environment knobs:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `KERNEL_BENCH_POINTS` | `100000` | points per measured scan |
+//! | `KERNEL_BENCH_REPS` | `20` | measured scans per configuration |
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fc_bench::Table;
+use fc_geom::distance::nearest_block;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const K: usize = 16;
+const DIMS: &[usize] = &[2, 16, 64];
+
+/// The pre-flat storage layout and kernel: one heap allocation per row,
+/// squared distance accumulated coordinate-by-coordinate.
+fn nearest_nested(p: &[f64], centers: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0, f64::INFINITY);
+    for (j, c) in centers.iter().enumerate() {
+        let mut acc = 0.0;
+        for (a, b) in p.iter().zip(c.iter()) {
+            let d = a - b;
+            acc += d * d;
+        }
+        if acc < best.1 {
+            best = (j, acc);
+        }
+    }
+    best
+}
+
+struct Row {
+    dim: usize,
+    n: usize,
+    nested_mpps: f64,
+    flat_mpps: f64,
+}
+
+fn measure(dim: usize, n: usize, reps: usize) -> Row {
+    let mut rng = StdRng::seed_from_u64(0xD157 + dim as u64);
+    let points: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let centers: Vec<f64> = (0..K * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let nested_points: Vec<Vec<f64>> = points.chunks(dim).map(<[f64]>::to_vec).collect();
+    let nested_centers: Vec<Vec<f64>> = centers.chunks(dim).map(<[f64]>::to_vec).collect();
+
+    // Warm-up + checksum parity: both layouts must assign identically.
+    let mut labels = vec![0usize; n];
+    let mut best_sq = vec![0.0f64; n];
+    nearest_block(&points, &centers, dim, &mut labels, &mut best_sq);
+    for (p, &label) in nested_points.iter().zip(&labels) {
+        assert_eq!(nearest_nested(p, &nested_centers).0, label, "kernel parity");
+    }
+
+    let started = Instant::now();
+    for _ in 0..reps {
+        let mut acc = 0usize;
+        for p in &nested_points {
+            acc = acc.wrapping_add(nearest_nested(black_box(p), black_box(&nested_centers)).0);
+        }
+        black_box(acc);
+    }
+    let nested = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    for _ in 0..reps {
+        nearest_block(
+            black_box(&points),
+            black_box(&centers),
+            dim,
+            &mut labels,
+            &mut best_sq,
+        );
+        black_box(&labels);
+    }
+    let flat = started.elapsed().as_secs_f64();
+
+    let scanned = (n * reps) as f64 / 1e6;
+    Row {
+        dim,
+        n,
+        nested_mpps: scanned / nested,
+        flat_mpps: scanned / flat,
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn main() {
+    let n = env_usize("KERNEL_BENCH_POINTS", 100_000);
+    let reps = env_usize("KERNEL_BENCH_REPS", 20);
+
+    let rows: Vec<Row> = DIMS.iter().map(|&dim| measure(dim, n, reps)).collect();
+
+    let mut table = Table::new(
+        "Assignment kernels: nested Vec<Vec<f64>> vs flat autovectorized",
+        &[
+            "dim",
+            "points",
+            "k",
+            "nested Mpt/s",
+            "flat Mpt/s",
+            "speedup",
+        ],
+    );
+    for row in &rows {
+        table.row(vec![
+            row.dim.to_string(),
+            row.n.to_string(),
+            K.to_string(),
+            format!("{:.1}", row.nested_mpps),
+            format!("{:.1}", row.flat_mpps),
+            format!("{:.2}x", row.flat_mpps / row.nested_mpps),
+        ]);
+    }
+    table.print();
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{"dim":{},"points":{},"k":{},"nested_mpps":{:.1},"flat_mpps":{:.1},"speedup":{:.2}}}"#,
+                r.dim,
+                r.n,
+                K,
+                r.nested_mpps,
+                r.flat_mpps,
+                r.flat_mpps / r.nested_mpps
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"experiment\":\"kernels\",\"reps\":{},\"rows\":[{}]}}\n",
+        reps,
+        json_rows.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}

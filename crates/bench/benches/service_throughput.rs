@@ -1,14 +1,19 @@
 //! **Service throughput**: requests/sec and latency percentiles of the
-//! serving tier vs. concurrent connection count, thread-per-connection
-//! vs. the epoll reactor — the serving-scale experiment behind the I/O
-//! refactor (the paper's tables measure compression; this measures the
-//! tier that serves it).
+//! serving tier vs. concurrent connection count, across three axes —
+//! thread-per-connection vs. the epoll reactor, JSON-lines vs. `bin1`
+//! binary frames, and a solve-heavy (`cost`) vs. an ingest-heavy
+//! workload — the serving-scale experiment behind the I/O and wire-
+//! protocol work (the paper's tables measure compression; this measures
+//! the tier that serves it).
 //!
-//! Every connection runs its own client thread issuing sequential `cost`
+//! Every connection runs its own client thread issuing sequential
 //! requests (deterministic: no RNG in the measured path), so offered
-//! concurrency equals the connection count. Besides the console table,
-//! the run writes `BENCH_service.json` at the workspace root so the
-//! repo carries a perf trajectory.
+//! concurrency equals the connection count. The ingest workload sends a
+//! small 32-point batch per request against an engine with per-shard
+//! coalescing enabled — the small-batch firehose the batching layer
+//! exists for. Besides the console table, the run writes
+//! `BENCH_service.json` at the workspace root so the repo carries a perf
+//! trajectory.
 //!
 //! Environment knobs:
 //!
@@ -18,7 +23,7 @@
 //! | `SERVICE_BENCH_REQUESTS` | `100` | requests per connection |
 
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fc_bench::Table;
 use fc_geom::Dataset;
@@ -35,19 +40,59 @@ fn blobs(n_per: usize) -> Dataset {
     Dataset::from_flat(flat, 2).unwrap()
 }
 
-fn engine() -> Engine {
-    Engine::new(EngineConfig {
+/// Requests a producer keeps in flight per connection on the pipelined
+/// ingest workload — the firehose shape real ingest producers run.
+const PIPELINE_WINDOW: usize = 32;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    /// Sequential `cost` queries against a seeded dataset: solve-bound.
+    Cost,
+    /// A 32-point batch per request, one in flight: round-trip-bound.
+    Ingest,
+    /// A 32-point batch per request, [`PIPELINE_WINDOW`] in flight:
+    /// the throughput shape of a streaming producer.
+    IngestPipelined,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Cost => "cost",
+            Workload::Ingest => "ingest",
+            Workload::IngestPipelined => "ingest-pipelined",
+        }
+    }
+
+    fn is_ingest(self) -> bool {
+        !matches!(self, Workload::Cost)
+    }
+}
+
+fn engine(workload: Workload) -> Engine {
+    let mut config = EngineConfig {
         shards: 2,
         k: 4,
         m_scalar: 20,
         method: fc_core::plan::Method::Uniform,
         ..Default::default()
-    })
-    .unwrap()
+    };
+    if workload.is_ingest() {
+        // The configuration the batching layer targets: coalesce the
+        // small-batch firehose into compressor-sized blocks, and keep the
+        // shard queues deep enough that the bench measures the wire and
+        // ack path rather than `overloaded` backoff.
+        config.batch_points = 4096;
+        config.batch_delay = Duration::from_millis(2);
+        config.shard_queue_depth = 1024;
+    }
+    Engine::new(config).unwrap()
 }
 
 struct Row {
     model: IoModel,
+    wire: &'static str,
+    workload: &'static str,
     connections: usize,
     requests: usize,
     rps: f64,
@@ -64,24 +109,61 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 /// Runs `connections` client threads, each issuing `per_conn` sequential
-/// cost requests, against one server; returns (rps, p50 ms, p99 ms).
-fn measure(addr: std::net::SocketAddr, connections: usize, per_conn: usize) -> (f64, f64, f64) {
+/// requests, against one server; returns (rps, p50 ms, p99 ms).
+fn measure(
+    addr: std::net::SocketAddr,
+    connections: usize,
+    per_conn: usize,
+    binary: bool,
+    workload: Workload,
+) -> (f64, f64, f64) {
     let barrier = Arc::new(Barrier::new(connections + 1));
     let centers = fc_geom::Points::from_flat(vec![0.0, 0.0, 100.0, 0.0], 2).unwrap();
+    let batch = blobs(8); // 4 blobs x 8 = 32 points per ingest request
     let (wall, mut latencies) = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..connections)
             .map(|_| {
                 let barrier = Arc::clone(&barrier);
                 let centers = centers.clone();
+                let batch = batch.clone();
                 scope.spawn(move || {
                     let mut client = ServiceClient::connect(addr).expect("bench connect");
+                    if binary {
+                        let upgraded = client.negotiate_binary().expect("bin1 hello");
+                        assert!(upgraded, "server declined bin1 during a bin1 sweep");
+                    }
                     barrier.wait();
+                    if workload == Workload::IngestPipelined {
+                        // One pipelined stream of `per_conn` batches; the
+                        // per-request latency is the amortized share of
+                        // the stream (individual acks overlap in flight).
+                        let started = Instant::now();
+                        client
+                            .ingest_pipelined(
+                                "bench",
+                                std::iter::repeat_n(&batch, per_conn),
+                                None,
+                                PIPELINE_WINDOW,
+                            )
+                            .expect("pipelined ingest succeeds");
+                        let amortized = started.elapsed().as_secs_f64() * 1e3 / per_conn as f64;
+                        return vec![amortized; per_conn];
+                    }
                     let mut latencies = Vec::with_capacity(per_conn);
                     for _ in 0..per_conn {
                         let started = Instant::now();
-                        client
-                            .cost("bench", &centers, None)
-                            .expect("cost request succeeds");
+                        match workload {
+                            Workload::Cost => {
+                                client
+                                    .cost("bench", &centers, None)
+                                    .expect("cost request succeeds");
+                            }
+                            Workload::Ingest | Workload::IngestPipelined => {
+                                client
+                                    .ingest("bench", &batch, None)
+                                    .expect("ingest request succeeds");
+                            }
+                        }
                         latencies.push(started.elapsed().as_secs_f64() * 1e3);
                     }
                     latencies
@@ -105,22 +187,31 @@ fn measure(addr: std::net::SocketAddr, connections: usize, per_conn: usize) -> (
     )
 }
 
-fn sweep(model: IoModel, conns: &[usize], per_conn: usize, rows: &mut Vec<Row>) {
+fn sweep(
+    model: IoModel,
+    binary: bool,
+    workload: Workload,
+    conns: &[usize],
+    per_conn: usize,
+    rows: &mut Vec<Row>,
+) {
     let options = ServerOptions {
         io_model: model,
         ..Default::default()
     };
-    let server = ServerHandle::bind_with("127.0.0.1:0", engine(), options).unwrap();
+    let server = ServerHandle::bind_with("127.0.0.1:0", engine(workload), options).unwrap();
     let mut seeder = ServiceClient::connect(server.addr()).unwrap();
     seeder.ingest("bench", &blobs(250), None).unwrap();
-    // Warm the serving path once so neither model pays first-touch costs
+    // Warm the serving path once so no sweep pays first-touch costs
     // inside the measurement.
     let centers = fc_geom::Points::from_flat(vec![0.0, 0.0], 2).unwrap();
     seeder.cost("bench", &centers, None).unwrap();
     for &connections in conns {
-        let (rps, p50_ms, p99_ms) = measure(server.addr(), connections, per_conn);
+        let (rps, p50_ms, p99_ms) = measure(server.addr(), connections, per_conn, binary, workload);
         rows.push(Row {
             model: server.io_model(),
+            wire: if binary { "bin1" } else { "json" },
+            workload: workload.name(),
             connections,
             requests: connections * per_conn,
             rps,
@@ -154,8 +245,15 @@ fn env_requests() -> usize {
 
 fn json_row(row: &Row) -> String {
     format!(
-        r#"{{"model":"{}","connections":{},"requests":{},"rps":{:.1},"p50_ms":{:.3},"p99_ms":{:.3}}}"#,
-        row.model, row.connections, row.requests, row.rps, row.p50_ms, row.p99_ms
+        r#"{{"model":"{}","wire":"{}","workload":"{}","connections":{},"requests":{},"rps":{:.1},"p50_ms":{:.3},"p99_ms":{:.3}}}"#,
+        row.model,
+        row.wire,
+        row.workload,
+        row.connections,
+        row.requests,
+        row.rps,
+        row.p50_ms,
+        row.p99_ms
     )
 }
 
@@ -164,24 +262,47 @@ fn main() {
     let per_conn = env_requests();
 
     let mut rows = Vec::new();
-    // Threaded first, reactor second — each sweep boots a fresh server on
-    // an ephemeral port with an identically seeded dataset. Platforms
-    // where the reactor falls back to threaded skip the second sweep
-    // rather than measure the same configuration twice under two labels.
-    sweep(IoModel::Threaded, &conns, per_conn, &mut rows);
+    // Each sweep boots a fresh server on an ephemeral port with an
+    // identically seeded dataset. Threaded runs the historical baseline
+    // configuration; the reactor crosses wire x workload. Platforms
+    // where the reactor falls back to threaded skip its sweeps rather
+    // than measure the same configuration twice under two labels.
+    sweep(
+        IoModel::Threaded,
+        false,
+        Workload::Cost,
+        &conns,
+        per_conn,
+        &mut rows,
+    );
     if IoModel::Reactor.effective() == IoModel::Reactor {
-        sweep(IoModel::Reactor, &conns, per_conn, &mut rows);
+        for workload in [Workload::Cost, Workload::Ingest, Workload::IngestPipelined] {
+            for binary in [false, true] {
+                sweep(
+                    IoModel::Reactor,
+                    binary,
+                    workload,
+                    &conns,
+                    per_conn,
+                    &mut rows,
+                );
+            }
+        }
     } else {
-        println!("(no epoll on this platform: reactor sweep skipped)");
+        println!("(no epoll on this platform: reactor sweeps skipped)");
     }
 
     let mut table = Table::new(
-        "Service throughput: thread-per-connection vs epoll reactor",
-        &["model", "conns", "requests", "req/s", "p50 ms", "p99 ms"],
+        "Service throughput: io model x wire protocol x workload",
+        &[
+            "model", "wire", "workload", "conns", "requests", "req/s", "p50 ms", "p99 ms",
+        ],
     );
     for row in &rows {
         table.row(vec![
             row.model.to_string(),
+            row.wire.to_string(),
+            row.workload.to_string(),
             row.connections.to_string(),
             row.requests.to_string(),
             format!("{:.0}", row.rps),

@@ -149,6 +149,11 @@ pub struct CoordinatorConfig {
     /// Base of the deterministic seed sequence for requests that carry no
     /// explicit seed.
     pub base_seed: u64,
+    /// Offer every node connection the `bin1` binary frame upgrade
+    /// (default). Nodes that decline stay on JSON-lines per connection,
+    /// so a mixed fleet keeps working; `false` pins the whole fleet to
+    /// the text protocol.
+    pub binary_wire: bool,
 }
 
 impl CoordinatorConfig {
@@ -170,6 +175,7 @@ impl CoordinatorConfig {
             retry: RetryPolicy::default(),
             timeouts: NodeTimeouts::default(),
             base_seed: 0x0C0D_E5E7,
+            binary_wire: true,
         }
     }
 }
@@ -250,18 +256,20 @@ struct CoordinatorMetrics {
 impl CoordinatorMetrics {
     fn new(node_addrs: impl Iterator<Item = impl AsRef<str>>) -> Self {
         let shared = Arc::new(Telemetry::new());
-        let op_hist = |op: &str| {
+        // Same per-op ladders as the engine, so one Grafana panel covers
+        // both tiers with matched buckets.
+        let op_hist = |op: &str, edges: &[u64]| {
             shared
                 .registry
-                .histogram(&labeled("fc_op_seconds", &[("op", op)]))
+                .histogram_with_edges(&labeled("fc_op_seconds", &[("op", op)]), edges)
         };
         CoordinatorMetrics {
             ingest_points: shared.registry.counter("fc_ingest_points_total"),
             ingest_blocks: shared.registry.counter("fc_ingest_blocks_total"),
-            ingest_seconds: op_hist("ingest"),
-            coreset_seconds: op_hist("coreset"),
-            cluster_seconds: op_hist("cluster"),
-            cost_seconds: op_hist("cost"),
+            ingest_seconds: op_hist("ingest", fc_telemetry::FAST_OP_EDGES_US),
+            coreset_seconds: op_hist("coreset", fc_telemetry::SOLVE_OP_EDGES_US),
+            cluster_seconds: op_hist("cluster", fc_telemetry::SOLVE_OP_EDGES_US),
+            cost_seconds: op_hist("cost", fc_telemetry::SOLVE_OP_EDGES_US),
             node_seconds: node_addrs
                 .map(|addr| {
                     shared.registry.histogram(&labeled(
@@ -308,7 +316,14 @@ impl Coordinator {
             nodes: config
                 .nodes
                 .iter()
-                .map(|spec| NodeHandle::new(spec.addr.clone(), spec.capacity, config.timeouts))
+                .map(|spec| {
+                    NodeHandle::new(
+                        spec.addr.clone(),
+                        spec.capacity,
+                        config.timeouts,
+                        config.binary_wire,
+                    )
+                })
                 .collect(),
             policy: config.policy,
             default_plan: config.default_plan,
@@ -406,7 +421,28 @@ impl Coordinator {
         &self,
         request_for: impl Fn(usize) -> Request + Sync,
     ) -> Vec<Result<Response, ClientError>> {
+        let all: Vec<usize> = (0..self.nodes.len()).collect();
+        self.drive_requests(&all, request_for)
+    }
+
+    /// Runs a per-node request against the listed nodes concurrently over
+    /// the epoll exchange driver (see [`Self::fan_out_with`]); outcomes
+    /// come back in `which` order. Ingest routing drives single nodes
+    /// through the same path, so every coordinator request — fan-out or
+    /// routed — shares one I/O engine, one retry schedule, and one set of
+    /// per-node metrics.
+    ///
+    /// Each request is encoded per *connection*: `bin1` frames on
+    /// connections that negotiated the binary upgrade at dial time,
+    /// JSON-lines otherwise — a mixed fleet works mid-rollout.
+    #[cfg(target_os = "linux")]
+    fn drive_requests(
+        &self,
+        which: &[usize],
+        request_for: impl Fn(usize) -> Request + Sync,
+    ) -> Vec<Result<Response, ClientError>> {
         use fc_service::reactor::{drive_exchanges, Exchange};
+        use fc_service::{wire, WireFrame};
 
         /// Zero means "no timeout" in [`NodeTimeouts`]; the exchange
         /// driver wants a finite deadline, so map zero to a year.
@@ -424,7 +460,7 @@ impl Coordinator {
             from_pool: bool,
             redialed: bool,
             attempt: u32,
-            line: Vec<u8>,
+            request: Request,
             op: &'static str,
         }
 
@@ -437,23 +473,21 @@ impl Coordinator {
         let mut outcomes: Vec<Option<Result<Response, ClientError>>> =
             std::iter::repeat_with(|| None).take(n).collect();
         let mut live: Vec<Live> = Vec::new();
-        let mut cold: Vec<(usize, Vec<u8>, &'static str)> = Vec::new();
-        for (idx, node) in self.nodes.iter().enumerate() {
+        let mut cold: Vec<(usize, Request, &'static str)> = Vec::new();
+        for &idx in which {
             let request = request_for(idx);
             let op = request.op_name();
-            let mut line = request.to_json_with_trace(Some(&trace)).into_bytes();
-            line.push(b'\n');
-            match node.pooled() {
+            match self.nodes[idx].pooled() {
                 Some(client) => live.push(Live {
                     node: idx,
                     client: Some(client),
                     from_pool: true,
                     redialed: false,
                     attempt: 1,
-                    line,
+                    request,
                     op,
                 }),
-                None => cold.push((idx, line, op)),
+                None => cold.push((idx, request, op)),
             }
         }
         // Cold nodes (empty pools) dial concurrently, so an unreachable
@@ -461,7 +495,7 @@ impl Coordinator {
         // Steady-state queries take the pooled path above and spawn
         // nothing.
         let cold_nodes: Vec<usize> = cold.iter().map(|(idx, _, _)| *idx).collect();
-        for ((idx, line, op), dialed) in cold.into_iter().zip(self.dial_many(&cold_nodes)) {
+        for ((idx, request, op), dialed) in cold.into_iter().zip(self.dial_many(&cold_nodes)) {
             match dialed {
                 Ok(client) => live.push(Live {
                     node: idx,
@@ -469,7 +503,7 @@ impl Coordinator {
                     from_pool: false,
                     redialed: false,
                     attempt: 1,
-                    line,
+                    request,
                     op,
                 }),
                 // The dial already marked the node's health.
@@ -487,10 +521,20 @@ impl Coordinator {
                         .take()
                         .expect("every live slot holds a connection")
                         .into_parts();
+                    // Encode for *this* connection's negotiated protocol
+                    // — pooled binary and freshly-dialed JSON connections
+                    // can coexist in one fan-out.
+                    let request = if codec.is_binary() {
+                        wire::request_frame(&l.request, Some(&trace))
+                    } else {
+                        let mut line = l.request.to_json_with_trace(Some(&trace)).into_bytes();
+                        line.push(b'\n');
+                        line
+                    };
                     Exchange {
                         stream,
                         codec,
-                        request: l.line.clone(),
+                        request,
                     }
                 })
                 .collect();
@@ -535,8 +579,12 @@ impl Coordinator {
                 // for later blocking use.
                 client.set_response_timeout(self.timeouts.read_opt());
                 match result.outcome {
-                    Ok(line) => {
-                        let outcome = match Response::from_json(line.trim_end()) {
+                    Ok(frame) => {
+                        let parsed = match &frame {
+                            WireFrame::Line(line) => Response::from_json(line.trim_end()),
+                            WireFrame::Binary(payload) => wire::decode_response(payload),
+                        };
+                        let outcome = match parsed {
                             Ok(Response::Error { message, code }) => Err(match code {
                                 Some(ErrorCode::Overloaded) => ClientError::Overloaded(message),
                                 code => ClientError::Server { message, code },
@@ -604,9 +652,13 @@ impl Coordinator {
             }
         }
 
-        outcomes
-            .into_iter()
-            .map(|o| o.expect("every node settles with an outcome"))
+        which
+            .iter()
+            .map(|&idx| {
+                outcomes[idx]
+                    .take()
+                    .expect("every driven node settles with an outcome")
+            })
             .collect()
     }
 
@@ -672,6 +724,23 @@ impl Coordinator {
                 .map(|h| h.join().expect("node fan-out threads do not panic"))
                 .collect()
         })
+    }
+
+    /// Runs one request against one node. On Linux this rides the same
+    /// multiplexed exchange driver as the fan-outs (pooling, stale-redial,
+    /// bounded overload backoff, per-node latency metrics, hop tracing) —
+    /// ingest routing no longer has a private blocking I/O path. Other
+    /// platforms fall back to the blocking pooled client.
+    #[cfg(target_os = "linux")]
+    fn node_request(&self, idx: usize, request: &Request) -> Result<Response, ClientError> {
+        self.drive_requests(&[idx], |_| request.clone())
+            .pop()
+            .expect("one node in, one outcome out")
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn node_request(&self, idx: usize, request: &Request) -> Result<Response, ClientError> {
+        self.nodes[idx].request(request, &self.retry)
     }
 
     /// The node an ingest for `(name, route)` should try first.
@@ -855,16 +924,17 @@ impl Backend for Coordinator {
                 ),
             }
         };
-        let (points, weights) = protocol::dataset_to_rows(batch);
         let weights = if batch.weights().iter().all(|&w| w == 1.0) {
             None
         } else {
-            Some(weights)
+            Some(batch.weights().to_vec())
         };
+        let block =
+            fc_core::PointBlock::new(batch.points().as_flat().to_vec(), batch.dim(), weights)
+                .map_err(|e| EngineError::InvalidArgument(format!("invalid ingest batch: {e}")))?;
         let request = Request::Ingest {
             dataset: name.to_owned(),
-            points,
-            weights,
+            block,
             // The creating ingest's plan rides every routed batch: the
             // round-robin node receiving its first block of this dataset
             // mid-stream still creates it under the right plan, and a node
@@ -884,7 +954,7 @@ impl Backend for Coordinator {
                 if self.policy == RoutingPolicy::Capacity && self.nodes[idx].capacity() == 0.0 {
                     continue;
                 }
-                match self.nodes[idx].request(&request, &self.retry) {
+                match self.node_request(idx, &request) {
                     Ok(Response::Ingested { .. }) => {
                         let total_points = route
                             .ingested_points

@@ -108,6 +108,10 @@ pub struct NodeHandle {
     addr: String,
     capacity: f64,
     timeouts: NodeTimeouts,
+    /// Offer every fresh connection the `bin1` upgrade. Nodes that
+    /// decline (old binaries, `--wire json`) simply stay on JSON-lines —
+    /// the preference is per *dial*, so a mixed fleet works.
+    binary_wire: bool,
     pool: Mutex<Vec<ServiceClient>>,
     state: Mutex<NodeState>,
 }
@@ -115,13 +119,21 @@ pub struct NodeHandle {
 impl NodeHandle {
     /// A handle for the node at `addr` with the given routing capacity
     /// (weights the `capacity` routing policy; any positive scale works)
-    /// and socket timeouts. Health starts [`NodeHealth::Alive`]
-    /// optimistically — the first request corrects it.
-    pub fn new(addr: impl Into<String>, capacity: f64, timeouts: NodeTimeouts) -> Self {
+    /// and socket timeouts. `binary_wire` offers each fresh connection
+    /// the `bin1` upgrade (JSON-lines when the node declines). Health
+    /// starts [`NodeHealth::Alive`] optimistically — the first request
+    /// corrects it.
+    pub fn new(
+        addr: impl Into<String>,
+        capacity: f64,
+        timeouts: NodeTimeouts,
+        binary_wire: bool,
+    ) -> Self {
         Self {
             addr: addr.into(),
             capacity,
             timeouts,
+            binary_wire,
             pool: Mutex::new(Vec::new()),
             state: Mutex::new(NodeState {
                 health: NodeHealth::Alive,
@@ -231,6 +243,16 @@ impl NodeHandle {
                     // deadline, so a node trickling bytes cannot pin a
                     // blocking request (ingest routing) indefinitely.
                     client.set_response_timeout(self.timeouts.read_opt());
+                    if self.binary_wire {
+                        // A declined hello (`Ok(false)`) keeps the
+                        // connection on JSON; only a transport/protocol
+                        // failure condemns the dial.
+                        if let Err(e) = client.negotiate_binary() {
+                            let msg = format!("negotiate bin1 with {}: {e}", self.addr);
+                            self.mark(NodeHealth::Down, msg.clone());
+                            return Err(std::io::Error::other(msg));
+                        }
+                    }
                     return Ok(client);
                 }
                 Err(e) => last = Some(e),

@@ -5,7 +5,7 @@
 //! sensitivity sampling (`Ω(nk)`); it remains the reference implementation
 //! for baselines, cost evaluation, and Lloyd refinement.
 
-use fc_geom::distance::{sq_dist_bounded, CostKind};
+use fc_geom::distance::{nearest_block, sq_dist_bounded, CostKind};
 use fc_geom::points::Points;
 
 /// The result of assigning every point to its nearest center.
@@ -65,7 +65,10 @@ impl Assignment {
 }
 
 /// Assigns every point to its nearest center. Panics if `centers` is empty
-/// or dimensions disagree; `O(nkd)` with partial-distance pruning.
+/// or dimensions disagree; `O(nkd)` through the flat block kernel
+/// ([`fc_geom::distance::nearest_block`]): one dimension dispatch for the
+/// whole batch, a monomorphized inner loop on common small dimensions,
+/// partial-distance pruning on the rest, and no per-point allocation.
 pub fn assign(points: &Points, centers: &Points, kind: CostKind) -> Assignment {
     assert!(!centers.is_empty(), "assignment needs at least one center");
     assert_eq!(
@@ -76,21 +79,19 @@ pub fn assign(points: &Points, centers: &Points, kind: CostKind) -> Assignment {
     let n = points.len();
     let mut labels = vec![0usize; n];
     let mut cost_z = vec![0.0f64; n];
-    let center_flat = centers.as_flat();
-    let dim = centers.dim();
-    for (i, p) in points.iter().enumerate() {
-        let mut best = f64::INFINITY;
-        let mut best_idx = 0usize;
-        for (j, c) in center_flat.chunks_exact(dim).enumerate() {
-            if let Some(d) = sq_dist_bounded(p, c, best) {
-                if d < best {
-                    best = d;
-                    best_idx = j;
-                }
-            }
+    nearest_block(
+        points.as_flat(),
+        centers.as_flat(),
+        centers.dim(),
+        &mut labels,
+        &mut cost_z,
+    );
+    if kind != CostKind::KMeans {
+        // Separate pass so the k-median square root does not sit inside
+        // the distance loop (and vectorizes on its own).
+        for c in &mut cost_z {
+            *c = kind.from_sq(*c);
         }
-        labels[i] = best_idx;
-        cost_z[i] = kind.from_sq(best);
     }
     Assignment { labels, cost_z }
 }

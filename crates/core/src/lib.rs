@@ -37,6 +37,7 @@ pub mod fast_coreset;
 pub mod json;
 pub mod methods;
 pub mod plan;
+pub mod pointblock;
 pub mod sampling;
 pub mod sensitivity;
 pub mod streaming;
@@ -49,4 +50,5 @@ pub use evaluation::{battery_distortion, BatteryReport};
 pub use fast_coreset::{FastCoreset, FastCoresetConfig};
 pub use methods::{Lightweight, StandardSensitivity, Uniform, Welterweight};
 pub use plan::{Method, Plan, PlanBuilder, PlanOutcome, StreamSession, BASE_METHODS};
+pub use pointblock::PointBlock;
 pub use sampling::WeightMode;

@@ -1,14 +1,18 @@
-//! A blocking JSON-lines client for the service.
+//! A blocking client for the service: JSON-lines by default, with an
+//! opt-in upgrade to the `bin1` binary wire protocol
+//! ([`ServiceClient::negotiate_binary`]) that skips float formatting and
+//! parsing on the ingest/cost hot path.
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::framing::LineCodec;
+use crate::framing::{WireCodec, WireFrame};
+use crate::wire;
 
 use fc_clustering::{CostKind, Solver};
 use fc_core::plan::{Method, Plan};
-use fc_core::Coreset;
+use fc_core::{Coreset, PointBlock};
 use fc_geom::{Dataset, Points};
 
 use crate::protocol::{self, DatasetStats, ErrorCode, ProtocolError, Request, Response};
@@ -145,10 +149,11 @@ pub struct ClusterResult {
 }
 
 /// A blocking connection to a coreset server. Framed by the same
-/// incremental [`LineCodec`] the server and the cluster coordinator use.
+/// incremental [`WireCodec`] the server and the cluster coordinator use:
+/// JSON-lines until [`Self::negotiate_binary`] upgrades the connection.
 pub struct ServiceClient {
     stream: TcpStream,
-    codec: LineCodec,
+    codec: WireCodec,
     /// Whole-response deadline (see [`Self::set_response_timeout`]).
     response_timeout: Option<Duration>,
 }
@@ -170,13 +175,13 @@ impl ServiceClient {
         // server legitimately serves (a large-budget coreset can exceed
         // any fixed cap), so the client reads unbounded — exactly the
         // trust model the old `read_line` client had.
-        Self::from_parts(stream, LineCodec::new(usize::MAX))
+        Self::from_parts(stream, WireCodec::json(usize::MAX))
     }
 
     /// Reassembles a client from [`Self::into_parts`] output. The stream
     /// is returned to blocking mode here — once, not per request — since
     /// multiplexed use (the coordinator's fan-out) leaves it non-blocking.
-    pub fn from_parts(stream: TcpStream, codec: LineCodec) -> Self {
+    pub fn from_parts(stream: TcpStream, codec: WireCodec) -> Self {
         stream.set_nonblocking(false).ok();
         Self {
             stream,
@@ -197,12 +202,40 @@ impl ServiceClient {
     /// Disassembles the client into its socket and framing state, for
     /// callers that multiplex the connection themselves (the `fc-cluster`
     /// coordinator's reactor-driven fan-out).
-    pub fn into_parts(self) -> (TcpStream, LineCodec) {
+    pub fn into_parts(self) -> (TcpStream, WireCodec) {
         (self.stream, self.codec)
     }
 
+    /// Whether this connection speaks the `bin1` binary wire protocol.
+    pub fn is_binary(&self) -> bool {
+        self.codec.is_binary()
+    }
+
+    /// Offers the server the `bin1` binary wire upgrade. Returns `true`
+    /// when the server accepted (every later request on this connection
+    /// travels as binary frames), `false` when it declined — an old or
+    /// JSON-pinned server answers the `hello` with a plain error, and the
+    /// connection simply stays on JSON-lines. Transport failures still
+    /// surface as errors. Idempotent once upgraded.
+    pub fn negotiate_binary(&mut self) -> Result<bool, ClientError> {
+        if self.codec.is_binary() {
+            return Ok(true);
+        }
+        match self.request(&Request::Hello {
+            proto: protocol::BINARY_PROTO.to_owned(),
+        }) {
+            Ok(Response::Hello { proto }) if proto == protocol::BINARY_PROTO => {
+                self.codec.upgrade_to_binary();
+                Ok(true)
+            }
+            Ok(other) => Err(ClientError::UnexpectedResponse(Box::new(other))),
+            Err(ClientError::Server { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Sends one request and reads one response — the protocol is strictly
-    /// request/response per line. A socket read/write timeout configured on
+    /// request/response per frame. A socket read/write timeout configured on
     /// the underlying stream surfaces as [`ClientError::Io`] with kind
     /// `TimedOut` or `WouldBlock`.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
@@ -210,11 +243,18 @@ impl ServiceClient {
         // rides along, so a coordinator's node calls carry the same id
         // the client sent the coordinator.
         let trace = fc_telemetry::current_trace();
-        let mut line = request.to_json_with_trace(trace.as_deref()).into_bytes();
-        line.push(b'\n');
-        self.stream.write_all(&line)?;
-        let line = self.read_frame()?;
-        let response = Response::from_json(line.trim_end())?;
+        let bytes = if self.codec.is_binary() {
+            wire::request_frame(request, trace.as_deref())
+        } else {
+            let mut line = request.to_json_with_trace(trace.as_deref()).into_bytes();
+            line.push(b'\n');
+            line
+        };
+        self.stream.write_all(&bytes)?;
+        let response = match self.read_frame()? {
+            WireFrame::Line(line) => Response::from_json(line.trim_end())?,
+            WireFrame::Binary(payload) => wire::decode_response(&payload)?,
+        };
         if let Response::Error { message, code } = response {
             return Err(match code {
                 Some(ErrorCode::Overloaded) => ClientError::Overloaded(message),
@@ -224,9 +264,9 @@ impl ServiceClient {
         Ok(response)
     }
 
-    /// Blocks until the codec produces one complete line, under the
+    /// Blocks until the codec produces one complete frame, under the
     /// whole-response deadline when one is configured.
-    fn read_frame(&mut self) -> Result<String, ClientError> {
+    fn read_frame(&mut self) -> Result<WireFrame, ClientError> {
         let deadline = self
             .response_timeout
             .map(|budget| std::time::Instant::now() + budget);
@@ -246,15 +286,15 @@ impl ServiceClient {
     fn read_frame_until(
         &mut self,
         deadline: Option<std::time::Instant>,
-    ) -> Result<String, ClientError> {
+    ) -> Result<WireFrame, ClientError> {
         let mut scratch = [0u8; 64 * 1024];
         loop {
-            if let Some(line) = self.codec.next_frame().map_err(|e| {
+            if let Some(frame) = self.codec.next_frame().map_err(|e| {
                 ClientError::Protocol(crate::protocol::ProtocolError {
                     message: e.to_string(),
                 })
             })? {
-                return Ok(line);
+                return Ok(frame);
             }
             if let Some(deadline) = deadline {
                 // Shrink the per-read budget to what remains of the
@@ -311,19 +351,7 @@ impl ServiceClient {
         batch: &Dataset,
         plan: Option<&Plan>,
     ) -> Result<(u64, f64), ClientError> {
-        let (points, weights) = protocol::dataset_to_rows(batch);
-        // Unit weights are the wire default; skip the redundant array.
-        let weights = if batch.weights().iter().all(|&w| w == 1.0) {
-            None
-        } else {
-            Some(weights)
-        };
-        match self.request(&Request::Ingest {
-            dataset: dataset.into(),
-            points,
-            weights,
-            plan: plan.cloned(),
-        })? {
+        match self.request(&Self::ingest_request(dataset, batch, plan)?)? {
             Response::Ingested {
                 total_points,
                 total_weight,
@@ -331,6 +359,128 @@ impl ServiceClient {
             } => Ok((total_points, total_weight)),
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
+    }
+
+    /// Ingests a stream of weighted batches with up to `window` requests
+    /// in flight on this connection — the firehose shape the server's
+    /// per-shard ingest coalescing targets. Strict request/response per
+    /// frame keeps one producer's acks ordered, but waiting for each ack
+    /// before sending the next batch serializes the stream on round
+    /// trips; pipelining amortizes syscalls and wakeups across the
+    /// window while the server still answers every frame in order.
+    ///
+    /// `plan` rides on the first batch only (the creating ingest sets up
+    /// the per-dataset plan). The window is bounded so the in-flight
+    /// bytes stay far below the socket buffers — both sides keep making
+    /// progress no matter how long the stream runs. Returns the dataset's
+    /// `(lifetime points, lifetime weight)` after the final ack, or
+    /// `None` for an empty stream. On a server-reported error the
+    /// remaining acks are still drained so the connection stays usable;
+    /// the first error wins.
+    pub fn ingest_pipelined<'a, I>(
+        &mut self,
+        dataset: &str,
+        batches: I,
+        plan: Option<&Plan>,
+        window: usize,
+    ) -> Result<Option<(u64, f64)>, ClientError>
+    where
+        I: IntoIterator<Item = &'a Dataset>,
+    {
+        let window = window.max(1);
+        let trace = fc_telemetry::current_trace();
+        let mut out = Vec::new();
+        let mut in_flight = 0usize;
+        let mut last = None;
+        let mut first_err: Option<ClientError> = None;
+        let read_ack = |client: &mut Self,
+                        last: &mut Option<(u64, f64)>,
+                        first_err: &mut Option<ClientError>|
+         -> Result<(), ClientError> {
+            // Io/decode failures abort (the connection is broken); server
+            // error responses are recorded and draining continues.
+            let response = match client.read_frame()? {
+                WireFrame::Line(line) => Response::from_json(line.trim_end())?,
+                WireFrame::Binary(payload) => wire::decode_response(&payload)?,
+            };
+            match response {
+                Response::Ingested {
+                    total_points,
+                    total_weight,
+                    ..
+                } => *last = Some((total_points, total_weight)),
+                Response::Error { message, code } if first_err.is_none() => {
+                    *first_err = Some(match code {
+                        Some(ErrorCode::Overloaded) => ClientError::Overloaded(message),
+                        code => ClientError::Server { message, code },
+                    });
+                }
+                Response::Error { .. } => {}
+                other if first_err.is_none() => {
+                    *first_err = Some(ClientError::UnexpectedResponse(Box::new(other)));
+                }
+                _ => {}
+            }
+            Ok(())
+        };
+        for batch in batches {
+            let request = Self::ingest_request(
+                dataset,
+                batch,
+                if last.is_none() && in_flight == 0 {
+                    plan
+                } else {
+                    None
+                },
+            )?;
+            if self.codec.is_binary() {
+                out.extend_from_slice(&wire::request_frame(&request, trace.as_deref()));
+            } else {
+                out.extend_from_slice(request.to_json_with_trace(trace.as_deref()).as_bytes());
+                out.push(b'\n');
+            }
+            in_flight += 1;
+            if in_flight >= window {
+                self.stream.write_all(&out)?;
+                out.clear();
+                read_ack(self, &mut last, &mut first_err)?;
+                in_flight -= 1;
+            }
+        }
+        if !out.is_empty() {
+            self.stream.write_all(&out)?;
+        }
+        while in_flight > 0 {
+            read_ack(self, &mut last, &mut first_err)?;
+            in_flight -= 1;
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(last),
+        }
+    }
+
+    /// Builds the [`Request::Ingest`] for one weighted batch.
+    fn ingest_request(
+        dataset: &str,
+        batch: &Dataset,
+        plan: Option<&Plan>,
+    ) -> Result<Request, ClientError> {
+        // Unit weights are the wire default; skip the redundant array.
+        let weights = if batch.weights().iter().all(|&w| w == 1.0) {
+            None
+        } else {
+            Some(batch.weights().to_vec())
+        };
+        let block = PointBlock::new(batch.points().as_flat().to_vec(), batch.dim(), weights)
+            .map_err(|e| {
+                ClientError::Protocol(ProtocolError::new(format!("invalid batch: {e}")))
+            })?;
+        Ok(Request::Ingest {
+            dataset: dataset.into(),
+            block,
+            plan: plan.cloned(),
+        })
     }
 
     /// Fetches the served coreset, optionally naming the compression

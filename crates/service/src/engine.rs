@@ -80,6 +80,27 @@ pub struct EngineConfig {
     /// Base of the deterministic seed sequence for requests that carry no
     /// explicit seed.
     pub base_seed: u64,
+    /// Coalesce acknowledged ingest batches per shard until this many
+    /// points are pending, then hand them to the shard worker as one
+    /// block. Small-batch write streams pay the per-block stream-fold
+    /// cost once per coalesced block instead of once per wire batch.
+    /// Zero (the default) disables the points trigger.
+    ///
+    /// Durability is unchanged: on persistent engines every wire batch is
+    /// WAL-appended (and fsynced per policy) *before* it is acknowledged,
+    /// whether or not it is still sitting in the coalescing buffer — an
+    /// acked-but-coalesced batch survives `kill -9` via replay.
+    pub batch_points: usize,
+    /// Size trigger for the coalescing buffer, in bytes of point data
+    /// (8 bytes per coordinate). Zero disables the bytes trigger.
+    pub batch_bytes: usize,
+    /// Age bound for the coalescing buffer: a background flusher hands
+    /// pending batches to their shard once the oldest has waited this
+    /// long, so a stalling write stream cannot delay earlier acked data
+    /// indefinitely. Zero disables the deadline (queries still flush
+    /// on demand). Batching is active when any of the three knobs is
+    /// non-zero.
+    pub batch_delay: Duration,
     /// Durability: when set, every acknowledged ingest batch is written to
     /// a per-shard write-ahead log under `data_dir` before it is queued,
     /// shard summaries are snapshotted periodically, and `Engine::new` on
@@ -102,8 +123,18 @@ impl Default for EngineConfig {
             compaction_budget: None,
             distortion_bound: 1.5,
             base_seed: 0x0C0D_E5E7,
+            batch_points: 0,
+            batch_bytes: 0,
+            batch_delay: Duration::ZERO,
             persist: None,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Whether ingest coalescing is on (any batching knob non-zero).
+    pub fn batching_enabled(&self) -> bool {
+        self.batch_points > 0 || self.batch_bytes > 0 || !self.batch_delay.is_zero()
     }
 }
 
@@ -628,6 +659,45 @@ struct DatasetPersist {
     shards: Vec<Arc<ShardPersist>>,
 }
 
+/// One shard's ingest coalescing buffer: acknowledged (and, on persistent
+/// engines, already WAL-appended) rows waiting to be handed to the shard
+/// worker as a single block. Every flush happens *under this buffer's
+/// lock*, so blocks enter the shard queue in sequence order.
+#[derive(Default)]
+struct PendingBuf {
+    /// Row-major coordinates, `dim` wide.
+    rows: Vec<f64>,
+    weights: Vec<f64>,
+    /// WAL sequence of the newest coalesced batch (0 when non-persistent).
+    /// The worker's `applied_seq` jumps straight to it on flush — replay
+    /// after a crash mid-buffer re-applies the coalesced batches, which is
+    /// exactly the at-least-once contract.
+    seq: u64,
+    /// When the oldest unflushed batch arrived (deadline flushing).
+    since: Option<Instant>,
+}
+
+impl PendingBuf {
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.weights.clear();
+        self.since = None;
+    }
+
+    /// The pending rows as one weighted block. `None` when empty.
+    fn as_block(&self, dim: usize) -> Option<Dataset> {
+        if self.weights.is_empty() {
+            return None;
+        }
+        let points = Points::from_flat(self.rows.clone(), dim)
+            .expect("pending rows are copies of validated ingest batches");
+        Some(
+            Dataset::weighted(points, self.weights.clone())
+                .expect("pending weights are copies of validated ingest batches"),
+        )
+    }
+}
+
 struct DatasetEntry {
     dim: usize,
     /// The dataset's effective plan: shard streams, serving compressions,
@@ -638,6 +708,9 @@ struct DatasetEntry {
     /// for default-plan datasets).
     compressor: Arc<dyn Compressor>,
     shards: Vec<Shard>,
+    /// One coalescing buffer per shard (all empty unless the engine's
+    /// batching knobs are on).
+    pending: Vec<Mutex<PendingBuf>>,
     next_shard: AtomicUsize,
     ingested_points: AtomicU64,
     /// Total ingested weight; f64 behind a mutex since ingest batches are
@@ -699,7 +772,53 @@ impl DatasetEntry {
             .is_some_and(|p| p.shards.iter().any(|s| s.recovering()))
     }
 
+    /// Hands one shard's pending coalesced rows to its worker as a single
+    /// block, blocking while the queue is full (the rows are already
+    /// acknowledged — they *must* eventually apply, exactly like queries).
+    /// The buffer lock is held across the enqueue, so flushes and
+    /// size-triggered ingest flushes can never reorder sequence numbers
+    /// into the shard queue.
+    fn flush_shard(&self, shard_idx: usize) -> Result<(), EngineError> {
+        let mut pending = self.pending[shard_idx]
+            .lock()
+            .expect("pending buffer lock is never poisoned");
+        let Some(block) = pending.as_block(self.dim) else {
+            return Ok(());
+        };
+        self.shards[shard_idx].send(ShardCmd::Ingest {
+            block,
+            seq: pending.seq,
+        })?;
+        pending.clear();
+        Ok(())
+    }
+
+    /// Flushes every shard's coalescing buffer (queries call this so a
+    /// snapshot always covers everything acknowledged so far).
+    fn flush_pending(&self) -> Result<(), EngineError> {
+        for shard_idx in 0..self.shards.len() {
+            self.flush_shard(shard_idx)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes shards whose oldest pending batch has waited at least
+    /// `delay` — the background flusher's deadline sweep.
+    fn flush_aged(&self, delay: Duration) {
+        for (shard_idx, pending) in self.pending.iter().enumerate() {
+            let due = pending
+                .lock()
+                .expect("pending buffer lock is never poisoned")
+                .since
+                .is_some_and(|t| t.elapsed() >= delay);
+            if due {
+                let _ = self.flush_shard(shard_idx);
+            }
+        }
+    }
+
     fn snapshots(&self) -> Result<Vec<Coreset>, EngineError> {
+        self.flush_pending()?;
         let mut receivers = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let (tx, rx) = mpsc::sync_channel(1);
@@ -720,6 +839,9 @@ impl DatasetEntry {
     /// shutdown hooks rely on. With `finalize` each worker flushes its
     /// WAL and installs a final snapshot before exiting.
     fn shutdown(&mut self, finalize: bool, mut drained: impl FnMut(usize)) {
+        // Acked coalesced rows go to the workers ahead of the shutdown
+        // command, so a graceful stop folds them into the final snapshot.
+        let _ = self.flush_pending();
         for shard in &self.shards {
             let _ = shard.send(ShardCmd::Shutdown { finalize });
         }
@@ -744,7 +866,11 @@ pub struct Engine {
     /// The compressor default-plan datasets run (tests inject cheap
     /// samplers here; per-dataset plans build their own).
     default_compressor: Arc<dyn Compressor>,
-    datasets: Mutex<HashMap<String, Arc<DatasetEntry>>>,
+    /// Shared with the background deadline flusher (when batching with a
+    /// `batch_delay` is on).
+    datasets: Arc<Mutex<HashMap<String, Arc<DatasetEntry>>>>,
+    /// The deadline flusher thread and its stop flag.
+    flusher: Option<FlusherHandle>,
     seed_counter: AtomicU64,
     /// Process-lifetime counters reported by [`Self::server_stats`].
     started: Instant,
@@ -775,19 +901,22 @@ struct EngineMetrics {
 impl EngineMetrics {
     fn new() -> Self {
         let shared = Arc::new(Telemetry::new());
-        let op_hist = |op: &str| {
+        // Per-op bucket ladders: ingest acks are sub-millisecond, solves
+        // run for seconds — one shared ladder would waste most of its
+        // resolution on both.
+        let op_hist = |op: &str, edges: &[u64]| {
             shared
                 .registry
-                .histogram(&labeled("fc_op_seconds", &[("op", op)]))
+                .histogram_with_edges(&labeled("fc_op_seconds", &[("op", op)]), edges)
         };
         EngineMetrics {
             ingest_points: shared.registry.counter("fc_ingest_points_total"),
             ingest_blocks: shared.registry.counter("fc_ingest_blocks_total"),
             overloads: shared.registry.counter("fc_overloaded_total"),
-            ingest_seconds: op_hist("ingest"),
-            coreset_seconds: op_hist("coreset"),
-            cluster_seconds: op_hist("cluster"),
-            cost_seconds: op_hist("cost"),
+            ingest_seconds: op_hist("ingest", fc_telemetry::FAST_OP_EDGES_US),
+            coreset_seconds: op_hist("coreset", fc_telemetry::SOLVE_OP_EDGES_US),
+            cluster_seconds: op_hist("cluster", fc_telemetry::SOLVE_OP_EDGES_US),
+            cost_seconds: op_hist("cost", fc_telemetry::SOLVE_OP_EDGES_US),
             shared,
         }
     }
@@ -829,6 +958,54 @@ impl EngineMetrics {
 /// [`Engine::set_drain_hook`].
 pub type DrainHook = Box<dyn Fn(&str, usize) + Send + Sync>;
 
+/// The background deadline flusher: sweeps every dataset's coalescing
+/// buffers and hands aged pending rows to their shard workers.
+struct FlusherHandle {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl FlusherHandle {
+    fn spawn(datasets: Arc<Mutex<HashMap<String, Arc<DatasetEntry>>>>, delay: Duration) -> Self {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        // Sweep a few times per deadline so the worst-case wait stays
+        // close to the configured delay, without busy-spinning on tiny
+        // deadlines.
+        let tick = (delay / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+        let join = std::thread::Builder::new()
+            .name("fc-batch-flush".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    let entries: Vec<Arc<DatasetEntry>> = datasets
+                        .lock()
+                        .expect("dataset registry lock is never poisoned")
+                        .values()
+                        .cloned()
+                        .collect();
+                    for entry in entries {
+                        entry.flush_aged(delay);
+                    }
+                }
+            })
+            .expect("spawning the batch flusher thread succeeds");
+        FlusherHandle {
+            stop,
+            join: Some(join),
+        }
+    }
+}
+
+impl Drop for FlusherHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
 impl Engine {
     /// An engine compressing with the configured [`Method`] (the paper's
     /// Fast-Coreset pipeline by default). Rejects invalid configurations —
@@ -861,11 +1038,21 @@ impl Engine {
         // Validates k ≥ 1, m = m_scalar·k ≥ k (no overflow), and that the
         // default solver supports the default objective.
         let default_plan = config.default_plan()?;
+        let datasets = Arc::new(Mutex::new(HashMap::new()));
+        let flusher = if !config.batch_delay.is_zero() {
+            Some(FlusherHandle::spawn(
+                Arc::clone(&datasets),
+                config.batch_delay,
+            ))
+        } else {
+            None
+        };
         let engine = Self {
             config,
             default_plan,
             default_compressor: compressor,
-            datasets: Mutex::new(HashMap::new()),
+            datasets,
+            flusher,
             seed_counter: AtomicU64::new(0),
             started: Instant::now(),
             total_points: AtomicU64::new(0),
@@ -956,6 +1143,7 @@ impl Engine {
                     dim: meta.dim,
                     plan: effective,
                     compressor,
+                    pending: (0..meta.shards).map(|_| Mutex::default()).collect(),
                     shards,
                     next_shard: AtomicUsize::new(0),
                     ingested_points: AtomicU64::new(points),
@@ -1090,36 +1278,40 @@ impl Engine {
                 shard: shard_idx,
             }
         };
-        match &entry.persist {
-            None => entry.shards[shard_idx]
-                .try_ingest(batch.clone(), 0)
-                .map_err(|e| match e {
-                    TrySendError::Full(()) => full(()),
-                    TrySendError::Disconnected(()) => EngineError::Unavailable,
-                })?,
-            Some(p) => {
-                // Log-then-enqueue under the shard's log mutex: the batch
-                // is durable before it is acknowledged, and a refused
-                // (full-queue) batch is rolled back so replay can never
-                // resurrect a write the client was told to retry.
-                let shard = &p.shards[shard_idx];
-                let mut log = shard.log.lock().expect("shard log lock is never poisoned");
-                let seq = log.append(batch)?;
-                entry.shards[shard_idx]
-                    .try_ingest(batch.clone(), seq)
-                    .map_err(|e| {
-                        if let Err(rb) = log.rollback(seq) {
-                            // The rollback itself failing means the record
-                            // stays durable: replay will re-apply a batch
-                            // the client saw refused. Over-delivery, never
-                            // loss — but worth a trace.
-                            eprintln!("fc-engine: WAL rollback of seq {seq} failed: {rb}");
-                        }
-                        match e {
-                            TrySendError::Full(()) => full(()),
-                            TrySendError::Disconnected(()) => EngineError::Unavailable,
-                        }
-                    })?;
+        if self.config.batching_enabled() {
+            self.ingest_coalesced(&entry, batch, shard_idx, &full)?;
+        } else {
+            match &entry.persist {
+                None => entry.shards[shard_idx]
+                    .try_ingest(batch.clone(), 0)
+                    .map_err(|e| match e {
+                        TrySendError::Full(()) => full(()),
+                        TrySendError::Disconnected(()) => EngineError::Unavailable,
+                    })?,
+                Some(p) => {
+                    // Log-then-enqueue under the shard's log mutex: the batch
+                    // is durable before it is acknowledged, and a refused
+                    // (full-queue) batch is rolled back so replay can never
+                    // resurrect a write the client was told to retry.
+                    let shard = &p.shards[shard_idx];
+                    let mut log = shard.log.lock().expect("shard log lock is never poisoned");
+                    let seq = log.append(batch)?;
+                    entry.shards[shard_idx]
+                        .try_ingest(batch.clone(), seq)
+                        .map_err(|e| {
+                            if let Err(rb) = log.rollback(seq) {
+                                // The rollback itself failing means the record
+                                // stays durable: replay will re-apply a batch
+                                // the client saw refused. Over-delivery, never
+                                // loss — but worth a trace.
+                                eprintln!("fc-engine: WAL rollback of seq {seq} failed: {rb}");
+                            }
+                            match e {
+                                TrySendError::Full(()) => full(()),
+                                TrySendError::Disconnected(()) => EngineError::Unavailable,
+                            }
+                        })?;
+                }
             }
         }
         let total_points = entry
@@ -1142,6 +1334,78 @@ impl Engine {
         entry.metrics.points.add(batch.len() as u64);
         entry.metrics.blocks.incr();
         Ok((total_points, total_weight))
+    }
+
+    /// Folds `batch` into its shard's coalescing buffer, flushing when a
+    /// size trigger fires. On persistent engines the batch is WAL-appended
+    /// first (durable before acknowledged — unchanged from the direct
+    /// path), and the log lock is held across the buffer update so a
+    /// refused flush can still roll back exactly the triggering record:
+    /// an `overloaded` answer never leaves the refused batch pending, and
+    /// never takes previously *acknowledged* coalesced rows with it.
+    fn ingest_coalesced(
+        &self,
+        entry: &DatasetEntry,
+        batch: &Dataset,
+        shard_idx: usize,
+        full: &dyn Fn(()) -> EngineError,
+    ) -> Result<(), EngineError> {
+        let mut log = entry.persist.as_ref().map(|p| {
+            p.shards[shard_idx]
+                .log
+                .lock()
+                .expect("shard log lock is never poisoned")
+        });
+        let seq = match log.as_mut() {
+            None => 0,
+            Some(log) => log.append(batch)?,
+        };
+        let mut pending = entry.pending[shard_idx]
+            .lock()
+            .expect("pending buffer lock is never poisoned");
+        let rows_before = pending.rows.len();
+        let weights_before = pending.weights.len();
+        let seq_before = pending.seq;
+        let since_before = pending.since;
+        pending.rows.extend_from_slice(batch.points().as_flat());
+        pending.weights.extend_from_slice(batch.weights());
+        pending.seq = seq.max(pending.seq);
+        if pending.since.is_none() {
+            pending.since = Some(Instant::now());
+        }
+        let trigger = (self.config.batch_points > 0
+            && pending.weights.len() >= self.config.batch_points)
+            || (self.config.batch_bytes > 0
+                && pending.rows.len() * std::mem::size_of::<f64>() >= self.config.batch_bytes);
+        if !trigger {
+            return Ok(());
+        }
+        let block = pending
+            .as_block(entry.dim)
+            .expect("the buffer holds at least this batch");
+        match entry.shards[shard_idx].try_ingest(block, pending.seq) {
+            Ok(()) => {
+                pending.clear();
+                Ok(())
+            }
+            Err(e) => {
+                // Unwind only the triggering batch: earlier coalesced rows
+                // were acknowledged and stay pending for a later flush.
+                pending.rows.truncate(rows_before);
+                pending.weights.truncate(weights_before);
+                pending.seq = seq_before;
+                pending.since = since_before;
+                if let Some(log) = log.as_mut() {
+                    if let Err(rb) = log.rollback(seq) {
+                        eprintln!("fc-engine: WAL rollback of seq {seq} failed: {rb}");
+                    }
+                }
+                Err(match e {
+                    TrySendError::Full(()) => full(()),
+                    TrySendError::Disconnected(()) => EngineError::Unavailable,
+                })
+            }
+        }
     }
 
     /// Builds a fresh dataset entry (shards, and — on persistent engines —
@@ -1215,6 +1479,7 @@ impl Engine {
             dim,
             plan: effective,
             compressor,
+            pending: (0..self.config.shards).map(|_| Mutex::default()).collect(),
             shards,
             next_shard: AtomicUsize::new(0),
             ingested_points: AtomicU64::new(0),
@@ -1515,6 +1780,7 @@ impl Engine {
         match Arc::try_unwrap(entry) {
             Ok(mut entry) => entry.shutdown(finalize, |_| {}),
             Err(entry) => {
+                let _ = entry.flush_pending();
                 for shard in &entry.shards {
                     let _ = shard.send(ShardCmd::Shutdown { finalize });
                 }
@@ -1560,6 +1826,9 @@ impl Drop for Engine {
     /// engine never purges durable state — only [`Engine::drop_dataset`]
     /// does.
     fn drop(&mut self) {
+        // Stop the deadline flusher before draining, so shutdown's own
+        // ordered flush is the last writer into the shard queues.
+        self.flusher.take();
         let hook = self
             .drain_hook
             .lock()
@@ -1584,6 +1853,7 @@ impl Drop for Engine {
                 // request): signal the shards and let the last Arc's
                 // worker joins happen on their own threads.
                 Err(entry) => {
+                    let _ = entry.flush_pending();
                     for shard in &entry.shards {
                         let _ = shard.send(ShardCmd::Shutdown { finalize });
                     }
@@ -1804,6 +2074,60 @@ mod tests {
         });
         let stats = engine.dataset_stats("d").unwrap();
         assert_eq!(stats.ingested_points, (400 + 2 * 20 * 160) as u64);
+    }
+
+    #[test]
+    fn coalesced_batches_are_served_and_counted() {
+        // Size trigger far above what we send: every batch parks in the
+        // coalescing buffer, and only the query's on-demand flush moves
+        // it to the shards.
+        let engine = Engine::with_compressor(
+            EngineConfig {
+                shards: 2,
+                k: 4,
+                m_scalar: 25,
+                batch_points: 100_000,
+                ..Default::default()
+            },
+            Arc::new(Uniform),
+        )
+        .unwrap();
+        let data = blobs(250);
+        for block in data.chunks(125) {
+            engine.ingest("d", &block, None).unwrap();
+        }
+        let stats = engine.dataset_stats("d").unwrap();
+        assert_eq!(stats.ingested_points, 1000, "acks count coalesced rows");
+        let (coreset, _, _) = engine.coreset("d", Some(1), None).unwrap();
+        let rel = (coreset.total_weight() - data.total_weight()).abs() / data.total_weight();
+        assert!(rel < 0.3, "query flush must serve pending rows ({rel})");
+    }
+
+    #[test]
+    fn deadline_flusher_moves_pending_rows_without_queries() {
+        let engine = Engine::with_compressor(
+            EngineConfig {
+                shards: 1,
+                k: 4,
+                m_scalar: 25,
+                batch_points: 100_000,
+                batch_delay: Duration::from_millis(5),
+                ..Default::default()
+            },
+            Arc::new(Uniform),
+        )
+        .unwrap();
+        engine.ingest("d", &blobs(50), None).unwrap();
+        // The flusher (not a query) must hand the rows to the shard.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = engine.dataset_stats("d").unwrap();
+            if stats.stored_points > 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "deadline flush never happened");
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     #[test]

@@ -1,22 +1,29 @@
-//! Incremental JSON-lines framing: bytes in, complete frames out.
+//! Incremental wire framing: bytes in, complete frames out.
 //!
-//! The protocol is one UTF-8 request or response per `\n`-terminated line.
-//! [`LineCodec`] turns an arbitrary byte stream — frames split or
-//! coalesced at any boundary the transport happened to pick — back into
-//! whole lines, without ever blocking: push whatever bytes arrived, then
-//! drain the complete frames. The same codec frames every side of the
-//! protocol: the reactor server's non-blocking reads, the blocking
-//! [`crate::ServiceClient`], and the `fc-cluster` coordinator's
-//! multiplexed node connections.
+//! Two frame formats share this module. The default is one UTF-8 request
+//! or response per `\n`-terminated line; [`LineCodec`] turns an arbitrary
+//! byte stream — frames split or coalesced at any boundary the transport
+//! happened to pick — back into whole lines, without ever blocking: push
+//! whatever bytes arrived, then drain the complete frames. A connection
+//! may upgrade to the length-prefixed binary format (`bin1`, negotiated
+//! via a `{"op":"hello","proto":"bin1"}` line); [`BinaryCodec`] frames
+//! that stream as `[u32 LE payload length][payload]` records.
+//! [`WireCodec`] abstracts over both so the reactor server's non-blocking
+//! reads, the blocking [`crate::ServiceClient`], and the `fc-cluster`
+//! coordinator's multiplexed node connections all frame through one type.
 //!
-//! Two failure shapes exist, and they differ in what can happen next:
+//! Failure shapes differ in what can happen next:
 //!
 //! - an invalid-UTF-8 line is *recoverable* — the frame boundary is known,
 //!   so the line is discarded, an error can be answered, and the stream
 //!   resynchronizes at the next newline;
-//! - an oversized line (no newline within [`LineCodec::max_frame`] bytes)
-//!   is *fatal* — the boundary of the runaway frame is unknowable, so the
-//!   connection must be answered once and closed.
+//! - an oversized frame (no newline within [`LineCodec::max_frame`]
+//!   bytes, or a binary length prefix past the limit) is *fatal* — the
+//!   boundary of the runaway frame is unknowable (or the peer is asking
+//!   the server to buffer without bound), so the connection must be
+//!   answered once and closed;
+//! - a binary stream that ends mid-frame is *fatal* at EOF — unlike a
+//!   line, a truncated length-prefixed record has no implicit terminator.
 
 /// Largest *request* frame the server buffers. A peer that never sends a
 /// newline would otherwise grow the buffer until the process OOMs; 64 MiB
@@ -31,18 +38,23 @@ pub enum FrameError {
     /// The line is not valid UTF-8. Recoverable: the offending frame was
     /// consumed and the stream resynchronizes at the next newline.
     InvalidUtf8,
-    /// No newline arrived within the frame limit. Fatal: the rest of the
-    /// frame cannot be resynchronized, so the connection must close.
+    /// No newline arrived within the frame limit, or a binary length
+    /// prefix promised a payload past it. Fatal: the rest of the frame
+    /// cannot be resynchronized (or must not be buffered), so the
+    /// connection must close.
     Oversized {
         /// The configured frame limit in bytes.
         limit: usize,
     },
+    /// A binary stream ended mid-frame (partial length prefix or partial
+    /// payload at EOF). Fatal: the record can never complete.
+    Truncated,
 }
 
 impl FrameError {
     /// Whether the connection can keep framing after this error.
     pub fn is_fatal(&self) -> bool {
-        matches!(self, FrameError::Oversized { .. })
+        matches!(self, FrameError::Oversized { .. } | FrameError::Truncated)
     }
 }
 
@@ -51,8 +63,9 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::InvalidUtf8 => write!(f, "line is not valid UTF-8"),
             FrameError::Oversized { limit } => {
-                write!(f, "line exceeds {limit} bytes")
+                write!(f, "frame exceeds {limit} bytes")
             }
+            FrameError::Truncated => write!(f, "frame truncated at end of stream"),
         }
     }
 }
@@ -209,6 +222,237 @@ impl LineCodec {
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
     }
+
+    /// Takes every unconsumed byte out of the codec, leaving it empty.
+    /// Used when a connection upgrades wire formats mid-stream: bytes the
+    /// peer pipelined after its `hello` line belong to the *next* codec.
+    pub fn take_remaining(&mut self) -> Vec<u8> {
+        let rest = self.buf.split_off(self.start);
+        self.buf.clear();
+        self.start = 0;
+        self.scanned = 0;
+        rest
+    }
+}
+
+/// An incremental length-prefixed binary framer: each frame on the wire
+/// is `[u32 little-endian payload length][payload bytes]`. Same contract
+/// as [`LineCodec`] — push whatever bytes arrived, drain complete frames
+/// — but the payload is opaque bytes, not UTF-8 text.
+///
+/// ```
+/// use fc_service::framing::BinaryCodec;
+///
+/// let mut codec = BinaryCodec::new(1024);
+/// codec.push(&[3, 0, 0, 0, b'a', b'b', b'c', 2, 0]);
+/// assert_eq!(codec.next_frame(), Ok(Some(b"abc".to_vec())));
+/// assert_eq!(codec.next_frame(), Ok(None)); // second frame still partial
+/// ```
+#[derive(Debug)]
+pub struct BinaryCodec {
+    buf: Vec<u8>,
+    /// Bytes before this offset are consumed (compacted away lazily).
+    start: usize,
+    max_frame: usize,
+    /// Set once an oversized prefix was observed; the codec refuses to
+    /// continue afterwards (the caller must close the connection).
+    poisoned: bool,
+}
+
+impl BinaryCodec {
+    /// A codec that rejects payloads longer than `max_frame` bytes
+    /// (length prefix excluded).
+    pub fn new(max_frame: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+            poisoned: false,
+        }
+    }
+
+    /// Builds a codec pre-seeded with bytes the transport already
+    /// delivered (frames the peer pipelined behind its upgrade request).
+    pub fn with_remainder(max_frame: usize, remainder: Vec<u8>) -> Self {
+        Self {
+            buf: remainder,
+            start: 0,
+            max_frame,
+            poisoned: false,
+        }
+    }
+
+    /// The configured frame limit in bytes.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Appends bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet framed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete payload, if one is buffered.
+    ///
+    /// `Ok(None)` means "no complete frame yet — read more bytes". A
+    /// length prefix past the limit poisons the codec: honoring it would
+    /// let the peer grow the buffer without bound, and skipping it is
+    /// indistinguishable from desynchronizing, so the connection must be
+    /// answered once and closed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::Oversized {
+                limit: self.max_frame,
+            });
+        }
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > self.max_frame {
+            self.poisoned = true;
+            return Err(FrameError::Oversized {
+                limit: self.max_frame,
+            });
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[self.start + 4..self.start + 4 + len].to_vec();
+        self.start += 4 + len;
+        Ok(Some(payload))
+    }
+
+    /// Signals EOF. Leftover bytes mean the stream died mid-frame: unlike
+    /// a line, a length-prefixed record has no implicit terminator, so a
+    /// partial frame at EOF is an error, not a lenient final frame.
+    pub fn finish(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::Oversized {
+                limit: self.max_frame,
+            });
+        }
+        if self.buffered() == 0 {
+            return Ok(None);
+        }
+        self.poisoned = true;
+        Err(FrameError::Truncated)
+    }
+
+    /// Whether a fatal framing error has poisoned this codec.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+/// One complete frame off the wire, in whichever format the connection
+/// negotiated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFrame {
+    /// A JSON-lines frame (the `\n` terminator already stripped).
+    Line(String),
+    /// A `bin1` binary payload (the length prefix already stripped).
+    Binary(Vec<u8>),
+}
+
+/// A codec over either wire format. Connections start as
+/// [`WireCodec::Json`] and may switch to [`WireCodec::Binary`] after a
+/// successful `hello` upgrade; [`WireCodec::upgrade_to_binary`] carries
+/// any bytes the peer pipelined behind the upgrade into the new framer.
+#[derive(Debug)]
+pub enum WireCodec {
+    /// JSON-lines framing (the compatible default).
+    Json(LineCodec),
+    /// Length-prefixed `bin1` framing.
+    Binary(BinaryCodec),
+}
+
+impl WireCodec {
+    /// A JSON-lines codec with the given frame limit — the state every
+    /// connection starts in.
+    pub fn json(max_frame: usize) -> Self {
+        WireCodec::Json(LineCodec::new(max_frame))
+    }
+
+    /// A binary codec with the given frame limit.
+    pub fn binary(max_frame: usize) -> Self {
+        WireCodec::Binary(BinaryCodec::new(max_frame))
+    }
+
+    /// Whether this codec frames the binary format.
+    pub fn is_binary(&self) -> bool {
+        matches!(self, WireCodec::Binary(_))
+    }
+
+    /// The configured frame limit in bytes.
+    pub fn max_frame(&self) -> usize {
+        match self {
+            WireCodec::Json(c) => c.max_frame(),
+            WireCodec::Binary(c) => c.max_frame(),
+        }
+    }
+
+    /// Appends bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        match self {
+            WireCodec::Json(c) => c.push(bytes),
+            WireCodec::Binary(c) => c.push(bytes),
+        }
+    }
+
+    /// Bytes buffered but not yet framed.
+    pub fn buffered(&self) -> usize {
+        match self {
+            WireCodec::Json(c) => c.buffered(),
+            WireCodec::Binary(c) => c.buffered(),
+        }
+    }
+
+    /// Extracts the next complete frame, if one is buffered.
+    pub fn next_frame(&mut self) -> Result<Option<WireFrame>, FrameError> {
+        match self {
+            WireCodec::Json(c) => Ok(c.next_frame()?.map(WireFrame::Line)),
+            WireCodec::Binary(c) => Ok(c.next_frame()?.map(WireFrame::Binary)),
+        }
+    }
+
+    /// Signals EOF; may yield one final frame (JSON lines treat EOF as an
+    /// implicit terminator; binary streams must end on a frame boundary).
+    pub fn finish(&mut self) -> Result<Option<WireFrame>, FrameError> {
+        match self {
+            WireCodec::Json(c) => Ok(c.finish()?.map(WireFrame::Line)),
+            WireCodec::Binary(c) => Ok(c.finish()?.map(WireFrame::Binary)),
+        }
+    }
+
+    /// Whether a fatal framing error has poisoned this codec.
+    pub fn is_poisoned(&self) -> bool {
+        match self {
+            WireCodec::Json(c) => c.is_poisoned(),
+            WireCodec::Binary(c) => c.is_poisoned(),
+        }
+    }
+
+    /// Switches a JSON connection to binary framing, carrying every
+    /// unconsumed byte (frames the peer pipelined after its `hello`)
+    /// into the new framer. No-op if already binary.
+    pub fn upgrade_to_binary(&mut self) {
+        if let WireCodec::Json(line) = self {
+            let max = line.max_frame();
+            let rest = line.take_remaining();
+            *self = WireCodec::Binary(BinaryCodec::with_remainder(max, rest));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -292,5 +536,84 @@ mod tests {
             assert_eq!(codec.next_frame(), Ok(Some("12345".into())));
         }
         assert!(!codec.is_poisoned());
+    }
+
+    fn bin_frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn binary_frames_split_and_coalesced_arbitrarily() {
+        let mut codec = BinaryCodec::new(64);
+        let mut wire = bin_frame(b"first");
+        wire.extend_from_slice(&bin_frame(b"second"));
+        // Push one byte at a time: framing must tolerate any chunking.
+        for b in wire {
+            codec.push(&[b]);
+        }
+        assert_eq!(codec.next_frame(), Ok(Some(b"first".to_vec())));
+        assert_eq!(codec.next_frame(), Ok(Some(b"second".to_vec())));
+        assert_eq!(codec.next_frame(), Ok(None));
+        assert_eq!(codec.finish(), Ok(None));
+    }
+
+    #[test]
+    fn binary_empty_payload_is_a_frame() {
+        let mut codec = BinaryCodec::new(64);
+        codec.push(&bin_frame(b""));
+        assert_eq!(codec.next_frame(), Ok(Some(Vec::new())));
+    }
+
+    #[test]
+    fn binary_oversized_prefix_poisons_the_codec() {
+        let mut codec = BinaryCodec::new(8);
+        codec.push(&[0xFF, 0xFF, 0xFF, 0x7F]);
+        let err = codec.next_frame().unwrap_err();
+        assert!(err.is_fatal(), "{err:?}");
+        assert!(codec.is_poisoned());
+        // Later bytes cannot resynchronize.
+        codec.push(&bin_frame(b"ok"));
+        assert!(codec.next_frame().is_err());
+    }
+
+    #[test]
+    fn binary_truncated_at_eof_is_fatal() {
+        let mut codec = BinaryCodec::new(64);
+        codec.push(&[5, 0, 0, 0, b'a', b'b']);
+        assert_eq!(codec.next_frame(), Ok(None));
+        assert_eq!(codec.finish(), Err(FrameError::Truncated));
+        assert!(codec.is_poisoned());
+        // Even a bare partial prefix is truncation.
+        let mut codec = BinaryCodec::new(64);
+        codec.push(&[5, 0]);
+        assert_eq!(codec.finish(), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn binary_consumed_frames_do_not_count_against_the_limit() {
+        let mut codec = BinaryCodec::new(8);
+        for _ in 0..100 {
+            codec.push(&bin_frame(b"12345"));
+            assert_eq!(codec.next_frame(), Ok(Some(b"12345".to_vec())));
+        }
+        assert!(!codec.is_poisoned());
+    }
+
+    #[test]
+    fn upgrade_carries_pipelined_bytes_into_the_binary_codec() {
+        let mut codec = WireCodec::json(64);
+        let mut wire = b"{\"op\":\"hello\",\"proto\":\"bin1\"}\n".to_vec();
+        wire.extend_from_slice(&bin_frame(b"pipelined"));
+        codec.push(&wire);
+        let hello = codec.next_frame().unwrap().unwrap();
+        assert!(matches!(hello, WireFrame::Line(ref l) if l.contains("hello")));
+        codec.upgrade_to_binary();
+        assert!(codec.is_binary());
+        assert_eq!(
+            codec.next_frame(),
+            Ok(Some(WireFrame::Binary(b"pipelined".to_vec())))
+        );
     }
 }

@@ -55,6 +55,7 @@ pub mod protocol;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 pub mod server;
+pub mod wire;
 
 pub use fc_core::json;
 pub use fc_persist::FsyncPolicy;
@@ -62,7 +63,7 @@ pub use fc_persist::FsyncPolicy;
 pub use backend::Backend;
 pub use client::{ClientError, ClusterResult, RetryPolicy, ServiceClient};
 pub use engine::{ClusterOutcome, DrainHook, Engine, EngineConfig, EngineError, PersistConfig};
-pub use framing::{FrameError, LineCodec};
+pub use framing::{BinaryCodec, FrameError, LineCodec, WireCodec, WireFrame};
 pub use metrics_http::MetricsServer;
 pub use protocol::{
     DatasetStats, ErrorCode, NodeHealth, NodeStats, ProtocolError, Request, Response, ServerStats,

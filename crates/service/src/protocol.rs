@@ -12,7 +12,15 @@
 //! {"op":"stats"}            {"op":"stats","dataset":"d"}
 //! {"op":"metrics"}
 //! {"op":"drop_dataset","dataset":"d"}
+//! {"op":"hello","proto":"bin1"}
 //! ```
+//!
+//! `hello` upgrades the connection to the length-prefixed binary frame
+//! format (see [`crate::wire`]): the server acknowledges with a JSON
+//! `{"ok":true,"kind":"hello","proto":"bin1"}` line — the last JSON frame
+//! on the connection — and both directions switch to binary frames for
+//! everything after it. Servers that predate the op answer `unknown op`,
+//! and the client simply stays on JSON-lines.
 //!
 //! Any request may additionally carry `"trace":"<id>"` — an opaque
 //! request id the server records in its recent-trace ring and a
@@ -52,19 +60,32 @@
 use crate::json::{self, number_array, object, Value};
 use fc_clustering::{CostKind, Solver};
 use fc_core::plan::{kind_from_name, kind_name, Method, Plan};
+use fc_core::PointBlock;
 use fc_geom::{Dataset, Points};
+
+/// The binary wire protocol name a [`Request::Hello`] negotiates. See
+/// [`crate::wire`] for the frame layout.
+pub const BINARY_PROTO: &str = "bin1";
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Negotiates a wire-format upgrade. A server that supports the named
+    /// protocol answers [`Response::Hello`] (as a JSON line — the last one
+    /// on the connection) and frames everything after it in the new
+    /// format; old servers answer an `unknown op` error and the client
+    /// stays on JSON-lines.
+    Hello {
+        /// The requested protocol ([`BINARY_PROTO`] is the only one).
+        proto: String,
+    },
     /// Appends a weighted point batch to a dataset (created on first use).
     Ingest {
         /// Target dataset name.
         dataset: String,
-        /// Row-major point batch.
-        points: Vec<Vec<f64>>,
-        /// Optional per-point weights (unit when omitted).
-        weights: Option<Vec<f64>>,
+        /// The point batch, flat row-major with optional per-point
+        /// weights (unit when omitted).
+        block: PointBlock,
         /// Optional per-dataset [`Plan`], honoured by the ingest that
         /// creates the dataset (the engine default applies when omitted).
         /// Re-sending the same plan is idempotent; a different plan for an
@@ -246,6 +267,13 @@ pub struct ServerStats {
 /// A server response. `Error` is the only failure shape on the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
+    /// Acceptance of a [`Request::Hello`] wire upgrade. Always encoded as
+    /// a JSON line — it is the last frame of the old format; everything
+    /// after it on the connection uses the negotiated one.
+    Hello {
+        /// The protocol now in effect.
+        proto: String,
+    },
     /// Outcome of an `Ingest`.
     Ingested {
         /// Dataset name.
@@ -376,7 +404,7 @@ impl ErrorCode {
 
     /// Parses a wire name; unknown codes decode as `None` so old clients
     /// survive new server-side classes.
-    fn from_name(name: &str) -> Option<Self> {
+    pub(crate) fn from_name(name: &str) -> Option<Self> {
         match name {
             "overloaded" => Some(ErrorCode::Overloaded),
             "unknown_dataset" => Some(ErrorCode::UnknownDataset),
@@ -402,7 +430,7 @@ pub struct ProtocolError {
 }
 
 impl ProtocolError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
         }
@@ -451,6 +479,56 @@ fn solver_from_value(v: &Value) -> Result<Solver, ProtocolError> {
 
 fn rows_to_value(rows: &[Vec<f64>]) -> Value {
     Value::Array(rows.iter().map(|r| number_array(r)).collect())
+}
+
+fn flat_to_rows_value(data: &[f64], dim: usize) -> Value {
+    Value::Array(data.chunks_exact(dim).map(number_array).collect())
+}
+
+/// Parses an array-of-arrays of numbers straight into a flat row-major
+/// buffer — the ingest hot path never materializes a `Vec<Vec<f64>>`.
+/// Same validation (and same error messages) as [`rows_from_value`].
+fn flat_from_value(v: &Value, what: &str) -> Result<(Vec<f64>, usize), ProtocolError> {
+    let outer = v
+        .as_array()
+        .ok_or_else(|| ProtocolError::new(format!("`{what}` must be an array of points")))?;
+    let mut data = Vec::new();
+    let mut dim = None;
+    for (i, row) in outer.iter().enumerate() {
+        let coords = row.as_array().ok_or_else(|| {
+            ProtocolError::new(format!("`{what}[{i}]` must be an array of numbers"))
+        })?;
+        match dim {
+            None => {
+                if coords.is_empty() {
+                    return Err(ProtocolError::new(format!(
+                        "`{what}[{i}]` is empty (points need at least one coordinate)"
+                    )));
+                }
+                dim = Some(coords.len());
+                data.reserve(outer.len() * coords.len());
+            }
+            Some(d) if d != coords.len() => {
+                return Err(ProtocolError::new(format!(
+                    "`{what}[{i}]` has {} coordinates but earlier points have {d}",
+                    coords.len()
+                )));
+            }
+            Some(_) => {}
+        }
+        let start = data.len();
+        for c in coords {
+            data.push(c.as_f64().ok_or_else(|| {
+                ProtocolError::new(format!("`{what}[{i}]` holds a non-numeric coordinate"))
+            })?);
+        }
+        if !data[start..].iter().all(|x| x.is_finite()) {
+            return Err(ProtocolError::new(format!(
+                "`{what}[{i}]` holds a non-finite coordinate"
+            )));
+        }
+    }
+    Ok((data, dim.unwrap_or(0)))
 }
 
 fn rows_from_value(v: &Value, what: &str) -> Result<Vec<Vec<f64>>, ProtocolError> {
@@ -541,6 +619,7 @@ impl Request {
     /// labelled with.
     pub fn op_name(&self) -> &'static str {
         match self {
+            Request::Hello { .. } => "hello",
             Request::Ingest { .. } => "ingest",
             Request::Compress { .. } => "compress",
             Request::Cluster { .. } => "cluster",
@@ -553,18 +632,21 @@ impl Request {
 
     fn to_value(&self) -> Value {
         match self {
+            Request::Hello { proto } => pairs_to_object(vec![
+                ("op", Value::from("hello")),
+                ("proto", Value::from(proto.clone())),
+            ]),
             Request::Ingest {
                 dataset,
-                points,
-                weights,
+                block,
                 plan,
             } => {
                 let mut pairs = vec![
                     ("op", Value::from("ingest")),
                     ("dataset", Value::from(dataset.clone())),
-                    ("points", rows_to_value(points)),
+                    ("points", flat_to_rows_value(block.data(), block.dim())),
                 ];
-                if let Some(w) = weights {
+                if let Some(w) = block.weights() {
                     pairs.push(("weights", number_array(w)));
                 }
                 if let Some(p) = plan {
@@ -670,25 +752,28 @@ impl Request {
     fn from_value(v: &Value) -> Result<Self, ProtocolError> {
         let op = required_str(v, "op")?;
         match op.as_str() {
+            "hello" => Ok(Request::Hello {
+                proto: required_str(v, "proto")?,
+            }),
             "ingest" => {
                 let dataset = required_str(v, "dataset")?;
-                let points = rows_from_value(
+                let (data, dim) = flat_from_value(
                     v.get("points")
                         .ok_or_else(|| ProtocolError::new("missing required field `points`"))?,
                     "points",
                 )?;
-                if points.is_empty() {
+                if data.is_empty() {
                     return Err(ProtocolError::new("`points` must be non-empty"));
                 }
+                let n = data.len() / dim;
                 let weights = match v.get("weights") {
                     None | Some(Value::Null) => None,
                     Some(w) => {
                         let w = floats_from_value(w, "weights")?;
-                        if w.len() != points.len() {
+                        if w.len() != n {
                             return Err(ProtocolError::new(format!(
-                                "{} weights for {} points",
-                                w.len(),
-                                points.len()
+                                "{} weights for {n} points",
+                                w.len()
                             )));
                         }
                         if !w.iter().all(|x| x.is_finite() && *x >= 0.0) {
@@ -699,6 +784,8 @@ impl Request {
                         Some(w)
                     }
                 };
+                let block = PointBlock::new(data, dim, weights)
+                    .map_err(|e| ProtocolError::new(format!("invalid `points`: {e}")))?;
                 let plan = match v.get("plan") {
                     None | Some(Value::Null) => None,
                     Some(p) => Some(
@@ -708,8 +795,7 @@ impl Request {
                 };
                 Ok(Request::Ingest {
                     dataset,
-                    points,
-                    weights,
+                    block,
                     plan,
                 })
             }
@@ -988,6 +1074,11 @@ impl Response {
     /// Encodes the response as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
         let value = match self {
+            Response::Hello { proto } => object([
+                ("ok", Value::from(true)),
+                ("kind", Value::from("hello")),
+                ("proto", Value::from(proto.clone())),
+            ]),
             Response::Ingested {
                 dataset,
                 points,
@@ -1107,6 +1198,9 @@ impl Response {
                 .ok_or_else(|| ProtocolError::new("missing integer field `seed`"))
         };
         match kind.as_str() {
+            "hello" => Ok(Response::Hello {
+                proto: required_str(&v, "proto")?,
+            }),
             "ingested" => Ok(Response::Ingested {
                 dataset: required_str(&v, "dataset")?,
                 points: int("points")?,
@@ -1252,22 +1346,22 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
+        round_trip_request(Request::Hello {
+            proto: BINARY_PROTO.into(),
+        });
         round_trip_request(Request::Ingest {
             dataset: "d".into(),
-            points: vec![vec![0.0, 1.5], vec![-2.25, 3.0]],
-            weights: Some(vec![1.0, 2.5]),
+            block: PointBlock::new(vec![0.0, 1.5, -2.25, 3.0], 2, Some(vec![1.0, 2.5])).unwrap(),
             plan: None,
         });
         round_trip_request(Request::Ingest {
             dataset: "d".into(),
-            points: vec![vec![0.5]],
-            weights: None,
+            block: PointBlock::new(vec![0.5], 1, None).unwrap(),
             plan: None,
         });
         round_trip_request(Request::Ingest {
             dataset: "d".into(),
-            points: vec![vec![0.5, 1.0]],
-            weights: None,
+            block: PointBlock::new(vec![0.5, 1.0], 2, None).unwrap(),
             plan: Some(
                 fc_core::plan::PlanBuilder::new(3)
                     .m_scalar(15)
@@ -1343,6 +1437,9 @@ mod tests {
 
     #[test]
     fn responses_round_trip() {
+        round_trip_response(Response::Hello {
+            proto: BINARY_PROTO.into(),
+        });
         round_trip_response(Response::Ingested {
             dataset: "d".into(),
             points: 128,
@@ -1478,6 +1575,7 @@ mod tests {
             ("[1,2]", "request must be a JSON object"),
             ("{}", "missing required field `op`"),
             (r#"{"op":"fly"}"#, "unknown op"),
+            (r#"{"op":"hello"}"#, "missing required field `proto`"),
             (
                 r#"{"op":"ingest","dataset":"d"}"#,
                 "missing required field `points`",

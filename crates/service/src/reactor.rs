@@ -31,7 +31,7 @@ use std::net::TcpStream;
 use std::os::fd::{AsRawFd, RawFd};
 use std::time::{Duration, Instant};
 
-use crate::framing::LineCodec;
+use crate::framing::{WireCodec, WireFrame};
 
 /// Raw syscall surface. Numbers and layouts match the Linux UAPI headers;
 /// the symbols resolve from the C runtime Rust already links against.
@@ -249,23 +249,24 @@ pub struct Exchange {
     /// non-blocking and leaves it that way).
     pub stream: TcpStream,
     /// The connection's framing state (normally empty between requests —
-    /// the protocol is strict request/response).
-    pub codec: LineCodec,
-    /// The request line, newline included.
+    /// the protocol is strict request/response), JSON-lines or binary.
+    pub codec: WireCodec,
+    /// The encoded request: a newline-terminated JSON line, or one
+    /// length-prefixed binary frame — whichever matches the codec.
     pub request: Vec<u8>,
 }
 
 /// The outcome of one [`Exchange`]: the socket and codec back (for
-/// pooling) plus the response line or the socket-level failure.
+/// pooling) plus the response frame or the socket-level failure.
 pub struct ExchangeOutcome {
     /// The socket, still non-blocking.
     pub stream: TcpStream,
     /// The framing state.
-    pub codec: LineCodec,
-    /// The response line, or what went wrong (`TimedOut` for deadline
+    pub codec: WireCodec,
+    /// The response frame, or what went wrong (`TimedOut` for deadline
     /// expiry, `UnexpectedEof` for a peer close, `InvalidData` for a
     /// framing violation).
-    pub outcome: io::Result<String>,
+    pub outcome: io::Result<WireFrame>,
     /// Wall time from the driver starting until *this* exchange settled —
     /// per-peer latency even though the exchanges run multiplexed (the
     /// `fc-cluster` coordinator feeds these into per-node histograms).
@@ -290,11 +291,11 @@ pub fn drive_exchanges(
 ) -> io::Result<Vec<ExchangeOutcome>> {
     struct Slot {
         stream: TcpStream,
-        codec: LineCodec,
+        codec: WireCodec,
         request: Vec<u8>,
         phase: Phase,
         deadline: Instant,
-        outcome: Option<io::Result<String>>,
+        outcome: Option<io::Result<WireFrame>>,
         settled: Option<Instant>,
     }
 
@@ -397,9 +398,9 @@ pub fn drive_exchanges(
             }
             if event.readable && matches!(slot.phase, Phase::Reading) {
                 match pump_read(&mut slot.stream, &mut slot.codec, &mut scratch) {
-                    Ok(Some(line)) => {
+                    Ok(Some(frame)) => {
                         let _ = poller.remove(slot.stream.as_raw_fd());
-                        slot.outcome = Some(Ok(line));
+                        slot.outcome = Some(Ok(frame));
                         slot.phase = Phase::Done;
                         slot.settled = Some(Instant::now());
                         remaining -= 1;
@@ -446,9 +447,9 @@ fn write_some(stream: &mut TcpStream, bytes: &[u8]) -> io::Result<usize> {
 /// frame (the protocol is one response per request).
 fn pump_read(
     stream: &mut TcpStream,
-    codec: &mut LineCodec,
+    codec: &mut WireCodec,
     scratch: &mut [u8],
-) -> io::Result<Option<String>> {
+) -> io::Result<Option<WireFrame>> {
     loop {
         match stream.read(scratch) {
             Ok(0) => {
@@ -460,7 +461,7 @@ fn pump_read(
             Ok(n) => {
                 codec.push(&scratch[..n]);
                 match codec.next_frame() {
-                    Ok(Some(line)) => return Ok(Some(line)),
+                    Ok(Some(frame)) => return Ok(Some(frame)),
                     Ok(None) => continue,
                     Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
                 }
@@ -521,14 +522,18 @@ mod tests {
         let items: Vec<Exchange> = (0..3)
             .map(|i| Exchange {
                 stream: TcpStream::connect(addr).unwrap(),
-                codec: LineCodec::new(1024),
+                codec: WireCodec::json(1024),
                 request: format!("msg-{i}\n").into_bytes(),
             })
             .collect();
         let outcomes =
             drive_exchanges(items, Duration::from_secs(5), Duration::from_secs(5)).unwrap();
-        let got: Vec<String> = outcomes.into_iter().map(|o| o.outcome.unwrap()).collect();
-        assert_eq!(got, vec!["0-gsm", "1-gsm", "2-gsm"]);
+        let got: Vec<WireFrame> = outcomes.into_iter().map(|o| o.outcome.unwrap()).collect();
+        let want: Vec<WireFrame> = ["0-gsm", "1-gsm", "2-gsm"]
+            .iter()
+            .map(|s| WireFrame::Line((*s).to_owned()))
+            .collect();
+        assert_eq!(got, want);
         server.join().unwrap();
     }
 
@@ -552,7 +557,7 @@ mod tests {
         let items: Vec<Exchange> = (0..2)
             .map(|_| Exchange {
                 stream: TcpStream::connect(addr).unwrap(),
-                codec: LineCodec::new(1024),
+                codec: WireCodec::json(1024),
                 request: b"ping\n".to_vec(),
             })
             .collect();
@@ -562,7 +567,10 @@ mod tests {
             outcomes[0].outcome.as_ref().unwrap_err().kind(),
             io::ErrorKind::TimedOut
         );
-        assert_eq!(outcomes[1].outcome.as_ref().unwrap(), "pong");
+        assert_eq!(
+            outcomes[1].outcome.as_ref().unwrap(),
+            &WireFrame::Line("pong".to_owned())
+        );
         server.join().unwrap();
     }
 }

@@ -12,10 +12,11 @@
 //!   without epoll.
 //!
 //! Both models frame requests with the shared incremental
-//! [`LineCodec`] and dispatch through
-//! [`handle_request`], so protocol behaviour is identical; the reactor
-//! additionally serves *pipelined* requests (many lines in one packet)
-//! strictly in order, one in flight per connection at a time.
+//! [`WireCodec`] (JSON lines by default, length-prefixed `bin1` frames
+//! after a `hello` upgrade) and dispatch through [`handle_request`], so
+//! protocol behaviour is identical; the reactor additionally serves
+//! *pipelined* requests (many frames in one packet) strictly in order,
+//! batching each run of buffered frames into one executor job.
 //!
 //! Shutdown is graceful in both models: in-flight requests finish, their
 //! responses flush, then every thread joins. The reactor needs no
@@ -32,8 +33,9 @@ use std::time::Duration;
 
 use crate::backend::Backend;
 use crate::engine::{Engine, EngineError};
-use crate::framing::{FrameError, LineCodec, MAX_FRAME_BYTES};
+use crate::framing::{FrameError, WireCodec, WireFrame, MAX_FRAME_BYTES};
 use crate::protocol::{self, Request, Response};
+use crate::wire;
 
 /// How the server multiplexes its connections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +126,12 @@ pub struct ServerOptions {
     /// through a backlog nobody is waiting on anymore. `None` disables
     /// shedding. The threaded model has no queue, so it ignores this.
     pub request_deadline: Option<Duration>,
+    /// Whether connections may upgrade to the `bin1` binary wire protocol
+    /// via the `hello` handshake. On by default — clients that never send
+    /// a `hello` stay on JSON-lines either way; turning this off makes
+    /// the server answer every `hello` with an error (clients then fall
+    /// back to JSON), pinning the whole fleet to the text protocol.
+    pub binary_wire: bool,
 }
 
 impl Default for ServerOptions {
@@ -137,6 +145,7 @@ impl Default for ServerOptions {
             executor_threads: 4,
             max_connections: 0,
             request_deadline: None,
+            binary_wire: true,
         }
     }
 }
@@ -308,10 +317,58 @@ fn framing_error_response(e: &FrameError) -> Response {
         message: match e {
             FrameError::InvalidUtf8 => "request line is not valid UTF-8".to_owned(),
             FrameError::Oversized { limit } => {
-                format!("request line exceeds {limit} bytes")
+                format!("request frame exceeds {limit} bytes")
             }
+            FrameError::Truncated => "request frame truncated at end of stream".to_owned(),
         },
         code: None,
+    }
+}
+
+/// Encodes one response in the connection's current wire format: a
+/// newline-terminated JSON line, or one `bin1` frame.
+fn encode_response(response: &Response, binary: bool) -> Vec<u8> {
+    if binary {
+        wire::response_frame(response)
+    } else {
+        let mut bytes = response.to_json().into_bytes();
+        bytes.push(b'\n');
+        bytes
+    }
+}
+
+/// `Some(proto)` when `line` is a `hello` request. The substring
+/// pre-filter keeps the hot path at one scan — ordinary requests are
+/// never parsed twice.
+fn hello_proto(line: &str) -> Option<String> {
+    if !line.contains("\"hello\"") {
+        return None;
+    }
+    match Request::from_json_with_trace(line.trim()) {
+        Ok((Request::Hello { proto }, _)) => Some(proto),
+        _ => None,
+    }
+}
+
+/// Decodes and executes one binary request frame. Unlike blank JSON
+/// lines, every binary frame gets an answer — garbage decodes to a
+/// structured error in its pipelined position.
+fn execute_binary(backend: &dyn Backend, payload: &[u8]) -> Response {
+    match wire::decode_request(payload) {
+        Ok((request, trace)) => {
+            let op = request.op_name();
+            let _scope = fc_telemetry::set_current_trace(trace.clone());
+            let started = std::time::Instant::now();
+            let response = handle_request(backend, request);
+            if let (Some(id), Some(telemetry)) = (trace, backend.telemetry()) {
+                telemetry.traces.record(&id, op, started.elapsed());
+            }
+            response
+        }
+        Err(e) => Response::Error {
+            message: e.message,
+            code: None,
+        },
     }
 }
 
@@ -320,17 +377,25 @@ fn framing_error_response(e: &FrameError) -> Response {
 /// reference [`Backend`].)
 pub fn handle_request(backend: &dyn Backend, request: Request) -> Response {
     match request {
+        // A `hello` that reaches dispatch was not intercepted at the
+        // connection layer — the upgrade is unsupported there (non-binary
+        // server, or `--wire json`). Answering an error keeps the client
+        // on JSON-lines, exactly like talking to a pre-`hello` server.
+        Request::Hello { proto } => Response::Error {
+            message: format!("wire protocol `{proto}` is not enabled on this connection"),
+            code: None,
+        },
         Request::Ingest {
             dataset,
-            points,
-            weights,
+            block,
             plan,
         } => {
-            let batch = match protocol::rows_to_dataset(&points, weights.as_deref()) {
+            let points = block.len();
+            let batch = match block.into_dataset() {
                 Ok(b) => b,
                 Err(e) => {
                     return Response::Error {
-                        message: e.message,
+                        message: format!("invalid `points`: {e}"),
                         code: None,
                     }
                 }
@@ -338,7 +403,7 @@ pub fn handle_request(backend: &dyn Backend, request: Request) -> Response {
             match backend.ingest(&dataset, &batch, plan.as_ref()) {
                 Ok((total_points, total_weight)) => Response::Ingested {
                     dataset,
-                    points: batch.len(),
+                    points,
                     total_points,
                     total_weight,
                 },
@@ -463,6 +528,7 @@ mod threaded {
             let accept_stop = Arc::clone(&stop);
             let accept_connections = Arc::clone(&connections);
             let max_connections = options.max_connections;
+            let binary_wire = options.binary_wire;
             let accept_thread =
                 std::thread::Builder::new()
                     .name("fc-accept".into())
@@ -473,6 +539,7 @@ mod threaded {
                             accept_stop,
                             accept_connections,
                             max_connections,
+                            binary_wire,
                         )
                     })?;
             Ok(Server {
@@ -512,6 +579,7 @@ mod threaded {
         stop: Arc<AtomicBool>,
         connections: ConnectionRegistry,
         max_connections: usize,
+        binary_wire: bool,
     ) {
         for stream in listener.incoming() {
             if stop.load(Ordering::SeqCst) {
@@ -552,7 +620,7 @@ mod threaded {
             let stop = Arc::clone(&stop);
             let spawned = std::thread::Builder::new()
                 .name("fc-conn".into())
-                .spawn(move || run_connection(stream, &*backend, &stop));
+                .spawn(move || run_connection(stream, &*backend, &stop, binary_wire));
             let Ok(handle) = spawned else {
                 // Thread exhaustion: decline this connection (the stream
                 // clone drops, the client sees EOF) but keep accepting —
@@ -578,48 +646,80 @@ mod threaded {
         }
     }
 
+    /// Serves one framing outcome; `Ok(true)` means "stop serving". May
+    /// upgrade `codec` to binary when the frame is a `hello` handshake.
+    fn serve_frame(
+        stream: &mut TcpStream,
+        backend: &dyn Backend,
+        codec: &mut WireCodec,
+        binary_wire: bool,
+        frame: Result<WireFrame, FrameError>,
+        stop: &AtomicBool,
+    ) -> std::io::Result<bool> {
+        let bytes = match frame {
+            Ok(WireFrame::Line(line)) => {
+                if binary_wire {
+                    if let Some(proto) = hello_proto(&line) {
+                        if proto == protocol::BINARY_PROTO {
+                            // Acknowledge in JSON (the client still reads
+                            // JSON), then decode everything after as bin1.
+                            stream
+                                .write_all(&encode_response(&Response::Hello { proto }, false))?;
+                            codec.upgrade_to_binary();
+                            return Ok(stop.load(Ordering::SeqCst));
+                        }
+                    }
+                }
+                match execute_line(backend, &line) {
+                    Some(response) => encode_response(&response, false),
+                    None => return Ok(false),
+                }
+            }
+            Ok(WireFrame::Binary(payload)) => {
+                encode_response(&execute_binary(backend, &payload), true)
+            }
+            Err(e) => {
+                stream.write_all(&encode_response(
+                    &framing_error_response(&e),
+                    codec.is_binary(),
+                ))?;
+                // Oversized or truncated frames cannot be resynchronized.
+                return Ok(e.is_fatal());
+            }
+        };
+        stream.write_all(&bytes)?;
+        Ok(stop.load(Ordering::SeqCst))
+    }
+
     fn serve_connection(
         mut stream: TcpStream,
         backend: &dyn Backend,
         stop: &AtomicBool,
+        binary_wire: bool,
     ) -> std::io::Result<()> {
-        let mut codec = LineCodec::new(MAX_FRAME_BYTES);
+        let mut codec = WireCodec::json(MAX_FRAME_BYTES);
         let mut scratch = vec![0u8; 64 * 1024];
-        // Serves one framing outcome; Ok(true) means "stop serving".
-        let serve_frame =
-            |frame: Result<String, FrameError>, stream: &mut TcpStream| -> std::io::Result<bool> {
-                match frame {
-                    Ok(line) => {
-                        let Some(response) = execute_line(backend, &line) else {
-                            return Ok(false);
-                        };
-                        let mut bytes = response.to_json().into_bytes();
-                        bytes.push(b'\n');
-                        stream.write_all(&bytes)?;
-                        Ok(stop.load(Ordering::SeqCst))
-                    }
-                    Err(e) => {
-                        let mut bytes = framing_error_response(&e).to_json().into_bytes();
-                        bytes.push(b'\n');
-                        stream.write_all(&bytes)?;
-                        // Oversized lines cannot be resynchronized.
-                        Ok(e.is_fatal())
-                    }
-                }
-            };
         'serve: loop {
             // Serve every frame already buffered (pipelined requests)
             // before reading more bytes.
             loop {
                 match codec.next_frame() {
-                    Ok(Some(line)) => {
-                        if serve_frame(Ok(line), &mut stream)? {
+                    Ok(Some(frame)) => {
+                        if serve_frame(
+                            &mut stream,
+                            backend,
+                            &mut codec,
+                            binary_wire,
+                            Ok(frame),
+                            stop,
+                        )? {
                             break 'serve;
                         }
                     }
                     Ok(None) => break,
                     Err(e) => {
-                        if serve_frame(Err(e), &mut stream)? {
+                        if serve_frame(&mut stream, backend, &mut codec, binary_wire, Err(e), stop)?
+                        {
                             break 'serve;
                         }
                     }
@@ -630,11 +730,18 @@ mod threaded {
                 // EOF still terminates a final, newline-less request.
                 match codec.finish() {
                     Ok(None) => {}
-                    Ok(Some(line)) => {
-                        serve_frame(Ok(line), &mut stream)?;
+                    Ok(Some(frame)) => {
+                        serve_frame(
+                            &mut stream,
+                            backend,
+                            &mut codec,
+                            binary_wire,
+                            Ok(frame),
+                            stop,
+                        )?;
                     }
                     Err(e) => {
-                        serve_frame(Err(e), &mut stream)?;
+                        serve_frame(&mut stream, backend, &mut codec, binary_wire, Err(e), stop)?;
                     }
                 }
                 break;
@@ -649,9 +756,9 @@ mod threaded {
     /// stream, so merely dropping this thread's handles would leave the
     /// connection half-open (no FIN) until server shutdown, and a waiting
     /// client would never see EOF.
-    fn run_connection(stream: TcpStream, backend: &dyn Backend, stop: &AtomicBool) {
+    fn run_connection(stream: TcpStream, backend: &dyn Backend, stop: &AtomicBool, binary: bool) {
         let closer = stream.try_clone().ok();
-        let _ = serve_connection(stream, backend, stop);
+        let _ = serve_connection(stream, backend, stop, binary);
         if let Some(s) = closer {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
@@ -720,7 +827,14 @@ mod reactor_server {
     struct Job {
         reactor: usize,
         conn: u64,
-        line: String,
+        /// One connection's consecutively pipelined requests, each in its
+        /// wire form; each response is encoded in the format its request
+        /// arrived in, and all of them return as one ordered byte run.
+        /// Batching pays the executor hand-off (queue, wake, mailbox,
+        /// reactor wake) once per run of frames instead of once per
+        /// request — the difference between round-trip-bound and
+        /// wire-bound throughput for a pipelining producer.
+        frames: Vec<WireFrame>,
         /// When the request left its connection for the executor queue —
         /// the timestamp deadline shedding and queue-wait metrics run on.
         enqueued: Instant,
@@ -756,26 +870,32 @@ mod reactor_server {
         }
     }
 
-    /// A queued frame awaiting dispatch. Framing errors stay *in order*
-    /// with the requests around them, so a pipelined client sees its
-    /// responses in exactly the order it sent the lines.
+    /// A queued frame awaiting dispatch. Locally answered outcomes
+    /// (framing errors, the `hello` acknowledgement) are encoded at
+    /// extraction time — in the wire format the connection spoke *at that
+    /// point* — and stay *in order* with the requests around them, so a
+    /// pipelined client sees its responses in exactly the order it sent
+    /// the frames, even across a mid-pipeline protocol upgrade.
     enum PendingFrame {
-        Line(String),
-        Recoverable(FrameError),
-        Fatal(FrameError),
+        Frame(WireFrame),
+        /// An already-encoded local answer (framing error, hello ack).
+        Reply(Vec<u8>),
+        /// Like `Reply`, but the connection closes once it flushes.
+        FatalReply(Vec<u8>),
     }
 
     struct Conn {
         stream: TcpStream,
-        codec: LineCodec,
+        codec: WireCodec,
         pending: VecDeque<PendingFrame>,
-        /// Bytes held by `pending` line frames — the byte-level bound on
-        /// pipelining (frame *count* alone would let one connection queue
-        /// `PENDING_CAP` × 64 MiB lines).
+        /// Bytes held by `pending` request frames — the byte-level bound
+        /// on pipelining (frame *count* alone would let one connection
+        /// queue `PENDING_CAP` × 64 MiB frames).
         pending_bytes: usize,
         write_buf: Vec<u8>,
         write_pos: usize,
-        /// A request from this connection is executing on the pool.
+        /// A batch of requests from this connection is executing on the
+        /// pool (at most one job in flight per connection).
         inflight: bool,
         /// EOF observed (or reads abandoned); no further frames will come.
         read_closed: bool,
@@ -799,7 +919,7 @@ mod reactor_server {
             metrics.connections_total.incr();
             Conn {
                 stream,
-                codec: LineCodec::new(MAX_FRAME_BYTES),
+                codec: WireCodec::json(MAX_FRAME_BYTES),
                 pending: VecDeque::new(),
                 pending_bytes: 0,
                 write_buf: Vec::new(),
@@ -819,12 +939,6 @@ mod reactor_server {
             self.write_buf.len() - self.write_pos
         }
 
-        fn queue_response(&mut self, response: &Response) {
-            self.write_buf
-                .extend_from_slice(response.to_json().as_bytes());
-            self.write_buf.push(b'\n');
-        }
-
         /// Whether the connection has nothing left to do and can close.
         fn finished(&self, draining: bool) -> bool {
             let no_more_input = self.read_closed || draining || self.close_after_flush;
@@ -839,16 +953,16 @@ mod reactor_server {
         }
 
         fn push_pending(&mut self, frame: PendingFrame) {
-            if let PendingFrame::Line(line) = &frame {
-                self.pending_bytes += line.len();
+            if let PendingFrame::Frame(f) = &frame {
+                self.pending_bytes += frame_len(f);
             }
             self.pending.push_back(frame);
         }
 
         fn pop_pending(&mut self) -> Option<PendingFrame> {
             let frame = self.pending.pop_front();
-            if let Some(PendingFrame::Line(line)) = &frame {
-                self.pending_bytes -= line.len();
+            if let Some(PendingFrame::Frame(f)) = &frame {
+                self.pending_bytes -= frame_len(f);
             }
             frame
         }
@@ -862,6 +976,19 @@ mod reactor_server {
     impl Drop for Conn {
         fn drop(&mut self) {
             self.open.sub(1);
+        }
+    }
+
+    /// Whether a frame is a blank JSON line (skipped silently).
+    fn blank_line(frame: &WireFrame) -> bool {
+        matches!(frame, WireFrame::Line(line) if line.trim().is_empty())
+    }
+
+    /// Request-frame payload size (the byte-level pipelining bound).
+    fn frame_len(frame: &WireFrame) -> usize {
+        match frame {
+            WireFrame::Line(line) => line.len(),
+            WireFrame::Binary(payload) => payload.len(),
         }
     }
 
@@ -891,6 +1018,7 @@ mod reactor_server {
             let metrics = ServeMetrics::new(&telemetry);
             let max_connections = options.max_connections;
             let deadline = options.request_deadline;
+            let binary_wire = options.binary_wire;
 
             let mut mailboxes = Vec::with_capacity(io_threads);
             let mut pollers = Vec::with_capacity(io_threads);
@@ -958,6 +1086,7 @@ mod reactor_server {
                             drain_deadline: None,
                             accept_retry_at: None,
                             max_connections,
+                            binary_wire,
                             metrics: reactor_metrics,
                         }
                         .run()
@@ -1026,27 +1155,43 @@ mod reactor_server {
             let Ok(job) = job else { break };
             let waited = job.enqueued.elapsed();
             metrics.queue_wait.observe(waited);
-            // Shed, don't execute, a request that already waited past the
+            // Shed, don't execute, requests that already waited past the
             // deadline: under a backlog the client has likely timed out
-            // (or will), and running its request anyway only delays every
-            // request behind it.
-            let response = if deadline.is_some_and(|d| waited > d) {
-                metrics.deadline_shed.incr();
-                Some(Response::Error {
-                    message: format!(
-                        "request waited {}ms in the executor queue, past the {}ms deadline",
-                        waited.as_millis(),
-                        deadline.unwrap_or_default().as_millis(),
-                    ),
-                    code: Some(protocol::ErrorCode::DeadlineExceeded),
-                })
-            } else {
-                execute_line(backend, &job.line)
-            };
+            // (or will), and running them anyway only delays every
+            // request behind them. Every shed frame still gets its error
+            // response — one answer per request, pipelined order intact.
+            let shed = deadline.is_some_and(|d| waited > d);
             let mut bytes = Vec::new();
-            if let Some(response) = response {
-                bytes = response.to_json().into_bytes();
-                bytes.push(b'\n');
+            for frame in &job.frames {
+                let binary = matches!(frame, WireFrame::Binary(_));
+                if shed {
+                    metrics.deadline_shed.incr();
+                    bytes.extend_from_slice(&encode_response(
+                        &Response::Error {
+                            message: format!(
+                                "request waited {}ms in the executor queue, past the {}ms deadline",
+                                waited.as_millis(),
+                                deadline.unwrap_or_default().as_millis(),
+                            ),
+                            code: Some(protocol::ErrorCode::DeadlineExceeded),
+                        },
+                        binary,
+                    ));
+                    continue;
+                }
+                match frame {
+                    WireFrame::Line(line) => {
+                        if let Some(response) = execute_line(backend, line) {
+                            bytes.extend_from_slice(&encode_response(&response, false));
+                        }
+                    }
+                    WireFrame::Binary(payload) => {
+                        bytes.extend_from_slice(&encode_response(
+                            &execute_binary(backend, payload),
+                            true,
+                        ));
+                    }
+                }
             }
             mailboxes[job.reactor].send(Msg::Complete {
                 conn: job.conn,
@@ -1078,6 +1223,8 @@ mod reactor_server {
         /// through the `fc_connections_open` gauge itself: the gauge is
         /// the process-wide count, so the cap needs no second counter.
         max_connections: usize,
+        /// Whether connections may `hello`-upgrade to the binary wire.
+        binary_wire: bool,
         metrics: ServeMetrics,
     }
 
@@ -1275,10 +1422,11 @@ mod reactor_server {
         }
 
         /// Runs one connection's state machine: extract frames, dispatch
-        /// at most one request to the executors, flush writes, close when
-        /// finished, and re-arm epoll interest.
+        /// at most one batch of requests to the executors, flush writes,
+        /// close when finished, and re-arm epoll interest.
         fn pump(&mut self, token: u64) {
             let draining = self.draining;
+            let binary_wire = self.binary_wire;
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
@@ -1286,17 +1434,42 @@ mod reactor_server {
             // Reading → pending: pull complete frames out of the codec.
             // This runs even after EOF — a client that writes its request
             // and immediately half-closes must still get its answers for
-            // every complete frame it sent.
+            // every complete frame it sent. A `hello` upgrade is applied
+            // *here*, not at dispatch: the codec must flip to binary
+            // before it scans the next buffered byte, or pipelined binary
+            // frames behind the hello would be misparsed as lines.
             while conn.can_queue() && !conn.codec.is_poisoned() {
                 match conn.codec.next_frame() {
-                    Ok(Some(line)) => conn.push_pending(PendingFrame::Line(line)),
+                    Ok(Some(frame)) => {
+                        if binary_wire {
+                            if let WireFrame::Line(line) = &frame {
+                                if let Some(proto) = hello_proto(line) {
+                                    if proto == protocol::BINARY_PROTO {
+                                        conn.push_pending(PendingFrame::Reply(encode_response(
+                                            &Response::Hello { proto },
+                                            false,
+                                        )));
+                                        conn.codec.upgrade_to_binary();
+                                        continue;
+                                    }
+                                }
+                            }
+                        }
+                        conn.push_pending(PendingFrame::Frame(frame));
+                    }
                     Ok(None) => break,
                     Err(e) if e.is_fatal() => {
-                        conn.push_pending(PendingFrame::Fatal(e));
+                        conn.push_pending(PendingFrame::FatalReply(encode_response(
+                            &framing_error_response(&e),
+                            conn.codec.is_binary(),
+                        )));
                         conn.read_closed = true;
                         break;
                     }
-                    Err(e) => conn.push_pending(PendingFrame::Recoverable(e)),
+                    Err(e) => conn.push_pending(PendingFrame::Reply(encode_response(
+                        &framing_error_response(&e),
+                        conn.codec.is_binary(),
+                    ))),
                 }
             }
             // EOF terminates a final, newline-less request too (finish()
@@ -1304,21 +1477,47 @@ mod reactor_server {
             if conn.read_closed && !conn.codec.is_poisoned() && conn.can_queue() {
                 match conn.codec.finish() {
                     Ok(None) => {}
-                    Ok(Some(line)) => conn.push_pending(PendingFrame::Line(line)),
-                    Err(e) if e.is_fatal() => conn.push_pending(PendingFrame::Fatal(e)),
-                    Err(e) => conn.push_pending(PendingFrame::Recoverable(e)),
+                    Ok(Some(frame)) => conn.push_pending(PendingFrame::Frame(frame)),
+                    Err(e) if e.is_fatal() => {
+                        conn.push_pending(PendingFrame::FatalReply(encode_response(
+                            &framing_error_response(&e),
+                            conn.codec.is_binary(),
+                        )));
+                    }
+                    Err(e) => conn.push_pending(PendingFrame::Reply(encode_response(
+                        &framing_error_response(&e),
+                        conn.codec.is_binary(),
+                    ))),
                 }
             }
 
-            // Pending → executing: one request in flight per connection,
-            // responses strictly in request order. Framing errors are
-            // answered inline, in their pipelined position. A drain stops
-            // dispatching new work but lets the in-flight request finish.
+            // Pending → executing: one *job* in flight per connection,
+            // responses strictly in request order. A run of consecutively
+            // queued request frames dispatches as a single batch, so a
+            // pipelining client pays the executor round trip once per run
+            // instead of once per request. Locally answered replies
+            // (framing errors, hello acks) flush inline, in their
+            // pipelined position — they were encoded against the wire
+            // state at extraction time, so they bound a batch. A drain
+            // stops dispatching new work but lets the in-flight job
+            // finish.
             while !conn.inflight && !draining {
                 match conn.pop_pending() {
                     None => break,
-                    Some(PendingFrame::Line(line)) => {
-                        if line.trim().is_empty() {
+                    Some(PendingFrame::Frame(frame)) => {
+                        let mut frames = Vec::new();
+                        if !blank_line(&frame) {
+                            frames.push(frame);
+                        }
+                        while matches!(conn.pending.front(), Some(PendingFrame::Frame(_))) {
+                            let Some(PendingFrame::Frame(frame)) = conn.pop_pending() else {
+                                unreachable!("front was a request frame");
+                            };
+                            if !blank_line(&frame) {
+                                frames.push(frame);
+                            }
+                        }
+                        if frames.is_empty() {
                             continue; // blank lines are skipped silently
                         }
                         conn.inflight = true;
@@ -1327,7 +1526,7 @@ mod reactor_server {
                             .send(Job {
                                 reactor: self.idx,
                                 conn: token,
-                                line,
+                                frames,
                                 enqueued: Instant::now(),
                             })
                             .is_err()
@@ -1338,11 +1537,11 @@ mod reactor_server {
                             return;
                         }
                     }
-                    Some(PendingFrame::Recoverable(e)) => {
-                        conn.queue_response(&framing_error_response(&e));
+                    Some(PendingFrame::Reply(bytes)) => {
+                        conn.write_buf.extend_from_slice(&bytes);
                     }
-                    Some(PendingFrame::Fatal(e)) => {
-                        conn.queue_response(&framing_error_response(&e));
+                    Some(PendingFrame::FatalReply(bytes)) => {
+                        conn.write_buf.extend_from_slice(&bytes);
                         conn.close_after_flush = true;
                         conn.clear_pending();
                     }
@@ -1458,8 +1657,12 @@ mod tests {
             &engine,
             Request::Ingest {
                 dataset: "d".into(),
-                points: (0..50).map(|i| vec![i as f64, 0.0]).collect(),
-                weights: None,
+                block: fc_core::PointBlock::new(
+                    (0..50).flat_map(|i| [i as f64, 0.0]).collect(),
+                    2,
+                    None,
+                )
+                .unwrap(),
                 plan: None,
             },
         );

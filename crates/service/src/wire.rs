@@ -1,0 +1,708 @@
+//! The `bin1` binary wire format: opcode-tagged payloads inside
+//! length-prefixed frames.
+//!
+//! A connection negotiates this format with a JSON
+//! `{"op":"hello","proto":"bin1"}` line (see [`crate::protocol`]); after
+//! the server's JSON acknowledgement, every frame in both directions is
+//! `[u32 LE payload length][payload]` ([`crate::framing::BinaryCodec`])
+//! with the payload laid out as:
+//!
+//! ```text
+//! [opcode u8][flags u8][if flags&1: trace str][body...]
+//! ```
+//!
+//! where `str` is `[u32 LE byte length][UTF-8 bytes]` and every number is
+//! little-endian. The hot operations — `ingest` and `cost` requests, and
+//! the numeric responses — get dedicated opcodes whose point payloads are
+//! contiguous `f64` runs with `dim`/`count` headers, decoded straight
+//! into flat buffers ([`fc_core::PointBlock`]) with no per-point
+//! allocation and no text parsing. Everything else ships as opcode `0x00`
+//! / `0x80`: the operation's JSON line embedded as the body, which keeps
+//! the two formats trivially value-identical for the long tail (`stats`,
+//! `metrics`, plans, ...).
+//!
+//! | opcode | direction | body |
+//! |--------|-----------|------|
+//! | `0x00` | request   | JSON request line (UTF-8) |
+//! | `0x01` | request   | ingest: `dataset str, has_weights u8, has_plan u8, [plan str,] dim u32, count u32, count*dim f64, [count f64]` |
+//! | `0x02` | request   | cost: `dataset str, kind u8, dim u32, count u32, count*dim f64` |
+//! | `0x80` | response  | JSON response line (UTF-8) |
+//! | `0x81` | response  | ingested: `dataset str, points u64, total_points u64, total_weight f64` |
+//! | `0x82` | response  | coreset: `dataset str, method str, seed u64, dim u32, count u32, count*dim f64, count f64` |
+//! | `0x83` | response  | cost: `dataset str, kind u8, cost f64, coreset_points u64` |
+//! | `0x84` | response  | clustered: `dataset str, kind u8, solver str, coreset_cost f64, coreset_points u64, seed u64, dim u32, count u32, count*dim f64` |
+//! | `0x85` | response  | error: `message str, has_code u8, [code str]` |
+//!
+//! `kind` bytes encode the objective: `0` absent, `1` k-means,
+//! `2` k-median.
+
+use fc_clustering::CostKind;
+use fc_core::plan::Plan;
+use fc_core::PointBlock;
+
+use crate::protocol::{ErrorCode, ProtocolError, Request, Response};
+
+const OP_REQ_JSON: u8 = 0x00;
+const OP_REQ_INGEST: u8 = 0x01;
+const OP_REQ_COST: u8 = 0x02;
+const OP_RESP_JSON: u8 = 0x80;
+const OP_RESP_INGESTED: u8 = 0x81;
+const OP_RESP_CORESET: u8 = 0x82;
+const OP_RESP_COST: u8 = 0x83;
+const OP_RESP_CLUSTERED: u8 = 0x84;
+const OP_RESP_ERROR: u8 = 0x85;
+
+const FLAG_TRACE: u8 = 0x01;
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, x: f64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    out.reserve(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_rows(out: &mut Vec<u8>, rows: &[Vec<f64>]) {
+    let dim = rows.first().map_or(0, Vec::len);
+    put_u32(out, dim as u32);
+    put_u32(out, rows.len() as u32);
+    out.reserve(rows.len() * dim * 8);
+    for row in rows {
+        put_f64s(out, row);
+    }
+}
+
+fn kind_byte(kind: Option<CostKind>) -> u8 {
+    match kind {
+        None => 0,
+        Some(CostKind::KMeans) => 1,
+        Some(CostKind::KMedian) => 2,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<Option<CostKind>, ProtocolError> {
+    match b {
+        0 => Ok(None),
+        1 => Ok(Some(CostKind::KMeans)),
+        2 => Ok(Some(CostKind::KMedian)),
+        other => Err(ProtocolError::new(format!(
+            "invalid objective byte {other}"
+        ))),
+    }
+}
+
+/// Wraps an encoded payload in its `[u32 LE length]` frame header.
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Encodes a request as one complete binary frame (length prefix
+/// included), ready to write to the transport.
+pub fn request_frame(request: &Request, trace: Option<&str>) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64);
+    match request {
+        Request::Ingest {
+            dataset,
+            block,
+            plan,
+        } => {
+            p.push(OP_REQ_INGEST);
+            push_flags_and_trace(&mut p, trace);
+            put_str(&mut p, dataset);
+            p.push(u8::from(block.weights().is_some()));
+            match plan {
+                None => p.push(0),
+                Some(plan) => {
+                    p.push(1);
+                    put_str(&mut p, &plan.to_json());
+                }
+            }
+            put_u32(&mut p, block.dim() as u32);
+            put_u32(&mut p, block.len() as u32);
+            put_f64s(&mut p, block.data());
+            if let Some(w) = block.weights() {
+                put_f64s(&mut p, w);
+            }
+        }
+        Request::Cost {
+            dataset,
+            centers,
+            kind,
+        } => {
+            p.push(OP_REQ_COST);
+            push_flags_and_trace(&mut p, trace);
+            put_str(&mut p, dataset);
+            p.push(kind_byte(*kind));
+            put_rows(&mut p, centers);
+        }
+        other => {
+            // The long tail rides as its own JSON line inside the binary
+            // frame — the trace travels in the JSON, as on the text wire.
+            p.push(OP_REQ_JSON);
+            p.push(0);
+            p.extend_from_slice(other.to_json_with_trace(trace).as_bytes());
+        }
+    }
+    frame(p)
+}
+
+/// Encodes a response as one complete binary frame (length prefix
+/// included), ready to write to the transport.
+pub fn response_frame(response: &Response) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64);
+    match response {
+        Response::Ingested {
+            dataset,
+            points,
+            total_points,
+            total_weight,
+        } => {
+            p.push(OP_RESP_INGESTED);
+            p.push(0);
+            put_str(&mut p, dataset);
+            put_u64(&mut p, *points as u64);
+            put_u64(&mut p, *total_points);
+            put_f64(&mut p, *total_weight);
+        }
+        Response::Coreset {
+            dataset,
+            points,
+            weights,
+            method,
+            seed,
+        } => {
+            p.push(OP_RESP_CORESET);
+            p.push(0);
+            put_str(&mut p, dataset);
+            put_str(&mut p, &method.to_string());
+            put_u64(&mut p, *seed);
+            put_rows(&mut p, points);
+            put_f64s(&mut p, weights);
+        }
+        Response::Cost {
+            dataset,
+            cost,
+            kind,
+            coreset_points,
+        } => {
+            p.push(OP_RESP_COST);
+            p.push(0);
+            put_str(&mut p, dataset);
+            p.push(kind_byte(Some(*kind)));
+            put_f64(&mut p, *cost);
+            put_u64(&mut p, *coreset_points as u64);
+        }
+        Response::Clustered {
+            dataset,
+            centers,
+            kind,
+            solver,
+            coreset_cost,
+            coreset_points,
+            seed,
+        } => {
+            p.push(OP_RESP_CLUSTERED);
+            p.push(0);
+            put_str(&mut p, dataset);
+            p.push(kind_byte(Some(*kind)));
+            put_str(&mut p, &solver.to_string());
+            put_f64(&mut p, *coreset_cost);
+            put_u64(&mut p, *coreset_points as u64);
+            put_u64(&mut p, *seed);
+            put_rows(&mut p, centers);
+        }
+        Response::Error { message, code } => {
+            p.push(OP_RESP_ERROR);
+            p.push(0);
+            put_str(&mut p, message);
+            match code {
+                None => p.push(0),
+                Some(code) => {
+                    p.push(1);
+                    put_str(&mut p, code.name());
+                }
+            }
+        }
+        other => {
+            p.push(OP_RESP_JSON);
+            p.push(0);
+            p.extend_from_slice(other.to_json().as_bytes());
+        }
+    }
+    frame(p)
+}
+
+fn push_flags_and_trace(p: &mut Vec<u8>, trace: Option<&str>) {
+    match trace {
+        None => p.push(0),
+        Some(id) => {
+            p.push(FLAG_TRACE);
+            put_str(p, id);
+        }
+    }
+}
+
+/// A bounds-checked reader over one frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ProtocolError::new("binary frame ends mid-field"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| ProtocolError::new("binary frame string is not valid UTF-8"))
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, ProtocolError> {
+        let bytes = self.take(
+            n.checked_mul(8)
+                .ok_or_else(|| ProtocolError::new("binary frame float run overflows"))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// `dim`/`count` header plus the coordinate run, as nested rows.
+    fn rows(&mut self, what: &str) -> Result<Vec<Vec<f64>>, ProtocolError> {
+        let dim = self.u32()? as usize;
+        let count = self.u32()? as usize;
+        if dim == 0 || count == 0 {
+            return Err(ProtocolError::new(format!("`{what}` must be non-empty")));
+        }
+        let flat = self.f64s(
+            count
+                .checked_mul(dim)
+                .ok_or_else(|| ProtocolError::new(format!("`{what}` size overflows")))?,
+        )?;
+        if !flat.iter().all(|x| x.is_finite()) {
+            return Err(ProtocolError::new(format!(
+                "`{what}` holds a non-finite coordinate"
+            )));
+        }
+        Ok(flat.chunks_exact(dim).map(<[f64]>::to_vec).collect())
+    }
+
+    fn done(&self) -> Result<(), ProtocolError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::new(format!(
+                "binary frame has {} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Decodes one binary request payload (the frame's length prefix already
+/// stripped by the codec), returning the request and its optional trace.
+pub fn decode_request(payload: &[u8]) -> Result<(Request, Option<String>), ProtocolError> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    if op == OP_REQ_JSON {
+        let _flags = c.u8()?;
+        let line = std::str::from_utf8(&payload[c.pos..])
+            .map_err(|_| ProtocolError::new("embedded JSON request is not valid UTF-8"))?;
+        return Request::from_json_with_trace(line);
+    }
+    let flags = c.u8()?;
+    let trace = if flags & FLAG_TRACE != 0 {
+        Some(c.str()?)
+    } else {
+        None
+    };
+    let request = match op {
+        OP_REQ_INGEST => {
+            let dataset = c.str()?;
+            let has_weights = c.u8()? != 0;
+            let plan = if c.u8()? != 0 {
+                let json = c.str()?;
+                Some(
+                    Plan::from_json(&json)
+                        .map_err(|e| ProtocolError::new(format!("invalid `plan`: {e}")))?,
+                )
+            } else {
+                None
+            };
+            let dim = c.u32()? as usize;
+            let count = c.u32()? as usize;
+            if dim == 0 || count == 0 {
+                return Err(ProtocolError::new("`points` must be non-empty"));
+            }
+            let data = c.f64s(
+                count
+                    .checked_mul(dim)
+                    .ok_or_else(|| ProtocolError::new("`points` size overflows"))?,
+            )?;
+            let weights = if has_weights {
+                Some(c.f64s(count)?)
+            } else {
+                None
+            };
+            c.done()?;
+            let block = PointBlock::new(data, dim, weights)
+                .map_err(|e| ProtocolError::new(format!("invalid `points`: {e}")))?;
+            Request::Ingest {
+                dataset,
+                block,
+                plan,
+            }
+        }
+        OP_REQ_COST => {
+            let dataset = c.str()?;
+            let kind = kind_from_byte(c.u8()?)?;
+            let centers = c.rows("centers")?;
+            c.done()?;
+            Request::Cost {
+                dataset,
+                centers,
+                kind,
+            }
+        }
+        other => {
+            return Err(ProtocolError::new(format!(
+                "unknown binary request opcode 0x{other:02x}"
+            )))
+        }
+    };
+    Ok((request, trace))
+}
+
+/// Decodes one binary response payload (length prefix already stripped).
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    if op == OP_RESP_JSON {
+        let _flags = c.u8()?;
+        let line = std::str::from_utf8(&payload[c.pos..])
+            .map_err(|_| ProtocolError::new("embedded JSON response is not valid UTF-8"))?;
+        return Response::from_json(line);
+    }
+    let _flags = c.u8()?;
+    let response = match op {
+        OP_RESP_INGESTED => {
+            let dataset = c.str()?;
+            let points = c.u64()? as usize;
+            let total_points = c.u64()?;
+            let total_weight = c.f64()?;
+            c.done()?;
+            Response::Ingested {
+                dataset,
+                points,
+                total_points,
+                total_weight,
+            }
+        }
+        OP_RESP_CORESET => {
+            let dataset = c.str()?;
+            let method = c
+                .str()?
+                .parse()
+                .map_err(|e| ProtocolError::new(format!("invalid `method`: {e}")))?;
+            let seed = c.u64()?;
+            let points = c.rows("points")?;
+            let weights = c.f64s(points.len())?;
+            c.done()?;
+            Response::Coreset {
+                dataset,
+                points,
+                weights,
+                method,
+                seed,
+            }
+        }
+        OP_RESP_COST => {
+            let dataset = c.str()?;
+            let kind = kind_from_byte(c.u8()?)?
+                .ok_or_else(|| ProtocolError::new("cost response missing objective"))?;
+            let cost = c.f64()?;
+            let coreset_points = c.u64()? as usize;
+            c.done()?;
+            Response::Cost {
+                dataset,
+                cost,
+                kind,
+                coreset_points,
+            }
+        }
+        OP_RESP_CLUSTERED => {
+            let dataset = c.str()?;
+            let kind = kind_from_byte(c.u8()?)?
+                .ok_or_else(|| ProtocolError::new("clustered response missing objective"))?;
+            let solver = c
+                .str()?
+                .parse()
+                .map_err(|e| ProtocolError::new(format!("invalid `solver`: {e}")))?;
+            let coreset_cost = c.f64()?;
+            let coreset_points = c.u64()? as usize;
+            let seed = c.u64()?;
+            let centers = c.rows("centers")?;
+            c.done()?;
+            Response::Clustered {
+                dataset,
+                centers,
+                kind,
+                solver,
+                coreset_cost,
+                coreset_points,
+                seed,
+            }
+        }
+        OP_RESP_ERROR => {
+            let message = c.str()?;
+            let code = if c.u8()? != 0 {
+                // Unknown codes decode as None, exactly like the JSON
+                // decoder: old clients must survive new server classes.
+                ErrorCode::from_name(&c.str()?)
+            } else {
+                None
+            };
+            c.done()?;
+            Response::Error { message, code }
+        }
+        other => {
+            return Err(ProtocolError::new(format!(
+                "unknown binary response opcode 0x{other:02x}"
+            )))
+        }
+    };
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_clustering::Solver;
+    use fc_core::plan::Method;
+
+    fn strip(frame: Vec<u8>) -> Vec<u8> {
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(frame.len(), 4 + len, "frame length prefix must match");
+        frame[4..].to_vec()
+    }
+
+    fn round_trip_request(req: Request, trace: Option<&str>) {
+        let payload = strip(request_frame(&req, trace));
+        let (decoded, got_trace) = decode_request(&payload).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(got_trace.as_deref(), trace);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let payload = strip(response_frame(&resp));
+        assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn hot_requests_round_trip() {
+        round_trip_request(
+            Request::Ingest {
+                dataset: "d".into(),
+                block: PointBlock::new(vec![0.0, 1.5, -2.25, 3.0], 2, Some(vec![1.0, 2.5]))
+                    .unwrap(),
+                plan: None,
+            },
+            Some("trace-1"),
+        );
+        round_trip_request(
+            Request::Ingest {
+                dataset: "d".into(),
+                block: PointBlock::new(vec![0.5], 1, None).unwrap(),
+                plan: Some(
+                    fc_core::plan::PlanBuilder::new(3)
+                        .m_scalar(15)
+                        .build()
+                        .unwrap(),
+                ),
+            },
+            None,
+        );
+        round_trip_request(
+            Request::Cost {
+                dataset: "d".into(),
+                centers: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+                kind: Some(CostKind::KMedian),
+            },
+            Some("t"),
+        );
+        round_trip_request(
+            Request::Cost {
+                dataset: "d".into(),
+                centers: vec![vec![1.0]],
+                kind: None,
+            },
+            None,
+        );
+    }
+
+    #[test]
+    fn tail_requests_ride_embedded_json() {
+        for req in [
+            Request::Hello {
+                proto: "bin1".into(),
+            },
+            Request::Compress {
+                dataset: "d".into(),
+                method: Some(Method::FastCoreset),
+                seed: Some(7),
+            },
+            Request::Cluster {
+                dataset: "d".into(),
+                k: Some(3),
+                kind: Some(CostKind::KMeans),
+                solver: Some(Solver::Hamerly),
+                seed: None,
+            },
+            Request::Stats { dataset: None },
+            Request::Metrics,
+            Request::DropDataset {
+                dataset: "d".into(),
+            },
+        ] {
+            round_trip_request(req.clone(), None);
+            round_trip_request(req, Some("tr"));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Ingested {
+            dataset: "d".into(),
+            points: 128,
+            total_points: 1 << 40,
+            total_weight: 1099511627776.5,
+        });
+        round_trip_response(Response::Coreset {
+            dataset: "d".into(),
+            points: vec![vec![0.125, -4.0], vec![1.0, 2.0]],
+            weights: vec![17.25, 0.5],
+            method: Method::FastCoreset,
+            seed: 3,
+        });
+        round_trip_response(Response::Cost {
+            dataset: "d".into(),
+            cost: 0.0625,
+            kind: CostKind::KMedian,
+            coreset_points: 10,
+        });
+        round_trip_response(Response::Clustered {
+            dataset: "d".into(),
+            centers: vec![vec![1.0], vec![2.0]],
+            kind: CostKind::KMeans,
+            solver: Solver::Hamerly,
+            coreset_cost: 12.5,
+            coreset_points: 200,
+            seed: 8,
+        });
+        round_trip_response(Response::Error {
+            message: "overloaded".into(),
+            code: Some(ErrorCode::Overloaded),
+        });
+        round_trip_response(Response::Error {
+            message: "plain".into(),
+            code: None,
+        });
+        round_trip_response(Response::Hello {
+            proto: "bin1".into(),
+        });
+        round_trip_response(Response::Dropped {
+            dataset: "d".into(),
+        });
+    }
+
+    #[test]
+    fn garbage_payloads_decode_as_errors_not_panics() {
+        for payload in [
+            &[][..],
+            &[0x01],
+            &[0x7F, 0],
+            &[0x01, 0xFF],
+            &[0x01, 0, 0xFF, 0xFF, 0xFF, 0xFF],
+            &[0x81, 0, 1, 0, 0, 0, b'd'],
+            &[0xFF, 0, 1, 2, 3],
+        ] {
+            assert!(decode_request(payload).is_err(), "{payload:?}");
+            assert!(decode_response(payload).is_err(), "{payload:?}");
+        }
+        // Non-finite floats are rejected at decode, like JSON.
+        let mut p = vec![OP_REQ_INGEST, 0];
+        put_str(&mut p, "d");
+        p.push(0);
+        p.push(0);
+        put_u32(&mut p, 1);
+        put_u32(&mut p, 1);
+        put_f64(&mut p, f64::NAN);
+        let err = decode_request(&p).unwrap_err();
+        assert!(err.message.contains("invalid `points`"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = strip(request_frame(
+            &Request::Cost {
+                dataset: "d".into(),
+                centers: vec![vec![1.0]],
+                kind: None,
+            },
+            None,
+        ));
+        payload.push(0);
+        assert!(decode_request(&payload).is_err());
+    }
+}

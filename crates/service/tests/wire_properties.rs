@@ -1,0 +1,275 @@
+//! Property-based fuzz of the `bin1` binary wire: the [`BinaryCodec`]
+//! reassembles frames under arbitrary transport chunking exactly like
+//! [`LineCodec`] does for JSON lines (`framing_properties.rs`), and every
+//! protocol operation round-trips through the binary codec and the JSON
+//! codec to the *same* request/response — the two wire formats cannot
+//! drift apart.
+
+use fc_clustering::{CostKind, Solver};
+use fc_core::plan::PlanBuilder;
+use fc_core::PointBlock;
+use fc_service::framing::{BinaryCodec, FrameError};
+use fc_service::protocol::{ErrorCode, Request, Response};
+use fc_service::wire;
+use proptest::prelude::*;
+
+/// Floats that survive JSON text round-trips bit-exactly (small dyadic
+/// rationals), so binary/JSON parity can assert strict equality.
+fn nice_float() -> impl Strategy<Value = f64> {
+    (-4000i32..4000).prop_map(|v| f64::from(v) * 0.25)
+}
+
+/// Short lowercase-alphanumeric identifiers (dataset names, protocol
+/// names, trace ids).
+fn ident() -> impl Strategy<Value = String> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+    prop::collection::vec(0usize..ALPHABET.len(), 1..13)
+        .prop_map(|picks| picks.iter().map(|&i| char::from(ALPHABET[i])).collect())
+}
+
+fn dataset_name() -> impl Strategy<Value = String> {
+    ident()
+}
+
+fn trace_id() -> impl Strategy<Value = Option<String>> {
+    prop::option::of(ident())
+}
+
+/// Printable-ASCII message text (the error-message payload alphabet).
+fn message() -> impl Strategy<Value = String> {
+    prop::collection::vec(32u8..127, 0..40)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII is UTF-8"))
+}
+
+/// A valid point block: `rows x dim` coordinates, optional weights.
+fn point_block() -> impl Strategy<Value = PointBlock> {
+    (1usize..5, 1usize..17)
+        .prop_flat_map(|(dim, rows)| {
+            (
+                prop::collection::vec(nice_float(), dim * rows),
+                prop::option::of(prop::collection::vec(
+                    (1i32..100).prop_map(|w| f64::from(w) * 0.5),
+                    rows,
+                )),
+                Just(dim),
+            )
+        })
+        .prop_map(|(data, weights, dim)| {
+            PointBlock::new(data, dim, weights).expect("strategy builds valid blocks")
+        })
+}
+
+fn centers() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..4, 1usize..5).prop_flat_map(|(dim, k)| {
+        prop::collection::vec(prop::collection::vec(nice_float(), dim), k)
+    })
+}
+
+fn cost_kind() -> impl Strategy<Value = Option<CostKind>> {
+    prop::option::of(prop_oneof![Just(CostKind::KMeans), Just(CostKind::KMedian)])
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        ident().prop_map(|proto| Request::Hello { proto }),
+        (dataset_name(), point_block(), any::<bool>()).prop_map(|(dataset, block, with_plan)| {
+            Request::Ingest {
+                dataset,
+                block,
+                plan: with_plan.then(|| PlanBuilder::new(3).build().expect("valid plan")),
+            }
+        }),
+        (dataset_name(), prop::option::of(0u64..1000)).prop_map(|(dataset, seed)| {
+            Request::Compress {
+                dataset,
+                method: None,
+                seed,
+            }
+        }),
+        (
+            dataset_name(),
+            prop::option::of(1usize..9),
+            cost_kind(),
+            prop::option::of(Just(Solver::Lloyd)),
+            prop::option::of(0u64..1000),
+        )
+            .prop_map(|(dataset, k, kind, solver, seed)| Request::Cluster {
+                dataset,
+                k,
+                kind,
+                solver,
+                seed,
+            }),
+        (dataset_name(), centers(), cost_kind()).prop_map(|(dataset, centers, kind)| {
+            Request::Cost {
+                dataset,
+                centers,
+                kind,
+            }
+        }),
+        prop::option::of(dataset_name()).prop_map(|dataset| Request::Stats { dataset }),
+        Just(Request::Metrics),
+        dataset_name().prop_map(|dataset| Request::DropDataset { dataset }),
+    ]
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        ident().prop_map(|proto| Response::Hello { proto }),
+        (dataset_name(), 0usize..500, 0u64..100_000, nice_float()).prop_map(
+            |(dataset, points, total_points, total_weight)| Response::Ingested {
+                dataset,
+                points,
+                total_points,
+                total_weight,
+            }
+        ),
+        (dataset_name(), nice_float(), 0usize..500).prop_map(|(dataset, cost, coreset_points)| {
+            Response::Cost {
+                dataset,
+                cost,
+                kind: CostKind::KMeans,
+                coreset_points,
+            }
+        }),
+        (
+            dataset_name(),
+            centers(),
+            nice_float(),
+            0usize..500,
+            0u64..1000
+        )
+            .prop_map(|(dataset, centers, coreset_cost, coreset_points, seed)| {
+                Response::Clustered {
+                    dataset,
+                    centers,
+                    kind: CostKind::KMedian,
+                    solver: Solver::Lloyd,
+                    coreset_cost,
+                    coreset_points,
+                    seed,
+                }
+            }),
+        dataset_name().prop_map(|dataset| Response::Dropped { dataset }),
+        (message(), prop::option::of(Just(ErrorCode::Overloaded)))
+            .prop_map(|(message, code)| Response::Error { message, code }),
+    ]
+}
+
+/// Extracts one frame's payload through the codec (prefix verified).
+fn payload_of(frame: &[u8]) -> Vec<u8> {
+    let mut codec = BinaryCodec::new(64 * 1024 * 1024);
+    codec.push(frame);
+    let payload = codec
+        .next_frame()
+        .expect("well-formed frame")
+        .expect("complete frame");
+    assert_eq!(codec.buffered(), 0, "frame fully consumed");
+    payload
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary frames split at arbitrary byte boundaries reassemble
+    /// exactly — the `bin1` analogue of the LineCodec chunking property.
+    #[test]
+    fn binary_frames_survive_arbitrary_chunking(
+        payloads in prop::collection::vec(prop::collection::vec(0u8..=255, 0..96), 1..12),
+        cuts in prop::collection::vec(1usize..23, 1..32),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&u32::try_from(p.len()).unwrap().to_le_bytes());
+            stream.extend_from_slice(p);
+        }
+        let mut codec = BinaryCodec::new(4096);
+        let mut got = Vec::new();
+        let mut offset = 0;
+        let mut cut = 0;
+        while offset < stream.len() {
+            let take = cuts[cut % cuts.len()].min(stream.len() - offset);
+            cut += 1;
+            codec.push(&stream[offset..offset + take]);
+            offset += take;
+            while let Ok(Some(frame)) = codec.next_frame() {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(&got, &payloads);
+        prop_assert_eq!(codec.buffered(), 0);
+    }
+
+    /// Every request decodes identically from its binary frame and its
+    /// JSON line — including the trace id riding along.
+    #[test]
+    fn requests_round_trip_binary_and_json_identically(
+        request in request(),
+        trace in trace_id(),
+    ) {
+        let frame = wire::request_frame(&request, trace.as_deref());
+        let (from_binary, binary_trace) =
+            wire::decode_request(&payload_of(&frame)).expect("binary frame decodes");
+        prop_assert_eq!(&from_binary, &request);
+        prop_assert_eq!(&binary_trace, &trace);
+
+        let line = request.to_json_with_trace(trace.as_deref());
+        let (from_json, json_trace) =
+            Request::from_json_with_trace(&line).expect("json line decodes");
+        prop_assert_eq!(&from_json, &request);
+        prop_assert_eq!(&json_trace, &trace);
+    }
+
+    /// Every response decodes identically from its binary frame and its
+    /// JSON line.
+    #[test]
+    fn responses_round_trip_binary_and_json_identically(response in response()) {
+        let frame = wire::response_frame(&response);
+        let from_binary =
+            wire::decode_response(&payload_of(&frame)).expect("binary frame decodes");
+        prop_assert_eq!(&from_binary, &response);
+
+        let from_json = Response::from_json(&response.to_json()).expect("json line decodes");
+        prop_assert_eq!(&from_json, &response);
+    }
+
+    /// A length prefix past the frame cap is rejected the moment it is
+    /// read — before any payload arrives — and poisons the codec.
+    #[test]
+    fn oversized_binary_frames_are_fatal(
+        limit in 8usize..4096,
+        overshoot in 1u32..1024,
+    ) {
+        let mut codec = BinaryCodec::new(limit);
+        let len = u32::try_from(limit).unwrap() + overshoot;
+        codec.push(&len.to_le_bytes());
+        match codec.next_frame() {
+            Err(e @ FrameError::Oversized { .. }) => prop_assert!(e.is_fatal()),
+            other => return Err(TestCaseError::fail(format!("expected Oversized, got {other:?}"))),
+        }
+        prop_assert!(codec.is_poisoned());
+        // No resynchronization: the codec stays dead.
+        codec.push(&4u32.to_le_bytes());
+        codec.push(b"ok!!");
+        prop_assert!(codec.next_frame().is_err());
+    }
+
+    /// A torn frame (length prefix promising more than ever arrives)
+    /// stays pending — and EOF turns it into a fatal truncation, never a
+    /// silent partial frame.
+    #[test]
+    fn torn_binary_frames_truncate_at_eof(
+        payload in prop::collection::vec(0u8..=255, 1..64),
+        keep in 0usize..64,
+    ) {
+        let keep = keep.min(payload.len() - 1);
+        let mut codec = BinaryCodec::new(4096);
+        codec.push(&u32::try_from(payload.len()).unwrap().to_le_bytes());
+        codec.push(&payload[..keep]);
+        prop_assert_eq!(codec.next_frame(), Ok(None));
+        match codec.finish() {
+            Err(e @ FrameError::Truncated) => prop_assert!(e.is_fatal()),
+            other => return Err(TestCaseError::fail(format!("expected Truncated, got {other:?}"))),
+        }
+    }
+}

@@ -91,6 +91,36 @@ pub const DEFAULT_LATENCY_EDGES_US: &[u64] = &[
     1_000_000, 2_500_000, 5_000_000, 10_000_000,
 ];
 
+/// Bucket edges for acknowledge-style ops (ingest): most of the mass is
+/// sub-millisecond, so the ladder starts at 5µs — the default ladder
+/// would dump the whole profile into its first two buckets.
+pub const FAST_OP_EDGES_US: &[u64] = &[
+    5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    1_000_000,
+];
+
+/// Bucket edges for solve-heavy ops (coreset/cluster/cost): large solves
+/// routinely run for seconds, so the ladder extends to two minutes
+/// instead of saturating the default 10s top bucket.
+pub const SOLVE_OP_EDGES_US: &[u64] = &[
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    30_000_000,
+    60_000_000,
+    120_000_000,
+];
+
 #[derive(Debug)]
 struct HistogramCells {
     /// Upper bucket edges in microseconds, strictly increasing.
@@ -256,6 +286,23 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut map = self.histograms.lock().expect("histogram map poisoned");
         map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Fetches (or creates) the histogram named `name` with custom upper
+    /// bucket edges (microseconds, strictly increasing). An op whose
+    /// latency profile sits far from the default ladder — sub-millisecond
+    /// ingest acks, multi-second solves — gets resolution where its mass
+    /// actually lands instead of saturating one default bucket.
+    ///
+    /// The edges apply only when this call *creates* the histogram; a
+    /// histogram that already exists under `name` is returned as-is
+    /// (recorded samples cannot be re-bucketed), so register custom-edge
+    /// histograms before the first generic `histogram(name)` lookup.
+    pub fn histogram_with_edges(&self, name: &str, edges: &[u64]) -> Histogram {
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        map.entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(edges))
+            .clone()
     }
 
     /// Serializes every metric to the JSON form the `metrics` wire
@@ -624,6 +671,19 @@ mod tests {
         // rank(0.99) = 5 → overflow bucket, clamped to the observed max.
         assert_eq!(h.quantile_us(0.99), Some(20_000));
         assert_eq!(Histogram::default().quantile_us(0.5), None);
+    }
+
+    #[test]
+    fn custom_edge_histograms_register_once() {
+        let registry = Registry::new();
+        let h = registry.histogram_with_edges("fc_fine", &[10, 20]);
+        h.observe_us(15);
+        // Same name → same cells, whatever edges a later caller asks for.
+        let again = registry.histogram_with_edges("fc_fine", &[999]);
+        assert_eq!(again.count(), 1);
+        assert_eq!(again.buckets(), vec![(10, 0), (20, 1), (u64::MAX, 0)]);
+        let generic = registry.histogram("fc_fine");
+        assert_eq!(generic.count(), 1, "generic lookup shares the cells");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!                [--io-model reactor|threaded] [--io-threads N]
 //!                [--executor-threads N]
 //!                [--max-connections N] [--request-deadline-ms N]
+//!                [--wire bin1|json]
 //!                [--metrics-addr HOST:PORT] [--version]
 //! ```
 //!
@@ -38,6 +39,11 @@
 //! the replay catches up — and resumes unioning its coresets only once
 //! it reports caught up. Ingest keeps routing to recovering nodes (the
 //! WAL orders those batches behind the replay).
+//!
+//! `--wire` controls both directions at once: `bin1` (the default)
+//! offers every node connection the binary frame upgrade — nodes that
+//! decline stay on JSON per connection — and answers client hellos with
+//! the upgrade on the upward listener; `json` pins both to JSON-lines.
 
 use fc_cluster::{Coordinator, CoordinatorConfig, NodeTimeouts, RoutingPolicy};
 use fc_clustering::CostKind;
@@ -54,7 +60,8 @@ fn usage() -> ! {
          [--m-scalar M] [--budget POINTS] [--kmedian] [--method NAME] \
          [--solver NAME] [--io-model reactor|threaded] [--io-threads N] \
          [--executor-threads N] [--max-connections N] \
-         [--request-deadline-ms N] [--metrics-addr HOST:PORT] [--version]"
+         [--request-deadline-ms N] [--wire bin1|json] \
+         [--metrics-addr HOST:PORT] [--version]"
     );
     std::process::exit(2);
 }
@@ -67,6 +74,7 @@ struct Args {
     retries: u32,
     node_timeout_ms: Option<u64>,
     options: ServerOptions,
+    binary_wire: bool,
     metrics_addr: Option<String>,
     k: usize,
     m_scalar: usize,
@@ -85,6 +93,7 @@ fn parse_args() -> Args {
         retries: RetryPolicy::default().attempts,
         node_timeout_ms: None,
         options: ServerOptions::default(),
+        binary_wire: true,
         metrics_addr: None,
         k: 8,
         m_scalar: 40,
@@ -139,6 +148,14 @@ fn parse_args() -> Args {
                     value("milliseconds").parse().unwrap_or_else(|_| usage()),
                 ));
             }
+            "--wire" => match value("protocol").as_str() {
+                "bin1" => parsed.binary_wire = true,
+                "json" => parsed.binary_wire = false,
+                other => {
+                    eprintln!("unknown --wire mode `{other}` (bin1, json)");
+                    usage();
+                }
+            },
             "--metrics-addr" => parsed.metrics_addr = Some(value("host:port")),
             "--k" => parsed.k = value("count").parse().unwrap_or_else(|_| usage()),
             "--m-scalar" => parsed.m_scalar = value("count").parse().unwrap_or_else(|_| usage()),
@@ -201,9 +218,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let mut args = args;
+    // One flag, both directions: the node dials and the upward listener.
+    args.options.binary_wire = args.binary_wire;
     let mut config = CoordinatorConfig::new(args.nodes.clone());
     config.policy = args.policy;
     config.default_plan = default_plan;
+    config.binary_wire = args.binary_wire;
     config.retry = RetryPolicy {
         attempts: args.retries.max(1),
         ..RetryPolicy::default()

@@ -7,6 +7,8 @@
 //!           [--io-model reactor|threaded] [--io-threads N]
 //!           [--executor-threads N]
 //!           [--max-connections N] [--request-deadline-ms N]
+//!           [--wire auto|json]
+//!           [--batch-points N] [--batch-bytes N] [--batch-delay-ms N]
 //!           [--metrics-addr HOST:PORT]
 //!           [--data-dir PATH] [--fsync always|interval|never]
 //!           [--fsync-interval-ms N] [--segment-bytes N]
@@ -35,6 +37,17 @@
 //! (`GET /metrics`) from a second listener; the JSON protocol's
 //! `metrics` op returns the same registry inline.
 //!
+//! `--wire auto` (the default) answers `{"op":"hello","proto":"bin1"}`
+//! by upgrading that connection to length-prefixed binary frames;
+//! `--wire json` declines every upgrade, pinning the server to the
+//! JSON-lines text protocol (clients fall back automatically).
+//!
+//! `--batch-points`/`--batch-bytes`/`--batch-delay-ms` turn on per-shard
+//! ingest coalescing: acknowledged batches are buffered until a size
+//! trigger fires or the oldest waits out the delay, then handed to the
+//! shard worker as one block. Durability ordering is unchanged — with
+//! `--data-dir`, every batch is WAL-appended before its acknowledgement.
+//!
 //! `--data-dir` turns on durability: every acknowledged ingest batch is
 //! written to a per-shard write-ahead log under the directory before it
 //! is acknowledged, shard summaries are snapshotted periodically, and a
@@ -62,8 +75,9 @@ fn usage() -> ! {
          [--m-scalar M] [--budget POINTS] [--queue-depth N] [--kmedian] \
          [--method NAME] [--solver NAME] [--io-model reactor|threaded] \
          [--io-threads N] [--executor-threads N] [--max-connections N] \
-         [--request-deadline-ms N] [--metrics-addr HOST:PORT] \
-         [--data-dir PATH] \
+         [--request-deadline-ms N] [--wire auto|json] \
+         [--batch-points N] [--batch-bytes N] [--batch-delay-ms N] \
+         [--metrics-addr HOST:PORT] [--data-dir PATH] \
          [--fsync always|interval|never] [--fsync-interval-ms N] \
          [--segment-bytes N] [--snapshot-compactions N] \
          [--snapshot-bytes N] [--replay-throttle-ms N] [--version]"
@@ -192,6 +206,25 @@ fn parse_args() -> (String, EngineConfig, ServerOptions, Option<String>) {
                 options.request_deadline = Some(Duration::from_millis(
                     value("milliseconds").parse().unwrap_or_else(|_| usage()),
                 ));
+            }
+            "--wire" => match value("protocol").as_str() {
+                "auto" => options.binary_wire = true,
+                "json" => options.binary_wire = false,
+                other => {
+                    eprintln!("unknown --wire mode `{other}` (auto, json)");
+                    usage();
+                }
+            },
+            "--batch-points" => {
+                config.batch_points = value("count").parse().unwrap_or_else(|_| usage());
+            }
+            "--batch-bytes" => {
+                config.batch_bytes = value("bytes").parse().unwrap_or_else(|_| usage());
+            }
+            "--batch-delay-ms" => {
+                config.batch_delay = Duration::from_millis(
+                    value("milliseconds").parse().unwrap_or_else(|_| usage()),
+                );
             }
             "--metrics-addr" => metrics_addr = Some(value("host:port")),
             "--data-dir" => persist.data_dir = Some(value("path").into()),
@@ -322,11 +355,12 @@ fn main() {
         }
     });
     println!(
-        "fc-server {} listening on {} (io={}, shards={}, queue-depth={}, \
+        "fc-server {} listening on {} (io={}, wire={}, shards={}, queue-depth={}, \
          max-connections={}, request-deadline={}, default plan {}{})",
         fast_coresets::VERSION,
         handle.addr(),
         handle.io_model(),
+        if options.binary_wire { "auto" } else { "json" },
         config.shards,
         config.shard_queue_depth,
         match options.max_connections {

@@ -85,8 +85,7 @@ proptest! {
         // request and a stats-style decode untouched.
         let request = Request::Ingest {
             dataset: "d".into(),
-            points: vec![vec![0.0, 1.0]],
-            weights: None,
+            block: fc_core::PointBlock::new(vec![0.0, 1.0], 2, None).unwrap(),
             plan: Some(plan.clone()),
         };
         let decoded = Request::from_json(&request.to_json()).expect("request parses");

@@ -158,6 +158,133 @@ fn crash_restart_reports_recovering_while_replaying() {
 }
 
 #[test]
+fn coalesced_but_unflushed_batches_survive_crash() {
+    let dir = scratch("coalesced-crash");
+    let (acked_points, acked_weight) = {
+        let mut persist = PersistConfig::new(dir.clone());
+        persist.replay_throttle = Duration::ZERO;
+        let engine = Engine::new(EngineConfig {
+            k: 4,
+            shards: 2,
+            // Size trigger far above what we send: every acknowledged
+            // batch parks in the coalescing buffer and never reaches a
+            // shard worker before the crash. Durability must come from
+            // the WAL-append-before-ack alone.
+            batch_points: 1_000_000,
+            persist: Some(persist),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut acked = (0, 0.0);
+        for chunk in four_blobs(150, 0.0).chunks(60) {
+            acked = engine.ingest("blobs", &chunk, None).unwrap();
+        }
+        std::mem::forget(engine);
+        acked
+    };
+    let engine = persistent_engine(&dir, 0);
+    await_caught_up(&engine, "blobs");
+    let stats = engine.dataset_stats("blobs").unwrap();
+    assert_eq!(
+        stats.ingested_points, acked_points,
+        "acked-but-coalesced batches must survive kill -9"
+    );
+    assert!((stats.ingested_weight - acked_weight).abs() < 1e-6 * acked_weight.max(1.0));
+    let (coreset, _, _) = engine.coreset("blobs", Some(7), None).unwrap();
+    let rel = (coreset.total_weight() - acked_weight).abs() / acked_weight;
+    assert!(rel < 0.3, "served weight off by {rel}");
+    std::mem::forget(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A compressor that parks until released — holds the single shard
+/// worker busy so the bounded queue fills and a coalesced flush gets
+/// refused (the engine-level analogue of the unit test's `Gated`).
+struct Gated {
+    release: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl Compressor for Gated {
+    fn name(&self) -> &str {
+        "gated"
+    }
+
+    fn compress(
+        &self,
+        rng: &mut dyn rand::RngCore,
+        data: &Dataset,
+        params: &CompressionParams,
+    ) -> Coreset {
+        while !self.release.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Uniform.compress(rng, data, params)
+    }
+}
+
+#[test]
+fn overloaded_rollback_never_resurrects_the_refused_batch() {
+    use fc_service::EngineError;
+
+    let dir = scratch("overload-rollback");
+    let (acked_points, acked_weight) = {
+        let release = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut persist = PersistConfig::new(dir.clone());
+        persist.replay_throttle = Duration::ZERO;
+        let engine = Engine::with_compressor(
+            EngineConfig {
+                shards: 1,
+                shard_queue_depth: 1,
+                k: 2,
+                m_scalar: 5,
+                // Batches are 40 points each, so coalescing holds a couple
+                // of acknowledged batches before a flush triggers.
+                batch_points: 100,
+                persist: Some(persist),
+                ..Default::default()
+            },
+            std::sync::Arc::new(Gated {
+                release: std::sync::Arc::clone(&release),
+            }),
+        )
+        .unwrap();
+        // The worker parks inside the first flush's compression; the next
+        // triggering flush fills the queue's one slot, and the one after
+        // that is refused. The refused batch's WAL record must be rolled
+        // back *without* taking the still-pending acknowledged rows along.
+        let batch = four_blobs(10, 0.0);
+        let mut acked = (0, 0.0);
+        let mut refused = false;
+        for attempt in 0..64 {
+            match engine.ingest("blobs", &batch, None) {
+                Ok(totals) => acked = totals,
+                Err(EngineError::Overloaded { .. }) => {
+                    refused = true;
+                    break;
+                }
+                Err(other) => panic!("attempt {attempt}: unexpected {other}"),
+            }
+        }
+        assert!(refused, "the bounded queue never refused a flush");
+        // Crash with the worker still parked: the leaked thread idles in
+        // the gated compressor for the rest of the test process.
+        std::mem::forget(engine);
+        acked
+    };
+    let engine = persistent_engine(&dir, 0);
+    await_caught_up(&engine, "blobs");
+    let stats = engine.dataset_stats("blobs").unwrap();
+    assert_eq!(
+        stats.ingested_points, acked_points,
+        "replay must deliver exactly the acknowledged batches: \
+         no refused batch resurrected, no coalesced block lost"
+    );
+    assert!((stats.ingested_weight - acked_weight).abs() < 1e-6 * acked_weight.max(1.0));
+    std::mem::forget(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn dropped_datasets_stay_dropped_across_restart() {
     let dir = scratch("dropped");
     {

@@ -194,15 +194,14 @@ fn served_clustering_round_trips_solver_and_queue_depth() {
         ..Default::default()
     })
     .unwrap();
-    let points: Vec<Vec<f64>> = (0..80)
-        .map(|i| vec![f64::from(i % 2) * 50.0, f64::from(i) * 0.001])
+    let points: Vec<f64> = (0..80)
+        .flat_map(|i| [f64::from(i % 2) * 50.0, f64::from(i) * 0.001])
         .collect();
     let resp = fc_service::server::handle_request(
         &engine,
         Request::Ingest {
             dataset: "d".into(),
-            points,
-            weights: None,
+            block: fc_core::PointBlock::new(points, 2, None).unwrap(),
             plan: None,
         },
     );

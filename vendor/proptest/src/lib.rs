@@ -233,6 +233,35 @@ pub mod arbitrary {
     }
 }
 
+pub mod option {
+    //! `Option<T>` strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen::<bool>() {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `None` half the time, `Some` of the inner strategy otherwise.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
 pub mod collection {
     //! Collection strategies.
 
@@ -379,8 +408,10 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 
     pub mod prop {
-        //! Namespaced strategy constructors (`prop::collection::vec`).
+        //! Namespaced strategy constructors (`prop::collection::vec`,
+        //! `prop::option::of`).
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 
