@@ -20,6 +20,11 @@
 //! | `CLUSTER_BENCH_NODES` | `3` | fleet size behind the coordinator |
 //! | `CLUSTER_BENCH_CLIENTS` | `2,8,32` | client counts to sweep |
 //! | `CLUSTER_BENCH_REQUESTS` | `30` | requests per client |
+//! | `CLUSTER_BENCH_REPLICATION` | `1` | R-way replicated placement (`>= 2` fans ingest to R replicas) |
+//!
+//! Each run *appends* one experiment line to `BENCH_cluster.json`
+//! (JSON-lines), so spread and replicated runs sit side by side in the
+//! perf trajectory instead of overwriting each other.
 
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -172,11 +177,13 @@ fn json_row(row: &Row) -> String {
 fn main() {
     let nodes = env_usize("CLUSTER_BENCH_NODES", 3);
     let per_client = env_usize("CLUSTER_BENCH_REQUESTS", 30);
+    let replication = env_usize("CLUSTER_BENCH_REPLICATION", 1);
     let clients = env_clients();
 
     let fleet: Vec<ServerHandle> = (0..nodes).map(|_| node_server()).collect();
     let mut config = CoordinatorConfig::new(fleet.iter().map(|s| s.addr().to_string()));
     config.policy = RoutingPolicy::RoundRobin;
+    config.replication = replication;
     config.default_plan = PlanBuilder::new(4)
         .m_scalar(25)
         .method(Method::Uniform)
@@ -199,7 +206,10 @@ fn main() {
     }
 
     let mut table = Table::new(
-        format!("Cluster load: coordinator over {nodes} nodes, mixed ingest/cost/cluster"),
+        format!(
+            "Cluster load: coordinator over {nodes} nodes (replication={replication}), \
+             mixed ingest/cost/cluster"
+        ),
         &[
             "clients",
             "requests",
@@ -227,15 +237,24 @@ fn main() {
     table.print();
 
     let json = format!(
-        "{{\"experiment\":\"cluster_load\",\"nodes\":{},\"requests_per_client\":{},\"rows\":[{}]}}\n",
+        "{{\"experiment\":\"cluster_load\",\"nodes\":{},\"replication\":{},\
+         \"requests_per_client\":{},\"rows\":[{}]}}\n",
         nodes,
+        replication,
         per_client,
         rows.iter().map(json_row).collect::<Vec<_>>().join(",")
     );
     // The workspace root, independent of the bench's working directory.
+    // Append (JSON-lines): runs at different replication factors coexist.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
-    std::fs::write(path, &json).expect("write BENCH_cluster.json");
-    println!("wrote {path}");
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("append to BENCH_cluster.json");
+    println!("appended to {path}");
 
     front.shutdown();
     for node in fleet {

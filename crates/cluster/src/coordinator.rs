@@ -19,12 +19,26 @@
 //! queries answer from the survivors; an `overloaded` node is retried
 //! through the client's bounded backoff and then failed over for writes;
 //! `stats` reports every node's identity, health, and last error.
+//!
+//! With `replication >= 2` the coordinator switches from spread routing to
+//! *placement*: an [`fc_fleet::FleetMap`] assigns each dataset an R-member
+//! replica set (rendezvous hashing over the roster), ingest fans each
+//! batch to every replica (coreset composability makes an R-way copy just
+//! R ingests), and queries read from any single live replica instead of
+//! unioning the fleet. Batches that carry a `(client, seq)` identity are
+//! exactly-once end to end: the coordinator keeps its own per-dataset
+//! watermark (so retries are acknowledged without re-forwarding under
+//! spread routing, and re-forwarded as *repair* under replication), and
+//! each node's engine dedupes again behind its WAL. `add-node` /
+//! `drain-node` bump the map's epoch and migrate serving coresets — not
+//! raw data — onto the members the new map ranks; requests asserting a
+//! stale epoch get a structured `wrong_epoch`.
 
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{BTreeMap, HashMap};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use fc_clustering::solver::{SolveConfig, Solver};
 use fc_clustering::CostKind;
@@ -32,12 +46,14 @@ use fc_core::json::Value;
 use fc_core::plan::{Method, Plan};
 use fc_core::streaming::mapreduce::aggregate_parts;
 use fc_core::{Coreset, FcError};
+use fc_fleet::FleetMap;
 use fc_geom::{Dataset, Points};
 use fc_service::engine::fnv64;
-use fc_service::protocol::{self, DatasetStats, ErrorCode, NodeHealth, NodeStats};
+use fc_service::protocol::{self, DatasetStats, ErrorCode, IngestIdent, NodeHealth, NodeStats};
 use fc_service::ServiceClient;
 use fc_service::{
-    Backend, ClientError, ClusterOutcome, EngineConfig, EngineError, Request, Response, RetryPolicy,
+    Backend, ClientError, ClusterOutcome, EngineConfig, EngineError, IngestOutcome, Request,
+    Response, RetryPolicy,
 };
 use fc_telemetry::{current_trace, labeled, next_request_id, Counter, Histogram, Telemetry};
 use rand::rngs::StdRng;
@@ -57,6 +73,11 @@ const SOLVE_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
 /// coordinator's own solve stream `seed ^ SOLVE_STREAM` (node 0 would
 /// draw the exact sequence the solver draws).
 const NODE_STREAM: u64 = 0x517C_C1B7_2722_0A95;
+
+/// The client identity migrations ingest under: `seq = fleet epoch`, so a
+/// replayed migration of the same epoch is deduplicated by the target's
+/// own exactly-once gate instead of double-counting the shipped coreset.
+const MIGRATE_CLIENT: &str = "fc-fleet-migrate";
 
 /// How ingest batches are assigned to nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -154,6 +175,13 @@ pub struct CoordinatorConfig {
     /// so a mixed fleet keeps working; `false` pins the whole fleet to
     /// the text protocol.
     pub binary_wire: bool,
+    /// Copies of every dataset the fleet keeps (default 1). At 1 the
+    /// coordinator spreads blocks under [`RoutingPolicy`] and unions the
+    /// fleet's coresets per query. At 2+ it switches to fleet placement:
+    /// each dataset lives on the R members its name rendezvous-hashes to,
+    /// ingest fans each batch to all of them, and queries answer from any
+    /// single live replica — so any R−1 node failures lose nothing.
+    pub replication: usize,
 }
 
 impl CoordinatorConfig {
@@ -176,6 +204,7 @@ impl CoordinatorConfig {
             timeouts: NodeTimeouts::default(),
             base_seed: 0x0C0D_E5E7,
             binary_wire: true,
+            replication: 1,
         }
     }
 }
@@ -206,24 +235,48 @@ struct Route {
     /// acknowledgements count what was accepted, stats count what serves.
     ingested_points: AtomicU64,
     ingested_weight: Mutex<f64>,
+    /// Per-client exactly-once watermark: the highest `seq` this
+    /// coordinator has acknowledged per client, mirroring the engine's
+    /// own gate. Needed *here* because under spread routing a retried
+    /// batch could land on a different node than the original — a node
+    /// that has never seen the `(client, seq)` and would apply it again.
+    /// Held across the forwarding fan-out so one client's concurrent
+    /// retries serialize.
+    clients: Mutex<HashMap<String, u64>>,
 }
+
+/// One dataset's pending relocation during an `add_node`/`drain_node`
+/// epoch bump: `(dataset, route, old replica set, new replica set)`,
+/// replica sets as roster indices.
+type PlacementMove = (String, Arc<Route>, Vec<usize>, Vec<usize>);
 
 /// A multi-node coordinator. Implements [`Backend`], so
 /// [`fc_service::ServerHandle::bind_backend`] turns it into a server that
 /// is wire-indistinguishable from a single big `fc-server`.
 pub struct Coordinator {
-    nodes: Vec<NodeHandle>,
+    /// The roster, index-aligned with the fleet map's member indices.
+    /// Append-only (a drained node is marked in the map, never removed),
+    /// so an index handed out at one epoch still names the same node at
+    /// the next; fan-outs snapshot the `Arc`s and run lock-free.
+    nodes: RwLock<Vec<Arc<NodeHandle>>>,
     policy: RoutingPolicy,
     default_plan: Plan,
     retry: RetryPolicy,
-    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
     timeouts: NodeTimeouts,
+    binary_wire: bool,
     base_seed: u64,
+    /// Replication factor R (1 = classic spread routing).
+    replication: usize,
+    /// The versioned membership + placement map. Membership ops
+    /// (`add_node`, `drain_node`) serialize on this lock; everything else
+    /// takes it briefly to read the epoch or a replica set.
+    fleet: Mutex<FleetMap>,
     routes: Mutex<HashMap<String, Arc<Route>>>,
     seed_counter: AtomicU64,
     /// Capacity-weighted node sampler (only under
-    /// [`RoutingPolicy::Capacity`]) and its deterministic RNG.
-    capacity_index: Option<WeightedIndex>,
+    /// [`RoutingPolicy::Capacity`]) and its deterministic RNG. Rebuilt on
+    /// membership changes (a drained member samples at weight zero).
+    capacity_index: Mutex<Option<WeightedIndex>>,
     capacity_rng: Mutex<StdRng>,
     /// Lifetime counters for the coordinator process itself (`stats`
     /// wire field `server`): what *this* process acknowledged and
@@ -248,9 +301,15 @@ struct CoordinatorMetrics {
     coreset_seconds: Histogram,
     cluster_seconds: Histogram,
     cost_seconds: Histogram,
+    /// Dataset migrations completed by membership changes.
+    migrations: Counter,
+    /// Replica-set writes that failed on some replica while the batch was
+    /// still acknowledged off a surviving one (repair debt).
+    replica_write_failures: Counter,
     /// Indexed by node: wall time of each fan-out exchange against that
-    /// node (including timeouts), whatever the op.
-    node_seconds: Vec<Histogram>,
+    /// node (including timeouts), whatever the op. Grows when the fleet
+    /// does (handles are `Arc`-backed, cloning is cheap).
+    node_seconds: Mutex<Vec<Histogram>>,
 }
 
 impl CoordinatorMetrics {
@@ -270,16 +329,34 @@ impl CoordinatorMetrics {
             coreset_seconds: op_hist("coreset", fc_telemetry::SOLVE_OP_EDGES_US),
             cluster_seconds: op_hist("cluster", fc_telemetry::SOLVE_OP_EDGES_US),
             cost_seconds: op_hist("cost", fc_telemetry::SOLVE_OP_EDGES_US),
-            node_seconds: node_addrs
-                .map(|addr| {
-                    shared.registry.histogram(&labeled(
-                        "fc_node_request_seconds",
-                        &[("node", addr.as_ref())],
-                    ))
-                })
-                .collect(),
+            migrations: shared.registry.counter("fc_migrations_total"),
+            replica_write_failures: shared.registry.counter("fc_replica_write_failures_total"),
+            node_seconds: Mutex::new(
+                node_addrs
+                    .map(|addr| {
+                        shared.registry.histogram(&labeled(
+                            "fc_node_request_seconds",
+                            &[("node", addr.as_ref())],
+                        ))
+                    })
+                    .collect(),
+            ),
             shared,
         }
+    }
+
+    /// The per-node latency histogram for roster index `idx`.
+    fn node_hist(&self, idx: usize) -> Histogram {
+        self.node_seconds.lock().expect("node histogram lock")[idx].clone()
+    }
+
+    /// Registers the histogram for a node admitted after construction.
+    fn push_node(&self, addr: &str) {
+        self.node_seconds.lock().expect("node histogram lock").push(
+            self.shared
+                .registry
+                .histogram(&labeled("fc_node_request_seconds", &[("node", addr)])),
+        );
     }
 }
 
@@ -311,28 +388,41 @@ impl Coordinator {
             ),
             _ => None,
         };
-        let metrics = CoordinatorMetrics::new(config.nodes.iter().map(|spec| spec.addr.as_str()));
-        Ok(Self {
-            nodes: config
+        let fleet = FleetMap::bootstrap(
+            config
                 .nodes
                 .iter()
-                .map(|spec| {
-                    NodeHandle::new(
-                        spec.addr.clone(),
-                        spec.capacity,
-                        config.timeouts,
-                        config.binary_wire,
-                    )
-                })
-                .collect(),
+                .map(|spec| (spec.addr.clone(), spec.capacity)),
+            config.replication,
+        )
+        .map_err(|e| EngineError::InvalidArgument(format!("fleet bootstrap: {e}")))?;
+        let metrics = CoordinatorMetrics::new(config.nodes.iter().map(|spec| spec.addr.as_str()));
+        Ok(Self {
+            nodes: RwLock::new(
+                config
+                    .nodes
+                    .iter()
+                    .map(|spec| {
+                        Arc::new(NodeHandle::new(
+                            spec.addr.clone(),
+                            spec.capacity,
+                            config.timeouts,
+                            config.binary_wire,
+                        ))
+                    })
+                    .collect(),
+            ),
             policy: config.policy,
             default_plan: config.default_plan,
             retry: config.retry,
             timeouts: config.timeouts,
+            binary_wire: config.binary_wire,
             base_seed: config.base_seed,
+            replication: config.replication,
+            fleet: Mutex::new(fleet),
             routes: Mutex::new(HashMap::new()),
             seed_counter: AtomicU64::new(0),
-            capacity_index,
+            capacity_index: Mutex::new(capacity_index),
             capacity_rng: Mutex::new(StdRng::seed_from_u64(config.base_seed)),
             started: std::time::Instant::now(),
             total_points: AtomicU64::new(0),
@@ -342,14 +432,84 @@ impl Coordinator {
         })
     }
 
-    /// The fleet, with live health records (for binaries and tests).
-    pub fn nodes(&self) -> &[NodeHandle] {
-        &self.nodes
+    /// A snapshot of the roster, with live health records (for binaries
+    /// and tests). Indices are stable across membership changes: the
+    /// roster only ever grows, and drained nodes are marked, not removed.
+    pub fn nodes(&self) -> Vec<Arc<NodeHandle>> {
+        self.roster()
+    }
+
+    /// The replication factor R this coordinator places at.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The current fleet map epoch (bumped by every membership change).
+    pub fn fleet_epoch(&self) -> u64 {
+        self.fleet.lock().expect("fleet map lock").epoch()
+    }
+
+    /// The addresses a dataset's replica set resolves to under the
+    /// current fleet map — rank order, the order ingest fans out and
+    /// queries fall through. Under spread placement (`replication == 1`)
+    /// this is still the dataset's rendezvous ranking, but ingest routes
+    /// by the configured policy instead.
+    pub fn replicas_of(&self, name: &str) -> Vec<String> {
+        let fleet = self.fleet.lock().expect("fleet map lock");
+        fleet
+            .replicas(name)
+            .into_iter()
+            .map(|idx| fleet.members()[idx].addr().to_owned())
+            .collect()
     }
 
     /// The ingest routing policy.
     pub fn policy(&self) -> RoutingPolicy {
         self.policy
+    }
+
+    fn roster(&self) -> Vec<Arc<NodeHandle>> {
+        self.nodes.read().expect("node roster lock").clone()
+    }
+
+    fn node_at(&self, idx: usize) -> Arc<NodeHandle> {
+        Arc::clone(&self.nodes.read().expect("node roster lock")[idx])
+    }
+
+    fn node_addr(&self, idx: usize) -> String {
+        self.node_at(idx).addr().to_owned()
+    }
+
+    /// Roster indices currently participating in placement (active, not
+    /// draining), in roster order.
+    fn active_indices(&self) -> Vec<usize> {
+        self.fleet
+            .lock()
+            .expect("fleet map lock")
+            .members()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_active())
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+
+    /// Rebuilds the capacity sampler over the full roster, weighting
+    /// drained members at zero. Called under the fleet lock by membership
+    /// ops; a fleet whose every active capacity is zero keeps the old
+    /// sampler (writes then fail over and error, same as before).
+    fn rebuild_capacity_sampler(&self, fleet: &FleetMap) {
+        if self.policy != RoutingPolicy::Capacity {
+            return;
+        }
+        let weights: Vec<f64> = fleet
+            .members()
+            .iter()
+            .map(|m| if m.is_active() { m.capacity() } else { 0.0 })
+            .collect();
+        if let Ok(index) = WeightedIndex::new(weights) {
+            *self.capacity_index.lock().expect("capacity sampler lock") = Some(index);
+        }
     }
 
     /// The plan plan-less datasets run under.
@@ -390,12 +550,12 @@ impl Coordinator {
                     dataset: dataset.to_owned(),
                 },
                 _ => EngineError::Remote {
-                    node: self.nodes[node_idx].addr().to_owned(),
+                    node: self.node_addr(node_idx),
                     message,
                 },
             },
             other => EngineError::Remote {
-                node: self.nodes[node_idx].addr().to_owned(),
+                node: self.node_addr(node_idx),
                 message: other.to_string(),
             },
         }
@@ -421,7 +581,7 @@ impl Coordinator {
         &self,
         request_for: impl Fn(usize) -> Request + Sync,
     ) -> Vec<Result<Response, ClientError>> {
-        let all: Vec<usize> = (0..self.nodes.len()).collect();
+        let all: Vec<usize> = (0..self.roster().len()).collect();
         self.drive_requests(&all, request_for)
     }
 
@@ -469,7 +629,8 @@ impl Coordinator {
         // coordinator) or a fresh one — stamped onto each node request,
         // so a slow query is attributable per node on both sides.
         let trace = current_trace().unwrap_or_else(next_request_id);
-        let n = self.nodes.len();
+        let nodes = self.roster();
+        let n = nodes.len();
         let mut outcomes: Vec<Option<Result<Response, ClientError>>> =
             std::iter::repeat_with(|| None).take(n).collect();
         let mut live: Vec<Live> = Vec::new();
@@ -477,7 +638,7 @@ impl Coordinator {
         for &idx in which {
             let request = request_for(idx);
             let op = request.op_name();
-            match self.nodes[idx].pooled() {
+            match nodes[idx].pooled() {
                 Some(client) => live.push(Live {
                     node: idx,
                     client: Some(client),
@@ -522,10 +683,10 @@ impl Coordinator {
                         .expect("every live slot holds a connection")
                         .into_parts();
                     // Encode for *this* connection's negotiated protocol
-                    // — pooled binary and freshly-dialed JSON connections
-                    // can coexist in one fan-out.
+                    // — pooled `bin1c`/`bin1` and freshly-dialed JSON
+                    // connections can coexist in one fan-out.
                     let request = if codec.is_binary() {
-                        wire::request_frame(&l.request, Some(&trace))
+                        wire::request_frame(&l.request, Some(&trace), codec.is_checked())
                     } else {
                         let mut line = l.request.to_json_with_trace(Some(&trace)).into_bytes();
                         line.push(b'\n');
@@ -553,7 +714,7 @@ impl Coordinator {
                             e.kind(),
                             e.to_string(),
                         )));
-                        self.nodes[l.node].record(&outcome);
+                        nodes[l.node].record(&outcome);
                         outcomes[l.node] = Some(outcome);
                     }
                     break;
@@ -567,7 +728,7 @@ impl Coordinator {
                 // Attribute the exchange's wall time (including timeouts)
                 // to the node, and hop-log it under the fan-out's request
                 // id; retries record once per attempt, which is the truth.
-                self.metrics.node_seconds[l.node].observe(result.elapsed);
+                self.metrics.node_hist(l.node).observe(result.elapsed);
                 self.metrics.shared.traces.record(
                     &trace,
                     format!("node{}:{}", l.node, l.op),
@@ -582,7 +743,9 @@ impl Coordinator {
                     Ok(frame) => {
                         let parsed = match &frame {
                             WireFrame::Line(line) => Response::from_json(line.trim_end()),
-                            WireFrame::Binary(payload) => wire::decode_response(payload),
+                            WireFrame::Binary(payload) | WireFrame::Checked(payload) => {
+                                wire::decode_response(payload)
+                            }
                         };
                         let outcome = match parsed {
                             Ok(Response::Error { message, code }) => Err(match code {
@@ -604,11 +767,11 @@ impl Coordinator {
                                 next.push(l);
                             }
                             outcome => {
-                                self.nodes[l.node].record(&outcome);
+                                nodes[l.node].record(&outcome);
                                 if matches!(&outcome, Err(ClientError::Protocol(_))) {
                                     drop(client); // mid-frame: unusable
                                 } else {
-                                    self.nodes[l.node].checkin(client);
+                                    nodes[l.node].checkin(client);
                                 }
                                 outcomes[l.node] = Some(outcome);
                             }
@@ -624,7 +787,7 @@ impl Coordinator {
                             redial.push(l);
                         } else {
                             let outcome = Err(ClientError::Io(e));
-                            self.nodes[l.node].record(&outcome);
+                            nodes[l.node].record(&outcome);
                             outcomes[l.node] = Some(outcome);
                         }
                     }
@@ -669,12 +832,16 @@ impl Coordinator {
     #[cfg(target_os = "linux")]
     fn dial_many(&self, which: &[usize]) -> Vec<Result<ServiceClient, std::io::Error>> {
         if which.len() <= 1 {
-            return which.iter().map(|&idx| self.nodes[idx].dial()).collect();
+            return which.iter().map(|&idx| self.node_at(idx).dial()).collect();
         }
+        let nodes = self.roster();
         std::thread::scope(|scope| {
             let handles: Vec<_> = which
                 .iter()
-                .map(|&idx| scope.spawn(move || self.nodes[idx].dial()))
+                .map(|&idx| {
+                    let node = Arc::clone(&nodes[idx]);
+                    scope.spawn(move || node.dial())
+                })
                 .collect();
             handles
                 .into_iter()
@@ -695,9 +862,9 @@ impl Coordinator {
         // client stamps outgoing lines).
         let trace = current_trace().unwrap_or_else(next_request_id);
         let trace = &trace;
+        let nodes = self.roster();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .nodes
+            let handles: Vec<_> = nodes
                 .iter()
                 .enumerate()
                 .map(|(idx, node)| {
@@ -709,7 +876,7 @@ impl Coordinator {
                         let started = std::time::Instant::now();
                         let outcome = node.request(&request, &self.retry);
                         let elapsed = started.elapsed();
-                        self.metrics.node_seconds[idx].observe(elapsed);
+                        self.metrics.node_hist(idx).observe(elapsed);
                         self.metrics.shared.traces.record(
                             trace,
                             format!("node{idx}:{op}"),
@@ -740,19 +907,42 @@ impl Coordinator {
 
     #[cfg(not(target_os = "linux"))]
     fn node_request(&self, idx: usize, request: &Request) -> Result<Response, ClientError> {
-        self.nodes[idx].request(request, &self.retry)
+        self.node_at(idx).request(request, &self.retry)
     }
 
-    /// The node an ingest for `(name, route)` should try first.
-    fn route_start(&self, name: &str, route: &Route) -> usize {
+    /// Runs one request against each listed node concurrently, outcomes
+    /// in `which` order (the replica fan-out of a replicated ingest).
+    fn multi_node_request(
+        &self,
+        which: &[usize],
+        request: &Request,
+    ) -> Vec<Result<Response, ClientError>> {
+        #[cfg(target_os = "linux")]
+        {
+            self.drive_requests(which, |_| request.clone())
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            which
+                .iter()
+                .map(|&idx| self.node_at(idx).request(request, &self.retry))
+                .collect()
+        }
+    }
+
+    /// The roster index an ingest for `(name, route)` should try first,
+    /// chosen among `actives` (draining members take no new writes).
+    fn route_start(&self, name: &str, route: &Route, actives: &[usize]) -> usize {
         match self.policy {
             RoutingPolicy::RoundRobin => {
-                route.next.fetch_add(1, Ordering::Relaxed) % self.nodes.len()
+                actives[route.next.fetch_add(1, Ordering::Relaxed) % actives.len()]
             }
-            RoutingPolicy::HashDataset => fnv64(name) as usize % self.nodes.len(),
+            RoutingPolicy::HashDataset => actives[fnv64(name) as usize % actives.len()],
             RoutingPolicy::Capacity => {
-                let index = self
-                    .capacity_index
+                // The sampler spans the full roster with drained members
+                // at weight zero, so it already answers in roster indices.
+                let guard = self.capacity_index.lock().expect("capacity sampler lock");
+                let index = guard
                     .as_ref()
                     .expect("capacity policy builds its sampler at construction");
                 let mut rng = self.capacity_rng.lock().expect("capacity rng lock");
@@ -774,6 +964,12 @@ impl Coordinator {
         seed: u64,
         method: Option<&Method>,
     ) -> Result<Coreset, EngineError> {
+        // Replicated placement: every replica holds the whole dataset, so
+        // the union would R-count it — read one live replica instead.
+        if self.replication >= 2 {
+            return self.replica_coreset(name, route, seed, method);
+        }
+        let nodes = self.roster();
         // A node still replaying its WAL would serve a coreset of a
         // *prefix* of its acknowledged data — silently under-weighting
         // the union. It gets a stats probe in the query's slot instead:
@@ -781,7 +977,7 @@ impl Coordinator {
         // the replay flag, so recovering → alive converges through the
         // queries themselves with no background prober.
         let outcomes = self.fan_out_with(|idx| {
-            if self.nodes[idx].is_recovering() {
+            if nodes[idx].is_recovering() {
                 Request::Stats { dataset: None }
             } else {
                 Request::Compress {
@@ -797,9 +993,9 @@ impl Coordinator {
         for (idx, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
                 Ok(Response::Stats { datasets, .. }) => {
-                    self.nodes[idx].set_recovering(datasets.iter().any(|d| d.recovering));
+                    nodes[idx].set_recovering(datasets.iter().any(|d| d.recovering));
                     last_failure = Some(EngineError::Remote {
-                        node: self.nodes[idx].addr().to_owned(),
+                        node: nodes[idx].addr().to_owned(),
                         message: "node is recovering (WAL replay in progress)".into(),
                     });
                 }
@@ -808,7 +1004,7 @@ impl Coordinator {
                 }) => {
                     let data = protocol::rows_to_dataset(&points, Some(&weights)).map_err(|e| {
                         EngineError::Remote {
-                            node: self.nodes[idx].addr().to_owned(),
+                            node: nodes[idx].addr().to_owned(),
                             message: e.to_string(),
                         }
                     })?;
@@ -816,7 +1012,7 @@ impl Coordinator {
                 }
                 Ok(other) => {
                     return Err(EngineError::Remote {
-                        node: self.nodes[idx].addr().to_owned(),
+                        node: nodes[idx].addr().to_owned(),
                         message: format!("unexpected response {other:?}"),
                     })
                 }
@@ -845,6 +1041,95 @@ impl Coordinator {
                 last_failure.unwrap_or(EngineError::Unavailable)
             });
         }
+        self.finish_coreset(route, seed, method, parts)
+    }
+
+    /// Reads the serving coreset from the first live replica of `name` —
+    /// replicas hold full copies, so one answer is the whole dataset and
+    /// any R−1 node failures leave a reader. Recovering replicas get a
+    /// stats probe (refreshing the replay flag) and are skipped.
+    fn replica_coreset(
+        &self,
+        name: &str,
+        route: &Route,
+        seed: u64,
+        method: Option<&Method>,
+    ) -> Result<Coreset, EngineError> {
+        let replicas = self.fleet.lock().expect("fleet map lock").replicas(name);
+        let mut saw_dataset_miss = false;
+        let mut last_failure = None;
+        for idx in replicas {
+            let node = self.node_at(idx);
+            if node.is_recovering() {
+                if let Ok(Response::Stats { datasets, .. }) =
+                    self.node_request(idx, &Request::Stats { dataset: None })
+                {
+                    node.set_recovering(datasets.iter().any(|d| d.recovering));
+                }
+                if node.is_recovering() {
+                    last_failure = Some(EngineError::Remote {
+                        node: node.addr().to_owned(),
+                        message: "node is recovering (WAL replay in progress)".into(),
+                    });
+                    continue;
+                }
+            }
+            let request = Request::Compress {
+                dataset: name.to_owned(),
+                method: method.cloned(),
+                seed: Some(node_seed(seed, idx)),
+            };
+            match self.node_request(idx, &request) {
+                Ok(Response::Coreset {
+                    points, weights, ..
+                }) => {
+                    let data = protocol::rows_to_dataset(&points, Some(&weights)).map_err(|e| {
+                        EngineError::Remote {
+                            node: node.addr().to_owned(),
+                            message: e.to_string(),
+                        }
+                    })?;
+                    return self.finish_coreset(route, seed, method, vec![Coreset::new(data)]);
+                }
+                Ok(other) => {
+                    return Err(EngineError::Remote {
+                        node: node.addr().to_owned(),
+                        message: format!("unexpected response {other:?}"),
+                    })
+                }
+                Err(e) => match self.node_error(idx, name, e) {
+                    // This replica missed the dataset (it joined after the
+                    // data, or lost a racing write): a later replica may
+                    // still hold it.
+                    EngineError::UnknownDataset(_) | EngineError::NoData { .. } => {
+                        saw_dataset_miss = true;
+                    }
+                    EngineError::Remote { node, message } => {
+                        last_failure = Some(EngineError::Remote { node, message });
+                    }
+                    fatal => return Err(fatal),
+                },
+            }
+        }
+        Err(if saw_dataset_miss && last_failure.is_none() {
+            EngineError::NoData {
+                dataset: name.to_owned(),
+            }
+        } else {
+            last_failure.unwrap_or(EngineError::Unavailable)
+        })
+    }
+
+    /// The coordinator-side aggregation tail: union the parts and
+    /// re-compress under the effective method when the union exceeds the
+    /// plan's serving size.
+    fn finish_coreset(
+        &self,
+        route: &Route,
+        seed: u64,
+        method: Option<&Method>,
+        parts: Vec<Coreset>,
+    ) -> Result<Coreset, EngineError> {
         let params = route.effective.params();
         let compressor = method
             .cloned()
@@ -855,6 +1140,63 @@ impl Coordinator {
         // surfaces here as FcError::DimensionMismatch, not a panic.
         aggregate_parts(&mut rng, parts, compressor.as_ref(), &params).map_err(EngineError::Invalid)
     }
+
+    /// Prices the centers on the first live replica's served coreset
+    /// (replicated placement: each replica prices the whole dataset).
+    fn replica_cost(
+        &self,
+        name: &str,
+        rows: &[Vec<f64>],
+        kind: CostKind,
+    ) -> Result<(f64, usize), EngineError> {
+        let replicas = self.fleet.lock().expect("fleet map lock").replicas(name);
+        let mut saw_dataset_miss = false;
+        let mut last_failure = None;
+        for idx in replicas {
+            let node = self.node_at(idx);
+            if node.is_recovering() {
+                last_failure = Some(EngineError::Remote {
+                    node: node.addr().to_owned(),
+                    message: "node is recovering (WAL replay in progress)".into(),
+                });
+                continue;
+            }
+            let request = Request::Cost {
+                dataset: name.to_owned(),
+                centers: rows.to_vec(),
+                kind: Some(kind),
+            };
+            match self.node_request(idx, &request) {
+                Ok(Response::Cost {
+                    cost,
+                    coreset_points,
+                    ..
+                }) => return Ok((cost, coreset_points)),
+                Ok(other) => {
+                    return Err(EngineError::Remote {
+                        node: node.addr().to_owned(),
+                        message: format!("unexpected response {other:?}"),
+                    })
+                }
+                Err(e) => match self.node_error(idx, name, e) {
+                    EngineError::UnknownDataset(_) | EngineError::NoData { .. } => {
+                        saw_dataset_miss = true;
+                    }
+                    EngineError::Remote { node, message } => {
+                        last_failure = Some(EngineError::Remote { node, message });
+                    }
+                    fatal => return Err(fatal),
+                },
+            }
+        }
+        Err(if saw_dataset_miss && last_failure.is_none() {
+            EngineError::NoData {
+                dataset: name.to_owned(),
+            }
+        } else {
+            last_failure.unwrap_or(EngineError::Unavailable)
+        })
+    }
 }
 
 /// A deterministic per-node seed stream: distinct nodes draw distinct
@@ -864,22 +1206,107 @@ fn node_seed(seed: u64, node_idx: usize) -> u64 {
     seed ^ NODE_STREAM.wrapping_mul(node_idx as u64 + 1)
 }
 
-impl Backend for Coordinator {
-    /// Routes the batch to one node under the configured policy,
-    /// forwarding the dataset's creating plan so the receiving node
-    /// creates (or validates) the dataset under it. An unreachable or
-    /// still-overloaded node fails over to the next; the write fails only
-    /// when every node refused it. Delivery is at-least-once: when a node
-    /// dies *after* applying a batch but *before* replying, the failover
-    /// re-sends the batch elsewhere and the coreset union briefly
-    /// overweights it (the guarantee degrades gracefully — a duplicated
-    /// block is more data, not corrupted data).
-    fn ingest(
+/// Merges one node's report of a dataset's `(snapshot, record)` state
+/// epoch into the fleet aggregate. Spread placement **sums**: nodes hold
+/// disjoint shares, so the fleet's epoch components inherit each node's
+/// monotonicity. Replicated placement takes the **max**: replicas hold
+/// the *same* data, and mid-migration a freshly seeded replica reports a
+/// small epoch — summing would both double-count and jump backward as
+/// replica sets change, while the max is the most-advanced copy and stays
+/// monotone through membership churn.
+fn merge_state_epoch(into: (u64, u64), from: (u64, u64), replicated: bool) -> (u64, u64) {
+    if replicated {
+        (into.0.max(from.0), into.1.max(from.1))
+    } else {
+        // Saturating sums: a buggy or hostile node reporting near-max
+        // counters must degrade the aggregate, not panic the coordinator
+        // (debug builds) or wrap the epoch backward (release builds).
+        (into.0.saturating_add(from.0), into.1.saturating_add(from.1))
+    }
+}
+
+/// Same dichotomy for additive counters (points, shards): disjoint shares
+/// sum; replicas report the same data, so the most-complete copy is the
+/// fleet truth.
+fn merge_count(into: u64, from: u64, replicated: bool) -> u64 {
+    if replicated {
+        into.max(from)
+    } else {
+        into.saturating_add(from)
+    }
+}
+
+/// [`merge_count`] for the `usize`-typed counters (shards, stored points).
+fn merge_count_usize(into: usize, from: usize, replicated: bool) -> usize {
+    if replicated {
+        into.max(from)
+    } else {
+        into.saturating_add(from)
+    }
+}
+
+/// And for weights.
+fn merge_weight(into: f64, from: f64, replicated: bool) -> f64 {
+    if replicated {
+        into.max(from)
+    } else {
+        into + from
+    }
+}
+
+impl Coordinator {
+    /// [`Backend::ingest`] without the exactly-once identity or epoch
+    /// assertion — the at-least-once convenience call most in-process
+    /// callers (and the pre-fleet API) use.
+    pub fn ingest(
         &self,
         name: &str,
         batch: &Dataset,
         plan: Option<&Plan>,
     ) -> Result<(u64, f64), EngineError> {
+        Backend::ingest(self, name, batch, plan, None, None)
+            .map(|outcome| (outcome.total_points, outcome.total_weight))
+    }
+}
+
+impl Backend for Coordinator {
+    /// Forwards the batch to the fleet, with the dataset's creating plan
+    /// riding along so the receiving node creates (or validates) the
+    /// dataset under it.
+    ///
+    /// At R = 1 the batch routes to one node under the configured policy;
+    /// an unreachable or still-overloaded node fails over to the next,
+    /// and the write fails only when every node refused it. At R ≥ 2 the
+    /// batch fans to every member of the dataset's replica set and is
+    /// acknowledged as soon as *one* replica applied it (a replica that
+    /// missed it is repair debt, counted on
+    /// `fc_replica_write_failures_total`, healed by the client's own
+    /// retries).
+    ///
+    /// An `ident` makes the call exactly-once end to end: the coordinator
+    /// keeps its own `(client, seq)` watermark per dataset — under spread
+    /// routing a duplicate is acknowledged *without* re-forwarding (a
+    /// retry could land on a node that never saw the original and apply
+    /// it twice); under replication it is re-forwarded to the same
+    /// replica set, where each engine's own gate makes the re-send a
+    /// repair instead of a double-count. Without an `ident`, delivery is
+    /// at-least-once: a node that dies after applying but before replying
+    /// gets the batch re-sent elsewhere, briefly overweighting it (more
+    /// data, not corrupted data).
+    fn ingest(
+        &self,
+        name: &str,
+        batch: &Dataset,
+        plan: Option<&Plan>,
+        ident: Option<&IngestIdent>,
+        epoch: Option<u64>,
+    ) -> Result<IngestOutcome, EngineError> {
+        if let Some(requested) = epoch {
+            let current = self.fleet_epoch();
+            if requested != current {
+                return Err(EngineError::WrongEpoch { requested, current });
+            }
+        }
         if batch.is_empty() {
             return Err(EngineError::InvalidArgument("empty ingest batch".into()));
         }
@@ -915,10 +1342,11 @@ impl Backend for Coordinator {
                         effective: plan.cloned().unwrap_or_else(|| self.default_plan.clone()),
                         dim: batch.dim(),
                         // Stagger datasets across the fleet instead of all
-                        // starting at node 0.
-                        next: AtomicUsize::new(fnv64(name) as usize % self.nodes.len()),
+                        // starting at node 0 (reduced at use time).
+                        next: AtomicUsize::new(fnv64(name) as usize),
                         ingested_points: AtomicU64::new(0),
                         ingested_weight: Mutex::new(0.0),
+                        clients: Mutex::new(HashMap::new()),
                     }))),
                     true,
                 ),
@@ -941,57 +1369,147 @@ impl Backend for Coordinator {
             // that lost its copy (restart) recreates it correctly on the
             // next routed block.
             plan: route.plan.clone(),
+            // The node-side gate dedupes per node; the coordinator does
+            // not re-assert the epoch downstream (plain engines ignore
+            // it anyway).
+            ident: ident.cloned(),
+            epoch: None,
         };
         let started = std::time::Instant::now();
         let outcome = (|| {
-            let start = self.route_start(name, &route);
-            let mut last = EngineError::Unavailable;
-            for attempt in 0..self.nodes.len() {
-                let idx = (start + attempt) % self.nodes.len();
-                // Failover honours the capacity policy's contract: a node
-                // weighted to zero (drained, decommissioning) takes no
-                // writes even when its peers are unreachable.
-                if self.policy == RoutingPolicy::Capacity && self.nodes[idx].capacity() == 0.0 {
-                    continue;
+            // The coordinator's own exactly-once gate, held across the
+            // forwarding so one client's concurrent retries serialize
+            // (same discipline as the engine's per-dataset watermark).
+            let mut watermark = ident.map(|ident| {
+                (
+                    route
+                        .clients
+                        .lock()
+                        .expect("client watermark lock is never poisoned"),
+                    ident,
+                )
+            });
+            let duplicate = watermark.as_ref().is_some_and(|(guard, ident)| {
+                guard
+                    .get(&ident.client)
+                    .is_some_and(|&have| ident.seq <= have)
+            });
+            if self.replication >= 2 {
+                // Placement mode: the batch goes to every replica — even
+                // a recognised duplicate, which the node-side gates turn
+                // into a no-op everywhere it already landed and a repair
+                // everywhere it did not.
+                let replicas = self.fleet.lock().expect("fleet map lock").replicas(name);
+                if replicas.is_empty() {
+                    return Err(EngineError::Unavailable);
                 }
-                match self.node_request(idx, &request) {
-                    Ok(Response::Ingested { .. }) => {
-                        let total_points = route
-                            .ingested_points
-                            .fetch_add(batch.len() as u64, Ordering::Relaxed)
-                            + batch.len() as u64;
-                        let total_weight = {
-                            let mut w = route.ingested_weight.lock().expect("weight counter lock");
-                            *w += batch.total_weight();
-                            *w
-                        };
-                        self.total_points
-                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                        self.total_blocks.fetch_add(1, Ordering::Relaxed);
-                        return Ok((total_points, total_weight));
+                let mut accepted = false;
+                let mut last = EngineError::Unavailable;
+                for (&idx, outcome) in replicas
+                    .iter()
+                    .zip(self.multi_node_request(&replicas, &request))
+                {
+                    match outcome {
+                        Ok(Response::Ingested { .. }) => accepted = true,
+                        Ok(other) => {
+                            self.metrics.replica_write_failures.incr();
+                            last = EngineError::Remote {
+                                node: self.node_addr(idx),
+                                message: format!("unexpected response {other:?}"),
+                            };
+                        }
+                        Err(e) => {
+                            self.metrics.replica_write_failures.incr();
+                            last = self.node_error(idx, name, e);
+                        }
                     }
-                    Ok(other) => {
-                        return Err(EngineError::Remote {
-                            node: self.nodes[idx].addr().to_owned(),
-                            message: format!("unexpected response {other:?}"),
-                        })
+                }
+                if !accepted && !duplicate {
+                    return Err(last);
+                }
+            } else if !duplicate {
+                // Spread routing: one node under the policy, failover to
+                // the next active on transport trouble.
+                let actives = self.active_indices();
+                if actives.is_empty() {
+                    return Err(EngineError::Unavailable);
+                }
+                let start = self.route_start(name, &route, &actives);
+                let start_pos = actives.iter().position(|&i| i == start).unwrap_or(0);
+                let mut accepted = false;
+                let mut last = EngineError::Unavailable;
+                for attempt in 0..actives.len() {
+                    let idx = actives[(start_pos + attempt) % actives.len()];
+                    // Failover honours the capacity policy's contract: a
+                    // node weighted to zero (decommissioning) takes no
+                    // writes even when its peers are unreachable.
+                    if self.policy == RoutingPolicy::Capacity && self.node_at(idx).capacity() == 0.0
+                    {
+                        continue;
                     }
-                    // Socket failures and persistent overload fail over to
-                    // the next node; anything the node *decided* (plan
-                    // conflict, dimension mismatch, …) is final.
-                    Err(e @ (ClientError::Io(_) | ClientError::Protocol(_))) => {
-                        last = self.node_error(idx, name, e);
+                    match self.node_request(idx, &request) {
+                        Ok(Response::Ingested { .. }) => {
+                            accepted = true;
+                            break;
+                        }
+                        Ok(other) => {
+                            return Err(EngineError::Remote {
+                                node: self.node_addr(idx),
+                                message: format!("unexpected response {other:?}"),
+                            })
+                        }
+                        // Socket failures and persistent overload fail over
+                        // to the next node; anything the node *decided*
+                        // (plan conflict, dimension mismatch, …) is final.
+                        Err(e @ (ClientError::Io(_) | ClientError::Protocol(_))) => {
+                            last = self.node_error(idx, name, e);
+                        }
+                        Err(e @ ClientError::Overloaded(_)) => {
+                            last = self.node_error(idx, name, e);
+                        }
+                        Err(e) => return Err(self.node_error(idx, name, e)),
                     }
-                    Err(e @ ClientError::Overloaded(_)) => {
-                        last = self.node_error(idx, name, e);
-                    }
-                    Err(e) => return Err(self.node_error(idx, name, e)),
+                }
+                if !accepted {
+                    return Err(last);
                 }
             }
-            Err(last)
+            if duplicate {
+                // Already applied: acknowledge idempotently with the
+                // current totals, nothing advances.
+                let total_points = route.ingested_points.load(Ordering::Relaxed);
+                let total_weight = *route.ingested_weight.lock().expect("weight counter lock");
+                return Ok(IngestOutcome {
+                    total_points,
+                    total_weight,
+                    duplicate: true,
+                });
+            }
+            let total_points = route
+                .ingested_points
+                .fetch_add(batch.len() as u64, Ordering::Relaxed)
+                + batch.len() as u64;
+            let total_weight = {
+                let mut w = route.ingested_weight.lock().expect("weight counter lock");
+                *w += batch.total_weight();
+                *w
+            };
+            self.total_points
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.total_blocks.fetch_add(1, Ordering::Relaxed);
+            // The watermark advances only after a replica holds the batch,
+            // so a refused batch stays retryable under the same seq.
+            if let Some((guard, ident)) = watermark.as_mut() {
+                guard.insert(ident.client.clone(), ident.seq);
+            }
+            Ok(IngestOutcome {
+                total_points,
+                total_weight,
+                duplicate: false,
+            })
         })();
         self.metrics.ingest_seconds.observe(started.elapsed());
-        if outcome.is_ok() {
+        if matches!(&outcome, Ok(o) if !o.duplicate) {
             self.metrics.ingest_points.add(batch.len() as u64);
             self.metrics.ingest_blocks.incr();
         }
@@ -1098,11 +1616,19 @@ impl Backend for Coordinator {
             let route = self.route(name)?;
             let kind = kind.unwrap_or_else(|| route.effective.kind());
             let rows: Vec<Vec<f64>> = centers.iter().map(<[f64]>::to_vec).collect();
+            // Replicated placement: one replica's answer prices the whole
+            // dataset; summing replicas would R-count it.
+            if self.replication >= 2 {
+                let (total, priced_points) = self.replica_cost(name, &rows, kind)?;
+                self.total_queries.fetch_add(1, Ordering::Relaxed);
+                return Ok((total, kind, priced_points));
+            }
+            let nodes = self.roster();
             // Same replay gating as `serving_coreset`: a recovering node's
             // partial cost would corrupt the additive sum, so its slot probes
             // stats instead.
             let outcomes = self.fan_out_with(|idx| {
-                if self.nodes[idx].is_recovering() {
+                if nodes[idx].is_recovering() {
                     Request::Stats { dataset: None }
                 } else {
                     Request::Cost {
@@ -1120,9 +1646,9 @@ impl Backend for Coordinator {
             for (idx, outcome) in outcomes.into_iter().enumerate() {
                 match outcome {
                     Ok(Response::Stats { datasets, .. }) => {
-                        self.nodes[idx].set_recovering(datasets.iter().any(|d| d.recovering));
+                        nodes[idx].set_recovering(datasets.iter().any(|d| d.recovering));
                         last_failure = Some(EngineError::Remote {
-                            node: self.nodes[idx].addr().to_owned(),
+                            node: nodes[idx].addr().to_owned(),
                             message: "node is recovering (WAL replay in progress)".into(),
                         });
                     }
@@ -1137,7 +1663,7 @@ impl Backend for Coordinator {
                     }
                     Ok(other) => {
                         return Err(EngineError::Remote {
-                            node: self.nodes[idx].addr().to_owned(),
+                            node: nodes[idx].addr().to_owned(),
                             message: format!("unexpected response {other:?}"),
                         })
                     }
@@ -1217,6 +1743,7 @@ impl Backend for Coordinator {
             ingested_points: self.total_points.load(Ordering::Relaxed),
             ingested_blocks: self.total_blocks.load(Ordering::Relaxed),
             queries: self.total_queries.load(Ordering::Relaxed),
+            fleet_epoch: self.fleet_epoch(),
         })
     }
 
@@ -1251,7 +1778,7 @@ impl Backend for Coordinator {
         }
         if let Some(idx) = unreachable {
             return Err(EngineError::Remote {
-                node: self.nodes[idx].addr().to_owned(),
+                node: self.node_addr(idx),
                 message: format!(
                     "dataset `{name}` was dropped on every reachable node, but this \
                      node could not be asked — re-issue the drop when it returns"
@@ -1263,6 +1790,161 @@ impl Backend for Coordinator {
         } else {
             Err(EngineError::UnknownDataset(name.to_owned()))
         }
+    }
+
+    /// Admits `addr` into the fleet at the next epoch. Under replicated
+    /// placement, every dataset the new map ranks the newcomer for gets a
+    /// serving coreset pulled onto it from a surviving replica — coreset
+    /// composability makes the move `O(m)` per dataset, not `O(data)`. A
+    /// pull that fails leaves repair debt (healed by idented client
+    /// retries and counted on `fc_replica_write_failures_total`), never a
+    /// failed admission.
+    fn add_node(
+        &self,
+        addr: &str,
+        capacity: Option<f64>,
+    ) -> Result<(u64, usize, usize), EngineError> {
+        let capacity = capacity.unwrap_or(1.0);
+        if !capacity.is_finite() || capacity < 0.0 {
+            return Err(EngineError::InvalidArgument(format!(
+                "node `{addr}` has invalid capacity {capacity}"
+            )));
+        }
+        let (epoch, new_idx, members) = {
+            let mut fleet = self.fleet.lock().expect("fleet map lock");
+            let epoch = fleet
+                .add_member(addr, capacity)
+                .map_err(|e| EngineError::InvalidArgument(e.to_string()))?;
+            let new_idx = fleet
+                .index_of(addr)
+                .expect("freshly added member is in the roster");
+            let mut nodes = self.nodes.write().expect("node roster lock");
+            debug_assert_eq!(
+                nodes.len(),
+                new_idx,
+                "roster indices track fleet map member indices"
+            );
+            nodes.push(Arc::new(NodeHandle::new(
+                addr.to_owned(),
+                capacity,
+                self.timeouts,
+                self.binary_wire,
+            )));
+            self.metrics.push_node(addr);
+            self.rebuild_capacity_sampler(&fleet);
+            (epoch, new_idx, fleet.members().len())
+        };
+        let mut migrated = 0;
+        if self.replication >= 2 {
+            for (name, route) in self.routes_snapshot() {
+                let replicas = self.fleet.lock().expect("fleet map lock").replicas(&name);
+                if !replicas.contains(&new_idx) {
+                    continue;
+                }
+                let sources: Vec<usize> =
+                    replicas.iter().copied().filter(|&i| i != new_idx).collect();
+                match self.migrate_dataset(&name, &route, &sources, new_idx, epoch) {
+                    Ok(true) => migrated += 1,
+                    Ok(false) => {}
+                    Err(_) => self.metrics.replica_write_failures.incr(),
+                }
+            }
+        }
+        self.refresh_fleet_gauges();
+        Ok((epoch, members, migrated))
+    }
+
+    /// Marks `addr` draining at the next epoch: it leaves placement (no
+    /// new writes) but stays addressable, so its data can be shipped off
+    /// as serving coresets. Under replicated placement each dataset it
+    /// held gets a copy pulled onto the member the new map promotes
+    /// (sourced from a surviving replica first); under spread routing the
+    /// draining node's own share of every dataset is evacuated. Only
+    /// after a dataset's move succeeds is its copy dropped from the
+    /// draining node — a failed move leaves the data in place (the node
+    /// is still addressable), so a drain can degrade to "slower" but
+    /// never to "lost".
+    fn drain_node(&self, addr: &str) -> Result<(u64, usize, usize), EngineError> {
+        let routes = self.routes_snapshot();
+        let (epoch, drained_idx, members, moves) = {
+            let mut fleet = self.fleet.lock().expect("fleet map lock");
+            let drained_idx = fleet.index_of(addr).ok_or_else(|| {
+                EngineError::InvalidArgument(format!("member `{addr}` is not in the fleet"))
+            })?;
+            // Replica sets as placed *before* the drain — the only moment
+            // we can still see which datasets the drained member held.
+            let before: Vec<Vec<usize>> = if self.replication >= 2 {
+                routes
+                    .iter()
+                    .map(|(name, _)| fleet.replicas(name))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let epoch = fleet
+                .drain_member(addr)
+                .map_err(|e| EngineError::InvalidArgument(e.to_string()))?;
+            let moves: Vec<PlacementMove> = if self.replication >= 2 {
+                routes
+                    .iter()
+                    .zip(before)
+                    .filter(|(_, old)| old.contains(&drained_idx))
+                    .map(|((name, route), old)| {
+                        (name.clone(), Arc::clone(route), old, fleet.replicas(name))
+                    })
+                    .collect()
+            } else {
+                routes
+                    .iter()
+                    .map(|(name, route)| {
+                        (
+                            name.clone(),
+                            Arc::clone(route),
+                            vec![drained_idx],
+                            fleet.replicas(name),
+                        )
+                    })
+                    .collect()
+            };
+            self.rebuild_capacity_sampler(&fleet);
+            (epoch, drained_idx, fleet.members().len(), moves)
+        };
+        let mut migrated = 0;
+        for (name, route, old, new) in moves {
+            // Survivors first (longest-lived copies), the draining node
+            // itself as the last-resort source.
+            let mut sources: Vec<usize> =
+                old.iter().copied().filter(|&i| i != drained_idx).collect();
+            sources.push(drained_idx);
+            let newcomers: Vec<usize> = new.iter().copied().filter(|i| !old.contains(i)).collect();
+            let mut moved = true;
+            let mut evacuated = self.replication < 2;
+            for &target in &newcomers {
+                match self.migrate_dataset(&name, &route, &sources, target, epoch) {
+                    Ok(did) => evacuated = did || self.replication >= 2,
+                    Err(_) => {
+                        moved = false;
+                        self.metrics.replica_write_failures.incr();
+                    }
+                }
+            }
+            if !moved || !evacuated {
+                continue;
+            }
+            // The drained copy is redundant everywhere the new map reads;
+            // retire it so a later fan-out cannot resurrect it.
+            match self.node_request(
+                drained_idx,
+                &Request::DropDataset {
+                    dataset: name.clone(),
+                },
+            ) {
+                Ok(_) | Err(ClientError::Server { .. }) => migrated += 1,
+                Err(_) => self.metrics.replica_write_failures.incr(),
+            }
+        }
+        self.refresh_fleet_gauges();
+        Ok((epoch, members, migrated))
     }
 
     fn telemetry(&self) -> Option<Arc<Telemetry>> {
@@ -1281,7 +1963,7 @@ impl Backend for Coordinator {
             other => return Some(other),
         };
         let nodes: BTreeMap<String, Value> = self
-            .nodes
+            .roster()
             .iter()
             .zip(self.fan_out(&Request::Metrics))
             .map(|(node, outcome)| {
@@ -1303,13 +1985,126 @@ impl Coordinator {
     /// rendered or serialized (not on a background timer).
     fn refresh_fleet_gauges(&self) {
         let registry = &self.metrics.shared.registry;
-        registry.gauge("fc_nodes").set(self.nodes.len() as u64);
-        let alive = self
-            .nodes
+        let nodes = self.roster();
+        registry.gauge("fc_nodes").set(nodes.len() as u64);
+        let alive = nodes
             .iter()
             .filter(|n| n.health().0 == NodeHealth::Alive)
             .count();
         registry.gauge("fc_nodes_alive").set(alive as u64);
+        let (epoch, active) = {
+            let fleet = self.fleet.lock().expect("fleet map lock");
+            (fleet.epoch(), fleet.active_len())
+        };
+        registry.gauge("fc_fleet_epoch").set(epoch);
+        registry.gauge("fc_fleet_active").set(active as u64);
+        registry
+            .gauge("fc_fleet_replication")
+            .set(self.replication as u64);
+    }
+
+    /// A point-in-time copy of the route registry (membership ops iterate
+    /// it without holding the lock across network calls).
+    fn routes_snapshot(&self) -> Vec<(String, Arc<Route>)> {
+        self.routes
+            .lock()
+            .expect("route registry lock")
+            .iter()
+            .map(|(name, route)| (name.clone(), Arc::clone(route)))
+            .collect()
+    }
+
+    /// Ships a serving coreset of `name` from the first source that holds
+    /// it onto `target`, identified as the fleet's own migration client
+    /// (`client = "fc-fleet-migrate"`, `seq = epoch`) so the target's
+    /// exactly-once gate collapses a re-run of the same epoch's migration
+    /// into a no-op. Returns `Ok(false)` when no source holds any data —
+    /// nothing to move is not a failure.
+    fn migrate_dataset(
+        &self,
+        name: &str,
+        route: &Route,
+        sources: &[usize],
+        target: usize,
+        epoch: u64,
+    ) -> Result<bool, EngineError> {
+        let mut last: Option<EngineError> = None;
+        for &src in sources {
+            if src == target {
+                continue;
+            }
+            let request = Request::Compress {
+                dataset: name.to_owned(),
+                method: None,
+                seed: Some(node_seed(self.assign_seed(), src)),
+            };
+            let (points, weights) = match self.node_request(src, &request) {
+                Ok(Response::Coreset {
+                    points, weights, ..
+                }) => (points, weights),
+                Ok(other) => {
+                    last = Some(EngineError::Remote {
+                        node: self.node_addr(src),
+                        message: format!("unexpected response {other:?}"),
+                    });
+                    continue;
+                }
+                Err(e) => {
+                    match self.node_error(src, name, e) {
+                        // This source has nothing of the dataset; the next
+                        // one may.
+                        EngineError::UnknownDataset(_) | EngineError::NoData { .. } => {}
+                        err => last = Some(err),
+                    }
+                    continue;
+                }
+            };
+            if points.is_empty() {
+                return Ok(false);
+            }
+            let data = protocol::rows_to_dataset(&points, Some(&weights)).map_err(|e| {
+                EngineError::Remote {
+                    node: self.node_addr(src),
+                    message: e.to_string(),
+                }
+            })?;
+            let block_weights = if data.weights().iter().all(|&w| w == 1.0) {
+                None
+            } else {
+                Some(data.weights().to_vec())
+            };
+            let block = fc_core::PointBlock::new(
+                data.points().as_flat().to_vec(),
+                data.dim(),
+                block_weights,
+            )
+            .map_err(|e| EngineError::InvalidArgument(format!("invalid migration batch: {e}")))?;
+            let ingest = Request::Ingest {
+                dataset: name.to_owned(),
+                block,
+                plan: route.plan.clone(),
+                ident: Some(IngestIdent {
+                    client: MIGRATE_CLIENT.to_owned(),
+                    seq: epoch,
+                }),
+                epoch: None,
+            };
+            return match self.node_request(target, &ingest) {
+                Ok(Response::Ingested { .. }) => {
+                    self.metrics.migrations.incr();
+                    Ok(true)
+                }
+                Ok(other) => Err(EngineError::Remote {
+                    node: self.node_addr(target),
+                    message: format!("unexpected response {other:?}"),
+                }),
+                Err(e) => Err(self.node_error(target, name, e)),
+            };
+        }
+        match last {
+            Some(err) => Err(err),
+            None => Ok(false),
+        }
     }
 
     /// Prometheus text exposition of the coordinator's registry — per-op
@@ -1329,14 +2124,15 @@ impl Coordinator {
     /// node that just recovered still shows its last recorded trouble
     /// once, and a node that just died shows down immediately.
     fn aggregate_stats(&self, which: Option<&str>) -> Result<Vec<DatasetStats>, EngineError> {
+        let nodes = self.roster();
         let pre: Vec<(NodeHealth, Option<String>)> =
-            self.nodes.iter().map(NodeHandle::health).collect();
+            nodes.iter().map(|node| node.health()).collect();
         let outcomes = self.fan_out(&Request::Stats {
             dataset: which.map(str::to_owned),
         });
         // Per node: its reported datasets (empty when it answered
         // unknown-dataset) or None when unreachable.
-        let mut per_node: Vec<Option<Vec<DatasetStats>>> = Vec::with_capacity(self.nodes.len());
+        let mut per_node: Vec<Option<Vec<DatasetStats>>> = Vec::with_capacity(nodes.len());
         for (idx, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
                 Ok(Response::Stats { datasets, .. }) => {
@@ -1346,15 +2142,15 @@ impl Coordinator {
                     // proves the node is), never clear it.
                     let any = datasets.iter().any(|d| d.recovering);
                     if which.is_none() {
-                        self.nodes[idx].set_recovering(any);
+                        nodes[idx].set_recovering(any);
                     } else if any {
-                        self.nodes[idx].set_recovering(true);
+                        nodes[idx].set_recovering(true);
                     }
                     per_node.push(Some(datasets));
                 }
                 Ok(other) => {
                     return Err(EngineError::Remote {
-                        node: self.nodes[idx].addr().to_owned(),
+                        node: nodes[idx].addr().to_owned(),
                         message: format!("unexpected response {other:?}"),
                     })
                 }
@@ -1375,13 +2171,13 @@ impl Coordinator {
             .map(|(idx, report)| match report {
                 Some(_) => {
                     let (health, last_error) = pre[idx].clone();
-                    if health == NodeHealth::Alive && self.nodes[idx].is_recovering() {
+                    if health == NodeHealth::Alive && nodes[idx].is_recovering() {
                         (NodeHealth::Recovering, last_error)
                     } else {
                         (health, last_error)
                     }
                 }
-                None => self.nodes[idx].health(),
+                None => nodes[idx].health(),
             })
             .collect();
         let routes = self.routes.lock().expect("route registry lock");
@@ -1411,20 +2207,27 @@ impl Coordinator {
                         nodes: self.node_rows(&health),
                     }
                 });
-                // Saturating sums: a buggy or hostile node reporting
-                // near-`u64::MAX` counters must degrade the aggregate,
-                // not panic the coordinator (debug builds) or wrap it to
-                // a tiny epoch that breaks monotonicity (release builds).
-                entry.shards = entry.shards.saturating_add(stats.shards);
-                entry.ingested_points = entry.ingested_points.saturating_add(stats.ingested_points);
-                entry.ingested_weight += stats.ingested_weight;
-                entry.stored_points = entry.stored_points.saturating_add(stats.stored_points);
-                // Epochs sum across nodes (each component already sums
-                // across that node's shards), so the fleet-level epoch
-                // inherits per-node monotonicity; replay anywhere marks
-                // the whole dataset recovering.
-                entry.state_epoch.0 = entry.state_epoch.0.saturating_add(stats.state_epoch.0);
-                entry.state_epoch.1 = entry.state_epoch.1.saturating_add(stats.state_epoch.1);
+                // Under spread placement each node holds a disjoint shard
+                // of the dataset, so counters *sum* (saturating: a buggy
+                // or hostile node reporting near-`u64::MAX` counters must
+                // degrade the aggregate, not panic the coordinator in
+                // debug builds or wrap the epoch backwards in release).
+                // Under replication every replica holds the *same* data,
+                // so summing would multiply counts by R — and worse, a
+                // freshly migrated replica mid-rebalance reports a small
+                // epoch, so a sum would *jump backwards* as membership
+                // changes. Replicated merges take the max instead: the
+                // most-caught-up replica is the truth.
+                let replicated = self.replication >= 2;
+                entry.shards = merge_count_usize(entry.shards, stats.shards, replicated);
+                entry.ingested_points =
+                    merge_count(entry.ingested_points, stats.ingested_points, replicated);
+                entry.ingested_weight =
+                    merge_weight(entry.ingested_weight, stats.ingested_weight, replicated);
+                entry.stored_points =
+                    merge_count_usize(entry.stored_points, stats.stored_points, replicated);
+                entry.state_epoch =
+                    merge_state_epoch(entry.state_epoch, stats.state_epoch, replicated);
                 entry.recovering |= stats.recovering;
                 entry
                     .summaries_per_shard
@@ -1445,7 +2248,7 @@ impl Coordinator {
     /// Zeroed per-node rows carrying identity and health, ready to be
     /// filled from each node's report.
     fn node_rows(&self, health: &[(NodeHealth, Option<String>)]) -> Vec<NodeStats> {
-        self.nodes
+        self.roster()
             .iter()
             .zip(health)
             .map(|(node, (health, last_error))| NodeStats {
@@ -1466,7 +2269,7 @@ impl Coordinator {
     /// current health.
     fn empty_stats(&self, name: &str, route: &Route) -> DatasetStats {
         let health: Vec<(NodeHealth, Option<String>)> =
-            self.nodes.iter().map(NodeHandle::health).collect();
+            self.roster().iter().map(|node| node.health()).collect();
         DatasetStats {
             dataset: name.to_owned(),
             dim: route.dim,
@@ -1487,7 +2290,9 @@ impl Coordinator {
 impl std::fmt::Debug for Coordinator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Coordinator")
-            .field("nodes", &self.nodes)
+            .field("nodes", &self.roster())
+            .field("replication", &self.replication)
+            .field("fleet_epoch", &self.fleet_epoch())
             .field("policy", &self.policy)
             .field("default_plan", &self.default_plan.to_json())
             .finish_non_exhaustive()
@@ -1736,5 +2541,208 @@ mod tests {
             EngineError::UnknownDataset(_)
         ));
         a.shutdown();
+    }
+
+    /// Satellite pin for the replicated-vs-spread stats dichotomy: two
+    /// replicas mid-migration report `(5, 7)` and `(3, 9)` — the merged
+    /// epoch must be the component-wise max `(5, 9)`, not the sum
+    /// `(8, 16)` the spread path (correctly) produces for disjoint
+    /// shards. Summing replicas would double-count *and* jump backward
+    /// when a freshly seeded replica (tiny epoch) joins the report.
+    #[test]
+    fn replicated_stats_merge_takes_max_not_sum() {
+        assert_eq!(merge_state_epoch((5, 7), (3, 9), true), (5, 9));
+        assert_eq!(merge_state_epoch((5, 7), (3, 9), false), (8, 16));
+        // Max keeps the aggregate monotone as replica reports arrive in
+        // any order; the spread sum saturates instead of wrapping.
+        assert_eq!(merge_state_epoch((5, 9), (5, 7), true), (5, 9));
+        assert_eq!(
+            merge_state_epoch((u64::MAX, 0), (1, 1), false),
+            (u64::MAX, 1)
+        );
+        assert_eq!(merge_count(12, 7, true), 12);
+        assert_eq!(merge_count(12, 7, false), 19);
+        assert_eq!(merge_count_usize(3, 4, true), 4);
+        assert_eq!(merge_count_usize(3, 4, false), 7);
+        assert_eq!(merge_weight(2.5, 4.0, true), 4.0);
+        assert_eq!(merge_weight(2.5, 4.0, false), 6.5);
+    }
+
+    fn replicated_coordinator(servers: &[&ServerHandle]) -> Coordinator {
+        let mut config = CoordinatorConfig::new(servers.iter().map(|s| s.addr().to_string()));
+        config.replication = 2;
+        config.default_plan = PlanBuilder::new(4)
+            .m_scalar(25)
+            .method(Method::Uniform)
+            .build()
+            .unwrap();
+        Coordinator::new(config).unwrap()
+    }
+
+    #[test]
+    fn replication_fans_ingest_to_all_replicas_and_stats_do_not_double_count() {
+        let a = node_server();
+        let b = node_server();
+        let coordinator = replicated_coordinator(&[&a, &b]);
+        let data = blobs(100);
+        coordinator.ingest("d", &data, None).unwrap();
+        // Both replicas hold the full dataset...
+        for node in [&a, &b] {
+            assert_eq!(
+                node.engine().dataset_stats("d").unwrap().ingested_points,
+                data.len() as u64
+            );
+        }
+        // ...but the fleet-level aggregate reports it once, not R times.
+        let stats = coordinator.dataset_stats("d").unwrap();
+        assert_eq!(stats.ingested_points, data.len() as u64);
+        // Queries answer from a single replica — exact point totals, no
+        // union doubling.
+        let centers = Points::from_flat(vec![0.1, 0.1, 100.1, 0.1], 2).unwrap();
+        let (cost, _, priced) = coordinator.cost("d", &centers, None).unwrap();
+        assert!(cost > 0.0);
+        assert!(priced > 0);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn replicated_queries_survive_a_replica_loss() {
+        let a = node_server();
+        let b = node_server();
+        let coordinator = replicated_coordinator(&[&a, &b]);
+        let data = blobs(100);
+        coordinator.ingest("d", &data, None).unwrap();
+        let centers = Points::from_flat(vec![0.1, 0.1, 100.1, 0.1], 2).unwrap();
+        let (cost_before, _, _) = coordinator.cost("d", &centers, None).unwrap();
+        // Kill one replica: the survivor still answers, and with the same
+        // data (replicas are full copies) the cost is identical.
+        a.shutdown();
+        let (cost_after, _, priced) = coordinator.cost("d", &centers, None).unwrap();
+        assert!(priced > 0);
+        assert!(
+            (cost_before - cost_after).abs() <= 1e-9 * cost_before.max(1.0),
+            "replica copies must price identically: {cost_before} vs {cost_after}"
+        );
+        assert!(!coordinator
+            .coreset("d", Some(3), None)
+            .unwrap()
+            .0
+            .is_empty());
+        b.shutdown();
+    }
+
+    #[test]
+    fn duplicate_sequence_numbers_are_acknowledged_once() {
+        let a = node_server();
+        let b = node_server();
+        let coordinator = replicated_coordinator(&[&a, &b]);
+        let data = blobs(50);
+        let ident = IngestIdent {
+            client: "producer-1".to_owned(),
+            seq: 7,
+        };
+        let first = Backend::ingest(&coordinator, "d", &data, None, Some(&ident), None).unwrap();
+        assert!(!first.duplicate);
+        assert_eq!(first.total_points, data.len() as u64);
+        // The retry (same client, same seq) acks without double-counting.
+        let retry = Backend::ingest(&coordinator, "d", &data, None, Some(&ident), None).unwrap();
+        assert!(retry.duplicate);
+        assert_eq!(retry.total_points, data.len() as u64);
+        assert_eq!(
+            coordinator.dataset_stats("d").unwrap().ingested_points,
+            data.len() as u64
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn stale_epoch_requests_get_wrong_epoch() {
+        let a = node_server();
+        let b = node_server();
+        let coordinator = replicated_coordinator(&[&a, &b]);
+        assert_eq!(coordinator.fleet_epoch(), 1);
+        let err = Backend::ingest(&coordinator, "d", &blobs(10), None, None, Some(99)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::WrongEpoch {
+                    requested: 99,
+                    current: 1
+                }
+            ),
+            "{err:?}"
+        );
+        // The current epoch is accepted.
+        Backend::ingest(&coordinator, "d", &blobs(10), None, None, Some(1)).unwrap();
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn add_node_bumps_epoch_and_migrates_new_replica_sets() {
+        let a = node_server();
+        let b = node_server();
+        let c = node_server();
+        let coordinator = replicated_coordinator(&[&a, &b]);
+        let data = blobs(100);
+        coordinator.ingest("d", &data, None).unwrap();
+        let (epoch, nodes, _) =
+            Backend::add_node(&coordinator, c.addr().to_string().as_str(), None).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(nodes, 3);
+        assert_eq!(coordinator.fleet_epoch(), 2);
+        // Wherever the replica set landed, queries still answer exactly.
+        let centers = Points::from_flat(vec![0.1, 0.1, 100.1, 0.1], 2).unwrap();
+        let (cost, _, priced) = coordinator.cost("d", &centers, None).unwrap();
+        assert!(cost > 0.0);
+        assert!(priced > 0);
+        a.shutdown();
+        b.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn drain_node_moves_data_and_keeps_queries_answering() {
+        let a = node_server();
+        let b = node_server();
+        let c = node_server();
+        let coordinator = replicated_coordinator(&[&a, &b, &c]);
+        let data = blobs(100);
+        coordinator.ingest("d", &data, None).unwrap();
+        // Drain whichever node serves as the dataset's first replica so
+        // the move is guaranteed to matter.
+        let first = {
+            let fleet = coordinator.fleet.lock().unwrap();
+            let idx = fleet.replicas("d")[0];
+            fleet.members()[idx].addr().to_owned()
+        };
+        let (epoch, nodes, _) = Backend::drain_node(&coordinator, &first).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(nodes, 3, "drain marks, never removes");
+        // The dataset still answers from the post-drain replica set.
+        let centers = Points::from_flat(vec![0.1, 0.1, 100.1, 0.1], 2).unwrap();
+        let (cost, _, priced) = coordinator.cost("d", &centers, None).unwrap();
+        assert!(cost > 0.0);
+        assert!(priced > 0);
+        // Draining below R refuses.
+        let second = {
+            let fleet = coordinator.fleet.lock().unwrap();
+            fleet
+                .members()
+                .iter()
+                .find(|m| m.is_active())
+                .unwrap()
+                .addr()
+                .to_owned()
+        };
+        assert!(matches!(
+            Backend::drain_node(&coordinator, &second).unwrap_err(),
+            EngineError::InvalidArgument(_)
+        ));
+        a.shutdown();
+        b.shutdown();
+        c.shutdown();
     }
 }

@@ -18,11 +18,15 @@
 //! protocol; a node that refuses the transport entirely is
 //! [`NodeHealth::Down`]).
 //!
-//! Retry semantics are **at-least-once**: a request resent after a
-//! socket failure may have already been applied if the node processed it
-//! and died before replying. Queries are idempotent so this is free;
-//! ingest can in that narrow window double-count a batch on one node
-//! (see the ROADMAP's idempotent-ingest follow-on).
+//! Transport retry semantics are **at-least-once**: a request resent
+//! after a socket failure may have already been applied if the node
+//! processed it and died before replying. Queries are idempotent so this
+//! is free. Ingest closes the window one layer up: a batch carrying an
+//! [`fc_service::protocol::IngestIdent`] `(client, seq)` is deduplicated
+//! by the engine's per-dataset watermark (and by the coordinator's own
+//! route watermark under replication), so the at-least-once resend is
+//! acknowledged as a duplicate instead of double-counting. Only bare,
+//! unidented ingest still carries the narrow double-count window.
 
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Mutex;

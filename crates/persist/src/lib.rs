@@ -39,7 +39,7 @@ pub mod wal;
 pub use meta::{dataset_dir, fnv64, list_datasets, shard_dir, DatasetMeta};
 pub use record::crc32;
 pub use snapshot::Snapshot;
-pub use wal::{FsyncPolicy, LogOptions, Recovered, ShardLog, WalRecord};
+pub use wal::{FsyncPolicy, LogOptions, RecordMeta, Recovered, ShardLog, WalRecord};
 
 use std::path::PathBuf;
 

@@ -184,6 +184,19 @@ pub(crate) fn get_dataset(cur: &mut Cursor<'_>) -> Option<fc_geom::Dataset> {
     fc_geom::Dataset::weighted(points, weights).ok()
 }
 
+/// Appends a length-prefixed UTF-8 string.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a string written by [`put_str`]. `None` on short or non-UTF-8
+/// payloads.
+pub(crate) fn get_str(cur: &mut Cursor<'_>) -> Option<String> {
+    let len = cur.u32()? as usize;
+    std::str::from_utf8(cur.bytes(len)?).ok().map(str::to_owned)
+}
+
 /// Little-endian append helpers for building payloads.
 pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());

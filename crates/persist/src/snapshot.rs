@@ -46,6 +46,12 @@ pub struct Snapshot {
     /// The summary coreset data; `None` for a shard that had applied no
     /// blocks yet.
     pub summary: Option<Dataset>,
+    /// Exactly-once dedup state: for each ingest client whose batches
+    /// this shard applied, the highest per-dataset sequence number whose
+    /// effect the summary includes, sorted by client id. A trailing
+    /// extension — snapshots written before it decode with an empty
+    /// table, and an empty table adds no bytes.
+    pub clients: Vec<(String, u64)>,
 }
 
 impl Snapshot {
@@ -65,6 +71,13 @@ impl Snapshot {
             Some(data) => {
                 out.push(1);
                 record::put_dataset(&mut out, data);
+            }
+        }
+        if !self.clients.is_empty() {
+            record::put_u32(&mut out, self.clients.len() as u32);
+            for (client, seq) in &self.clients {
+                record::put_str(&mut out, client);
+                record::put_u64(&mut out, *seq);
             }
         }
         out
@@ -88,6 +101,18 @@ impl Snapshot {
             1 => Some(record::get_dataset(&mut cur)?),
             _ => return None,
         };
+        let mut clients = Vec::new();
+        if !cur.is_done() {
+            let n = cur.u32()? as usize;
+            if n == 0 {
+                return None;
+            }
+            for _ in 0..n {
+                let client = record::get_str(&mut cur)?;
+                let seq = cur.u64()?;
+                clients.push((client, seq));
+            }
+        }
         cur.is_done().then_some(Snapshot {
             id,
             seq,
@@ -97,6 +122,7 @@ impl Snapshot {
             weight,
             plan_json,
             summary,
+            clients,
         })
     }
 
@@ -152,6 +178,7 @@ mod tests {
             plan_json:
                 r#"{"k":4,"kind":"kmeans","m":160,"method":"fast-coreset","solver":"lloyd"}"#.into(),
             summary: Some(data),
+            clients: vec![("producer-a".into(), 42), ("producer-b".into(), 7)],
         }
     }
 
@@ -163,9 +190,10 @@ mod tests {
         snap.store(&dir).unwrap();
         let loaded = Snapshot::load(&dir.join(Snapshot::file_name(7))).unwrap();
         assert_eq!(loaded, snap);
-        // Empty-shard snapshots (no summary) round-trip too.
+        // Empty-shard snapshots (no summary, no clients) round-trip too.
         let empty = Snapshot {
             summary: None,
+            clients: Vec::new(),
             id: 8,
             ..snap
         };

@@ -71,6 +71,33 @@ impl Default for LogOptions {
     }
 }
 
+/// Optional per-record provenance carried alongside a WAL append. Both
+/// fields are trailing extensions of the record payload: meta-less
+/// records are byte-identical to the pre-extension format, and records
+/// written before the extension existed decode with an empty meta.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordMeta {
+    /// Exactly-once ingest identity: the client id and its monotonic
+    /// per-dataset sequence number for this batch. Replay rebuilds the
+    /// engine's dedup table from these, so a retry after `kill -9`
+    /// cannot double-count a batch that was already durable.
+    pub client: Option<(String, u64)>,
+    /// The request trace id that caused this append, when the request
+    /// carried one — correlates durability stalls in the WAL with
+    /// request latency in the trace log.
+    pub trace: Option<String>,
+}
+
+impl RecordMeta {
+    /// Whether there is anything to persist.
+    pub fn is_empty(&self) -> bool {
+        self.client.is_none() && self.trace.is_none()
+    }
+}
+
+const META_FLAG_CLIENT: u8 = 0x01;
+const META_FLAG_TRACE: u8 = 0x02;
+
 /// One recovered (or replayable) log entry: the batch a shard applied.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalRecord {
@@ -78,6 +105,8 @@ pub struct WalRecord {
     pub seq: u64,
     /// The ingested block.
     pub block: Dataset,
+    /// Provenance the append carried (empty for most records).
+    pub meta: RecordMeta,
 }
 
 /// What [`ShardLog::open`] reconstructed from disk.
@@ -266,6 +295,13 @@ impl ShardLog {
     /// number. Durability follows the fsync policy; rotation happens
     /// before the append so a record never straddles segments.
     pub fn append(&mut self, block: &Dataset) -> Result<u64, PersistError> {
+        self.append_with(block, &RecordMeta::default())
+    }
+
+    /// [`Self::append`] with per-record provenance: the exactly-once
+    /// client ident and/or the request trace id ride inside the record,
+    /// so both survive exactly as long as the data they describe.
+    pub fn append_with(&mut self, block: &Dataset, meta: &RecordMeta) -> Result<u64, PersistError> {
         if self.segment_records && self.segment_len >= self.options.segment_bytes {
             self.rotate()?;
         }
@@ -273,6 +309,23 @@ impl ShardLog {
         let mut payload = Vec::new();
         record::put_u64(&mut payload, seq);
         record::put_dataset(&mut payload, block);
+        if !meta.is_empty() {
+            let mut flags = 0u8;
+            if meta.client.is_some() {
+                flags |= META_FLAG_CLIENT;
+            }
+            if meta.trace.is_some() {
+                flags |= META_FLAG_TRACE;
+            }
+            payload.push(flags);
+            if let Some((client, client_seq)) = &meta.client {
+                record::put_str(&mut payload, client);
+                record::put_u64(&mut payload, *client_seq);
+            }
+            if let Some(trace) = &meta.trace {
+                record::put_str(&mut payload, trace);
+            }
+        }
         let framed = record::frame(&payload);
         let offset = self.segment_len;
         self.file.write_all(&framed)?;
@@ -426,7 +479,22 @@ fn decode_wal_payload(payload: &[u8]) -> Option<WalRecord> {
     let mut cur = Cursor::new(payload);
     let seq = cur.u64()?;
     let block = record::get_dataset(&mut cur)?;
-    cur.is_done().then_some(WalRecord { seq, block })
+    let mut meta = RecordMeta::default();
+    if !cur.is_done() {
+        let flags = cur.u8()?;
+        if flags & !(META_FLAG_CLIENT | META_FLAG_TRACE) != 0 {
+            return None;
+        }
+        if flags & META_FLAG_CLIENT != 0 {
+            let client = record::get_str(&mut cur)?;
+            let client_seq = cur.u64()?;
+            meta.client = Some((client, client_seq));
+        }
+        if flags & META_FLAG_TRACE != 0 {
+            meta.trace = Some(record::get_str(&mut cur)?);
+        }
+    }
+    cur.is_done().then_some(WalRecord { seq, block, meta })
 }
 
 #[cfg(test)]
@@ -532,6 +600,7 @@ mod tests {
             weight: 8.0,
             plan_json: r#"{"k":2}"#.into(),
             summary: Some(block(0.0, 3)),
+            clients: vec![("producer-a".into(), 4)],
         };
         log.install_snapshot(&snap).unwrap();
         assert_eq!(log.last_snapshot_id(), snap.id);
@@ -570,6 +639,32 @@ mod tests {
             again.tail.iter().map(|r| r.seq).collect::<Vec<_>>(),
             vec![1, 2, 3]
         );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_meta_survives_reopen_and_plain_records_stay_empty() {
+        let dir = tmp("meta");
+        fs::remove_dir_all(&dir).ok();
+        let idented = RecordMeta {
+            client: Some(("producer-a".to_owned(), 42)),
+            trace: Some("r-00000007".to_owned()),
+        };
+        let trace_only = RecordMeta {
+            client: None,
+            trace: Some("r-00000008".to_owned()),
+        };
+        {
+            let (mut log, _) = ShardLog::open(&dir, LogOptions::default()).unwrap();
+            log.append(&block(0.0, 2)).unwrap();
+            log.append_with(&block(1.0, 2), &idented).unwrap();
+            log.append_with(&block(2.0, 2), &trace_only).unwrap();
+        }
+        let (_, recovered) = ShardLog::open(&dir, LogOptions::default()).unwrap();
+        assert_eq!(recovered.tail.len(), 3);
+        assert!(recovered.tail[0].meta.is_empty());
+        assert_eq!(recovered.tail[1].meta, idented);
+        assert_eq!(recovered.tail[2].meta, trace_only);
         fs::remove_dir_all(&dir).ok();
     }
 

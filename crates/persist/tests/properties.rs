@@ -68,6 +68,7 @@ proptest! {
         seq in any::<u64>(),
         level in 0u32..40,
         raw in prop::collection::vec((0u32..2000, 0u32..2000, 0u32..100), 0..8),
+        client_raw in prop::collection::vec((0u32..50, any::<u64>()), 0..4),
     ) {
         let plans = all_plans();
         let plan = &plans[plan_idx % plans.len()];
@@ -81,6 +82,10 @@ proptest! {
             weight: raw.iter().map(|&(_, _, w)| 1.0 + f64::from(w)).sum(),
             plan_json: plan.to_json(),
             summary,
+            clients: client_raw
+                .iter()
+                .map(|&(c, s)| (format!("client-{c}"), s))
+                .collect(),
         };
         let dir = tmp("snap");
         fs::create_dir_all(&dir).unwrap();

@@ -16,7 +16,21 @@ use fc_core::Coreset;
 use fc_geom::{Dataset, Points};
 
 use crate::engine::{ClusterOutcome, Engine, EngineError};
-use crate::protocol::{DatasetStats, ServerStats};
+use crate::protocol::{DatasetStats, IngestIdent, ServerStats};
+
+/// What an ingest did: the dataset's lifetime totals after the batch, and
+/// whether the batch was recognised as an exactly-once duplicate (its
+/// points were *not* applied again; the totals are the current state).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestOutcome {
+    /// Lifetime points the dataset has applied.
+    pub total_points: u64,
+    /// Lifetime weight the dataset has applied.
+    pub total_weight: f64,
+    /// The batch's `(client, seq)` identity had already been applied, so
+    /// this call was a no-op acknowledged idempotently.
+    pub duplicate: bool,
+}
 
 /// The operations the protocol front-end dispatches. Signatures mirror
 /// [`Engine`]'s inherent methods — the engine *is* the reference backend —
@@ -25,13 +39,21 @@ use crate::protocol::{DatasetStats, ServerStats};
 pub trait Backend: Send + Sync {
     /// Ingests a weighted batch, creating the dataset on first use; an
     /// optional [`Plan`] on the creating ingest becomes the dataset's
-    /// effective plan. Returns `(lifetime points, lifetime weight)`.
+    /// effective plan. An `ident` makes the call exactly-once: a batch
+    /// whose `(client, seq)` is at or below the highest already applied
+    /// is acknowledged without being applied again. An `epoch` lets a
+    /// fleet client assert the placement version it routed under; a
+    /// backend that tracks placement (the coordinator) refuses stale
+    /// epochs with [`EngineError::WrongEpoch`], a plain engine ignores
+    /// it.
     fn ingest(
         &self,
         name: &str,
         batch: &Dataset,
         plan: Option<&Plan>,
-    ) -> Result<(u64, f64), EngineError>;
+        ident: Option<&IngestIdent>,
+        epoch: Option<u64>,
+    ) -> Result<IngestOutcome, EngineError>;
 
     /// The served coreset, the seed that produced it, and the effective
     /// compression method.
@@ -91,6 +113,29 @@ pub trait Backend: Send + Sync {
 
     /// Drops a dataset and frees whatever holds it.
     fn drop_dataset(&self, name: &str) -> Result<(), EngineError>;
+
+    /// Admits a new node into the fleet and rebalances placements onto
+    /// it. Only a placement-tracking backend (the coordinator) implements
+    /// this; the default refuses. Returns `(fleet epoch, fleet size,
+    /// datasets migrated)`.
+    fn add_node(
+        &self,
+        addr: &str,
+        _capacity: Option<f64>,
+    ) -> Result<(u64, usize, usize), EngineError> {
+        Err(EngineError::InvalidArgument(format!(
+            "cannot add node `{addr}`: this backend is not a fleet coordinator"
+        )))
+    }
+
+    /// Drains a node: moves its placements to the surviving fleet and
+    /// stops routing new work to it. Same contract as
+    /// [`Backend::add_node`].
+    fn drain_node(&self, addr: &str) -> Result<(u64, usize, usize), EngineError> {
+        Err(EngineError::InvalidArgument(format!(
+            "cannot drain node `{addr}`: this backend is not a fleet coordinator"
+        )))
+    }
 }
 
 impl Backend for Engine {
@@ -99,8 +144,10 @@ impl Backend for Engine {
         name: &str,
         batch: &Dataset,
         plan: Option<&Plan>,
-    ) -> Result<(u64, f64), EngineError> {
-        Engine::ingest(self, name, batch, plan)
+        ident: Option<&IngestIdent>,
+        _epoch: Option<u64>,
+    ) -> Result<IngestOutcome, EngineError> {
+        Engine::ingest_idented(self, name, batch, plan, ident)
     }
 
     fn coreset(

@@ -7,6 +7,7 @@ use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use crate::backend::IngestOutcome;
 use crate::framing::{WireCodec, WireFrame};
 use crate::wire;
 
@@ -206,32 +207,43 @@ impl ServiceClient {
         (self.stream, self.codec)
     }
 
-    /// Whether this connection speaks the `bin1` binary wire protocol.
+    /// Whether this connection speaks a binary wire protocol.
     pub fn is_binary(&self) -> bool {
         self.codec.is_binary()
     }
 
-    /// Offers the server the `bin1` binary wire upgrade. Returns `true`
-    /// when the server accepted (every later request on this connection
-    /// travels as binary frames), `false` when it declined — an old or
-    /// JSON-pinned server answers the `hello` with a plain error, and the
-    /// connection simply stays on JSON-lines. Transport failures still
-    /// surface as errors. Idempotent once upgraded.
+    /// Whether this connection speaks the checksummed `bin1c` wire.
+    pub fn is_checked(&self) -> bool {
+        self.codec.is_checked()
+    }
+
+    /// Offers the server a binary wire upgrade: first the checksummed
+    /// `bin1c`, then — for servers that predate frame checksums — classic
+    /// `bin1`. Returns `true` when either was accepted (every later
+    /// request on this connection travels as binary frames), `false` when
+    /// the server declined both — an old or JSON-pinned server answers
+    /// each `hello` with a plain error, and the connection simply stays
+    /// on JSON-lines. Transport failures still surface as errors.
+    /// Idempotent once upgraded.
     pub fn negotiate_binary(&mut self) -> Result<bool, ClientError> {
         if self.codec.is_binary() {
             return Ok(true);
         }
-        match self.request(&Request::Hello {
-            proto: protocol::BINARY_PROTO.to_owned(),
-        }) {
-            Ok(Response::Hello { proto }) if proto == protocol::BINARY_PROTO => {
-                self.codec.upgrade_to_binary();
-                Ok(true)
+        for offer in [protocol::BINARY_PROTO_CRC, protocol::BINARY_PROTO] {
+            match self.request(&Request::Hello {
+                proto: offer.to_owned(),
+            }) {
+                Ok(Response::Hello { proto }) if proto == offer => {
+                    self.codec
+                        .upgrade_to_binary(offer == protocol::BINARY_PROTO_CRC);
+                    return Ok(true);
+                }
+                Ok(other) => return Err(ClientError::UnexpectedResponse(Box::new(other))),
+                Err(ClientError::Server { .. }) => {}
+                Err(e) => return Err(e),
             }
-            Ok(other) => Err(ClientError::UnexpectedResponse(Box::new(other))),
-            Err(ClientError::Server { .. }) => Ok(false),
-            Err(e) => Err(e),
         }
+        Ok(false)
     }
 
     /// Sends one request and reads one response — the protocol is strictly
@@ -244,7 +256,7 @@ impl ServiceClient {
         // the client sent the coordinator.
         let trace = fc_telemetry::current_trace();
         let bytes = if self.codec.is_binary() {
-            wire::request_frame(request, trace.as_deref())
+            wire::request_frame(request, trace.as_deref(), self.codec.is_checked())
         } else {
             let mut line = request.to_json_with_trace(trace.as_deref()).into_bytes();
             line.push(b'\n');
@@ -253,7 +265,9 @@ impl ServiceClient {
         self.stream.write_all(&bytes)?;
         let response = match self.read_frame()? {
             WireFrame::Line(line) => Response::from_json(line.trim_end())?,
-            WireFrame::Binary(payload) => wire::decode_response(&payload)?,
+            WireFrame::Binary(payload) | WireFrame::Checked(payload) => {
+                wire::decode_response(&payload)?
+            }
         };
         if let Response::Error { message, code } = response {
             return Err(match code {
@@ -351,12 +365,37 @@ impl ServiceClient {
         batch: &Dataset,
         plan: Option<&Plan>,
     ) -> Result<(u64, f64), ClientError> {
-        match self.request(&Self::ingest_request(dataset, batch, plan)?)? {
+        self.ingest_idented(dataset, batch, plan, None, None)
+            .map(|o| (o.total_points, o.total_weight))
+    }
+
+    /// [`Self::ingest`] carrying an exactly-once `(client, seq)` identity
+    /// and, optionally, the fleet epoch the caller routed under. A retry
+    /// of an already-applied `(client, seq)` is acknowledged with
+    /// `duplicate: true` and the current totals instead of double-counting
+    /// the batch; a stale epoch is refused with a structured `wrong_epoch`
+    /// error by placement-tracking servers.
+    pub fn ingest_idented(
+        &mut self,
+        dataset: &str,
+        batch: &Dataset,
+        plan: Option<&Plan>,
+        ident: Option<&protocol::IngestIdent>,
+        epoch: Option<u64>,
+    ) -> Result<IngestOutcome, ClientError> {
+        match self.request(&Self::ingest_request_idented(
+            dataset, batch, plan, ident, epoch,
+        )?)? {
             Response::Ingested {
                 total_points,
                 total_weight,
+                duplicate,
                 ..
-            } => Ok((total_points, total_weight)),
+            } => Ok(IngestOutcome {
+                total_points,
+                total_weight,
+                duplicate,
+            }),
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }
@@ -401,7 +440,9 @@ impl ServiceClient {
             // error responses are recorded and draining continues.
             let response = match client.read_frame()? {
                 WireFrame::Line(line) => Response::from_json(line.trim_end())?,
-                WireFrame::Binary(payload) => wire::decode_response(&payload)?,
+                WireFrame::Binary(payload) | WireFrame::Checked(payload) => {
+                    wire::decode_response(&payload)?
+                }
             };
             match response {
                 Response::Ingested {
@@ -434,7 +475,11 @@ impl ServiceClient {
                 },
             )?;
             if self.codec.is_binary() {
-                out.extend_from_slice(&wire::request_frame(&request, trace.as_deref()));
+                out.extend_from_slice(&wire::request_frame(
+                    &request,
+                    trace.as_deref(),
+                    self.codec.is_checked(),
+                ));
             } else {
                 out.extend_from_slice(request.to_json_with_trace(trace.as_deref()).as_bytes());
                 out.push(b'\n');
@@ -466,6 +511,16 @@ impl ServiceClient {
         batch: &Dataset,
         plan: Option<&Plan>,
     ) -> Result<Request, ClientError> {
+        Self::ingest_request_idented(dataset, batch, plan, None, None)
+    }
+
+    fn ingest_request_idented(
+        dataset: &str,
+        batch: &Dataset,
+        plan: Option<&Plan>,
+        ident: Option<&protocol::IngestIdent>,
+        epoch: Option<u64>,
+    ) -> Result<Request, ClientError> {
         // Unit weights are the wire default; skip the redundant array.
         let weights = if batch.weights().iter().all(|&w| w == 1.0) {
             None
@@ -480,6 +535,8 @@ impl ServiceClient {
             dataset: dataset.into(),
             block,
             plan: plan.cloned(),
+            ident: ident.cloned(),
+            epoch,
         })
     }
 
@@ -592,6 +649,39 @@ impl ServiceClient {
             dataset: dataset.into(),
         })? {
             Response::Dropped { .. } => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Admits a node into the fleet served by a coordinator. Returns
+    /// `(fleet epoch, fleet size, datasets migrated)`.
+    pub fn add_node(
+        &mut self,
+        addr: &str,
+        capacity: Option<f64>,
+    ) -> Result<(u64, usize, usize), ClientError> {
+        match self.request(&Request::AddNode {
+            addr: addr.into(),
+            capacity,
+        })? {
+            Response::FleetUpdated {
+                epoch,
+                nodes,
+                migrated,
+            } => Ok((epoch, nodes, migrated)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Drains a node out of the fleet served by a coordinator. Same
+    /// contract as [`Self::add_node`].
+    pub fn drain_node(&mut self, addr: &str) -> Result<(u64, usize, usize), ClientError> {
+        match self.request(&Request::DrainNode { addr: addr.into() })? {
+            Response::FleetUpdated {
+                epoch,
+                nodes,
+                migrated,
+            } => Ok((epoch, nodes, migrated)),
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }

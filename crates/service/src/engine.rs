@@ -37,13 +37,14 @@ use fc_core::{CompressionParams, Compressor, Coreset, FcError};
 use fc_geom::{Dataset, Points};
 use fc_persist::{
     dataset_dir, list_datasets, shard_dir, DatasetMeta, FsyncPolicy, LogOptions, PersistError,
-    ShardLog, Snapshot, WalRecord,
+    RecordMeta, ShardLog, Snapshot, WalRecord,
 };
 use fc_telemetry::{labeled, Counter, Histogram, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::protocol::{DatasetStats, ServerStats};
+use crate::backend::IngestOutcome;
+use crate::protocol::{DatasetStats, IngestIdent, ServerStats};
 
 /// Engine configuration: sharding, the default per-dataset [`Plan`]
 /// (serving size, method/solver selection), and the quality target.
@@ -250,6 +251,15 @@ pub enum EngineError {
     /// I/O). The batch was *not* acknowledged: durability errors refuse
     /// writes rather than silently dropping the guarantee.
     Persist(String),
+    /// The request asserted a fleet placement epoch older than the
+    /// backend's current one (coordinator deployments): the client routed
+    /// under a stale `FleetMap` and must refresh it before retrying.
+    WrongEpoch {
+        /// The epoch the request carried.
+        requested: u64,
+        /// The backend's current fleet epoch.
+        current: u64,
+    },
     /// The engine is shutting down (or a shard died).
     Unavailable,
 }
@@ -280,6 +290,13 @@ impl std::fmt::Display for EngineError {
                 )
             }
             EngineError::Persist(msg) => write!(f, "persistence failure: {msg}"),
+            EngineError::WrongEpoch { requested, current } => {
+                write!(
+                    f,
+                    "fleet epoch is {current}, request carried {requested}; \
+                     refresh the fleet map and retry"
+                )
+            }
             EngineError::Unavailable => write!(f, "engine unavailable"),
         }
     }
@@ -326,6 +343,11 @@ enum ShardCmd {
         /// The block's WAL sequence number; `0` on a non-persistent
         /// engine.
         seq: u64,
+        /// Exactly-once identities the block carries: each `(client,
+        /// seq)` this block's batches were ingested under. The worker
+        /// max-merges them into its own dedup table so the next snapshot
+        /// covers exactly what this shard durably applied.
+        clients: Vec<(String, u64)>,
     },
     Snapshot(SyncSender<Option<Coreset>>),
     Shutdown {
@@ -452,10 +474,19 @@ impl Shard {
 
     /// Queues an ingest without blocking: a full queue is an error (the
     /// caller reports `overloaded` to the writer), not a pinned thread.
-    fn try_ingest(&self, block: Dataset, seq: u64) -> Result<(), TrySendError<()>> {
+    fn try_ingest(
+        &self,
+        block: Dataset,
+        seq: u64,
+        clients: Vec<(String, u64)>,
+    ) -> Result<(), TrySendError<()>> {
         self.queue_depth.fetch_add(1, Ordering::Relaxed);
         self.sender
-            .try_send(ShardCmd::Ingest { block, seq })
+            .try_send(ShardCmd::Ingest {
+                block,
+                seq,
+                clients,
+            })
             .map_err(|e| {
                 self.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 match e {
@@ -487,11 +518,27 @@ struct ShardWorker<'a> {
     blocks: u64,
     points: u64,
     weight: f64,
+    /// Per-client high-water sequence numbers of the exactly-once
+    /// identities this shard has applied — the durable half of the dedup
+    /// table, stamped into snapshots so it survives restarts alongside
+    /// the data it guards.
+    clients: HashMap<String, u64>,
     compactions_since_snapshot: u32,
     metrics: CompactionMetrics,
 }
 
 impl ShardWorker<'_> {
+    fn merge_clients<'c>(&mut self, idents: impl IntoIterator<Item = (&'c str, u64)>) {
+        for (client, seq) in idents {
+            match self.clients.get_mut(client) {
+                Some(have) => *have = (*have).max(seq),
+                None => {
+                    self.clients.insert(client.to_owned(), seq);
+                }
+            }
+        }
+    }
+
     fn apply(&mut self, block: &Dataset) {
         self.stream.insert_block(&mut self.rng, block);
         if self.stream.stored_points() > self.budget {
@@ -529,6 +576,9 @@ impl ShardWorker<'_> {
         if applied <= log.last_snapshot_seq() {
             return;
         }
+        let mut clients: Vec<(String, u64)> =
+            self.clients.iter().map(|(c, &s)| (c.clone(), s)).collect();
+        clients.sort();
         let snap = Snapshot {
             id: log.next_snapshot_id(),
             seq: applied,
@@ -538,6 +588,7 @@ impl ShardWorker<'_> {
             weight: self.weight,
             plan_json: d.plan_json.clone(),
             summary: self.stream.snapshot().map(|c| c.dataset().clone()),
+            clients,
         };
         match log.install_snapshot(&snap) {
             Ok(()) => self.compactions_since_snapshot = 0,
@@ -583,6 +634,7 @@ fn shard_loop(
         blocks: 0,
         points: 0,
         weight: 0.0,
+        clients: HashMap::new(),
         compactions_since_snapshot: 0,
         metrics,
     };
@@ -595,6 +647,7 @@ fn shard_loop(
             worker.blocks = snap.blocks;
             worker.points = snap.points;
             worker.weight = snap.weight;
+            worker.clients = snap.clients.into_iter().collect();
             if let Some(summary) = snap.summary {
                 worker
                     .stream
@@ -608,6 +661,9 @@ fn shard_loop(
                 std::thread::sleep(d.replay_throttle);
             }
             worker.apply(&rec.block);
+            if let Some((client, seq)) = &rec.meta.client {
+                worker.merge_clients([(client.as_str(), *seq)]);
+            }
             d.shared.applied_seq.store(rec.seq, Ordering::Release);
             worker.publish(&gauges);
         }
@@ -615,8 +671,13 @@ fn shard_loop(
     while let Ok(cmd) = receiver.recv() {
         let mut stop = false;
         match cmd {
-            ShardCmd::Ingest { block, seq } => {
+            ShardCmd::Ingest {
+                block,
+                seq,
+                clients,
+            } => {
                 worker.apply(&block);
+                worker.merge_clients(clients.iter().map(|(c, s)| (c.as_str(), *s)));
                 if let Some(d) = &durability {
                     d.shared.applied_seq.store(seq, Ordering::Release);
                     worker.maybe_snapshot(d, seq);
@@ -670,9 +731,14 @@ struct PendingBuf {
     weights: Vec<f64>,
     /// WAL sequence of the newest coalesced batch (0 when non-persistent).
     /// The worker's `applied_seq` jumps straight to it on flush — replay
-    /// after a crash mid-buffer re-applies the coalesced batches, which is
-    /// exactly the at-least-once contract.
+    /// after a crash mid-buffer re-applies the coalesced batches (their
+    /// WAL records carry the dedup identities, so idented replay stays
+    /// exactly-once).
     seq: u64,
+    /// Exactly-once identities of the coalesced batches, handed to the
+    /// worker with the flushed block so its durable dedup table covers
+    /// them.
+    clients: Vec<(String, u64)>,
     /// When the oldest unflushed batch arrived (deadline flushing).
     since: Option<Instant>,
 }
@@ -681,6 +747,7 @@ impl PendingBuf {
     fn clear(&mut self) {
         self.rows.clear();
         self.weights.clear();
+        self.clients.clear();
         self.since = None;
     }
 
@@ -716,6 +783,12 @@ struct DatasetEntry {
     /// Total ingested weight; f64 behind a mutex since ingest batches are
     /// coarse enough that contention is irrelevant.
     ingested_weight: Mutex<f64>,
+    /// Exactly-once dedup table: per ingest client, the highest sequence
+    /// number this dataset has acknowledged. This is the live authority
+    /// consulted before every idented ingest; the shard workers keep the
+    /// durable halves (their snapshot tables plus WAL record metas), from
+    /// which this map is rebuilt on recovery.
+    clients: Mutex<HashMap<String, u64>>,
     /// `Some` on persistent engines.
     persist: Option<DatasetPersist>,
     /// Per-dataset counters, cached handles into the engine registry.
@@ -729,6 +802,7 @@ struct DatasetMetrics {
     points: Counter,
     blocks: Counter,
     overloads: Counter,
+    duplicates: Counter,
 }
 
 impl DatasetEntry {
@@ -788,6 +862,7 @@ impl DatasetEntry {
         self.shards[shard_idx].send(ShardCmd::Ingest {
             block,
             seq: pending.seq,
+            clients: pending.clients.clone(),
         })?;
         pending.clear();
         Ok(())
@@ -891,6 +966,7 @@ struct EngineMetrics {
     shared: Arc<Telemetry>,
     ingest_points: Counter,
     ingest_blocks: Counter,
+    ingest_duplicates: Counter,
     overloads: Counter,
     ingest_seconds: Histogram,
     coreset_seconds: Histogram,
@@ -912,6 +988,7 @@ impl EngineMetrics {
         EngineMetrics {
             ingest_points: shared.registry.counter("fc_ingest_points_total"),
             ingest_blocks: shared.registry.counter("fc_ingest_blocks_total"),
+            ingest_duplicates: shared.registry.counter("fc_ingest_duplicates_total"),
             overloads: shared.registry.counter("fc_overloaded_total"),
             ingest_seconds: op_hist("ingest", fc_telemetry::FAST_OP_EDGES_US),
             coreset_seconds: op_hist("coreset", fc_telemetry::SOLVE_OP_EDGES_US),
@@ -950,6 +1027,10 @@ impl EngineMetrics {
                 .shared
                 .registry
                 .counter(&labeled("fc_overloaded_total", &labels)),
+            duplicates: self
+                .shared
+                .registry
+                .counter(&labeled("fc_ingest_duplicates_total", &labels)),
         }
     }
 }
@@ -1103,15 +1184,28 @@ impl Engine {
             let mut persists = Vec::with_capacity(meta.shards);
             let mut points = 0u64;
             let mut weight = 0.0f64;
+            // Rebuild the exactly-once watermark alongside the totals:
+            // max-merge client seqs from every shard snapshot and every
+            // tail record so a replayed duplicate is refused just like a
+            // live one.
+            let mut clients: HashMap<String, u64> = HashMap::new();
             for s in 0..meta.shards {
                 let (log, recovered) = ShardLog::open(&shard_dir(&dir, s), pc.log_options())?;
                 if let Some(snap) = &recovered.snapshot {
                     points += snap.points;
                     weight += snap.weight;
+                    for (client, seq) in &snap.clients {
+                        let have = clients.entry(client.clone()).or_insert(0);
+                        *have = (*have).max(*seq);
+                    }
                 }
                 for rec in &recovered.tail {
                     points += rec.block.len() as u64;
                     weight += rec.block.total_weight();
+                    if let Some((client, seq)) = &rec.meta.client {
+                        let have = clients.entry(client.clone()).or_insert(0);
+                        *have = (*have).max(*seq);
+                    }
                 }
                 let shared = Arc::new(ShardPersist {
                     log: Mutex::new(log),
@@ -1148,6 +1242,7 @@ impl Engine {
                     next_shard: AtomicUsize::new(0),
                     ingested_points: AtomicU64::new(points),
                     ingested_weight: Mutex::new(weight),
+                    clients: Mutex::new(clients),
                     persist: Some(DatasetPersist {
                         dir,
                         shards: persists,
@@ -1219,8 +1314,26 @@ impl Engine {
         batch: &Dataset,
         plan: Option<&Plan>,
     ) -> Result<(u64, f64), EngineError> {
+        self.ingest_idented(name, batch, plan, None)
+            .map(|o| (o.total_points, o.total_weight))
+    }
+
+    /// [`Self::ingest`] with an optional exactly-once identity: a batch
+    /// whose `(client, seq)` is at or below the highest this dataset has
+    /// already acknowledged for that client is *not* applied again — it is
+    /// acknowledged idempotently with the current totals and
+    /// `duplicate: true`. On persistent engines the identity rides in the
+    /// batch's WAL record and in shard snapshots, so dedup survives
+    /// `kill -9` exactly as far as the data it guards does.
+    pub fn ingest_idented(
+        &self,
+        name: &str,
+        batch: &Dataset,
+        plan: Option<&Plan>,
+        ident: Option<&IngestIdent>,
+    ) -> Result<IngestOutcome, EngineError> {
         let started = Instant::now();
-        let out = self.ingest_inner(name, batch, plan);
+        let out = self.ingest_inner(name, batch, plan, ident);
         self.metrics.ingest_seconds.observe(started.elapsed());
         out
     }
@@ -1230,7 +1343,8 @@ impl Engine {
         name: &str,
         batch: &Dataset,
         plan: Option<&Plan>,
-    ) -> Result<(u64, f64), EngineError> {
+        ident: Option<&IngestIdent>,
+    ) -> Result<IngestOutcome, EngineError> {
         if batch.is_empty() {
             return Err(EngineError::InvalidArgument("empty ingest batch".into()));
         }
@@ -1269,6 +1383,45 @@ impl Engine {
                 got: batch.dim(),
             });
         }
+        // Exactly-once gate. The watermark lock is held across the
+        // append+enqueue below so two batches racing under one client
+        // serialize: whichever applies first advances the watermark before
+        // the other checks it. Every error path below returns without
+        // advancing the watermark — a refused batch stays retryable under
+        // the same seq.
+        let mut watermark = ident.map(|ident| {
+            let guard = entry
+                .clients
+                .lock()
+                .expect("client watermark lock is never poisoned");
+            (guard, ident)
+        });
+        if let Some((guard, ident)) = &watermark {
+            if guard
+                .get(&ident.client)
+                .is_some_and(|&have| ident.seq <= have)
+            {
+                self.metrics.ingest_duplicates.incr();
+                entry.metrics.duplicates.incr();
+                let total_points = entry.ingested_points.load(Ordering::Relaxed);
+                let total_weight = *entry
+                    .ingested_weight
+                    .lock()
+                    .expect("weight counter lock is never poisoned");
+                return Ok(IngestOutcome {
+                    total_points,
+                    total_weight,
+                    duplicate: true,
+                });
+            }
+        }
+        let idents: Vec<(String, u64)> = ident
+            .map(|i| vec![(i.client.clone(), i.seq)])
+            .unwrap_or_default();
+        let meta = RecordMeta {
+            client: ident.map(|i| (i.client.clone(), i.seq)),
+            trace: fc_telemetry::current_trace(),
+        };
         let shard_idx = entry.next_shard.fetch_add(1, Ordering::Relaxed) % entry.shards.len();
         let full = |_| {
             self.metrics.overloads.incr();
@@ -1279,11 +1432,11 @@ impl Engine {
             }
         };
         if self.config.batching_enabled() {
-            self.ingest_coalesced(&entry, batch, shard_idx, &full)?;
+            self.ingest_coalesced(&entry, batch, shard_idx, &idents, &meta, &full)?;
         } else {
             match &entry.persist {
                 None => entry.shards[shard_idx]
-                    .try_ingest(batch.clone(), 0)
+                    .try_ingest(batch.clone(), 0, idents)
                     .map_err(|e| match e {
                         TrySendError::Full(()) => full(()),
                         TrySendError::Disconnected(()) => EngineError::Unavailable,
@@ -1295,9 +1448,9 @@ impl Engine {
                     // resurrect a write the client was told to retry.
                     let shard = &p.shards[shard_idx];
                     let mut log = shard.log.lock().expect("shard log lock is never poisoned");
-                    let seq = log.append(batch)?;
+                    let seq = log.append_with(batch, &meta)?;
                     entry.shards[shard_idx]
-                        .try_ingest(batch.clone(), seq)
+                        .try_ingest(batch.clone(), seq, idents)
                         .map_err(|e| {
                             if let Err(rb) = log.rollback(seq) {
                                 // The rollback itself failing means the record
@@ -1313,6 +1466,11 @@ impl Engine {
                         })?;
                 }
             }
+        }
+        // The batch is durable and queued: advance the client watermark so
+        // a retry of this seq from here on is answered as a duplicate.
+        if let Some((guard, ident)) = watermark.as_mut() {
+            guard.insert(ident.client.clone(), ident.seq);
         }
         let total_points = entry
             .ingested_points
@@ -1333,7 +1491,11 @@ impl Engine {
         self.metrics.ingest_blocks.incr();
         entry.metrics.points.add(batch.len() as u64);
         entry.metrics.blocks.incr();
-        Ok((total_points, total_weight))
+        Ok(IngestOutcome {
+            total_points,
+            total_weight,
+            duplicate: false,
+        })
     }
 
     /// Folds `batch` into its shard's coalescing buffer, flushing when a
@@ -1348,6 +1510,8 @@ impl Engine {
         entry: &DatasetEntry,
         batch: &Dataset,
         shard_idx: usize,
+        idents: &[(String, u64)],
+        meta: &RecordMeta,
         full: &dyn Fn(()) -> EngineError,
     ) -> Result<(), EngineError> {
         let mut log = entry.persist.as_ref().map(|p| {
@@ -1358,17 +1522,19 @@ impl Engine {
         });
         let seq = match log.as_mut() {
             None => 0,
-            Some(log) => log.append(batch)?,
+            Some(log) => log.append_with(batch, meta)?,
         };
         let mut pending = entry.pending[shard_idx]
             .lock()
             .expect("pending buffer lock is never poisoned");
         let rows_before = pending.rows.len();
         let weights_before = pending.weights.len();
+        let clients_before = pending.clients.len();
         let seq_before = pending.seq;
         let since_before = pending.since;
         pending.rows.extend_from_slice(batch.points().as_flat());
         pending.weights.extend_from_slice(batch.weights());
+        pending.clients.extend_from_slice(idents);
         pending.seq = seq.max(pending.seq);
         if pending.since.is_none() {
             pending.since = Some(Instant::now());
@@ -1383,7 +1549,7 @@ impl Engine {
         let block = pending
             .as_block(entry.dim)
             .expect("the buffer holds at least this batch");
-        match entry.shards[shard_idx].try_ingest(block, pending.seq) {
+        match entry.shards[shard_idx].try_ingest(block, pending.seq, pending.clients.clone()) {
             Ok(()) => {
                 pending.clear();
                 Ok(())
@@ -1393,6 +1559,7 @@ impl Engine {
                 // were acknowledged and stay pending for a later flush.
                 pending.rows.truncate(rows_before);
                 pending.weights.truncate(weights_before);
+                pending.clients.truncate(clients_before);
                 pending.seq = seq_before;
                 pending.since = since_before;
                 if let Some(log) = log.as_mut() {
@@ -1484,6 +1651,7 @@ impl Engine {
             next_shard: AtomicUsize::new(0),
             ingested_points: AtomicU64::new(0),
             ingested_weight: Mutex::new(0.0),
+            clients: Mutex::default(),
             persist: self.config.persist.as_ref().map(|pc| DatasetPersist {
                 dir: dataset_dir(&pc.data_dir, name),
                 shards: persists,
@@ -1682,6 +1850,7 @@ impl Engine {
             ingested_points: self.total_points.load(Ordering::Relaxed),
             ingested_blocks: self.total_blocks.load(Ordering::Relaxed),
             queries: self.total_queries.load(Ordering::Relaxed),
+            fleet_epoch: 0,
         }
     }
 

@@ -7,10 +7,15 @@
 //! whatever bytes arrived, then drain the complete frames. A connection
 //! may upgrade to the length-prefixed binary format (`bin1`, negotiated
 //! via a `{"op":"hello","proto":"bin1"}` line); [`BinaryCodec`] frames
-//! that stream as `[u32 LE payload length][payload]` records.
-//! [`WireCodec`] abstracts over both so the reactor server's non-blocking
-//! reads, the blocking [`crate::ServiceClient`], and the `fc-cluster`
-//! coordinator's multiplexed node connections all frame through one type.
+//! that stream as `[u32 LE payload length][payload]` records. The
+//! checksummed variant (`bin1c`) frames as
+//! `[u32 LE length][u32 LE crc32][payload]` — the length counts the
+//! checksum and the payload, so the boundary arithmetic is unchanged —
+//! and verifies each payload's CRC-32 before handing it up.
+//! [`WireCodec`] abstracts over all three so the reactor server's
+//! non-blocking reads, the blocking [`crate::ServiceClient`], and the
+//! `fc-cluster` coordinator's multiplexed node connections all frame
+//! through one type.
 //!
 //! Failure shapes differ in what can happen next:
 //!
@@ -23,7 +28,11 @@
 //!   the server to buffer without bound), so the connection must be
 //!   answered once and closed;
 //! - a binary stream that ends mid-frame is *fatal* at EOF — unlike a
-//!   line, a truncated length-prefixed record has no implicit terminator.
+//!   line, a truncated length-prefixed record has no implicit terminator;
+//! - a checksum mismatch on a `bin1c` frame is *recoverable* — the length
+//!   prefix fixed the frame's boundary, so the damaged frame is discarded,
+//!   an error can be answered in its pipeline position, and the stream
+//!   resynchronizes at the next frame.
 
 /// Largest *request* frame the server buffers. A peer that never sends a
 /// newline would otherwise grow the buffer until the process OOMs; 64 MiB
@@ -49,6 +58,11 @@ pub enum FrameError {
     /// A binary stream ended mid-frame (partial length prefix or partial
     /// payload at EOF). Fatal: the record can never complete.
     Truncated,
+    /// A checksummed (`bin1c`) frame's payload failed CRC verification.
+    /// Recoverable: the length prefix fixed the frame boundary, so the
+    /// damaged frame was consumed and the stream resynchronizes at the
+    /// next frame.
+    Corrupt,
 }
 
 impl FrameError {
@@ -66,6 +80,7 @@ impl std::fmt::Display for FrameError {
                 write!(f, "frame exceeds {limit} bytes")
             }
             FrameError::Truncated => write!(f, "frame truncated at end of stream"),
+            FrameError::Corrupt => write!(f, "frame failed checksum verification"),
         }
     }
 }
@@ -254,6 +269,9 @@ pub struct BinaryCodec {
     /// Bytes before this offset are consumed (compacted away lazily).
     start: usize,
     max_frame: usize,
+    /// `bin1c` mode: every frame carries a CRC-32 of its payload between
+    /// the length prefix and the payload (the length counts both).
+    checked: bool,
     /// Set once an oversized prefix was observed; the codec refuses to
     /// continue afterwards (the caller must close the connection).
     poisoned: bool,
@@ -263,23 +281,36 @@ impl BinaryCodec {
     /// A codec that rejects payloads longer than `max_frame` bytes
     /// (length prefix excluded).
     pub fn new(max_frame: usize) -> Self {
-        Self {
-            buf: Vec::new(),
-            start: 0,
-            max_frame,
-            poisoned: false,
-        }
+        Self::with_remainder_checked(max_frame, Vec::new(), false)
+    }
+
+    /// A checksummed (`bin1c`) codec: frames are
+    /// `[len][crc32][payload]` and each payload is verified against its
+    /// CRC before being handed up.
+    pub fn new_checked(max_frame: usize) -> Self {
+        Self::with_remainder_checked(max_frame, Vec::new(), true)
     }
 
     /// Builds a codec pre-seeded with bytes the transport already
     /// delivered (frames the peer pipelined behind its upgrade request).
     pub fn with_remainder(max_frame: usize, remainder: Vec<u8>) -> Self {
+        Self::with_remainder_checked(max_frame, remainder, false)
+    }
+
+    /// [`Self::with_remainder`], in either classic or checksummed mode.
+    pub fn with_remainder_checked(max_frame: usize, remainder: Vec<u8>, checked: bool) -> Self {
         Self {
             buf: remainder,
             start: 0,
             max_frame,
+            checked,
             poisoned: false,
         }
+    }
+
+    /// Whether this codec verifies per-frame CRCs (`bin1c`).
+    pub fn is_checked(&self) -> bool {
+        self.checked
     }
 
     /// The configured frame limit in bytes.
@@ -319,7 +350,11 @@ impl BinaryCodec {
             return Ok(None);
         }
         let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
-        if len > self.max_frame {
+        // In checked mode `len` counts the 4-byte CRC plus the payload, so
+        // the limit applies to `len - 4`. A checked frame too short to even
+        // hold its checksum is corrupt, not oversized — the boundary is
+        // still known, so it is skipped like any other damaged frame.
+        if len.saturating_sub(if self.checked { 4 } else { 0 }) > self.max_frame {
             self.poisoned = true;
             return Err(FrameError::Oversized {
                 limit: self.max_frame,
@@ -327,6 +362,19 @@ impl BinaryCodec {
         }
         if avail.len() < 4 + len {
             return Ok(None);
+        }
+        if self.checked {
+            if len < 4 {
+                self.start += 4 + len;
+                return Err(FrameError::Corrupt);
+            }
+            let stored = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]);
+            let payload = self.buf[self.start + 8..self.start + 4 + len].to_vec();
+            self.start += 4 + len;
+            if fc_persist::crc32(&payload) != stored {
+                return Err(FrameError::Corrupt);
+            }
+            return Ok(Some(payload));
         }
         let payload = self.buf[self.start + 4..self.start + 4 + len].to_vec();
         self.start += 4 + len;
@@ -363,6 +411,11 @@ pub enum WireFrame {
     Line(String),
     /// A `bin1` binary payload (the length prefix already stripped).
     Binary(Vec<u8>),
+    /// A `bin1c` binary payload whose CRC already verified (length prefix
+    /// and checksum stripped). Same payload encoding as [`Self::Binary`];
+    /// the distinction tells the responder which frame format to answer
+    /// in.
+    Checked(Vec<u8>),
 }
 
 /// A codec over either wire format. Connections start as
@@ -389,9 +442,19 @@ impl WireCodec {
         WireCodec::Binary(BinaryCodec::new(max_frame))
     }
 
-    /// Whether this codec frames the binary format.
+    /// A checksummed (`bin1c`) binary codec with the given frame limit.
+    pub fn binary_checked(max_frame: usize) -> Self {
+        WireCodec::Binary(BinaryCodec::new_checked(max_frame))
+    }
+
+    /// Whether this codec frames the binary format (either flavour).
     pub fn is_binary(&self) -> bool {
         matches!(self, WireCodec::Binary(_))
+    }
+
+    /// Whether this codec frames the checksummed binary format.
+    pub fn is_checked(&self) -> bool {
+        matches!(self, WireCodec::Binary(c) if c.is_checked())
     }
 
     /// The configured frame limit in bytes.
@@ -422,6 +485,7 @@ impl WireCodec {
     pub fn next_frame(&mut self) -> Result<Option<WireFrame>, FrameError> {
         match self {
             WireCodec::Json(c) => Ok(c.next_frame()?.map(WireFrame::Line)),
+            WireCodec::Binary(c) if c.is_checked() => Ok(c.next_frame()?.map(WireFrame::Checked)),
             WireCodec::Binary(c) => Ok(c.next_frame()?.map(WireFrame::Binary)),
         }
     }
@@ -431,6 +495,7 @@ impl WireCodec {
     pub fn finish(&mut self) -> Result<Option<WireFrame>, FrameError> {
         match self {
             WireCodec::Json(c) => Ok(c.finish()?.map(WireFrame::Line)),
+            WireCodec::Binary(c) if c.is_checked() => Ok(c.finish()?.map(WireFrame::Checked)),
             WireCodec::Binary(c) => Ok(c.finish()?.map(WireFrame::Binary)),
         }
     }
@@ -443,14 +508,15 @@ impl WireCodec {
         }
     }
 
-    /// Switches a JSON connection to binary framing, carrying every
-    /// unconsumed byte (frames the peer pipelined after its `hello`)
-    /// into the new framer. No-op if already binary.
-    pub fn upgrade_to_binary(&mut self) {
+    /// Switches a JSON connection to binary framing (`checked` selects
+    /// `bin1c`), carrying every unconsumed byte (frames the peer
+    /// pipelined after its `hello`) into the new framer. No-op if already
+    /// binary.
+    pub fn upgrade_to_binary(&mut self, checked: bool) {
         if let WireCodec::Json(line) = self {
             let max = line.max_frame();
             let rest = line.take_remaining();
-            *self = WireCodec::Binary(BinaryCodec::with_remainder(max, rest));
+            *self = WireCodec::Binary(BinaryCodec::with_remainder_checked(max, rest, checked));
         }
     }
 }
@@ -609,11 +675,84 @@ mod tests {
         codec.push(&wire);
         let hello = codec.next_frame().unwrap().unwrap();
         assert!(matches!(hello, WireFrame::Line(ref l) if l.contains("hello")));
-        codec.upgrade_to_binary();
+        codec.upgrade_to_binary(false);
         assert!(codec.is_binary());
+        assert!(!codec.is_checked());
         assert_eq!(
             codec.next_frame(),
             Ok(Some(WireFrame::Binary(b"pipelined".to_vec())))
+        );
+    }
+
+    fn crc_frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = ((payload.len() as u32 + 4).to_le_bytes()).to_vec();
+        out.extend_from_slice(&fc_persist::crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn checked_frames_round_trip_and_tolerate_chunking() {
+        let mut codec = BinaryCodec::new_checked(64);
+        let mut wire = crc_frame(b"first");
+        wire.extend_from_slice(&crc_frame(b""));
+        wire.extend_from_slice(&crc_frame(b"third"));
+        for b in wire {
+            codec.push(&[b]);
+        }
+        assert_eq!(codec.next_frame(), Ok(Some(b"first".to_vec())));
+        assert_eq!(codec.next_frame(), Ok(Some(Vec::new())));
+        assert_eq!(codec.next_frame(), Ok(Some(b"third".to_vec())));
+        assert_eq!(codec.next_frame(), Ok(None));
+        assert_eq!(codec.finish(), Ok(None));
+    }
+
+    #[test]
+    fn corrupt_checked_frame_is_recoverable() {
+        let mut codec = BinaryCodec::new_checked(64);
+        let mut bad = crc_frame(b"payload");
+        *bad.last_mut().unwrap() ^= 0x01; // flip one payload bit
+        codec.push(&bad);
+        codec.push(&crc_frame(b"good"));
+        assert_eq!(codec.next_frame(), Err(FrameError::Corrupt));
+        assert!(!FrameError::Corrupt.is_fatal());
+        assert!(!codec.is_poisoned());
+        // The stream resynchronizes on the very next frame.
+        assert_eq!(codec.next_frame(), Ok(Some(b"good".to_vec())));
+        // A frame too short to hold its checksum is corrupt too.
+        let mut codec = BinaryCodec::new_checked(64);
+        codec.push(&[2, 0, 0, 0, 0xAA, 0xBB]);
+        codec.push(&crc_frame(b"after"));
+        assert_eq!(codec.next_frame(), Err(FrameError::Corrupt));
+        assert_eq!(codec.next_frame(), Ok(Some(b"after".to_vec())));
+    }
+
+    #[test]
+    fn checked_limit_applies_to_the_payload_not_the_checksum() {
+        // An 8-byte payload under an 8-byte limit: len on the wire is 12.
+        let mut codec = BinaryCodec::new_checked(8);
+        codec.push(&crc_frame(b"12345678"));
+        assert_eq!(codec.next_frame(), Ok(Some(b"12345678".to_vec())));
+        // One byte more is oversized and fatal.
+        let mut codec = BinaryCodec::new_checked(8);
+        codec.push(&crc_frame(b"123456789"));
+        assert_eq!(codec.next_frame(), Err(FrameError::Oversized { limit: 8 }));
+        assert!(codec.is_poisoned());
+    }
+
+    #[test]
+    fn upgrade_to_checked_yields_checked_frames() {
+        let mut codec = WireCodec::json(64);
+        let mut wire = b"{\"op\":\"hello\",\"proto\":\"bin1c\"}\n".to_vec();
+        wire.extend_from_slice(&crc_frame(b"pipelined"));
+        codec.push(&wire);
+        codec.next_frame().unwrap().unwrap();
+        codec.upgrade_to_binary(true);
+        assert!(codec.is_binary());
+        assert!(codec.is_checked());
+        assert_eq!(
+            codec.next_frame(),
+            Ok(Some(WireFrame::Checked(b"pipelined".to_vec())))
         );
     }
 }

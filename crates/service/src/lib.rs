@@ -60,7 +60,7 @@ pub mod wire;
 pub use fc_core::json;
 pub use fc_persist::FsyncPolicy;
 
-pub use backend::Backend;
+pub use backend::{Backend, IngestOutcome};
 pub use client::{ClientError, ClusterResult, RetryPolicy, ServiceClient};
 pub use engine::{ClusterOutcome, DrainHook, Engine, EngineConfig, EngineError, PersistConfig};
 pub use framing::{BinaryCodec, FrameError, LineCodec, WireCodec, WireFrame};

@@ -67,6 +67,27 @@ use fc_geom::{Dataset, Points};
 /// [`crate::wire`] for the frame layout.
 pub const BINARY_PROTO: &str = "bin1";
 
+/// The checksummed binary wire protocol: identical payloads to
+/// [`BINARY_PROTO`], but every frame is `[len][crc32][payload]` so a
+/// flipped bit on the wire is answered as a structured error instead of
+/// silently corrupting a batch. Negotiated exactly like `bin1`; servers
+/// that predate it decline the hello and the client falls back.
+pub const BINARY_PROTO_CRC: &str = "bin1c";
+
+/// Exactly-once ingest identity: a stable client id plus a per-dataset
+/// monotonic sequence number. The engine remembers the highest sequence
+/// applied per `(dataset, client)` — ahead of the WAL, and persisted in
+/// it — so a retried batch (client resend after a lost ack, coordinator
+/// replica fan-out, node restart mid-ingest) is acknowledged as a
+/// duplicate instead of double-counting weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestIdent {
+    /// Stable client identity; sequence numbers are scoped to it.
+    pub client: String,
+    /// Monotonic per-dataset sequence number for this batch.
+    pub seq: u64,
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -91,6 +112,14 @@ pub enum Request {
         /// Re-sending the same plan is idempotent; a different plan for an
         /// existing dataset is an error.
         plan: Option<Plan>,
+        /// Optional exactly-once identity (`client` + `seq` on the wire).
+        /// Without it, retries are at-least-once as before.
+        ident: Option<IngestIdent>,
+        /// The `FleetMap` epoch the sender routed under, when it routed
+        /// via a fleet. A coordinator whose map has moved on answers a
+        /// structured `wrong_epoch` error instead of applying the batch
+        /// to a stale replica set.
+        epoch: Option<u64>,
     },
     /// Returns the dataset's current served coreset.
     Compress {
@@ -138,6 +167,25 @@ pub enum Request {
     DropDataset {
         /// Dataset name.
         dataset: String,
+    },
+    /// Fleet admin: adds a node to the coordinator's `FleetMap`, bumps
+    /// the epoch, and migrates serving coresets for every dataset whose
+    /// replica set now includes the newcomer. Answered with
+    /// [`Response::FleetUpdated`]; plain servers answer an error.
+    AddNode {
+        /// Address of the node to add (as the coordinator will dial it).
+        addr: String,
+        /// Routing capacity weight; `1.0` when omitted.
+        capacity: Option<f64>,
+    },
+    /// Fleet admin: marks a node draining (out of placement, still
+    /// addressable), bumps the epoch, migrates each affected dataset's
+    /// serving coresets to its replacement replica, and drops the moved
+    /// datasets from the drained node. Answered with
+    /// [`Response::FleetUpdated`]; plain servers answer an error.
+    DrainNode {
+        /// Address of the node to drain.
+        addr: String,
     },
 }
 
@@ -262,6 +310,11 @@ pub struct ServerStats {
     pub ingested_blocks: u64,
     /// Queries (compress, cluster, cost) served since start.
     pub queries: u64,
+    /// The answering process's current `FleetMap` epoch — non-zero only
+    /// on a coordinator, where it increments on every membership change
+    /// (add/drain) and never goes backward. Optional on decode (`0` when
+    /// absent): plain servers and older coordinators never emit it.
+    pub fleet_epoch: u64,
 }
 
 /// A server response. `Error` is the only failure shape on the wire.
@@ -284,6 +337,11 @@ pub enum Response {
         total_points: u64,
         /// Lifetime ingested weight after this batch.
         total_weight: f64,
+        /// `true` when the batch carried an [`IngestIdent`] the engine
+        /// had already applied: nothing was ingested, the totals report
+        /// current state, and the retry is safe. Optional on decode
+        /// (`false` when absent) — servers only emit it when set.
+        duplicate: bool,
     },
     /// Outcome of a `Compress`: the served coreset.
     Coreset {
@@ -352,6 +410,15 @@ pub enum Response {
         /// Dataset name.
         dataset: String,
     },
+    /// Outcome of an `AddNode` / `DrainNode` fleet-membership change.
+    FleetUpdated {
+        /// The `FleetMap` epoch after the change.
+        epoch: u64,
+        /// Roster size after the change (draining members included).
+        nodes: usize,
+        /// Datasets whose serving coresets were migrated by the change.
+        migrated: usize,
+    },
     /// Any failure.
     Error {
         /// Human-readable description.
@@ -388,6 +455,11 @@ pub enum ErrorCode {
     /// immediately would only rebuild the same queue; the client should
     /// back off or reduce load.
     DeadlineExceeded,
+    /// The request carried a `FleetMap` epoch older than the server's
+    /// current one — membership changed under the sender. The error
+    /// message names the current epoch; the client should refresh its
+    /// view (`stats` reports the epoch) and re-route.
+    WrongEpoch,
 }
 
 impl ErrorCode {
@@ -399,6 +471,7 @@ impl ErrorCode {
             ErrorCode::NoData => "no_data",
             ErrorCode::Unavailable => "unavailable",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::WrongEpoch => "wrong_epoch",
         }
     }
 
@@ -411,6 +484,7 @@ impl ErrorCode {
             "no_data" => Some(ErrorCode::NoData),
             "unavailable" => Some(ErrorCode::Unavailable),
             "deadline_exceeded" => Some(ErrorCode::DeadlineExceeded),
+            "wrong_epoch" => Some(ErrorCode::WrongEpoch),
             _ => None,
         }
     }
@@ -627,6 +701,8 @@ impl Request {
             Request::Stats { .. } => "stats",
             Request::Metrics => "metrics",
             Request::DropDataset { .. } => "drop_dataset",
+            Request::AddNode { .. } => "add_node",
+            Request::DrainNode { .. } => "drain_node",
         }
     }
 
@@ -640,6 +716,8 @@ impl Request {
                 dataset,
                 block,
                 plan,
+                ident,
+                epoch,
             } => {
                 let mut pairs = vec![
                     ("op", Value::from("ingest")),
@@ -651,6 +729,13 @@ impl Request {
                 }
                 if let Some(p) = plan {
                     pairs.push(("plan", p.to_value()));
+                }
+                if let Some(id) = ident {
+                    pairs.push(("client", Value::from(id.client.clone())));
+                    pairs.push(("seq", Value::from(id.seq)));
+                }
+                if let Some(e) = epoch {
+                    pairs.push(("epoch", Value::from(*e)));
                 }
                 pairs_to_object(pairs)
             }
@@ -723,6 +808,20 @@ impl Request {
                 ("op", Value::from("drop_dataset")),
                 ("dataset", Value::from(dataset.clone())),
             ]),
+            Request::AddNode { addr, capacity } => {
+                let mut pairs = vec![
+                    ("op", Value::from("add_node")),
+                    ("addr", Value::from(addr.clone())),
+                ];
+                if let Some(c) = capacity {
+                    pairs.push(("capacity", Value::from(*c)));
+                }
+                pairs_to_object(pairs)
+            }
+            Request::DrainNode { addr } => pairs_to_object(vec![
+                ("op", Value::from("drain_node")),
+                ("addr", Value::from(addr.clone())),
+            ]),
         }
     }
 
@@ -793,10 +892,41 @@ impl Request {
                             .map_err(|e| ProtocolError::new(format!("invalid `plan`: {e}")))?,
                     ),
                 };
+                let client = match v.get("client") {
+                    None | Some(Value::Null) => None,
+                    Some(c) => Some(
+                        c.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| ProtocolError::new("`client` must be a string"))?,
+                    ),
+                };
+                let seq = match v.get("seq") {
+                    None | Some(Value::Null) => None,
+                    Some(s) => Some(s.as_u64().ok_or_else(|| {
+                        ProtocolError::new("`seq` must be a non-negative integer")
+                    })?),
+                };
+                let ident = match (client, seq) {
+                    (Some(client), Some(seq)) => Some(IngestIdent { client, seq }),
+                    (None, None) => None,
+                    _ => {
+                        return Err(ProtocolError::new(
+                            "`client` and `seq` must be sent together",
+                        ))
+                    }
+                };
+                let epoch = match v.get("epoch") {
+                    None | Some(Value::Null) => None,
+                    Some(e) => Some(e.as_u64().ok_or_else(|| {
+                        ProtocolError::new("`epoch` must be a non-negative integer")
+                    })?),
+                };
                 Ok(Request::Ingest {
                     dataset,
                     block,
                     plan,
+                    ident,
+                    epoch,
                 })
             }
             "compress" => Ok(Request::Compress {
@@ -868,6 +998,22 @@ impl Request {
             "drop_dataset" => Ok(Request::DropDataset {
                 dataset: required_str(v, "dataset")?,
             }),
+            "add_node" => Ok(Request::AddNode {
+                addr: required_str(v, "addr")?,
+                capacity: match v.get("capacity") {
+                    None | Some(Value::Null) => None,
+                    Some(c) => Some(
+                        c.as_f64()
+                            .filter(|c| c.is_finite() && *c >= 0.0)
+                            .ok_or_else(|| {
+                                ProtocolError::new("`capacity` must be a non-negative number")
+                            })?,
+                    ),
+                },
+            }),
+            "drain_node" => Ok(Request::DrainNode {
+                addr: required_str(v, "addr")?,
+            }),
             other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
         }
     }
@@ -930,12 +1076,16 @@ fn node_stats_from_value(v: &Value) -> Result<NodeStats, ProtocolError> {
 }
 
 fn server_stats_to_value(s: &ServerStats) -> Value {
-    object([
+    let mut pairs = vec![
         ("uptime_secs", Value::from(s.uptime_secs)),
         ("ingested_points", Value::from(s.ingested_points)),
         ("ingested_blocks", Value::from(s.ingested_blocks)),
         ("queries", Value::from(s.queries)),
-    ])
+    ];
+    if s.fleet_epoch != 0 {
+        pairs.push(("fleet_epoch", Value::from(s.fleet_epoch)));
+    }
+    pairs_to_object(pairs)
 }
 
 fn server_stats_from_value(v: &Value) -> Result<ServerStats, ProtocolError> {
@@ -949,6 +1099,8 @@ fn server_stats_from_value(v: &Value) -> Result<ServerStats, ProtocolError> {
         ingested_points: counter("ingested_points")?,
         ingested_blocks: counter("ingested_blocks")?,
         queries: counter("queries")?,
+        // Optional on decode: plain servers have no fleet.
+        fleet_epoch: v.get("fleet_epoch").and_then(Value::as_u64).unwrap_or(0),
     })
 }
 
@@ -1084,14 +1236,21 @@ impl Response {
                 points,
                 total_points,
                 total_weight,
-            } => object([
-                ("ok", Value::from(true)),
-                ("kind", Value::from("ingested")),
-                ("dataset", Value::from(dataset.clone())),
-                ("points", Value::from(*points)),
-                ("total_points", Value::from(*total_points)),
-                ("total_weight", Value::from(*total_weight)),
-            ]),
+                duplicate,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Value::from(true)),
+                    ("kind", Value::from("ingested")),
+                    ("dataset", Value::from(dataset.clone())),
+                    ("points", Value::from(*points)),
+                    ("total_points", Value::from(*total_points)),
+                    ("total_weight", Value::from(*total_weight)),
+                ];
+                if *duplicate {
+                    pairs.push(("duplicate", Value::from(true)));
+                }
+                pairs_to_object(pairs)
+            }
             Response::Coreset {
                 dataset,
                 points,
@@ -1163,6 +1322,17 @@ impl Response {
                 ("kind", Value::from("dropped")),
                 ("dataset", Value::from(dataset.clone())),
             ]),
+            Response::FleetUpdated {
+                epoch,
+                nodes,
+                migrated,
+            } => object([
+                ("ok", Value::from(true)),
+                ("kind", Value::from("fleet_updated")),
+                ("epoch", Value::from(*epoch)),
+                ("nodes", Value::from(*nodes)),
+                ("migrated", Value::from(*migrated)),
+            ]),
             Response::Error { message, code } => {
                 let mut pairs = vec![
                     ("ok", Value::from(false)),
@@ -1209,6 +1379,8 @@ impl Response {
                     .and_then(Value::as_u64)
                     .ok_or_else(|| ProtocolError::new("missing integer field `total_points`"))?,
                 total_weight: num("total_weight")?,
+                // Optional on decode: only emitted when set.
+                duplicate: v.get("duplicate").and_then(Value::as_bool).unwrap_or(false),
             }),
             "coreset" => Ok(Response::Coreset {
                 dataset: required_str(&v, "dataset")?,
@@ -1279,6 +1451,14 @@ impl Response {
             }),
             "dropped" => Ok(Response::Dropped {
                 dataset: required_str(&v, "dataset")?,
+            }),
+            "fleet_updated" => Ok(Response::FleetUpdated {
+                epoch: v
+                    .get("epoch")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| ProtocolError::new("missing integer field `epoch`"))?,
+                nodes: int("nodes")?,
+                migrated: int("migrated")?,
             }),
             "error" => Ok(Response::Error {
                 message: required_str(&v, "message")?,
@@ -1353,11 +1533,18 @@ mod tests {
             dataset: "d".into(),
             block: PointBlock::new(vec![0.0, 1.5, -2.25, 3.0], 2, Some(vec![1.0, 2.5])).unwrap(),
             plan: None,
+            ident: None,
+            epoch: None,
         });
         round_trip_request(Request::Ingest {
             dataset: "d".into(),
             block: PointBlock::new(vec![0.5], 1, None).unwrap(),
             plan: None,
+            ident: Some(IngestIdent {
+                client: "producer-a".into(),
+                seq: 42,
+            }),
+            epoch: Some(3),
         });
         round_trip_request(Request::Ingest {
             dataset: "d".into(),
@@ -1372,6 +1559,8 @@ mod tests {
                     .build()
                     .unwrap(),
             ),
+            ident: None,
+            epoch: None,
         });
         round_trip_request(Request::Compress {
             dataset: "a/b c".into(),
@@ -1410,6 +1599,46 @@ mod tests {
         round_trip_request(Request::DropDataset {
             dataset: "d".into(),
         });
+        round_trip_request(Request::AddNode {
+            addr: "127.0.0.1:4801".into(),
+            capacity: Some(2.5),
+        });
+        round_trip_request(Request::AddNode {
+            addr: "127.0.0.1:4801".into(),
+            capacity: None,
+        });
+        round_trip_request(Request::DrainNode {
+            addr: "127.0.0.1:4801".into(),
+        });
+    }
+
+    #[test]
+    fn ingest_idents_are_paired_and_optional() {
+        // A lone `client` or lone `seq` is a protocol error.
+        for line in [
+            r#"{"op":"ingest","dataset":"d","points":[[1]],"client":"c"}"#,
+            r#"{"op":"ingest","dataset":"d","points":[[1]],"seq":3}"#,
+        ] {
+            let err = Request::from_json(line).expect_err(line);
+            assert!(err.message.contains("sent together"), "{}", err.message);
+        }
+        // Old decoders never looked at these keys, so idented ingests
+        // stay parseable as plain ones — that is what keeps the fields
+        // backward-compatible on JSON.
+        let line = r#"{"op":"ingest","dataset":"d","points":[[1]],"client":"c","seq":3,"epoch":9}"#;
+        match Request::from_json(line).unwrap() {
+            Request::Ingest { ident, epoch, .. } => {
+                assert_eq!(
+                    ident,
+                    Some(IngestIdent {
+                        client: "c".into(),
+                        seq: 3
+                    })
+                );
+                assert_eq!(epoch, Some(9));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -1445,6 +1674,14 @@ mod tests {
             points: 128,
             total_points: 1 << 40,
             total_weight: 1099511627776.5,
+            duplicate: false,
+        });
+        round_trip_response(Response::Ingested {
+            dataset: "d".into(),
+            points: 0,
+            total_points: 1 << 40,
+            total_weight: 1099511627776.5,
+            duplicate: true,
         });
         round_trip_response(Response::Coreset {
             dataset: "d".into(),
@@ -1491,6 +1728,7 @@ mod tests {
                 ingested_points: 1 << 41,
                 ingested_blocks: 1 << 21,
                 queries: 42,
+                fleet_epoch: 0,
             }),
         });
         // Coordinator stats carry per-node identity and health.
@@ -1542,6 +1780,22 @@ mod tests {
         round_trip_response(Response::Dropped {
             dataset: "d".into(),
         });
+        // Coordinators report their fleet epoch; plain servers omit it.
+        round_trip_response(Response::Stats {
+            datasets: Vec::new(),
+            server: Some(ServerStats {
+                uptime_secs: 10,
+                ingested_points: 0,
+                ingested_blocks: 0,
+                queries: 0,
+                fleet_epoch: 17,
+            }),
+        });
+        round_trip_response(Response::FleetUpdated {
+            epoch: 4,
+            nodes: 3,
+            migrated: 2,
+        });
         round_trip_response(Response::Metrics {
             metrics: json::parse(r#"{"counters":{"fc_requests_total":7},"traces":[]}"#).unwrap(),
         });
@@ -1560,6 +1814,10 @@ mod tests {
         round_trip_response(Response::Error {
             message: "request waited 120ms, deadline 100ms".into(),
             code: Some(ErrorCode::DeadlineExceeded),
+        });
+        round_trip_response(Response::Error {
+            message: "fleet epoch is 5, request carried 3".into(),
+            code: Some(ErrorCode::WrongEpoch),
         });
         // Unknown codes from newer servers decode as None, not an error.
         match Response::from_json(r#"{"kind":"error","message":"m","code":"quota"}"#).unwrap() {

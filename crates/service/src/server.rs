@@ -275,6 +275,7 @@ fn engine_error(e: EngineError) -> Response {
         EngineError::UnknownDataset(_) => Some(protocol::ErrorCode::UnknownDataset),
         EngineError::NoData { .. } => Some(protocol::ErrorCode::NoData),
         EngineError::Unavailable => Some(protocol::ErrorCode::Unavailable),
+        EngineError::WrongEpoch { .. } => Some(protocol::ErrorCode::WrongEpoch),
         _ => None,
     };
     Response::Error {
@@ -320,20 +321,56 @@ fn framing_error_response(e: &FrameError) -> Response {
                 format!("request frame exceeds {limit} bytes")
             }
             FrameError::Truncated => "request frame truncated at end of stream".to_owned(),
+            FrameError::Corrupt => "request frame failed checksum verification".to_owned(),
         },
         code: None,
     }
 }
 
-/// Encodes one response in the connection's current wire format: a
-/// newline-terminated JSON line, or one `bin1` frame.
-fn encode_response(response: &Response, binary: bool) -> Vec<u8> {
-    if binary {
-        wire::response_frame(response)
+/// The wire format one response is encoded in — decided per *request*
+/// frame, so a pipeline that crosses a protocol upgrade answers each
+/// request in the format it arrived in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireStyle {
+    /// Newline-terminated JSON.
+    Json,
+    /// A classic `bin1` frame.
+    Binary,
+    /// A checksummed `bin1c` frame.
+    Checked,
+}
+
+/// The style a request frame arrived in.
+fn frame_style(frame: &WireFrame) -> WireStyle {
+    match frame {
+        WireFrame::Line(_) => WireStyle::Json,
+        WireFrame::Binary(_) => WireStyle::Binary,
+        WireFrame::Checked(_) => WireStyle::Checked,
+    }
+}
+
+/// The style the codec currently speaks (for locally answered errors).
+fn codec_style(codec: &WireCodec) -> WireStyle {
+    if !codec.is_binary() {
+        WireStyle::Json
+    } else if codec.is_checked() {
+        WireStyle::Checked
     } else {
-        let mut bytes = response.to_json().into_bytes();
-        bytes.push(b'\n');
-        bytes
+        WireStyle::Binary
+    }
+}
+
+/// Encodes one response in the connection's current wire format: a
+/// newline-terminated JSON line, or one `bin1`/`bin1c` frame.
+fn encode_response(response: &Response, style: WireStyle) -> Vec<u8> {
+    match style {
+        WireStyle::Json => {
+            let mut bytes = response.to_json().into_bytes();
+            bytes.push(b'\n');
+            bytes
+        }
+        WireStyle::Binary => wire::response_frame(response, false),
+        WireStyle::Checked => wire::response_frame(response, true),
     }
 }
 
@@ -346,6 +383,17 @@ fn hello_proto(line: &str) -> Option<String> {
     }
     match Request::from_json_with_trace(line.trim()) {
         Ok((Request::Hello { proto }, _)) => Some(proto),
+        _ => None,
+    }
+}
+
+/// Whether a `hello` proto names a binary wire this server can upgrade
+/// to; `Some(checked)` picks between classic `bin1` and checksummed
+/// `bin1c` framing.
+fn binary_upgrade(proto: &str) -> Option<bool> {
+    match proto {
+        protocol::BINARY_PROTO => Some(false),
+        protocol::BINARY_PROTO_CRC => Some(true),
         _ => None,
     }
 }
@@ -389,6 +437,8 @@ pub fn handle_request(backend: &dyn Backend, request: Request) -> Response {
             dataset,
             block,
             plan,
+            ident,
+            epoch,
         } => {
             let points = block.len();
             let batch = match block.into_dataset() {
@@ -400,12 +450,13 @@ pub fn handle_request(backend: &dyn Backend, request: Request) -> Response {
                     }
                 }
             };
-            match backend.ingest(&dataset, &batch, plan.as_ref()) {
-                Ok((total_points, total_weight)) => Response::Ingested {
+            match backend.ingest(&dataset, &batch, plan.as_ref(), ident.as_ref(), epoch) {
+                Ok(outcome) => Response::Ingested {
                     dataset,
                     points,
-                    total_points,
-                    total_weight,
+                    total_points: outcome.total_points,
+                    total_weight: outcome.total_weight,
+                    duplicate: outcome.duplicate,
                 },
                 Err(e) => engine_error(e),
             }
@@ -497,6 +548,22 @@ pub fn handle_request(backend: &dyn Backend, request: Request) -> Response {
                 message: "this backend exposes no metrics".to_owned(),
                 code: None,
             },
+        },
+        Request::AddNode { addr, capacity } => match backend.add_node(&addr, capacity) {
+            Ok((epoch, nodes, migrated)) => Response::FleetUpdated {
+                epoch,
+                nodes,
+                migrated,
+            },
+            Err(e) => engine_error(e),
+        },
+        Request::DrainNode { addr } => match backend.drain_node(&addr) {
+            Ok((epoch, nodes, migrated)) => Response::FleetUpdated {
+                epoch,
+                nodes,
+                migrated,
+            },
+            Err(e) => engine_error(e),
         },
     }
 }
@@ -660,30 +727,38 @@ mod threaded {
             Ok(WireFrame::Line(line)) => {
                 if binary_wire {
                     if let Some(proto) = hello_proto(&line) {
-                        if proto == protocol::BINARY_PROTO {
+                        if let Some(checked) = binary_upgrade(&proto) {
                             // Acknowledge in JSON (the client still reads
-                            // JSON), then decode everything after as bin1.
-                            stream
-                                .write_all(&encode_response(&Response::Hello { proto }, false))?;
-                            codec.upgrade_to_binary();
+                            // JSON), then decode everything after as
+                            // bin1/bin1c.
+                            stream.write_all(&encode_response(
+                                &Response::Hello { proto },
+                                WireStyle::Json,
+                            ))?;
+                            codec.upgrade_to_binary(checked);
                             return Ok(stop.load(Ordering::SeqCst));
                         }
                     }
                 }
                 match execute_line(backend, &line) {
-                    Some(response) => encode_response(&response, false),
+                    Some(response) => encode_response(&response, WireStyle::Json),
                     None => return Ok(false),
                 }
             }
             Ok(WireFrame::Binary(payload)) => {
-                encode_response(&execute_binary(backend, &payload), true)
+                encode_response(&execute_binary(backend, &payload), WireStyle::Binary)
+            }
+            Ok(WireFrame::Checked(payload)) => {
+                encode_response(&execute_binary(backend, &payload), WireStyle::Checked)
             }
             Err(e) => {
                 stream.write_all(&encode_response(
                     &framing_error_response(&e),
-                    codec.is_binary(),
+                    codec_style(codec),
                 ))?;
-                // Oversized or truncated frames cannot be resynchronized.
+                // Oversized or truncated frames cannot be resynchronized;
+                // a corrupt checked frame was consumed whole, so the
+                // stream resynchronizes at the next frame.
                 return Ok(e.is_fatal());
             }
         };
@@ -988,7 +1063,7 @@ mod reactor_server {
     fn frame_len(frame: &WireFrame) -> usize {
         match frame {
             WireFrame::Line(line) => line.len(),
-            WireFrame::Binary(payload) => payload.len(),
+            WireFrame::Binary(payload) | WireFrame::Checked(payload) => payload.len(),
         }
     }
 
@@ -1163,7 +1238,7 @@ mod reactor_server {
             let shed = deadline.is_some_and(|d| waited > d);
             let mut bytes = Vec::new();
             for frame in &job.frames {
-                let binary = matches!(frame, WireFrame::Binary(_));
+                let style = frame_style(frame);
                 if shed {
                     metrics.deadline_shed.incr();
                     bytes.extend_from_slice(&encode_response(
@@ -1175,20 +1250,20 @@ mod reactor_server {
                             ),
                             code: Some(protocol::ErrorCode::DeadlineExceeded),
                         },
-                        binary,
+                        style,
                     ));
                     continue;
                 }
                 match frame {
                     WireFrame::Line(line) => {
                         if let Some(response) = execute_line(backend, line) {
-                            bytes.extend_from_slice(&encode_response(&response, false));
+                            bytes.extend_from_slice(&encode_response(&response, style));
                         }
                     }
-                    WireFrame::Binary(payload) => {
+                    WireFrame::Binary(payload) | WireFrame::Checked(payload) => {
                         bytes.extend_from_slice(&encode_response(
                             &execute_binary(backend, payload),
-                            true,
+                            style,
                         ));
                     }
                 }
@@ -1444,12 +1519,12 @@ mod reactor_server {
                         if binary_wire {
                             if let WireFrame::Line(line) = &frame {
                                 if let Some(proto) = hello_proto(line) {
-                                    if proto == protocol::BINARY_PROTO {
+                                    if let Some(checked) = binary_upgrade(&proto) {
                                         conn.push_pending(PendingFrame::Reply(encode_response(
                                             &Response::Hello { proto },
-                                            false,
+                                            WireStyle::Json,
                                         )));
-                                        conn.codec.upgrade_to_binary();
+                                        conn.codec.upgrade_to_binary(checked);
                                         continue;
                                     }
                                 }
@@ -1461,14 +1536,14 @@ mod reactor_server {
                     Err(e) if e.is_fatal() => {
                         conn.push_pending(PendingFrame::FatalReply(encode_response(
                             &framing_error_response(&e),
-                            conn.codec.is_binary(),
+                            codec_style(&conn.codec),
                         )));
                         conn.read_closed = true;
                         break;
                     }
                     Err(e) => conn.push_pending(PendingFrame::Reply(encode_response(
                         &framing_error_response(&e),
-                        conn.codec.is_binary(),
+                        codec_style(&conn.codec),
                     ))),
                 }
             }
@@ -1481,12 +1556,12 @@ mod reactor_server {
                     Err(e) if e.is_fatal() => {
                         conn.push_pending(PendingFrame::FatalReply(encode_response(
                             &framing_error_response(&e),
-                            conn.codec.is_binary(),
+                            codec_style(&conn.codec),
                         )));
                     }
                     Err(e) => conn.push_pending(PendingFrame::Reply(encode_response(
                         &framing_error_response(&e),
-                        conn.codec.is_binary(),
+                        codec_style(&conn.codec),
                     ))),
                 }
             }
@@ -1664,6 +1739,8 @@ mod tests {
                 )
                 .unwrap(),
                 plan: None,
+                ident: None,
+                epoch: None,
             },
         );
         assert!(

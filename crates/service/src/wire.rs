@@ -1,15 +1,29 @@
-//! The `bin1` binary wire format: opcode-tagged payloads inside
+//! The `bin1`/`bin1c` binary wire format: opcode-tagged payloads inside
 //! length-prefixed frames.
 //!
 //! A connection negotiates this format with a JSON
 //! `{"op":"hello","proto":"bin1"}` line (see [`crate::protocol`]); after
 //! the server's JSON acknowledgement, every frame in both directions is
-//! `[u32 LE payload length][payload]` ([`crate::framing::BinaryCodec`])
-//! with the payload laid out as:
+//! `[u32 LE payload length][payload]` ([`crate::framing::BinaryCodec`]).
+//! Negotiating `"proto":"bin1c"` instead selects the checksummed frame
+//! `[u32 LE length][u32 LE crc32][payload]` — identical payload
+//! encodings, but each frame's integrity is verified and a damaged frame
+//! is answered with a structured error in its pipeline position instead
+//! of desynchronizing the stream. Servers that predate `bin1c` decline
+//! the hello and the client falls back to `bin1`, then JSON. The payload
+//! is laid out as:
 //!
 //! ```text
-//! [opcode u8][flags u8][if flags&1: trace str][body...]
+//! [opcode u8][flags u8][if flags&1: trace str]
+//! [if flags&2: client str, seq u64][if flags&4: epoch u64][body...]
 //! ```
+//!
+//! The `flags&2` (ingest identity for exactly-once dedup) and `flags&4`
+//! (fleet epoch) extensions are only emitted on `bin1c` connections —
+//! classic `bin1` peers predate them, so an idented ingest sent to one
+//! rides the embedded-JSON opcode instead, keeping `bin1` byte-for-byte
+//! compatible. Likewise an `ingested` response carries a trailing
+//! `duplicate u8` only on `bin1c`.
 //!
 //! where `str` is `[u32 LE byte length][UTF-8 bytes]` and every number is
 //! little-endian. The hot operations — `ingest` and `cost` requests, and
@@ -27,7 +41,7 @@
 //! | `0x01` | request   | ingest: `dataset str, has_weights u8, has_plan u8, [plan str,] dim u32, count u32, count*dim f64, [count f64]` |
 //! | `0x02` | request   | cost: `dataset str, kind u8, dim u32, count u32, count*dim f64` |
 //! | `0x80` | response  | JSON response line (UTF-8) |
-//! | `0x81` | response  | ingested: `dataset str, points u64, total_points u64, total_weight f64` |
+//! | `0x81` | response  | ingested: `dataset str, points u64, total_points u64, total_weight f64[, duplicate u8 — bin1c only]` |
 //! | `0x82` | response  | coreset: `dataset str, method str, seed u64, dim u32, count u32, count*dim f64, count f64` |
 //! | `0x83` | response  | cost: `dataset str, kind u8, cost f64, coreset_points u64` |
 //! | `0x84` | response  | clustered: `dataset str, kind u8, solver str, coreset_cost f64, coreset_points u64, seed u64, dim u32, count u32, count*dim f64` |
@@ -40,7 +54,7 @@ use fc_clustering::CostKind;
 use fc_core::plan::Plan;
 use fc_core::PointBlock;
 
-use crate::protocol::{ErrorCode, ProtocolError, Request, Response};
+use crate::protocol::{ErrorCode, IngestIdent, ProtocolError, Request, Response};
 
 const OP_REQ_JSON: u8 = 0x00;
 const OP_REQ_INGEST: u8 = 0x01;
@@ -53,6 +67,9 @@ const OP_RESP_CLUSTERED: u8 = 0x84;
 const OP_RESP_ERROR: u8 = 0x85;
 
 const FLAG_TRACE: u8 = 0x01;
+const FLAG_IDENT: u8 = 0x02;
+const FLAG_EPOCH: u8 = 0x04;
+const KNOWN_FLAGS: u8 = FLAG_TRACE | FLAG_IDENT | FLAG_EPOCH;
 
 fn put_u32(out: &mut Vec<u8>, x: u32) {
     out.extend_from_slice(&x.to_le_bytes());
@@ -107,8 +124,17 @@ fn kind_from_byte(b: u8) -> Result<Option<CostKind>, ProtocolError> {
     }
 }
 
-/// Wraps an encoded payload in its `[u32 LE length]` frame header.
-fn frame(payload: Vec<u8>) -> Vec<u8> {
+/// Wraps an encoded payload in its frame header: `[u32 LE length]` for
+/// classic `bin1`, `[u32 LE length][u32 LE crc32]` for `bin1c` (the
+/// length counts the checksum and the payload).
+fn frame(payload: Vec<u8>, checked: bool) -> Vec<u8> {
+    if checked {
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        put_u32(&mut out, payload.len() as u32 + 4);
+        put_u32(&mut out, fc_persist::crc32(&payload));
+        out.extend_from_slice(&payload);
+        return out;
+    }
     let mut out = Vec::with_capacity(payload.len() + 4);
     put_u32(&mut out, payload.len() as u32);
     out.extend_from_slice(&payload);
@@ -116,17 +142,42 @@ fn frame(payload: Vec<u8>) -> Vec<u8> {
 }
 
 /// Encodes a request as one complete binary frame (length prefix
-/// included), ready to write to the transport.
-pub fn request_frame(request: &Request, trace: Option<&str>) -> Vec<u8> {
+/// included), ready to write to the transport. `checked` selects the
+/// negotiated flavour: `bin1c` framing plus the ident/epoch payload
+/// extensions, which classic `bin1` peers never see (an idented ingest
+/// bound for one rides the embedded-JSON opcode instead).
+pub fn request_frame(request: &Request, trace: Option<&str>, checked: bool) -> Vec<u8> {
     let mut p = Vec::with_capacity(64);
     match request {
         Request::Ingest {
             dataset,
             block,
             plan,
-        } => {
+            ident,
+            epoch,
+        } if checked || (ident.is_none() && epoch.is_none()) => {
             p.push(OP_REQ_INGEST);
-            push_flags_and_trace(&mut p, trace);
+            let mut flags = 0u8;
+            if trace.is_some() {
+                flags |= FLAG_TRACE;
+            }
+            if ident.is_some() {
+                flags |= FLAG_IDENT;
+            }
+            if epoch.is_some() {
+                flags |= FLAG_EPOCH;
+            }
+            p.push(flags);
+            if let Some(id) = trace {
+                put_str(&mut p, id);
+            }
+            if let Some(ident) = ident {
+                put_str(&mut p, &ident.client);
+                put_u64(&mut p, ident.seq);
+            }
+            if let Some(epoch) = epoch {
+                put_u64(&mut p, *epoch);
+            }
             put_str(&mut p, dataset);
             p.push(u8::from(block.weights().is_some()));
             match plan {
@@ -157,17 +208,22 @@ pub fn request_frame(request: &Request, trace: Option<&str>) -> Vec<u8> {
         other => {
             // The long tail rides as its own JSON line inside the binary
             // frame — the trace travels in the JSON, as on the text wire.
+            // Idented/epoched ingests bound for classic `bin1` peers land
+            // here too: those peers predate the payload extensions, so
+            // the identity travels in JSON, which they parse (or, for
+            // servers that predate dedup entirely, harmlessly ignore).
             p.push(OP_REQ_JSON);
             p.push(0);
             p.extend_from_slice(other.to_json_with_trace(trace).as_bytes());
         }
     }
-    frame(p)
+    frame(p, checked)
 }
 
 /// Encodes a response as one complete binary frame (length prefix
-/// included), ready to write to the transport.
-pub fn response_frame(response: &Response) -> Vec<u8> {
+/// included), ready to write to the transport. `checked` selects the
+/// negotiated flavour (see [`request_frame`]).
+pub fn response_frame(response: &Response, checked: bool) -> Vec<u8> {
     let mut p = Vec::with_capacity(64);
     match response {
         Response::Ingested {
@@ -175,13 +231,20 @@ pub fn response_frame(response: &Response) -> Vec<u8> {
             points,
             total_points,
             total_weight,
-        } => {
+            duplicate,
+        } if checked || !*duplicate => {
             p.push(OP_RESP_INGESTED);
             p.push(0);
             put_str(&mut p, dataset);
             put_u64(&mut p, *points as u64);
             put_u64(&mut p, *total_points);
             put_f64(&mut p, *total_weight);
+            // Only `bin1c` peers know about the trailing duplicate byte;
+            // a classic peer's layout ends at the weight (a duplicate ack
+            // bound for one falls through to the JSON opcode below).
+            if checked {
+                p.push(u8::from(*duplicate));
+            }
         }
         Response::Coreset {
             dataset,
@@ -248,7 +311,7 @@ pub fn response_frame(response: &Response) -> Vec<u8> {
             p.extend_from_slice(other.to_json().as_bytes());
         }
     }
-    frame(p)
+    frame(p, checked)
 }
 
 fn push_flags_and_trace(p: &mut Vec<u8>, trace: Option<&str>) {
@@ -338,6 +401,10 @@ impl<'a> Cursor<'a> {
         Ok(flat.chunks_exact(dim).map(<[f64]>::to_vec).collect())
     }
 
+    fn has_more(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
     fn done(&self) -> Result<(), ProtocolError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -362,11 +429,35 @@ pub fn decode_request(payload: &[u8]) -> Result<(Request, Option<String>), Proto
         return Request::from_json_with_trace(line);
     }
     let flags = c.u8()?;
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(ProtocolError::new(format!(
+            "unknown binary request flags 0x{:02x}",
+            flags & !KNOWN_FLAGS
+        )));
+    }
     let trace = if flags & FLAG_TRACE != 0 {
         Some(c.str()?)
     } else {
         None
     };
+    let ident = if flags & FLAG_IDENT != 0 {
+        Some(IngestIdent {
+            client: c.str()?,
+            seq: c.u64()?,
+        })
+    } else {
+        None
+    };
+    let epoch = if flags & FLAG_EPOCH != 0 {
+        Some(c.u64()?)
+    } else {
+        None
+    };
+    if op != OP_REQ_INGEST && (ident.is_some() || epoch.is_some()) {
+        return Err(ProtocolError::new(
+            "ident/epoch flags are only valid on ingest frames",
+        ));
+    }
     let request = match op {
         OP_REQ_INGEST => {
             let dataset = c.str()?;
@@ -402,6 +493,8 @@ pub fn decode_request(payload: &[u8]) -> Result<(Request, Option<String>), Proto
                 dataset,
                 block,
                 plan,
+                ident,
+                epoch,
             }
         }
         OP_REQ_COST => {
@@ -441,12 +534,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             let points = c.u64()? as usize;
             let total_points = c.u64()?;
             let total_weight = c.f64()?;
+            // `bin1c` peers append a duplicate byte; classic peers end at
+            // the weight, which decodes as "not a duplicate".
+            let duplicate = if c.has_more() { c.u8()? != 0 } else { false };
             c.done()?;
             Response::Ingested {
                 dataset,
                 points,
                 total_points,
                 total_weight,
+                duplicate,
             }
         }
         OP_RESP_CORESET => {
@@ -531,22 +628,35 @@ mod tests {
     use fc_clustering::Solver;
     use fc_core::plan::Method;
 
-    fn strip(frame: Vec<u8>) -> Vec<u8> {
+    fn strip(frame: Vec<u8>, checked: bool) -> Vec<u8> {
         let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
         assert_eq!(frame.len(), 4 + len, "frame length prefix must match");
-        frame[4..].to_vec()
+        if checked {
+            let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+            let payload = frame[8..].to_vec();
+            assert_eq!(fc_persist::crc32(&payload), crc, "frame CRC must match");
+            payload
+        } else {
+            frame[4..].to_vec()
+        }
     }
 
     fn round_trip_request(req: Request, trace: Option<&str>) {
-        let payload = strip(request_frame(&req, trace));
-        let (decoded, got_trace) = decode_request(&payload).unwrap();
-        assert_eq!(decoded, req);
-        assert_eq!(got_trace.as_deref(), trace);
+        // Both wire flavours must round-trip every request — classic
+        // `bin1` routes extension-bearing ingests through embedded JSON.
+        for checked in [false, true] {
+            let payload = strip(request_frame(&req, trace, checked), checked);
+            let (decoded, got_trace) = decode_request(&payload).unwrap();
+            assert_eq!(decoded, req);
+            assert_eq!(got_trace.as_deref(), trace);
+        }
     }
 
     fn round_trip_response(resp: Response) {
-        let payload = strip(response_frame(&resp));
-        assert_eq!(decode_response(&payload).unwrap(), resp);
+        for checked in [false, true] {
+            let payload = strip(response_frame(&resp, checked), checked);
+            assert_eq!(decode_response(&payload).unwrap(), resp);
+        }
     }
 
     #[test]
@@ -557,6 +667,8 @@ mod tests {
                 block: PointBlock::new(vec![0.0, 1.5, -2.25, 3.0], 2, Some(vec![1.0, 2.5]))
                     .unwrap(),
                 plan: None,
+                ident: None,
+                epoch: None,
             },
             Some("trace-1"),
         );
@@ -570,8 +682,23 @@ mod tests {
                         .build()
                         .unwrap(),
                 ),
+                ident: None,
+                epoch: None,
             },
             None,
+        );
+        round_trip_request(
+            Request::Ingest {
+                dataset: "d".into(),
+                block: PointBlock::new(vec![0.5, 1.5], 1, None).unwrap(),
+                plan: None,
+                ident: Some(IngestIdent {
+                    client: "producer-a".into(),
+                    seq: 42,
+                }),
+                epoch: Some(3),
+            },
+            Some("trace-2"),
         );
         round_trip_request(
             Request::Cost {
@@ -627,6 +754,14 @@ mod tests {
             points: 128,
             total_points: 1 << 40,
             total_weight: 1099511627776.5,
+            duplicate: false,
+        });
+        round_trip_response(Response::Ingested {
+            dataset: "d".into(),
+            points: 0,
+            total_points: 1 << 40,
+            total_weight: 1099511627776.5,
+            duplicate: true,
         });
         round_trip_response(Response::Coreset {
             dataset: "d".into(),
@@ -694,15 +829,72 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut payload = strip(request_frame(
-            &Request::Cost {
-                dataset: "d".into(),
-                centers: vec![vec![1.0]],
-                kind: None,
-            },
-            None,
-        ));
+        let mut payload = strip(
+            request_frame(
+                &Request::Cost {
+                    dataset: "d".into(),
+                    centers: vec![vec![1.0]],
+                    kind: None,
+                },
+                None,
+                false,
+            ),
+            false,
+        );
         payload.push(0);
         assert!(decode_request(&payload).is_err());
+    }
+
+    #[test]
+    fn idented_ingest_keeps_classic_bin1_byte_compatible() {
+        let req = Request::Ingest {
+            dataset: "d".into(),
+            block: PointBlock::new(vec![1.0], 1, None).unwrap(),
+            plan: None,
+            ident: Some(IngestIdent {
+                client: "c".into(),
+                seq: 1,
+            }),
+            epoch: None,
+        };
+        // Classic peers predate the ident flag: the frame must ride the
+        // embedded-JSON opcode they already understand.
+        let classic = strip(request_frame(&req, None, false), false);
+        assert_eq!(classic[0], OP_REQ_JSON);
+        // bin1c peers negotiated the extension: hot opcode plus flag.
+        let checked = strip(request_frame(&req, None, true), true);
+        assert_eq!(checked[0], OP_REQ_INGEST);
+        assert_eq!(checked[1], FLAG_IDENT);
+        // Same story for a duplicate ack in the other direction.
+        let resp = Response::Ingested {
+            dataset: "d".into(),
+            points: 0,
+            total_points: 10,
+            total_weight: 10.0,
+            duplicate: true,
+        };
+        assert_eq!(strip(response_frame(&resp, false), false)[0], OP_RESP_JSON);
+        assert_eq!(
+            strip(response_frame(&resp, true), true)[0],
+            OP_RESP_INGESTED
+        );
+    }
+
+    #[test]
+    fn unknown_flags_and_misplaced_extensions_are_rejected() {
+        // An unknown flag bit cannot be skipped — its field width is
+        // unknowable — so the decoder must refuse, not desynchronize.
+        let payload = [OP_REQ_COST, 0x08, 0, 0, 0, 0];
+        let err = decode_request(&payload).unwrap_err();
+        assert!(
+            err.message.contains("unknown binary request flags"),
+            "{err}"
+        );
+        // Ident/epoch flags on a non-ingest opcode are a protocol error.
+        let mut p = vec![OP_REQ_COST, FLAG_IDENT];
+        put_str(&mut p, "client");
+        put_u64(&mut p, 9);
+        let err = decode_request(&p).unwrap_err();
+        assert!(err.message.contains("only valid on ingest"), "{err}");
     }
 }

@@ -1,0 +1,236 @@
+//! Property-based exactly-once ingest: for any interleaving of idented
+//! batches across clients — with retries (duplicate sends), arbitrary
+//! cross-client ordering, and a crash restart at an arbitrary point —
+//! the engine applies each `(client, seq)` batch exactly once, so the
+//! acknowledged totals equal the unique batches exactly. The gate is a
+//! per-`(dataset, client)` high-water mark persisted in the WAL, so the
+//! property is checked both in memory and across a `kill -9`-shaped
+//! restart (`std::mem::forget`, WAL tail replay).
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fc_core::methods::Uniform;
+use fc_geom::Dataset;
+use fc_service::protocol::IngestIdent;
+use fc_service::{Engine, EngineConfig, PersistConfig};
+use proptest::prelude::*;
+
+/// One delivery: which client, which sequence number. Sequences are
+/// gap-free per client; a seq appearing more than once is a retry.
+#[derive(Debug, Clone)]
+struct Delivery {
+    client: usize,
+    seq: u64,
+}
+
+/// A schedule of deliveries over `clients` producers, each producing
+/// seqs `1..=counts[client]` in order, with retries woven in: every
+/// original delivery may be followed (not necessarily adjacently) by
+/// duplicates of any already-delivered seq for that client.
+fn schedule() -> impl Strategy<Value = Vec<Delivery>> {
+    (
+        1usize..4,
+        1u64..6,
+        prop::collection::vec((0usize..100, 0usize..100), 0..12),
+    )
+        .prop_map(|(clients, per_client, retries)| {
+            // Originals, round-robin across clients: gap-free and
+            // in-order per client, interleaved across clients.
+            let mut deliveries = Vec::new();
+            for seq in 1..=per_client {
+                for client in 0..clients {
+                    deliveries.push(Delivery { client, seq });
+                }
+            }
+            // Weave retries in: each picks a position and duplicates the
+            // most recent prior delivery of some client — a resend of a
+            // batch the producer has already sent (lost-ack shape).
+            for (pos_pick, client_pick) in retries {
+                let client = client_pick % clients;
+                let pos = pos_pick % deliveries.len();
+                let Some(seq) = deliveries[..=pos]
+                    .iter()
+                    .rev()
+                    .find(|d| d.client == client)
+                    .map(|d| d.seq)
+                else {
+                    continue;
+                };
+                deliveries.insert(pos + 1, Delivery { client, seq });
+            }
+            deliveries
+        })
+}
+
+/// A distinct batch per `(client, seq)`: `seq` points in client-specific
+/// territory, unit weights — so exact totals are countable.
+fn batch_for(client: usize, seq: u64) -> Dataset {
+    let flat: Vec<f64> = (0..seq)
+        .flat_map(|i| [client as f64 * 1000.0 + i as f64, seq as f64])
+        .collect();
+    Dataset::from_flat(flat, 2).unwrap()
+}
+
+fn client_name(client: usize) -> String {
+    format!("producer-{client}")
+}
+
+/// Points the unique batches contribute: per client, seqs `1..=n` hold
+/// `1 + 2 + … + n` points.
+fn expected_points(deliveries: &[Delivery]) -> u64 {
+    let clients = deliveries.iter().map(|d| d.client).max().unwrap_or(0) + 1;
+    (0..clients)
+        .map(|c| {
+            let max_seq = deliveries
+                .iter()
+                .filter(|d| d.client == c)
+                .map(|d| d.seq)
+                .max()
+                .unwrap_or(0);
+            max_seq * (max_seq + 1) / 2
+        })
+        .sum()
+}
+
+fn memory_engine() -> Engine {
+    Engine::with_compressor(
+        EngineConfig {
+            shards: 2,
+            k: 4,
+            m_scalar: 25,
+            ..Default::default()
+        },
+        Arc::new(Uniform),
+    )
+    .unwrap()
+}
+
+fn persistent_engine(dir: &Path) -> Engine {
+    let mut persist = PersistConfig::new(dir.to_path_buf());
+    persist.replay_throttle = Duration::ZERO;
+    Engine::with_compressor(
+        EngineConfig {
+            shards: 2,
+            k: 4,
+            m_scalar: 25,
+            persist: Some(persist),
+            ..Default::default()
+        },
+        Arc::new(Uniform),
+    )
+    .unwrap()
+}
+
+fn await_caught_up(engine: &Engine, dataset: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match engine.dataset_stats(dataset) {
+            Ok(stats) if !stats.recovering => return,
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "replay never caught up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Runs a delivery schedule against an engine, asserting each send is
+/// classified correctly (first arrival applies, re-arrival acks as
+/// duplicate) given `seen`, the cross-restart watermark map.
+fn deliver(
+    engine: &Engine,
+    deliveries: &[Delivery],
+    seen: &mut std::collections::HashMap<usize, u64>,
+) -> Result<(), TestCaseError> {
+    for d in deliveries {
+        let ident = IngestIdent {
+            client: client_name(d.client),
+            seq: d.seq,
+        };
+        let out = engine
+            .ingest_idented("dedup", &batch_for(d.client, d.seq), None, Some(&ident))
+            .expect("idented ingest succeeds");
+        let expected_dup = seen.get(&d.client).is_some_and(|&have| d.seq <= have);
+        prop_assert_eq!(
+            out.duplicate,
+            expected_dup,
+            "client {} seq {} (watermark {:?})",
+            d.client,
+            d.seq,
+            seen.get(&d.client)
+        );
+        if !expected_dup {
+            seen.insert(d.client, d.seq);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// In-memory: any schedule of originals + retries lands each unique
+    /// batch exactly once; totals are exact, never doubled.
+    #[test]
+    fn interleaved_retries_never_double_count(deliveries in schedule()) {
+        let engine = memory_engine();
+        let mut seen = std::collections::HashMap::new();
+        deliver(&engine, &deliveries, &mut seen)?;
+        let stats = engine.dataset_stats("dedup").expect("dataset exists");
+        let expected = expected_points(&deliveries);
+        prop_assert_eq!(stats.ingested_points, expected);
+        prop_assert!((stats.ingested_weight - expected as f64).abs() < 1e-9);
+    }
+
+    /// Across a crash restart: the schedule is cut at an arbitrary
+    /// point, the engine is `mem::forget`-crashed (WAL tail left as a
+    /// `kill -9` would), rebooted, and the *entire suffix plus a replay
+    /// of the prefix* is delivered again — the WAL-persisted watermarks
+    /// must refuse every prefix batch and the totals stay exact.
+    #[test]
+    fn dedup_watermarks_survive_crash_restart(
+        deliveries in schedule(),
+        cut in 0usize..1000,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "fc-dedup-prop-{}-{cut}-{}",
+            std::process::id(),
+            deliveries.len(),
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cut = cut % (deliveries.len() + 1);
+        let mut seen = std::collections::HashMap::new();
+
+        let engine = persistent_engine(&dir);
+        deliver(&engine, &deliveries[..cut], &mut seen)?;
+        if cut > 0 {
+            // Crash: leak the engine so no drain/snapshot runs — every
+            // acked batch is already WAL-fsynced, so the tail on disk is
+            // exactly what a kill -9 leaves behind.
+            std::mem::forget(engine);
+        } else {
+            drop(engine);
+        }
+
+        let engine = persistent_engine(&dir);
+        if cut > 0 {
+            await_caught_up(&engine, "dedup");
+        }
+        // The client retries everything it is not sure about: the whole
+        // prefix again (all duplicates now) plus the remaining schedule.
+        let replay: Vec<Delivery> = deliveries[..cut]
+            .iter()
+            .chain(&deliveries[cut..])
+            .cloned()
+            .collect();
+        deliver(&engine, &replay, &mut seen)?;
+
+        let stats = engine.dataset_stats("dedup").expect("dataset exists");
+        let expected = expected_points(&deliveries);
+        prop_assert_eq!(stats.ingested_points, expected);
+        prop_assert!((stats.ingested_weight - expected as f64).abs() < 1e-9);
+        drop(engine);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

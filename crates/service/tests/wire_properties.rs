@@ -9,7 +9,7 @@ use fc_clustering::{CostKind, Solver};
 use fc_core::plan::PlanBuilder;
 use fc_core::PointBlock;
 use fc_service::framing::{BinaryCodec, FrameError};
-use fc_service::protocol::{ErrorCode, Request, Response};
+use fc_service::protocol::{ErrorCode, IngestIdent, Request, Response};
 use fc_service::wire;
 use proptest::prelude::*;
 
@@ -69,16 +69,30 @@ fn cost_kind() -> impl Strategy<Value = Option<CostKind>> {
     prop::option::of(prop_oneof![Just(CostKind::KMeans), Just(CostKind::KMedian)])
 }
 
+/// An optional exactly-once batch identity: client name plus sequence.
+fn ingest_ident() -> impl Strategy<Value = Option<IngestIdent>> {
+    prop::option::of((ident(), 0u64..10_000).prop_map(|(client, seq)| IngestIdent { client, seq }))
+}
+
 fn request() -> impl Strategy<Value = Request> {
     prop_oneof![
         ident().prop_map(|proto| Request::Hello { proto }),
-        (dataset_name(), point_block(), any::<bool>()).prop_map(|(dataset, block, with_plan)| {
-            Request::Ingest {
-                dataset,
-                block,
-                plan: with_plan.then(|| PlanBuilder::new(3).build().expect("valid plan")),
-            }
-        }),
+        (
+            dataset_name(),
+            point_block(),
+            any::<bool>(),
+            ingest_ident(),
+            prop::option::of(1u64..64),
+        )
+            .prop_map(|(dataset, block, with_plan, ident, epoch)| {
+                Request::Ingest {
+                    dataset,
+                    block,
+                    plan: with_plan.then(|| PlanBuilder::new(3).build().expect("valid plan")),
+                    ident,
+                    epoch,
+                }
+            }),
         (dataset_name(), prop::option::of(0u64..1000)).prop_map(|(dataset, seed)| {
             Request::Compress {
                 dataset,
@@ -110,20 +124,34 @@ fn request() -> impl Strategy<Value = Request> {
         prop::option::of(dataset_name()).prop_map(|dataset| Request::Stats { dataset }),
         Just(Request::Metrics),
         dataset_name().prop_map(|dataset| Request::DropDataset { dataset }),
+        (
+            ident(),
+            prop::option::of((1i32..40).prop_map(|c| f64::from(c) * 0.25))
+        )
+            .prop_map(|(addr, capacity)| Request::AddNode { addr, capacity }),
+        ident().prop_map(|addr| Request::DrainNode { addr }),
     ]
 }
 
 fn response() -> impl Strategy<Value = Response> {
     prop_oneof![
         ident().prop_map(|proto| Response::Hello { proto }),
-        (dataset_name(), 0usize..500, 0u64..100_000, nice_float()).prop_map(
-            |(dataset, points, total_points, total_weight)| Response::Ingested {
-                dataset,
-                points,
-                total_points,
-                total_weight,
-            }
-        ),
+        (
+            dataset_name(),
+            0usize..500,
+            0u64..100_000,
+            nice_float(),
+            any::<bool>()
+        )
+            .prop_map(|(dataset, points, total_points, total_weight, duplicate)| {
+                Response::Ingested {
+                    dataset,
+                    points,
+                    total_points,
+                    total_weight,
+                    duplicate,
+                }
+            }),
         (dataset_name(), nice_float(), 0usize..500).prop_map(|(dataset, cost, coreset_points)| {
             Response::Cost {
                 dataset,
@@ -151,14 +179,32 @@ fn response() -> impl Strategy<Value = Response> {
                 }
             }),
         dataset_name().prop_map(|dataset| Response::Dropped { dataset }),
-        (message(), prop::option::of(Just(ErrorCode::Overloaded)))
+        (1u64..100, 1usize..9, 0usize..9).prop_map(|(epoch, nodes, migrated)| {
+            Response::FleetUpdated {
+                epoch,
+                nodes,
+                migrated,
+            }
+        }),
+        (
+            message(),
+            prop::option::of(prop_oneof![
+                Just(ErrorCode::Overloaded),
+                Just(ErrorCode::WrongEpoch)
+            ])
+        )
             .prop_map(|(message, code)| Response::Error { message, code }),
     ]
 }
 
-/// Extracts one frame's payload through the codec (prefix verified).
-fn payload_of(frame: &[u8]) -> Vec<u8> {
-    let mut codec = BinaryCodec::new(64 * 1024 * 1024);
+/// Extracts one frame's payload through the codec (prefix — and for
+/// `bin1c` frames the CRC — verified).
+fn payload_of(frame: &[u8], checked: bool) -> Vec<u8> {
+    let mut codec = if checked {
+        BinaryCodec::new_checked(64 * 1024 * 1024)
+    } else {
+        BinaryCodec::new(64 * 1024 * 1024)
+    };
     codec.push(frame);
     let payload = codec
         .next_frame()
@@ -200,16 +246,18 @@ proptest! {
         prop_assert_eq!(codec.buffered(), 0);
     }
 
-    /// Every request decodes identically from its binary frame and its
-    /// JSON line — including the trace id riding along.
+    /// Every request decodes identically from its binary frame (`bin1`
+    /// and checksummed `bin1c` alike) and its JSON line — including the
+    /// trace id riding along.
     #[test]
     fn requests_round_trip_binary_and_json_identically(
         request in request(),
         trace in trace_id(),
+        checked in any::<bool>(),
     ) {
-        let frame = wire::request_frame(&request, trace.as_deref());
+        let frame = wire::request_frame(&request, trace.as_deref(), checked);
         let (from_binary, binary_trace) =
-            wire::decode_request(&payload_of(&frame)).expect("binary frame decodes");
+            wire::decode_request(&payload_of(&frame, checked)).expect("binary frame decodes");
         prop_assert_eq!(&from_binary, &request);
         prop_assert_eq!(&binary_trace, &trace);
 
@@ -220,17 +268,58 @@ proptest! {
         prop_assert_eq!(&json_trace, &trace);
     }
 
-    /// Every response decodes identically from its binary frame and its
-    /// JSON line.
+    /// Every response decodes identically from its binary frame (both
+    /// framings) and its JSON line.
     #[test]
-    fn responses_round_trip_binary_and_json_identically(response in response()) {
-        let frame = wire::response_frame(&response);
+    fn responses_round_trip_binary_and_json_identically(
+        response in response(),
+        checked in any::<bool>(),
+    ) {
+        let frame = wire::response_frame(&response, checked);
         let from_binary =
-            wire::decode_response(&payload_of(&frame)).expect("binary frame decodes");
+            wire::decode_response(&payload_of(&frame, checked)).expect("binary frame decodes");
         prop_assert_eq!(&from_binary, &response);
 
         let from_json = Response::from_json(&response.to_json()).expect("json line decodes");
         prop_assert_eq!(&from_json, &response);
+    }
+
+    /// Flipping any single payload bit of a `bin1c` frame trips the CRC —
+    /// and because the length prefix still fixed the frame boundary, the
+    /// codec resynchronizes: the next clean frame decodes normally.
+    #[test]
+    fn corrupt_checked_frames_are_detected_and_recoverable(
+        request in request(),
+        trace in trace_id(),
+        flip_byte in 0usize..1 << 20,
+        flip_bit in 0u8..8,
+    ) {
+        let frame = wire::request_frame(&request, trace.as_deref(), true);
+        // Layout: [u32 len][u32 crc][payload]. Corrupt the payload only —
+        // corrupting the length prefix is a different failure (the codec
+        // would mis-frame, which `Oversized`/`Truncated` cover).
+        let payload_len = frame.len() - 8;
+        prop_assume!(payload_len > 0);
+        let mut corrupted = frame.clone();
+        let at = 8 + flip_byte % payload_len;
+        corrupted[at] ^= 1 << flip_bit;
+
+        let mut codec = BinaryCodec::new_checked(64 * 1024 * 1024);
+        codec.push(&corrupted);
+        codec.push(&frame);
+        match codec.next_frame() {
+            Err(e @ FrameError::Corrupt) => prop_assert!(!e.is_fatal()),
+            other => return Err(TestCaseError::fail(format!("expected Corrupt, got {other:?}"))),
+        }
+        prop_assert!(!codec.is_poisoned());
+        let clean = codec
+            .next_frame()
+            .expect("codec resynchronized")
+            .expect("second frame complete");
+        let (decoded, decoded_trace) =
+            wire::decode_request(&clean).expect("clean frame decodes");
+        prop_assert_eq!(&decoded, &request);
+        prop_assert_eq!(&decoded_trace, &trace);
     }
 
     /// A length prefix past the frame cap is rejected the moment it is

@@ -3,6 +3,7 @@
 //! ```text
 //! fc-coordinator --node HOST:PORT [--node HOST:PORT ...]
 //!                [--addr HOST:PORT] [--policy round-robin|hash-dataset|capacity]
+//!                [--replication R]
 //!                [--capacity W ...] [--retries N] [--node-timeout-ms MS]
 //!                [--k K] [--m-scalar M] [--budget POINTS] [--kmedian]
 //!                [--method NAME] [--solver NAME]
@@ -32,6 +33,18 @@
 //! latency attribution per fleet node; the JSON `metrics` op also embeds
 //! every node's registry under `"nodes"`).
 //!
+//! `--replication R` (default 1) turns routing into R-way replicated
+//! placement: every dataset is assigned R replicas by rendezvous hashing
+//! over the fleet map, ingest fans each batch to all of them, and queries
+//! answer from any live replica — the fleet serves with any single node
+//! down. The `add_node`/`drain_node` wire ops (exposed through any
+//! `ServiceClient`) grow and shrink the fleet live: each bumps the
+//! epoch-numbered fleet map and migrates affected datasets by shipping
+//! their *serving coresets* (O(coreset), not O(data)); requests asserting
+//! a stale epoch are refused with a structured `wrong_epoch` error.
+//! Idented ingest (`client` + `seq` on the wire) is exactly-once through
+//! retries, node crashes, and rebalances.
+//!
 //! A node restarting warm from its `--data-dir` reports `recovering` in
 //! `stats` while it replays its write-ahead log. The coordinator routes
 //! queries around it — its fan-out slot probes the node's stats instead,
@@ -56,6 +69,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: fc-coordinator --node HOST:PORT [--node HOST:PORT ...] \
          [--addr HOST:PORT] [--policy round-robin|hash-dataset|capacity] \
+         [--replication R] \
          [--capacity W ...] [--retries N] [--node-timeout-ms MS] [--k K] \
          [--m-scalar M] [--budget POINTS] [--kmedian] [--method NAME] \
          [--solver NAME] [--io-model reactor|threaded] [--io-threads N] \
@@ -71,6 +85,7 @@ struct Args {
     nodes: Vec<String>,
     capacities: Vec<f64>,
     policy: RoutingPolicy,
+    replication: usize,
     retries: u32,
     node_timeout_ms: Option<u64>,
     options: ServerOptions,
@@ -90,6 +105,7 @@ fn parse_args() -> Args {
         nodes: Vec::new(),
         capacities: Vec::new(),
         policy: RoutingPolicy::RoundRobin,
+        replication: 1,
         retries: RetryPolicy::default().attempts,
         node_timeout_ms: None,
         options: ServerOptions::default(),
@@ -121,6 +137,9 @@ fn parse_args() -> Args {
                     eprintln!("{e}");
                     usage()
                 });
+            }
+            "--replication" => {
+                parsed.replication = value("factor").parse().unwrap_or_else(|_| usage());
             }
             "--retries" => parsed.retries = value("count").parse().unwrap_or_else(|_| usage()),
             "--node-timeout-ms" => {
@@ -223,6 +242,7 @@ fn main() {
     args.options.binary_wire = args.binary_wire;
     let mut config = CoordinatorConfig::new(args.nodes.clone());
     config.policy = args.policy;
+    config.replication = args.replication;
     config.default_plan = default_plan;
     config.binary_wire = args.binary_wire;
     config.retry = RetryPolicy {
@@ -279,11 +299,14 @@ fn main() {
     });
     println!(
         "fc-coordinator {} listening on {} (io={}, nodes=[{}], policy={policy}, \
-         max-connections={}, request-deadline={}, default plan {plan_json})",
+         replication={}, epoch={}, max-connections={}, request-deadline={}, \
+         default plan {plan_json})",
         fast_coresets::VERSION,
         handle.addr(),
         handle.io_model(),
         args.nodes.join(", "),
+        coordinator.replication(),
+        coordinator.fleet_epoch(),
         match args.options.max_connections {
             0 => "unlimited".to_owned(),
             n => n.to_string(),

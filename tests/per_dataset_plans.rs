@@ -87,6 +87,8 @@ proptest! {
             dataset: "d".into(),
             block: fc_core::PointBlock::new(vec![0.0, 1.0], 2, None).unwrap(),
             plan: Some(plan.clone()),
+            ident: None,
+            epoch: None,
         };
         let decoded = Request::from_json(&request.to_json()).expect("request parses");
         prop_assert_eq!(decoded, request);

@@ -203,6 +203,8 @@ fn served_clustering_round_trips_solver_and_queue_depth() {
             dataset: "d".into(),
             block: fc_core::PointBlock::new(points, 2, None).unwrap(),
             plan: None,
+            ident: None,
+            epoch: None,
         },
     );
     assert!(matches!(resp, Response::Ingested { .. }), "{resp:?}");

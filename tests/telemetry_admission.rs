@@ -102,7 +102,9 @@ impl Backend for SlowBackend {
         _name: &str,
         _batch: &Dataset,
         _plan: Option<&Plan>,
-    ) -> Result<(u64, f64), EngineError> {
+        _ident: Option<&fc_service::protocol::IngestIdent>,
+        _epoch: Option<u64>,
+    ) -> Result<fc_service::IngestOutcome, EngineError> {
         Err(EngineError::InvalidArgument("unsupported".into()))
     }
 

@@ -47,6 +47,7 @@ fn cost_frame() -> Vec<u8> {
             kind: None,
         },
         None,
+        false,
     )
 }
 
