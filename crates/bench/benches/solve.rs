@@ -1,0 +1,245 @@
+//! **Solve**: wall-clock of the parallel compute tier and the query
+//! cache — the two halves of the "parallel compute tier" optimisation.
+//!
+//! Part 1 sweeps the Lloyd solve kernel across thread counts via
+//! [`fc_geom::par::with_threads`] and asserts on the way that every
+//! thread count produced bit-identical output (the tier's headline
+//! guarantee — chunked work, ordered merges). On a single-core host the
+//! sweep shows parity, not speedup; the recorded `cores` field says
+//! which regime a given JSON line measured.
+//!
+//! Part 2 measures the engine's memoized query path: the first
+//! explicitly seeded `cluster` ask (a cache miss: compress + solve)
+//! against repeats of the same ask (hits: one map lookup and a clone),
+//! plus the same repeats on a cache-disabled engine as the honest
+//! baseline.
+//!
+//! Environment knobs:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `SOLVE_BENCH_N` | `30000` | points per kernel dataset |
+//! | `SOLVE_BENCH_DIMS` | `16,64` | dimensionalities to sweep |
+//! | `SOLVE_BENCH_THREADS` | `1,2,4` | thread counts to sweep |
+//! | `SOLVE_BENCH_REPEATS` | `50` | cached-read repeats to average |
+//!
+//! Each run rewrites `BENCH_solve.json` at the workspace root (one JSON
+//! object; the hardware context travels with the numbers).
+
+use std::time::Instant;
+
+use fc_bench::Table;
+use fc_clustering::lloyd::{solve, LloydConfig};
+use fc_clustering::CostKind;
+use fc_geom::{par, Dataset};
+use fc_service::{Engine, EngineConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|n| n.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// Mildly clustered points, several parallel chunks worth.
+fn mixture(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flat = Vec::with_capacity(n * dim);
+    for i in 0..n {
+        let blob = (i % 5) as f64 * 25.0;
+        for d in 0..dim {
+            flat.push(blob + rng.gen::<f64>() + d as f64 * 0.01);
+        }
+    }
+    Dataset::from_flat(flat, dim).unwrap()
+}
+
+struct KernelRow {
+    dim: usize,
+    n: usize,
+    /// `(threads, ms)` in sweep order.
+    timings: Vec<(usize, f64)>,
+}
+
+/// One Lloyd solve at `threads`, returning (wall ms, output fingerprint).
+fn timed_solve(data: &Dataset, k: usize, threads: usize) -> (f64, (Vec<u64>, u64)) {
+    par::with_threads(threads, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let started = Instant::now();
+        let solution = solve(&mut rng, data, k, CostKind::KMeans, LloydConfig::fixed(8));
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        let bits = (
+            solution
+                .centers
+                .as_flat()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect(),
+            solution.cost.to_bits(),
+        );
+        (ms, bits)
+    })
+}
+
+struct CacheRow {
+    miss_ms: f64,
+    hit_ms: f64,
+    uncached_ms: f64,
+    speedup: f64,
+}
+
+/// First-ask vs. repeat-ask latency of `cluster` under one explicit
+/// seed, on a cached and an uncached engine fed the same data.
+fn measure_cache(repeats: usize) -> CacheRow {
+    let data = mixture(20_000, 2, 99);
+    let run = |cache_capacity: usize| {
+        let engine = Engine::new(EngineConfig {
+            shards: 2,
+            k: 8,
+            cache_capacity,
+            ..Default::default()
+        })
+        .expect("bench engine");
+        for block in data.chunks(5_000) {
+            engine.ingest("bench", &block, None).expect("bench ingest");
+        }
+        let started = Instant::now();
+        engine
+            .cluster("bench", None, None, None, Some(7))
+            .expect("bench cluster");
+        let first_ms = started.elapsed().as_secs_f64() * 1e3;
+        let started = Instant::now();
+        for _ in 0..repeats {
+            engine
+                .cluster("bench", None, None, None, Some(7))
+                .expect("bench cluster");
+        }
+        let repeat_ms = started.elapsed().as_secs_f64() * 1e3 / repeats as f64;
+        (first_ms, repeat_ms)
+    };
+    let (miss_ms, hit_ms) = run(64);
+    let (_, uncached_ms) = run(0);
+    CacheRow {
+        miss_ms,
+        hit_ms,
+        uncached_ms,
+        speedup: uncached_ms / hit_ms,
+    }
+}
+
+fn main() {
+    let n = env_usize("SOLVE_BENCH_N", 30_000);
+    let dims = env_list("SOLVE_BENCH_DIMS", &[16, 64]);
+    let threads = env_list("SOLVE_BENCH_THREADS", &[1, 2, 4]);
+    let repeats = env_usize("SOLVE_BENCH_REPEATS", 50);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    let k = 6;
+    let mut kernel_rows = Vec::new();
+    for &dim in &dims {
+        let data = mixture(n, dim, 11 + dim as u64);
+        let mut timings = Vec::new();
+        let mut reference = None;
+        for &t in &threads {
+            let (ms, bits) = timed_solve(&data, k, t);
+            match &reference {
+                None => reference = Some(bits),
+                Some(want) => assert_eq!(
+                    want, &bits,
+                    "{t} threads diverged from {} (dim {dim})",
+                    threads[0]
+                ),
+            }
+            timings.push((t, ms));
+        }
+        kernel_rows.push(KernelRow { dim, n, timings });
+    }
+    let cache = measure_cache(repeats);
+
+    let mut headers = vec!["dim".to_owned(), "points".to_owned()];
+    for &t in &threads {
+        headers.push(format!("{t} thr (ms)"));
+    }
+    headers.push("speedup".to_owned());
+    let mut table = Table::new(
+        format!("Lloyd solve vs. threads (k={k}, {cores} hardware core(s); bit-identical output asserted)"),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for row in &kernel_rows {
+        let mut cells = vec![row.dim.to_string(), row.n.to_string()];
+        for &(_, ms) in &row.timings {
+            cells.push(format!("{ms:.1}"));
+        }
+        let base = row.timings[0].1;
+        let best = row
+            .timings
+            .iter()
+            .map(|&(_, ms)| ms)
+            .fold(f64::INFINITY, f64::min);
+        cells.push(format!("{:.2}x", base / best));
+        table.row(cells);
+    }
+    table.print();
+
+    let mut table = Table::new(
+        format!("Cached repeat queries: cluster under one explicit seed ({repeats} repeats)"),
+        &[
+            "first ask (ms)",
+            "cached repeat (ms)",
+            "uncached repeat (ms)",
+            "speedup",
+        ],
+    );
+    table.row(vec![
+        format!("{:.2}", cache.miss_ms),
+        format!("{:.4}", cache.hit_ms),
+        format!("{:.2}", cache.uncached_ms),
+        format!("{:.0}x", cache.speedup),
+    ]);
+    table.print();
+
+    let kernel_json = kernel_rows
+        .iter()
+        .map(|row| {
+            let timings = row
+                .timings
+                .iter()
+                .map(|(t, ms)| format!(r#""{t}":{ms:.2}"#))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                r#"{{"dim":{},"n":{},"ms_by_threads":{{{}}}}}"#,
+                row.dim, row.n, timings
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"experiment\":\"solve\",\"cores\":{cores},\"k\":{k},\
+         \"kernel\":[{kernel_json}],\
+         \"cache\":{{\"repeats\":{repeats},\"first_ms\":{:.3},\"cached_repeat_ms\":{:.4},\
+         \"uncached_repeat_ms\":{:.3},\"speedup\":{:.1}}}}}\n",
+        cache.miss_ms, cache.hit_ms, cache.uncached_ms, cache.speedup
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solve.json");
+    std::fs::write(path, json).expect("write BENCH_solve.json");
+    println!("wrote {path}");
+}

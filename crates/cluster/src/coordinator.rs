@@ -47,7 +47,9 @@ use fc_core::plan::{Method, Plan};
 use fc_core::streaming::mapreduce::aggregate_parts;
 use fc_core::{Coreset, FcError};
 use fc_fleet::FleetMap;
+use fc_geom::par;
 use fc_geom::{Dataset, Points};
+use fc_service::cache::{next_instance, QueryCache};
 use fc_service::engine::fnv64;
 use fc_service::protocol::{self, DatasetStats, ErrorCode, IngestIdent, NodeHealth, NodeStats};
 use fc_service::ServiceClient;
@@ -182,6 +184,15 @@ pub struct CoordinatorConfig {
     /// ingest fans each batch to all of them, and queries answer from any
     /// single live replica — so any R−1 node failures lose nothing.
     pub replication: usize,
+    /// Upper bound on memoized query results held coordinator-side
+    /// (default 64; 0 disables the cache). Keys embed the dataset
+    /// version, the fleet epoch, and the roster's health fingerprint, so
+    /// ingests, membership changes, and health flips all invalidate by
+    /// key motion.
+    pub cache_capacity: usize,
+    /// Worker threads for coordinator-side aggregation and final solves
+    /// (0 = inherit the process-wide [`fc_geom::par`] setting).
+    pub solve_threads: usize,
 }
 
 impl CoordinatorConfig {
@@ -205,6 +216,8 @@ impl CoordinatorConfig {
             base_seed: 0x0C0D_E5E7,
             binary_wire: true,
             replication: 1,
+            cache_capacity: 64,
+            solve_threads: 0,
         }
     }
 }
@@ -243,12 +256,75 @@ struct Route {
     /// Held across the forwarding fan-out so one client's concurrent
     /// retries serialize.
     clients: Mutex<HashMap<String, u64>>,
+    /// Process-unique id for cache keying — a dropped and re-created
+    /// dataset can never match a stale cached answer.
+    instance: u64,
+    /// Bumped on every applied (non-duplicate) ingest. Cache keys embed
+    /// the value read before the fan-out, so writes invalidate cached
+    /// answers by key motion instead of touching the cache.
+    version: AtomicU64,
 }
 
 /// One dataset's pending relocation during an `add_node`/`drain_node`
 /// epoch bump: `(dataset, route, old replica set, new replica set)`,
 /// replica sets as roster indices.
 type PlacementMove = (String, Arc<Route>, Vec<usize>, Vec<usize>);
+
+/// Cache key for a coordinator-served query result. On top of the
+/// engine-style `(instance, version)` pair, every key embeds the fleet
+/// epoch and a fingerprint of the roster's health: membership changes
+/// and health flips (a crash observed, a recovery started or finished)
+/// change *which nodes answer the fan-out*, so answers computed before
+/// the flip must stop matching after it.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum CoordKey {
+    Coreset {
+        instance: u64,
+        version: u64,
+        epoch: u64,
+        fleet_health: u64,
+        seed: u64,
+        method: Option<String>,
+    },
+    Cluster {
+        instance: u64,
+        version: u64,
+        epoch: u64,
+        fleet_health: u64,
+        k: usize,
+        kind: CostKind,
+        solver: Solver,
+        seed: u64,
+    },
+    Cost {
+        instance: u64,
+        version: u64,
+        epoch: u64,
+        fleet_health: u64,
+        kind: CostKind,
+        /// Exact bit patterns of the priced centers — the memo matches
+        /// only byte-identical re-asks.
+        center_bits: Vec<u64>,
+    },
+}
+
+impl CoordKey {
+    fn instance(&self) -> u64 {
+        match self {
+            CoordKey::Coreset { instance, .. }
+            | CoordKey::Cluster { instance, .. }
+            | CoordKey::Cost { instance, .. } => *instance,
+        }
+    }
+}
+
+/// A memoized query answer (what the corresponding `Backend` op returns).
+#[derive(Clone)]
+enum CoordValue {
+    Coreset(Coreset, u64, Method),
+    Cluster(ClusterOutcome),
+    Cost(f64, CostKind, usize),
+}
 
 /// A multi-node coordinator. Implements [`Backend`], so
 /// [`fc_service::ServerHandle::bind_backend`] turns it into a server that
@@ -267,6 +343,10 @@ pub struct Coordinator {
     base_seed: u64,
     /// Replication factor R (1 = classic spread routing).
     replication: usize,
+    /// Worker threads for aggregation and final solves (0 = inherit).
+    solve_threads: usize,
+    /// Memoized query results, keyed by dataset version + fleet state.
+    cache: QueryCache<CoordKey, CoordValue>,
     /// The versioned membership + placement map. Membership ops
     /// (`add_node`, `drain_node`) serialize on this lock; everything else
     /// takes it briefly to read the epoch or a replica set.
@@ -306,6 +386,10 @@ struct CoordinatorMetrics {
     /// Replica-set writes that failed on some replica while the batch was
     /// still acknowledged off a surviving one (repair debt).
     replica_write_failures: Counter,
+    /// Query-cache hit/miss counters, under the same metric names as the
+    /// engine's so one dashboard panel covers both tiers.
+    cache_hits: Counter,
+    cache_misses: Counter,
     /// Indexed by node: wall time of each fan-out exchange against that
     /// node (including timeouts), whatever the op. Grows when the fleet
     /// does (handles are `Arc`-backed, cloning is cheap).
@@ -331,6 +415,8 @@ impl CoordinatorMetrics {
             cost_seconds: op_hist("cost", fc_telemetry::SOLVE_OP_EDGES_US),
             migrations: shared.registry.counter("fc_migrations_total"),
             replica_write_failures: shared.registry.counter("fc_replica_write_failures_total"),
+            cache_hits: shared.registry.counter("fc_cache_hits_total"),
+            cache_misses: shared.registry.counter("fc_cache_misses_total"),
             node_seconds: Mutex::new(
                 node_addrs
                     .map(|addr| {
@@ -419,6 +505,8 @@ impl Coordinator {
             binary_wire: config.binary_wire,
             base_seed: config.base_seed,
             replication: config.replication,
+            solve_threads: config.solve_threads,
+            cache: QueryCache::new(config.cache_capacity),
             fleet: Mutex::new(fleet),
             routes: Mutex::new(HashMap::new()),
             seed_counter: AtomicU64::new(0),
@@ -524,6 +612,34 @@ impl Coordinator {
 
     fn resolve_seed(&self, seed: Option<u64>) -> u64 {
         seed.unwrap_or_else(|| self.assign_seed())
+    }
+
+    /// A fingerprint of the roster's current health states, folded in
+    /// roster order (order is stable: the roster only grows). Cache keys
+    /// embed it, so the first query that *observes* a flip — a node
+    /// marked down, degraded, or recovering, or healed back — mints a
+    /// fresh keyspace and old answers just stop matching.
+    fn health_fingerprint(&self) -> u64 {
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for node in self.roster() {
+            let tag = match node.health().0 {
+                NodeHealth::Alive => 1u64,
+                NodeHealth::Recovering => 2,
+                NodeHealth::Degraded => 3,
+                NodeHealth::Down => 4,
+            };
+            acc = (acc ^ tag).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        acc
+    }
+
+    fn cache_get(&self, key: &CoordKey) -> Option<CoordValue> {
+        let got = self.cache.get(key);
+        match got.is_some() {
+            true => self.metrics.cache_hits.incr(),
+            false => self.metrics.cache_misses.incr(),
+        }
+        got
     }
 
     fn route(&self, name: &str) -> Result<Arc<Route>, EngineError> {
@@ -1347,6 +1463,8 @@ impl Backend for Coordinator {
                         ingested_points: AtomicU64::new(0),
                         ingested_weight: Mutex::new(0.0),
                         clients: Mutex::new(HashMap::new()),
+                        instance: next_instance(),
+                        version: AtomicU64::new(0),
                     }))),
                     true,
                 ),
@@ -1502,6 +1620,9 @@ impl Backend for Coordinator {
             if let Some((guard, ident)) = watermark.as_mut() {
                 guard.insert(ident.client.clone(), ident.seq);
             }
+            // New data: every cached answer for this dataset is now for a
+            // version that no future key will ask for.
+            route.version.fetch_add(1, Ordering::Release);
             Ok(IngestOutcome {
                 total_points,
                 total_weight,
@@ -1538,16 +1659,39 @@ impl Backend for Coordinator {
         method: Option<&Method>,
     ) -> Result<(Coreset, u64, Method), EngineError> {
         let started = std::time::Instant::now();
-        let outcome = (|| {
+        let outcome = par::with_threads(self.solve_threads, || {
             let route = self.route(name)?;
+            // Only explicit seeds are cacheable: auto-assigned seeds
+            // advance per request, so those answers can never be re-asked.
+            let cacheable = seed.is_some() && self.cache.enabled();
             let seed = self.resolve_seed(seed);
+            let key = cacheable.then(|| CoordKey::Coreset {
+                instance: route.instance,
+                version: route.version.load(Ordering::Acquire),
+                epoch: self.fleet_epoch(),
+                fleet_health: self.health_fingerprint(),
+                seed,
+                method: method.map(ToString::to_string),
+            });
+            if let Some(key) = &key {
+                if let Some(CoordValue::Coreset(coreset, seed, effective)) = self.cache_get(key) {
+                    self.total_queries.fetch_add(1, Ordering::Relaxed);
+                    return Ok((coreset, seed, effective));
+                }
+            }
             let coreset = self.serving_coreset(name, &route, seed, method)?;
             let effective = method
                 .cloned()
                 .unwrap_or_else(|| route.effective.method().clone());
             self.total_queries.fetch_add(1, Ordering::Relaxed);
+            if let Some(key) = key {
+                self.cache.insert(
+                    key,
+                    CoordValue::Coreset(coreset.clone(), seed, effective.clone()),
+                );
+            }
             Ok((coreset, seed, effective))
-        })();
+        });
         self.metrics.coreset_seconds.observe(started.elapsed());
         outcome
     }
@@ -1564,7 +1708,7 @@ impl Backend for Coordinator {
         seed: Option<u64>,
     ) -> Result<ClusterOutcome, EngineError> {
         let started = std::time::Instant::now();
-        let outcome = (|| {
+        let outcome = par::with_threads(self.solve_threads, || {
             let route = self.route(name)?;
             let plan = &route.effective;
             let k = k.unwrap_or_else(|| plan.k());
@@ -1579,7 +1723,24 @@ impl Backend for Coordinator {
                     kind,
                 }));
             }
+            let cacheable = seed.is_some() && self.cache.enabled();
             let seed = self.resolve_seed(seed);
+            let key = cacheable.then(|| CoordKey::Cluster {
+                instance: route.instance,
+                version: route.version.load(Ordering::Acquire),
+                epoch: self.fleet_epoch(),
+                fleet_health: self.health_fingerprint(),
+                k,
+                kind,
+                solver,
+                seed,
+            });
+            if let Some(key) = &key {
+                if let Some(CoordValue::Cluster(outcome)) = self.cache_get(key) {
+                    self.total_queries.fetch_add(1, Ordering::Relaxed);
+                    return Ok(outcome);
+                }
+            }
             let coreset = self.serving_coreset(name, &route, seed, None)?;
             let mut rng = StdRng::seed_from_u64(seed ^ SOLVE_STREAM);
             let solution = solver.solve(
@@ -1590,14 +1751,18 @@ impl Backend for Coordinator {
                 &SolveConfig::default(),
             )?;
             self.total_queries.fetch_add(1, Ordering::Relaxed);
-            Ok(ClusterOutcome {
+            let outcome = ClusterOutcome {
                 solution,
                 kind,
                 solver,
                 coreset_points: coreset.len(),
                 seed,
-            })
-        })();
+            };
+            if let Some(key) = key {
+                self.cache.insert(key, CoordValue::Cluster(outcome.clone()));
+            }
+            Ok(outcome)
+        });
         self.metrics.cluster_seconds.observe(started.elapsed());
         outcome
     }
@@ -1612,15 +1777,36 @@ impl Backend for Coordinator {
         kind: Option<CostKind>,
     ) -> Result<(f64, CostKind, usize), EngineError> {
         let started = std::time::Instant::now();
-        let outcome = (|| {
+        let outcome = par::with_threads(self.solve_threads, || {
             let route = self.route(name)?;
             let kind = kind.unwrap_or_else(|| route.effective.kind());
+            // Pricing is deterministic given the fleet state (each node
+            // prices its own served coreset), so cost is cacheable without
+            // a seed — the key is the exact centers asked about.
+            let key = self.cache.enabled().then(|| CoordKey::Cost {
+                instance: route.instance,
+                version: route.version.load(Ordering::Acquire),
+                epoch: self.fleet_epoch(),
+                fleet_health: self.health_fingerprint(),
+                kind,
+                center_bits: centers.as_flat().iter().map(|v| v.to_bits()).collect(),
+            });
+            if let Some(key) = &key {
+                if let Some(CoordValue::Cost(total, kind, priced_points)) = self.cache_get(key) {
+                    self.total_queries.fetch_add(1, Ordering::Relaxed);
+                    return Ok((total, kind, priced_points));
+                }
+            }
             let rows: Vec<Vec<f64>> = centers.iter().map(<[f64]>::to_vec).collect();
             // Replicated placement: one replica's answer prices the whole
             // dataset; summing replicas would R-count it.
             if self.replication >= 2 {
                 let (total, priced_points) = self.replica_cost(name, &rows, kind)?;
                 self.total_queries.fetch_add(1, Ordering::Relaxed);
+                if let Some(key) = key {
+                    self.cache
+                        .insert(key, CoordValue::Cost(total, kind, priced_points));
+                }
                 return Ok((total, kind, priced_points));
             }
             let nodes = self.roster();
@@ -1688,8 +1874,12 @@ impl Backend for Coordinator {
                 });
             }
             self.total_queries.fetch_add(1, Ordering::Relaxed);
+            if let Some(key) = key {
+                self.cache
+                    .insert(key, CoordValue::Cost(total, kind, priced_points));
+            }
             Ok((total, kind, priced_points))
-        })();
+        });
         self.metrics.cost_seconds.observe(started.elapsed());
         outcome
     }
@@ -1744,6 +1934,8 @@ impl Backend for Coordinator {
             ingested_blocks: self.total_blocks.load(Ordering::Relaxed),
             queries: self.total_queries.load(Ordering::Relaxed),
             fleet_epoch: self.fleet_epoch(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
         })
     }
 
@@ -1761,6 +1953,13 @@ impl Backend for Coordinator {
             .lock()
             .expect("route registry lock")
             .remove(name);
+        if let Some(route) = &route {
+            // Purge eagerly: the instance id is never reused, so even a
+            // same-named re-creation could not match these keys, but there
+            // is no reason to let them squat in the LRU either.
+            let instance = route.instance;
+            self.cache.retain(|key| key.instance() != instance);
+        }
         let outcomes = self.fan_out(&Request::DropDataset {
             dataset: name.to_owned(),
         });

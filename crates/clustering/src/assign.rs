@@ -6,6 +6,7 @@
 //! for baselines, cost evaluation, and Lloyd refinement.
 
 use fc_geom::distance::{nearest_block, sq_dist_bounded, CostKind};
+use fc_geom::par;
 use fc_geom::points::Points;
 
 /// The result of assigning every point to its nearest center.
@@ -30,10 +31,18 @@ impl Assignment {
         self.labels.is_empty()
     }
 
-    /// Total weighted cost under this assignment.
+    /// Total weighted cost under this assignment. Chunk-summed through
+    /// [`fc_geom::par`], so the f64 association order (and the result)
+    /// is identical at every thread count.
     pub fn total_cost(&self, weights: &[f64]) -> f64 {
         debug_assert_eq!(weights.len(), self.cost_z.len());
-        self.cost_z.iter().zip(weights).map(|(&c, &w)| c * w).sum()
+        par::sum_chunks(self.cost_z.len(), |r| {
+            self.cost_z[r.clone()]
+                .iter()
+                .zip(&weights[r])
+                .map(|(&c, &w)| c * w)
+                .sum()
+        })
     }
 
     /// Per-cluster index lists (cluster `j` → indices of its points).
@@ -69,6 +78,10 @@ impl Assignment {
 /// ([`fc_geom::distance::nearest_block`]): one dimension dispatch for the
 /// whole batch, a monomorphized inner loop on common small dimensions,
 /// partial-distance pruning on the rest, and no per-point allocation.
+///
+/// The scan fans out over fixed-size point chunks ([`fc_geom::par`]);
+/// each chunk fills its own disjoint slice of `labels`/`cost_z`, so the
+/// output is identical at every thread count.
 pub fn assign(points: &Points, centers: &Points, kind: CostKind) -> Assignment {
     assert!(!centers.is_empty(), "assignment needs at least one center");
     assert_eq!(
@@ -77,21 +90,28 @@ pub fn assign(points: &Points, centers: &Points, kind: CostKind) -> Assignment {
         "points and centers must share dimension"
     );
     let n = points.len();
+    let dim = centers.dim();
     let mut labels = vec![0usize; n];
     let mut cost_z = vec![0.0f64; n];
-    nearest_block(
-        points.as_flat(),
-        centers.as_flat(),
-        centers.dim(),
-        &mut labels,
-        &mut cost_z,
-    );
-    if kind != CostKind::KMeans {
-        // Separate pass so the k-median square root does not sit inside
-        // the distance loop (and vectorizes on its own).
-        for c in &mut cost_z {
-            *c = kind.from_sq(*c);
-        }
+    {
+        let flat = points.as_flat();
+        let centers_flat = centers.as_flat();
+        let tasks: Vec<(&[f64], &mut [usize], &mut [f64])> = flat
+            .chunks(par::CHUNK_POINTS * dim)
+            .zip(labels.chunks_mut(par::CHUNK_POINTS))
+            .zip(cost_z.chunks_mut(par::CHUNK_POINTS))
+            .map(|((p, l), c)| (p, l, c))
+            .collect();
+        par::for_each_task(tasks, |_, (p, l, c)| {
+            nearest_block(p, centers_flat, dim, l, c);
+            if kind != CostKind::KMeans {
+                // Separate pass so the k-median square root does not sit
+                // inside the distance loop (and vectorizes on its own).
+                for v in c.iter_mut() {
+                    *v = kind.from_sq(*v);
+                }
+            }
+        });
     }
     Assignment { labels, cost_z }
 }
@@ -111,14 +131,28 @@ pub fn update_nearest(
     labels: &mut [usize],
 ) {
     debug_assert_eq!(points.len(), min_sq.len());
-    for (i, p) in points.iter().enumerate() {
-        if let Some(d) = sq_dist_bounded(p, new_center, min_sq[i]) {
-            if d < min_sq[i] {
-                min_sq[i] = d;
-                labels[i] = new_label;
+    let dim = points.dim();
+    let flat = points.as_flat();
+    let tasks: Vec<(&[f64], &mut [f64], &mut [usize])> = flat
+        .chunks(par::CHUNK_POINTS * dim)
+        .zip(min_sq.chunks_mut(par::CHUNK_POINTS))
+        .zip(labels.chunks_mut(par::CHUNK_POINTS))
+        .map(|((p, m), l)| (p, m, l))
+        .collect();
+    par::for_each_task(tasks, |_, (pts, min_sq, labels)| {
+        for ((p, m), l) in pts
+            .chunks_exact(dim)
+            .zip(min_sq.iter_mut())
+            .zip(labels.iter_mut())
+        {
+            if let Some(d) = sq_dist_bounded(p, new_center, *m) {
+                if d < *m {
+                    *m = d;
+                    *l = new_label;
+                }
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]

@@ -5,9 +5,25 @@
 
 use fc_geom::dataset::Dataset;
 use fc_geom::distance::{sq_dist_bounded, CostKind};
+use fc_geom::par;
 use fc_geom::points::Points;
 
+fn nearest_sq(p: &[f64], centers_flat: &[f64], dim: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for c in centers_flat.chunks_exact(dim) {
+        if let Some(d) = sq_dist_bounded(p, c, best) {
+            if d < best {
+                best = d;
+            }
+        }
+    }
+    best
+}
+
 /// Weighted `cost_z(P, C)`. Panics on empty centers or dimension mismatch.
+///
+/// Chunk-parallel through [`fc_geom::par`]: per-chunk partial sums merged
+/// in chunk order, bit-identical at every thread count.
 pub fn cost(data: &Dataset, centers: &Points, kind: CostKind) -> f64 {
     assert!(!centers.is_empty(), "cost needs at least one center");
     assert_eq!(
@@ -17,19 +33,18 @@ pub fn cost(data: &Dataset, centers: &Points, kind: CostKind) -> f64 {
     );
     let dim = centers.dim();
     let flat = centers.as_flat();
-    let mut total = 0.0;
-    for (p, &w) in data.points().iter().zip(data.weights()) {
-        let mut best = f64::INFINITY;
-        for c in flat.chunks_exact(dim) {
-            if let Some(d) = sq_dist_bounded(p, c, best) {
-                if d < best {
-                    best = d;
-                }
-            }
+    let pflat = data.points().as_flat();
+    let weights = data.weights();
+    par::sum_chunks(data.points().len(), |r| {
+        let mut total = 0.0;
+        for (p, &w) in pflat[r.start * dim..r.end * dim]
+            .chunks_exact(dim)
+            .zip(&weights[r])
+        {
+            total += w * kind.from_sq(nearest_sq(p, flat, dim));
         }
-        total += w * kind.from_sq(best);
-    }
-    total
+        total
+    })
 }
 
 /// Per-point *weighted* cost contributions `w_p · dist(p, C)^z`.
@@ -37,31 +52,36 @@ pub fn per_point_cost(data: &Dataset, centers: &Points, kind: CostKind) -> Vec<f
     assert!(!centers.is_empty(), "cost needs at least one center");
     let dim = centers.dim();
     let flat = centers.as_flat();
-    data.points()
-        .iter()
-        .zip(data.weights())
-        .map(|(p, &w)| {
-            let mut best = f64::INFINITY;
-            for c in flat.chunks_exact(dim) {
-                if let Some(d) = sq_dist_bounded(p, c, best) {
-                    if d < best {
-                        best = d;
-                    }
-                }
-            }
-            w * kind.from_sq(best)
-        })
-        .collect()
+    let pflat = data.points().as_flat();
+    let weights = data.weights();
+    let mut out = vec![0.0f64; data.points().len()];
+    let tasks: Vec<(&[f64], &[f64], &mut [f64])> = pflat
+        .chunks(par::CHUNK_POINTS * dim)
+        .zip(weights.chunks(par::CHUNK_POINTS))
+        .zip(out.chunks_mut(par::CHUNK_POINTS))
+        .map(|((p, w), o)| (p, w, o))
+        .collect();
+    par::for_each_task(tasks, |_, (pts, ws, outs)| {
+        for ((p, &w), o) in pts.chunks_exact(dim).zip(ws).zip(outs.iter_mut()) {
+            *o = w * kind.from_sq(nearest_sq(p, flat, dim));
+        }
+    });
+    out
 }
 
 /// Cost of the 1-center solution `{c}` — `Σ w_p dist(p, c)^z` — used by
 /// lightweight coresets (sensitivities w.r.t. the dataset mean).
 pub fn one_center_cost(data: &Dataset, center: &[f64], kind: CostKind) -> f64 {
-    data.points()
-        .iter()
-        .zip(data.weights())
-        .map(|(p, &w)| w * kind.from_sq(fc_geom::distance::sq_dist(p, center)))
-        .sum()
+    let dim = data.dim();
+    let pflat = data.points().as_flat();
+    let weights = data.weights();
+    par::sum_chunks(data.points().len(), |r| {
+        pflat[r.start * dim..r.end * dim]
+            .chunks_exact(dim)
+            .zip(&weights[r])
+            .map(|(p, &w)| w * kind.from_sq(fc_geom::distance::sq_dist(p, center)))
+            .sum()
+    })
 }
 
 #[cfg(test)]

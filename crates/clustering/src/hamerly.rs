@@ -13,11 +13,30 @@
 
 use fc_geom::dataset::Dataset;
 use fc_geom::distance::{dist, sq_dist};
+use fc_geom::par;
 use fc_geom::points::Points;
 
-use crate::kmedian::weighted_mean_of;
+use crate::kmedian::weighted_means_by_label;
 use crate::lloyd::LloydConfig;
 use crate::solution::Solution;
+
+/// Per-chunk mutable views of the Hamerly state (offset, labels, upper
+/// bounds, lower bounds), built fresh for each parallel pass.
+type BoundChunks<'a> = Vec<(usize, &'a mut [usize], &'a mut [f64], &'a mut [f64])>;
+
+fn bound_chunks<'a>(
+    labels: &'a mut [usize],
+    upper: &'a mut [f64],
+    lower: &'a mut [f64],
+) -> BoundChunks<'a> {
+    labels
+        .chunks_mut(par::CHUNK_POINTS)
+        .zip(upper.chunks_mut(par::CHUNK_POINTS))
+        .zip(lower.chunks_mut(par::CHUNK_POINTS))
+        .enumerate()
+        .map(|(c, ((l, u), lo))| (c * par::CHUNK_POINTS, l, u, lo))
+        .collect()
+}
 
 /// Runs Hamerly-accelerated k-means from the given initial centers.
 ///
@@ -38,15 +57,22 @@ pub fn hamerly_kmeans(data: &Dataset, initial: Points, cfg: LloydConfig) -> Solu
     let weights = data.weights();
     let mut centers = initial;
 
-    // Initial exact assignment with both nearest and second-nearest.
+    // Initial exact assignment with both nearest and second-nearest,
+    // chunk-parallel: each chunk fills its own disjoint state slices.
     let mut labels = vec![0usize; n];
     let mut upper = vec![0.0f64; n]; // dist(p, c_label)
     let mut lower = vec![0.0f64; n]; // dist(p, second-closest center)
-    for i in 0..n {
-        let (l, u, lo) = two_nearest(points.row(i), &centers);
-        labels[i] = l;
-        upper[i] = u;
-        lower[i] = lo;
+    {
+        let centers = &centers;
+        par::for_each_task(bound_chunks(&mut labels, &mut upper, &mut lower), |_, t| {
+            let (off, l, u, lo) = t;
+            for j in 0..l.len() {
+                let (bi, bu, blo) = two_nearest(points.row(off + j), centers);
+                l[j] = bi;
+                u[j] = bu;
+                lo[j] = blo;
+            }
+        });
     }
 
     for _ in 0..cfg.max_iters {
@@ -62,32 +88,44 @@ pub fn hamerly_kmeans(data: &Dataset, initial: Points, cfg: LloydConfig) -> Solu
         // Half-distance to the nearest other center, per center.
         let s = half_nearest_center_dist(&centers);
 
-        // Bound maintenance + lazy reassignment. Note: `upper` is only a
-        // *bound* for points that skip the scan, so the objective is never
-        // derived from it — convergence is detected by assignment stability
-        // (Lloyd's fixpoint) instead.
-        let mut changes = 0usize;
-        for i in 0..n {
-            upper[i] += moves[labels[i]];
-            lower[i] -= max_move;
-            let threshold = s[labels[i]].max(lower[i]);
-            if upper[i] <= threshold {
-                continue; // assignment provably unchanged
-            }
-            // Tighten the upper bound and re-test.
-            upper[i] = dist(points.row(i), centers.row(labels[i]));
-            if upper[i] <= threshold {
-                continue;
-            }
-            // Full scan for this point.
-            let (l, u, lo) = two_nearest(points.row(i), &centers);
-            if l != labels[i] {
-                changes += 1;
-            }
-            labels[i] = l;
-            upper[i] = u;
-            lower[i] = lo;
-        }
+        // Bound maintenance + lazy reassignment, chunk-parallel with one
+        // change count per chunk (summed in chunk order). Note: `upper` is
+        // only a *bound* for points that skip the scan, so the objective is
+        // never derived from it — convergence is detected by assignment
+        // stability (Lloyd's fixpoint) instead.
+        let changes: usize = {
+            let centers = &centers;
+            let moves = &moves;
+            let s = &s;
+            par::map_tasks(bound_chunks(&mut labels, &mut upper, &mut lower), |_, t| {
+                let (off, l, u, lo) = t;
+                let mut changed = 0usize;
+                for j in 0..l.len() {
+                    u[j] += moves[l[j]];
+                    lo[j] -= max_move;
+                    let threshold = s[l[j]].max(lo[j]);
+                    if u[j] <= threshold {
+                        continue; // assignment provably unchanged
+                    }
+                    // Tighten the upper bound and re-test.
+                    u[j] = dist(points.row(off + j), centers.row(l[j]));
+                    if u[j] <= threshold {
+                        continue;
+                    }
+                    // Full scan for this point.
+                    let (nl, nu, nlo) = two_nearest(points.row(off + j), centers);
+                    if nl != l[j] {
+                        changed += 1;
+                    }
+                    l[j] = nl;
+                    u[j] = nu;
+                    lo[j] = nlo;
+                }
+                changed
+            })
+            .into_iter()
+            .sum()
+        };
         if changes == 0 && max_move <= f64::EPSILON {
             break;
         }
@@ -212,6 +250,10 @@ fn half_nearest_center_dist(centers: &Points) -> Vec<f64> {
 }
 
 /// Weighted centroid step with empty-cluster re-seeding (matches Lloyd's).
+///
+/// The accumulation runs through [`weighted_means_by_label`] (chunk-parallel,
+/// merged in chunk order). Ranking all points for re-seeding is only paid
+/// when some cluster is actually empty or weightless.
 fn recompute(
     data: &Dataset,
     labels: &[usize],
@@ -221,28 +263,32 @@ fn recompute(
 ) -> Points {
     let points = data.points();
     let weights = data.weights();
-    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut cluster_w = vec![0.0f64; k];
     for (i, &l) in labels.iter().enumerate() {
-        members[l].push(i);
+        cluster_w[l] += weights[i];
     }
-    let mut worst: Vec<usize> = (0..points.len()).collect();
-    worst.sort_by(|&a, &b| {
-        let ca = upper[a] * upper[a] * weights[a];
-        let cb = upper[b] * upper[b] * weights[b];
-        cb.partial_cmp(&ca).expect("bounds are finite")
-    });
-    let mut reseed = worst.into_iter();
+    let means = weighted_means_by_label(points, weights, labels, k);
+    let mut reseed = if cluster_w.iter().all(|&w| w > 0.0) {
+        None
+    } else {
+        let mut worst: Vec<usize> = (0..points.len()).collect();
+        worst.sort_by(|&a, &b| {
+            let ca = upper[a] * upper[a] * weights[a];
+            let cb = upper[b] * upper[b] * weights[b];
+            cb.partial_cmp(&ca).expect("bounds are finite")
+        });
+        Some(worst.into_iter())
+    };
     let mut centers = Points::empty(points.dim());
     centers.reserve(k);
-    for (j, m) in members.iter().enumerate() {
-        let has_weight = m.iter().any(|&i| weights[i] > 0.0);
-        let c = if m.is_empty() || !has_weight {
-            match reseed.next() {
+    for (j, mean) in means.iter().enumerate() {
+        let c = if cluster_w[j] > 0.0 {
+            mean.clone()
+        } else {
+            match reseed.as_mut().and_then(|it| it.next()) {
                 Some(i) => points.row(i).to_vec(),
                 None => previous.row(j).to_vec(),
             }
-        } else {
-            weighted_mean_of(points, weights, m)
         };
         centers.push(&c).expect("center has data dimension");
     }

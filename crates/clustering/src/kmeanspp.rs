@@ -9,6 +9,7 @@
 
 use fc_geom::dataset::Dataset;
 use fc_geom::distance::CostKind;
+use fc_geom::par;
 use fc_geom::points::Points;
 use fc_geom::sampling::AliasTable;
 use rand::Rng;
@@ -70,15 +71,31 @@ pub fn kmeanspp<R: Rng + ?Sized>(rng: &mut R, data: &Dataset, k: usize, kind: Co
     let mut labels = vec![0usize; n];
     update_nearest(points, points.row(first), 0, &mut min_sq, &mut labels);
 
+    let weights = data.weights();
     let mut scores = vec![0.0f64; n];
     for round in 1..k {
-        // D^z scores: w_p * dist^z.
-        let mut total = 0.0;
-        for i in 0..n {
-            let s = data.weight(i) * kind.from_sq(min_sq[i]);
-            scores[i] = s;
-            total += s;
-        }
+        // D^z scores: w_p * dist^z. Chunk-parallel with per-chunk partial
+        // totals merged in chunk order; every RNG draw stays strictly
+        // sequential below, so sampling is thread-count independent.
+        let total: f64 = {
+            let min_sq = &min_sq;
+            let tasks: Vec<(usize, &mut [f64])> = scores
+                .chunks_mut(par::CHUNK_POINTS)
+                .enumerate()
+                .map(|(c, s)| (c * par::CHUNK_POINTS, s))
+                .collect();
+            par::map_tasks(tasks, |_, (off, chunk)| {
+                let mut t = 0.0;
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    let s = weights[off + j] * kind.from_sq(min_sq[off + j]);
+                    *v = s;
+                    t += s;
+                }
+                t
+            })
+            .into_iter()
+            .sum()
+        };
         if total <= 0.0 {
             // All points coincide with a center: no more distinct locations.
             break;

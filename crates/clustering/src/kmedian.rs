@@ -99,6 +99,59 @@ pub fn weighted_mean_of(points: &Points, weights: &[f64], indices: &[usize]) -> 
     mean
 }
 
+/// All `k` weighted cluster means in one chunk-parallel pass over the
+/// labelled points.
+///
+/// Per-chunk partial sums (one `k × d` accumulator and one `k`-vector of
+/// weights per chunk) are merged in ascending chunk order, so the result
+/// is bit-identical at every thread count. Clusters with zero total
+/// weight come back as the zero vector — callers re-seed those.
+pub fn weighted_means_by_label(
+    points: &Points,
+    weights: &[f64],
+    labels: &[usize],
+    k: usize,
+) -> Vec<Vec<f64>> {
+    let dim = points.dim();
+    let flat = points.as_flat();
+    let partials = fc_geom::par::map_chunks(points.len(), |_, r| {
+        let mut sums = vec![0.0f64; k * dim];
+        let mut totals = vec![0.0f64; k];
+        for ((p, &w), &label) in flat[r.start * dim..r.end * dim]
+            .chunks_exact(dim)
+            .zip(&weights[r.clone()])
+            .zip(&labels[r])
+        {
+            totals[label] += w;
+            for (m, &x) in sums[label * dim..(label + 1) * dim].iter_mut().zip(p) {
+                *m += w * x;
+            }
+        }
+        (sums, totals)
+    });
+    let mut sums = vec![0.0f64; k * dim];
+    let mut totals = vec![0.0f64; k];
+    for (s, t) in partials {
+        for (a, b) in sums.iter_mut().zip(&s) {
+            *a += b;
+        }
+        for (a, b) in totals.iter_mut().zip(&t) {
+            *a += b;
+        }
+    }
+    (0..k)
+        .map(|j| {
+            let mut mean = sums[j * dim..(j + 1) * dim].to_vec();
+            if totals[j] > 0.0 {
+                for v in &mut mean {
+                    *v /= totals[j];
+                }
+            }
+            mean
+        })
+        .collect()
+}
+
 /// Weighted k-median cost of selected points relative to a single center.
 pub fn median_cost(points: &Points, weights: &[f64], indices: &[usize], center: &[f64]) -> f64 {
     indices

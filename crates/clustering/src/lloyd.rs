@@ -10,8 +10,10 @@ use fc_geom::dataset::Dataset;
 use fc_geom::distance::CostKind;
 use fc_geom::points::Points;
 
+use fc_geom::par;
+
 use crate::assign::{assign, Assignment};
-use crate::kmedian::{geometric_median, weighted_mean_of, WeiszfeldConfig};
+use crate::kmedian::{geometric_median, weighted_means_by_label, WeiszfeldConfig};
 use crate::solution::Solution;
 
 /// Configuration for Lloyd refinement.
@@ -100,27 +102,52 @@ fn recompute_centers(
     let mut centers = Points::empty(points.dim());
     centers.reserve(k);
 
-    // Re-seed empty clusters at the points with the largest contributions.
-    let mut worst: Vec<usize> = (0..points.len()).collect();
-    worst.sort_by(|&a, &b| {
-        let ca = assignment.cost_z[a] * weights[a];
-        let cb = assignment.cost_z[b] * weights[b];
-        cb.partial_cmp(&ca).expect("costs are finite")
-    });
-    let mut reseed = worst.into_iter();
+    let cluster_ok: Vec<bool> = clusters
+        .iter()
+        .map(|members| members.iter().any(|&i| weights[i] > 0.0))
+        .collect();
 
-    for (j, members) in clusters.iter().enumerate() {
-        let has_weight = members.iter().any(|&i| weights[i] > 0.0);
-        let center = if members.is_empty() || !has_weight {
-            match reseed.next() {
+    // Re-seed empty clusters at the points with the largest contributions.
+    // Ranking every point is O(n log n) per round, so only pay for it when
+    // some cluster actually needs re-seeding (the selection is unchanged).
+    let mut reseed = if cluster_ok.iter().all(|&ok| ok) {
+        None
+    } else {
+        let mut worst: Vec<usize> = (0..points.len()).collect();
+        worst.sort_by(|&a, &b| {
+            let ca = assignment.cost_z[a] * weights[a];
+            let cb = assignment.cost_z[b] * weights[b];
+            cb.partial_cmp(&ca).expect("costs are finite")
+        });
+        Some(worst.into_iter())
+    };
+
+    // Centroid accumulation fans out through `fc_geom::par`: k-means runs
+    // one chunked pass over the labelled points (partials merged in chunk
+    // order); k-median computes the per-cluster Weiszfeld medians as
+    // independent parallel tasks.
+    let computed: Vec<Vec<f64>> = match kind {
+        CostKind::KMeans => weighted_means_by_label(points, weights, &assignment.labels, k),
+        CostKind::KMedian => {
+            let tasks: Vec<&Vec<usize>> = clusters.iter().collect();
+            par::map_tasks(tasks, |j, members| {
+                if cluster_ok[j] {
+                    geometric_median(points, weights, members, weiszfeld)
+                } else {
+                    Vec::new()
+                }
+            })
+        }
+    };
+
+    for (j, &ok) in cluster_ok.iter().enumerate() {
+        let center = if !ok {
+            match reseed.as_mut().and_then(|it| it.next()) {
                 Some(i) => points.row(i).to_vec(),
                 None => previous.row(j).to_vec(),
             }
         } else {
-            match kind {
-                CostKind::KMeans => weighted_mean_of(points, weights, members),
-                CostKind::KMedian => geometric_median(points, weights, members, weiszfeld),
-            }
+            computed[j].clone()
         };
         centers.push(&center).expect("center has data dimension");
     }

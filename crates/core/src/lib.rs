@@ -29,6 +29,10 @@
 //!   same [`json`] codec as the `fc-service` protocol.
 
 pub mod compressor;
+/// The scoped chunk-parallel compute tier (re-exported from `fc_geom` so
+/// the whole stack spells it `fc_core::par`): fixed-size chunks merged in
+/// chunk order give bit-identical results at every thread count.
+pub use fc_geom::par;
 pub mod coreset;
 pub mod distortion;
 pub mod error;

@@ -43,30 +43,70 @@ pub fn sensitivity_scores(
 ) -> SensitivityScores {
     assert_eq!(labels.len(), cost_z.len());
     assert_eq!(labels.len(), weights.len());
+    let n = labels.len();
+
+    // Pass 1: per-cluster aggregates. Chunk-parallel with one partial
+    // aggregate pair per chunk, merged in ascending chunk order so the
+    // result is bit-identical at every thread count.
+    let partials = fc_geom::par::map_chunks(n, |_, r| {
+        let mut cw = vec![0.0; k];
+        let mut cc = vec![0.0; k];
+        for ((&l, &c), &w) in labels[r.clone()]
+            .iter()
+            .zip(&cost_z[r.clone()])
+            .zip(&weights[r])
+        {
+            assert!(l < k, "label {l} out of range for k = {k}");
+            cw[l] += w;
+            cc[l] += w * c;
+        }
+        (cw, cc)
+    });
     let mut cluster_weights = vec![0.0; k];
     let mut cluster_costs = vec![0.0; k];
-    for ((&l, &c), &w) in labels.iter().zip(cost_z).zip(weights) {
-        assert!(l < k, "label {l} out of range for k = {k}");
-        cluster_weights[l] += w;
-        cluster_costs[l] += w * c;
+    for (cw, cc) in partials {
+        for (a, b) in cluster_weights.iter_mut().zip(&cw) {
+            *a += b;
+        }
+        for (a, b) in cluster_costs.iter_mut().zip(&cc) {
+            *a += b;
+        }
     }
-    let mut scores = Vec::with_capacity(labels.len());
-    let mut total = 0.0;
-    for ((&l, &c), &w) in labels.iter().zip(cost_z).zip(weights) {
-        let cost_term = if cluster_costs[l] > 0.0 {
-            w * c / cluster_costs[l]
-        } else {
-            0.0
-        };
-        let mass_term = if cluster_weights[l] > 0.0 {
-            w / cluster_weights[l]
-        } else {
-            0.0
-        };
-        let s = cost_term + mass_term;
-        scores.push(s);
-        total += s;
-    }
+
+    // Pass 2: per-point scores (independent writes) plus a chunk-summed
+    // total.
+    let mut scores = vec![0.0; n];
+    let total: f64 = {
+        let cluster_weights = &cluster_weights;
+        let cluster_costs = &cluster_costs;
+        let tasks: Vec<(usize, &mut [f64])> = scores
+            .chunks_mut(fc_geom::par::CHUNK_POINTS)
+            .enumerate()
+            .map(|(c, s)| (c * fc_geom::par::CHUNK_POINTS, s))
+            .collect();
+        fc_geom::par::map_tasks(tasks, |_, (off, chunk)| {
+            let mut t = 0.0;
+            for (j, out) in chunk.iter_mut().enumerate() {
+                let (l, c, w) = (labels[off + j], cost_z[off + j], weights[off + j]);
+                let cost_term = if cluster_costs[l] > 0.0 {
+                    w * c / cluster_costs[l]
+                } else {
+                    0.0
+                };
+                let mass_term = if cluster_weights[l] > 0.0 {
+                    w / cluster_weights[l]
+                } else {
+                    0.0
+                };
+                let s = cost_term + mass_term;
+                *out = s;
+                t += s;
+            }
+            t
+        })
+        .into_iter()
+        .sum()
+    };
     SensitivityScores {
         scores,
         total,
@@ -84,11 +124,18 @@ pub fn lightweight_scores(
     let mean = data
         .weighted_mean()
         .unwrap_or_else(|| vec![0.0; data.dim()]);
-    let cost_z: Vec<f64> = data
-        .points()
-        .iter()
-        .map(|p| kind.from_sq(fc_geom::distance::sq_dist(p, &mean)))
+    let dim = data.dim();
+    let flat = data.points().as_flat();
+    let mut cost_z = vec![0.0f64; data.len()];
+    let tasks: Vec<(&[f64], &mut [f64])> = flat
+        .chunks(fc_geom::par::CHUNK_POINTS * dim)
+        .zip(cost_z.chunks_mut(fc_geom::par::CHUNK_POINTS))
         .collect();
+    fc_geom::par::for_each_task(tasks, |_, (pts, out)| {
+        for (p, o) in pts.chunks_exact(dim).zip(out.iter_mut()) {
+            *o = kind.from_sq(fc_geom::distance::sq_dist(p, &mean));
+        }
+    });
     let labels = vec![0usize; data.len()];
     sensitivity_scores(&labels, &cost_z, data.weights(), 1)
 }

@@ -73,28 +73,17 @@ pub fn mapreduce_coreset<R: Rng + ?Sized>(
         .collect();
     let shard_sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
 
-    // Per-worker compression on real threads; each worker gets its own
-    // deterministic RNG stream.
-    let seeds: Vec<u64> = (0..shards.len()).map(|_| rng.gen()).collect();
-    let results: std::sync::Mutex<Vec<Option<Coreset>>> =
-        std::sync::Mutex::new(vec![None; shards.len()]);
-    std::thread::scope(|scope| {
-        for (w, (shard, seed)) in shards.iter().zip(&seeds).enumerate() {
-            let results = &results;
-            scope.spawn(move || {
-                let mut worker_rng = StdRng::seed_from_u64(*seed);
-                let c = compressor.compress(&mut worker_rng, shard, params);
-                results.lock().expect("no worker panicked holding the lock")[w] = Some(c);
-            });
-        }
+    // Per-worker compression on the shared compute tier, bounded by the
+    // `--solve-threads` knob. One base seed is drawn from the caller and
+    // split into one decorrelated stream per *shard* via the stream-constant
+    // scheme ([`fc_geom::par::split_seeds`]), so neither the worker count
+    // nor the thread count changes any shard's sampled output.
+    let seeds = fc_geom::par::split_seeds(rng.gen(), shards.len());
+    let tasks: Vec<(&Dataset, u64)> = shards.iter().zip(seeds).collect();
+    let parts: Vec<Coreset> = fc_geom::par::map_tasks(tasks, |_, (shard, seed)| {
+        let mut worker_rng = StdRng::seed_from_u64(seed);
+        compressor.compress(&mut worker_rng, shard, params)
     });
-
-    let parts: Vec<Coreset> = results
-        .into_inner()
-        .expect("no worker panicked holding the lock")
-        .into_iter()
-        .map(|c| c.expect("every worker produced a coreset"))
-        .collect();
     let communicated_points: usize = parts.iter().map(|c| c.len()).sum();
     // The union's size is exactly the communicated total, so whether the
     // host reduction will run is known before touching the caller's RNG —

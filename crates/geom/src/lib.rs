@@ -16,6 +16,9 @@
 //!   draws, prefix-sum samplers for maskable ranges, reservoir sampling.
 //! - [`bbox`]: bounding boxes and spread (`Δ`) computation, the quantity the
 //!   paper's spread-reduction machinery (Section 4) is about.
+//! - [`par`]: the scoped chunk-parallel compute tier — fixed-size chunks
+//!   merged in chunk order, so every kernel is bit-identical at any
+//!   thread count (`FC_SOLVE_THREADS` / `--solve-threads`).
 
 pub mod bbox;
 pub mod dataset;
@@ -23,6 +26,7 @@ pub mod distance;
 pub mod error;
 pub mod io;
 pub mod jl;
+pub mod par;
 pub mod points;
 pub mod sampling;
 pub mod scaling;

@@ -1,0 +1,327 @@
+//! Scoped chunk-parallel helpers for the compute tier.
+//!
+//! Every CPU-bound kernel in the workspace (assignment scans, centroid
+//! accumulation, sensitivity passes, compaction) fans out through this
+//! module. The design goal is **bit-reproducibility across thread
+//! counts**: work is split into chunks of a *fixed* size that does not
+//! depend on how many workers run, every chunk produces an independent
+//! partial result, and partials are always merged in ascending chunk
+//! order. Changing `FC_SOLVE_THREADS` (or `--solve-threads`) therefore
+//! changes wall-clock time and nothing else — the same floating-point
+//! additions happen in the same association order whether one thread or
+//! sixteen execute the chunks.
+//!
+//! With one thread the helpers run every chunk inline on the caller's
+//! stack — no scope, no spawn, no locks — so `--solve-threads 1` is the
+//! plain sequential code path.
+//!
+//! Randomness never crosses a chunk boundary: kernels that sample draw
+//! from a sequential RNG outside the parallel region, or derive one
+//! stream per *chunk* (not per thread) via [`split_seeds`], so sampled
+//! output is also independent of the thread count.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Fixed number of points per parallel chunk.
+///
+/// This is a property of the *data*, not of the worker pool: chunk
+/// boundaries (and therefore the partial-sum association order) are
+/// identical at every thread count. 1024 points keeps per-chunk work in
+/// the tens-of-microseconds range for moderate dimensions, which
+/// amortizes the work-queue lock while still load-balancing well.
+pub const CHUNK_POINTS: usize = 1024;
+
+/// Multiplier used to derive independent seed streams (same constant the
+/// serving layer uses for its solve stream; splitmix64's golden-ratio
+/// increment).
+pub const SEED_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Global worker-count knob. 0 = not yet resolved (first use reads
+/// `FC_SOLVE_THREADS`, falling back to the hardware parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`]; 0 = inherit
+    /// the global knob.
+    static THREAD_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn resolve_default() -> usize {
+    std::env::var("FC_SOLVE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The worker count parallel helpers will use on this thread right now:
+/// the innermost [`with_threads`] override if one is active, else the
+/// global knob (resolved once from `FC_SOLVE_THREADS`, default = number
+/// of hardware threads).
+pub fn max_threads() -> usize {
+    let tl = THREAD_OVERRIDE.with(|c| c.get());
+    if tl > 0 {
+        return tl;
+    }
+    let g = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if g > 0 {
+        return g;
+    }
+    let resolved = resolve_default();
+    GLOBAL_THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Set the process-wide worker count (the `--solve-threads` flag lands
+/// here). Clamped to at least 1. Results are identical at every value;
+/// only wall-clock time changes.
+pub fn set_max_threads(n: usize) {
+    GLOBAL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Run `f` with the worker count pinned to `n` on the current thread
+/// (restored on exit, including on panic). `n == 0` leaves the
+/// inherited setting untouched — convenient for plumbing an optional
+/// per-request override.
+pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|c| c.get());
+    let _restore = Restore(prev);
+    if n > 0 {
+        THREAD_OVERRIDE.with(|c| c.set(n));
+    }
+    f()
+}
+
+/// Number of fixed-size chunks covering `len` items.
+pub fn chunk_count(len: usize) -> usize {
+    len.div_ceil(CHUNK_POINTS)
+}
+
+/// Half-open item range of chunk `c` within `len` items.
+pub fn chunk_range(c: usize, len: usize) -> Range<usize> {
+    let start = c * CHUNK_POINTS;
+    start..((start + CHUNK_POINTS).min(len))
+}
+
+/// Run `f` over a list of independent work items on up to
+/// [`max_threads`] workers and return the outputs **in item order**
+/// (never completion order). Items are handed out through a shared
+/// queue, so uneven items still balance. With one worker (or one item)
+/// everything runs inline on the caller's stack.
+///
+/// `f` receives `(item_index, item)`.
+pub fn map_tasks<I, T, F>(tasks: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = tasks.len();
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let queue = Mutex::new(tasks.into_iter().enumerate());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            // Workers pin their own view to 1 thread: nested kernels run
+            // inline instead of spawning a second fan-out (outer
+            // parallelism already owns the cores).
+            scope.spawn(|| {
+                with_threads(1, || loop {
+                    let item = queue.lock().unwrap().next();
+                    match item {
+                        Some((i, t)) => {
+                            let out = f(i, t);
+                            *slots[i].lock().unwrap() = Some(out);
+                        }
+                        None => break,
+                    }
+                })
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Run `f` over independent work items for effect only (no outputs
+/// collected). Same scheduling as [`map_tasks`]; the usual items are
+/// disjoint `&mut` sub-slices produced by `chunks_mut`, so each chunk
+/// writes its own region and no ordering is observable.
+pub fn for_each_task<I, F>(tasks: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(usize, I) + Sync,
+{
+    let n = tasks.len();
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        for (i, t) in tasks.into_iter().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    let queue = Mutex::new(tasks.into_iter().enumerate());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                with_threads(1, || loop {
+                    let item = queue.lock().unwrap().next();
+                    match item {
+                        Some((i, t)) => f(i, t),
+                        None => break,
+                    }
+                })
+            });
+        }
+    });
+}
+
+/// Map every fixed-size chunk of `0..len` through `f` and return the
+/// per-chunk outputs in ascending chunk order. `f` receives
+/// `(chunk_index, item_range)`.
+pub fn map_chunks<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let chunks: Vec<Range<usize>> = (0..chunk_count(len)).map(|c| chunk_range(c, len)).collect();
+    map_tasks(chunks, f)
+}
+
+/// Chunked deterministic sum: per-chunk partial sums (each accumulated
+/// left-to-right) merged in ascending chunk order. The association order
+/// is a function of `len` alone, so the result is bit-identical at every
+/// thread count.
+pub fn sum_chunks<F>(len: usize, f: F) -> f64
+where
+    F: Fn(Range<usize>) -> f64 + Sync,
+{
+    map_chunks(len, |_, r| f(r)).into_iter().sum()
+}
+
+/// Derive `n` decorrelated seed streams from one request seed using the
+/// splitmix64 finalizer over the shared [`SEED_STREAM`] increment.
+/// Stream `i` depends only on `(seed, i)` — never on the thread count —
+/// so kernels that hand one stream to each *chunk* sample identically
+/// however many workers run.
+pub fn split_seeds(seed: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            let mut z = seed.wrapping_add(i.wrapping_add(1).wrapping_mul(SEED_STREAM));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_layout_is_thread_independent() {
+        assert_eq!(chunk_count(0), 0);
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(chunk_count(CHUNK_POINTS), 1);
+        assert_eq!(chunk_count(CHUNK_POINTS + 1), 2);
+        assert_eq!(chunk_range(0, 10), 0..10);
+        assert_eq!(
+            chunk_range(1, CHUNK_POINTS + 7),
+            CHUNK_POINTS..CHUNK_POINTS + 7
+        );
+    }
+
+    #[test]
+    fn map_chunks_results_in_chunk_order_at_any_thread_count() {
+        let len = 5 * CHUNK_POINTS + 123;
+        let seq = with_threads(1, || map_chunks(len, |c, r| (c, r.start, r.end)));
+        for &t in &[2usize, 4, 8] {
+            let par = with_threads(t, || map_chunks(len, |c, r| (c, r.start, r.end)));
+            assert_eq!(seq, par);
+        }
+        assert_eq!(seq.len(), chunk_count(len));
+        assert_eq!(seq[0], (0, 0, CHUNK_POINTS));
+        assert_eq!(seq.last().unwrap().2, len);
+    }
+
+    #[test]
+    fn sum_chunks_bit_identical_across_thread_counts() {
+        // Values chosen so association order matters in f64.
+        let vals: Vec<f64> = (0..4 * CHUNK_POINTS + 77)
+            .map(|i| 1.0 + (i as f64) * 1e-13 + ((i % 7) as f64) * 0.1)
+            .collect();
+        let one = with_threads(1, || sum_chunks(vals.len(), |r| vals[r].iter().sum()));
+        for &t in &[2usize, 3, 8] {
+            let many = with_threads(t, || sum_chunks(vals.len(), |r| vals[r].iter().sum()));
+            assert_eq!(one.to_bits(), many.to_bits());
+        }
+    }
+
+    #[test]
+    fn for_each_task_covers_disjoint_mut_chunks() {
+        let mut buf = vec![0usize; 3 * CHUNK_POINTS + 5];
+        let len = buf.len();
+        let tasks: Vec<(usize, &mut [usize])> = buf
+            .chunks_mut(CHUNK_POINTS)
+            .enumerate()
+            .map(|(c, s)| (c * CHUNK_POINTS, s))
+            .collect();
+        with_threads(4, || {
+            for_each_task(tasks, |_, (off, chunk)| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = off + j;
+                }
+            });
+        });
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i));
+        assert_eq!(buf.len(), len);
+    }
+
+    #[test]
+    fn with_threads_restores_previous_override() {
+        with_threads(3, || {
+            assert_eq!(max_threads(), 3);
+            with_threads(1, || assert_eq!(max_threads(), 1));
+            assert_eq!(max_threads(), 3);
+            // 0 inherits rather than overriding.
+            with_threads(0, || assert_eq!(max_threads(), 3));
+        });
+    }
+
+    #[test]
+    fn split_seeds_depend_only_on_seed_and_index() {
+        let a = split_seeds(42, 8);
+        let b = split_seeds(42, 3);
+        assert_eq!(&a[..3], &b[..]);
+        let c = split_seeds(43, 8);
+        assert_ne!(a, c);
+        // Streams are pairwise distinct for any sane seed.
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert_ne!(a[i], a[j]);
+            }
+        }
+    }
+}

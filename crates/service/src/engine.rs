@@ -44,7 +44,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::backend::IngestOutcome;
+use crate::cache::{next_instance, QueryCache};
 use crate::protocol::{DatasetStats, IngestIdent, ServerStats};
+use fc_core::par;
 
 /// Engine configuration: sharding, the default per-dataset [`Plan`]
 /// (serving size, method/solver selection), and the quality target.
@@ -109,6 +111,20 @@ pub struct EngineConfig {
     /// tail replay). `None` (the default) keeps the engine purely
     /// in-memory.
     pub persist: Option<PersistConfig>,
+    /// Worker-thread count query-path kernels (serving compressions,
+    /// solver refinement, cost pricing) fan out to, via
+    /// [`fc_core::par::with_threads`]. `0` (the default) inherits the
+    /// process-wide knob (`FC_SOLVE_THREADS` / `--solve-threads`, falling
+    /// back to the hardware parallelism). Results are bit-identical at
+    /// every value; only wall-clock time changes.
+    pub solve_threads: usize,
+    /// Capacity of the epoch-keyed query result cache: served coresets,
+    /// clusterings, and cost answers for explicitly-seeded requests are
+    /// memoized per `(dataset generation, dataset version, parameters)`
+    /// and invalidated automatically by ingest and drop (the version or
+    /// instance in the key moves on, so stale entries can never match).
+    /// `0` disables caching entirely.
+    pub cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -128,6 +144,8 @@ impl Default for EngineConfig {
             batch_bytes: 0,
             batch_delay: Duration::ZERO,
             persist: None,
+            solve_threads: 0,
+            cache_capacity: 64,
         }
     }
 }
@@ -335,6 +353,57 @@ pub struct ClusterOutcome {
     pub coreset_points: usize,
     /// The seed that produced this result.
     pub seed: u64,
+}
+
+/// Query-cache key: the dataset's generation (`instance`) and data
+/// `version` plus every parameter the answer depends on. Seeds are the
+/// *resolved* values, and only explicitly-seeded requests are cached —
+/// auto-assigned seeds advance per request, so their answers can never be
+/// asked for again. `f64` center coordinates are keyed by bit pattern:
+/// the cache is an exact-match memo, not a numeric index.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum QueryKey {
+    Coreset {
+        instance: u64,
+        version: u64,
+        seed: u64,
+        /// The per-request method override's canonical name, when given.
+        method: Option<String>,
+    },
+    Cluster {
+        instance: u64,
+        version: u64,
+        k: usize,
+        kind: CostKind,
+        solver: Solver,
+        seed: u64,
+    },
+    Cost {
+        instance: u64,
+        version: u64,
+        kind: CostKind,
+        dim: usize,
+        center_bits: Vec<u64>,
+    },
+}
+
+impl QueryKey {
+    /// The dataset generation this key belongs to (drop-time purging).
+    fn instance(&self) -> u64 {
+        match *self {
+            QueryKey::Coreset { instance, .. }
+            | QueryKey::Cluster { instance, .. }
+            | QueryKey::Cost { instance, .. } => instance,
+        }
+    }
+}
+
+/// The memoized answers, one variant per cacheable operation.
+#[derive(Clone)]
+enum QueryValue {
+    Coreset(Coreset, u64, Method),
+    Cluster(ClusterOutcome),
+    Cost(f64, CostKind, usize),
 }
 
 enum ShardCmd {
@@ -793,6 +862,15 @@ struct DatasetEntry {
     persist: Option<DatasetPersist>,
     /// Per-dataset counters, cached handles into the engine registry.
     metrics: DatasetMetrics,
+    /// Process-unique generation id, embedded in every query-cache key:
+    /// a drop + re-create under the same name gets a fresh id, so cached
+    /// answers from the old generation can never match again.
+    instance: u64,
+    /// Monotonic data version, bumped on every applied (non-duplicate)
+    /// ingest. Query-cache keys embed the version read *before* the
+    /// served snapshot was taken, so any later write makes the key
+    /// unmatchable — writes never have to touch the cache.
+    version: AtomicU64,
 }
 
 /// Per-dataset counter handles (labelled by dataset name), fetched once
@@ -877,15 +955,22 @@ impl DatasetEntry {
         Ok(())
     }
 
-    /// Flushes shards whose oldest pending batch has waited at least
-    /// `delay` — the background flusher's deadline sweep.
+    /// Flushes shards whose oldest pending batch has waited past its
+    /// deadline — the background flusher's sweep. Each shard's effective
+    /// deadline adapts to its observed queue depth via
+    /// [`adaptive_deadline`]: flushing at a worker that is already deep
+    /// in backlog only lengthens the queue, so the deadline stretches
+    /// while the shard catches up and snaps back to the configured base
+    /// once it drains.
     fn flush_aged(&self, delay: Duration) {
         for (shard_idx, pending) in self.pending.iter().enumerate() {
+            let depth = self.shards[shard_idx].queue_depth.load(Ordering::Relaxed);
+            let deadline = adaptive_deadline(delay, depth);
             let due = pending
                 .lock()
                 .expect("pending buffer lock is never poisoned")
                 .since
-                .is_some_and(|t| t.elapsed() >= delay);
+                .is_some_and(|t| t.elapsed() >= deadline);
             if due {
                 let _ = self.flush_shard(shard_idx);
             }
@@ -929,6 +1014,16 @@ impl DatasetEntry {
     }
 }
 
+/// The deadline the background flusher applies to a shard whose command
+/// queue currently holds `depth` unfinished commands: the configured base
+/// delay scaled by `depth + 1`, capped at 8× the base. A drained shard
+/// flushes at the configured latency; a backlogged one (mid-compaction,
+/// mid-replay) is given linearly more time before yet another block is
+/// pushed at it, bounded so pending rows never wait unboundedly long.
+fn adaptive_deadline(base: Duration, depth: usize) -> Duration {
+    base.saturating_mul(depth.saturating_add(1).min(8) as u32)
+}
+
 /// The long-lived serving engine. Thread-safe: server connections share one
 /// engine behind an `Arc`.
 //
@@ -958,6 +1053,10 @@ pub struct Engine {
     /// The observability surface shared with the server loop in front of
     /// this engine, plus cached hot-path handles into it.
     metrics: EngineMetrics,
+    /// Epoch-keyed query result cache (see [`crate::cache`]): memoized
+    /// answers for explicitly-seeded queries, invalidated by key motion
+    /// (every ingest bumps the dataset version embedded in the keys).
+    cache: QueryCache<QueryKey, QueryValue>,
 }
 
 /// Engine-wide telemetry handles: one registry lookup at construction,
@@ -972,6 +1071,8 @@ struct EngineMetrics {
     coreset_seconds: Histogram,
     cluster_seconds: Histogram,
     cost_seconds: Histogram,
+    cache_hits: Counter,
+    cache_misses: Counter,
 }
 
 impl EngineMetrics {
@@ -994,6 +1095,8 @@ impl EngineMetrics {
             coreset_seconds: op_hist("coreset", fc_telemetry::SOLVE_OP_EDGES_US),
             cluster_seconds: op_hist("cluster", fc_telemetry::SOLVE_OP_EDGES_US),
             cost_seconds: op_hist("cost", fc_telemetry::SOLVE_OP_EDGES_US),
+            cache_hits: shared.registry.counter("fc_cache_hits_total"),
+            cache_misses: shared.registry.counter("fc_cache_misses_total"),
             shared,
         }
     }
@@ -1128,12 +1231,14 @@ impl Engine {
         } else {
             None
         };
+        let cache = QueryCache::new(config.cache_capacity);
         let engine = Self {
             config,
             default_plan,
             default_compressor: compressor,
             datasets,
             flusher,
+            cache,
             seed_counter: AtomicU64::new(0),
             started: Instant::now(),
             total_points: AtomicU64::new(0),
@@ -1248,6 +1353,8 @@ impl Engine {
                         shards: persists,
                     }),
                     metrics: self.metrics.dataset(&meta.name),
+                    instance: next_instance(),
+                    version: AtomicU64::new(0),
                 }),
             );
         }
@@ -1472,6 +1579,10 @@ impl Engine {
         if let Some((guard, ident)) = watermark.as_mut() {
             guard.insert(ident.client.clone(), ident.seq);
         }
+        // Move the dataset's version past every cache key minted so far —
+        // this is the cache invalidation: stale entries simply stop
+        // matching and age out of the LRU.
+        entry.version.fetch_add(1, Ordering::Release);
         let total_points = entry
             .ingested_points
             .fetch_add(batch.len() as u64, Ordering::Relaxed)
@@ -1657,6 +1768,8 @@ impl Engine {
                 shards: persists,
             }),
             metrics: self.metrics.dataset(name),
+            instance: next_instance(),
+            version: AtomicU64::new(0),
         }))
     }
 
@@ -1672,27 +1785,60 @@ impl Engine {
         method: Option<&Method>,
     ) -> Result<(Coreset, u64, Method), EngineError> {
         let started = Instant::now();
-        let out = (|| {
+        let out = par::with_threads(self.config.solve_threads, || {
             let entry = self.entry(name)?;
-            let out = self.coreset_of(&entry, name, seed, method)?;
+            let cacheable = seed.is_some();
+            let out = self.coreset_of(&entry, name, seed, method, cacheable)?;
             self.total_queries.fetch_add(1, Ordering::Relaxed);
             Ok(out)
-        })();
+        });
         self.metrics.coreset_seconds.observe(started.elapsed());
         out
+    }
+
+    /// Counted cache lookup: every probe lands in the hit or the miss
+    /// counter (both the registry's and the cache's own, which back the
+    /// `stats` op).
+    fn cache_get(&self, key: &QueryKey) -> Option<QueryValue> {
+        let got = self.cache.get(key);
+        match got.is_some() {
+            true => self.metrics.cache_hits.incr(),
+            false => self.metrics.cache_misses.incr(),
+        }
+        got
     }
 
     /// [`Self::coreset`] against an already-resolved entry: one registry
     /// lookup per request, so query defaults and served data always come
     /// from the same dataset generation even while drops race.
+    ///
+    /// `cacheable` marks requests whose answer may be served from (and
+    /// stored into) the query cache: the *caller's* seed must have been
+    /// explicit — an engine-assigned seed advances per request and can
+    /// never be asked for again — and the cache key must be minted
+    /// *before* the shard snapshots are taken, so any write that lands
+    /// after the key read makes the entry unmatchable rather than stale.
     fn coreset_of(
         &self,
         entry: &DatasetEntry,
         name: &str,
         seed: Option<u64>,
         method: Option<&Method>,
+        cacheable: bool,
     ) -> Result<(Coreset, u64, Method), EngineError> {
+        let cacheable = cacheable && seed.is_some() && self.cache.enabled() && !entry.recovering();
         let seed = self.resolve_seed(seed);
+        let key = cacheable.then(|| QueryKey::Coreset {
+            instance: entry.instance,
+            version: entry.version.load(Ordering::Acquire),
+            seed,
+            method: method.map(|m| m.to_string()),
+        });
+        if let Some(key) = &key {
+            if let Some(QueryValue::Coreset(c, s, m)) = self.cache_get(key) {
+                return Ok((c, s, m));
+            }
+        }
         let parts = entry.snapshots()?;
         let mut union = parts
             .into_iter()
@@ -1719,6 +1865,12 @@ impl Engine {
         let effective = method
             .cloned()
             .unwrap_or_else(|| entry.plan.method().clone());
+        if let Some(key) = key {
+            self.cache.insert(
+                key,
+                QueryValue::Coreset(union.clone(), seed, effective.clone()),
+            );
+        }
         Ok((union, seed, effective))
     }
 
@@ -1735,7 +1887,9 @@ impl Engine {
         seed: Option<u64>,
     ) -> Result<ClusterOutcome, EngineError> {
         let started = Instant::now();
-        let out = self.cluster_inner(name, k, kind, solver, seed);
+        let out = par::with_threads(self.config.solve_threads, || {
+            self.cluster_inner(name, k, kind, solver, seed)
+        });
         self.metrics.cluster_seconds.observe(started.elapsed());
         out
     }
@@ -1762,8 +1916,23 @@ impl Engine {
                 kind,
             }));
         }
+        let cacheable = seed.is_some() && self.cache.enabled() && !entry.recovering();
         let seed = self.resolve_seed(seed);
-        let (coreset, _, _) = self.coreset_of(&entry, name, Some(seed), None)?;
+        let key = cacheable.then(|| QueryKey::Cluster {
+            instance: entry.instance,
+            version: entry.version.load(Ordering::Acquire),
+            k,
+            kind,
+            solver,
+            seed,
+        });
+        if let Some(key) = &key {
+            if let Some(QueryValue::Cluster(outcome)) = self.cache_get(key) {
+                self.total_queries.fetch_add(1, Ordering::Relaxed);
+                return Ok(outcome);
+            }
+        }
+        let (coreset, _, _) = self.coreset_of(&entry, name, Some(seed), None, cacheable)?;
         // Distinct stream from the compression draw so adding solve steps
         // never perturbs which coreset is served for this seed.
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
@@ -1775,13 +1944,17 @@ impl Engine {
             &SolveConfig::default(),
         )?;
         self.total_queries.fetch_add(1, Ordering::Relaxed);
-        Ok(ClusterOutcome {
+        let outcome = ClusterOutcome {
             solution,
             kind,
             solver,
             coreset_points: coreset.len(),
             seed,
-        })
+        };
+        if let Some(key) = key {
+            self.cache.insert(key, QueryValue::Cluster(outcome.clone()));
+        }
+        Ok(outcome)
     }
 
     /// Prices candidate centers on the served coreset (deterministic: uses
@@ -1796,7 +1969,7 @@ impl Engine {
         kind: Option<CostKind>,
     ) -> Result<(f64, CostKind, usize), EngineError> {
         let started = Instant::now();
-        let out = (|| {
+        let out = par::with_threads(self.config.solve_threads, || {
             let entry = self.entry(name)?;
             if centers.dim() != entry.dim {
                 return Err(EngineError::DimensionMismatch {
@@ -1805,11 +1978,32 @@ impl Engine {
                 });
             }
             let kind = kind.unwrap_or_else(|| entry.plan.kind());
+            let cacheable = self.cache.enabled() && !entry.recovering();
+            let key = cacheable.then(|| QueryKey::Cost {
+                instance: entry.instance,
+                version: entry.version.load(Ordering::Acquire),
+                kind,
+                dim: centers.dim(),
+                center_bits: centers.as_flat().iter().map(|v| v.to_bits()).collect(),
+            });
+            if let Some(key) = &key {
+                if let Some(QueryValue::Cost(cost, kind, points)) = self.cache_get(key) {
+                    self.total_queries.fetch_add(1, Ordering::Relaxed);
+                    return Ok((cost, kind, points));
+                }
+            }
+            // Pricing always runs on the base-seed compression, so the
+            // inner coreset request is cacheable whenever this one is.
             let (coreset, _, _) =
-                self.coreset_of(&entry, name, Some(self.config.base_seed), None)?;
+                self.coreset_of(&entry, name, Some(self.config.base_seed), None, cacheable)?;
             self.total_queries.fetch_add(1, Ordering::Relaxed);
-            Ok((coreset.cost(centers, kind), kind, coreset.len()))
-        })();
+            let answer = (coreset.cost(centers, kind), kind, coreset.len());
+            if let Some(key) = key {
+                self.cache
+                    .insert(key, QueryValue::Cost(answer.0, answer.1, answer.2));
+            }
+            Ok(answer)
+        });
         self.metrics.cost_seconds.observe(started.elapsed());
         out
     }
@@ -1851,6 +2045,8 @@ impl Engine {
             ingested_blocks: self.total_blocks.load(Ordering::Relaxed),
             queries: self.total_queries.load(Ordering::Relaxed),
             fleet_epoch: 0,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
         }
     }
 
@@ -1942,6 +2138,10 @@ impl Engine {
             .expect("dataset registry lock is never poisoned")
             .remove(name)
             .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))?;
+        // Purge the generation's cached answers eagerly; the instance id
+        // is never reused, so this is belt-and-braces over key motion.
+        let instance = entry.instance;
+        self.cache.retain(|k| k.instance() != instance);
         let dir = entry.persist.as_ref().map(|p| p.dir.clone());
         let finalize = !purge && dir.is_some();
         // Connections may still hold clones of the Arc; workers stop as
@@ -2543,6 +2743,125 @@ mod tests {
         }
         let stats = engine.dataset_stats("d").unwrap();
         assert!(stats.ingested_points > 0);
+    }
+
+    #[test]
+    fn adaptive_deadline_scales_with_queue_depth() {
+        let base = Duration::from_millis(10);
+        // A drained shard flushes at the configured latency.
+        assert_eq!(adaptive_deadline(base, 0), base);
+        // Depth stretches the deadline linearly...
+        assert_eq!(adaptive_deadline(base, 1), base * 2);
+        assert_eq!(adaptive_deadline(base, 3), base * 4);
+        // ...up to the 8× cap, so pending rows never wait unboundedly.
+        assert_eq!(adaptive_deadline(base, 7), base * 8);
+        assert_eq!(adaptive_deadline(base, 1_000_000), base * 8);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let engine = test_engine();
+        for block in blobs(300).chunks(100) {
+            engine.ingest("d", &block, None).unwrap();
+        }
+        let first = engine.cluster("d", Some(4), None, None, Some(9)).unwrap();
+        let stats = engine.server_stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert!(stats.cache_misses > 0, "first query must miss");
+        let again = engine.cluster("d", Some(4), None, None, Some(9)).unwrap();
+        assert_eq!(first.solution.centers, again.solution.centers);
+        assert_eq!(first.seed, again.seed);
+        assert!(
+            engine.server_stats().cache_hits > 0,
+            "repeat query must be served from the cache"
+        );
+        // Coreset and cost repeats hit as well.
+        let (a, _, _) = engine.coreset("d", Some(5), None).unwrap();
+        let (b, _, _) = engine.coreset("d", Some(5), None).unwrap();
+        assert_eq!(a.dataset(), b.dataset());
+        let centers = Points::from_flat(vec![0.0, 0.0, 100.0, 0.0], 2).unwrap();
+        let (c1, _, _) = engine.cost("d", &centers, None).unwrap();
+        let hits_before = engine.server_stats().cache_hits;
+        let (c2, _, _) = engine.cost("d", &centers, None).unwrap();
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        assert!(engine.server_stats().cache_hits > hits_before);
+    }
+
+    #[test]
+    fn ingest_invalidates_cached_answers() {
+        let engine = test_engine();
+        engine.ingest("d", &blobs(200), None).unwrap();
+        let (before, _, _) = engine.coreset("d", Some(3), None).unwrap();
+        // New data must change what seed 3 serves — a stale cache would
+        // hand back `before` verbatim.
+        let far = Dataset::from_flat(vec![900.0, 900.0, 901.0, 901.0], 2).unwrap();
+        engine.ingest("d", &far, None).unwrap();
+        let (after, _, _) = engine.coreset("d", Some(3), None).unwrap();
+        assert_ne!(
+            before.dataset(),
+            after.dataset(),
+            "ingest must invalidate the cached coreset"
+        );
+    }
+
+    #[test]
+    fn dropped_dataset_generation_never_resurfaces() {
+        let engine = test_engine();
+        engine.ingest("d", &blobs(100), None).unwrap();
+        let (old, _, _) = engine.coreset("d", Some(1), None).unwrap();
+        engine.drop_dataset("d").unwrap();
+        // Same name, same seed, different data: the fresh generation must
+        // serve the fresh data.
+        let far = Dataset::from_flat(vec![500.0, 500.0, 501.0, 501.0], 2).unwrap();
+        engine.ingest("d", &far, None).unwrap();
+        let (fresh, _, _) = engine.coreset("d", Some(1), None).unwrap();
+        assert_ne!(old.dataset(), fresh.dataset());
+        assert!(fresh
+            .dataset()
+            .points()
+            .as_flat()
+            .iter()
+            .all(|&v| v >= 500.0));
+    }
+
+    #[test]
+    fn auto_seeded_queries_are_not_cached() {
+        let engine = test_engine();
+        engine.ingest("d", &blobs(100), None).unwrap();
+        let (_, s1, _) = engine.coreset("d", None, None).unwrap();
+        let (_, s2, _) = engine.coreset("d", None, None).unwrap();
+        assert_eq!(s2, s1 + 1, "auto seeds keep advancing");
+        let stats = engine.server_stats();
+        assert_eq!(
+            stats.cache_hits + stats.cache_misses,
+            0,
+            "auto-seeded requests must not touch the cache"
+        );
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_caching() {
+        let engine = Engine::with_compressor(
+            EngineConfig {
+                shards: 1,
+                k: 4,
+                m_scalar: 25,
+                cache_capacity: 0,
+                ..Default::default()
+            },
+            Arc::new(Uniform),
+        )
+        .unwrap();
+        engine.ingest("d", &blobs(100), None).unwrap();
+        let (a, _, _) = engine.coreset("d", Some(2), None).unwrap();
+        let (b, _, _) = engine.coreset("d", Some(2), None).unwrap();
+        assert_eq!(
+            a.dataset(),
+            b.dataset(),
+            "determinism holds without a cache"
+        );
+        let stats = engine.server_stats();
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod backend;
+pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod framing;
@@ -61,6 +62,7 @@ pub use fc_core::json;
 pub use fc_persist::FsyncPolicy;
 
 pub use backend::{Backend, IngestOutcome};
+pub use cache::QueryCache;
 pub use client::{ClientError, ClusterResult, RetryPolicy, ServiceClient};
 pub use engine::{ClusterOutcome, DrainHook, Engine, EngineConfig, EngineError, PersistConfig};
 pub use framing::{BinaryCodec, FrameError, LineCodec, WireCodec, WireFrame};

@@ -315,6 +315,12 @@ pub struct ServerStats {
     /// (add/drain) and never goes backward. Optional on decode (`0` when
     /// absent): plain servers and older coordinators never emit it.
     pub fleet_epoch: u64,
+    /// Query-cache hits served since start. Optional on decode (`0` when
+    /// absent): processes without a cache never emit it.
+    pub cache_hits: u64,
+    /// Query-cache misses since start. Optional on decode like
+    /// `cache_hits`.
+    pub cache_misses: u64,
 }
 
 /// A server response. `Error` is the only failure shape on the wire.
@@ -1085,6 +1091,12 @@ fn server_stats_to_value(s: &ServerStats) -> Value {
     if s.fleet_epoch != 0 {
         pairs.push(("fleet_epoch", Value::from(s.fleet_epoch)));
     }
+    if s.cache_hits != 0 {
+        pairs.push(("cache_hits", Value::from(s.cache_hits)));
+    }
+    if s.cache_misses != 0 {
+        pairs.push(("cache_misses", Value::from(s.cache_misses)));
+    }
     pairs_to_object(pairs)
 }
 
@@ -1101,6 +1113,9 @@ fn server_stats_from_value(v: &Value) -> Result<ServerStats, ProtocolError> {
         queries: counter("queries")?,
         // Optional on decode: plain servers have no fleet.
         fleet_epoch: v.get("fleet_epoch").and_then(Value::as_u64).unwrap_or(0),
+        // Optional on decode: cache-less processes never emit these.
+        cache_hits: v.get("cache_hits").and_then(Value::as_u64).unwrap_or(0),
+        cache_misses: v.get("cache_misses").and_then(Value::as_u64).unwrap_or(0),
     })
 }
 
@@ -1729,6 +1744,8 @@ mod tests {
                 ingested_blocks: 1 << 21,
                 queries: 42,
                 fleet_epoch: 0,
+                cache_hits: 12,
+                cache_misses: 30,
             }),
         });
         // Coordinator stats carry per-node identity and health.
@@ -1789,6 +1806,8 @@ mod tests {
                 ingested_blocks: 0,
                 queries: 0,
                 fleet_epoch: 17,
+                cache_hits: 0,
+                cache_misses: 0,
             }),
         });
         round_trip_response(Response::FleetUpdated {

@@ -7,6 +7,7 @@
 //!                [--capacity W ...] [--retries N] [--node-timeout-ms MS]
 //!                [--k K] [--m-scalar M] [--budget POINTS] [--kmedian]
 //!                [--method NAME] [--solver NAME]
+//!                [--solve-threads N] [--cache-capacity N]
 //!                [--io-model reactor|threaded] [--io-threads N]
 //!                [--executor-threads N]
 //!                [--max-connections N] [--request-deadline-ms N]
@@ -32,6 +33,14 @@
 //! (the coordinator's registry adds `fc_node_request_seconds{node=…}`
 //! latency attribution per fleet node; the JSON `metrics` op also embeds
 //! every node's registry under `"nodes"`).
+//!
+//! `--solve-threads` sets the worker-thread count for the coordinator's
+//! own compute (coreset aggregation and the final solve) — equivalent to
+//! `FC_SOLVE_THREADS`, bit-identical results at every setting.
+//! `--cache-capacity` bounds the coordinator's memoized query results,
+//! keyed by dataset version, fleet epoch, and node health, so ingests,
+//! membership changes, and observed health flips all invalidate (`0`
+//! disables; default 64).
 //!
 //! `--replication R` (default 1) turns routing into R-way replicated
 //! placement: every dataset is assigned R replicas by rendezvous hashing
@@ -72,7 +81,8 @@ fn usage() -> ! {
          [--replication R] \
          [--capacity W ...] [--retries N] [--node-timeout-ms MS] [--k K] \
          [--m-scalar M] [--budget POINTS] [--kmedian] [--method NAME] \
-         [--solver NAME] [--io-model reactor|threaded] [--io-threads N] \
+         [--solver NAME] [--solve-threads N] [--cache-capacity N] \
+         [--io-model reactor|threaded] [--io-threads N] \
          [--executor-threads N] [--max-connections N] \
          [--request-deadline-ms N] [--wire bin1|json] \
          [--metrics-addr HOST:PORT] [--version]"
@@ -91,6 +101,8 @@ struct Args {
     options: ServerOptions,
     binary_wire: bool,
     metrics_addr: Option<String>,
+    solve_threads: usize,
+    cache_capacity: Option<usize>,
     k: usize,
     m_scalar: usize,
     budget: Option<usize>,
@@ -111,6 +123,8 @@ fn parse_args() -> Args {
         options: ServerOptions::default(),
         binary_wire: true,
         metrics_addr: None,
+        solve_threads: 0,
+        cache_capacity: None,
         k: 8,
         m_scalar: 40,
         budget: None,
@@ -176,6 +190,18 @@ fn parse_args() -> Args {
                 }
             },
             "--metrics-addr" => parsed.metrics_addr = Some(value("host:port")),
+            "--solve-threads" => {
+                let threads: usize = value("count").parse().unwrap_or_else(|_| usage());
+                if threads == 0 {
+                    eprintln!("--solve-threads needs a positive count");
+                    usage();
+                }
+                parsed.solve_threads = threads;
+                fc_geom::par::set_max_threads(threads);
+            }
+            "--cache-capacity" => {
+                parsed.cache_capacity = Some(value("count").parse().unwrap_or_else(|_| usage()));
+            }
             "--k" => parsed.k = value("count").parse().unwrap_or_else(|_| usage()),
             "--m-scalar" => parsed.m_scalar = value("count").parse().unwrap_or_else(|_| usage()),
             "--budget" => {
@@ -249,6 +275,10 @@ fn main() {
         attempts: args.retries.max(1),
         ..RetryPolicy::default()
     };
+    config.solve_threads = args.solve_threads;
+    if let Some(capacity) = args.cache_capacity {
+        config.cache_capacity = capacity;
+    }
     if let Some(ms) = args.node_timeout_ms {
         let limit = Duration::from_millis(ms);
         config.timeouts = NodeTimeouts {

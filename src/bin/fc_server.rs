@@ -4,6 +4,7 @@
 //! fc-server [--addr HOST:PORT] [--shards N] [--k K] [--m-scalar M]
 //!           [--budget POINTS] [--queue-depth N] [--kmedian]
 //!           [--method NAME] [--solver NAME]
+//!           [--solve-threads N] [--cache-capacity N]
 //!           [--io-model reactor|threaded] [--io-threads N]
 //!           [--executor-threads N]
 //!           [--max-connections N] [--request-deadline-ms N]
@@ -20,6 +21,13 @@
 //! `fc_core::plan::Method` and `fc_clustering::Solver` (e.g.
 //! `fast-coreset`, `uniform`, `merge-reduce(lightweight)`; `lloyd`,
 //! `hamerly`) — the same strings the JSON protocol accepts per request.
+//!
+//! `--solve-threads` sets the worker-thread count for the parallel
+//! query-path kernels (assignment, accumulation, sensitivity passes) —
+//! equivalent to the `FC_SOLVE_THREADS` environment variable, default =
+//! hardware threads, `1` = the plain sequential path. Results are
+//! bit-identical at every setting. `--cache-capacity` bounds the
+//! engine's memoized query results (`0` disables the cache; default 64).
 //!
 //! `--io-model` picks the connection model: `reactor` (epoll readiness
 //! loop + bounded executor pool — the Linux default; `--io-threads`
@@ -73,7 +81,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: fc-server [--addr HOST:PORT] [--shards N] [--k K] \
          [--m-scalar M] [--budget POINTS] [--queue-depth N] [--kmedian] \
-         [--method NAME] [--solver NAME] [--io-model reactor|threaded] \
+         [--method NAME] [--solver NAME] [--solve-threads N] \
+         [--cache-capacity N] [--io-model reactor|threaded] \
          [--io-threads N] [--executor-threads N] [--max-connections N] \
          [--request-deadline-ms N] [--wire auto|json] \
          [--batch-points N] [--batch-bytes N] [--batch-delay-ms N] \
@@ -186,6 +195,20 @@ fn parse_args() -> (String, EngineConfig, ServerOptions, Option<String>) {
                     eprintln!("{e}");
                     usage()
                 });
+            }
+            "--solve-threads" => {
+                let threads: usize = value("count").parse().unwrap_or_else(|_| usage());
+                if threads == 0 {
+                    eprintln!("--solve-threads needs a positive count");
+                    usage();
+                }
+                config.solve_threads = threads;
+                // Also pin the process-wide default so non-query compute
+                // (shard compactions) honours the same knob.
+                fc_geom::par::set_max_threads(threads);
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = value("count").parse().unwrap_or_else(|_| usage());
             }
             "--io-model" => {
                 options.io_model = value("model name").parse().unwrap_or_else(|e| {

@@ -333,3 +333,75 @@ fn overloaded_node_fails_over_instead_of_failing_the_write() {
     busy.shutdown();
     healthy.shutdown();
 }
+
+/// The coordinator memoizes explicitly seeded queries and invalidates by
+/// key motion: a repeat ask is a hit, an ingest or a membership epoch
+/// bump makes the old answer unmatchable, and auto-assigned seeds never
+/// touch the cache (their answers cannot be re-asked).
+#[test]
+fn coordinator_cache_hits_repeats_and_invalidates_on_ingest_and_epoch() {
+    use fc_service::backend::Backend;
+
+    let k = 4;
+    let node_a = node_server(k);
+    let node_b = node_server(k);
+    let config = CoordinatorConfig::new([node_a.addr().to_string(), node_b.addr().to_string()]);
+    let coordinator = Coordinator::new(config).unwrap();
+    let data = four_blobs(200);
+    coordinator.ingest("blobs", &data, None).unwrap();
+
+    // Repeat ask under the same explicit seed: served from the cache,
+    // byte-identical to the computed answer.
+    let first = coordinator
+        .cluster("blobs", None, None, None, Some(7))
+        .unwrap();
+    let again = coordinator
+        .cluster("blobs", None, None, None, Some(7))
+        .unwrap();
+    assert_eq!(
+        first.solution.centers.as_flat(),
+        again.solution.centers.as_flat()
+    );
+    let stats = coordinator.server_stats().unwrap();
+    assert_eq!(stats.cache_hits, 1, "{stats:?}");
+    assert_eq!(stats.cache_misses, 1, "{stats:?}");
+
+    // Auto-assigned seeds advance per request: not cacheable, counters
+    // untouched.
+    coordinator
+        .cluster("blobs", None, None, None, None)
+        .unwrap();
+    let stats = coordinator.server_stats().unwrap();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1), "{stats:?}");
+
+    // New data bumps the route version: the same ask recomputes.
+    coordinator.ingest("blobs", &four_blobs(50), None).unwrap();
+    coordinator
+        .cluster("blobs", None, None, None, Some(7))
+        .unwrap();
+    let stats = coordinator.server_stats().unwrap();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (1, 2), "{stats:?}");
+
+    // A membership change bumps the fleet epoch: every cached answer for
+    // the old fleet shape stops matching.
+    let node_c = node_server(k);
+    coordinator
+        .add_node(&node_c.addr().to_string(), None)
+        .unwrap();
+    coordinator
+        .cluster("blobs", None, None, None, Some(7))
+        .unwrap();
+    let stats = coordinator.server_stats().unwrap();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (1, 3), "{stats:?}");
+
+    // And the re-warmed key hits again while the fleet stays put.
+    coordinator
+        .cluster("blobs", None, None, None, Some(7))
+        .unwrap();
+    let stats = coordinator.server_stats().unwrap();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (2, 3), "{stats:?}");
+
+    node_a.shutdown();
+    node_b.shutdown();
+    node_c.shutdown();
+}
